@@ -1,0 +1,106 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+- idle-reset rule on/off (Section 4's anti-pessimism tool);
+- admission-wait budget (Section 5's 200 ms queue);
+- urgency-inversion alpha: sound vs unsound budgets under random
+  priorities (Eq. 12);
+- PCP blocking: blocking-aware vs blocking-blind budgets (Eq. 15).
+"""
+
+from repro.experiments import ablations
+
+from conftest import run_once
+
+
+def test_ablation_reset(benchmark):
+    result = run_once(
+        benchmark,
+        ablations.run_reset_ablation,
+        loads=(0.6, 1.0, 1.4, 2.0),
+        horizon=1200.0,
+        seeds=(1, 2),
+    )
+    print()
+    result.print()
+    on, off = result.series
+    # The reset rule is worth >20 utilization points at/above capacity.
+    for load in (1.0, 1.4, 2.0):
+        assert on.y_at(load) > off.y_at(load) + 0.2
+    # Without resets, accepted utilization saturates near the static
+    # per-stage bound.
+    assert max(off.ys()) < 0.62
+
+
+def test_ablation_wait(benchmark):
+    result = run_once(
+        benchmark,
+        ablations.run_wait_ablation,
+        waits=(0.0, 5.0, 20.0, 50.0),
+        horizon=1200.0,
+        seeds=(1, 2),
+    )
+    print()
+    result.print()
+    accept, miss = result.series
+    assert accept.y_at(50.0) >= accept.y_at(0.0)
+    assert max(miss.ys()) == 0.0  # waiting never breaks the guarantee
+
+
+def test_ablation_alpha(benchmark):
+    result = run_once(
+        benchmark,
+        ablations.run_alpha_ablation,
+        loads=(0.8, 1.2, 1.6),
+        horizon=1200.0,
+        seeds=(1, 2),
+    )
+    print()
+    result.print()
+    by_label = {s.label: s for s in result.series}
+    dm_miss = by_label["DM, budget 1 miss"]
+    sound = next(
+        s
+        for label, s in by_label.items()
+        if label.startswith("random, budget 0") and label.endswith("miss")
+    )
+    assert max(dm_miss.ys()) == 0.0
+    assert max(sound.ys()) == 0.0
+
+
+def test_ablation_blocking(benchmark):
+    result = run_once(
+        benchmark,
+        ablations.run_blocking_ablation,
+        loads=(0.8, 1.2),
+        horizon=1200.0,
+        seeds=(1, 2),
+    )
+    print()
+    result.print()
+    aware_miss = result.series[0]
+    aware_accept = result.series[1]
+    blind_accept = result.series[3]
+    # The blocking-aware budget never misses.
+    assert max(aware_miss.ys()) == 0.0
+    # It pays with a (slightly) lower accept ratio than the blind run.
+    for load in (0.8, 1.2):
+        assert aware_accept.y_at(load) <= blind_accept.y_at(load) + 0.02
+
+
+def test_ablation_overrun(benchmark):
+    result = run_once(
+        benchmark,
+        ablations.run_overrun_ablation,
+        overrun_factors=(1.0, 1.25, 1.5, 2.0),
+        horizon=1200.0,
+        seeds=(1, 2),
+    )
+    print()
+    result.print()
+    miss = result.series[0]
+    # Exact declarations keep the guarantee.
+    assert miss.y_at(1.0) == 0.0
+    # Degradation is graceful: even 2x overruns stay below 20% misses.
+    assert miss.y_at(2.0) < 0.2
+    # Monotone trend in the overrun factor.
+    assert miss.y_at(2.0) >= miss.y_at(1.25) - 0.01

@@ -1,0 +1,72 @@
+"""Microbenchmarks of the admission test itself.
+
+The paper's complexity claim: the admission test is O(N) in the number
+of pipeline stages and *independent of the number of tasks in the
+system* — "a great advantage in systems that expect a very high
+workload (e.g., thousands of concurrent tasks)".
+"""
+
+import pytest
+
+from repro.core.admission import PipelineAdmissionController
+from repro.core.task import make_task
+
+
+def _fill(controller, count, num_stages):
+    """Admit ``count`` long-lived small tasks."""
+    for i in range(count):
+        task = make_task(
+            0.0,
+            1e9,
+            [1.0] * num_stages,
+            task_id=10_000_000 + i,
+        )
+        decision = controller.request(task, now=0.0)
+        assert decision.admitted
+
+
+@pytest.mark.parametrize("resident_tasks", [10, 1000, 10_000])
+def test_request_independent_of_task_count(benchmark, resident_tasks):
+    """Per-request latency stays flat as resident tasks grow 1000x."""
+    controller = PipelineAdmissionController(num_stages=3)
+    _fill(controller, resident_tasks, 3)
+    probe = make_task(0.0, 1e9, [1.0, 1.0, 1.0], task_id=1)
+
+    def request_and_withdraw():
+        decision = controller.request(probe, now=0.0)
+        assert decision.admitted
+        controller.withdraw(probe.task_id)
+
+    benchmark(request_and_withdraw)
+
+
+@pytest.mark.parametrize("num_stages", [1, 4, 16, 64])
+def test_request_scales_linearly_with_stages(benchmark, num_stages):
+    """Per-request cost grows O(N) with the number of stages."""
+    controller = PipelineAdmissionController(num_stages=num_stages)
+    probe = make_task(0.0, 1e9, [1.0] * num_stages, task_id=2)
+
+    def request_and_withdraw():
+        decision = controller.request(probe, now=0.0)
+        assert decision.admitted
+        controller.withdraw(probe.task_id)
+
+    benchmark(request_and_withdraw)
+
+
+def test_simulation_throughput(benchmark):
+    """End-to-end simulator throughput: tasks simulated per benchmark
+    round for a 2-stage pipeline at full load (a harness cost record,
+    not a paper artifact)."""
+    from repro.sim.pipeline import run_pipeline_simulation
+    from repro.sim.workload import balanced_workload
+
+    workload = balanced_workload(2, load=1.0, resolution=100.0)
+
+    def simulate():
+        report = run_pipeline_simulation(workload, horizon=500.0, seed=3)
+        assert report.miss_ratio() == 0.0
+        return report.generated
+
+    generated = benchmark(simulate)
+    assert generated > 0

@@ -1,0 +1,38 @@
+"""Benchmark: regenerate Figure 4 — effect of pipeline length.
+
+Paper setup: balanced exponential stages, resolution ~100, Poisson
+arrivals, DM scheduling; input load 60%-200% of stage capacity, one
+curve per pipeline length (1, 2, 3, 5).
+
+Expected shape: >80% average utilization at 100% load; the 2/3/5-stage
+curves nearly coincide (pipeline depth adds no pessimism); zero misses.
+"""
+
+import pytest
+
+from repro.experiments import fig4_pipeline_length
+
+from conftest import run_once
+
+
+def test_fig4_pipeline_length(benchmark):
+    result = run_once(
+        benchmark,
+        fig4_pipeline_length.run,
+        loads=(0.6, 0.8, 1.0, 1.2, 1.6, 2.0),
+        lengths=(1, 2, 3, 5),
+        horizon=1500.0,
+        seeds=(1, 2),
+    )
+    print()
+    result.print()
+
+    # Reproduction acceptance criteria (shape, not absolute values).
+    for series in result.series:
+        assert series.y_at(1.0) > 0.78, "paper: >80% utilization at 100% load"
+        for point in series.points:
+            assert point.detail["miss_ratio"] == 0.0
+    two, three, five = result.series[1], result.series[2], result.series[3]
+    for load in (0.6, 1.0, 1.6, 2.0):
+        assert three.y_at(load) == pytest.approx(two.y_at(load), abs=0.08)
+        assert five.y_at(load) == pytest.approx(two.y_at(load), abs=0.08)

@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Figure 5 — effect of task resolution.
+
+Two-stage balanced pipeline; the x axis sweeps task resolution (avg
+deadline / avg total computation) at three load levels.
+
+Expected shape: accepted utilization increases with resolution —
+"it is easier to generate unschedulable workloads when individual
+tasks are larger".
+"""
+
+from repro.experiments import fig5_task_resolution
+
+from conftest import run_once
+
+
+def test_fig5_task_resolution(benchmark):
+    result = run_once(
+        benchmark,
+        fig5_task_resolution.run,
+        resolutions=(2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0),
+        loads=(0.8, 1.2, 1.6),
+        horizon=1500.0,
+        seeds=(1, 2),
+    )
+    print()
+    result.print()
+
+    for series in result.series:
+        ys = series.ys()
+        # Monotone trend start-to-end, allowing small sampling wiggle.
+        assert ys[-1] > ys[0], "utilization must grow with resolution"
+        assert ys[-1] >= max(ys) - 0.05

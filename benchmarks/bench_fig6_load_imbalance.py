@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Figure 6 — effect of load imbalance.
+
+Two-stage pipeline, the mean computation-time ratio across stages is
+swept symmetrically around the balanced midpoint (ratio 1); the
+arrival rate holds the bottleneck stage at a fixed offered load.
+
+Expected shape: bottleneck utilization is minimal at the balanced
+midpoint and grows with imbalance in either direction — the admission
+controller opportunistically exploits the underutilized stage.
+"""
+
+from repro.experiments import fig6_load_imbalance
+
+from conftest import run_once
+
+
+def test_fig6_load_imbalance(benchmark):
+    result = run_once(
+        benchmark,
+        fig6_load_imbalance.run,
+        ratios=(0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0),
+        bottleneck_load=1.2,
+        horizon=2000.0,
+        seeds=(1, 2, 3),
+    )
+    print()
+    result.print()
+
+    series = result.series[0]
+    mid = series.y_at(1.0)
+    for ratio in (0.125, 0.25, 4.0, 8.0):
+        assert series.y_at(ratio) >= mid - 0.01, (
+            "bottleneck utilization must not drop below the balanced midpoint"
+        )

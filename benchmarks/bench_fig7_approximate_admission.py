@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 7 — miss ratio with approximate admission.
+
+Two-stage balanced pipeline; the admission controller charges every
+arrival the *mean* computation time (actual demands unknown at arrival).
+Task resolution swept at two input loads.
+
+Expected shape: zero misses at high resolution; only a very small
+fraction of misses appears as resolution decreases.
+"""
+
+from repro.experiments import fig7_approximate_admission
+
+from conftest import run_once
+
+
+def test_fig7_approximate_admission(benchmark):
+    result = run_once(
+        benchmark,
+        fig7_approximate_admission.run,
+        resolutions=(2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0),
+        loads=(1.0, 1.6),
+        horizon=1500.0,
+        seeds=(1, 2, 3),
+    )
+    print()
+    result.print()
+
+    for series in result.series:
+        assert series.y_at(100.0) <= 0.01, "paper: ~no misses at high resolution"
+        assert series.y_at(200.0) <= 0.01
+        assert max(series.ys()) < 0.25, "misses stay a small fraction"

@@ -1,0 +1,47 @@
+"""Benchmark: regenerate Table 1 / Section 5 — the TSCE case study.
+
+Static question: reserve synthetic utilization for Weapon Detection,
+Weapon Targeting and UAV Video and check Eq. 13 (paper: reservations
+0.4 / 0.25 / 0.1, region value 0.93 < 1).
+
+Dynamic question: how many Target Tracking instances can be admitted
+on top of the reservation with a 200 ms admission wait (paper: ~550
+tracks, stage 1 the bottleneck at ~95% utilization).
+"""
+
+import pytest
+
+from repro.experiments import tab1_tsce
+
+from conftest import run_once
+
+
+def test_tab1_tsce(benchmark):
+    result, tab1 = run_once(
+        benchmark,
+        tab1_tsce.run,
+        track_counts=(200, 400, 500, 550, 600, 700),
+        horizon=15.0,
+        admission_wait=0.2,
+        seed=2,
+    )
+    print()
+    print(f"reserved: {tuple(round(u, 3) for u in tab1.plan.reserved)} "
+          f"(paper: 0.4, 0.25, 0.1)")
+    print(f"Eq. 13 value: {tab1.plan.region_value:.4f} (paper: 0.93), "
+          f"feasible: {tab1.plan.feasible}")
+    result.print()
+    print(f"sustained tracks: {tab1.sustained_tracks} (paper: ~550); "
+          f"stage-1 utilization there: "
+          f"{tab1.bottleneck_utilization_at_sustained():.3f} (paper: ~0.95)")
+
+    # Static certification matches the paper exactly.
+    assert tab1.plan.reserved == pytest.approx((0.4, 0.25, 0.1))
+    assert tab1.plan.region_value == pytest.approx(0.93, abs=0.005)
+    assert tab1.plan.feasible
+
+    # Dynamic capacity: hundreds of tracks, same ballpark as ~550.
+    assert tab1.sustained_tracks >= 500
+    assert tab1.bottleneck_utilization_at_sustained() > 0.90
+    # Admission control converts overload into rejections, not misses.
+    assert max(result.series[2].ys()) == 0.0

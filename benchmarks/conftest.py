@@ -1,0 +1,17 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` module regenerates one paper artifact (Figure 4-7,
+Table 1) or an ablation, printing the measured series next to the
+paper's qualitative expectation.  Benchmarks run each experiment once
+(``pedantic`` with one round): the interesting output is the series,
+and the benchmark timing doubles as a record of harness cost.
+
+Run:  pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Execute ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,86 @@
+"""Arbitrary task graphs and Theorem 2 (paper Section 3.3, Figure 3).
+
+Builds the paper's example graph — R1 -> (R2 | R3) -> R4 — both as a
+series/parallel delay expression (the way Eq. 16 is written) and as an
+explicit DAG, evaluates the feasible region, demonstrates the shared-
+processor remark (subtasks 1 and 4 on one CPU), and finishes with a
+simulated DAG workload under Theorem-2 admission control.
+
+Run:  python examples/dag_feasibility.py
+"""
+
+from repro import TaskGraph, leaf, par, seq
+from repro.sim.graphrun import GraphPipelineSimulation, GraphTask
+
+
+def eq16_example() -> None:
+    print("=" * 70)
+    print("Eq. 16: the Figure-3 task graph R1 -> (R2 | R3) -> R4")
+    print("=" * 70)
+    expression = seq(leaf("R1"), par(leaf("R2"), leaf("R3")), leaf("R4"))
+    utils = {"R1": 0.2, "R2": 0.3, "R3": 0.1, "R4": 0.2}
+    print(f"   per-resource synthetic utilization: {utils}")
+    print(f"   d(f(U_1), max(f(U_2), f(U_3)), f(U_4)) = "
+          f"{expression.region_value(utils):.4f}")
+    print(f"   feasible (<= alpha = 1): {expression.is_feasible(utils)}")
+
+    graph = TaskGraph(
+        resource_of={1: "R1", 2: "R2", 3: "R3", 4: "R4"},
+        edges=[(1, 2), (1, 3), (2, 4), (3, 4)],
+    )
+    print(f"   critical-path evaluation agrees: "
+          f"{graph.region_value(utils):.4f}")
+    delays = {1: 1.0, 2: 5.0, 3: 2.0, 4: 3.0}
+    print(f"   with per-stage delays {delays}: end-to-end = "
+          f"{graph.critical_path_delay(delays):.1f} along path "
+          f"{graph.critical_path(delays)}\n")
+
+
+def shared_processor_remark() -> None:
+    print("=" * 70)
+    print("Shared processors: subtasks 1 and 4 on the same CPU")
+    print("=" * 70)
+    graph = TaskGraph(
+        resource_of={1: "P1", 2: "R2", 3: "R3", 4: "P1"},
+        edges=[(1, 2), (1, 3), (2, 4), (3, 4)],
+    )
+    utils = {"P1": 0.2, "R2": 0.3, "R3": 0.1}
+    print("   U_4 = U_1 is the synthetic utilization of processor P1;")
+    print(f"   the region value is {graph.region_value(utils):.4f} "
+          f"(P1's term appears on both ends of the path)\n")
+
+
+def simulated_dag_workload() -> None:
+    print("=" * 70)
+    print("Simulated diamond-DAG workload with Theorem-2 admission")
+    print("=" * 70)
+    import random
+
+    graph = TaskGraph(
+        resource_of={1: "R1", 2: "R2", 3: "R3", 4: "R4"},
+        edges=[(1, 2), (1, 3), (2, 4), (3, 4)],
+    )
+    sim = GraphPipelineSimulation(resources=["R1", "R2", "R3", "R4"])
+    rng = random.Random(7)
+    t = 0.0
+    for _ in range(500):
+        t += rng.expovariate(0.8)
+        deadline = rng.uniform(20.0, 60.0)
+        costs = {k: rng.expovariate(1.0 / 0.8) for k in (1, 2, 3, 4)}
+        sim.offer_at(
+            GraphTask.create(
+                arrival_time=t, deadline=deadline, graph=graph, costs=costs
+            )
+        )
+    report = sim.run(t + 100.0)
+    print(f"   offered:   {report.generated}")
+    print(f"   admitted:  {report.admitted} ({report.accept_ratio:.1%})")
+    print(f"   misses:    {report.miss_ratio():.4%} (always 0 under exact AC)")
+    print(f"   resource utilizations: "
+          f"{[f'{u:.3f}' for u in report.utilizations()]}\n")
+
+
+if __name__ == "__main__":
+    eq16_example()
+    shared_processor_remark()
+    simulated_dag_workload()

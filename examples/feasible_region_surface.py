@@ -1,0 +1,77 @@
+"""Exporting the feasible-region surface for plotting (paper Figure concept).
+
+The paper's key geometric object is the bounding *surface* in the
+utilization space: `sum_j f(U_j) = 1`.  This example samples
+
+- the 2-stage boundary curve (`f(U_1) + f(U_2) = 1`), and
+- the 3-stage boundary surface,
+
+writes both to CSV for external plotting tools, and renders an ASCII
+contour of the two-stage region so the shape is visible without any
+plotting dependency.  The curve is concave toward the origin: each
+stage's admissible utilization shrinks nonlinearly as the others load
+up, pinching at the uniprocessor bound `2 - sqrt(2) ~ 0.586` on each
+axis.
+
+Run:  python examples/feasible_region_surface.py [output-directory]
+"""
+
+import csv
+import sys
+
+from repro import PipelineFeasibleRegion, UNIPROCESSOR_APERIODIC_BOUND
+
+
+def export_curve_2d(directory: str) -> str:
+    region = PipelineFeasibleRegion(num_stages=2)
+    path = f"{directory}/feasible_region_2d.csv"
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["u1", "u2"])
+        for u1, u2 in region.boundary_curve_2d(samples=201):
+            writer.writerow([f"{u1:.6f}", f"{u2:.6f}"])
+    return path
+
+
+def export_surface_3d(directory: str) -> str:
+    region = PipelineFeasibleRegion(num_stages=3)
+    path = f"{directory}/feasible_region_3d.csv"
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["u1", "u2", "u3"])
+        for u1, u2, u3 in region.boundary_surface_3d(samples=61):
+            writer.writerow([f"{u1:.6f}", f"{u2:.6f}", f"{u3:.6f}"])
+    return path
+
+
+def ascii_contour() -> None:
+    """Draw the 2-stage region: '#' inside, '.' outside."""
+    region = PipelineFeasibleRegion(num_stages=2)
+    rows = 20
+    cols = 40
+    top = 0.65
+    print(f"   two-stage feasible region (axes 0..{top}, '#' = feasible)")
+    for r in range(rows, -1, -1):
+        u2 = top * r / rows
+        cells = []
+        for c in range(cols + 1):
+            u1 = top * c / cols
+            cells.append("#" if region.contains((u1, u2)) else ".")
+        axis = f"{u2:4.2f} |" if r % 5 == 0 else "     |"
+        print(axis + "".join(cells))
+    print("     +" + "-" * (cols + 1))
+    print("      0" + " " * (cols - 6) + f"{top:.2f}  (U1)")
+    print(f"   each axis pinches at the uniprocessor bound "
+          f"{UNIPROCESSOR_APERIODIC_BOUND:.4f}")
+
+
+if __name__ == "__main__":
+    directory = sys.argv[1] if len(sys.argv) > 1 else "."
+    print("=" * 64)
+    print("The bounding surface in utilization space")
+    print("=" * 64)
+    ascii_contour()
+    print()
+    print("CSV exports for external plotting:")
+    print("  ", export_curve_2d(directory))
+    print("  ", export_surface_3d(directory))

@@ -1,0 +1,75 @@
+"""Periodic workloads under the aperiodic framework (paper Section 1).
+
+"The analysis presented in the paper, while geared towards aperiodic
+tasks, also provides sufficient (albeit pessimistic) feasibility
+conditions for periodic workloads, since periodic arrivals are a
+special case of aperiodic ones."
+
+This example quantifies that trade-off on a single resource: a family
+of periodic task sets is pushed through every admission test in the
+repository — the aperiodic feasible region (coincident-release worst
+case), Liu & Layland, the hyperbolic bound, and exact response-time
+analysis — showing where each one stops accepting.
+
+Run:  python examples/periodic_admission.py
+"""
+
+from repro.analysis.comparison import (
+    PeriodicTaskParams,
+    compare_periodic_admission,
+)
+
+
+def sweep() -> None:
+    print("=" * 72)
+    print("Two implicit-deadline tasks (P = 10 and 20), utilization swept")
+    print("=" * 72)
+    print(f"{'per-task U':>11s} {'total U':>8s} | {'aperiodic':>9s} {'L&L':>5s} "
+          f"{'hyperb.':>7s} {'RTA':>5s}")
+    for per_task_u in (0.10, 0.20, 0.25, 0.30, 0.35, 0.41, 0.45, 0.50):
+        tasks = [
+            PeriodicTaskParams(period=10.0, wcet=10.0 * per_task_u),
+            PeriodicTaskParams(period=20.0, wcet=20.0 * per_task_u),
+        ]
+        result = compare_periodic_admission(tasks)
+        mark = lambda ok: "yes" if ok else " - "
+        print(
+            f"{per_task_u:>11.2f} {result.total_utilization:>8.2f} | "
+            f"{mark(result.aperiodic_region):>9s} {mark(result.liu_layland):>5s} "
+            f"{mark(result.hyperbolic):>7s} {mark(result.rta):>5s}"
+        )
+    print()
+    print("Reading the table (each test is sufficient; RTA is exact):")
+    print(" - The aperiodic region stops first (~0.29 per task: the")
+    print("   coincident-release peak hits 2 - sqrt(2) ~ 0.586) — the price")
+    print("   of assuming nothing about inter-arrival times.")
+    print(" - Liu & Layland accepts until total U ~ 0.83 (n=2 bound),")
+    print("   the hyperbolic bound a little beyond, RTA the furthest.")
+    print()
+    print("That pessimism is what Section 5 spends deliberately: reserving")
+    print("synthetic utilization for periodic tasks buys the ability to")
+    print("admit *unpredictable aperiodic* arrivals with hard guarantees.")
+
+
+def constrained_deadlines() -> None:
+    print()
+    print("=" * 72)
+    print("Constrained deadlines (D < P): only RTA still applies")
+    print("=" * 72)
+    tasks = [
+        PeriodicTaskParams(period=10.0, wcet=1.0, deadline=2.0),
+        PeriodicTaskParams(period=50.0, wcet=3.0, deadline=6.0),
+    ]
+    result = compare_periodic_admission(tasks)
+    print(f"synthetic peak (sum C/D): {result.synthetic_peak:.3f}")
+    print(f"aperiodic region: {result.aperiodic_region}")
+    print(f"RTA verdict: {result.rta}, worst response times: "
+          f"{tuple(result.worst_response_times)}")
+    print("The utilization-based periodic bounds assume implicit deadlines;")
+    print("the aperiodic region and RTA handle constrained deadlines")
+    print("natively (the region uses C/D, not C/P).")
+
+
+if __name__ == "__main__":
+    sweep()
+    constrained_deadlines()

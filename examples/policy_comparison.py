@@ -1,0 +1,72 @@
+"""Scheduling-policy comparison: urgency inversion in action (Section 2).
+
+Deadline-monotonic is the optimal fixed-priority policy for aperiodic
+tasks (alpha = 1).  A policy that inverts urgency — here, random
+priorities — must shrink its admission budget to
+alpha = D_least / D_most (Eq. 12) to stay safe.  This example runs the
+same workload under:
+
+- DM with budget 1 (the paper's evaluation configuration);
+- random priorities with their proper shrunken budget (safe, admits
+  less);
+- random priorities *unsoundly* admitted against the DM budget (can
+  miss deadlines);
+- EDF as an informational comparator (not fixed-priority in the
+  paper's sense, so the region theory does not cover it).
+
+Run:  python examples/policy_comparison.py
+"""
+
+from repro import balanced_workload, run_pipeline_simulation
+from repro.sim.policies import (
+    DeadlineMonotonic,
+    EarliestDeadlineFirst,
+    RandomPriority,
+)
+
+DEADLINE_SPREAD = 0.5
+#: Worst-case urgency inversion for deadlines uniform in mean*(1 +/- spread).
+ALPHA_RANDOM = (1 - DEADLINE_SPREAD) / (1 + DEADLINE_SPREAD)
+
+
+def main() -> None:
+    workload = balanced_workload(
+        num_stages=2, load=1.5, resolution=50.0, deadline_spread=DEADLINE_SPREAD
+    )
+    configs = [
+        ("deadline-monotonic, budget 1.00", DeadlineMonotonic(), 1.0),
+        (f"random priorities, budget {ALPHA_RANDOM:.2f}", RandomPriority(7), ALPHA_RANDOM),
+        ("random priorities, budget 1.00 (UNSOUND)", RandomPriority(7), 1.0),
+        ("EDF (outside the theory), budget 1.00", EarliestDeadlineFirst(), 1.0),
+    ]
+    print("=" * 74)
+    print("Same workload (2 stages, 150% load), four policy configurations")
+    print("=" * 74)
+    print(f"{'configuration':42s} {'accept':>7s} {'util':>7s} {'miss':>9s}")
+    for label, policy, alpha in configs:
+        accepts, utils, misses = [], [], []
+        for seed in (1, 2, 3):
+            report = run_pipeline_simulation(
+                workload, horizon=2000.0, seed=seed, policy=policy, alpha=alpha
+            )
+            accepts.append(report.accept_ratio)
+            utils.append(report.average_utilization())
+            misses.append(report.miss_ratio())
+        print(
+            f"{label:42s} {sum(accepts) / 3:7.3f} {sum(utils) / 3:7.3f} "
+            f"{sum(misses) / 3:9.5f}"
+        )
+    print()
+    print("Reading the table:")
+    print(" - DM admits the most and never misses (alpha = 1 is free).")
+    print(" - Random priorities with the proper alpha admit less — the")
+    print("   price of urgency inversion — but are provably safe.")
+    print(" - Random priorities against the DM budget can miss deadlines:")
+    print("   the region test was run with the wrong alpha.")
+    print(" - EDF usually performs well but has no coverage from the")
+    print("   fixed-priority feasible region (its priority depends on")
+    print("   arrival times).")
+
+
+if __name__ == "__main__":
+    main()

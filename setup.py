@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` on this machine lacks
+``bdist_wheel``, so the legacy ``setup.py``-based editable path
+(``--no-use-pep517``) is kept working.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,143 @@
+"""repro — feasible regions for aperiodic end-to-end deadlines in resource pipelines.
+
+A reproduction of *"A Feasible Region for Meeting Aperiodic End-to-end
+Deadlines in Resource Pipelines"* (Abdelzaher, Thaker & Lardieri,
+ICDCS 2004): the multi-dimensional synthetic-utilization feasible
+region, the O(N) admission controller built on it, extensions to
+arbitrary fixed-priority policies, critical sections (PCP), and
+arbitrary task graphs — plus the discrete-event simulation substrate
+and the full evaluation harness (Figures 4-7, Table 1 / TSCE).
+
+Quickstart::
+
+    from repro import (
+        PipelineAdmissionController, make_task, stage_delay_factor,
+    )
+
+    controller = PipelineAdmissionController(num_stages=3)
+    task = make_task(arrival_time=0.0, deadline=0.1,
+                     computation_times=[0.004, 0.002, 0.001])
+    decision = controller.request(task, now=0.0)
+    assert decision.admitted
+
+Subpackages:
+
+- :mod:`repro.core` — the analytical contribution (bounds, regions,
+  admission control, DAG algebra);
+- :mod:`repro.sim` — the discrete-event simulation substrate;
+- :mod:`repro.analysis` — uniprocessor/periodic baselines;
+- :mod:`repro.apps` — TSCE and web-server application models;
+- :mod:`repro.experiments` — one module per paper figure/table.
+"""
+
+from .core import (
+    UNIPROCESSOR_APERIODIC_BOUND,
+    AdmissionDecision,
+    CriticalTask,
+    DagFeasibleRegion,
+    DelayExpression,
+    DemandModel,
+    ExactDemand,
+    MeanDemand,
+    ScaledDemand,
+    PeriodicTaskSpec,
+    PipelineAdmissionController,
+    PipelineFeasibleRegion,
+    PipelineTask,
+    ReservationPlan,
+    StageUtilizationTracker,
+    TaskGraph,
+    alpha_deadline_monotonic,
+    alpha_random_priority,
+    build_reservation,
+    inverse_stage_delay_factor,
+    is_dag_feasible,
+    is_pipeline_feasible,
+    leaf,
+    make_task,
+    par,
+    periodic_spec,
+    pipeline_margin,
+    pipeline_region_value,
+    region_budget,
+    seq,
+    single_resource_bound,
+    stage_delay,
+    stage_delay_factor,
+    uniform_per_stage_bound,
+    urgency_inversion_alpha,
+)
+from .sim import (
+    DeadlineMonotonic,
+    EarliestDeadlineFirst,
+    FifoPolicy,
+    GraphPipelineSimulation,
+    ImportanceFirst,
+    PipelineSimulation,
+    PipelineWorkload,
+    RandomPriority,
+    SimulationReport,
+    Simulator,
+    balanced_workload,
+    imbalanced_two_stage_workload,
+    run_pipeline_simulation,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core analytics
+    "stage_delay_factor",
+    "inverse_stage_delay_factor",
+    "stage_delay",
+    "pipeline_region_value",
+    "pipeline_margin",
+    "region_budget",
+    "is_pipeline_feasible",
+    "single_resource_bound",
+    "uniform_per_stage_bound",
+    "UNIPROCESSOR_APERIODIC_BOUND",
+    "urgency_inversion_alpha",
+    "alpha_deadline_monotonic",
+    "alpha_random_priority",
+    # task model
+    "PipelineTask",
+    "PeriodicTaskSpec",
+    "make_task",
+    "periodic_spec",
+    # regions
+    "PipelineFeasibleRegion",
+    "DagFeasibleRegion",
+    "TaskGraph",
+    "DelayExpression",
+    "leaf",
+    "seq",
+    "par",
+    "is_dag_feasible",
+    # admission
+    "PipelineAdmissionController",
+    "AdmissionDecision",
+    "DemandModel",
+    "ExactDemand",
+    "MeanDemand",
+    "ScaledDemand",
+    "StageUtilizationTracker",
+    "CriticalTask",
+    "ReservationPlan",
+    "build_reservation",
+    # simulation
+    "Simulator",
+    "PipelineSimulation",
+    "GraphPipelineSimulation",
+    "run_pipeline_simulation",
+    "PipelineWorkload",
+    "balanced_workload",
+    "imbalanced_two_stage_workload",
+    "SimulationReport",
+    "DeadlineMonotonic",
+    "EarliestDeadlineFirst",
+    "FifoPolicy",
+    "RandomPriority",
+    "ImportanceFirst",
+]

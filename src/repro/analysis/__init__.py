@@ -1,0 +1,57 @@
+"""Analytical baselines and reductions.
+
+- :mod:`repro.analysis.singlenode` — uniprocessor aperiodic bounds
+  (the paper's single-resource degenerate case);
+- :mod:`repro.analysis.periodic` — Liu & Layland, hyperbolic, and
+  harmonic-chain bounds (the periodic-model related work);
+- :mod:`repro.analysis.responsetime` — fixed-priority response-time
+  analysis and holistic pipeline analysis (the traditional alternative
+  to end-to-end aperiodic regions);
+- :mod:`repro.analysis.comparison` — every single-resource admission
+  test side by side on a periodic task set (the Section-1
+  "sufficient albeit pessimistic" claim made inspectable).
+"""
+
+from .comparison import (
+    AdmissionComparison,
+    PeriodicTaskParams,
+    compare_periodic_admission,
+)
+from .periodic import (
+    harmonic_chain_bound,
+    harmonic_chain_count,
+    hyperbolic_bound_holds,
+    is_liu_layland_schedulable,
+    liu_layland_bound,
+    rate_monotonic_priorities,
+)
+from .responsetime import (
+    HolisticResult,
+    PeriodicStageTask,
+    holistic_pipeline_analysis,
+    response_time_analysis,
+)
+from .singlenode import (
+    is_uniprocessor_feasible,
+    max_admissible_contribution,
+    uniprocessor_bound,
+)
+
+__all__ = [
+    "PeriodicTaskParams",
+    "AdmissionComparison",
+    "compare_periodic_admission",
+    "uniprocessor_bound",
+    "is_uniprocessor_feasible",
+    "max_admissible_contribution",
+    "liu_layland_bound",
+    "is_liu_layland_schedulable",
+    "hyperbolic_bound_holds",
+    "harmonic_chain_count",
+    "harmonic_chain_bound",
+    "rate_monotonic_priorities",
+    "PeriodicStageTask",
+    "response_time_analysis",
+    "holistic_pipeline_analysis",
+    "HolisticResult",
+]

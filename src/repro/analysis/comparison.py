@@ -1,0 +1,171 @@
+"""Side-by-side admission tests for periodic task sets.
+
+Section 1: "The analysis presented in the paper, while geared towards
+aperiodic tasks, also provides sufficient (albeit pessimistic)
+feasibility conditions for periodic workloads, since periodic arrivals
+are a special case of aperiodic ones."  This module makes that
+trade-off inspectable: given a periodic task set on a single resource,
+run every admission test the repository implements and report which
+accept it.
+
+The expected ordering of power (each test accepts a superset of the
+previous one's task sets, for implicit-deadline sets):
+
+    aperiodic region  ⊆  Liu & Layland  ⊆  hyperbolic  ⊆  exact RTA
+
+— the aperiodic region is the most pessimistic (it assumes nothing
+about inter-arrival times, so it must tolerate coincident bursts) and
+response-time analysis is exact for fixed-priority scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.bounds import stage_delay_factor
+from .periodic import hyperbolic_bound_holds, is_liu_layland_schedulable
+from .responsetime import PeriodicStageTask, response_time_analysis
+from .singlenode import is_uniprocessor_feasible
+
+__all__ = ["PeriodicTaskParams", "AdmissionComparison", "compare_periodic_admission"]
+
+
+@dataclass(frozen=True)
+class PeriodicTaskParams:
+    """One periodic task on a single resource.
+
+    Attributes:
+        period: Minimum inter-arrival time ``P`` (> 0).
+        wcet: Worst-case execution time ``C`` (>= 0, <= deadline).
+        deadline: Relative deadline; defaults to the period.
+    """
+
+    period: float
+    wcet: float
+    deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError(f"period must be > 0, got {self.period}")
+        if self.wcet < 0:
+            raise ValueError(f"wcet must be >= 0, got {self.wcet}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline must be > 0, got {self.deadline}")
+
+    @property
+    def effective_deadline(self) -> float:
+        return self.period if self.deadline is None else self.deadline
+
+    @property
+    def utilization(self) -> float:
+        """Long-run utilization ``C / P``."""
+        return self.wcet / self.period
+
+    @property
+    def synthetic_contribution(self) -> float:
+        """Instantaneous synthetic-utilization contribution ``C / D``."""
+        return self.wcet / self.effective_deadline
+
+
+@dataclass(frozen=True)
+class AdmissionComparison:
+    """Verdicts of every admission test on one periodic task set.
+
+    All verdicts are *sufficient* conditions except ``rta``, which is
+    exact for independent fixed-priority tasks on one resource.
+
+    Attributes:
+        aperiodic_region: The paper's synthetic-utilization test at the
+            worst instant (all tasks released together):
+            ``sum C_i / D_i <= 2 - sqrt(2)``.
+        liu_layland: ``sum C_i / P_i <= n (2^{1/n} - 1)``.
+        hyperbolic: ``prod (C_i / P_i + 1) <= 2``.
+        rta: Deadline-monotonic response-time analysis.
+        total_utilization: ``sum C_i / P_i``.
+        synthetic_peak: ``sum C_i / D_i`` (the aperiodic test's input).
+        worst_response_times: Per-task WCRT from RTA (``None`` where
+            divergent).
+    """
+
+    aperiodic_region: bool
+    liu_layland: bool
+    hyperbolic: bool
+    rta: bool
+    total_utilization: float
+    synthetic_peak: float
+    worst_response_times: Tuple[Optional[float], ...]
+
+    def accepted_by(self) -> List[str]:
+        """Names of the tests that accept the set."""
+        names = []
+        if self.aperiodic_region:
+            names.append("aperiodic-region")
+        if self.liu_layland:
+            names.append("liu-layland")
+        if self.hyperbolic:
+            names.append("hyperbolic")
+        if self.rta:
+            names.append("rta")
+        return names
+
+
+def compare_periodic_admission(
+    tasks: Sequence[PeriodicTaskParams],
+) -> AdmissionComparison:
+    """Run every single-resource admission test on a periodic set.
+
+    The aperiodic-region verdict charges each task its synthetic
+    contribution ``C_i / D_i`` simultaneously — the coincident-release
+    worst case an aperiodic controller must survive, since it makes no
+    minimum-inter-arrival assumption.  The periodic tests exploit the
+    known periods and are correspondingly less pessimistic; RTA is
+    exact.  L&L and the hyperbolic bound are evaluated only for
+    implicit-deadline tasks (``D = P``); for constrained deadlines they
+    report ``False`` (not applicable) while RTA still decides exactly.
+
+    Args:
+        tasks: The periodic set (may be empty: everything accepts it).
+    """
+    if not tasks:
+        return AdmissionComparison(
+            aperiodic_region=True,
+            liu_layland=True,
+            hyperbolic=True,
+            rta=True,
+            total_utilization=0.0,
+            synthetic_peak=0.0,
+            worst_response_times=(),
+        )
+    synthetic_peak = sum(t.synthetic_contribution for t in tasks)
+    total_utilization = sum(t.utilization for t in tasks)
+    aperiodic_ok = synthetic_peak < 1.0 and is_uniprocessor_feasible(synthetic_peak)
+
+    implicit = all(t.deadline is None or t.deadline == t.period for t in tasks)
+    utilizations = [t.utilization for t in tasks]
+    ll_ok = implicit and is_liu_layland_schedulable(utilizations)
+    hb_ok = implicit and hyperbolic_bound_holds(utilizations)
+
+    rta_tasks = [
+        PeriodicStageTask(
+            name=f"task{i}",
+            period=t.period,
+            wcet=t.wcet,
+            deadline=t.effective_deadline,
+        )
+        for i, t in enumerate(tasks)
+    ]
+    responses = response_time_analysis(rta_tasks)
+    rta_ok = all(
+        r is not None and r <= t.effective_deadline
+        for r, t in zip(responses, tasks)
+    )
+    return AdmissionComparison(
+        aperiodic_region=aperiodic_ok,
+        liu_layland=ll_ok,
+        hyperbolic=hb_ok,
+        rta=rta_ok,
+        total_utilization=total_utilization,
+        synthetic_peak=synthetic_peak,
+        worst_response_times=tuple(responses),
+    )

@@ -1,0 +1,67 @@
+"""Uniprocessor aperiodic utilization bounds (Abdelzaher & Lu lineage).
+
+The feasible region of this paper reduces, for a single resource, to
+the uniprocessor aperiodic bounds of the authors' earlier work:
+
+- deadline-monotonic: ``U <= 1 / (1 + sqrt(1/2)) = 2 - sqrt(2)``;
+- arbitrary fixed-priority with urgency-inversion parameter ``alpha``
+  and normalized blocking ``beta``: ``f(U) <= alpha (1 - beta)``.
+
+These are exposed both for direct use (single-server admission
+control) and as cross-checks that the pipeline region degenerates
+correctly (tested in ``tests/test_singlenode.py``).
+"""
+
+from __future__ import annotations
+
+from ..core.bounds import (
+    inverse_stage_delay_factor,
+    region_budget,
+    stage_delay_factor,
+)
+
+__all__ = [
+    "uniprocessor_bound",
+    "is_uniprocessor_feasible",
+    "max_admissible_contribution",
+]
+
+
+def uniprocessor_bound(alpha: float = 1.0, beta: float = 0.0) -> float:
+    """The single-resource synthetic utilization bound.
+
+    Solves ``f(U) = alpha (1 - beta)``; with ``alpha = 1``, ``beta = 0``
+    this is ``2 - sqrt(2) ~ 0.5858``, the optimal fixed-priority
+    aperiodic bound (deadline-monotonic).
+
+    Args:
+        alpha: Urgency-inversion parameter of the scheduling policy.
+        beta: Normalized worst-case blocking ``max_i B_i / D_i``.
+    """
+    betas = [beta] if beta else None
+    return inverse_stage_delay_factor(region_budget(alpha, betas))
+
+
+def is_uniprocessor_feasible(
+    utilization: float, alpha: float = 1.0, beta: float = 0.0
+) -> bool:
+    """Check the scalar bound: all deadlines met while ``U(t)`` stays below it."""
+    if utilization >= 1.0:
+        return False
+    betas = [beta] if beta else None
+    return stage_delay_factor(utilization) <= region_budget(alpha, betas)
+
+
+def max_admissible_contribution(
+    current_utilization: float, alpha: float = 1.0, beta: float = 0.0
+) -> float:
+    """Largest extra ``C/D`` a single resource can accept right now.
+
+    Args:
+        current_utilization: Present synthetic utilization.
+
+    Returns:
+        Headroom up to the bound (0.0 when already at or above it).
+    """
+    bound = uniprocessor_bound(alpha, beta)
+    return max(0.0, bound - current_utilization)

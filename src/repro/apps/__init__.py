@@ -1,0 +1,37 @@
+"""Application models built on the public API.
+
+- :mod:`repro.apps.tsce` — the Total Ship Computing Environment case
+  study (Section 5, Table 1);
+- :mod:`repro.apps.webserver` — the multi-tier web server from the
+  introduction's motivation.
+"""
+
+from .tsce import (
+    NUM_STAGES,
+    TrackingCapacityResult,
+    display_pipeline_spec,
+    simulate_tracking_capacity,
+    target_tracking_spec,
+    tsce_critical_tasks,
+    tsce_reservation,
+    uav_video,
+    weapon_detection,
+    weapon_targeting,
+)
+from .webserver import DEFAULT_REQUEST_MIX, RequestClass, WebServerModel
+
+__all__ = [
+    "NUM_STAGES",
+    "weapon_detection",
+    "weapon_targeting",
+    "uav_video",
+    "target_tracking_spec",
+    "display_pipeline_spec",
+    "tsce_critical_tasks",
+    "tsce_reservation",
+    "TrackingCapacityResult",
+    "simulate_tracking_capacity",
+    "RequestClass",
+    "DEFAULT_REQUEST_MIX",
+    "WebServerModel",
+]

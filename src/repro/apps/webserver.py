@@ -1,0 +1,243 @@
+"""Multi-tier web server model (the introduction's motivating example).
+
+Requests on a web server are processed by a front end and several
+back-end tiers (business logic, database).  The intro motivates the
+aperiodic pipeline theory with exactly this workload: high task
+resolution (individual request execution times are much smaller than
+response-time requirements, "allowing hundreds of requests to be
+handled concurrently"), aperiodic arrivals, and per-class QoS
+guarantees.
+
+This module packages a three-tier request pipeline with request
+classes (static, dynamic, transactional) and helpers to size the
+deployment against the feasible region.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, Sequence, Tuple
+
+from ..core.bounds import pipeline_region_value, region_budget
+from ..core.task import PipelineTask, make_task
+from ..sim.metrics import SimulationReport
+from ..sim.pipeline import PipelineSimulation
+
+__all__ = [
+    "RequestClass",
+    "DEFAULT_REQUEST_MIX",
+    "WebServerModel",
+]
+
+#: Tier names, in pipeline order.
+TIERS = ("front-end", "business-logic", "database")
+
+
+@dataclass(frozen=True)
+class RequestClass:
+    """A class of web requests with a response-time guarantee.
+
+    Attributes:
+        name: Class name (e.g. ``"static"``).
+        mean_tier_costs: Mean exponential service demand per tier, in
+            seconds.
+        deadline: Relative response-time guarantee, in seconds.
+        weight: Relative arrival share within the mix.
+        importance: Shedding order (higher is kept longer).
+    """
+
+    name: str
+    mean_tier_costs: Tuple[float, float, float]
+    deadline: float
+    weight: float
+    importance: int = 0
+
+    def __post_init__(self) -> None:
+        if self.deadline <= 0:
+            raise ValueError(f"{self.name}: deadline must be > 0")
+        if any(c < 0 for c in self.mean_tier_costs):
+            raise ValueError(f"{self.name}: tier costs must be >= 0")
+        if self.weight <= 0:
+            raise ValueError(f"{self.name}: weight must be > 0")
+
+    @property
+    def mean_total_cost(self) -> float:
+        return sum(self.mean_tier_costs)
+
+    @property
+    def resolution(self) -> float:
+        """Task resolution of the class (deadline / mean total demand)."""
+        total = self.mean_total_cost
+        return float("inf") if total == 0 else self.deadline / total
+
+
+#: A representative mix: cheap cached static pages, dynamic pages with
+#: business logic, and transactional requests dominated by the database.
+DEFAULT_REQUEST_MIX: Tuple[RequestClass, ...] = (
+    RequestClass(
+        name="static",
+        mean_tier_costs=(0.002, 0.000, 0.000),
+        deadline=0.5,
+        weight=0.6,
+        importance=0,
+    ),
+    RequestClass(
+        name="dynamic",
+        mean_tier_costs=(0.002, 0.008, 0.004),
+        deadline=1.0,
+        weight=0.3,
+        importance=1,
+    ),
+    RequestClass(
+        name="transactional",
+        mean_tier_costs=(0.002, 0.006, 0.020),
+        deadline=2.0,
+        weight=0.1,
+        importance=2,
+    ),
+)
+
+
+class WebServerModel:
+    """A three-tier server under utilization-based admission control.
+
+    Args:
+        request_mix: Request classes and their arrival shares.
+        arrival_rate: Total request arrival rate (requests/second).
+        admission_wait: Optional wait budget at the admission
+            controller (seconds).
+    """
+
+    def __init__(
+        self,
+        request_mix: Sequence[RequestClass] = DEFAULT_REQUEST_MIX,
+        arrival_rate: float = 100.0,
+        admission_wait: float = 0.0,
+    ) -> None:
+        if not request_mix:
+            raise ValueError("request mix must be non-empty")
+        if arrival_rate <= 0:
+            raise ValueError(f"arrival_rate must be > 0, got {arrival_rate}")
+        self.request_mix = tuple(request_mix)
+        self.arrival_rate = arrival_rate
+        self.admission_wait = admission_wait
+        total_weight = sum(c.weight for c in self.request_mix)
+        self._probabilities = [c.weight / total_weight for c in self.request_mix]
+
+    # ------------------------------------------------------------------
+    # Static sizing
+    # ------------------------------------------------------------------
+
+    def offered_tier_loads(self) -> Tuple[float, ...]:
+        """Mean offered load per tier: ``lambda * E[C_j]`` under the mix."""
+        loads = [0.0] * len(TIERS)
+        for cls, p in zip(self.request_mix, self._probabilities):
+            for j, cost in enumerate(cls.mean_tier_costs):
+                loads[j] += self.arrival_rate * p * cost
+        return tuple(loads)
+
+    def mean_synthetic_load(self) -> Tuple[float, ...]:
+        """Expected steady-state synthetic utilization per tier.
+
+        Each in-flight request of class ``k`` contributes
+        ``C_kj / D_k`` for ``D_k`` seconds, so by Little's law the
+        expected synthetic utilization equals
+        ``lambda_k * D_k * C_kj / D_k = lambda_k * C_kj`` summed over
+        classes — identical to the offered load.  (The admission test
+        constrains the *peak*, not the mean.)
+        """
+        return self.offered_tier_loads()
+
+    def static_headroom(self) -> float:
+        """Region budget left at the mean operating point.
+
+        Negative values mean the offered mix cannot even sustain its
+        average inside the feasible region — requests will be dropped
+        at steady state.
+        """
+        loads = self.offered_tier_loads()
+        if any(u >= 1.0 for u in loads):
+            return float("-inf")
+        return region_budget() - pipeline_region_value(loads)
+
+    def max_arrival_rate_within_region(self) -> float:
+        """Largest arrival rate whose *mean* operating point stays feasible.
+
+        Scales the mix rate until ``sum_j f(lambda * E[C_j]) = 1``
+        (bisection; monotone in the rate).
+        """
+        per_rate = [u / self.arrival_rate for u in self.offered_tier_loads()]
+
+        def value(rate: float) -> float:
+            utils = [min(rate * u, 1.0 - 1e-12) for u in per_rate]
+            return pipeline_region_value(utils)
+
+        lo, hi = 0.0, 1.0
+        while value(hi) < 1.0 and hi < 1e12:
+            hi *= 2.0
+        for _ in range(200):
+            mid = (lo + hi) / 2.0
+            if value(mid) <= 1.0:
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+
+    def requests(self, horizon: float, rng: random.Random) -> Iterator[PipelineTask]:
+        """Generate the Poisson request stream over ``[0, horizon)``."""
+        t = rng.expovariate(self.arrival_rate)
+        classes = list(self.request_mix)
+        while t < horizon:
+            cls = rng.choices(classes, weights=self._probabilities, k=1)[0]
+            costs = [
+                rng.expovariate(1.0 / c) if c > 0 else 0.0
+                for c in cls.mean_tier_costs
+            ]
+            yield make_task(
+                arrival_time=t,
+                deadline=cls.deadline,
+                computation_times=costs,
+                importance=cls.importance,
+            )
+            t += rng.expovariate(self.arrival_rate)
+
+    def simulate(
+        self, horizon: float = 60.0, seed: int = 0, warmup_fraction: float = 0.05
+    ) -> SimulationReport:
+        """Run the server under admission control and report.
+
+        Args:
+            horizon: Simulated seconds.
+            seed: RNG seed.
+            warmup_fraction: Fraction of the horizon excluded from
+                utilization measurement.
+        """
+        sim = PipelineSimulation(
+            num_stages=len(TIERS),
+            max_admission_wait=self.admission_wait,
+        )
+        rng = random.Random(seed)
+        sim.offer_stream(self.requests(horizon, rng))
+        return sim.run(horizon, warmup=horizon * warmup_fraction)
+
+    def per_class_accept_ratios(self, report: SimulationReport) -> Dict[str, float]:
+        """Accept ratio per request class (classes keyed by importance)."""
+        by_importance = {cls.importance: cls.name for cls in self.request_mix}
+        admitted: Dict[str, int] = {}
+        offered: Dict[str, int] = {}
+        for record in report.tasks:
+            name = by_importance.get(record.importance)
+            if name is None:
+                continue
+            offered[name] = offered.get(name, 0) + 1
+            if record.admitted:
+                admitted[name] = admitted.get(name, 0) + 1
+        return {
+            name: admitted.get(name, 0) / count
+            for name, count in offered.items()
+        }

@@ -1,0 +1,123 @@
+"""Core analytical machinery: task model, feasible regions, admission control.
+
+This package is pure computation — no simulation dependencies.  It
+implements the paper's primary contribution:
+
+- :mod:`repro.core.task` — aperiodic pipeline tasks and periodic specs;
+- :mod:`repro.core.bounds` — the stage delay factor ``f(U)`` and the
+  pipeline feasibility conditions (Eqs. 12/13/15);
+- :mod:`repro.core.alpha` — the urgency-inversion parameter ``alpha``;
+- :mod:`repro.core.synthetic` — synthetic-utilization accounting with
+  deadline expiry and idle resets;
+- :mod:`repro.core.dag` — series/parallel delay algebra and Theorem 2
+  for arbitrary task graphs;
+- :mod:`repro.core.regions` — region objects with boundary geometry;
+- :mod:`repro.core.admission` — the O(N) admission controller with
+  reservations, shedding, and approximate (mean-demand) mode;
+- :mod:`repro.core.reservation` — Section-5 reservation planning.
+"""
+
+from .admission import (
+    AdmissionDecision,
+    DemandModel,
+    ExactDemand,
+    MeanDemand,
+    PipelineAdmissionController,
+    ScaledDemand,
+)
+from .alpha import (
+    alpha_deadline_monotonic,
+    alpha_for_policy,
+    alpha_from_pairs,
+    alpha_random_priority,
+    urgency_inversion_alpha,
+)
+from .bounds import (
+    UNIPROCESSOR_APERIODIC_BOUND,
+    inverse_stage_delay_factor,
+    is_pipeline_feasible,
+    pipeline_margin,
+    pipeline_region_value,
+    region_budget,
+    single_resource_bound,
+    stage_delay,
+    stage_delay_factor,
+    uniform_per_stage_bound,
+)
+from .dag import (
+    DelayExpression,
+    TaskGraph,
+    dag_region_value,
+    is_dag_feasible,
+    leaf,
+    par,
+    seq,
+)
+from .regions import DagFeasibleRegion, PipelineFeasibleRegion
+from .reservation import (
+    CriticalTask,
+    ReservationPlan,
+    aperiodic_capacity,
+    build_reservation,
+)
+from .synthetic import StageUtilizationTracker
+from .task import (
+    PeriodicTaskSpec,
+    PipelineTask,
+    make_task,
+    periodic_spec,
+    task_priority_deadline_monotonic,
+    validate_task,
+)
+
+__all__ = [
+    # task
+    "PipelineTask",
+    "PeriodicTaskSpec",
+    "make_task",
+    "periodic_spec",
+    "task_priority_deadline_monotonic",
+    "validate_task",
+    # bounds
+    "stage_delay_factor",
+    "inverse_stage_delay_factor",
+    "stage_delay",
+    "pipeline_region_value",
+    "region_budget",
+    "is_pipeline_feasible",
+    "pipeline_margin",
+    "single_resource_bound",
+    "uniform_per_stage_bound",
+    "UNIPROCESSOR_APERIODIC_BOUND",
+    # alpha
+    "urgency_inversion_alpha",
+    "alpha_deadline_monotonic",
+    "alpha_random_priority",
+    "alpha_from_pairs",
+    "alpha_for_policy",
+    # synthetic
+    "StageUtilizationTracker",
+    # dag
+    "DelayExpression",
+    "TaskGraph",
+    "leaf",
+    "seq",
+    "par",
+    "dag_region_value",
+    "is_dag_feasible",
+    # regions
+    "PipelineFeasibleRegion",
+    "DagFeasibleRegion",
+    # admission
+    "PipelineAdmissionController",
+    "AdmissionDecision",
+    "DemandModel",
+    "ExactDemand",
+    "MeanDemand",
+    "ScaledDemand",
+    # reservation
+    "CriticalTask",
+    "ReservationPlan",
+    "build_reservation",
+    "aperiodic_capacity",
+]

@@ -1,0 +1,213 @@
+"""Feasible-region mathematics (Theorem 1 and Equations 12, 13, 15).
+
+The central quantity is the *stage delay factor*
+
+    f(U) = U (1 - U/2) / (1 - U)
+
+from the stage delay theorem (Theorem 1): a task spends at most
+``f(U_j) * D_max`` time units at stage ``j`` when the synthetic
+utilization of that stage never exceeds ``U_j``; ``D_max`` is the
+maximum end-to-end deadline of a higher-priority task.
+
+Summing per-stage delays and bounding by the end-to-end deadline gives
+the feasible region of a resource pipeline:
+
+- Eq. 13 (deadline-monotonic):       sum_j f(U_j) <= 1
+- Eq. 12 (arbitrary fixed priority): sum_j f(U_j) <= alpha
+- Eq. 15 (with blocking under PCP):  sum_j f(U_j) <= alpha (1 - sum_j beta_j)
+
+where ``alpha`` is the urgency-inversion parameter of the scheduling
+policy and ``beta_j = max_i B_ij / D_i`` is the normalized worst-case
+blocking at stage ``j``.
+
+For a single stage, ``f(U) <= 1`` solves to ``U <= 2 - sqrt(2)``, the
+uniprocessor aperiodic bound of Abdelzaher and Lu.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Sequence
+
+__all__ = [
+    "stage_delay_factor",
+    "inverse_stage_delay_factor",
+    "stage_delay",
+    "pipeline_region_value",
+    "region_budget",
+    "is_pipeline_feasible",
+    "pipeline_margin",
+    "single_resource_bound",
+    "uniform_per_stage_bound",
+    "UNIPROCESSOR_APERIODIC_BOUND",
+]
+
+#: The uniprocessor aperiodic utilization bound 1 / (1 + sqrt(1/2)) = 2 - sqrt(2).
+UNIPROCESSOR_APERIODIC_BOUND = 2.0 - math.sqrt(2.0)
+
+
+def stage_delay_factor(u: float) -> float:
+    """Return ``f(U) = U (1 - U/2) / (1 - U)`` from the stage delay theorem.
+
+    ``f`` is the normalized worst-case delay a task suffers at a stage
+    whose synthetic utilization never exceeds ``u``; the absolute delay
+    is ``f(u) * D_max``.  ``f`` is zero at ``u = 0``, strictly
+    increasing on ``[0, 1)``, and diverges as ``u -> 1``.
+
+    Args:
+        u: Synthetic utilization in ``[0, 1)``; ``u = 1`` returns
+            ``inf`` and values ``> 1`` raise.
+
+    Raises:
+        ValueError: If ``u`` is negative, above 1, or not finite.
+    """
+    if not math.isfinite(u):
+        raise ValueError(f"utilization must be finite, got {u}")
+    if u < 0.0 or u > 1.0:
+        raise ValueError(f"utilization must be within [0, 1], got {u}")
+    if u == 1.0:
+        return math.inf
+    return u * (1.0 - u / 2.0) / (1.0 - u)
+
+
+def inverse_stage_delay_factor(y: float) -> float:
+    """Solve ``f(U) = y`` for ``U`` in ``[0, 1)``.
+
+    Inverting ``U (1 - U/2) = y (1 - U)`` yields the quadratic
+    ``U^2 - 2 (1 + y) U + 2 y = 0`` whose root in ``[0, 1)`` is
+    ``U = (1 + y) - sqrt(1 + y^2)``.
+
+    The inverse is the workhorse for boundary computations: for
+    example, ``inverse_stage_delay_factor(1.0)`` is the uniprocessor
+    aperiodic bound ``2 - sqrt(2)``.
+
+    Args:
+        y: Target delay factor, ``>= 0``.
+
+    Raises:
+        ValueError: If ``y`` is negative or not finite.
+    """
+    if not math.isfinite(y):
+        raise ValueError(f"delay factor must be finite, got {y}")
+    if y < 0.0:
+        raise ValueError(f"delay factor must be >= 0, got {y}")
+    return (1.0 + y) - math.sqrt(1.0 + y * y)
+
+
+def stage_delay(u: float, d_max: float) -> float:
+    """Worst-case time a task spends at a stage (Theorem 1).
+
+    Args:
+        u: Lower bound on the maximum synthetic utilization of the stage.
+        d_max: Maximum end-to-end deadline of any higher-priority task
+            in the busy period.
+
+    Returns:
+        ``f(u) * d_max``.
+
+    Raises:
+        ValueError: If ``d_max`` is negative or ``u`` is out of range.
+    """
+    if d_max < 0:
+        raise ValueError(f"d_max must be >= 0, got {d_max}")
+    return stage_delay_factor(u) * d_max
+
+
+def pipeline_region_value(utilizations: Iterable[float]) -> float:
+    """Left-hand side of the pipeline feasibility condition: ``sum_j f(U_j)``."""
+    return sum(stage_delay_factor(u) for u in utilizations)
+
+
+def region_budget(alpha: float = 1.0, betas: Optional[Sequence[float]] = None) -> float:
+    """Right-hand side of the feasibility condition: ``alpha (1 - sum_j beta_j)``.
+
+    Args:
+        alpha: Urgency-inversion parameter of the scheduling policy, in
+            ``(0, 1]``.  ``alpha = 1`` for deadline-monotonic.
+        betas: Normalized worst-case blocking ``beta_j`` per stage, or
+            ``None`` for independent tasks.
+
+    Raises:
+        ValueError: If ``alpha`` is outside ``(0, 1]`` or any ``beta_j``
+            is negative, or the total blocking reaches 1 (the region
+            would be empty).
+    """
+    if not (0.0 < alpha <= 1.0):
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    total_beta = 0.0
+    if betas is not None:
+        for j, b in enumerate(betas):
+            if b < 0 or not math.isfinite(b):
+                raise ValueError(f"beta at stage {j} must be finite and >= 0, got {b}")
+            total_beta += b
+    if total_beta >= 1.0:
+        raise ValueError(
+            f"total normalized blocking {total_beta} >= 1 leaves an empty feasible region"
+        )
+    return alpha * (1.0 - total_beta)
+
+
+def is_pipeline_feasible(
+    utilizations: Sequence[float],
+    alpha: float = 1.0,
+    betas: Optional[Sequence[float]] = None,
+) -> bool:
+    """Check the pipeline feasibility condition (Eqs. 12, 13, 15).
+
+    All end-to-end deadlines are met as long as the instantaneous
+    per-stage synthetic utilizations satisfy
+    ``sum_j f(U_j) <= alpha (1 - sum_j beta_j)``.
+
+    Args:
+        utilizations: Synthetic utilization per stage.
+        alpha: Urgency-inversion parameter (1 for deadline-monotonic).
+        betas: Optional per-stage normalized blocking terms.
+    """
+    return pipeline_region_value(utilizations) <= region_budget(alpha, betas)
+
+
+def pipeline_margin(
+    utilizations: Sequence[float],
+    alpha: float = 1.0,
+    betas: Optional[Sequence[float]] = None,
+) -> float:
+    """Remaining budget ``alpha (1 - sum beta) - sum_j f(U_j)``.
+
+    Positive inside the feasible region, zero on the boundary, negative
+    outside.  Useful for admission-control headroom reporting.
+    """
+    return region_budget(alpha, betas) - pipeline_region_value(utilizations)
+
+
+def single_resource_bound(alpha: float = 1.0, beta: float = 0.0) -> float:
+    """Utilization bound for a single resource: solve ``f(U) = alpha (1 - beta)``.
+
+    With ``alpha = 1`` and ``beta = 0`` this is the uniprocessor
+    aperiodic bound ``1 / (1 + sqrt(1/2)) = 2 - sqrt(2) ~ 0.586``
+    derived in Abdelzaher & Lu (2001) and recovered by the feasible
+    region when the pipeline degenerates to one stage.
+    """
+    return inverse_stage_delay_factor(region_budget(alpha, [beta] if beta else None))
+
+
+def uniform_per_stage_bound(
+    num_stages: int,
+    alpha: float = 1.0,
+    betas: Optional[Sequence[float]] = None,
+) -> float:
+    """Largest common per-stage utilization for an ``N``-stage pipeline.
+
+    If every stage runs at the same synthetic utilization ``U``, the
+    feasibility condition becomes ``N f(U) <= alpha (1 - sum beta)``,
+    so the bound is ``f^{-1}(budget / N)``.  Note the per-stage bound
+    shrinks roughly like ``O(1/N)`` but, as Section 3.1 argues, so does
+    the per-stage synthetic utilization of a schedulable workload
+    (each stage's ``C_ij`` is divided by the *end-to-end* deadline), so
+    the condition does not become more severe with pipeline depth.
+
+    Raises:
+        ValueError: If ``num_stages`` is not positive.
+    """
+    if num_stages <= 0:
+        raise ValueError(f"num_stages must be >= 1, got {num_stages}")
+    return inverse_stage_delay_factor(region_budget(alpha, betas) / num_stages)

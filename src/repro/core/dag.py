@@ -1,0 +1,333 @@
+"""Arbitrary task graphs: delay expressions and Theorem 2.
+
+Section 3.3 generalizes the pipeline result to tasks given by a
+directed acyclic graph of subtasks, each allocated to a (potentially
+different) resource.  If ``d(L_1, ..., L_M)`` expresses the end-to-end
+delay of the task as a function of per-subtask stage delays — series
+composition sums, parallel branches take the max — then the feasible
+region is (Theorem 2)
+
+    d( f(U_k1) + beta_k1, ..., f(U_kM) + beta_kM ) <= alpha
+
+where ``k_i`` is the resource of subtask ``i``.  Multiple subtasks may
+be allocated to the same resource; they then share that resource's
+synthetic-utilization term.
+
+Two equivalent APIs are provided:
+
+- :class:`DelayExpression` — an explicit series/parallel algebra
+  mirroring how the paper writes Eq. 16:
+  ``seq(leaf("R1"), par(leaf("R2"), leaf("R3")), leaf("R4"))``.
+- :class:`TaskGraph` — an adjacency-list DAG whose end-to-end delay is
+  its longest (critical) path; works for graphs that are not
+  series-parallel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Mapping, Optional, Tuple
+
+from .bounds import stage_delay_factor
+
+__all__ = [
+    "DelayExpression",
+    "leaf",
+    "seq",
+    "par",
+    "TaskGraph",
+    "dag_region_value",
+    "is_dag_feasible",
+]
+
+
+# ----------------------------------------------------------------------
+# Series/parallel delay algebra
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DelayExpression:
+    """A series/parallel expression over per-resource stage delays.
+
+    Nodes are one of:
+
+    - ``leaf(resource)`` — the delay of one subtask on ``resource``;
+    - ``seq(e1, ..., en)`` — subtasks in precedence order (delays add);
+    - ``par(e1, ..., en)`` — parallel branches (delays max).
+
+    ``evaluate`` plugs in per-resource values; used both with measured
+    delays (``L`` values) and with normalized ``f(U) + beta`` terms for
+    the Theorem-2 feasibility check.
+    """
+
+    kind: str  # "leaf" | "seq" | "par"
+    resource: Optional[Hashable] = None
+    children: Tuple["DelayExpression", ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("leaf", "seq", "par"):
+            raise ValueError(f"unknown delay-expression kind {self.kind!r}")
+        if self.kind == "leaf":
+            if self.resource is None:
+                raise ValueError("leaf expressions need a resource")
+            if self.children:
+                raise ValueError("leaf expressions take no children")
+        else:
+            if not self.children:
+                raise ValueError(f"{self.kind} expressions need at least one child")
+
+    def evaluate(self, delays: Mapping[Hashable, float]) -> float:
+        """Evaluate the expression with one delay value per resource.
+
+        Args:
+            delays: Maps each resource appearing in the expression to
+                its per-subtask delay term.
+
+        Raises:
+            KeyError: If a referenced resource is missing.
+        """
+        if self.kind == "leaf":
+            return delays[self.resource]
+        child_values = [c.evaluate(delays) for c in self.children]
+        return sum(child_values) if self.kind == "seq" else max(child_values)
+
+    def resources(self) -> Tuple[Hashable, ...]:
+        """All resources referenced, in left-to-right first-appearance order."""
+        seen: List[Hashable] = []
+        self._collect(seen)
+        return tuple(seen)
+
+    def _collect(self, seen: List[Hashable]) -> None:
+        if self.kind == "leaf":
+            if self.resource not in seen:
+                seen.append(self.resource)
+        else:
+            for child in self.children:
+                child._collect(seen)
+
+    def region_value(
+        self,
+        utilizations: Mapping[Hashable, float],
+        betas: Optional[Mapping[Hashable, float]] = None,
+    ) -> float:
+        """Theorem-2 left-hand side: ``d(f(U_k) + beta_k, ...)``."""
+        terms = {
+            r: stage_delay_factor(utilizations[r]) + (betas.get(r, 0.0) if betas else 0.0)
+            for r in self.resources()
+        }
+        return self.evaluate(terms)
+
+    def is_feasible(
+        self,
+        utilizations: Mapping[Hashable, float],
+        alpha: float = 1.0,
+        betas: Optional[Mapping[Hashable, float]] = None,
+    ) -> bool:
+        """Theorem-2 feasibility: ``region_value <= alpha``.
+
+        Blocking is folded into the per-resource terms (``beta_k``), so
+        the budget here is plain ``alpha`` rather than
+        ``alpha (1 - sum beta)`` — matching Eq. 17, where the paper adds
+        ``beta`` inside ``d``.
+        """
+        if not (0.0 < alpha <= 1.0):
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        return self.region_value(utilizations, betas) <= alpha
+
+
+def leaf(resource: Hashable) -> DelayExpression:
+    """Delay of a single subtask executing on ``resource``."""
+    return DelayExpression(kind="leaf", resource=resource)
+
+
+def seq(*children: DelayExpression) -> DelayExpression:
+    """Series composition: precedence-ordered subtasks, delays add."""
+    return DelayExpression(kind="seq", children=tuple(children))
+
+
+def par(*children: DelayExpression) -> DelayExpression:
+    """Parallel composition: independent branches, the slowest dominates."""
+    return DelayExpression(kind="par", children=tuple(children))
+
+
+# ----------------------------------------------------------------------
+# General DAGs via critical-path analysis
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class TaskGraph:
+    """A directed acyclic graph of subtasks with resource assignments.
+
+    Nodes are subtask identifiers; each node is assigned a resource via
+    ``resource_of``.  The end-to-end delay of the task is the longest
+    path through the DAG where each node weighs its subtask's stage
+    delay — exactly the ``d(...)`` of Theorem 2 for graphs that need
+    not be series-parallel.
+
+    Attributes:
+        resource_of: Maps subtask id -> resource id.
+        edges: Precedence edges ``(u, v)`` meaning ``u`` before ``v``.
+    """
+
+    resource_of: Dict[Hashable, Hashable]
+    edges: List[Tuple[Hashable, Hashable]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for u, v in self.edges:
+            if u not in self.resource_of or v not in self.resource_of:
+                raise ValueError(f"edge ({u!r}, {v!r}) references an unknown subtask")
+            if u == v:
+                raise ValueError(f"self-loop on subtask {u!r}")
+        self._topo_order()  # raises on cycles
+
+    @property
+    def subtasks(self) -> Tuple[Hashable, ...]:
+        return tuple(self.resource_of)
+
+    def resources(self) -> Tuple[Hashable, ...]:
+        """Distinct resources used, in first-appearance order."""
+        seen: List[Hashable] = []
+        for r in self.resource_of.values():
+            if r not in seen:
+                seen.append(r)
+        return tuple(seen)
+
+    def _topo_order(self) -> List[Hashable]:
+        """Kahn topological order; raises ``ValueError`` on a cycle."""
+        indegree: Dict[Hashable, int] = {n: 0 for n in self.resource_of}
+        adjacency: Dict[Hashable, List[Hashable]] = {n: [] for n in self.resource_of}
+        for u, v in self.edges:
+            adjacency[u].append(v)
+            indegree[v] += 1
+        frontier = [n for n, d in indegree.items() if d == 0]
+        order: List[Hashable] = []
+        while frontier:
+            node = frontier.pop()
+            order.append(node)
+            for succ in adjacency[node]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    frontier.append(succ)
+        if len(order) != len(self.resource_of):
+            raise ValueError("task graph contains a cycle")
+        return order
+
+    def critical_path_delay(self, node_delay: Mapping[Hashable, float]) -> float:
+        """Longest-path end-to-end delay given per-subtask delays.
+
+        Args:
+            node_delay: Maps subtask id -> delay spent by the subtask
+                at its resource.
+
+        Returns:
+            ``max`` over all source-to-sink paths of the summed delays;
+            0.0 for an empty graph.
+        """
+        order = self._topo_order()
+        adjacency: Dict[Hashable, List[Hashable]] = {n: [] for n in self.resource_of}
+        for u, v in self.edges:
+            adjacency[u].append(v)
+        finish: Dict[Hashable, float] = {}
+        best = 0.0
+        # Process in reverse topological order: finish[n] = delay(n) + max succ.
+        for node in reversed(order):
+            tail = max((finish[s] for s in adjacency[node]), default=0.0)
+            finish[node] = node_delay[node] + tail
+            best = max(best, finish[node])
+        return best
+
+    def critical_path(self, node_delay: Mapping[Hashable, float]) -> List[Hashable]:
+        """Return one longest path as an ordered list of subtask ids."""
+        order = self._topo_order()
+        adjacency: Dict[Hashable, List[Hashable]] = {n: [] for n in self.resource_of}
+        for u, v in self.edges:
+            adjacency[u].append(v)
+        finish: Dict[Hashable, float] = {}
+        successor: Dict[Hashable, Optional[Hashable]] = {}
+        for node in reversed(order):
+            best_succ, best_val = None, 0.0
+            for s in adjacency[node]:
+                if finish[s] > best_val:
+                    best_succ, best_val = s, finish[s]
+            finish[node] = node_delay[node] + best_val
+            successor[node] = best_succ
+        if not finish:
+            return []
+        start = max(finish, key=lambda n: finish[n])
+        path: List[Hashable] = []
+        cursor: Optional[Hashable] = start
+        while cursor is not None:
+            path.append(cursor)
+            cursor = successor[cursor]
+        return path
+
+    def region_value(
+        self,
+        utilizations: Mapping[Hashable, float],
+        betas: Optional[Mapping[Hashable, float]] = None,
+    ) -> float:
+        """Theorem-2 left-hand side evaluated along the critical path.
+
+        Each subtask contributes ``f(U_k) + beta_k`` of its assigned
+        resource ``k``; subtasks sharing a resource share its
+        utilization value.
+        """
+        node_terms = {
+            n: stage_delay_factor(utilizations[self.resource_of[n]])
+            + (betas.get(self.resource_of[n], 0.0) if betas else 0.0)
+            for n in self.resource_of
+        }
+        return self.critical_path_delay(node_terms)
+
+    def is_feasible(
+        self,
+        utilizations: Mapping[Hashable, float],
+        alpha: float = 1.0,
+        betas: Optional[Mapping[Hashable, float]] = None,
+    ) -> bool:
+        """Theorem-2 feasibility check for this task graph."""
+        if not (0.0 < alpha <= 1.0):
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        return self.region_value(utilizations, betas) <= alpha
+
+    def to_delay_expression(self) -> DelayExpression:
+        """Convert a *chain* graph to a series expression (convenience).
+
+        Only graphs whose nodes form a single precedence chain are
+        convertible; general DAGs should use the critical-path methods.
+
+        Raises:
+            ValueError: If the graph is not a simple chain.
+        """
+        out_degree = {n: 0 for n in self.resource_of}
+        in_degree = {n: 0 for n in self.resource_of}
+        for u, v in self.edges:
+            out_degree[u] += 1
+            in_degree[v] += 1
+        if any(d > 1 for d in out_degree.values()) or any(d > 1 for d in in_degree.values()):
+            raise ValueError("graph is not a simple chain")
+        order = self._topo_order()
+        if not order:
+            raise ValueError("cannot convert an empty graph")
+        return seq(*(leaf(self.resource_of[n]) for n in order))
+
+
+def dag_region_value(
+    graph: TaskGraph,
+    utilizations: Mapping[Hashable, float],
+    betas: Optional[Mapping[Hashable, float]] = None,
+) -> float:
+    """Functional alias for :meth:`TaskGraph.region_value`."""
+    return graph.region_value(utilizations, betas)
+
+
+def is_dag_feasible(
+    graph: TaskGraph,
+    utilizations: Mapping[Hashable, float],
+    alpha: float = 1.0,
+    betas: Optional[Mapping[Hashable, float]] = None,
+) -> bool:
+    """Functional alias for :meth:`TaskGraph.is_feasible`."""
+    return graph.is_feasible(utilizations, alpha, betas)

@@ -1,0 +1,270 @@
+"""Feasible-region objects: membership, margins, and boundary geometry.
+
+The feasible region of an ``N``-stage pipeline is the set of synthetic
+utilization vectors ``(U_1, ..., U_N)`` satisfying
+
+    sum_j f(U_j) <= alpha (1 - sum_j beta_j)
+
+(Eqs. 12/13/15).  The region is bounded by a surface in utilization
+space; for a single resource it degenerates to the scalar bound
+``U <= f^{-1}(budget)``.  :class:`PipelineFeasibleRegion` wraps the
+inequality with geometric helpers (boundary sampling for plotting,
+per-stage headroom, distance along a ray), and
+:class:`DagFeasibleRegion` does the same for Theorem-2 task graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from .bounds import (
+    inverse_stage_delay_factor,
+    pipeline_region_value,
+    region_budget,
+    stage_delay_factor,
+)
+from .dag import TaskGraph
+
+__all__ = ["PipelineFeasibleRegion", "DagFeasibleRegion"]
+
+
+@dataclass(frozen=True)
+class PipelineFeasibleRegion:
+    """The multi-dimensional feasible region of a resource pipeline.
+
+    Attributes:
+        num_stages: Number of pipeline stages ``N`` (one dimension each).
+        alpha: Urgency-inversion parameter of the scheduling policy.
+        betas: Per-stage normalized blocking terms, or ``None``.
+    """
+
+    num_stages: int
+    alpha: float = 1.0
+    betas: Optional[Tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.num_stages < 1:
+            raise ValueError(f"num_stages must be >= 1, got {self.num_stages}")
+        if self.betas is not None and len(self.betas) != self.num_stages:
+            raise ValueError(
+                f"betas length {len(self.betas)} != num_stages {self.num_stages}"
+            )
+        # Validate alpha/beta ranges eagerly.
+        region_budget(self.alpha, self.betas)
+
+    @property
+    def budget(self) -> float:
+        """Right-hand side ``alpha (1 - sum beta)`` of the inequality."""
+        return region_budget(self.alpha, self.betas)
+
+    def value(self, utilizations: Sequence[float]) -> float:
+        """Left-hand side ``sum_j f(U_j)`` for a utilization vector."""
+        self._check_dims(utilizations)
+        return pipeline_region_value(utilizations)
+
+    def contains(self, utilizations: Sequence[float]) -> bool:
+        """True iff the utilization vector lies inside the region."""
+        return self.value(utilizations) <= self.budget
+
+    def margin(self, utilizations: Sequence[float]) -> float:
+        """Budget remaining: positive inside, negative outside."""
+        return self.budget - self.value(utilizations)
+
+    def stage_headroom(self, utilizations: Sequence[float], stage: int) -> float:
+        """Largest utilization increase stage ``stage`` can absorb alone.
+
+        Holding every other stage fixed, stage ``j`` can grow until
+        ``f(U_j)`` consumes the remaining budget.  Returns 0.0 when the
+        vector is already on or outside the boundary.
+        """
+        self._check_dims(utilizations)
+        others = sum(
+            stage_delay_factor(u) for k, u in enumerate(utilizations) if k != stage
+        )
+        remaining = self.budget - others
+        if remaining <= 0:
+            return 0.0
+        max_u = inverse_stage_delay_factor(remaining)
+        return max(0.0, max_u - utilizations[stage])
+
+    def uniform_bound(self) -> float:
+        """Common per-stage utilization at the symmetric boundary point.
+
+        The point ``(U*, ..., U*)`` with ``N f(U*) = budget``.
+        """
+        return inverse_stage_delay_factor(self.budget / self.num_stages)
+
+    def boundary_scale(self, direction: Sequence[float]) -> float:
+        """Scale ``t`` such that ``t * direction`` lies on the boundary.
+
+        Walks along the ray from the origin through ``direction`` and
+        finds (by bisection, ``f`` being strictly increasing in each
+        coordinate) the boundary crossing.  Useful for plotting region
+        cross-sections and for measuring how far inside/outside an
+        operating point sits, in relative terms.
+
+        Args:
+            direction: Non-negative, non-zero direction vector of
+                length ``num_stages``.
+
+        Returns:
+            The positive scale factor; ``inf`` if the ray never leaves
+            the region (only possible for the zero vector, which
+            raises instead).
+
+        Raises:
+            ValueError: If the direction is zero or negative anywhere.
+        """
+        self._check_dims(direction)
+        if any(d < 0 for d in direction):
+            raise ValueError("direction components must be >= 0")
+        if all(d == 0 for d in direction):
+            raise ValueError("direction must be non-zero")
+        # The largest admissible scale keeps every coordinate < 1.
+        hi = min(1.0 / d for d in direction if d > 0)
+        lo = 0.0
+
+        def lhs(t: float) -> float:
+            return sum(stage_delay_factor(min(t * d, 1.0)) for d in direction)
+
+        if lhs(hi * (1 - 1e-12)) <= self.budget:
+            return hi
+        for _ in range(200):
+            mid = (lo + hi) / 2.0
+            if lhs(mid) <= self.budget:
+                lo = mid
+            else:
+                hi = mid
+            if hi - lo <= 1e-14:
+                break
+        return lo
+
+    def boundary_curve_2d(self, samples: int = 101) -> List[Tuple[float, float]]:
+        """Sample the boundary surface of a two-stage region.
+
+        Returns ``(U_1, U_2)`` points with ``f(U_1) + f(U_2) = budget``,
+        sweeping ``U_1`` from 0 to the single-stage bound.  Only valid
+        for ``num_stages == 2``.
+
+        Raises:
+            ValueError: If the region is not two-dimensional or
+                ``samples < 2``.
+        """
+        if self.num_stages != 2:
+            raise ValueError("boundary_curve_2d requires a two-stage region")
+        if samples < 2:
+            raise ValueError(f"samples must be >= 2, got {samples}")
+        u1_max = inverse_stage_delay_factor(self.budget)
+        points: List[Tuple[float, float]] = []
+        for i in range(samples):
+            u1 = u1_max * i / (samples - 1)
+            remaining = self.budget - stage_delay_factor(u1)
+            u2 = inverse_stage_delay_factor(max(remaining, 0.0))
+            points.append((u1, u2))
+        return points
+
+    def boundary_surface_3d(
+        self, samples: int = 41
+    ) -> List[Tuple[float, float, float]]:
+        """Sample the bounding surface of a three-stage region.
+
+        The paper's central geometric object is "a multi-dimensional
+        schedulability bound given by a surface in the resource
+        utilization space".  For ``N = 3``, this returns
+        ``(U_1, U_2, U_3)`` points with
+        ``f(U_1) + f(U_2) + f(U_3) = budget``, sweeping a grid over
+        ``(U_1, U_2)`` and solving for ``U_3``; grid points whose first
+        two coordinates already exhaust the budget are omitted.  Feed
+        the points to any surface plotter (see
+        ``examples/feasible_region_surface.py``).
+
+        Args:
+            samples: Grid resolution per axis (>= 2).
+
+        Raises:
+            ValueError: If the region is not three-dimensional.
+        """
+        if self.num_stages != 3:
+            raise ValueError("boundary_surface_3d requires a three-stage region")
+        if samples < 2:
+            raise ValueError(f"samples must be >= 2, got {samples}")
+        u_max = inverse_stage_delay_factor(self.budget)
+        points: List[Tuple[float, float, float]] = []
+        for i in range(samples):
+            u1 = u_max * i / (samples - 1)
+            f1 = stage_delay_factor(u1)
+            if f1 > self.budget:
+                continue
+            for j in range(samples):
+                u2 = u_max * j / (samples - 1)
+                remaining = self.budget - f1 - stage_delay_factor(u2)
+                if remaining < 0:
+                    continue
+                points.append((u1, u2, inverse_stage_delay_factor(remaining)))
+        return points
+
+    def boundary_slice(
+        self, fixed: Mapping[int, float], stage: int
+    ) -> float:
+        """Boundary utilization of one stage given fixed values elsewhere.
+
+        Args:
+            fixed: Maps stage index -> fixed utilization for every stage
+                except ``stage``.
+            stage: The free stage.
+
+        Returns:
+            The largest ``U_stage`` keeping the vector in the region
+            (0.0 when the fixed stages already exhaust the budget).
+
+        Raises:
+            ValueError: If ``fixed`` does not cover exactly the other
+                stages.
+        """
+        expected = set(range(self.num_stages)) - {stage}
+        if set(fixed) != expected:
+            raise ValueError(
+                f"fixed must cover stages {sorted(expected)}, got {sorted(fixed)}"
+            )
+        consumed = sum(stage_delay_factor(u) for u in fixed.values())
+        remaining = self.budget - consumed
+        if remaining <= 0:
+            return 0.0
+        return inverse_stage_delay_factor(remaining)
+
+    def _check_dims(self, vector: Sequence[float]) -> None:
+        if len(vector) != self.num_stages:
+            raise ValueError(
+                f"expected a vector of length {self.num_stages}, got {len(vector)}"
+            )
+
+
+@dataclass(frozen=True)
+class DagFeasibleRegion:
+    """Feasible region of an arbitrary task graph (Theorem 2).
+
+    Wraps a :class:`~repro.core.dag.TaskGraph` with policy parameters;
+    blocking enters per-resource inside the delay expression
+    (Eq. 17), so the budget is plain ``alpha``.
+    """
+
+    graph: TaskGraph
+    alpha: float = 1.0
+    betas: Optional[Mapping[Hashable, float]] = None
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.alpha <= 1.0):
+            raise ValueError(f"alpha must be in (0, 1], got {self.alpha}")
+
+    def value(self, utilizations: Mapping[Hashable, float]) -> float:
+        """Critical-path sum of ``f(U_k) + beta_k`` terms."""
+        return self.graph.region_value(utilizations, self.betas)
+
+    def contains(self, utilizations: Mapping[Hashable, float]) -> bool:
+        """True iff the per-resource utilizations keep the task feasible."""
+        return self.value(utilizations) <= self.alpha
+
+    def margin(self, utilizations: Mapping[Hashable, float]) -> float:
+        """``alpha`` minus the critical-path value."""
+        return self.alpha - self.value(utilizations)

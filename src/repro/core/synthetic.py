@@ -1,0 +1,231 @@
+"""Synthetic (instantaneous) utilization accounting.
+
+The synthetic utilization of stage ``j`` at time ``t`` is
+
+    U_j(t) = sum_{T_i in S(t)} C_ij / D_i
+
+over the set of *current* tasks ``S(t) = {T_i | A_i <= t < A_i + D_i}``
+(Section 2).  Each task contributes ``C_ij / D_i`` from its arrival
+until its absolute deadline, independent of when (or whether) it
+actually executes at the stage.
+
+Two bookkeeping rules from Section 4 keep admission control from
+becoming pessimistic:
+
+1. Contributions are removed when task deadlines expire.
+2. When a stage becomes *idle*, the contribution of all tasks that have
+   already departed the stage is removed immediately — departed tasks
+   cannot affect the stage's future schedule.  The tracker then decays
+   to its *reserved* baseline (Section 5 initializes the counters with
+   reserved utilization for critical tasks).
+
+:class:`StageUtilizationTracker` implements one stage; all operations
+are amortized ``O(log n)`` via an expiry heap.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Dict, Hashable, List, Tuple
+
+__all__ = ["StageUtilizationTracker"]
+
+
+class StageUtilizationTracker:
+    """Tracks the synthetic utilization of a single pipeline stage.
+
+    The tracker holds one *contribution* per current task plus a fixed
+    *reserved* baseline.  The total is maintained incrementally; a
+    periodic exact recomputation guards against floating-point drift on
+    very long runs.
+
+    Attributes:
+        reserved: Baseline utilization reserved for critical tasks.
+            Resets never go below this value.
+    """
+
+    #: Recompute the running sum exactly after this many removals.
+    _RESYNC_INTERVAL = 4096
+
+    def __init__(self, reserved: float = 0.0) -> None:
+        """Create a tracker.
+
+        Args:
+            reserved: Reserved baseline utilization in ``[0, 1]``
+                (Section 5); the tracker's value never drops below it.
+
+        Raises:
+            ValueError: If ``reserved`` is outside ``[0, 1]``.
+        """
+        if not (0.0 <= reserved <= 1.0):
+            raise ValueError(f"reserved utilization must be in [0, 1], got {reserved}")
+        self.reserved = reserved
+        # task_id -> (contribution, token); the token invalidates stale
+        # expiry-heap entries when an id is removed and later re-added.
+        self._contribs: Dict[Hashable, Tuple[float, int]] = {}
+        self._departed: Dict[Hashable, float] = {}
+        self._expiry_heap: List[Tuple[float, int, Hashable]] = []
+        self._sum = 0.0
+        self._ops_since_resync = 0
+        self._tokens = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def value(self) -> float:
+        """Current synthetic utilization (reserved baseline included)."""
+        return self.reserved + max(self._sum, 0.0)
+
+    @property
+    def dynamic_value(self) -> float:
+        """Utilization contributed by currently tracked tasks only."""
+        return max(self._sum, 0.0)
+
+    def contribution_of(self, task_id: Hashable) -> float:
+        """Return the tracked contribution of ``task_id`` (0.0 if absent)."""
+        entry = self._contribs.get(task_id)
+        return entry[0] if entry is not None else 0.0
+
+    def __contains__(self, task_id: Hashable) -> bool:
+        return task_id in self._contribs
+
+    def __len__(self) -> int:
+        return len(self._contribs)
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+
+    def add(self, task_id: Hashable, contribution: float, expiry: float) -> None:
+        """Register a task's contribution ``C_ij / D_i`` until ``expiry``.
+
+        Args:
+            task_id: Unique task identifier.
+            contribution: ``C_ij / D_i``; must be ``>= 0`` and finite.
+            expiry: Absolute deadline ``A_i + D_i`` at which the
+                contribution lapses.
+
+        Raises:
+            ValueError: If the task is already tracked or the
+                contribution is invalid.
+        """
+        if task_id in self._contribs:
+            raise ValueError(f"task {task_id!r} is already tracked at this stage")
+        if contribution < 0 or not math.isfinite(contribution):
+            raise ValueError(f"contribution must be finite and >= 0, got {contribution}")
+        token = next(self._tokens)
+        self._contribs[task_id] = (contribution, token)
+        self._sum += contribution
+        heapq.heappush(self._expiry_heap, (expiry, token, task_id))
+
+    def remove(self, task_id: Hashable) -> float:
+        """Remove a task's contribution immediately (e.g. load shedding).
+
+        Returns:
+            The removed contribution, or 0.0 if the task was not tracked.
+        """
+        entry = self._contribs.pop(task_id, None)
+        self._departed.pop(task_id, None)
+        if entry is None:
+            return 0.0
+        contribution = entry[0]
+        self._sum -= contribution
+        self._maybe_resync()
+        return contribution
+
+    def expire_until(self, now: float) -> float:
+        """Drop all contributions whose deadline expired at or before ``now``.
+
+        Returns:
+            Total utilization released.
+        """
+        released = 0.0
+        while self._expiry_heap and self._expiry_heap[0][0] <= now:
+            _, token, task_id = heapq.heappop(self._expiry_heap)
+            entry = self._contribs.get(task_id)
+            if entry is None or entry[1] != token:
+                continue  # stale entry: task removed (and possibly re-added)
+            del self._contribs[task_id]
+            self._departed.pop(task_id, None)
+            self._sum -= entry[0]
+            released += entry[0]
+        if released:
+            self._maybe_resync()
+        return released
+
+    def next_expiry(self) -> float:
+        """Earliest pending expiry time, or ``inf`` when nothing is tracked.
+
+        Stale heap heads (from removed tasks) are pruned lazily.
+        """
+        while self._expiry_heap:
+            expiry, token, task_id = self._expiry_heap[0]
+            entry = self._contribs.get(task_id)
+            if entry is not None and entry[1] == token:
+                return expiry
+            heapq.heappop(self._expiry_heap)
+        return math.inf
+
+    def mark_departed(self, task_id: Hashable) -> None:
+        """Record that the task's subtask finished execution at this stage.
+
+        The contribution stays counted until either the deadline expires
+        or the stage next becomes idle (whichever comes first).
+        """
+        entry = self._contribs.get(task_id)
+        if entry is not None:
+            self._departed[task_id] = entry[0]
+
+    def reset_on_idle(self) -> float:
+        """Apply the idle-reset rule: drop contributions of departed tasks.
+
+        Called when the stage's resource has no pending or running work.
+        Departed tasks cannot affect the stage's future schedule, so
+        their synthetic-utilization contribution is released (Section 4).
+        The reserved baseline is retained.
+
+        Returns:
+            Total utilization released.
+        """
+        released = 0.0
+        for task_id, contribution in self._departed.items():
+            if self._contribs.pop(task_id, None) is not None:
+                self._sum -= contribution
+                released += contribution
+        self._departed.clear()
+        if released:
+            self._maybe_resync()
+        return released
+
+    def clear(self) -> None:
+        """Drop every tracked contribution, returning to the reserved baseline."""
+        self._contribs.clear()
+        self._departed.clear()
+        self._expiry_heap.clear()
+        self._sum = 0.0
+        self._ops_since_resync = 0
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _maybe_resync(self) -> None:
+        """Recompute the incremental sum exactly every few thousand removals.
+
+        The incremental total accumulates one floating-point rounding
+        error per mutation; an exact resummation keeps long simulations
+        (millions of task arrivals) honest.
+        """
+        self._ops_since_resync += 1
+        if self._ops_since_resync >= self._RESYNC_INTERVAL:
+            self.recompute()
+
+    def recompute(self) -> float:
+        """Force an exact recomputation of the running sum and return it."""
+        self._sum = math.fsum(c for c, _ in self._contribs.values())
+        self._ops_since_resync = 0
+        return self._sum

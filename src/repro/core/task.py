@@ -1,0 +1,292 @@
+"""Task model for aperiodic end-to-end scheduling in resource pipelines.
+
+The model follows Section 2 of the paper.  A *pipeline task* ``T_i`` is
+described by:
+
+- an arrival time ``A_i`` at which it enters the first stage,
+- a relative end-to-end deadline ``D_i`` by which it must leave the
+  last stage, and
+- a per-stage computation time ``C_ij`` for each stage ``j``.
+
+Subtasks form a single precedence-constrained chain: the departure of
+the task from stage ``j`` is its arrival at stage ``j + 1``.
+
+Periodic workloads are a special case of aperiodic ones (Section 1);
+:class:`PeriodicTaskSpec` describes a stream whose invocations are
+released every ``period`` and each analyzed as an aperiodic arrival.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence, Tuple
+
+__all__ = [
+    "PipelineTask",
+    "PeriodicTaskSpec",
+    "task_priority_deadline_monotonic",
+    "validate_task",
+]
+
+_task_counter = itertools.count()
+
+
+def _fresh_task_id() -> int:
+    """Return a process-unique task identifier."""
+    return next(_task_counter)
+
+
+@dataclass(frozen=True)
+class PipelineTask:
+    """An aperiodic task processed by every stage of a pipeline in order.
+
+    Attributes:
+        task_id: Unique identifier of this task instance.
+        arrival_time: Absolute arrival time ``A_i`` at the first stage.
+        deadline: Relative end-to-end deadline ``D_i`` (> 0).  The task
+            must depart the last stage by ``arrival_time + deadline``.
+        computation_times: ``C_ij`` for each stage ``j``; the tuple
+            length equals the pipeline length.  Entries may be zero for
+            stages the task merely passes through.
+        importance: Semantic importance used for load shedding in the
+            Section-5 architecture.  Higher values are shed last.  The
+            *scheduling* priority is decoupled from this value.
+        blocking_times: Optional worst-case blocking ``B_ij`` the task
+            may suffer at each stage due to critical sections of
+            lower-priority tasks (Section 3.2).  ``None`` means no
+            blocking anywhere.
+        stream_id: Optional identifier of the periodic stream this
+            invocation belongs to, or ``None`` for a pure aperiodic.
+    """
+
+    task_id: int
+    arrival_time: float
+    deadline: float
+    computation_times: Tuple[float, ...]
+    importance: int = 0
+    blocking_times: Optional[Tuple[float, ...]] = None
+    stream_id: Optional[int] = None
+
+    @property
+    def absolute_deadline(self) -> float:
+        """Absolute deadline ``A_i + D_i``."""
+        return self.arrival_time + self.deadline
+
+    @property
+    def num_stages(self) -> int:
+        """Number of pipeline stages the task visits."""
+        return len(self.computation_times)
+
+    @property
+    def total_computation(self) -> float:
+        """Sum of per-stage computation times."""
+        return sum(self.computation_times)
+
+    def synthetic_contribution(self, stage: int) -> float:
+        """Contribution ``C_ij / D_i`` to stage ``j``'s synthetic utilization.
+
+        Each current task raises the synthetic utilization of stage
+        ``j`` by this amount for the ``D_i`` time units following its
+        arrival (Section 2 / Figure 1).
+        """
+        return self.computation_times[stage] / self.deadline
+
+    def resolution(self) -> float:
+        """Task resolution: end-to-end deadline over total computation.
+
+        Section 4.2 defines task resolution as the average end-to-end
+        deadline divided by the average total computation time.  The
+        per-task analogue is ``D_i / sum_j C_ij``; infinite when the
+        task requires no computation.
+        """
+        total = self.total_computation
+        if total == 0:
+            return math.inf
+        return self.deadline / total
+
+
+def make_task(
+    arrival_time: float,
+    deadline: float,
+    computation_times: Sequence[float],
+    importance: int = 0,
+    blocking_times: Optional[Sequence[float]] = None,
+    stream_id: Optional[int] = None,
+    task_id: Optional[int] = None,
+) -> PipelineTask:
+    """Build a validated :class:`PipelineTask` with a fresh id.
+
+    Args:
+        arrival_time: Absolute arrival time at the first stage.
+        deadline: Relative end-to-end deadline (must be positive).
+        computation_times: Per-stage computation demands.
+        importance: Semantic importance (higher is more important).
+        blocking_times: Optional per-stage worst-case blocking terms.
+        stream_id: Optional periodic stream identifier.
+        task_id: Explicit id; auto-assigned when omitted.
+
+    Returns:
+        The constructed task.
+
+    Raises:
+        ValueError: If the parameters are inconsistent (see
+            :func:`validate_task`).
+    """
+    task = PipelineTask(
+        task_id=_fresh_task_id() if task_id is None else task_id,
+        arrival_time=arrival_time,
+        deadline=deadline,
+        computation_times=tuple(float(c) for c in computation_times),
+        importance=importance,
+        blocking_times=(
+            None if blocking_times is None else tuple(float(b) for b in blocking_times)
+        ),
+        stream_id=stream_id,
+    )
+    validate_task(task)
+    return task
+
+
+def validate_task(task: PipelineTask) -> None:
+    """Check model invariants of a task, raising ``ValueError`` on violation.
+
+    Invariants: positive deadline, non-negative computation and blocking
+    times, matching blocking vector length, and at least one stage.
+    """
+    if task.deadline <= 0:
+        raise ValueError(f"task {task.task_id}: deadline must be > 0, got {task.deadline}")
+    if not task.computation_times:
+        raise ValueError(f"task {task.task_id}: task must visit at least one stage")
+    for j, c in enumerate(task.computation_times):
+        if c < 0 or not math.isfinite(c):
+            raise ValueError(
+                f"task {task.task_id}: computation time at stage {j} must be finite "
+                f"and >= 0, got {c}"
+            )
+    if task.blocking_times is not None:
+        if len(task.blocking_times) != len(task.computation_times):
+            raise ValueError(
+                f"task {task.task_id}: blocking vector length "
+                f"{len(task.blocking_times)} != pipeline length "
+                f"{len(task.computation_times)}"
+            )
+        for j, b in enumerate(task.blocking_times):
+            if b < 0 or not math.isfinite(b):
+                raise ValueError(
+                    f"task {task.task_id}: blocking time at stage {j} must be finite "
+                    f"and >= 0, got {b}"
+                )
+    if not math.isfinite(task.arrival_time):
+        raise ValueError(f"task {task.task_id}: arrival time must be finite")
+
+
+def task_priority_deadline_monotonic(task: PipelineTask) -> float:
+    """Deadline-monotonic priority key: smaller relative deadline = higher priority.
+
+    DM is the optimal uniprocessor fixed-priority policy for aperiodic
+    tasks (Section 4) and has urgency-inversion parameter ``alpha = 1``.
+    The returned key sorts ascending: lower keys run first.
+    """
+    return task.deadline
+
+
+@dataclass(frozen=True)
+class PeriodicTaskSpec:
+    """A periodic stream analyzed under the aperiodic framework.
+
+    Periodic arrivals are a special case of aperiodic ones; Section 5
+    uses this to reserve synthetic utilization for critical periodic
+    tasks.  Each invocation of the stream is a :class:`PipelineTask`
+    with the stream's relative deadline and computation vector.
+
+    Attributes:
+        name: Human-readable stream name (e.g. ``"Weapon Targeting"``).
+        period: Release period ``P`` (> 0).
+        deadline: Relative deadline of each invocation; defaults to the
+            period when ``None`` is passed to :func:`periodic_spec`.
+        computation_times: Per-stage computation demand of one
+            invocation.
+        importance: Semantic importance of the stream.
+        phase: Release offset of the first invocation.
+        hard: Whether deadline misses are considered hard failures.
+    """
+
+    name: str
+    period: float
+    deadline: float
+    computation_times: Tuple[float, ...]
+    importance: int = 0
+    phase: float = 0.0
+    hard: bool = False
+    stream_id: int = field(default_factory=_fresh_task_id)
+
+    @property
+    def stage_contributions(self) -> Tuple[float, ...]:
+        """Per-stage synthetic-utilization contribution ``C_j / D`` of one invocation."""
+        return tuple(c / self.deadline for c in self.computation_times)
+
+    def invocations(self, until: float) -> Iterator[PipelineTask]:
+        """Yield invocation tasks released in ``[phase, until)``.
+
+        Invocation ``k`` arrives at ``phase + k * period``.  Each task
+        carries this spec's ``stream_id`` so per-stream statistics can
+        be aggregated.
+        """
+        k = 0
+        while True:
+            release = self.phase + k * self.period
+            if release >= until:
+                return
+            yield make_task(
+                arrival_time=release,
+                deadline=self.deadline,
+                computation_times=self.computation_times,
+                importance=self.importance,
+                stream_id=self.stream_id,
+            )
+            k += 1
+
+
+def periodic_spec(
+    name: str,
+    period: float,
+    computation_times: Sequence[float],
+    deadline: Optional[float] = None,
+    importance: int = 0,
+    phase: float = 0.0,
+    hard: bool = False,
+) -> PeriodicTaskSpec:
+    """Build a validated :class:`PeriodicTaskSpec`.
+
+    Args:
+        name: Stream name.
+        period: Release period (must be positive).
+        computation_times: Per-stage computation demand of one invocation.
+        deadline: Relative deadline; defaults to the period (implicit
+            deadline).
+        importance: Semantic importance of the stream.
+        phase: Release offset of the first invocation.
+        hard: Whether the stream's deadlines are hard.
+
+    Raises:
+        ValueError: On non-positive period/deadline or negative costs.
+    """
+    if period <= 0:
+        raise ValueError(f"period must be > 0, got {period}")
+    d = period if deadline is None else deadline
+    if d <= 0:
+        raise ValueError(f"deadline must be > 0, got {d}")
+    costs = tuple(float(c) for c in computation_times)
+    if any(c < 0 for c in costs):
+        raise ValueError("computation times must be >= 0")
+    return PeriodicTaskSpec(
+        name=name,
+        period=period,
+        deadline=d,
+        computation_times=costs,
+        importance=importance,
+        phase=phase,
+        hard=hard,
+    )

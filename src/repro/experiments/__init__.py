@@ -1,0 +1,40 @@
+"""Experiment harness: one module per paper figure/table plus ablations.
+
+Each module exposes ``run(...) -> ExperimentResult`` (structured
+series) and ``main()`` (prints a table).  Benchmarks re-use ``run``
+with reduced parameters; full-size outputs are recorded in
+``EXPERIMENTS.md``.
+
+- :mod:`repro.experiments.fig4_pipeline_length` — Figure 4;
+- :mod:`repro.experiments.fig5_task_resolution` — Figure 5;
+- :mod:`repro.experiments.fig6_load_imbalance` — Figure 6;
+- :mod:`repro.experiments.fig7_approximate_admission` — Figure 7;
+- :mod:`repro.experiments.tab1_tsce` — Table 1 / the TSCE case study;
+- :mod:`repro.experiments.ablations` — reset / wait / alpha / blocking;
+- :mod:`repro.experiments.ext_dag_admission` — extension: Theorem-2
+  admission for task graphs (parallel branches vs flattened chain).
+"""
+
+from . import (
+    ablations,
+    ext_dag_admission,
+    fig4_pipeline_length,
+    fig5_task_resolution,
+    fig6_load_imbalance,
+    fig7_approximate_admission,
+    tab1_tsce,
+)
+from .common import ExperimentResult, Series, SeriesPoint
+
+__all__ = [
+    "ExperimentResult",
+    "Series",
+    "SeriesPoint",
+    "fig4_pipeline_length",
+    "fig5_task_resolution",
+    "fig6_load_imbalance",
+    "fig7_approximate_admission",
+    "tab1_tsce",
+    "ablations",
+    "ext_dag_admission",
+]

@@ -1,0 +1,143 @@
+"""Command-line entry point for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig4 [--csv out.csv]
+    python -m repro.experiments tab1
+    python -m repro.experiments ablations
+    python -m repro.experiments all
+
+Each artifact runs with its full-size default parameters and prints
+the measured series as an aligned table (the same tables recorded in
+``EXPERIMENTS.md``).  ``--csv`` additionally writes the series in long
+format (``series,x,y``) for external plotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from typing import Callable, Dict, List, Optional
+
+from . import (
+    ablations,
+    ext_dag_admission,
+    fig4_pipeline_length,
+    fig5_task_resolution,
+    fig6_load_imbalance,
+    fig7_approximate_admission,
+    tab1_tsce,
+)
+from .common import ExperimentResult
+
+__all__ = ["main", "ARTIFACTS"]
+
+
+def _run_fig4() -> List[ExperimentResult]:
+    return [fig4_pipeline_length.run()]
+
+
+def _run_fig5() -> List[ExperimentResult]:
+    return [fig5_task_resolution.run()]
+
+
+def _run_fig6() -> List[ExperimentResult]:
+    return [fig6_load_imbalance.run()]
+
+
+def _run_fig7() -> List[ExperimentResult]:
+    return [fig7_approximate_admission.run()]
+
+
+def _run_tab1() -> List[ExperimentResult]:
+    result, tab1 = tab1_tsce.run()
+    plan = tab1.plan
+    print(
+        f"reserved: {tuple(round(u, 4) for u in plan.reserved)}  "
+        f"Eq.13 value: {plan.region_value:.4f}  feasible: {plan.feasible}"
+    )
+    print(f"sustained tracks: {tab1.sustained_tracks}")
+    return [result]
+
+
+def _run_ext_dag() -> List[ExperimentResult]:
+    return [ext_dag_admission.run()]
+
+
+def _run_ablations() -> List[ExperimentResult]:
+    return [
+        ablations.run_reset_ablation(),
+        ablations.run_wait_ablation(),
+        ablations.run_alpha_ablation(),
+        ablations.run_blocking_ablation(),
+        ablations.run_overrun_ablation(),
+    ]
+
+
+#: Artifact name -> callable returning the experiment results.
+ARTIFACTS: Dict[str, Callable[[], List[ExperimentResult]]] = {
+    "fig4": _run_fig4,
+    "fig5": _run_fig5,
+    "fig6": _run_fig6,
+    "fig7": _run_fig7,
+    "tab1": _run_tab1,
+    "ablations": _run_ablations,
+    "extdag": _run_ext_dag,
+}
+
+
+def write_csv(results: List[ExperimentResult], path: str) -> None:
+    """Write all series in long format: experiment, series, x, y."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["experiment", "series", "x", "y"])
+        for result in results:
+            for series in result.series:
+                for point in series.points:
+                    writer.writerow(
+                        [result.experiment_id, series.label, point.x, point.y]
+                    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's figures and tables.",
+    )
+    parser.add_argument(
+        "artifact",
+        choices=sorted(ARTIFACTS) + ["all", "list"],
+        help="which paper artifact to regenerate",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="PATH",
+        default=None,
+        help="also write the series to a CSV file (long format)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.artifact == "list":
+        for name in sorted(ARTIFACTS):
+            print(name)
+        return 0
+
+    names = sorted(ARTIFACTS) if args.artifact == "all" else [args.artifact]
+    collected: List[ExperimentResult] = []
+    for name in names:
+        results = ARTIFACTS[name]()
+        for result in results:
+            result.print()
+            print()
+        collected.extend(results)
+    if args.csv:
+        write_csv(collected, args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""Shared result types for the experiment harness.
+
+Every experiment module exposes a ``run(...)`` returning an
+:class:`ExperimentResult` — labeled series of (x, y) points plus the
+paper's qualitative expectation — and a ``main()`` that prints the
+result as an aligned table.  Benchmarks re-use ``run`` with reduced
+parameters; ``EXPERIMENTS.md`` records full-size outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["SeriesPoint", "Series", "ExperimentResult"]
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One measured point of an experiment series.
+
+    Attributes:
+        x: Swept parameter value.
+        y: Measured response.
+        detail: Auxiliary measurements (e.g. accept ratio, miss ratio).
+    """
+
+    x: float
+    y: float
+    detail: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class Series:
+    """A labeled curve: one line of the paper's figure."""
+
+    label: str
+    points: List[SeriesPoint] = field(default_factory=list)
+
+    def xs(self) -> List[float]:
+        return [p.x for p in self.points]
+
+    def ys(self) -> List[float]:
+        return [p.y for p in self.points]
+
+    def y_at(self, x: float) -> Optional[float]:
+        """The y value measured at ``x`` (exact match), or ``None``."""
+        for p in self.points:
+            if p.x == x:
+                return p.y
+        return None
+
+
+@dataclass
+class ExperimentResult:
+    """The measured reproduction of one paper figure or table.
+
+    Attributes:
+        experiment_id: ``"FIG4"`` .. ``"FIG7"``, ``"TAB1"``, or an
+            ablation id.
+        title: Human-readable experiment title.
+        x_label: Meaning of the swept parameter.
+        y_label: Meaning of the measured response.
+        series: One entry per curve.
+        expectation: The paper's qualitative claim this run should
+            reproduce (shape, not absolute values).
+    """
+
+    experiment_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: List[Series] = field(default_factory=list)
+    expectation: str = ""
+
+    def to_table(self, precision: int = 4) -> str:
+        """Render all series as one aligned text table (x as rows)."""
+        xs = sorted({p.x for s in self.series for p in s.points})
+        header = [self.x_label] + [s.label for s in self.series]
+        rows: List[List[str]] = [header]
+        for x in xs:
+            row = [f"{x:g}"]
+            for s in self.series:
+                y = s.y_at(x)
+                row.append("-" if y is None else f"{y:.{precision}f}")
+            rows.append(row)
+        widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+        lines = [
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+            for row in rows
+        ]
+        banner = f"{self.experiment_id}: {self.title}  [{self.y_label}]"
+        return "\n".join([banner, "-" * len(banner)] + lines)
+
+    def print(self) -> None:
+        """Print the table and the paper expectation."""
+        print(self.to_table())
+        if self.expectation:
+            print(f"paper expectation: {self.expectation}")

@@ -1,0 +1,72 @@
+"""Discrete-event simulation substrate.
+
+Everything the evaluation needs to execute pipelines and task graphs:
+
+- :mod:`repro.sim.engine` / :mod:`repro.sim.events` — the DES core;
+- :mod:`repro.sim.stage` — preemptive fixed-priority resources;
+- :mod:`repro.sim.locks` — priority-ceiling-protocol critical sections;
+- :mod:`repro.sim.policies` — DM, EDF, FIFO, random, importance-first;
+- :mod:`repro.sim.workload` — the Section-4 stochastic workloads;
+- :mod:`repro.sim.pipeline` — pipeline + admission-control wiring;
+- :mod:`repro.sim.graphrun` — DAG-structured task execution;
+- :mod:`repro.sim.metrics` — reports (real utilization, miss ratios).
+"""
+
+from .engine import SimulationError, Simulator
+from .events import EventHandle, EventQueue
+from .graphrun import GraphPipelineSimulation, GraphTask
+from .graphworkload import GraphTemplate, GraphWorkload, run_graph_simulation
+from .locks import Lock, LockManager
+from .metrics import (
+    SimulationReport,
+    StageUsage,
+    TaskRecord,
+    mean_confidence_interval,
+)
+from .pipeline import PipelineSimulation, run_pipeline_simulation
+from .policies import (
+    DeadlineMonotonic,
+    EarliestDeadlineFirst,
+    FifoPolicy,
+    ImportanceFirst,
+    RandomPriority,
+    SchedulingPolicy,
+)
+from .stage import Job, Segment, Stage
+from .workload import (
+    PipelineWorkload,
+    balanced_workload,
+    imbalanced_two_stage_workload,
+)
+
+__all__ = [
+    "Simulator",
+    "SimulationError",
+    "EventHandle",
+    "EventQueue",
+    "Stage",
+    "Job",
+    "Segment",
+    "Lock",
+    "LockManager",
+    "SchedulingPolicy",
+    "DeadlineMonotonic",
+    "EarliestDeadlineFirst",
+    "FifoPolicy",
+    "RandomPriority",
+    "ImportanceFirst",
+    "PipelineWorkload",
+    "balanced_workload",
+    "imbalanced_two_stage_workload",
+    "PipelineSimulation",
+    "run_pipeline_simulation",
+    "GraphPipelineSimulation",
+    "GraphTask",
+    "GraphTemplate",
+    "GraphWorkload",
+    "run_graph_simulation",
+    "SimulationReport",
+    "StageUsage",
+    "TaskRecord",
+    "mean_confidence_interval",
+]

@@ -1,0 +1,137 @@
+"""Discrete-event simulation engine.
+
+A small, fast, dependency-free DES core: a clock plus an event heap.
+Components schedule callbacks with :meth:`Simulator.at` (absolute time)
+or :meth:`Simulator.after` (relative delay) and may cancel them via the
+returned handle.  Time never moves backwards; scheduling in the past
+raises.
+
+The engine is deliberately minimal — processes, resources, and
+scheduling policies are modeled in :mod:`repro.sim.stage` and above,
+keeping this layer reusable for any event-driven model.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, List, Optional
+
+from .events import EventHandle, EventQueue
+
+__all__ = ["Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised on engine misuse (e.g. scheduling into the past)."""
+
+
+class Simulator:
+    """The simulation clock and event loop.
+
+    Attributes:
+        now: Current simulation time.  Starts at 0.0.
+        events_processed: Number of callbacks executed so far.
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.events_processed = 0
+        self._queue = EventQueue()
+        self._running = False
+        self._trace_hooks: List[Callable[[float, EventHandle], None]] = []
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def at(self, time: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute ``time``.
+
+        Raises:
+            SimulationError: If ``time`` precedes the current clock or
+                is NaN.
+        """
+        if math.isnan(time) or time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time} (now={self.now})"
+            )
+        return self._queue.push(time, callback, args)
+
+    def after(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` after ``delay`` time units.
+
+        Raises:
+            SimulationError: If ``delay`` is negative or NaN.
+        """
+        if math.isnan(delay) or delay < 0:
+            raise SimulationError(f"delay must be >= 0, got {delay}")
+        return self._queue.push(self.now + delay, callback, args)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns:
+            True if an event was executed, False when the queue is empty.
+        """
+        handle = self._queue.pop()
+        if handle is None:
+            return False
+        self.now = handle.time
+        for hook in self._trace_hooks:
+            hook(self.now, handle)
+        handle.callback(*handle.args)
+        self.events_processed += 1
+        return True
+
+    def run(self, until: float = math.inf, max_events: Optional[int] = None) -> None:
+        """Run the event loop.
+
+        Args:
+            until: Stop once the next event would fire strictly after
+                this time; the clock is advanced to ``until`` (when
+                finite) so utilization accounting covers the full
+                horizon.
+            max_events: Optional hard cap on the number of callbacks to
+                execute (guards against runaway models).
+
+        Raises:
+            SimulationError: If called re-entrantly from a callback.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not re-entrant")
+        self._running = True
+        try:
+            executed = 0
+            while True:
+                next_time = self._queue.peek_time()
+                if next_time is None or next_time > until:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                self.step()
+                executed += 1
+            if math.isfinite(until) and until > self.now:
+                self.now = until
+        finally:
+            self._running = False
+
+    def peek_next_time(self) -> Optional[float]:
+        """Time of the next pending event, or ``None``."""
+        return self._queue.peek_time()
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+
+    def add_trace_hook(self, hook: Callable[[float, EventHandle], None]) -> None:
+        """Register a hook invoked before each event executes.
+
+        Hooks receive ``(time, handle)``; used by
+        :mod:`repro.sim.trace` to record event logs for debugging and
+        by tests to assert orderings.
+        """
+        self._trace_hooks.append(hook)

@@ -1,0 +1,87 @@
+"""Event primitives for the discrete-event simulation engine.
+
+The engine executes callbacks in timestamp order; ties are broken by
+scheduling order (FIFO among simultaneous events), which keeps runs
+deterministic for a fixed seed.  Events are cancellable: cancellation
+is O(1) (a flag) and the heap entry is discarded lazily when popped.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+__all__ = ["EventHandle", "EventQueue"]
+
+
+class EventHandle:
+    """A scheduled callback that can be cancelled before it fires.
+
+    Attributes:
+        time: Absolute simulation time at which the callback fires.
+        callback: Zero-or-more-argument callable invoked at ``time``.
+        args: Positional arguments passed to the callback.
+        cancelled: True once :meth:`cancel` has been called.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self, time: float, seq: int, callback: Callable[..., None], args: Tuple[Any, ...]
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing; safe to call repeatedly."""
+        self.cancelled = True
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        # heapq compares handles when (time, seq) tie — seq is unique,
+        # so this ordering is total.
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        return f"<EventHandle t={self.time:.6g} {name} {state}>"
+
+
+class EventQueue:
+    """A min-heap of :class:`EventHandle` ordered by (time, seq)."""
+
+    def __init__(self) -> None:
+        self._heap: List[EventHandle] = []
+        self._seq = 0
+
+    def push(self, time: float, callback: Callable[..., None], args: Tuple[Any, ...]) -> EventHandle:
+        """Schedule ``callback(*args)`` at ``time`` and return its handle."""
+        handle = EventHandle(time, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def pop(self) -> Optional[EventHandle]:
+        """Remove and return the earliest non-cancelled event, or ``None``."""
+        while self._heap:
+            handle = heapq.heappop(self._heap)
+            if not handle.cancelled:
+                return handle
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest pending event, or ``None`` when empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        # Includes cancelled-but-unpopped entries; used only as a
+        # rough size signal.
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None

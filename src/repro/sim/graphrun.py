@@ -1,0 +1,335 @@
+"""Execution of DAG-structured tasks over independent resources.
+
+Section 3.3 generalizes the pipeline to tasks given by a directed
+acyclic graph of subtasks, each allocated to a resource.  This module
+simulates such systems and performs Theorem-2 admission control:
+
+- a task's contribution to resource ``k`` is the *sum* of the costs of
+  its subtasks on ``k`` divided by its end-to-end deadline (subtasks
+  sharing a processor share its synthetic utilization — the paper's
+  remark below Theorem 2);
+- an arrival is admitted iff, with its contributions tentatively added,
+  the Theorem-2 inequality holds for the arriving task's graph *and*
+  for every graph shape currently in the system;
+- subtasks become ready when all their predecessors complete; ready
+  subtasks are scheduled preemptively by fixed priority on their
+  resource.
+
+The idle-reset rule applies per resource: a task is *departed* from a
+resource once all its subtasks there have finished.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
+
+from ..core.dag import TaskGraph
+from ..core.synthetic import StageUtilizationTracker
+from .engine import Simulator
+from .metrics import SimulationReport, StageUsage, TaskRecord
+from .policies import DeadlineMonotonic, SchedulingPolicy
+from .stage import Job, Stage
+
+__all__ = ["GraphTask", "GraphPipelineSimulation"]
+
+_graph_task_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class GraphTask:
+    """An aperiodic task structured as a DAG of subtasks.
+
+    Duck-type compatible with :class:`~repro.core.task.PipelineTask`
+    for the scheduling policies (``deadline``, ``arrival_time``,
+    ``importance``, ``task_id``).
+
+    Attributes:
+        task_id: Unique id.
+        arrival_time: Arrival of the task (its source subtasks become
+            ready immediately).
+        deadline: Relative end-to-end deadline.
+        graph: Subtask DAG with resource assignments.
+        costs: Computation time of each subtask (keys = graph nodes).
+        importance: Semantic importance.
+    """
+
+    task_id: int
+    arrival_time: float
+    deadline: float
+    graph: TaskGraph
+    costs: Mapping[Hashable, float]
+    importance: int = 0
+
+    def __post_init__(self) -> None:
+        if self.deadline <= 0:
+            raise ValueError(f"deadline must be > 0, got {self.deadline}")
+        missing = set(self.graph.resource_of) - set(self.costs)
+        if missing:
+            raise ValueError(f"costs missing for subtasks {sorted(map(str, missing))}")
+        if any(c < 0 for c in self.costs.values()):
+            raise ValueError("subtask costs must be >= 0")
+
+    @property
+    def absolute_deadline(self) -> float:
+        return self.arrival_time + self.deadline
+
+    def resource_contributions(self) -> Dict[Hashable, float]:
+        """Synthetic-utilization contribution per resource.
+
+        Subtasks allocated to the same resource *add up* — the shared
+        resource has a single utilization dimension.
+        """
+        totals: Dict[Hashable, float] = {}
+        for node, resource in self.graph.resource_of.items():
+            totals[resource] = totals.get(resource, 0.0) + self.costs[node]
+        return {r: c / self.deadline for r, c in totals.items()}
+
+    @classmethod
+    def create(
+        cls,
+        arrival_time: float,
+        deadline: float,
+        graph: TaskGraph,
+        costs: Mapping[Hashable, float],
+        importance: int = 0,
+    ) -> "GraphTask":
+        """Build with an auto-assigned id."""
+        return cls(
+            task_id=next(_graph_task_ids),
+            arrival_time=arrival_time,
+            deadline=deadline,
+            graph=graph,
+            costs=dict(costs),
+            importance=importance,
+        )
+
+
+class _ActiveShapes:
+    """Reference-counted set of distinct task-graph shapes in the system."""
+
+    def __init__(self) -> None:
+        self._shapes: Dict[int, Tuple[TaskGraph, int]] = {}
+
+    @staticmethod
+    def _key(graph: TaskGraph) -> int:
+        return id(graph)
+
+    def add(self, graph: TaskGraph) -> None:
+        key = self._key(graph)
+        existing = self._shapes.get(key)
+        self._shapes[key] = (graph, existing[1] + 1 if existing else 1)
+
+    def discard(self, graph: TaskGraph) -> None:
+        key = self._key(graph)
+        existing = self._shapes.get(key)
+        if existing is None:
+            return
+        if existing[1] <= 1:
+            del self._shapes[key]
+        else:
+            self._shapes[key] = (graph, existing[1] - 1)
+
+    def graphs(self) -> List[TaskGraph]:
+        return [g for g, _ in self._shapes.values()]
+
+
+class GraphPipelineSimulation:
+    """Simulates DAG tasks over named resources with Theorem-2 admission.
+
+    Args:
+        resources: Resource identifiers (one preemptive CPU each).
+        policy: Fixed-priority policy shared by all resources.
+        alpha: Urgency-inversion parameter of the policy.
+        betas: Optional per-resource normalized blocking terms.
+        reset_on_idle: Apply the idle-reset rule per resource.
+    """
+
+    def __init__(
+        self,
+        resources: Iterable[Hashable],
+        policy: Optional[SchedulingPolicy] = None,
+        alpha: float = 1.0,
+        betas: Optional[Mapping[Hashable, float]] = None,
+        reset_on_idle: bool = True,
+    ) -> None:
+        if not (0.0 < alpha <= 1.0):
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.sim = Simulator()
+        self.policy = policy if policy is not None else DeadlineMonotonic()
+        self.alpha = alpha
+        self.betas = dict(betas) if betas else {}
+        self.reset_on_idle = reset_on_idle
+        self.resource_ids: List[Hashable] = list(resources)
+        if not self.resource_ids:
+            raise ValueError("at least one resource is required")
+        if len(set(self.resource_ids)) != len(self.resource_ids):
+            raise ValueError("resource ids must be unique")
+        self.stages: Dict[Hashable, Stage] = {}
+        self.trackers: Dict[Hashable, StageUtilizationTracker] = {}
+        for index, rid in enumerate(self.resource_ids):
+            stage = Stage(
+                self.sim,
+                index=index,
+                name=str(rid),
+                on_job_complete=self._subtask_complete,
+                on_idle=self._resource_idle,
+            )
+            self.stages[rid] = stage
+            self.trackers[rid] = StageUtilizationTracker()
+        self._stage_resource: Dict[int, Hashable] = {
+            stage.index: rid for rid, stage in self.stages.items()
+        }
+        self.records: Dict[int, TaskRecord] = {}
+        self._record_order: List[TaskRecord] = []
+        self._shapes = _ActiveShapes()
+        # Per task: remaining indegree per subtask, unfinished count per resource.
+        self._pending_preds: Dict[int, Dict[Hashable, int]] = {}
+        self._unfinished_on: Dict[int, Dict[Hashable, int]] = {}
+        self._tasks: Dict[int, GraphTask] = {}
+        self._node_of_job: Dict[int, Tuple[int, Hashable]] = {}
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    def utilizations(self) -> Dict[Hashable, float]:
+        """Current synthetic utilization per resource."""
+        return {rid: tracker.value for rid, tracker in self.trackers.items()}
+
+    def _expire(self) -> None:
+        for tracker in self.trackers.values():
+            tracker.expire_until(self.sim.now)
+
+    def _feasible_with(self, extra: Mapping[Hashable, float], graphs: List[TaskGraph]) -> bool:
+        utils = {
+            rid: tracker.value + extra.get(rid, 0.0)
+            for rid, tracker in self.trackers.items()
+        }
+        if any(u >= 1.0 for u in utils.values()):
+            return False
+        for graph in graphs:
+            if graph.region_value(utils, self.betas) > self.alpha:
+                return False
+        return True
+
+    def offer_at(self, task: GraphTask) -> None:
+        """Schedule the task's arrival."""
+        unknown = set(task.graph.resources()) - set(self.stages)
+        if unknown:
+            raise ValueError(f"task uses unknown resources {sorted(map(str, unknown))}")
+        self.sim.at(task.arrival_time, self._arrive, task)
+
+    def _arrive(self, task: GraphTask) -> None:
+        record = TaskRecord(
+            task_id=task.task_id,
+            arrival_time=task.arrival_time,
+            deadline=task.deadline,
+            importance=task.importance,
+        )
+        self.records[task.task_id] = record
+        self._record_order.append(record)
+        self._expire()
+        contributions = task.resource_contributions()
+        graphs = self._shapes.graphs()
+        if task.graph not in graphs:
+            graphs.append(task.graph)
+        if not self._feasible_with(contributions, graphs):
+            return  # rejected
+        record.admitted = True
+        record.admitted_at = self.sim.now
+        for rid, contribution in contributions.items():
+            self.trackers[rid].add(task.task_id, contribution, task.absolute_deadline)
+        self._shapes.add(task.graph)
+        self._launch(task)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _launch(self, task: GraphTask) -> None:
+        indegree: Dict[Hashable, int] = {n: 0 for n in task.graph.resource_of}
+        for _, v in task.graph.edges:
+            indegree[v] += 1
+        unfinished: Dict[Hashable, int] = {}
+        for node, resource in task.graph.resource_of.items():
+            unfinished[resource] = unfinished.get(resource, 0) + 1
+        self._pending_preds[task.task_id] = indegree
+        self._unfinished_on[task.task_id] = unfinished
+        self._tasks[task.task_id] = task
+        for node, degree in indegree.items():
+            if degree == 0:
+                self._submit_node(task, node)
+
+    def _submit_node(self, task: GraphTask, node: Hashable) -> None:
+        resource = task.graph.resource_of[node]
+        stage = self.stages[resource]
+        key = self.policy.priority_key(task)
+        job = stage.submit(task, key, duration=task.costs[node])
+        # Stash the node on the job's task association via a side table.
+        self._node_of_job[id(job)] = (task.task_id, node)
+
+    def _subtask_complete(self, job: Job) -> None:
+        task_id, node = self._node_of_job.pop(id(job))
+        task = self._tasks[task_id]
+        resource = task.graph.resource_of[node]
+        unfinished = self._unfinished_on[task_id]
+        unfinished[resource] -= 1
+        if unfinished[resource] == 0:
+            self.trackers[resource].mark_departed(task_id)
+        indegree = self._pending_preds[task_id]
+        done_all = all(
+            count == 0 for count in unfinished.values()
+        )
+        for u, v in task.graph.edges:
+            if u == node:
+                indegree[v] -= 1
+                if indegree[v] == 0:
+                    self._submit_node(task, v)
+        if done_all:
+            record = self.records[task_id]
+            record.completed_at = self.sim.now
+            self._shapes.discard(task.graph)
+            del self._pending_preds[task_id]
+            del self._unfinished_on[task_id]
+            del self._tasks[task_id]
+
+    def _resource_idle(self, stage: Stage) -> None:
+        if not self.reset_on_idle:
+            return
+        rid = self._stage_resource[stage.index]
+        self.trackers[rid].reset_on_idle()
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+
+    def run(self, horizon: float, warmup: float = 0.0) -> SimulationReport:
+        """Execute until ``horizon`` and report (see pipeline analogue)."""
+        if not (0.0 <= warmup <= horizon):
+            raise ValueError(f"need 0 <= warmup <= horizon, got {warmup}, {horizon}")
+        busy_at_warmup = {rid: 0.0 for rid in self.resource_ids}
+
+        def snapshot() -> None:
+            for rid, stage in self.stages.items():
+                busy_at_warmup[rid] = stage.busy_time()
+
+        if warmup > 0:
+            self.sim.at(warmup, snapshot)
+        self.sim.run(until=horizon)
+        window = horizon - warmup
+        usage = [
+            StageUsage(
+                stage=index,
+                busy_time=self.stages[rid].busy_time(horizon) - busy_at_warmup[rid],
+                window=window,
+            )
+            for index, rid in enumerate(self.resource_ids)
+        ]
+        return SimulationReport(
+            horizon=horizon,
+            warmup=warmup,
+            stage_usage=usage,
+            tasks=list(self._record_order),
+        )

@@ -1,0 +1,151 @@
+"""Stochastic workloads of DAG-structured tasks (Section 3.3 regime).
+
+Mirrors :mod:`repro.sim.workload` for the task-graph case: Poisson
+arrivals, exponential per-subtask computation times, uniform end-to-end
+deadlines — with the task *shape* drawn from a weighted set of
+template graphs (systems typically run a few dataflow topologies, e.g.
+the TSCE sensor-processing flows with "possible branching and
+rejoining").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Hashable, Iterator, List, Mapping, Optional, Tuple
+
+from ..core.dag import TaskGraph
+from .graphrun import GraphPipelineSimulation, GraphTask
+from .metrics import SimulationReport
+from .policies import SchedulingPolicy
+
+__all__ = ["GraphTemplate", "GraphWorkload", "run_graph_simulation"]
+
+
+@dataclass(frozen=True)
+class GraphTemplate:
+    """One task topology with per-subtask mean demands.
+
+    Attributes:
+        name: Template name (for reporting).
+        graph: The subtask DAG with resource assignments.
+        mean_costs: Mean exponential computation time per subtask.
+        weight: Relative arrival share of this shape.
+    """
+
+    name: str
+    graph: TaskGraph
+    mean_costs: Mapping[Hashable, float]
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        missing = set(self.graph.resource_of) - set(self.mean_costs)
+        if missing:
+            raise ValueError(
+                f"template {self.name!r}: mean costs missing for "
+                f"{sorted(map(str, missing))}"
+            )
+        if any(c < 0 for c in self.mean_costs.values()):
+            raise ValueError(f"template {self.name!r}: mean costs must be >= 0")
+        if self.weight <= 0:
+            raise ValueError(f"template {self.name!r}: weight must be > 0")
+
+    @property
+    def mean_total_cost(self) -> float:
+        """Mean summed demand of one task of this shape."""
+        return sum(self.mean_costs.values())
+
+
+@dataclass(frozen=True)
+class GraphWorkload:
+    """A Poisson mixture of DAG task templates.
+
+    Attributes:
+        templates: The shape set (non-empty).
+        arrival_rate: Total Poisson arrival rate.
+        deadline_range: Uniform end-to-end deadline range ``(lo, hi)``.
+    """
+
+    templates: Tuple[GraphTemplate, ...]
+    arrival_rate: float
+    deadline_range: Tuple[float, float]
+
+    def __post_init__(self) -> None:
+        if not self.templates:
+            raise ValueError("at least one template is required")
+        if self.arrival_rate <= 0:
+            raise ValueError(f"arrival rate must be > 0, got {self.arrival_rate}")
+        lo, hi = self.deadline_range
+        if not (0 < lo <= hi):
+            raise ValueError(
+                f"deadline range must satisfy 0 < lo <= hi, got {self.deadline_range}"
+            )
+
+    def resources(self) -> List[Hashable]:
+        """Union of resources across templates, first-appearance order."""
+        seen: List[Hashable] = []
+        for template in self.templates:
+            for rid in template.graph.resources():
+                if rid not in seen:
+                    seen.append(rid)
+        return seen
+
+    def tasks(self, horizon: float, rng: random.Random) -> Iterator[GraphTask]:
+        """Generate the arrival stream over ``[0, horizon)``."""
+        weights = [t.weight for t in self.templates]
+        t = rng.expovariate(self.arrival_rate)
+        lo, hi = self.deadline_range
+        while t < horizon:
+            template = rng.choices(self.templates, weights=weights, k=1)[0]
+            costs = {
+                node: (rng.expovariate(1.0 / mean) if mean > 0 else 0.0)
+                for node, mean in template.mean_costs.items()
+            }
+            yield GraphTask.create(
+                arrival_time=t,
+                deadline=rng.uniform(lo, hi),
+                graph=template.graph,
+                costs=costs,
+            )
+            t += rng.expovariate(self.arrival_rate)
+
+
+def run_graph_simulation(
+    workload: GraphWorkload,
+    horizon: float,
+    seed: int = 0,
+    warmup_fraction: float = 0.05,
+    policy: Optional[SchedulingPolicy] = None,
+    alpha: float = 1.0,
+    betas: Optional[Mapping[Hashable, float]] = None,
+    reset_on_idle: bool = True,
+) -> SimulationReport:
+    """Generate, simulate, and report one DAG-workload experiment point.
+
+    Args:
+        workload: The stochastic DAG workload.
+        horizon: Simulated time span.
+        seed: RNG seed (fixes the exact task sequence).
+        warmup_fraction: Fraction of the horizon excluded from
+            utilization measurement.
+        policy: Scheduling policy (deadline-monotonic by default).
+        alpha: Policy urgency-inversion parameter.
+        betas: Optional per-resource blocking terms.
+        reset_on_idle: Idle-reset rule toggle.
+
+    Returns:
+        The simulation report.
+    """
+    if not (0.0 <= warmup_fraction < 1.0):
+        raise ValueError(f"warmup_fraction must be in [0, 1), got {warmup_fraction}")
+    sim = GraphPipelineSimulation(
+        resources=workload.resources(),
+        policy=policy,
+        alpha=alpha,
+        betas=betas,
+        reset_on_idle=reset_on_idle,
+    )
+    rng = random.Random(seed)
+    for task in workload.tasks(horizon, rng):
+        sim.offer_at(task)
+    return sim.run(horizon, warmup=horizon * warmup_fraction)

@@ -1,0 +1,206 @@
+"""Critical sections under the Priority Ceiling Protocol (PCP).
+
+Section 3.2 allows subtasks to block on lower-priority tasks holding
+shared resources; with PCP at each node, a task blocks at most once per
+stage, for at most the longest critical section of a lower-priority
+task sharing a resource with it.  That bound is what the ``beta_j``
+terms of Eq. 15 normalize.
+
+The implementation follows the classic uniprocessor PCP:
+
+- each lock has a *ceiling*: the highest priority (smallest key) of
+  any job that may ever acquire it;
+- a job may acquire a lock only if its priority is strictly higher
+  than the ceilings of all locks currently held by *other* jobs
+  (locks the job itself holds do not constrain it);
+- on a failed acquisition the job blocks and the offending holder
+  inherits the blocked job's priority until release.
+
+Priority keys sort ascending (smaller = higher priority), matching
+:mod:`repro.sim.policies`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .stage import Job
+
+__all__ = ["Lock", "LockManager"]
+
+PriorityKey = Tuple[float, ...]
+
+
+@dataclass
+class Lock:
+    """A shared resource protected by PCP.
+
+    Attributes:
+        lock_id: Identifier.
+        ceiling: Highest priority key (smallest tuple) among registered
+            users; ``None`` until the first registration.
+        holder: Job currently inside the critical section, if any.
+    """
+
+    lock_id: Hashable
+    ceiling: Optional[PriorityKey] = None
+    holder: Optional["Job"] = None
+
+    def register_user(self, key: PriorityKey) -> None:
+        """Raise the ceiling to cover a (potential) user with priority ``key``."""
+        if self.ceiling is None or key < self.ceiling:
+            self.ceiling = key
+
+
+class LockManager:
+    """Per-stage PCP lock table with priority inheritance.
+
+    The manager does not run jobs itself; the owning
+    :class:`~repro.sim.stage.Stage` calls :meth:`acquire` when a job
+    reaches a critical-section segment and :meth:`release` when the
+    segment ends, and applies the returned priority adjustments.
+    """
+
+    def __init__(self) -> None:
+        self._locks: Dict[Hashable, Lock] = {}
+        self._held: Dict["Job", Set[Hashable]] = {}
+        self._blocked: List["Job"] = []  # jobs waiting for a failed acquisition
+
+    # ------------------------------------------------------------------
+    # Registration / queries
+    # ------------------------------------------------------------------
+
+    def lock(self, lock_id: Hashable) -> Lock:
+        """Get or create the lock object for ``lock_id``."""
+        if lock_id not in self._locks:
+            self._locks[lock_id] = Lock(lock_id)
+        return self._locks[lock_id]
+
+    def register_user(self, lock_id: Hashable, key: PriorityKey) -> None:
+        """Declare that jobs with priority ``key`` may use ``lock_id``.
+
+        Ceilings should cover every potential user *before* execution
+        starts; the stage auto-registers each job's locks when the job
+        is submitted, which is sound as long as jobs are submitted no
+        later than their arrival.
+        """
+        self.lock(lock_id).register_user(key)
+
+    def locks_held_by(self, job: "Job") -> Set[Hashable]:
+        """Lock ids currently held by ``job``."""
+        return set(self._held.get(job, ()))
+
+    def blocked_jobs(self) -> List["Job"]:
+        """Jobs currently blocked on an acquisition, unordered."""
+        return list(self._blocked)
+
+    def system_ceiling(self, exclude: "Job") -> Tuple[Optional[PriorityKey], Optional["Job"]]:
+        """Highest ceiling among locks held by jobs other than ``exclude``.
+
+        Returns:
+            ``(ceiling_key, holder)`` of the constraining lock, or
+            ``(None, None)`` when no other job holds a lock.
+        """
+        best_key: Optional[PriorityKey] = None
+        best_holder: Optional["Job"] = None
+        for lock in self._locks.values():
+            if lock.holder is None or lock.holder is exclude:
+                continue
+            if lock.ceiling is not None and (best_key is None or lock.ceiling < best_key):
+                best_key = lock.ceiling
+                best_holder = lock.holder
+        return best_key, best_holder
+
+    # ------------------------------------------------------------------
+    # Acquire / release
+    # ------------------------------------------------------------------
+
+    def acquire(self, job: "Job", lock_id: Hashable) -> Tuple[bool, Optional["Job"]]:
+        """Attempt a PCP acquisition.
+
+        Args:
+            job: The requesting job (must be the stage's running job).
+            lock_id: Lock to acquire.
+
+        Returns:
+            ``(True, None)`` on success.  ``(False, blocker)`` when the
+            job must block; ``blocker`` is the job that should inherit
+            the requester's priority (the holder of the requested lock,
+            or of the system-ceiling lock).
+        """
+        lock = self.lock(lock_id)
+        lock.register_user(job.effective_key)
+        if lock.holder is job:
+            raise ValueError(f"job {job!r} already holds lock {lock_id!r}")
+        if lock.holder is not None:
+            self._blocked.append(job)
+            return False, lock.holder
+        ceiling, ceiling_holder = self.system_ceiling(exclude=job)
+        if ceiling is not None and not (job.effective_key < ceiling):
+            self._blocked.append(job)
+            return False, ceiling_holder
+        lock.holder = job
+        self._held.setdefault(job, set()).add(lock_id)
+        return True, None
+
+    def release(self, job: "Job", lock_id: Hashable) -> List["Job"]:
+        """Release a lock and return the blocked jobs that may now retry.
+
+        The caller (the stage) re-attempts acquisition for the returned
+        jobs in priority order and restores the releaser's priority via
+        :meth:`inherited_key_for`.
+
+        Raises:
+            ValueError: If ``job`` does not hold ``lock_id``.
+        """
+        lock = self.lock(lock_id)
+        if lock.holder is not job:
+            raise ValueError(f"job {job!r} does not hold lock {lock_id!r}")
+        lock.holder = None
+        held = self._held.get(job)
+        if held:
+            held.discard(lock_id)
+            if not held:
+                del self._held[job]
+        retry = sorted(self._blocked, key=lambda j: j.effective_key)
+        return retry
+
+    def retry_acquire(self, job: "Job", lock_id: Hashable) -> Tuple[bool, Optional["Job"]]:
+        """Re-attempt acquisition for a currently *blocked* job.
+
+        On success the job is removed from the blocked set and holds
+        the lock; on failure it stays blocked and the (possibly new)
+        blocker is returned for priority inheritance.
+        """
+        lock = self.lock(lock_id)
+        if lock.holder is not None:
+            return False, lock.holder
+        ceiling, ceiling_holder = self.system_ceiling(exclude=job)
+        if ceiling is not None and not (job.effective_key < ceiling):
+            return False, ceiling_holder
+        self._blocked.remove(job)
+        lock.holder = job
+        self._held.setdefault(job, set()).add(lock_id)
+        return True, None
+
+    def unblock(self, job: "Job") -> None:
+        """Remove a job from the blocked set (its retry succeeded)."""
+        self._blocked.remove(job)
+
+    def inherited_key_for(self, job: "Job") -> Optional[PriorityKey]:
+        """Highest priority ``job`` must inherit from jobs it still blocks.
+
+        A job that holds locks inherits the priority of the
+        highest-priority job currently blocked (directly or via the
+        system ceiling) because of those locks.  Returns ``None`` when
+        no inheritance applies.
+        """
+        if job not in self._held:
+            return None
+        best: Optional[PriorityKey] = None
+        for blocked in self._blocked:
+            if best is None or blocked.base_key < best:
+                best = blocked.base_key
+        return best

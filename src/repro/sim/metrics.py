@@ -1,0 +1,301 @@
+"""Measurement collection for pipeline simulations.
+
+The evaluation reports *real* utilization (fraction of time a stage's
+processor is busy — distinct from the synthetic utilization used by the
+admission test), task accept/reject counts, deadline-miss ratios among
+admitted tasks, and end-to-end response times.  Warmup trimming and
+simple batch-mean confidence intervals are provided so experiment
+sweeps can report stable numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "TaskRecord",
+    "StageUsage",
+    "SimulationReport",
+    "StreamSummary",
+    "mean_confidence_interval",
+]
+
+
+@dataclass
+class TaskRecord:
+    """Per-task outcome.
+
+    Attributes:
+        task_id: Task identifier.
+        arrival_time: Arrival at the first stage.
+        deadline: Relative end-to-end deadline.
+        admitted: Whether admission control accepted the task.
+        admitted_at: When it was admitted (>= arrival when it waited in
+            the admission queue), or None.
+        completed_at: Departure from the last stage, or None.
+        shed: True if the task was admitted but later shed.
+        importance: Semantic importance.
+        stream_id: Periodic stream id, if any.
+    """
+
+    task_id: int
+    arrival_time: float
+    deadline: float
+    admitted: bool = False
+    admitted_at: Optional[float] = None
+    completed_at: Optional[float] = None
+    shed: bool = False
+    importance: int = 0
+    stream_id: Optional[int] = None
+
+    @property
+    def absolute_deadline(self) -> float:
+        return self.arrival_time + self.deadline
+
+    @property
+    def missed(self) -> bool:
+        """True when the task completed after its absolute deadline.
+
+        Incomplete tasks are judged by the caller against the horizon;
+        see :meth:`SimulationReport.miss_ratio`.
+        """
+        return self.completed_at is not None and self.completed_at > self.absolute_deadline + 1e-12
+
+    @property
+    def response_time(self) -> Optional[float]:
+        """End-to-end response time (arrival to final departure)."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.arrival_time
+
+
+@dataclass(frozen=True)
+class StageUsage:
+    """Busy-time snapshot of one stage over a measurement window."""
+
+    stage: int
+    busy_time: float
+    window: float
+
+    @property
+    def utilization(self) -> float:
+        """Real utilization: busy fraction of the window."""
+        if self.window <= 0:
+            return 0.0
+        return self.busy_time / self.window
+
+
+@dataclass
+class SimulationReport:
+    """Aggregated results of one simulation run.
+
+    Attributes:
+        horizon: Simulated time span.
+        warmup: Initial span excluded from utilization measurements.
+        stage_usage: Per-stage busy-time over ``[warmup, horizon]``.
+        tasks: Per-task records (generation order).
+    """
+
+    horizon: float
+    warmup: float
+    stage_usage: List[StageUsage] = field(default_factory=list)
+    tasks: List[TaskRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Counts
+    # ------------------------------------------------------------------
+
+    @property
+    def generated(self) -> int:
+        """Number of tasks offered to the system."""
+        return len(self.tasks)
+
+    @property
+    def admitted(self) -> int:
+        """Number of tasks accepted by admission control."""
+        return sum(1 for t in self.tasks if t.admitted)
+
+    @property
+    def rejected(self) -> int:
+        """Number of tasks rejected (including admission-wait timeouts)."""
+        return sum(1 for t in self.tasks if not t.admitted)
+
+    @property
+    def completed(self) -> int:
+        """Admitted tasks that left the last stage within the horizon."""
+        return sum(1 for t in self.tasks if t.completed_at is not None)
+
+    @property
+    def shed_count(self) -> int:
+        """Admitted tasks later removed by load shedding."""
+        return sum(1 for t in self.tasks if t.shed)
+
+    # ------------------------------------------------------------------
+    # Ratios
+    # ------------------------------------------------------------------
+
+    @property
+    def accept_ratio(self) -> float:
+        """Fraction of offered tasks that were admitted."""
+        return self.admitted / self.generated if self.generated else 0.0
+
+    def miss_ratio(self, settled_before: Optional[float] = None) -> float:
+        """Deadline-miss ratio among admitted, non-shed tasks.
+
+        A task counts as missed when it completed after its absolute
+        deadline, or when it never completed although its deadline
+        fell inside the horizon.  Tasks whose deadline lies beyond
+        ``settled_before`` (default: the horizon) are excluded — their
+        outcome is right-censored.
+
+        Args:
+            settled_before: Only judge tasks with absolute deadline at
+                or before this time.
+        """
+        cutoff = self.horizon if settled_before is None else settled_before
+        judged = 0
+        missed = 0
+        for t in self.tasks:
+            if not t.admitted or t.shed:
+                continue
+            if t.absolute_deadline > cutoff:
+                continue
+            judged += 1
+            if t.missed or t.completed_at is None:
+                missed += 1
+        return missed / judged if judged else 0.0
+
+    # ------------------------------------------------------------------
+    # Utilization
+    # ------------------------------------------------------------------
+
+    def utilization(self, stage: int) -> float:
+        """Real utilization of one stage over the measurement window."""
+        return self.stage_usage[stage].utilization
+
+    def utilizations(self) -> Tuple[float, ...]:
+        """Real utilization of every stage."""
+        return tuple(u.utilization for u in self.stage_usage)
+
+    def average_utilization(self) -> float:
+        """Mean real utilization across stages (Fig. 4/5 y-axis)."""
+        if not self.stage_usage:
+            return 0.0
+        return sum(self.utilizations()) / len(self.stage_usage)
+
+    def bottleneck_utilization(self) -> float:
+        """Highest per-stage real utilization (Fig. 6 y-axis)."""
+        return max(self.utilizations(), default=0.0)
+
+    # ------------------------------------------------------------------
+    # Response times
+    # ------------------------------------------------------------------
+
+    def response_times(self) -> List[float]:
+        """End-to-end response times of completed tasks."""
+        return [t.response_time for t in self.tasks if t.response_time is not None]
+
+    def mean_response_time(self) -> float:
+        """Average end-to-end response time (0.0 when nothing completed)."""
+        times = self.response_times()
+        return sum(times) / len(times) if times else 0.0
+
+    def response_time_percentile(self, q: float) -> float:
+        """Response-time percentile (nearest-rank) among completed tasks.
+
+        Args:
+            q: Percentile in ``[0, 100]`` (e.g. 99.0 for the tail).
+
+        Returns:
+            0.0 when nothing completed.
+
+        Raises:
+            ValueError: If ``q`` is outside ``[0, 100]``.
+        """
+        if not (0.0 <= q <= 100.0):
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        times = sorted(self.response_times())
+        if not times:
+            return 0.0
+        rank = max(1, math.ceil(q / 100.0 * len(times)))
+        return times[rank - 1]
+
+    def per_stream_summary(self) -> Dict[Optional[int], "StreamSummary"]:
+        """Aggregate outcomes per periodic stream.
+
+        Pure aperiodic tasks (``stream_id is None``) are grouped under
+        the ``None`` key.
+        """
+        groups: Dict[Optional[int], List[TaskRecord]] = {}
+        for record in self.tasks:
+            groups.setdefault(record.stream_id, []).append(record)
+        summaries: Dict[Optional[int], StreamSummary] = {}
+        for stream_id, records in groups.items():
+            admitted = [r for r in records if r.admitted]
+            responses = [r.response_time for r in admitted if r.response_time is not None]
+            missed = sum(
+                1
+                for r in admitted
+                if not r.shed
+                and r.absolute_deadline <= self.horizon
+                and (r.missed or r.completed_at is None)
+            )
+            summaries[stream_id] = StreamSummary(
+                stream_id=stream_id,
+                offered=len(records),
+                admitted=len(admitted),
+                missed=missed,
+                worst_response=max(responses) if responses else 0.0,
+            )
+        return summaries
+
+
+@dataclass(frozen=True)
+class StreamSummary:
+    """Per-stream aggregate outcome.
+
+    Attributes:
+        stream_id: Stream identifier (``None`` = pure aperiodics).
+        offered: Invocations offered.
+        admitted: Invocations admitted.
+        missed: Deadline misses among admitted, settled invocations.
+        worst_response: Largest end-to-end response time observed.
+    """
+
+    stream_id: Optional[int]
+    offered: int
+    admitted: int
+    missed: int
+    worst_response: float
+
+    @property
+    def accept_ratio(self) -> float:
+        return self.admitted / self.offered if self.offered else 0.0
+
+
+def mean_confidence_interval(
+    samples: Sequence[float], z: float = 1.96
+) -> Tuple[float, float]:
+    """Mean and normal-approximation half-width for replication sets.
+
+    Args:
+        samples: Independent replication results (>= 1 value).
+        z: Normal quantile (1.96 for ~95%).
+
+    Returns:
+        ``(mean, half_width)``; half-width is 0.0 for fewer than two
+        samples.
+
+    Raises:
+        ValueError: If ``samples`` is empty.
+    """
+    n = len(samples)
+    if n == 0:
+        raise ValueError("at least one sample is required")
+    mean = sum(samples) / n
+    if n < 2:
+        return mean, 0.0
+    var = sum((s - mean) ** 2 for s in samples) / (n - 1)
+    return mean, z * math.sqrt(var / n)

@@ -1,0 +1,129 @@
+"""Scheduling policies: priority assignment for pipeline stages.
+
+A *fixed-priority* policy (in the paper's aperiodic sense) assigns each
+task a priority that is constant across stages and independent of its
+arrival time.  Deadline-monotonic — the optimal uniprocessor
+fixed-priority policy for aperiodic tasks, used throughout the paper's
+evaluation — has urgency-inversion parameter ``alpha = 1``.
+
+Priority keys sort ascending: *smaller key = higher priority*.  Keys
+must be totally ordered; every policy appends the task id as the final
+tie-breaker so schedules are deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, Tuple
+
+from ..core.alpha import alpha_random_priority
+from ..core.task import PipelineTask
+
+__all__ = [
+    "SchedulingPolicy",
+    "DeadlineMonotonic",
+    "EarliestDeadlineFirst",
+    "FifoPolicy",
+    "RandomPriority",
+    "ImportanceFirst",
+]
+
+PriorityKey = Tuple[float, ...]
+
+
+class SchedulingPolicy:
+    """Base class mapping tasks to totally ordered priority keys."""
+
+    #: Whether the policy is fixed-priority in the paper's sense
+    #: (priority independent of arrival time and constant across stages).
+    fixed_priority = True
+
+    def priority_key(self, task: PipelineTask) -> PriorityKey:
+        """Return the task's priority key (smaller = higher priority)."""
+        raise NotImplementedError
+
+    def alpha(self, deadlines: Sequence[float]) -> float:
+        """Urgency-inversion parameter for a deadline population.
+
+        Policies that can invert urgency must override this; the
+        default of 1.0 is correct only for urgency-consistent policies
+        such as deadline-monotonic.
+        """
+        return 1.0
+
+
+class DeadlineMonotonic(SchedulingPolicy):
+    """Shorter relative deadline = higher priority (``alpha = 1``)."""
+
+    def priority_key(self, task: PipelineTask) -> PriorityKey:
+        return (task.deadline, float(task.task_id))
+
+
+class EarliestDeadlineFirst(SchedulingPolicy):
+    """Earlier *absolute* deadline = higher priority.
+
+    EDF is **not** a fixed-priority policy in the paper's sense: the
+    priority ``A_i + D_i`` depends on the arrival time, so the feasible
+    region of Section 3 does not apply to it.  It is provided as a
+    simulation comparator only.
+    """
+
+    fixed_priority = False
+
+    def priority_key(self, task: PipelineTask) -> PriorityKey:
+        return (task.absolute_deadline, float(task.task_id))
+
+
+class FifoPolicy(SchedulingPolicy):
+    """Earlier arrival = higher priority.
+
+    Like EDF, FIFO priorities depend on arrival times, so it is not
+    fixed-priority in the paper's sense; comparator only.
+    """
+
+    fixed_priority = False
+
+    def priority_key(self, task: PipelineTask) -> PriorityKey:
+        return (task.arrival_time, float(task.task_id))
+
+
+class RandomPriority(SchedulingPolicy):
+    """Priorities drawn independently of urgency.
+
+    The worst-case urgency-inversion parameter is
+    ``alpha = D_least / D_most`` (Section 2).  The draw is a
+    deterministic function of the task id and the policy seed, so the
+    priority is fixed across stages and across repeated queries.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+
+    def priority_key(self, task: PipelineTask) -> PriorityKey:
+        # Deterministic per (seed, task_id): integer mixing, because
+        # random.Random cannot be seeded with a tuple.
+        mixed = (self._seed * 0x9E3779B97F4A7C15 + task.task_id * 0x2545F4914F6CDD1D) & (
+            (1 << 64) - 1
+        )
+        draw = random.Random(mixed).random()
+        return (draw, float(task.task_id))
+
+    def alpha(self, deadlines: Sequence[float]) -> float:
+        return alpha_random_priority(deadlines)
+
+
+class ImportanceFirst(SchedulingPolicy):
+    """Semantic importance first, deadline-monotonic within a class.
+
+    Models the *suboptimal* alternative the Section-5 architecture
+    argues against: encoding shedding order into scheduling priority.
+    Its ``alpha`` is the worst deadline ratio across importance-ordered
+    pairs; computing that requires the full population, so the
+    conservative ``D_least / D_most`` is used here.
+    """
+
+    def priority_key(self, task: PipelineTask) -> PriorityKey:
+        return (-float(task.importance), task.deadline, float(task.task_id))
+
+    def alpha(self, deadlines: Sequence[float]) -> float:
+        return alpha_random_priority(deadlines)

@@ -1,0 +1,474 @@
+"""A pipeline stage: preemptive fixed-priority resource with PCP locks.
+
+Each stage models one independent resource (a CPU).  Jobs — subtask
+instances — are enqueued with a priority key (smaller = higher
+priority) and executed preemptively: an arriving higher-priority job
+immediately preempts the running one.  Jobs may contain critical-
+section *segments* guarded by PCP locks (:mod:`repro.sim.locks`);
+priority inheritance is applied while a holder blocks higher-priority
+work.
+
+The stage keeps exact busy-time accounting (for real-utilization
+measurements) and fires callbacks on job departure and on idle
+transitions — the hooks the admission controller's bookkeeping rules
+need (Section 4).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Callable, Hashable, List, Optional, Sequence, Tuple
+
+from ..core.task import PipelineTask
+from .engine import Simulator
+from .locks import LockManager
+
+__all__ = ["Segment", "Job", "Stage"]
+
+PriorityKey = Tuple[float, ...]
+
+_READY = "ready"
+_RUNNING = "running"
+_BLOCKED = "blocked"
+_DONE = "done"
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A contiguous piece of a subtask's execution.
+
+    Attributes:
+        duration: Execution time of the segment (>= 0).
+        lock: Lock id guarding the segment (a critical section), or
+            ``None`` for preemptible open code.
+    """
+
+    duration: float
+    lock: Optional[Hashable] = None
+
+
+class Job:
+    """One subtask instance at one stage.
+
+    Attributes:
+        task: The owning pipeline task.
+        stage_index: Stage this job executes on.
+        base_key: Policy-assigned priority key.
+        effective_key: Current key after priority inheritance.
+        enqueued_at: Time the job entered the stage's ready queue.
+        started_at: First time the job got the CPU (None until then).
+        finished_at: Completion time (None until done).
+        blocking_time: Total time spent blocked on PCP acquisitions.
+        preemptions: Number of times the job was preempted.
+    """
+
+    __slots__ = (
+        "task",
+        "stage_index",
+        "base_key",
+        "effective_key",
+        "segments",
+        "segment_index",
+        "segment_remaining",
+        "state",
+        "enqueued_at",
+        "started_at",
+        "finished_at",
+        "blocking_time",
+        "blocked_since",
+        "preemptions",
+        "_heap_version",
+        "_seq",
+    )
+
+    def __init__(
+        self,
+        task: PipelineTask,
+        stage_index: int,
+        base_key: PriorityKey,
+        segments: Sequence[Segment],
+        seq: int,
+    ) -> None:
+        self.task = task
+        self.stage_index = stage_index
+        self.base_key = base_key
+        self.effective_key = base_key
+        self.segments = list(segments)
+        self.segment_index = 0
+        self.segment_remaining = self.segments[0].duration if self.segments else 0.0
+        self.state = _READY
+        self.enqueued_at = math.nan
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.blocking_time = 0.0
+        self.blocked_since = math.nan
+        self.preemptions = 0
+        self._heap_version = 0
+        self._seq = seq
+
+    @property
+    def total_duration(self) -> float:
+        """Total execution demand across segments."""
+        return sum(s.duration for s in self.segments)
+
+    @property
+    def current_segment(self) -> Optional[Segment]:
+        """Segment the job is executing (or about to), ``None`` when done."""
+        if self.segment_index >= len(self.segments):
+            return None
+        return self.segments[self.segment_index]
+
+    def __repr__(self) -> str:
+        return (
+            f"<Job task={self.task.task_id} stage={self.stage_index} "
+            f"state={self.state} key={self.effective_key}>"
+        )
+
+
+class Stage:
+    """A preemptive fixed-priority resource executing jobs.
+
+    Args:
+        sim: The owning simulator.
+        index: Stage position in the pipeline (0-based).
+        name: Human-readable name, defaults to ``"stage<index>"``.
+
+    Callbacks (all optional, set as attributes or via constructor):
+        on_job_complete: ``fn(job)`` — after a job's last segment ends.
+        on_idle: ``fn(stage)`` — when the stage transitions to idle
+            (no ready, running, or blocked work).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        index: int,
+        name: Optional[str] = None,
+        on_job_complete: Optional[Callable[[Job], None]] = None,
+        on_idle: Optional[Callable[["Stage"], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.index = index
+        self.name = name if name is not None else f"stage{index}"
+        self.on_job_complete = on_job_complete
+        self.on_idle = on_idle
+        self.locks = LockManager()
+        self._ready: List[Tuple[PriorityKey, int, int, Job]] = []
+        self._running: Optional[Job] = None
+        self._run_started = 0.0
+        self._segment_event = None
+        self._busy_total = 0.0
+        self._seq = itertools.count()
+        self._jobs_completed = 0
+        self._idle = True
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def running(self) -> Optional[Job]:
+        """Currently executing job, if any."""
+        return self._running
+
+    @property
+    def is_idle(self) -> bool:
+        """True when no job is ready, running, or blocked here."""
+        return (
+            self._running is None
+            and not self._any_ready()
+            and not self.locks.blocked_jobs()
+        )
+
+    @property
+    def jobs_completed(self) -> int:
+        """Number of jobs that finished at this stage."""
+        return self._jobs_completed
+
+    def busy_time(self, now: Optional[float] = None) -> float:
+        """Cumulative busy time up to ``now`` (defaults to the sim clock)."""
+        t = self.sim.now if now is None else now
+        total = self._busy_total
+        if self._running is not None:
+            total += t - self._run_started
+        return total
+
+    def queue_length(self) -> int:
+        """Number of ready (not running, not blocked) jobs."""
+        self._prune_ready()
+        return sum(
+            1 for _, _, version, job in self._ready
+            if job.state == _READY and version == job._heap_version
+        )
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        task: PipelineTask,
+        priority_key: PriorityKey,
+        duration: Optional[float] = None,
+        segments: Optional[Sequence[Segment]] = None,
+    ) -> Job:
+        """Enqueue a subtask of ``task`` for execution.
+
+        Args:
+            task: The owning task.
+            priority_key: Policy key (smaller = higher priority).
+            duration: Simple single-segment execution time; mutually
+                exclusive with ``segments``.
+            segments: Explicit segment list for jobs with critical
+                sections.
+
+        Returns:
+            The created job.
+
+        Raises:
+            ValueError: If both or neither of duration/segments given,
+                or a duration is negative.
+        """
+        if (duration is None) == (segments is None):
+            raise ValueError("provide exactly one of duration or segments")
+        if segments is None:
+            if duration < 0:
+                raise ValueError(f"duration must be >= 0, got {duration}")
+            segments = [Segment(duration)]
+        else:
+            segments = list(segments)
+            if not segments:
+                raise ValueError("segments must be non-empty")
+            if any(s.duration < 0 for s in segments):
+                raise ValueError("segment durations must be >= 0")
+        job = Job(task, self.index, tuple(priority_key), segments, next(self._seq))
+        job.enqueued_at = self.sim.now
+        for segment in segments:
+            if segment.lock is not None:
+                self.locks.register_user(segment.lock, job.base_key)
+        self._push_ready(job)
+        self._reschedule()
+        return job
+
+    def abort(self, job: Job) -> None:
+        """Remove a job from the stage (load shedding / task abort).
+
+        Works in any state: a running job is stopped (its busy time so
+        far still counts — the processor really was busy), a ready job
+        is invalidated in place, a blocked job is removed from the lock
+        wait set.  Any locks the job holds are released, waking blocked
+        jobs per PCP.
+        """
+        if job.state == _DONE:
+            return
+        if job is self._running:
+            self._stop_running_clock()
+            if self._segment_event is not None:
+                self._segment_event.cancel()
+                self._segment_event = None
+            self._running = None
+        elif job.state == _BLOCKED:
+            self.locks.unblock(job)
+        # Ready jobs: state change invalidates their heap entries.
+        job.state = _DONE
+        job.finished_at = None
+        for lock_id in list(self.locks.locks_held_by(job)):
+            self._release(job, lock_id)
+        self._reschedule()
+
+    # ------------------------------------------------------------------
+    # Scheduling internals
+    # ------------------------------------------------------------------
+
+    def _push_ready(self, job: Job) -> None:
+        job.state = _READY
+        job._heap_version += 1
+        heapq.heappush(
+            self._ready, (job.effective_key, job._seq, job._heap_version, job)
+        )
+
+    def _prune_ready(self) -> None:
+        while self._ready:
+            _, _, version, job = self._ready[0]
+            if job.state == _READY and version == job._heap_version:
+                return
+            heapq.heappop(self._ready)
+
+    def _any_ready(self) -> bool:
+        self._prune_ready()
+        return bool(self._ready)
+
+    def _peek_ready(self) -> Optional[Job]:
+        self._prune_ready()
+        return self._ready[0][3] if self._ready else None
+
+    def _pop_ready(self) -> Optional[Job]:
+        self._prune_ready()
+        if not self._ready:
+            return None
+        return heapq.heappop(self._ready)[3]
+
+    def _reschedule(self) -> None:
+        """Enforce the priority order; start/preempt/idle as needed."""
+        head = self._peek_ready()
+        if self._running is None:
+            if head is not None:
+                self._start(self._pop_ready())
+            else:
+                self._maybe_fire_idle()
+            return
+        if head is not None and head.effective_key < self._running.effective_key:
+            if self._preempt(self._running):
+                self._start(self._pop_ready())
+
+    def _start(self, job: Job) -> None:
+        self._idle = False
+        job.state = _RUNNING
+        if job.started_at is None:
+            job.started_at = self.sim.now
+        self._running = job
+        self._run_started = self.sim.now
+        segment = job.current_segment
+        if segment is not None and segment.lock is not None and not self._holds(job, segment.lock):
+            # Entering a critical section: acquire before consuming time.
+            if not self._acquire_or_block(job, segment.lock):
+                return
+        self._segment_event = self.sim.after(job.segment_remaining, self._segment_end, job)
+
+    def _holds(self, job: Job, lock_id: Hashable) -> bool:
+        return lock_id in self.locks.locks_held_by(job)
+
+    def _preempt(self, job: Job) -> bool:
+        """Preempt the running job; returns True if it was requeued.
+
+        When the preemption instant coincides with the end of the
+        job's current segment (its pending end event carries the same
+        timestamp but a later sequence number than the arrival that
+        triggered the preemption), the segment is *complete*: process
+        the segment end instead of requeueing finished work, and
+        return False — the completion path has already dispatched.
+        """
+        elapsed = self.sim.now - self._run_started
+        if elapsed >= job.segment_remaining:
+            if self._segment_event is not None:
+                self._segment_event.cancel()
+            self._segment_end(job)
+            return False
+        self._stop_running_clock()
+        job.segment_remaining -= elapsed
+        job.preemptions += 1
+        if self._segment_event is not None:
+            self._segment_event.cancel()
+            self._segment_event = None
+        self._running = None
+        self._push_ready(job)
+        return True
+
+    def _stop_running_clock(self) -> None:
+        self._busy_total += self.sim.now - self._run_started
+        self._run_started = self.sim.now
+
+    def _segment_end(self, job: Job) -> None:
+        """The running job finished its current segment."""
+        assert job is self._running, "segment event for a non-running job"
+        self._stop_running_clock()
+        self._segment_event = None
+        segment = job.segments[job.segment_index]
+        if segment.lock is not None:
+            self._release(job, segment.lock)
+        job.segment_index += 1
+        nxt = job.current_segment
+        if nxt is None:
+            self._finish(job)
+            return
+        job.segment_remaining = nxt.duration
+        if nxt.lock is not None:
+            if not self._acquire_or_block(job, nxt.lock):
+                return
+        # Keep the CPU only while still the highest priority job.
+        head = self._peek_ready()
+        if head is not None and head.effective_key < job.effective_key:
+            if self._preempt(job):
+                self._start(self._pop_ready())
+        else:
+            self._segment_event = self.sim.after(job.segment_remaining, self._segment_end, job)
+
+    def _finish(self, job: Job) -> None:
+        job.state = _DONE
+        job.finished_at = self.sim.now
+        self._running = None
+        self._jobs_completed += 1
+        if self.on_job_complete is not None:
+            self.on_job_complete(job)
+        self._reschedule()
+
+    # ------------------------------------------------------------------
+    # PCP integration
+    # ------------------------------------------------------------------
+
+    def _acquire_or_block(self, job: Job, lock_id: Hashable) -> bool:
+        """Try to take ``lock_id`` for the running job.
+
+        Returns True when acquired (the caller continues the segment);
+        on failure the job is suspended, the blocker inherits its
+        priority, and the next ready job is dispatched.
+        """
+        acquired, blocker = self.locks.acquire(job, lock_id)
+        if acquired:
+            return True
+        job.state = _BLOCKED
+        job.blocked_since = self.sim.now
+        self._running = None
+        if blocker is not None and job.effective_key < blocker.effective_key:
+            self._boost(blocker, job.effective_key)
+        self._reschedule()
+        return False
+
+    def _boost(self, job: Job, key: PriorityKey) -> None:
+        """Apply priority inheritance: raise ``job`` to ``key``."""
+        if not (key < job.effective_key):
+            return
+        job.effective_key = key
+        if job.state == _READY:
+            self._push_ready(job)  # re-queue at the inherited priority
+
+    def _release(self, job: Job, lock_id: Hashable) -> None:
+        """Release a critical section and wake eligible blocked jobs.
+
+        Pure bookkeeping: woken waiters are pushed to the ready queue
+        but dispatching is left to the caller (``_segment_end`` decides
+        whether the releasing job keeps the CPU, ``abort`` reschedules
+        itself) — rescheduling here would preempt a job whose segment
+        transition is still being processed.
+        """
+        retry = self.locks.release(job, lock_id)
+        inherited = self.locks.inherited_key_for(job)
+        job.effective_key = (
+            job.base_key if inherited is None or not (inherited < job.base_key) else inherited
+        )
+        for waiter in retry:
+            if waiter.state != _BLOCKED:
+                continue
+            segment = waiter.current_segment
+            assert segment is not None and segment.lock is not None
+            acquired, blocker = self.locks.retry_acquire(waiter, segment.lock)
+            if acquired:
+                waiter.blocking_time += self.sim.now - waiter.blocked_since
+                self._push_ready(waiter)
+            elif blocker is not None and waiter.effective_key < blocker.effective_key:
+                self._boost(blocker, waiter.effective_key)
+
+    # ------------------------------------------------------------------
+    # Idle bookkeeping
+    # ------------------------------------------------------------------
+
+    def _maybe_fire_idle(self) -> None:
+        if self._idle:
+            return
+        if self.is_idle:
+            self._idle = True
+            if self.on_idle is not None:
+                self.on_idle(self)

@@ -1,0 +1,76 @@
+"""Event tracing for debugging and test assertions.
+
+Attaches to :meth:`repro.sim.engine.Simulator.add_trace_hook` and
+records a bounded log of executed events.  Used by tests to assert
+orderings and by users to debug unexpected schedules; the recorder is
+deliberately simple (no I/O) so it adds negligible overhead.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional
+
+from .engine import Simulator
+from .events import EventHandle
+
+__all__ = ["TraceEntry", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One executed event.
+
+    Attributes:
+        time: Execution time.
+        callback_name: ``__name__`` of the callback (or its repr).
+        args_repr: Repr of the callback arguments, truncated.
+    """
+
+    time: float
+    callback_name: str
+    args_repr: str
+
+
+class TraceRecorder:
+    """Bounded in-memory recorder of executed simulator events.
+
+    Args:
+        sim: Simulator to attach to.
+        capacity: Maximum retained entries (oldest evicted first).
+        predicate: Optional filter ``fn(time, handle) -> bool``; only
+            matching events are recorded.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: int = 10_000,
+        predicate: Optional[Callable[[float, EventHandle], bool]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.entries: Deque[TraceEntry] = deque(maxlen=capacity)
+        self._predicate = predicate
+        sim.add_trace_hook(self._record)
+
+    def _record(self, time: float, handle: EventHandle) -> None:
+        if self._predicate is not None and not self._predicate(time, handle):
+            return
+        name = getattr(handle.callback, "__name__", repr(handle.callback))
+        args = repr(handle.args)
+        if len(args) > 120:
+            args = args[:117] + "..."
+        self.entries.append(TraceEntry(time=time, callback_name=name, args_repr=args))
+
+    def times(self) -> List[float]:
+        """Execution times of the recorded events, in order."""
+        return [e.time for e in self.entries]
+
+    def names(self) -> List[str]:
+        """Callback names of the recorded events, in order."""
+        return [e.callback_name for e in self.entries]
+
+    def __len__(self) -> int:
+        return len(self.entries)

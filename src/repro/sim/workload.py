@@ -1,0 +1,200 @@
+"""Workload generation for the evaluation experiments (Section 4).
+
+The paper's simulation setup: independent tasks with exponentially
+distributed per-stage computation times (independent across stages),
+end-to-end deadlines chosen uniformly from a range that grows linearly
+with the number of stages, and Poisson arrivals.  The knobs that the
+four experiments turn:
+
+- *input load* (Fig. 4): arrival rate as a fraction of stage capacity,
+  ``load = lambda * mean_stage_cost``;
+- *pipeline length* (Fig. 4): number of stages, deadlines scaled with it;
+- *task resolution* (Fig. 5/7): average end-to-end deadline over
+  average total computation time;
+- *load imbalance* (Fig. 6): ratio of mean computation time across
+  stages.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from ..core.task import PipelineTask, make_task
+
+__all__ = [
+    "PipelineWorkload",
+    "balanced_workload",
+    "imbalanced_two_stage_workload",
+]
+
+
+@dataclass(frozen=True)
+class PipelineWorkload:
+    """A stochastic aperiodic pipeline workload.
+
+    Attributes:
+        mean_stage_costs: Mean exponential computation time per stage;
+            the tuple length is the pipeline length.
+        arrival_rate: Poisson arrival rate (tasks per time unit).
+        deadline_range: ``(lo, hi)`` of the uniform end-to-end deadline
+            distribution.
+        importance: Semantic importance stamped on generated tasks.
+    """
+
+    mean_stage_costs: Tuple[float, ...]
+    arrival_rate: float
+    deadline_range: Tuple[float, float]
+    importance: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.mean_stage_costs:
+            raise ValueError("at least one stage is required")
+        if any(c <= 0 for c in self.mean_stage_costs):
+            raise ValueError("mean stage costs must be > 0")
+        if self.arrival_rate <= 0:
+            raise ValueError(f"arrival rate must be > 0, got {self.arrival_rate}")
+        lo, hi = self.deadline_range
+        if not (0 < lo <= hi):
+            raise ValueError(f"deadline range must satisfy 0 < lo <= hi, got {self.deadline_range}")
+
+    @property
+    def num_stages(self) -> int:
+        """Pipeline length."""
+        return len(self.mean_stage_costs)
+
+    @property
+    def mean_deadline(self) -> float:
+        """Average end-to-end deadline."""
+        lo, hi = self.deadline_range
+        return (lo + hi) / 2.0
+
+    @property
+    def mean_total_cost(self) -> float:
+        """Average total computation time across all stages."""
+        return sum(self.mean_stage_costs)
+
+    @property
+    def task_resolution(self) -> float:
+        """Average deadline over average total computation (Section 4.2)."""
+        return self.mean_deadline / self.mean_total_cost
+
+    def offered_load(self, stage: int) -> float:
+        """Offered load of one stage: ``lambda * mean_cost_j``."""
+        return self.arrival_rate * self.mean_stage_costs[stage]
+
+    @property
+    def bottleneck_load(self) -> float:
+        """Largest per-stage offered load."""
+        return self.arrival_rate * max(self.mean_stage_costs)
+
+    def tasks(self, horizon: float, rng: random.Random) -> Iterator[PipelineTask]:
+        """Generate the Poisson arrival stream over ``[0, horizon)``.
+
+        Args:
+            horizon: Generation stops at this time.
+            rng: Seeded random source; a fixed seed reproduces the
+                exact task sequence.
+
+        Yields:
+            Tasks in arrival order.
+        """
+        lo, hi = self.deadline_range
+        t = rng.expovariate(self.arrival_rate)
+        while t < horizon:
+            costs = [rng.expovariate(1.0 / mean) for mean in self.mean_stage_costs]
+            deadline = rng.uniform(lo, hi)
+            yield make_task(
+                arrival_time=t,
+                deadline=deadline,
+                computation_times=costs,
+                importance=self.importance,
+            )
+            t += rng.expovariate(self.arrival_rate)
+
+
+def balanced_workload(
+    num_stages: int,
+    load: float,
+    mean_stage_cost: float = 1.0,
+    resolution: float = 100.0,
+    deadline_spread: float = 0.5,
+) -> PipelineWorkload:
+    """Workload matching the Fig. 4/5/7 setup.
+
+    All stages draw computation times from the same exponential
+    distribution, keeping the average stage load equal.  The average
+    end-to-end deadline is ``resolution * num_stages * mean_stage_cost``
+    — the deadline range grows linearly with the number of stages, and
+    the average total computation stays at ``1/resolution`` of the
+    average deadline (the paper's Fig. 4 uses resolution ~ 100).
+
+    Args:
+        num_stages: Pipeline length.
+        load: Input load as a fraction of stage capacity (1.0 = 100%);
+            the Fig. 4 sweep spans 0.6 .. 2.0.
+        mean_stage_cost: Mean per-stage computation time (time scale).
+        resolution: Task resolution (avg deadline / avg total cost).
+        deadline_spread: Deadlines are uniform in
+            ``mean_deadline * (1 -/+ spread)``.
+
+    Raises:
+        ValueError: On out-of-range parameters.
+    """
+    if num_stages < 1:
+        raise ValueError(f"num_stages must be >= 1, got {num_stages}")
+    if load <= 0:
+        raise ValueError(f"load must be > 0, got {load}")
+    if resolution <= 0:
+        raise ValueError(f"resolution must be > 0, got {resolution}")
+    if not (0 <= deadline_spread < 1):
+        raise ValueError(f"deadline_spread must be in [0, 1), got {deadline_spread}")
+    mean_deadline = resolution * num_stages * mean_stage_cost
+    lo = mean_deadline * (1 - deadline_spread)
+    hi = mean_deadline * (1 + deadline_spread)
+    return PipelineWorkload(
+        mean_stage_costs=(mean_stage_cost,) * num_stages,
+        arrival_rate=load / mean_stage_cost,
+        deadline_range=(lo, hi),
+    )
+
+
+def imbalanced_two_stage_workload(
+    cost_ratio: float,
+    bottleneck_load: float,
+    total_mean_cost: float = 2.0,
+    resolution: float = 100.0,
+    deadline_spread: float = 0.5,
+) -> PipelineWorkload:
+    """Two-stage workload with a load imbalance knob (Fig. 6 setup).
+
+    The two mean stage costs are ``(c1, c2)`` with ``c1 / c2 =
+    cost_ratio`` and ``c1 + c2 = total_mean_cost``; the arrival rate is
+    set so the *bottleneck* stage sees the requested offered load.  The
+    balanced midpoint is ``cost_ratio = 1``.
+
+    Args:
+        cost_ratio: Mean-computation-time ratio across the two stages
+            (> 0); values and their reciprocals are symmetric cases.
+        bottleneck_load: Offered load at the slower stage (1.0 = 100%).
+        total_mean_cost: ``c1 + c2``; fixes the time scale.
+        resolution: Average deadline over average total computation.
+        deadline_spread: Uniform deadline half-width (relative).
+    """
+    if cost_ratio <= 0:
+        raise ValueError(f"cost_ratio must be > 0, got {cost_ratio}")
+    if bottleneck_load <= 0:
+        raise ValueError(f"bottleneck_load must be > 0, got {bottleneck_load}")
+    c2 = total_mean_cost / (1.0 + cost_ratio)
+    c1 = total_mean_cost - c2
+    bottleneck_cost = max(c1, c2)
+    arrival_rate = bottleneck_load / bottleneck_cost
+    mean_deadline = resolution * total_mean_cost
+    lo = mean_deadline * (1 - deadline_spread)
+    hi = mean_deadline * (1 + deadline_spread)
+    return PipelineWorkload(
+        mean_stage_costs=(c1, c2),
+        arrival_rate=arrival_rate,
+        deadline_range=(lo, hi),
+    )

@@ -1,0 +1,143 @@
+"""Tests for the urgency-inversion parameter ``alpha`` (Section 2)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.alpha import (
+    alpha_deadline_monotonic,
+    alpha_for_policy,
+    alpha_from_pairs,
+    alpha_random_priority,
+    urgency_inversion_alpha,
+)
+
+
+def brute_force_alpha(deadlines, priorities):
+    """Reference O(n^2) implementation straight from the definition."""
+    alpha = 1.0
+    n = len(deadlines)
+    for hi, lo in itertools.permutations(range(n), 2):
+        if priorities[hi] >= priorities[lo]:
+            alpha = min(alpha, deadlines[lo] / deadlines[hi])
+    return alpha
+
+
+class TestAlphaFromPairs:
+    def test_empty(self):
+        assert alpha_from_pairs([]) == 1.0
+
+    def test_no_inversion(self):
+        assert alpha_from_pairs([(1.0, 2.0), (2.0, 3.0)]) == 1.0
+
+    def test_inversion(self):
+        # A task with deadline 4 prioritized over one with deadline 1.
+        assert alpha_from_pairs([(4.0, 1.0)]) == pytest.approx(0.25)
+
+    def test_min_across_pairs(self):
+        assert alpha_from_pairs([(2.0, 1.0), (10.0, 1.0)]) == pytest.approx(0.1)
+
+    def test_invalid_deadline(self):
+        with pytest.raises(ValueError):
+            alpha_from_pairs([(0.0, 1.0)])
+
+
+class TestDeadlineMonotonic:
+    def test_always_one(self):
+        assert alpha_deadline_monotonic([3.0, 1.0, 2.0]) == 1.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            alpha_deadline_monotonic([1.0, -1.0])
+
+    def test_generic_computation_agrees(self):
+        deadlines = [5.0, 1.0, 3.0, 2.0]
+        # DM: higher priority = shorter deadline = larger priority number.
+        priorities = [-d for d in deadlines]
+        assert urgency_inversion_alpha(deadlines, priorities) == 1.0
+
+
+class TestRandomPriority:
+    def test_least_over_most(self):
+        assert alpha_random_priority([1.0, 2.0, 4.0]) == pytest.approx(0.25)
+
+    def test_single_task(self):
+        assert alpha_random_priority([7.0]) == 1.0
+
+    def test_empty(self):
+        assert alpha_random_priority([]) == 1.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            alpha_random_priority([1.0, 0.0])
+
+
+class TestGenericAlpha:
+    def test_single_task(self):
+        assert urgency_inversion_alpha([5.0], [1.0]) == 1.0
+
+    def test_two_tasks_inverted(self):
+        # Task 0 (D=10) has higher priority than task 1 (D=2).
+        assert urgency_inversion_alpha([10.0, 2.0], [2.0, 1.0]) == pytest.approx(0.2)
+
+    def test_two_tasks_consistent(self):
+        assert urgency_inversion_alpha([2.0, 10.0], [2.0, 1.0]) == 1.0
+
+    def test_equal_priorities_count_both_ways(self):
+        # Same priority, deadlines 1 and 4: the pair inverts in one
+        # direction regardless of labeling.
+        assert urgency_inversion_alpha([1.0, 4.0], [1.0, 1.0]) == pytest.approx(0.25)
+
+    def test_equal_priorities_equal_deadlines(self):
+        assert urgency_inversion_alpha([3.0, 3.0], [1.0, 1.0]) == 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            urgency_inversion_alpha([1.0], [1.0, 2.0])
+
+    def test_invalid_deadline(self):
+        with pytest.raises(ValueError):
+            urgency_inversion_alpha([0.0], [1.0])
+
+    def test_worst_case_random_assignment(self):
+        deadlines = [1.0, 2.0, 8.0]
+        # Priorities exactly inverted: longest deadline highest priority.
+        priorities = [1.0, 2.0, 3.0]
+        assert urgency_inversion_alpha(deadlines, priorities) == pytest.approx(
+            1.0 / 8.0
+        )
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=1, max_size=8),
+        st.randoms(use_true_random=False),
+    )
+    def test_matches_brute_force(self, deadlines, rng):
+        priorities = [rng.randint(0, 3) for _ in deadlines]
+        expected = brute_force_alpha(deadlines, priorities)
+        assert urgency_inversion_alpha(deadlines, priorities) == pytest.approx(
+            expected
+        )
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=2, max_size=8)
+    )
+    def test_random_priority_is_worst_case(self, deadlines):
+        # Any concrete priority assignment is at least as good as the
+        # D_least / D_most worst case.
+        worst = alpha_random_priority(deadlines)
+        priorities = [(i * 7919) % 13 for i in range(len(deadlines))]
+        assert urgency_inversion_alpha(deadlines, priorities) >= worst - 1e-12
+
+
+class TestAlphaForPolicy:
+    def test_callback(self):
+        deadlines = [4.0, 1.0]
+        alpha = alpha_for_policy(deadlines, priority_of=lambda i: i)
+        # Task 1 (D=1) has the higher priority: no inversion.
+        assert alpha == 1.0
+
+    def test_callback_inverted(self):
+        deadlines = [1.0, 4.0]
+        alpha = alpha_for_policy(deadlines, priority_of=lambda i: i)
+        assert alpha == pytest.approx(0.25)

@@ -1,0 +1,327 @@
+"""Tests for the analytical baselines (uniprocessor, periodic, RTA)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.periodic import (
+    harmonic_chain_bound,
+    harmonic_chain_count,
+    hyperbolic_bound_holds,
+    is_liu_layland_schedulable,
+    liu_layland_bound,
+    rate_monotonic_priorities,
+)
+from repro.analysis.responsetime import (
+    PeriodicStageTask,
+    holistic_pipeline_analysis,
+    response_time_analysis,
+)
+from repro.analysis.singlenode import (
+    is_uniprocessor_feasible,
+    max_admissible_contribution,
+    uniprocessor_bound,
+)
+from repro.core.bounds import UNIPROCESSOR_APERIODIC_BOUND
+
+
+class TestUniprocessorBound:
+    def test_default_value(self):
+        assert uniprocessor_bound() == pytest.approx(2 - math.sqrt(2))
+
+    def test_matches_paper_closed_form(self):
+        # The paper quotes U <= 1 / (1 + sqrt(1/2)).
+        assert uniprocessor_bound() == pytest.approx(1 / (1 + math.sqrt(0.5)))
+
+    def test_alpha_shrinks(self):
+        assert uniprocessor_bound(alpha=0.5) < uniprocessor_bound()
+
+    def test_blocking_shrinks(self):
+        assert uniprocessor_bound(beta=0.3) < uniprocessor_bound()
+
+    def test_feasibility_check(self):
+        assert is_uniprocessor_feasible(0.5)
+        assert not is_uniprocessor_feasible(0.6)
+        assert not is_uniprocessor_feasible(1.0)
+
+    def test_headroom(self):
+        assert max_admissible_contribution(0.0) == pytest.approx(
+            UNIPROCESSOR_APERIODIC_BOUND
+        )
+        assert max_admissible_contribution(0.9) == 0.0
+
+    def test_aperiodic_below_liu_layland_limit(self):
+        """The aperiodic bound (~0.586) is below ln 2 (~0.693): the
+        price of making no periodicity assumption."""
+        assert uniprocessor_bound() < math.log(2)
+
+
+class TestLiuLayland:
+    def test_single_task(self):
+        assert liu_layland_bound(1) == pytest.approx(1.0)
+
+    def test_two_tasks(self):
+        assert liu_layland_bound(2) == pytest.approx(2 * (math.sqrt(2) - 1))
+
+    def test_limit_ln2(self):
+        assert liu_layland_bound(10_000) == pytest.approx(math.log(2), abs=1e-4)
+
+    def test_monotone_decreasing(self):
+        values = [liu_layland_bound(n) for n in range(1, 20)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            liu_layland_bound(0)
+
+    def test_schedulability_check(self):
+        assert is_liu_layland_schedulable([0.3, 0.3])
+        assert not is_liu_layland_schedulable([0.5, 0.4])
+        assert is_liu_layland_schedulable([])
+
+    def test_negative_utilization_rejected(self):
+        with pytest.raises(ValueError):
+            is_liu_layland_schedulable([-0.1])
+
+
+class TestHyperbolicBound:
+    def test_accepts_when_product_within_two(self):
+        assert hyperbolic_bound_holds([0.5, 0.3])  # 1.5 * 1.3 = 1.95
+
+    def test_rejects_above(self):
+        assert not hyperbolic_bound_holds([0.5, 0.4])  # 1.5 * 1.4 = 2.1
+
+    def test_empty(self):
+        assert hyperbolic_bound_holds([])
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=8)
+    )
+    def test_dominates_liu_layland(self, utils):
+        """Bini et al.: every L&L-schedulable set passes the hyperbolic
+        test too."""
+        if is_liu_layland_schedulable(utils):
+            assert hyperbolic_bound_holds(utils)
+
+
+class TestHarmonicChains:
+    def test_single_chain(self):
+        assert harmonic_chain_count([1.0, 2.0, 4.0, 8.0]) == 1
+
+    def test_two_chains(self):
+        assert harmonic_chain_count([1.0, 2.0, 3.0]) == 2  # {1,2}|{3} or {1,3}|{2}
+
+    def test_all_independent(self):
+        assert harmonic_chain_count([5.0, 7.0, 11.0]) == 3
+
+    def test_bound_uses_chain_count(self):
+        # One harmonic chain -> bound 1.0 regardless of task count.
+        assert harmonic_chain_bound([1.0, 2.0, 4.0, 8.0]) == pytest.approx(1.0)
+
+    def test_bound_empty(self):
+        assert harmonic_chain_bound([]) == 1.0
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            harmonic_chain_count([0.0])
+
+    def test_rm_priorities(self):
+        assert rate_monotonic_priorities([10.0, 1.0, 5.0]) == [1, 2, 0]
+
+    def test_rm_priorities_invalid(self):
+        with pytest.raises(ValueError):
+            rate_monotonic_priorities([1.0, -2.0])
+
+
+class TestResponseTimeAnalysis:
+    def test_single_task(self):
+        tasks = [PeriodicStageTask("a", period=10.0, wcet=3.0)]
+        assert response_time_analysis(tasks) == [3.0]
+
+    def test_classic_two_task_example(self):
+        tasks = [
+            PeriodicStageTask("hi", period=5.0, wcet=2.0),
+            PeriodicStageTask("lo", period=20.0, wcet=6.0),
+        ]
+        r = response_time_analysis(tasks)
+        assert r[0] == 2.0
+        # lo: 6 + ceil(R/5)*2 -> fixed point at R=10 (6 + 2*ceil(10/5)).
+        assert r[1] == 10.0
+
+    def test_blocking_adds_directly(self):
+        tasks = [PeriodicStageTask("a", period=10.0, wcet=3.0, blocking=1.5)]
+        assert response_time_analysis(tasks) == [4.5]
+
+    def test_jitter_increases_interference(self):
+        base = [
+            PeriodicStageTask("hi", period=5.0, wcet=2.0),
+            PeriodicStageTask("lo", period=100.0, wcet=2.5),
+        ]
+        jittered = [
+            PeriodicStageTask("hi", period=5.0, wcet=2.0, jitter=4.0),
+            PeriodicStageTask("lo", period=100.0, wcet=2.5),
+        ]
+        assert response_time_analysis(jittered)[1] >= response_time_analysis(base)[1]
+
+    def test_overload_returns_none(self):
+        tasks = [
+            PeriodicStageTask("hi", period=2.0, wcet=2.0),
+            PeriodicStageTask("lo", period=100.0, wcet=1.0),
+        ]
+        r = response_time_analysis(tasks)
+        assert r[0] == 2.0
+        assert r[1] is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicStageTask("bad", period=0.0, wcet=1.0)
+        with pytest.raises(ValueError):
+            PeriodicStageTask("bad", period=1.0, wcet=-1.0)
+        with pytest.raises(ValueError):
+            PeriodicStageTask("bad", period=1.0, wcet=0.5, jitter=-1.0)
+
+
+class TestHolisticAnalysis:
+    def test_single_stage_reduces_to_rta(self):
+        result = holistic_pipeline_analysis(
+            periods=[5.0, 20.0],
+            stage_wcets=[[2.0], [6.0]],
+            end_to_end_deadlines=[5.0, 20.0],
+        )
+        assert result.end_to_end == [2.0, 10.0]
+        assert result.schedulable == [True, True]
+
+    def test_two_stage_pipeline(self):
+        result = holistic_pipeline_analysis(
+            periods=[10.0],
+            stage_wcets=[[2.0, 3.0]],
+            end_to_end_deadlines=[10.0],
+        )
+        assert result.end_to_end == [5.0]
+        assert result.schedulable == [True]
+
+    def test_unschedulable_detected(self):
+        result = holistic_pipeline_analysis(
+            periods=[2.0, 50.0],
+            stage_wcets=[[1.9], [5.0]],
+            end_to_end_deadlines=[2.0, 50.0],
+        )
+        assert result.schedulable[1] is False
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            holistic_pipeline_analysis([1.0], [[1.0], [2.0]], [1.0])
+        with pytest.raises(ValueError):
+            holistic_pipeline_analysis([1.0, 2.0], [[1.0], [1.0, 2.0]], [1.0, 2.0])
+
+    def test_empty(self):
+        result = holistic_pipeline_analysis([], [], [])
+        assert result.end_to_end == []
+
+    def test_jitter_propagates_downstream(self):
+        """The low-priority task's stage-2 response accounts for the
+        high-priority task's stage-1 jitter."""
+        result = holistic_pipeline_analysis(
+            periods=[10.0, 40.0],
+            stage_wcets=[[2.0, 2.0], [3.0, 3.0]],
+            end_to_end_deadlines=[10.0, 40.0],
+        )
+        assert all(result.schedulable)
+        lo_stage2 = result.response_times[1][1]
+        # Without jitter the interference would be ceil(R/10)*2; with
+        # the upstream response as jitter it can only grow.
+        assert lo_stage2 >= 5.0
+
+
+class TestAdmissionComparison:
+    def make(self, *specs):
+        from repro.analysis.comparison import PeriodicTaskParams
+
+        return [PeriodicTaskParams(period=p, wcet=c, deadline=d) for p, c, d in specs]
+
+    def test_empty_set_accepted_everywhere(self):
+        from repro.analysis.comparison import compare_periodic_admission
+
+        result = compare_periodic_admission([])
+        assert result.accepted_by() == [
+            "aperiodic-region",
+            "liu-layland",
+            "hyperbolic",
+            "rta",
+        ]
+
+    def test_light_set_accepted_everywhere(self):
+        from repro.analysis.comparison import compare_periodic_admission
+
+        result = compare_periodic_admission(
+            self.make((10.0, 1.0, None), (20.0, 2.0, None))
+        )
+        assert result.aperiodic_region
+        assert result.liu_layland
+        assert result.hyperbolic
+        assert result.rta
+        assert result.total_utilization == pytest.approx(0.2)
+        assert result.synthetic_peak == pytest.approx(0.2)
+
+    def test_aperiodic_region_is_most_pessimistic(self):
+        """A set at 40%+40% utilization: RTA and the periodic bounds
+        accept, the aperiodic coincident-release test rejects."""
+        from repro.analysis.comparison import compare_periodic_admission
+
+        result = compare_periodic_admission(
+            self.make((10.0, 4.0, None), (20.0, 8.0, None))
+        )
+        assert not result.aperiodic_region  # 0.8 > 0.586
+        assert result.hyperbolic  # 1.4 * 1.4 = 1.96 <= 2
+        assert result.rta
+
+    def test_hyperbolic_dominates_liu_layland_here_too(self):
+        from repro.analysis.comparison import compare_periodic_admission
+
+        # Three tasks at 23% each: sum 0.69 < LL3 (~0.7798)? LL3 = 0.7798
+        result = compare_periodic_admission(
+            self.make((10.0, 2.3, None), (20.0, 4.6, None), (40.0, 9.2, None))
+        )
+        if result.liu_layland:
+            assert result.hyperbolic
+
+    def test_overloaded_set_rejected_everywhere(self):
+        from repro.analysis.comparison import compare_periodic_admission
+
+        result = compare_periodic_admission(
+            self.make((10.0, 6.0, None), (10.0, 6.0, None))
+        )
+        assert result.accepted_by() == []
+
+    def test_constrained_deadlines_fall_back_to_rta(self):
+        from repro.analysis.comparison import compare_periodic_admission
+
+        result = compare_periodic_admission(self.make((10.0, 1.0, 2.0)))
+        assert not result.liu_layland  # not applicable
+        assert not result.hyperbolic
+        assert result.rta
+        assert result.worst_response_times == (1.0,)
+
+    def test_rta_at_least_as_powerful_as_aperiodic_region(self):
+        """Any implicit-deadline set the aperiodic region accepts is
+        also RTA-schedulable: the region is sufficient."""
+        import itertools
+        from repro.analysis.comparison import compare_periodic_admission
+
+        for c1, c2 in itertools.product((1.0, 2.0, 3.0), repeat=2):
+            result = compare_periodic_admission(
+                self.make((10.0, c1, None), (15.0, c2, None))
+            )
+            if result.aperiodic_region:
+                assert result.rta
+
+    def test_validation(self):
+        from repro.analysis.comparison import PeriodicTaskParams
+
+        with pytest.raises(ValueError):
+            PeriodicTaskParams(period=0.0, wcet=1.0)
+        with pytest.raises(ValueError):
+            PeriodicTaskParams(period=1.0, wcet=-1.0)
+        with pytest.raises(ValueError):
+            PeriodicTaskParams(period=1.0, wcet=0.5, deadline=0.0)

@@ -1,0 +1,257 @@
+"""Tests for the application models (TSCE and the web server)."""
+
+import random
+
+import pytest
+
+from repro.apps.tsce import (
+    NUM_STAGES,
+    display_pipeline_spec,
+    simulate_tracking_capacity,
+    target_tracking_spec,
+    tsce_critical_tasks,
+    tsce_reservation,
+    uav_video,
+    weapon_detection,
+    weapon_targeting,
+)
+from repro.apps.webserver import DEFAULT_REQUEST_MIX, RequestClass, WebServerModel
+
+
+class TestTsceTaskSet:
+    def test_table1_contributions(self):
+        """Per-stage synthetic utilizations from Table 1."""
+        wd = weapon_detection()
+        assert [wd.stage_contribution(j) for j in range(3)] == pytest.approx(
+            [0.2, 0.13, 0.06]
+        )
+        wt = weapon_targeting()
+        assert [wt.stage_contribution(j) for j in range(3)] == pytest.approx(
+            [0.1, 0.1, 0.1]
+        )
+        uav = uav_video()
+        assert [uav.stage_contribution(j) for j in range(3)] == pytest.approx(
+            [0.1, 0.02, 0.1]
+        )
+
+    def test_reservation_matches_paper(self):
+        """The paper's reservation: (0.4, 0.25, 0.1), Eq.13 value 0.93 < 1."""
+        plan = tsce_reservation()
+        assert plan.reserved == pytest.approx((0.4, 0.25, 0.1))
+        assert plan.region_value == pytest.approx(0.93, abs=0.005)
+        assert plan.feasible
+
+    def test_three_critical_tasks(self):
+        names = [t.name for t in tsce_critical_tasks()]
+        assert names == ["Weapon Detection", "Weapon Targeting", "UAV Video"]
+
+    def test_weapon_targeting_scales_with_weapons(self):
+        wt = weapon_targeting(num_weapons=3)
+        assert wt.computation_times[1] == pytest.approx(0.015)
+        with pytest.raises(ValueError):
+            weapon_targeting(num_weapons=0)
+
+    def test_tracking_spec_marginal_cost_on_stage_one(self):
+        spec = target_tracking_spec(0)
+        assert spec.computation_times == (0.001, 0.0, 0.0)
+        assert spec.period == 1.0
+        assert spec.deadline == 1.0
+
+    def test_display_spec_track_independent(self):
+        spec = display_pipeline_spec(num_consoles=10)
+        assert spec.computation_times == pytest.approx((0.0, 0.020, 0.020))
+        with pytest.raises(ValueError):
+            display_pipeline_spec(num_consoles=0)
+
+
+class TestTrackingCapacity:
+    def test_small_population_sustained(self):
+        result = simulate_tracking_capacity(100, horizon=6.0, seed=1)
+        assert result.rejection_ratio == 0.0
+        assert result.miss_ratio == 0.0
+        assert len(result.stage_utilizations) == NUM_STAGES
+
+    def test_stage_one_is_bottleneck(self):
+        result = simulate_tracking_capacity(400, horizon=6.0, seed=1)
+        assert result.bottleneck_stage == 0
+
+    def test_utilization_grows_with_population(self):
+        small = simulate_tracking_capacity(100, horizon=6.0, seed=1)
+        large = simulate_tracking_capacity(400, horizon=6.0, seed=1)
+        assert large.stage_utilizations[0] > small.stage_utilizations[0]
+
+    def test_overload_produces_rejections_not_misses(self):
+        result = simulate_tracking_capacity(900, horizon=6.0, seed=1)
+        assert result.rejection_ratio > 0.0
+        assert result.miss_ratio == 0.0
+
+    def test_without_critical_tasks(self):
+        result = simulate_tracking_capacity(
+            100, horizon=6.0, seed=1, include_critical=False
+        )
+        # Only tracking load: stage 1 carries 100 x 1ms/s on top of the
+        # idle reserved baseline.
+        assert result.stage_utilizations[0] == pytest.approx(0.1, abs=0.02)
+
+
+class TestRequestClass:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RequestClass("bad", (0.1, 0.1, 0.1), deadline=0.0, weight=1.0)
+        with pytest.raises(ValueError):
+            RequestClass("bad", (-0.1, 0.1, 0.1), deadline=1.0, weight=1.0)
+        with pytest.raises(ValueError):
+            RequestClass("bad", (0.1, 0.1, 0.1), deadline=1.0, weight=0.0)
+
+    def test_resolution(self):
+        cls = RequestClass("x", (0.01, 0.01, 0.0), deadline=1.0, weight=1.0)
+        assert cls.resolution == pytest.approx(50.0)
+
+    def test_zero_cost_resolution_infinite(self):
+        cls = RequestClass("x", (0.0, 0.0, 0.0), deadline=1.0, weight=1.0)
+        assert cls.resolution == float("inf")
+
+    def test_default_mix_is_consistent(self):
+        assert len(DEFAULT_REQUEST_MIX) == 3
+        assert all(c.deadline > 0 for c in DEFAULT_REQUEST_MIX)
+        # High resolution: the intro's "hundreds of concurrent requests".
+        assert all(c.resolution > 20 for c in DEFAULT_REQUEST_MIX)
+
+
+class TestWebServerModel:
+    def test_offered_loads(self):
+        model = WebServerModel(arrival_rate=100.0)
+        loads = model.offered_tier_loads()
+        assert len(loads) == 3
+        assert all(u >= 0 for u in loads)
+        # Front end serves every request: load = rate * E[front cost].
+        expected_front = 100.0 * 0.002
+        assert loads[0] == pytest.approx(expected_front)
+
+    def test_static_headroom_positive_at_moderate_rate(self):
+        model = WebServerModel(arrival_rate=50.0)
+        assert model.static_headroom() > 0
+
+    def test_static_headroom_negative_when_saturated(self):
+        model = WebServerModel(arrival_rate=100_000.0)
+        assert model.static_headroom() < 0
+
+    def test_max_rate_is_boundary(self):
+        model = WebServerModel(arrival_rate=100.0)
+        rate = model.max_arrival_rate_within_region()
+        assert rate > 0
+        at_boundary = WebServerModel(arrival_rate=rate)
+        assert abs(at_boundary.static_headroom()) < 1e-6
+
+    def test_requests_stream_deterministic(self):
+        model = WebServerModel(arrival_rate=200.0)
+        a = list(model.requests(5.0, random.Random(3)))
+        b = list(model.requests(5.0, random.Random(3)))
+        assert [t.arrival_time for t in a] == [t.arrival_time for t in b]
+
+    def test_simulation_no_misses(self):
+        model = WebServerModel(arrival_rate=150.0)
+        report = model.simulate(horizon=20.0, seed=2)
+        assert report.admitted > 0
+        assert report.miss_ratio() == 0.0
+
+    def test_per_class_accept_ratios(self):
+        model = WebServerModel(arrival_rate=400.0)
+        report = model.simulate(horizon=20.0, seed=2)
+        ratios = model.per_class_accept_ratios(report)
+        assert set(ratios) <= {"static", "dynamic", "transactional"}
+        assert all(0.0 <= v <= 1.0 for v in ratios.values())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WebServerModel(request_mix=[])
+        with pytest.raises(ValueError):
+            WebServerModel(arrival_rate=0.0)
+
+
+class TestSelfDefenseScenario:
+    def test_urgent_tasks_always_admitted(self):
+        from repro.apps.tsce import simulate_self_defense_scenario
+
+        result = simulate_self_defense_scenario(horizon=8.0, seed=0)
+        assert result.urgent_admitted
+
+    def test_urgent_tasks_meet_hard_deadlines(self):
+        from repro.apps.tsce import simulate_self_defense_scenario
+
+        for seed in (0, 1):
+            result = simulate_self_defense_scenario(horizon=8.0, seed=seed)
+            assert result.urgent_misses == 0
+
+    def test_routine_load_is_shed(self):
+        from repro.apps.tsce import simulate_self_defense_scenario
+
+        result = simulate_self_defense_scenario(horizon=8.0, seed=1)
+        assert result.shed_tasks >= 1
+
+    def test_surviving_routine_tasks_unharmed(self):
+        """Shedding removes load; it never delays what stays admitted."""
+        from repro.apps.tsce import simulate_self_defense_scenario
+
+        result = simulate_self_defense_scenario(horizon=8.0, seed=0)
+        assert result.tracking_miss_ratio == 0.0
+
+    def test_urgent_profile_fits_alone(self):
+        """The Weapon Detection profile fits an empty pipeline."""
+        from repro.core.bounds import is_pipeline_feasible
+        from repro.apps.tsce import weapon_detection
+
+        wd = weapon_detection()
+        utils = [wd.stage_contribution(j) for j in range(3)]
+        assert is_pipeline_feasible(utils)
+
+
+class TestAperiodicCapacity:
+    def test_tsce_static_track_capacity(self):
+        """Static (no-reset) capacity is far below the simulated ~550 —
+        quantifying how much the idle-reset rule buys."""
+        from repro.core.reservation import aperiodic_capacity
+        from repro.apps.tsce import tsce_reservation
+
+        plan = tsce_reservation()
+        k = aperiodic_capacity(plan, deadline=1.0, computation_times=[0.001, 0.0, 0.0])
+        assert 20 <= k <= 60  # ~35 with the paper's numbers
+
+    def test_capacity_boundary_exact(self):
+        from repro.core.reservation import aperiodic_capacity, build_reservation
+        from repro.core.bounds import is_pipeline_feasible
+
+        plan = build_reservation([], num_stages=2)
+        k = aperiodic_capacity(plan, deadline=10.0, computation_times=[0.5, 0.5])
+        # k tasks fit, k+1 do not.
+        assert is_pipeline_feasible([k * 0.05, k * 0.05])
+        assert not is_pipeline_feasible([(k + 1) * 0.05, (k + 1) * 0.05])
+
+    def test_zero_when_reservation_full(self):
+        from repro.core.reservation import aperiodic_capacity, CriticalTask, build_reservation
+
+        plan = build_reservation(
+            [CriticalTask("hog", 1.0, (0.55,))], num_stages=1
+        )
+        assert plan.feasible
+        k = aperiodic_capacity(plan, deadline=1.0, computation_times=[0.1])
+        assert k == 0
+
+    def test_validation(self):
+        import pytest as _pytest
+        from repro.core.reservation import (
+            aperiodic_capacity,
+            CriticalTask,
+            build_reservation,
+        )
+
+        plan = build_reservation([], num_stages=2)
+        with _pytest.raises(ValueError):
+            aperiodic_capacity(plan, deadline=0.0, computation_times=[0.1, 0.1])
+        with _pytest.raises(ValueError):
+            aperiodic_capacity(plan, deadline=1.0, computation_times=[0.1])
+        with _pytest.raises(ValueError):
+            aperiodic_capacity(plan, deadline=1.0, computation_times=[0.0, 0.0])
+        infeasible = build_reservation([CriticalTask("x", 1.0, (0.5, 0.5))], 2)
+        with _pytest.raises(ValueError):
+            aperiodic_capacity(infeasible, deadline=1.0, computation_times=[0.1, 0.1])

@@ -1,0 +1,236 @@
+"""Tests for the feasible-region mathematics (Theorem 1 and Eqs. 12/13/15)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bounds import (
+    UNIPROCESSOR_APERIODIC_BOUND,
+    inverse_stage_delay_factor,
+    is_pipeline_feasible,
+    pipeline_margin,
+    pipeline_region_value,
+    region_budget,
+    single_resource_bound,
+    stage_delay,
+    stage_delay_factor,
+    uniform_per_stage_bound,
+)
+
+
+class TestStageDelayFactor:
+    def test_zero(self):
+        assert stage_delay_factor(0.0) == 0.0
+
+    def test_half(self):
+        # f(0.5) = 0.5 * 0.75 / 0.5 = 0.75
+        assert stage_delay_factor(0.5) == pytest.approx(0.75)
+
+    def test_at_one_diverges(self):
+        assert stage_delay_factor(1.0) == math.inf
+
+    def test_uniprocessor_bound_value(self):
+        # f(2 - sqrt(2)) = 1, the single-resource boundary.
+        assert stage_delay_factor(UNIPROCESSOR_APERIODIC_BOUND) == pytest.approx(1.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            stage_delay_factor(-0.01)
+
+    def test_above_one_rejected(self):
+        with pytest.raises(ValueError):
+            stage_delay_factor(1.01)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            stage_delay_factor(float("nan"))
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValueError):
+            stage_delay_factor(float("inf"))
+
+    @given(st.floats(min_value=0.0, max_value=0.999))
+    def test_nonnegative(self, u):
+        assert stage_delay_factor(u) >= 0.0
+
+    @given(
+        st.floats(min_value=0.0, max_value=0.999),
+        st.floats(min_value=0.0, max_value=0.999),
+    )
+    def test_strictly_increasing(self, a, b):
+        if a == b:
+            assert stage_delay_factor(a) == stage_delay_factor(b)
+        else:
+            lo, hi = min(a, b), max(a, b)
+            assert stage_delay_factor(lo) < stage_delay_factor(hi)
+
+    @given(st.floats(min_value=0.001, max_value=0.99))
+    def test_below_mm1_delay(self, u):
+        # f(U) = U(1 - U/2)/(1 - U) < U/(1 - U): the aperiodic worst
+        # case is milder than the M/M/1 mean-delay growth factor.
+        assert stage_delay_factor(u) < u / (1.0 - u)
+
+
+class TestInverse:
+    def test_zero(self):
+        assert inverse_stage_delay_factor(0.0) == 0.0
+
+    def test_one_is_uniprocessor_bound(self):
+        assert inverse_stage_delay_factor(1.0) == pytest.approx(
+            UNIPROCESSOR_APERIODIC_BOUND
+        )
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            inverse_stage_delay_factor(-0.1)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            inverse_stage_delay_factor(float("nan"))
+
+    @given(st.floats(min_value=0.0, max_value=0.995))
+    def test_roundtrip_from_utilization(self, u):
+        assert inverse_stage_delay_factor(stage_delay_factor(u)) == pytest.approx(
+            u, abs=1e-9
+        )
+
+    @given(st.floats(min_value=0.0, max_value=1000.0))
+    def test_roundtrip_from_factor(self, y):
+        assert stage_delay_factor(inverse_stage_delay_factor(y)) == pytest.approx(
+            y, rel=1e-9, abs=1e-9
+        )
+
+    @given(st.floats(min_value=0.0, max_value=1e6))
+    def test_result_in_unit_interval(self, y):
+        u = inverse_stage_delay_factor(y)
+        assert 0.0 <= u < 1.0
+
+
+class TestStageDelay:
+    def test_theorem_one_form(self):
+        # L = f(U) * Dmax
+        assert stage_delay(0.5, 10.0) == pytest.approx(7.5)
+
+    def test_zero_dmax(self):
+        assert stage_delay(0.5, 0.0) == 0.0
+
+    def test_negative_dmax_rejected(self):
+        with pytest.raises(ValueError):
+            stage_delay(0.5, -1.0)
+
+
+class TestRegionBudget:
+    def test_default(self):
+        assert region_budget() == 1.0
+
+    def test_alpha_scales(self):
+        assert region_budget(alpha=0.5) == 0.5
+
+    def test_blocking_shrinks(self):
+        assert region_budget(1.0, [0.1, 0.2]) == pytest.approx(0.7)
+
+    def test_alpha_and_blocking(self):
+        # Eq. 15: alpha (1 - sum beta)
+        assert region_budget(0.5, [0.1, 0.1]) == pytest.approx(0.4)
+
+    def test_alpha_zero_rejected(self):
+        with pytest.raises(ValueError):
+            region_budget(0.0)
+
+    def test_alpha_above_one_rejected(self):
+        with pytest.raises(ValueError):
+            region_budget(1.5)
+
+    def test_negative_beta_rejected(self):
+        with pytest.raises(ValueError):
+            region_budget(1.0, [-0.1])
+
+    def test_total_blocking_one_rejected(self):
+        with pytest.raises(ValueError):
+            region_budget(1.0, [0.5, 0.5])
+
+
+class TestPipelineFeasibility:
+    def test_tsce_reserved_vector(self):
+        # The paper's Section-5 computation: 0.93 < 1.
+        value = pipeline_region_value([0.4, 0.25, 0.1])
+        assert value == pytest.approx(0.9306, abs=1e-3)
+        assert is_pipeline_feasible([0.4, 0.25, 0.1])
+
+    def test_empty_pipeline_trivially_feasible(self):
+        assert pipeline_region_value([]) == 0.0
+        assert is_pipeline_feasible([])
+
+    def test_single_stage_reduces_to_uniprocessor(self):
+        eps = 1e-9
+        assert is_pipeline_feasible([UNIPROCESSOR_APERIODIC_BOUND - eps])
+        assert not is_pipeline_feasible([UNIPROCESSOR_APERIODIC_BOUND + 1e-6])
+
+    def test_infeasible_vector(self):
+        assert not is_pipeline_feasible([0.5, 0.5])
+
+    def test_margin_signs(self):
+        assert pipeline_margin([0.1, 0.1]) > 0
+        assert pipeline_margin([0.58, 0.58]) < 0
+
+    def test_margin_zero_on_boundary(self):
+        u = uniform_per_stage_bound(3)
+        assert pipeline_margin([u, u, u]) == pytest.approx(0.0, abs=1e-9)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=0.99), min_size=1, max_size=6)
+    )
+    def test_value_is_sum_of_factors(self, utils):
+        assert pipeline_region_value(utils) == pytest.approx(
+            sum(stage_delay_factor(u) for u in utils)
+        )
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=0.5), min_size=2, max_size=5),
+        st.integers(min_value=0, max_value=4),
+    )
+    def test_monotone_in_each_coordinate(self, utils, idx):
+        idx = idx % len(utils)
+        bumped = list(utils)
+        bumped[idx] = min(bumped[idx] + 0.1, 0.99)
+        assert pipeline_region_value(bumped) >= pipeline_region_value(utils)
+
+
+class TestScalarBounds:
+    def test_single_resource_default(self):
+        assert single_resource_bound() == pytest.approx(UNIPROCESSOR_APERIODIC_BOUND)
+
+    def test_single_resource_with_alpha(self):
+        # f(U) = 0.5 -> U = 1.5 - sqrt(1.25)
+        expected = 1.5 - math.sqrt(1.25)
+        assert single_resource_bound(alpha=0.5) == pytest.approx(expected)
+
+    def test_single_resource_with_blocking(self):
+        u = single_resource_bound(beta=0.2)
+        assert stage_delay_factor(u) == pytest.approx(0.8)
+
+    def test_uniform_bound_one_stage(self):
+        assert uniform_per_stage_bound(1) == pytest.approx(
+            UNIPROCESSOR_APERIODIC_BOUND
+        )
+
+    def test_uniform_bound_decreases_with_stages(self):
+        bounds = [uniform_per_stage_bound(n) for n in range(1, 8)]
+        assert all(a > b for a, b in zip(bounds, bounds[1:]))
+
+    def test_uniform_bound_on_boundary(self):
+        for n in (1, 2, 3, 5, 10):
+            u = uniform_per_stage_bound(n)
+            assert pipeline_region_value([u] * n) == pytest.approx(1.0, abs=1e-9)
+
+    def test_uniform_bound_scales_like_inverse_n(self):
+        # Section 3.1: U_j = O(1/N); check N * bound stays bounded and
+        # approaches the budget (f(u) ~ u for small u).
+        for n in (10, 100, 1000):
+            u = uniform_per_stage_bound(n)
+            assert n * u == pytest.approx(1.0, rel=0.2)
+
+    def test_uniform_bound_invalid_stages(self):
+        with pytest.raises(ValueError):
+            uniform_per_stage_bound(0)

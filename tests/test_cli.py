@@ -1,0 +1,79 @@
+"""Tests for the experiment-harness CLI (``python -m repro.experiments``)."""
+
+import csv
+
+import pytest
+
+from repro.experiments.__main__ import ARTIFACTS, main, write_csv
+from repro.experiments.common import ExperimentResult, Series, SeriesPoint
+
+
+class TestArtifactsRegistry:
+    def test_all_paper_artifacts_present(self):
+        assert set(ARTIFACTS) == {
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "tab1",
+            "ablations",
+            "extdag",
+        }
+
+
+class TestCsvWriter:
+    def make_result(self):
+        return ExperimentResult(
+            experiment_id="X",
+            title="t",
+            x_label="x",
+            y_label="y",
+            series=[
+                Series("a", [SeriesPoint(1.0, 0.5), SeriesPoint(2.0, 0.6)]),
+                Series("b", [SeriesPoint(1.0, 0.7)]),
+            ],
+        )
+
+    def test_long_format(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv([self.make_result()], str(path))
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["experiment", "series", "x", "y"]
+        assert rows[1] == ["X", "a", "1.0", "0.5"]
+        assert len(rows) == 4
+
+    def test_multiple_results(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv([self.make_result(), self.make_result()], str(path))
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) == 7
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out and "tab1" in out
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_run_single_artifact_with_csv(self, tmp_path, capsys, monkeypatch):
+        # Swap in a fast stub so the CLI path is exercised without a
+        # multi-minute simulation.
+        stub_result = ExperimentResult(
+            experiment_id="FIG4",
+            title="stub",
+            x_label="x",
+            y_label="y",
+            series=[Series("s", [SeriesPoint(1.0, 0.9)])],
+        )
+        monkeypatch.setitem(ARTIFACTS, "fig4", lambda: [stub_result])
+        path = tmp_path / "fig4.csv"
+        assert main(["fig4", "--csv", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "FIG4: stub" in out
+        assert path.exists()

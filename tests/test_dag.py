@@ -1,0 +1,200 @@
+"""Tests for task-graph delay algebra and Theorem 2 (Section 3.3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bounds import stage_delay_factor
+from repro.core.dag import (
+    DelayExpression,
+    TaskGraph,
+    dag_region_value,
+    is_dag_feasible,
+    leaf,
+    par,
+    seq,
+)
+
+
+def fig3_expression():
+    """The Figure-3 example: R1 -> (R2 | R3) -> R4."""
+    return seq(leaf("R1"), par(leaf("R2"), leaf("R3")), leaf("R4"))
+
+
+def fig3_graph():
+    return TaskGraph(
+        resource_of={1: "R1", 2: "R2", 3: "R3", 4: "R4"},
+        edges=[(1, 2), (1, 3), (2, 4), (3, 4)],
+    )
+
+
+class TestDelayExpression:
+    def test_leaf_evaluates_to_delay(self):
+        assert leaf("R").evaluate({"R": 3.0}) == 3.0
+
+    def test_seq_sums(self):
+        e = seq(leaf("A"), leaf("B"))
+        assert e.evaluate({"A": 1.0, "B": 2.0}) == 3.0
+
+    def test_par_maxes(self):
+        e = par(leaf("A"), leaf("B"))
+        assert e.evaluate({"A": 1.0, "B": 2.0}) == 2.0
+
+    def test_fig3_end_to_end_delay(self):
+        # L1 + max(L2, L3) + L4 (Section 3.3's example).
+        e = fig3_expression()
+        delays = {"R1": 1.0, "R2": 5.0, "R3": 2.0, "R4": 3.0}
+        assert e.evaluate(delays) == 9.0
+
+    def test_missing_resource_raises(self):
+        with pytest.raises(KeyError):
+            leaf("R").evaluate({})
+
+    def test_resources_in_order(self):
+        assert fig3_expression().resources() == ("R1", "R2", "R3", "R4")
+
+    def test_duplicate_resource_listed_once(self):
+        e = seq(leaf("A"), leaf("B"), leaf("A"))
+        assert e.resources() == ("A", "B")
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            DelayExpression(kind="loop")
+
+    def test_leaf_requires_resource(self):
+        with pytest.raises(ValueError):
+            DelayExpression(kind="leaf")
+
+    def test_seq_requires_children(self):
+        with pytest.raises(ValueError):
+            seq()
+
+    def test_region_value_eq16(self):
+        # Eq. 16: f(U1) + max(f(U2), f(U3)) + f(U4).
+        e = fig3_expression()
+        utils = {"R1": 0.2, "R2": 0.3, "R3": 0.1, "R4": 0.2}
+        expected = (
+            stage_delay_factor(0.2)
+            + max(stage_delay_factor(0.3), stage_delay_factor(0.1))
+            + stage_delay_factor(0.2)
+        )
+        assert e.region_value(utils) == pytest.approx(expected)
+
+    def test_feasible_within_alpha(self):
+        e = fig3_expression()
+        utils = {"R1": 0.2, "R2": 0.3, "R3": 0.1, "R4": 0.2}
+        assert e.is_feasible(utils)
+        assert not e.is_feasible(utils, alpha=0.5)
+
+    def test_betas_added_per_resource(self):
+        e = seq(leaf("A"), leaf("B"))
+        utils = {"A": 0.1, "B": 0.1}
+        base = e.region_value(utils)
+        with_beta = e.region_value(utils, betas={"A": 0.05})
+        assert with_beta == pytest.approx(base + 0.05)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            fig3_expression().is_feasible({"R1": 0.1, "R2": 0.1, "R3": 0.1, "R4": 0.1}, alpha=0.0)
+
+
+class TestTaskGraph:
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            TaskGraph(resource_of={1: "A", 2: "B"}, edges=[(1, 2), (2, 1)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            TaskGraph(resource_of={1: "A"}, edges=[(1, 1)])
+
+    def test_unknown_subtask_rejected(self):
+        with pytest.raises(ValueError):
+            TaskGraph(resource_of={1: "A"}, edges=[(1, 2)])
+
+    def test_critical_path_chain(self):
+        g = TaskGraph(resource_of={1: "A", 2: "B"}, edges=[(1, 2)])
+        assert g.critical_path_delay({1: 1.0, 2: 2.0}) == 3.0
+
+    def test_critical_path_fig3(self):
+        g = fig3_graph()
+        assert g.critical_path_delay({1: 1.0, 2: 5.0, 3: 2.0, 4: 3.0}) == 9.0
+        assert g.critical_path({1: 1.0, 2: 5.0, 3: 2.0, 4: 3.0}) == [1, 2, 4]
+
+    def test_critical_path_disconnected(self):
+        g = TaskGraph(resource_of={1: "A", 2: "B"}, edges=[])
+        assert g.critical_path_delay({1: 4.0, 2: 7.0}) == 7.0
+
+    def test_empty_graph(self):
+        g = TaskGraph(resource_of={}, edges=[])
+        assert g.critical_path_delay({}) == 0.0
+        assert g.critical_path({}) == []
+
+    def test_graph_matches_expression_on_fig3(self):
+        g = fig3_graph()
+        e = fig3_expression()
+        utils = {"R1": 0.25, "R2": 0.15, "R3": 0.3, "R4": 0.05}
+        assert g.region_value(utils) == pytest.approx(e.region_value(utils))
+
+    def test_shared_resource_uses_one_dimension(self):
+        # Subtasks 1 and 4 on the same processor (the paper's remark):
+        # the region expression stays the same with U4 = U1.
+        g = TaskGraph(
+            resource_of={1: "P1", 2: "R2", 3: "R3", 4: "P1"},
+            edges=[(1, 2), (1, 3), (2, 4), (3, 4)],
+        )
+        utils = {"P1": 0.2, "R2": 0.3, "R3": 0.1}
+        expected = (
+            stage_delay_factor(0.2)
+            + max(stage_delay_factor(0.3), stage_delay_factor(0.1))
+            + stage_delay_factor(0.2)
+        )
+        assert g.region_value(utils) == pytest.approx(expected)
+
+    def test_resources_deduplicated(self):
+        g = TaskGraph(resource_of={1: "A", 2: "A", 3: "B"}, edges=[(1, 2)])
+        assert g.resources() == ("A", "B")
+
+    def test_functional_aliases(self):
+        g = fig3_graph()
+        utils = {"R1": 0.1, "R2": 0.1, "R3": 0.1, "R4": 0.1}
+        assert dag_region_value(g, utils) == pytest.approx(g.region_value(utils))
+        assert is_dag_feasible(g, utils)
+
+    def test_chain_conversion(self):
+        g = TaskGraph(resource_of={1: "A", 2: "B", 3: "C"}, edges=[(1, 2), (2, 3)])
+        e = g.to_delay_expression()
+        utils = {"A": 0.2, "B": 0.3, "C": 0.1}
+        assert e.region_value(utils) == pytest.approx(g.region_value(utils))
+
+    def test_non_chain_conversion_rejected(self):
+        with pytest.raises(ValueError):
+            fig3_graph().to_delay_expression()
+
+    def test_empty_chain_conversion_rejected(self):
+        with pytest.raises(ValueError):
+            TaskGraph(resource_of={}, edges=[]).to_delay_expression()
+
+    def test_pipeline_special_case_matches_sum(self):
+        # A chain graph's region value must equal the pipeline formula.
+        g = TaskGraph(
+            resource_of={i: f"S{i}" for i in range(4)},
+            edges=[(i, i + 1) for i in range(3)],
+        )
+        utils = {f"S{i}": 0.1 * (i + 1) for i in range(4)}
+        assert g.region_value(utils) == pytest.approx(
+            sum(stage_delay_factor(u) for u in utils.values())
+        )
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=0.9), min_size=4, max_size=4
+        )
+    )
+    def test_parallel_branches_never_exceed_series(self, us):
+        """max over branches <= sum over branches: the DAG region is
+        never tighter than flattening it into a chain."""
+        utils = {"R1": us[0], "R2": us[1], "R3": us[2], "R4": us[3]}
+        dag_value = fig3_expression().region_value(utils)
+        chain_value = seq(
+            leaf("R1"), leaf("R2"), leaf("R3"), leaf("R4")
+        ).region_value(utils)
+        assert dag_value <= chain_value + 1e-12

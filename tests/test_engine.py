@@ -1,0 +1,204 @@
+"""Tests for the discrete-event engine and event queue."""
+
+import math
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.events import EventQueue
+from repro.sim.trace import TraceRecorder
+
+
+class TestEventQueue:
+    def test_pop_in_time_order(self):
+        q = EventQueue()
+        order = []
+        q.push(2.0, order.append, ("b",))
+        q.push(1.0, order.append, ("a",))
+        q.push(3.0, order.append, ("c",))
+        while True:
+            h = q.pop()
+            if h is None:
+                break
+            h.callback(*h.args)
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_among_ties(self):
+        q = EventQueue()
+        first = q.push(1.0, lambda: None, ())
+        second = q.push(1.0, lambda: None, ())
+        assert q.pop() is first
+        assert q.pop() is second
+
+    def test_cancelled_skipped(self):
+        q = EventQueue()
+        h = q.push(1.0, lambda: None, ())
+        h.cancel()
+        assert q.pop() is None
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        early = q.push(1.0, lambda: None, ())
+        q.push(2.0, lambda: None, ())
+        early.cancel()
+        assert q.peek_time() == 2.0
+
+    def test_bool_reflects_pending(self):
+        q = EventQueue()
+        assert not q
+        h = q.push(1.0, lambda: None, ())
+        assert q
+        h.cancel()
+        assert not q
+
+    def test_handle_repr(self):
+        q = EventQueue()
+        h = q.push(1.5, lambda: None, ())
+        assert "1.5" in repr(h)
+        h.cancel()
+        assert "cancelled" in repr(h)
+
+
+class TestSimulator:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_events_run_in_order(self):
+        sim = Simulator()
+        log = []
+        sim.at(2.0, lambda: log.append(("x", sim.now)))
+        sim.at(1.0, lambda: log.append(("y", sim.now)))
+        sim.run()
+        assert log == [("y", 1.0), ("x", 2.0)]
+
+    def test_after_is_relative(self):
+        sim = Simulator()
+        times = []
+        sim.at(5.0, lambda: sim.after(2.0, lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [7.0]
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.at(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().after(-1.0, lambda: None)
+
+    def test_nan_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().at(math.nan, lambda: None)
+
+    def test_cancel_prevents_execution(self):
+        sim = Simulator()
+        fired = []
+        h = sim.at(1.0, lambda: fired.append(1))
+        h.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_run_until_stops_and_advances_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.at(1.0, lambda: fired.append(1))
+        sim.at(10.0, lambda: fired.append(2))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        sim.run(until=20.0)
+        assert fired == [1, 2]
+
+    def test_event_at_until_boundary_runs(self):
+        sim = Simulator()
+        fired = []
+        sim.at(5.0, lambda: fired.append(1))
+        sim.run(until=5.0)
+        assert fired == [1]
+
+    def test_max_events(self):
+        sim = Simulator()
+        count = []
+
+        def reschedule():
+            count.append(sim.now)
+            sim.after(1.0, reschedule)
+
+        sim.after(0.0, reschedule)
+        sim.run(max_events=10)
+        assert len(count) == 10
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for t in (1.0, 2.0, 3.0):
+            sim.at(t, lambda: None)
+        sim.run()
+        assert sim.events_processed == 3
+
+    def test_run_not_reentrant(self):
+        sim = Simulator()
+        errors = []
+
+        def nested():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.at(1.0, nested)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_callbacks_can_schedule_simultaneous(self):
+        sim = Simulator()
+        log = []
+        sim.at(1.0, lambda: (log.append("a"), sim.at(1.0, lambda: log.append("b"))))
+        sim.at(1.0, lambda: log.append("c"))
+        sim.run()
+        # FIFO among equal timestamps: a, c (already queued), then b.
+        assert log == ["a", "c", "b"]
+
+    def test_peek_next_time(self):
+        sim = Simulator()
+        assert sim.peek_next_time() is None
+        sim.at(4.0, lambda: None)
+        assert sim.peek_next_time() == 4.0
+
+
+class TestTraceRecorder:
+    def test_records_events(self):
+        sim = Simulator()
+        recorder = TraceRecorder(sim)
+
+        def tick():
+            pass
+
+        sim.at(1.0, tick)
+        sim.at(2.0, tick)
+        sim.run()
+        assert recorder.times() == [1.0, 2.0]
+        assert recorder.names() == ["tick", "tick"]
+
+    def test_capacity_bounds_memory(self):
+        sim = Simulator()
+        recorder = TraceRecorder(sim, capacity=3)
+        for t in range(10):
+            sim.at(float(t), lambda: None)
+        sim.run()
+        assert len(recorder) == 3
+        assert recorder.times() == [7.0, 8.0, 9.0]
+
+    def test_predicate_filters(self):
+        sim = Simulator()
+        recorder = TraceRecorder(sim, predicate=lambda t, h: t >= 2.0)
+        sim.at(1.0, lambda: None)
+        sim.at(3.0, lambda: None)
+        sim.run()
+        assert recorder.times() == [3.0]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(Simulator(), capacity=0)

@@ -1,0 +1,240 @@
+"""Shape tests for the experiment harness (reduced-size runs).
+
+Each experiment is run with small parameters and its *qualitative*
+shape — the thing the paper's figures demonstrate — is asserted.  Full
+runs live in benchmarks/ and EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    fig4_pipeline_length,
+    fig5_task_resolution,
+    fig6_load_imbalance,
+    fig7_approximate_admission,
+    tab1_tsce,
+)
+from repro.experiments.common import ExperimentResult, Series, SeriesPoint
+
+
+class TestCommonTypes:
+    def test_series_accessors(self):
+        s = Series("x", [SeriesPoint(1.0, 2.0), SeriesPoint(3.0, 4.0)])
+        assert s.xs() == [1.0, 3.0]
+        assert s.ys() == [2.0, 4.0]
+        assert s.y_at(3.0) == 4.0
+        assert s.y_at(9.0) is None
+
+    def test_table_rendering(self):
+        result = ExperimentResult(
+            experiment_id="T",
+            title="demo",
+            x_label="x",
+            y_label="y",
+            series=[Series("a", [SeriesPoint(1.0, 0.5)])],
+        )
+        table = result.to_table()
+        assert "T: demo" in table
+        assert "0.5000" in table
+
+    def test_table_merges_disjoint_xs(self):
+        result = ExperimentResult(
+            experiment_id="T",
+            title="demo",
+            x_label="x",
+            y_label="y",
+            series=[
+                Series("a", [SeriesPoint(1.0, 0.5)]),
+                Series("b", [SeriesPoint(2.0, 0.7)]),
+            ],
+        )
+        table = result.to_table()
+        assert "-" in table  # missing cells rendered as dashes
+
+
+@pytest.fixture(scope="module")
+def fig4_small():
+    return fig4_pipeline_length.run(
+        loads=(0.6, 1.0, 1.6),
+        lengths=(1, 2, 3),
+        horizon=800.0,
+        seeds=(1, 2),
+    )
+
+
+class TestFig4:
+    def test_structure(self, fig4_small):
+        assert fig4_small.experiment_id == "FIG4"
+        assert len(fig4_small.series) == 3
+        assert all(len(s.points) == 3 for s in fig4_small.series)
+
+    def test_high_utilization_at_full_load(self, fig4_small):
+        """Paper: > 80% average stage utilization at 100% input load."""
+        for series in fig4_small.series:
+            assert series.y_at(1.0) > 0.78
+
+    def test_pipeline_length_no_adverse_effect(self, fig4_small):
+        """Paper: multi-stage curves nearly identical."""
+        two = fig4_small.series[1]
+        three = fig4_small.series[2]
+        for load in (0.6, 1.0, 1.6):
+            assert three.y_at(load) == pytest.approx(two.y_at(load), abs=0.08)
+
+    def test_utilization_tracks_load_below_capacity(self, fig4_small):
+        for series in fig4_small.series:
+            assert series.y_at(0.6) == pytest.approx(0.6, abs=0.05)
+
+    def test_no_misses_recorded(self, fig4_small):
+        for series in fig4_small.series:
+            for point in series.points:
+                assert point.detail["miss_ratio"] == 0.0
+
+
+class TestFig5:
+    def test_utilization_increases_with_resolution(self):
+        result = fig5_task_resolution.run(
+            resolutions=(2.0, 20.0, 200.0),
+            loads=(1.2,),
+            horizon=800.0,
+            seeds=(1, 2),
+        )
+        ys = result.series[0].ys()
+        assert ys[0] < ys[-1]
+        assert ys[1] <= ys[2] + 0.03  # weakly increasing
+
+    def test_load_ordering(self):
+        result = fig5_task_resolution.run(
+            resolutions=(50.0,),
+            loads=(0.7, 1.5),
+            horizon=800.0,
+            seeds=(1,),
+        )
+        low, high = result.series
+        assert high.y_at(50.0) >= low.y_at(50.0) - 0.02
+
+
+class TestFig6:
+    def test_midpoint_is_minimum(self):
+        result = fig6_load_imbalance.run(
+            ratios=(0.25, 1.0, 4.0),
+            horizon=1500.0,
+            seeds=(1, 2),
+        )
+        series = result.series[0]
+        mid = series.y_at(1.0)
+        assert series.y_at(0.25) >= mid - 0.01
+        assert series.y_at(4.0) >= mid - 0.01
+
+
+class TestFig7:
+    def test_high_resolution_no_misses(self):
+        result = fig7_approximate_admission.run(
+            resolutions=(100.0,),
+            loads=(1.0,),
+            horizon=800.0,
+            seeds=(1, 2),
+        )
+        assert result.series[0].y_at(100.0) <= 0.005
+
+    def test_miss_ratio_small_even_at_low_resolution(self):
+        result = fig7_approximate_admission.run(
+            resolutions=(3.0,),
+            loads=(1.6,),
+            horizon=800.0,
+            seeds=(1, 2, 3),
+        )
+        y = result.series[0].y_at(3.0)
+        assert y < 0.2  # "a very small fraction"
+
+
+class TestTab1:
+    def test_static_certification(self):
+        result, tab1 = tab1_tsce.run(track_counts=(100,), horizon=5.0)
+        assert tab1.plan.feasible
+        assert tab1.plan.region_value == pytest.approx(0.93, abs=0.005)
+
+    def test_dynamic_capacity_hundreds_of_tracks(self):
+        result, tab1 = tab1_tsce.run(track_counts=(300, 500), horizon=8.0)
+        assert tab1.sustained_tracks >= 500
+        # Stage-1 utilization climbs toward the paper's ~95% as the
+        # population grows.
+        util = result.series[1]
+        assert util.y_at(500) > util.y_at(300)
+
+    def test_no_misses_in_capacity_runs(self):
+        result, _ = tab1_tsce.run(track_counts=(400,), horizon=8.0)
+        assert result.series[2].y_at(400) == 0.0
+
+
+class TestAblations:
+    def test_reset_ablation_gap(self):
+        result = ablations.run_reset_ablation(
+            loads=(1.2,), horizon=500.0, seeds=(1,)
+        )
+        on, off = result.series
+        assert on.y_at(1.2) > off.y_at(1.2) + 0.2
+
+    def test_wait_ablation_monotone(self):
+        result = ablations.run_wait_ablation(
+            waits=(0.0, 50.0), horizon=500.0, seeds=(1,)
+        )
+        accept = result.series[0]
+        miss = result.series[1]
+        assert accept.y_at(50.0) >= accept.y_at(0.0)
+        assert miss.y_at(0.0) == 0.0
+        assert miss.y_at(50.0) == 0.0
+
+    def test_alpha_ablation_soundness(self):
+        result = ablations.run_alpha_ablation(
+            loads=(1.4,), horizon=800.0, seeds=(1, 2)
+        )
+        by_label = {s.label: s for s in result.series}
+        dm_miss = by_label["DM, budget 1 miss"]
+        sound_miss = next(
+            s for label, s in by_label.items()
+            if label.startswith("random, budget 0") and label.endswith("miss")
+        )
+        assert dm_miss.y_at(1.4) == 0.0
+        assert sound_miss.y_at(1.4) == 0.0
+
+    def test_blocking_ablation_aware_is_safe(self):
+        result = ablations.run_blocking_ablation(
+            loads=(1.2,), horizon=600.0, seeds=(1,)
+        )
+        aware_miss = result.series[0]
+        assert aware_miss.y_at(1.2) == 0.0
+
+
+class TestExtDag:
+    def test_diamond_dominates_chain(self):
+        from repro.experiments import ext_dag_admission
+
+        result = ext_dag_admission.run(rates=(1.0, 3.0), horizon=500.0, seeds=(1,))
+        by_label = {s.label: s for s in result.series}
+        for rate in (1.0, 3.0):
+            assert by_label["diamond util"].y_at(rate) >= (
+                by_label["chain util"].y_at(rate) - 0.02
+            )
+        assert max(by_label["diamond miss"].ys()) == 0.0
+        assert max(by_label["chain miss"].ys()) == 0.0
+
+
+class TestOverrunAblation:
+    def test_exact_declarations_never_miss(self):
+        from repro.experiments.ablations import run_overrun_ablation
+
+        result = run_overrun_ablation(
+            overrun_factors=(1.0, 2.0), horizon=500.0, seeds=(1,)
+        )
+        miss = result.series[0]
+        assert miss.y_at(1.0) == 0.0
+
+    def test_degradation_is_graceful(self):
+        from repro.experiments.ablations import run_overrun_ablation
+
+        result = run_overrun_ablation(
+            overrun_factors=(1.0, 2.0), horizon=500.0, seeds=(1,)
+        )
+        miss = result.series[0]
+        assert miss.y_at(2.0) < 0.2  # no cliff even at 2x overruns

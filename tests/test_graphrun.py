@@ -1,0 +1,230 @@
+"""Tests for DAG-structured task execution with Theorem-2 admission."""
+
+import pytest
+
+from repro.core.dag import TaskGraph
+from repro.sim.graphrun import GraphPipelineSimulation, GraphTask
+
+
+def diamond_graph():
+    """The Figure-3 shape: R1 -> (R2 | R3) -> R4."""
+    return TaskGraph(
+        resource_of={1: "R1", 2: "R2", 3: "R3", 4: "R4"},
+        edges=[(1, 2), (1, 3), (2, 4), (3, 4)],
+    )
+
+
+def diamond_task(arrival, deadline, costs, importance=0):
+    return GraphTask.create(
+        arrival_time=arrival,
+        deadline=deadline,
+        graph=diamond_graph(),
+        costs={1: costs[0], 2: costs[1], 3: costs[2], 4: costs[3]},
+        importance=importance,
+    )
+
+
+class TestGraphTask:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            diamond_task(0.0, -1.0, [1, 1, 1, 1])
+        with pytest.raises(ValueError):
+            GraphTask.create(0.0, 1.0, diamond_graph(), {1: 1.0})  # missing costs
+        with pytest.raises(ValueError):
+            GraphTask.create(
+                0.0, 1.0, diamond_graph(), {1: -1.0, 2: 0.0, 3: 0.0, 4: 0.0}
+            )
+
+    def test_resource_contributions_sum_on_shared_processor(self):
+        graph = TaskGraph(
+            resource_of={1: "P", 2: "Q", 3: "P"},
+            edges=[(1, 2), (2, 3)],
+        )
+        task = GraphTask.create(0.0, 10.0, graph, {1: 1.0, 2: 2.0, 3: 3.0})
+        contributions = task.resource_contributions()
+        assert contributions["P"] == pytest.approx(0.4)  # (1 + 3) / 10
+        assert contributions["Q"] == pytest.approx(0.2)
+
+    def test_unique_ids(self):
+        a = diamond_task(0.0, 1.0, [0, 0, 0, 0])
+        b = diamond_task(0.0, 1.0, [0, 0, 0, 0])
+        assert a.task_id != b.task_id
+
+
+class TestExecution:
+    def test_empty_system_completion_is_critical_path(self):
+        sim = GraphPipelineSimulation(resources=["R1", "R2", "R3", "R4"])
+        task = diamond_task(0.0, 100.0, [1.0, 5.0, 2.0, 3.0])
+        sim.offer_at(task)
+        rep = sim.run(50.0)
+        record = rep.tasks[0]
+        assert record.admitted
+        # Critical path: 1 + max(5, 2) + 3 = 9.
+        assert record.completed_at == pytest.approx(9.0)
+        assert not record.missed
+
+    def test_precedence_respected(self):
+        """A successor never starts before all predecessors finish —
+        verified via the completion time of a join-heavy graph."""
+        graph = TaskGraph(
+            resource_of={"a": "R1", "b": "R2", "join": "R3"},
+            edges=[("a", "join"), ("b", "join")],
+        )
+        sim = GraphPipelineSimulation(resources=["R1", "R2", "R3"])
+        task = GraphTask.create(0.0, 100.0, graph, {"a": 2.0, "b": 7.0, "join": 1.0})
+        sim.offer_at(task)
+        rep = sim.run(50.0)
+        assert rep.tasks[0].completed_at == pytest.approx(8.0)
+
+    def test_parallel_branches_run_concurrently(self):
+        graph = TaskGraph(
+            resource_of={"a": "R1", "b": "R2"},
+            edges=[],
+        )
+        sim = GraphPipelineSimulation(resources=["R1", "R2"])
+        task = GraphTask.create(0.0, 100.0, graph, {"a": 5.0, "b": 5.0})
+        sim.offer_at(task)
+        rep = sim.run(50.0)
+        assert rep.tasks[0].completed_at == pytest.approx(5.0)
+
+    def test_shared_resource_serializes(self):
+        graph = TaskGraph(
+            resource_of={"a": "P", "b": "P"},
+            edges=[],
+        )
+        sim = GraphPipelineSimulation(resources=["P"])
+        task = GraphTask.create(0.0, 100.0, graph, {"a": 3.0, "b": 4.0})
+        sim.offer_at(task)
+        rep = sim.run(50.0)
+        assert rep.tasks[0].completed_at == pytest.approx(7.0)
+
+    def test_unknown_resource_rejected(self):
+        sim = GraphPipelineSimulation(resources=["R1"])
+        with pytest.raises(ValueError):
+            sim.offer_at(diamond_task(0.0, 1.0, [0, 0, 0, 0]))
+
+    def test_duplicate_resources_rejected(self):
+        with pytest.raises(ValueError):
+            GraphPipelineSimulation(resources=["R", "R"])
+
+    def test_no_resources_rejected(self):
+        with pytest.raises(ValueError):
+            GraphPipelineSimulation(resources=[])
+
+
+class TestTheorem2Admission:
+    def test_oversized_task_rejected(self):
+        sim = GraphPipelineSimulation(resources=["R1", "R2", "R3", "R4"])
+        hog = diamond_task(0.0, 1.0, [0.4, 0.4, 0.4, 0.4])
+        sim.offer_at(hog)
+        rep = sim.run(10.0)
+        assert not rep.tasks[0].admitted
+
+    def test_within_region_admitted(self):
+        sim = GraphPipelineSimulation(resources=["R1", "R2", "R3", "R4"])
+        ok = diamond_task(0.0, 10.0, [0.5, 0.5, 0.5, 0.5])
+        sim.offer_at(ok)
+        rep = sim.run(20.0)
+        assert rep.tasks[0].admitted
+
+    def test_admission_uses_critical_path_not_sum(self):
+        """A parallel-heavy graph admits more than its series
+        flattening: the max() in d(...) frees budget."""
+        wide = TaskGraph(
+            resource_of={i: f"R{i}" for i in range(4)},
+            edges=[],  # fully parallel
+        )
+        chain = TaskGraph(
+            resource_of={i: f"R{i}" for i in range(4)},
+            edges=[(0, 1), (1, 2), (2, 3)],
+        )
+        costs = {i: 4.0 for i in range(4)}  # per-resource U = 0.4
+        resources = [f"R{i}" for i in range(4)]
+
+        sim_wide = GraphPipelineSimulation(resources=resources)
+        sim_wide.offer_at(GraphTask.create(0.0, 10.0, wide, dict(costs)))
+        wide_admitted = sim_wide.run(20.0).tasks[0].admitted
+
+        sim_chain = GraphPipelineSimulation(resources=resources)
+        sim_chain.offer_at(GraphTask.create(0.0, 10.0, chain, dict(costs)))
+        chain_admitted = sim_chain.run(20.0).tasks[0].admitted
+
+        assert wide_admitted  # max f(0.4) = 0.53 <= 1
+        assert not chain_admitted  # 4 * f(0.4) = 2.1 > 1
+
+    def test_mixed_shapes_all_checked(self):
+        """Admission re-checks the regions of graphs already in the
+        system: a wide newcomer that would break an in-flight chain's
+        region is rejected."""
+        resources = [f"R{i}" for i in range(4)]
+        chain = TaskGraph(
+            resource_of={i: f"R{i}" for i in range(4)},
+            edges=[(0, 1), (1, 2), (2, 3)],
+        )
+        wide = TaskGraph(
+            resource_of={i: f"R{i}" for i in range(4)},
+            edges=[],
+        )
+        sim = GraphPipelineSimulation(resources=resources)
+        # Chain task first: per-resource U = 0.1, region value ~0.42.
+        sim.offer_at(GraphTask.create(0.0, 100.0, chain, {i: 10.0 for i in range(4)}))
+        # Wide newcomer with U = 0.45 each: its own region is fine
+        # (max f(0.55) < 1) but the chain's region would become
+        # 4 * f(0.55) > 1 -> reject.
+        sim.offer_at(GraphTask.create(1.0, 100.0, wide, {i: 45.0 for i in range(4)}))
+        rep = sim.run(300.0)
+        assert rep.tasks[0].admitted
+        assert not rep.tasks[1].admitted
+
+    def test_no_misses_under_admission(self):
+        """Randomized diamond tasks: admitted ones always meet their
+        end-to-end deadlines."""
+        import random
+
+        rng = random.Random(3)
+        sim = GraphPipelineSimulation(resources=["R1", "R2", "R3", "R4"])
+        t = 0.0
+        for _ in range(300):
+            t += rng.expovariate(0.5)
+            deadline = rng.uniform(20.0, 60.0)
+            costs = [rng.expovariate(1.0 / 0.8) for _ in range(4)]
+            sim.offer_at(diamond_task(t, deadline, costs))
+        rep = sim.run(t + 200.0)
+        assert rep.admitted > 0
+        assert rep.miss_ratio() == 0.0
+
+    def test_idle_reset_recovers_capacity(self):
+        sim = GraphPipelineSimulation(resources=["R1", "R2", "R3", "R4"])
+        a = diamond_task(0.0, 10.0, [0.5, 0.5, 0.5, 0.5])
+        sim.offer_at(a)
+        # b arrives after a fully completes (resources idle): the reset
+        # releases a's contributions even though a's deadline (10) has
+        # not expired.
+        b = diamond_task(3.0, 10.0, [0.5, 0.5, 0.5, 0.5])
+        sim.offer_at(b)
+        rep = sim.run(30.0)
+        assert all(r.admitted for r in rep.tasks)
+
+    def test_reset_disabled_blocks_capacity(self):
+        sim = GraphPipelineSimulation(
+            resources=["R1", "R2", "R3", "R4"], reset_on_idle=False
+        )
+        a = diamond_task(0.0, 10.0, [1.5, 1.5, 1.5, 1.5])
+        b = diamond_task(5.0, 10.0, [1.5, 1.5, 1.5, 1.5])
+        sim.offer_at(a)
+        sim.offer_at(b)
+        rep = sim.run(30.0)
+        admitted = [r.admitted for r in rep.tasks]
+        assert admitted == [True, False]
+
+    def test_utilizations_query(self):
+        sim = GraphPipelineSimulation(resources=["R1", "R2", "R3", "R4"])
+        task = diamond_task(0.0, 10.0, [1.0, 0.0, 0.0, 0.0])
+        sim.offer_at(task)
+        sim.sim.run(until=0.5)
+        utils = sim.utilizations()
+        assert utils["R1"] == pytest.approx(0.1)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            GraphPipelineSimulation(resources=["R"], alpha=0.0)

@@ -1,0 +1,133 @@
+"""Tests for DAG workload generation and the convenience runner."""
+
+import random
+
+import pytest
+
+from repro.core.dag import TaskGraph
+from repro.sim.graphworkload import (
+    GraphTemplate,
+    GraphWorkload,
+    run_graph_simulation,
+)
+
+
+def diamond():
+    return TaskGraph(
+        resource_of={1: "R1", 2: "R2", 3: "R3", 4: "R4"},
+        edges=[(1, 2), (1, 3), (2, 4), (3, 4)],
+    )
+
+
+def chain():
+    return TaskGraph(
+        resource_of={"a": "R1", "b": "R2"},
+        edges=[("a", "b")],
+    )
+
+
+def template(name="d", graph=None, costs=None, weight=1.0):
+    graph = graph if graph is not None else diamond()
+    costs = costs if costs is not None else {n: 0.5 for n in graph.resource_of}
+    return GraphTemplate(name=name, graph=graph, mean_costs=costs, weight=weight)
+
+
+class TestGraphTemplate:
+    def test_mean_total_cost(self):
+        t = template(costs={1: 1.0, 2: 2.0, 3: 3.0, 4: 4.0})
+        assert t.mean_total_cost == 10.0
+
+    def test_missing_costs_rejected(self):
+        with pytest.raises(ValueError):
+            GraphTemplate("bad", diamond(), {1: 1.0})
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError):
+            template(costs={1: -1.0, 2: 0.0, 3: 0.0, 4: 0.0})
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            template(weight=0.0)
+
+
+class TestGraphWorkload:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GraphWorkload((), 1.0, (1.0, 2.0))
+        with pytest.raises(ValueError):
+            GraphWorkload((template(),), 0.0, (1.0, 2.0))
+        with pytest.raises(ValueError):
+            GraphWorkload((template(),), 1.0, (2.0, 1.0))
+
+    def test_resources_union(self):
+        extra = TaskGraph(resource_of={"x": "R9"}, edges=[])
+        workload = GraphWorkload(
+            (template(), template("e", extra, {"x": 1.0})),
+            arrival_rate=1.0,
+            deadline_range=(10.0, 20.0),
+        )
+        assert workload.resources() == ["R1", "R2", "R3", "R4", "R9"]
+
+    def test_deterministic_by_seed(self):
+        workload = GraphWorkload(
+            (template(),), arrival_rate=2.0, deadline_range=(10.0, 20.0)
+        )
+        a = list(workload.tasks(50.0, random.Random(3)))
+        b = list(workload.tasks(50.0, random.Random(3)))
+        assert [t.arrival_time for t in a] == [t.arrival_time for t in b]
+        assert [tuple(sorted(t.costs.items())) for t in a] == [
+            tuple(sorted(t.costs.items())) for t in b
+        ]
+
+    def test_deadlines_in_range(self):
+        workload = GraphWorkload(
+            (template(),), arrival_rate=2.0, deadline_range=(10.0, 20.0)
+        )
+        for task in workload.tasks(100.0, random.Random(1)):
+            assert 10.0 <= task.deadline <= 20.0
+
+    def test_template_mixture(self):
+        workload = GraphWorkload(
+            (template("d"), template("c", chain(), {"a": 0.5, "b": 0.5}, weight=3.0)),
+            arrival_rate=5.0,
+            deadline_range=(10.0, 20.0),
+        )
+        tasks = list(workload.tasks(200.0, random.Random(2)))
+        chains = sum(1 for t in tasks if len(t.graph.resource_of) == 2)
+        # Weight 3:1 -> roughly 75% chains.
+        assert 0.6 < chains / len(tasks) < 0.9
+
+    def test_zero_mean_cost_stays_zero(self):
+        t = template(costs={1: 0.0, 2: 1.0, 3: 1.0, 4: 0.0})
+        workload = GraphWorkload((t,), arrival_rate=1.0, deadline_range=(10.0, 20.0))
+        for task in workload.tasks(30.0, random.Random(4)):
+            assert task.costs[1] == 0.0
+            assert task.costs[4] == 0.0
+
+
+class TestRunGraphSimulation:
+    def make_workload(self, rate=1.0):
+        return GraphWorkload(
+            (template(),), arrival_rate=rate, deadline_range=(20.0, 60.0)
+        )
+
+    def test_no_misses_under_admission(self):
+        report = run_graph_simulation(self.make_workload(rate=1.5), horizon=400.0, seed=5)
+        assert report.admitted > 0
+        assert report.miss_ratio() == 0.0
+
+    def test_overload_rejects(self):
+        report = run_graph_simulation(self.make_workload(rate=6.0), horizon=300.0, seed=5)
+        assert report.rejected > 0
+        assert report.miss_ratio() == 0.0
+
+    def test_reset_toggle(self):
+        on = run_graph_simulation(self.make_workload(rate=3.0), horizon=300.0, seed=5)
+        off = run_graph_simulation(
+            self.make_workload(rate=3.0), horizon=300.0, seed=5, reset_on_idle=False
+        )
+        assert on.accept_ratio >= off.accept_ratio
+
+    def test_invalid_warmup(self):
+        with pytest.raises(ValueError):
+            run_graph_simulation(self.make_workload(), horizon=10.0, warmup_fraction=1.0)

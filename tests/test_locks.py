@@ -1,0 +1,211 @@
+"""Tests for critical sections under the priority ceiling protocol."""
+
+import pytest
+
+from repro.core.task import make_task
+from repro.sim.engine import Simulator
+from repro.sim.stage import Segment, Stage
+
+
+def setup_stage():
+    sim = Simulator()
+    completions = []
+    stage = Stage(
+        sim,
+        index=0,
+        on_job_complete=lambda job: completions.append((sim.now, job.task.task_id)),
+    )
+    return sim, stage, completions
+
+
+def key(task):
+    return (task.deadline, float(task.task_id))
+
+
+class TestUncontendedLocks:
+    def test_single_job_with_critical_section(self):
+        sim, stage, completions = setup_stage()
+        t = make_task(0.0, 10.0, [3.0])
+        stage.submit(
+            t,
+            key(t),
+            segments=[Segment(1.0), Segment(1.0, lock="L"), Segment(1.0)],
+        )
+        sim.run()
+        assert completions == [(3.0, t.task_id)]
+        assert not stage.locks.blocked_jobs()
+
+    def test_sequential_users_no_blocking(self):
+        sim, stage, completions = setup_stage()
+        a = make_task(0.0, 10.0, [1.0], task_id=9301)
+        b = make_task(5.0, 10.0, [1.0], task_id=9302)
+        stage.submit(a, key(a), segments=[Segment(1.0, lock="L")])
+        sim.at(5.0, lambda: stage.submit(b, key(b), segments=[Segment(1.0, lock="L")]))
+        sim.run()
+        assert completions == [(1.0, 9301), (6.0, 9302)]
+
+
+class TestBlocking:
+    def test_high_priority_blocked_once_then_proceeds(self):
+        """Classic PCP blocking: a low-priority job inside its critical
+        section delays a high-priority job for at most one section."""
+        sim, stage, completions = setup_stage()
+        low = make_task(0.0, 100.0, [3.0], task_id=9311)
+        high = make_task(0.0, 1.0, [2.0], task_id=9312)
+        # Low: 1 open + 2 critical.  High arrives at t=2, inside low's CS.
+        stage.submit(
+            low, key(low), segments=[Segment(1.0), Segment(2.0, lock="L")]
+        )
+        sim.at(
+            2.0,
+            lambda: stage.submit(
+                high, key(high), segments=[Segment(1.0, lock="L"), Segment(1.0)]
+            ),
+        )
+        sim.run()
+        # High preempts at 2.0 but blocks on L (held by low); low inherits
+        # and finishes its CS at 3.0; high then runs [3,5).
+        assert completions == [(3.0, 9311), (5.0, 9312)]
+
+    def test_blocking_time_measured(self):
+        sim, stage, _ = setup_stage()
+        low = make_task(0.0, 100.0, [3.0], task_id=9321)
+        high = make_task(0.0, 1.0, [1.0], task_id=9322)
+        stage.submit(low, key(low), segments=[Segment(1.0), Segment(2.0, lock="L")])
+        jobs = []
+        sim.at(
+            2.0,
+            lambda: jobs.append(
+                stage.submit(high, key(high), segments=[Segment(1.0, lock="L")])
+            ),
+        )
+        sim.run()
+        assert jobs[0].blocking_time == pytest.approx(1.0)
+
+    def test_ceiling_blocks_unrelated_lock(self):
+        """PCP's distinguishing rule: a job may be denied a FREE lock
+        when another job holds a lock with a ceiling at or above its
+        priority (this is what makes blocking happen at most once)."""
+        sim, stage, completions = setup_stage()
+        low = make_task(0.0, 100.0, [4.0], task_id=9331)
+        mid = make_task(0.0, 10.0, [2.0], task_id=9332)
+        high = make_task(0.0, 1.0, [1.0], task_id=9333)
+        # Lock A's ceiling is raised to high's priority by registration.
+        stage.locks.register_user("A", key(high))
+        stage.submit(low, key(low), segments=[Segment(1.0), Segment(3.0, lock="A")])
+        # Mid wants lock B (free), but low holds A whose ceiling >= mid:
+        # PCP denies the acquisition.
+        sim.at(
+            2.0,
+            lambda: stage.submit(
+                mid, key(mid), segments=[Segment(2.0, lock="B")]
+            ),
+        )
+        sim.run()
+        # Mid preempts at 2.0 but cannot take B; low (inheriting) finishes
+        # its CS at 4+1=... low: open [0,1), CS [1,2) preempt... timeline:
+        # low CS starts at 1.0, runs to 2.0 (preempted by mid), mid blocks
+        # on B, low resumes (inherits mid's priority), CS ends 1+3=5.0
+        # (2 more units: [2,4)->4.0... CS consumed [1,2) = 1 of 3; resumes
+        # [2,4]: ends at 4.0.  Mid then runs [4,6).
+        assert completions == [(4.0, 9331), (6.0, 9332)]
+
+    def test_no_deadlock_with_two_locks(self):
+        """Under PCP the classic AB/BA deadlock cannot occur."""
+        sim, stage, completions = setup_stage()
+        t1 = make_task(0.0, 10.0, [2.0], task_id=9341)
+        t2 = make_task(0.0, 5.0, [2.0], task_id=9342)
+        stage.locks.register_user("A", key(t2))
+        stage.locks.register_user("B", key(t2))
+        stage.locks.register_user("A", key(t1))
+        stage.locks.register_user("B", key(t1))
+        stage.submit(t1, key(t1), segments=[Segment(1.0, lock="A"), Segment(1.0, lock="B")])
+        sim.at(
+            0.5,
+            lambda: stage.submit(
+                t2, key(t2), segments=[Segment(1.0, lock="B"), Segment(1.0, lock="A")]
+            ),
+        )
+        sim.run(until=100.0)
+        # Both complete — no deadlock.
+        assert sorted(tid for _, tid in completions) == [9341, 9342]
+
+    def test_waiters_acquire_in_priority_order(self):
+        sim, stage, completions = setup_stage()
+        low = make_task(0.0, 100.0, [2.0], task_id=9351)
+        mid = make_task(0.0, 10.0, [1.0], task_id=9352)
+        high = make_task(0.0, 1.0, [1.0], task_id=9353)
+        stage.submit(low, key(low), segments=[Segment(2.0, lock="L")])
+        sim.at(0.5, lambda: stage.submit(mid, key(mid), segments=[Segment(1.0, lock="L")]))
+        sim.at(0.6, lambda: stage.submit(high, key(high), segments=[Segment(1.0, lock="L")]))
+        sim.run()
+        # After low releases at 2.0, high (not mid) gets the lock first.
+        assert completions == [(2.0, 9351), (3.0, 9353), (4.0, 9352)]
+
+    def test_double_acquire_rejected(self):
+        sim, stage, _ = setup_stage()
+        t = make_task(0.0, 10.0, [2.0])
+        job = stage.submit(t, key(t), segments=[Segment(2.0, lock="L")])
+        sim.run(until=1.0)
+        with pytest.raises(ValueError):
+            stage.locks.acquire(job, "L")
+
+    def test_release_requires_holder(self):
+        sim, stage, _ = setup_stage()
+        t = make_task(0.0, 10.0, [1.0])
+        job = stage.submit(t, key(t), duration=1.0)
+        with pytest.raises(ValueError):
+            stage.locks.release(job, "L")
+
+
+class TestPriorityInheritance:
+    def test_holder_inherits_blocked_priority(self):
+        """While high is blocked on low's lock, a medium job must NOT
+        run in between (unbounded priority inversion prevented)."""
+        sim, stage, completions = setup_stage()
+        low = make_task(0.0, 100.0, [3.0], task_id=9361)
+        mid = make_task(0.0, 10.0, [5.0], task_id=9362)
+        high = make_task(0.0, 1.0, [1.0], task_id=9363)
+        stage.submit(low, key(low), segments=[Segment(0.5), Segment(2.5, lock="L")])
+        sim.at(1.0, lambda: stage.submit(high, key(high), segments=[Segment(1.0, lock="L")]))
+        sim.at(1.1, lambda: stage.submit(mid, key(mid), duration=5.0))
+        sim.run()
+        # low's CS runs [0.5, 3.0) under inheritance; high [3,4); mid last.
+        assert completions == [(3.0, 9361), (4.0, 9363), (9.0, 9362)]
+
+    def test_priority_restored_after_release(self):
+        sim, stage, _ = setup_stage()
+        low = make_task(0.0, 100.0, [2.0], task_id=9371)
+        high = make_task(0.0, 1.0, [1.0], task_id=9372)
+        job_low = stage.submit(low, key(low), segments=[Segment(1.0, lock="L"), Segment(1.0)])
+        sim.at(0.5, lambda: stage.submit(high, key(high), segments=[Segment(1.0, lock="L")]))
+        sim.run()
+        assert job_low.effective_key == job_low.base_key
+
+    def test_abort_blocked_job(self):
+        sim, stage, completions = setup_stage()
+        low = make_task(0.0, 100.0, [2.0], task_id=9381)
+        high = make_task(0.0, 1.0, [1.0], task_id=9382)
+        stage.submit(low, key(low), segments=[Segment(2.0, lock="L")])
+        jobs = []
+        sim.at(
+            0.5,
+            lambda: jobs.append(
+                stage.submit(high, key(high), segments=[Segment(1.0, lock="L")])
+            ),
+        )
+        sim.at(1.0, lambda: stage.abort(jobs[0]))
+        sim.run()
+        assert completions == [(2.0, 9381)]
+        assert not stage.locks.blocked_jobs()
+
+    def test_abort_running_holder_releases_lock(self):
+        sim, stage, completions = setup_stage()
+        low = make_task(0.0, 100.0, [5.0], task_id=9391)
+        high = make_task(0.0, 1.0, [1.0], task_id=9392)
+        job_low = stage.submit(low, key(low), segments=[Segment(5.0, lock="L")])
+        sim.at(0.5, lambda: stage.submit(high, key(high), segments=[Segment(1.0, lock="L")]))
+        sim.at(1.0, lambda: stage.abort(job_low))
+        sim.run()
+        # High unblocks when the aborted holder releases L: runs [1,2).
+        assert completions == [(2.0, 9392)]

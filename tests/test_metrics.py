@@ -1,0 +1,188 @@
+"""Tests for measurement collection and reporting."""
+
+import pytest
+
+from repro.sim.metrics import (
+    SimulationReport,
+    StageUsage,
+    TaskRecord,
+    mean_confidence_interval,
+)
+
+
+def record(task_id, arrival, deadline, admitted=True, completed=None, shed=False):
+    r = TaskRecord(task_id=task_id, arrival_time=arrival, deadline=deadline)
+    r.admitted = admitted
+    r.completed_at = completed
+    r.shed = shed
+    return r
+
+
+class TestTaskRecord:
+    def test_missed_when_late(self):
+        r = record(1, 0.0, 10.0, completed=10.5)
+        assert r.missed
+
+    def test_on_time(self):
+        r = record(1, 0.0, 10.0, completed=9.0)
+        assert not r.missed
+
+    def test_exactly_at_deadline_not_missed(self):
+        r = record(1, 0.0, 10.0, completed=10.0)
+        assert not r.missed
+
+    def test_incomplete_not_counted_missed_here(self):
+        r = record(1, 0.0, 10.0, completed=None)
+        assert not r.missed
+
+    def test_response_time(self):
+        r = record(1, 2.0, 10.0, completed=7.0)
+        assert r.response_time == pytest.approx(5.0)
+        assert record(1, 0.0, 1.0).response_time is None
+
+
+class TestStageUsage:
+    def test_utilization(self):
+        assert StageUsage(0, busy_time=30.0, window=100.0).utilization == 0.3
+
+    def test_zero_window(self):
+        assert StageUsage(0, busy_time=0.0, window=0.0).utilization == 0.0
+
+
+class TestSimulationReport:
+    def make_report(self):
+        tasks = [
+            record(1, 0.0, 10.0, admitted=True, completed=5.0),
+            record(2, 1.0, 10.0, admitted=True, completed=12.0),  # missed
+            record(3, 2.0, 10.0, admitted=False),
+            record(4, 3.0, 10.0, admitted=True, completed=None),  # unfinished
+            record(5, 90.0, 50.0, admitted=True, completed=None),  # censored
+            record(6, 4.0, 10.0, admitted=True, completed=8.0, shed=True),
+        ]
+        usage = [StageUsage(0, 40.0, 100.0), StageUsage(1, 80.0, 100.0)]
+        return SimulationReport(horizon=100.0, warmup=0.0, stage_usage=usage, tasks=tasks)
+
+    def test_counts(self):
+        rep = self.make_report()
+        assert rep.generated == 6
+        assert rep.admitted == 5
+        assert rep.rejected == 1
+        assert rep.completed == 3
+        assert rep.shed_count == 1
+
+    def test_accept_ratio(self):
+        assert self.make_report().accept_ratio == pytest.approx(5 / 6)
+
+    def test_miss_ratio_censors_and_excludes_shed(self):
+        rep = self.make_report()
+        # Judged: tasks 1 (ok), 2 (missed), 4 (never finished, deadline
+        # inside horizon -> missed).  5 censored, 6 shed, 3 rejected.
+        assert rep.miss_ratio() == pytest.approx(2 / 3)
+
+    def test_miss_ratio_with_cutoff(self):
+        rep = self.make_report()
+        # Cutoff before task 4's deadline (13.0): judge only 1 and 2.
+        assert rep.miss_ratio(settled_before=12.5) == pytest.approx(1 / 2)
+
+    def test_miss_ratio_empty(self):
+        rep = SimulationReport(horizon=10.0, warmup=0.0)
+        assert rep.miss_ratio() == 0.0
+        assert rep.accept_ratio == 0.0
+
+    def test_utilizations(self):
+        rep = self.make_report()
+        assert rep.utilization(0) == pytest.approx(0.4)
+        assert rep.utilizations() == pytest.approx((0.4, 0.8))
+        assert rep.average_utilization() == pytest.approx(0.6)
+        assert rep.bottleneck_utilization() == pytest.approx(0.8)
+
+    def test_response_times(self):
+        rep = self.make_report()
+        assert sorted(rep.response_times()) == pytest.approx([4.0, 5.0, 11.0])
+        assert rep.mean_response_time() == pytest.approx(20.0 / 3)
+
+    def test_empty_report_utilization(self):
+        rep = SimulationReport(horizon=10.0, warmup=0.0)
+        assert rep.average_utilization() == 0.0
+        assert rep.bottleneck_utilization() == 0.0
+        assert rep.mean_response_time() == 0.0
+
+
+class TestConfidenceInterval:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+
+    def test_single_sample(self):
+        mean, half = mean_confidence_interval([3.0])
+        assert mean == 3.0
+        assert half == 0.0
+
+    def test_identical_samples(self):
+        mean, half = mean_confidence_interval([2.0, 2.0, 2.0])
+        assert mean == 2.0
+        assert half == 0.0
+
+    def test_known_values(self):
+        mean, half = mean_confidence_interval([1.0, 3.0], z=1.0)
+        assert mean == 2.0
+        # s = sqrt(2), half = s / sqrt(2) = 1.0
+        assert half == pytest.approx(1.0)
+
+    def test_wider_z_wider_interval(self):
+        _, narrow = mean_confidence_interval([1.0, 2.0, 3.0], z=1.0)
+        _, wide = mean_confidence_interval([1.0, 2.0, 3.0], z=2.0)
+        assert wide == pytest.approx(2 * narrow)
+
+
+class TestPercentiles:
+    def make_report(self):
+        tasks = [
+            TaskRecord(task_id=i, arrival_time=0.0, deadline=100.0)
+            for i in range(10)
+        ]
+        for i, t in enumerate(tasks):
+            t.admitted = True
+            t.completed_at = float(i + 1)  # responses 1..10
+        return SimulationReport(horizon=200.0, warmup=0.0, tasks=tasks)
+
+    def test_median(self):
+        assert self.make_report().response_time_percentile(50.0) == 5.0
+
+    def test_p99_is_max_for_small_sets(self):
+        assert self.make_report().response_time_percentile(99.0) == 10.0
+
+    def test_p0_is_min(self):
+        assert self.make_report().response_time_percentile(0.0) == 1.0
+
+    def test_empty(self):
+        rep = SimulationReport(horizon=1.0, warmup=0.0)
+        assert rep.response_time_percentile(50.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make_report().response_time_percentile(101.0)
+
+
+class TestPerStreamSummary:
+    def test_grouping_and_counts(self):
+        tasks = []
+        for i in range(4):
+            t = TaskRecord(task_id=i, arrival_time=0.0, deadline=10.0, stream_id=7)
+            t.admitted = i < 3
+            t.completed_at = 5.0 if i < 2 else (12.0 if i == 2 else None)
+            tasks.append(t)
+        lone = TaskRecord(task_id=99, arrival_time=0.0, deadline=10.0)
+        lone.admitted = True
+        lone.completed_at = 1.0
+        tasks.append(lone)
+        rep = SimulationReport(horizon=100.0, warmup=0.0, tasks=tasks)
+        summary = rep.per_stream_summary()
+        stream = summary[7]
+        assert stream.offered == 4
+        assert stream.admitted == 3
+        assert stream.missed == 1  # the one completing at 12.0
+        assert stream.worst_response == 12.0
+        assert stream.accept_ratio == pytest.approx(0.75)
+        assert summary[None].offered == 1
+        assert summary[None].missed == 0

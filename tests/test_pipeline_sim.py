@@ -1,0 +1,316 @@
+"""End-to-end tests of the pipeline simulation with admission control.
+
+The central soundness property (the paper's main claim): with exact
+admission control under deadline-monotonic scheduling, *no admitted
+task ever misses its end-to-end deadline*, across loads, pipeline
+lengths, and seeds — including with the idle-reset rule active.
+"""
+
+import pytest
+
+from repro.core.admission import MeanDemand, PipelineAdmissionController
+from repro.core.task import make_task, periodic_spec
+from repro.sim.pipeline import PipelineSimulation, run_pipeline_simulation
+from repro.sim.policies import EarliestDeadlineFirst, RandomPriority
+from repro.sim.workload import balanced_workload, imbalanced_two_stage_workload
+
+
+class TestDeterministicScenarios:
+    def test_single_task_flows_through(self):
+        sim = PipelineSimulation(num_stages=3)
+        t = make_task(0.0, 10.0, [1.0, 1.0, 1.0])
+        sim.offer_at(t)
+        rep = sim.run(20.0)
+        record = rep.tasks[0]
+        assert record.admitted
+        assert record.completed_at == pytest.approx(3.0)
+        assert not record.missed
+
+    def test_pipelining_overlaps_stages(self):
+        """Two tasks overlap: while the first occupies stage 1, the
+        second runs at stage 0."""
+        sim = PipelineSimulation(num_stages=2)
+        a = make_task(0.0, 100.0, [1.0, 1.0], task_id=8001)
+        b = make_task(0.0, 100.0, [1.0, 1.0], task_id=8002)
+        sim.offer_at(a)
+        sim.offer_at(b)
+        rep = sim.run(50.0)
+        done = {r.task_id: r.completed_at for r in rep.tasks}
+        assert done[8001] == pytest.approx(2.0)
+        assert done[8002] == pytest.approx(3.0)  # not 4.0: stages overlap
+
+    def test_dm_priority_respected_across_stages(self):
+        sim = PipelineSimulation(num_stages=2)
+        relaxed = make_task(0.0, 50.0, [2.0, 2.0], task_id=8011)
+        urgent = make_task(1.0, 5.0, [1.0, 1.0], task_id=8012)
+        sim.offer_at(relaxed)
+        sim.offer_at(urgent)
+        rep = sim.run(50.0)
+        done = {r.task_id: r.completed_at for r in rep.tasks}
+        # urgent preempts at stage 0 (t=1..2), then runs stage 1 (2..3).
+        assert done[8012] == pytest.approx(3.0)
+        assert done[8011] == pytest.approx(5.0)
+
+    def test_rejected_task_consumes_nothing(self):
+        sim = PipelineSimulation(num_stages=1)
+        hog = make_task(0.0, 1.0, [0.58])
+        reject = make_task(0.0, 1.0, [0.58])
+        sim.offer_at(hog)
+        sim.offer_at(reject)
+        rep = sim.run(10.0)
+        assert rep.admitted == 1
+        assert rep.rejected == 1
+        assert rep.utilization(0) == pytest.approx(0.058, abs=1e-6)
+
+    def test_report_window_excludes_warmup(self):
+        sim = PipelineSimulation(num_stages=1)
+        t = make_task(0.0, 20.0, [10.0])
+        sim.offer_at(t)
+        rep = sim.run(20.0, warmup=10.0)
+        # Busy [0, 10]; warmup removes [0, 10] -> nothing measured.
+        assert rep.utilization(0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_invalid_warmup(self):
+        sim = PipelineSimulation(num_stages=1)
+        with pytest.raises(ValueError):
+            sim.run(10.0, warmup=11.0)
+
+    def test_controller_stage_mismatch(self):
+        controller = PipelineAdmissionController(3)
+        with pytest.raises(ValueError):
+            PipelineSimulation(num_stages=2, controller=controller)
+
+    def test_negative_wait_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineSimulation(num_stages=1, max_admission_wait=-1.0)
+
+
+class TestNoMissesUnderExactAdmission:
+    """The headline guarantee, across the parameter grid."""
+
+    @pytest.mark.parametrize("num_stages", [1, 2, 3, 5])
+    @pytest.mark.parametrize("load", [0.8, 1.4, 2.0])
+    def test_zero_miss_ratio(self, num_stages, load):
+        workload = balanced_workload(num_stages, load, resolution=100.0)
+        report = run_pipeline_simulation(workload, horizon=1500.0, seed=42)
+        assert report.miss_ratio() == 0.0
+        assert report.admitted > 0
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_zero_misses_low_resolution(self, seed):
+        """Even with large tasks (resolution 5) exact admission control
+        never admits an unschedulable set."""
+        workload = balanced_workload(2, load=1.5, resolution=5.0)
+        report = run_pipeline_simulation(workload, horizon=2000.0, seed=seed)
+        assert report.miss_ratio() == 0.0
+
+    def test_zero_misses_without_reset(self):
+        workload = balanced_workload(2, load=1.5, resolution=50.0)
+        report = run_pipeline_simulation(
+            workload, horizon=1500.0, seed=7, reset_on_idle=False
+        )
+        assert report.miss_ratio() == 0.0
+
+    def test_zero_misses_imbalanced(self):
+        workload = imbalanced_two_stage_workload(cost_ratio=4.0, bottleneck_load=1.5)
+        report = run_pipeline_simulation(workload, horizon=1500.0, seed=3)
+        assert report.miss_ratio() == 0.0
+
+    def test_zero_misses_random_priority_with_proper_alpha(self):
+        """Eq. 12: a random fixed-priority policy is safe when admitted
+        against its urgency-inversion budget."""
+        workload = balanced_workload(2, load=1.5, resolution=50.0, deadline_spread=0.5)
+        alpha = 0.5 / 1.5  # (1 - spread) / (1 + spread)
+        report = run_pipeline_simulation(
+            workload,
+            horizon=1500.0,
+            seed=5,
+            policy=RandomPriority(seed=9),
+            alpha=alpha,
+        )
+        assert report.miss_ratio() == 0.0
+        assert report.admitted > 0
+
+    def test_zero_misses_with_wait_queue(self):
+        workload = balanced_workload(2, load=1.8, resolution=100.0)
+        report = run_pipeline_simulation(
+            workload, horizon=1500.0, seed=11, max_admission_wait=20.0
+        )
+        assert report.miss_ratio() == 0.0
+
+
+class TestResetRuleEffect:
+    def test_reset_improves_acceptance(self):
+        workload = balanced_workload(2, load=1.2, resolution=100.0)
+        with_reset = run_pipeline_simulation(workload, horizon=1000.0, seed=1)
+        without = run_pipeline_simulation(
+            workload, horizon=1000.0, seed=1, reset_on_idle=False
+        )
+        assert with_reset.accept_ratio > without.accept_ratio
+        assert with_reset.average_utilization() > without.average_utilization()
+
+    def test_without_reset_utilization_capped_near_static_bound(self):
+        workload = balanced_workload(1, load=2.0, resolution=100.0)
+        report = run_pipeline_simulation(
+            workload, horizon=1000.0, seed=1, reset_on_idle=False
+        )
+        # Static synthetic bound is ~0.586; real utilization cannot
+        # exceed it by much without resets.
+        assert report.utilization(0) < 0.65
+
+    def test_paper_reset_example_end_to_end(self):
+        """Section 4's contrived single-processor example: tasks with
+        C=1, D=2 arriving right after each other's completion are all
+        admitted and the processor runs at ~full utilization."""
+        sim = PipelineSimulation(num_stages=1)
+        now = 0.0
+        for i in range(50):
+            sim.offer_at(make_task(now, 2.0, [1.0], task_id=100_000 + i))
+            now += 1.0 + 1e-9
+        rep = sim.run(now)
+        assert rep.admitted == 50
+        assert rep.miss_ratio() == 0.0
+        assert rep.utilization(0) > 0.99
+
+
+class TestAdmissionWaitQueue:
+    def test_waiting_task_admitted_on_idle_reset(self):
+        sim = PipelineSimulation(num_stages=1, max_admission_wait=5.0)
+        hog = make_task(0.0, 4.0, [2.0], task_id=8101)
+        waiter = make_task(0.1, 4.0, [2.0], task_id=8102)
+        sim.offer_at(hog)
+        sim.offer_at(waiter)
+        rep = sim.run(20.0)
+        records = {r.task_id: r for r in rep.tasks}
+        assert records[8101].admitted
+        assert records[8102].admitted
+        # Admitted when the hog departed and the stage idled (t=2).
+        assert records[8102].admitted_at == pytest.approx(2.0)
+        assert rep.miss_ratio() == 0.0
+
+    def test_wait_expires_to_rejection(self):
+        sim = PipelineSimulation(num_stages=1, max_admission_wait=0.5)
+        hog = make_task(0.0, 10.0, [5.5], task_id=8111)
+        waiter = make_task(0.1, 10.0, [5.5], task_id=8112)
+        sim.offer_at(hog)
+        sim.offer_at(waiter)
+        rep = sim.run(30.0)
+        records = {r.task_id: r for r in rep.tasks}
+        assert records[8111].admitted
+        assert not records[8112].admitted
+
+    def test_waiting_task_admitted_on_expiry(self):
+        """Admission can also be unblocked by a deadline expiry (the
+        hog's contribution lapses at its absolute deadline)."""
+        sim = PipelineSimulation(num_stages=1, max_admission_wait=10.0)
+        # Hog: admitted, executes [0, 0.55], contribution 0.55 until t=1.
+        hog = make_task(0.0, 1.0, [0.55], task_id=8121)
+        # Waiter: needs 0.55 of utilization; must wait for the hog's
+        # contribution to go away.  Arrives while the stage is still
+        # busy (t=0.2) so no idle reset can happen before the hog ends.
+        waiter = make_task(0.2, 1.0, [0.55], task_id=8122)
+        sim.offer_at(hog)
+        sim.offer_at(waiter)
+        rep = sim.run(30.0)
+        records = {r.task_id: r for r in rep.tasks}
+        assert records[8122].admitted
+        # Idle reset at 0.55 (hog departed) unblocks it first.
+        assert records[8122].admitted_at == pytest.approx(0.55)
+
+    def test_fifo_head_of_line(self):
+        """The admission queue is FIFO with head-of-line blocking: a
+        later small task does not overtake an earlier big one."""
+        sim = PipelineSimulation(num_stages=1, max_admission_wait=100.0)
+        hog = make_task(0.0, 100.0, [58.0], task_id=8131)
+        big = make_task(0.1, 100.0, [58.0], task_id=8132)
+        small = make_task(0.2, 100.0, [0.1], task_id=8133)
+        for t in (hog, big, small):
+            sim.offer_at(t)
+        rep = sim.run(400.0)
+        records = {r.task_id: r for r in rep.tasks}
+        assert records[8132].admitted
+        assert records[8133].admitted
+        assert records[8133].admitted_at >= records[8132].admitted_at
+
+
+class TestSheddingPath:
+    def test_important_arrival_sheds_lesser_load(self):
+        sim = PipelineSimulation(num_stages=1, admit_with_shedding=True)
+        fillers = [
+            make_task(0.0, 10.0, [1.4], importance=0, task_id=8200 + i)
+            for i in range(4)
+        ]
+        for t in fillers:
+            sim.offer_at(t)
+        vip = make_task(0.5, 10.0, [3.0], importance=5, task_id=8299)
+        sim.offer_at(vip)
+        rep = sim.run(40.0)
+        records = {r.task_id: r for r in rep.tasks}
+        assert records[8299].admitted
+        assert rep.shed_count >= 1
+        # Shed tasks never complete.
+        for r in rep.tasks:
+            if r.shed:
+                assert r.completed_at is None
+
+    def test_vip_meets_deadline_after_shedding(self):
+        sim = PipelineSimulation(num_stages=1, admit_with_shedding=True)
+        for i in range(4):
+            sim.offer_at(make_task(0.0, 10.0, [1.4], importance=0, task_id=8300 + i))
+        vip = make_task(0.5, 10.0, [3.0], importance=5, task_id=8399)
+        sim.offer_at(vip)
+        rep = sim.run(40.0)
+        vip_record = next(r for r in rep.tasks if r.task_id == 8399)
+        assert vip_record.completed_at is not None
+        assert not vip_record.missed
+
+
+class TestReservedStreams:
+    def test_reserved_periodic_executes_without_admission(self):
+        spec = periodic_spec("critical", period=1.0, computation_times=[0.2])
+        sim = PipelineSimulation(num_stages=1, reserved=[0.2])
+        count = sim.submit_reserved(spec, until=10.0)
+        rep = sim.run(12.0)
+        assert count == 10
+        assert rep.admitted == 10
+        assert rep.miss_ratio() == 0.0
+
+    def test_dynamic_tasks_admitted_on_top_of_reservation(self):
+        spec = periodic_spec("critical", period=1.0, computation_times=[0.2])
+        sim = PipelineSimulation(num_stages=1, reserved=[0.2])
+        sim.submit_reserved(spec, until=20.0)
+        for i in range(10):
+            sim.offer_at(make_task(i * 2.0, 5.0, [0.5], task_id=8400 + i))
+        rep = sim.run(25.0)
+        dynamic = [r for r in rep.tasks if r.task_id >= 8400]
+        assert all(r.admitted for r in dynamic)
+        assert rep.miss_ratio() == 0.0
+
+
+class TestApproximateAdmission:
+    def test_mean_demand_admits_by_average(self):
+        workload = balanced_workload(2, load=1.0, resolution=100.0)
+        report = run_pipeline_simulation(
+            workload,
+            horizon=1000.0,
+            seed=13,
+            demand_model=MeanDemand(workload.mean_stage_costs),
+        )
+        assert report.admitted > 0
+        # High resolution: approximate control misses (almost) nothing.
+        assert report.miss_ratio() <= 0.005
+
+    def test_low_resolution_can_miss(self):
+        """With big tasks the mean substitutes badly; some misses are
+        expected (this is Figure 7's left edge)."""
+        workload = balanced_workload(2, load=1.6, resolution=3.0)
+        misses = []
+        for seed in range(5):
+            report = run_pipeline_simulation(
+                workload,
+                horizon=1500.0,
+                seed=seed,
+                demand_model=MeanDemand(workload.mean_stage_costs),
+            )
+            misses.append(report.miss_ratio())
+        assert max(misses) > 0.0

@@ -1,0 +1,102 @@
+"""Tests for scheduling policies."""
+
+import pytest
+
+from repro.core.task import make_task
+from repro.sim.policies import (
+    DeadlineMonotonic,
+    EarliestDeadlineFirst,
+    FifoPolicy,
+    ImportanceFirst,
+    RandomPriority,
+)
+
+
+class TestDeadlineMonotonic:
+    def test_orders_by_relative_deadline(self):
+        p = DeadlineMonotonic()
+        short = make_task(50.0, 1.0, [0.1])
+        long = make_task(0.0, 9.0, [0.1])
+        assert p.priority_key(short) < p.priority_key(long)
+
+    def test_fixed_priority_flag(self):
+        assert DeadlineMonotonic.fixed_priority
+
+    def test_alpha_is_one(self):
+        assert DeadlineMonotonic().alpha([1.0, 5.0, 2.0]) == 1.0
+
+    def test_tie_broken_by_id(self):
+        p = DeadlineMonotonic()
+        a = make_task(0.0, 5.0, [0.1], task_id=1)
+        b = make_task(0.0, 5.0, [0.1], task_id=2)
+        assert p.priority_key(a) < p.priority_key(b)
+
+
+class TestEDF:
+    def test_orders_by_absolute_deadline(self):
+        p = EarliestDeadlineFirst()
+        early = make_task(0.0, 5.0, [0.1])
+        late = make_task(10.0, 5.0, [0.1])
+        assert p.priority_key(early) < p.priority_key(late)
+
+    def test_not_fixed_priority(self):
+        """EDF priority depends on arrival time, so it is not a
+        fixed-priority policy in the paper's sense (Section 2)."""
+        assert not EarliestDeadlineFirst.fixed_priority
+
+    def test_arrival_can_invert_relative_order(self):
+        p = EarliestDeadlineFirst()
+        urgent_late = make_task(10.0, 1.0, [0.1])  # absolute 11
+        relaxed_early = make_task(0.0, 5.0, [0.1])  # absolute 5
+        assert p.priority_key(relaxed_early) < p.priority_key(urgent_late)
+
+
+class TestFifo:
+    def test_orders_by_arrival(self):
+        p = FifoPolicy()
+        first = make_task(0.0, 100.0, [0.1])
+        second = make_task(1.0, 0.5, [0.1])
+        assert p.priority_key(first) < p.priority_key(second)
+
+    def test_not_fixed_priority(self):
+        assert not FifoPolicy.fixed_priority
+
+
+class TestRandomPriority:
+    def test_deterministic_per_task(self):
+        p = RandomPriority(seed=3)
+        t = make_task(0.0, 1.0, [0.1], task_id=77)
+        assert p.priority_key(t) == p.priority_key(t)
+
+    def test_seed_changes_assignment(self):
+        t = make_task(0.0, 1.0, [0.1], task_id=77)
+        keys = {RandomPriority(seed=s).priority_key(t)[0] for s in range(10)}
+        assert len(keys) > 1
+
+    def test_alpha_least_over_most(self):
+        p = RandomPriority()
+        assert p.alpha([1.0, 2.0, 4.0]) == pytest.approx(0.25)
+
+    def test_independent_of_deadline(self):
+        p = RandomPriority(seed=0)
+        a = make_task(0.0, 1.0, [0.1], task_id=5)
+        b = make_task(0.0, 100.0, [0.1], task_id=5)
+        assert p.priority_key(a)[0] == p.priority_key(b)[0]
+
+
+class TestImportanceFirst:
+    def test_importance_dominates(self):
+        p = ImportanceFirst()
+        vip = make_task(0.0, 100.0, [0.1], importance=5)
+        urgent = make_task(0.0, 0.1, [0.1], importance=0)
+        assert p.priority_key(vip) < p.priority_key(urgent)
+
+    def test_dm_within_class(self):
+        p = ImportanceFirst()
+        a = make_task(0.0, 1.0, [0.1], importance=5)
+        b = make_task(0.0, 9.0, [0.1], importance=5)
+        assert p.priority_key(a) < p.priority_key(b)
+
+    def test_alpha_conservative(self):
+        p = ImportanceFirst()
+        assert p.alpha([1.0, 4.0]) == pytest.approx(0.25)

@@ -1,0 +1,165 @@
+"""Property-based system tests (hypothesis) on the headline invariants.
+
+These go beyond the unit-level properties: whole simulations are run
+on randomly generated workloads and the paper's guarantees are checked
+as universal properties — zero misses under exact admission control,
+scheduler equivalence with a brute-force reference, and conservation
+laws of the reporting layer.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.task import make_task
+from repro.sim.engine import Simulator
+from repro.sim.pipeline import PipelineSimulation
+from repro.sim.stage import Stage
+
+QUANTUM = 0.25
+
+
+# ----------------------------------------------------------------------
+# Zero-miss property over random workloads
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=3),  # stages
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.05, max_value=2.0),  # inter-arrival gap
+            st.floats(min_value=1.0, max_value=50.0),  # deadline
+            st.floats(min_value=0.0, max_value=4.0),  # cost scale
+        ),
+        min_size=1,
+        max_size=30,
+    ),
+    st.integers(min_value=0, max_value=3),  # cost-shape seed
+)
+def test_exact_admission_never_misses(num_stages, arrivals, shape_seed):
+    """For ANY arrival pattern, admitted tasks meet their end-to-end
+    deadlines under deadline-monotonic scheduling with exact admission
+    control — the paper's central guarantee as a universal property."""
+    rng = random.Random(shape_seed)
+    sim = PipelineSimulation(num_stages=num_stages)
+    now = 0.0
+    horizon = 0.0
+    for gap, deadline, cost_scale in arrivals:
+        now += gap
+        costs = [cost_scale * rng.random() for _ in range(num_stages)]
+        task = make_task(now, deadline, costs)
+        sim.offer_at(task)
+        horizon = max(horizon, now + deadline)
+    report = sim.run(horizon + 1.0)
+    for record in report.tasks:
+        if record.admitted:
+            assert record.completed_at is not None
+            assert record.completed_at <= record.absolute_deadline + 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.05, max_value=2.0),
+            st.floats(min_value=1.0, max_value=50.0),
+            st.floats(min_value=0.0, max_value=4.0),
+        ),
+        min_size=1,
+        max_size=25,
+    ),
+)
+def test_report_conservation_laws(arrivals):
+    """generated = admitted + rejected; completed <= admitted; all
+    response times positive; utilizations within [0, 1]."""
+    sim = PipelineSimulation(num_stages=2)
+    now = 0.0
+    horizon = 0.0
+    for gap, deadline, cost in arrivals:
+        now += gap
+        task = make_task(now, deadline, [cost / 2.0, cost / 2.0])
+        sim.offer_at(task)
+        horizon = max(horizon, now + deadline)
+    report = sim.run(horizon + 1.0)
+    assert report.generated == report.admitted + report.rejected
+    assert report.completed <= report.admitted
+    for record in report.tasks:
+        if record.response_time is not None:
+            assert record.response_time >= 0.0
+    for u in report.utilizations():
+        assert 0.0 <= u <= 1.0 + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Scheduler equivalence with a quantized reference (hypothesis-driven)
+# ----------------------------------------------------------------------
+
+
+def _reference(jobs):
+    """Quantized preemptive fixed-priority scheduler (exact for
+    quantum-aligned inputs); see tests/test_scheduler_reference.py."""
+    remaining = [d for _, d, _ in jobs]
+    completion = [None] * len(jobs)
+    t = 0.0
+    pending = len(jobs)
+    guard = sum(remaining) + max(a for a, _, _ in jobs) + 1.0
+    while pending > 0 and t < guard:
+        ready = [
+            i
+            for i in range(len(jobs))
+            if jobs[i][0] <= t + 1e-12 and remaining[i] > 1e-12
+        ]
+        if ready:
+            chosen = min(ready, key=lambda i: jobs[i][2])
+            remaining[chosen] -= QUANTUM
+            if remaining[chosen] <= 1e-12:
+                completion[chosen] = t + QUANTUM
+                pending -= 1
+        t += QUANTUM
+    return completion
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=6),  # arrival gap quanta
+            st.integers(min_value=1, max_value=8),  # duration quanta
+            st.integers(min_value=0, max_value=3),  # priority class
+        ),
+        min_size=1,
+        max_size=15,
+    )
+)
+def test_stage_equals_reference_scheduler(raw_jobs):
+    jobs = []
+    t = 0.0
+    for i, (gap, duration, prio) in enumerate(raw_jobs):
+        t += QUANTUM * gap
+        jobs.append((t, QUANTUM * duration, (float(prio), float(i))))
+
+    expected = _reference(jobs)
+
+    sim = Simulator()
+    stage = Stage(sim, index=0)
+    completions = {}
+    stage.on_job_complete = lambda job: completions.__setitem__(
+        job.task.task_id, sim.now
+    )
+    for i, (arrival, duration, priority) in enumerate(jobs):
+        task = make_task(arrival, 1e6, [duration], task_id=i)
+        sim.at(
+            arrival,
+            lambda tk=task, key=priority, d=duration: stage.submit(
+                tk, key, duration=d
+            ),
+        )
+    sim.run()
+    for i in range(len(jobs)):
+        assert completions[i] == pytest.approx(expected[i], abs=1e-9)
+
+    # Busy-time conservation: the stage was busy exactly the total work.
+    assert stage.busy_time() == pytest.approx(sum(d for _, d, _ in jobs), abs=1e-9)

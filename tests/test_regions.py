@@ -1,0 +1,242 @@
+"""Tests for feasible-region geometry objects."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bounds import (
+    UNIPROCESSOR_APERIODIC_BOUND,
+    stage_delay_factor,
+)
+from repro.core.dag import TaskGraph
+from repro.core.regions import DagFeasibleRegion, PipelineFeasibleRegion
+
+
+class TestPipelineRegionConstruction:
+    def test_defaults(self):
+        r = PipelineFeasibleRegion(num_stages=3)
+        assert r.budget == 1.0
+
+    def test_invalid_stage_count(self):
+        with pytest.raises(ValueError):
+            PipelineFeasibleRegion(num_stages=0)
+
+    def test_beta_length_mismatch(self):
+        with pytest.raises(ValueError):
+            PipelineFeasibleRegion(num_stages=2, betas=(0.1,))
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            PipelineFeasibleRegion(num_stages=1, alpha=2.0)
+
+    def test_budget_with_alpha_and_beta(self):
+        r = PipelineFeasibleRegion(num_stages=2, alpha=0.5, betas=(0.1, 0.1))
+        assert r.budget == pytest.approx(0.4)
+
+
+class TestMembership:
+    def test_origin_inside(self):
+        r = PipelineFeasibleRegion(num_stages=4)
+        assert r.contains([0.0] * 4)
+
+    def test_tsce_point_inside(self):
+        r = PipelineFeasibleRegion(num_stages=3)
+        assert r.contains([0.4, 0.25, 0.1])
+        assert r.margin([0.4, 0.25, 0.1]) == pytest.approx(1 - 0.9306, abs=1e-3)
+
+    def test_outside(self):
+        r = PipelineFeasibleRegion(num_stages=2)
+        assert not r.contains([0.5, 0.5])
+        assert r.margin([0.5, 0.5]) < 0
+
+    def test_dimension_mismatch(self):
+        r = PipelineFeasibleRegion(num_stages=2)
+        with pytest.raises(ValueError):
+            r.contains([0.1])
+
+    def test_single_stage_is_scalar_bound(self):
+        r = PipelineFeasibleRegion(num_stages=1)
+        assert r.uniform_bound() == pytest.approx(UNIPROCESSOR_APERIODIC_BOUND)
+
+
+class TestHeadroom:
+    def test_headroom_at_origin_is_bound(self):
+        r = PipelineFeasibleRegion(num_stages=1)
+        assert r.stage_headroom([0.0], 0) == pytest.approx(
+            UNIPROCESSOR_APERIODIC_BOUND
+        )
+
+    def test_headroom_zero_when_saturated(self):
+        r = PipelineFeasibleRegion(num_stages=2)
+        u = r.uniform_bound()
+        assert r.stage_headroom([u, u], 0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_headroom_consumed_by_other_stage(self):
+        r = PipelineFeasibleRegion(num_stages=2)
+        free = r.stage_headroom([0.0, 0.0], 0)
+        constrained = r.stage_headroom([0.0, 0.4], 0)
+        assert constrained < free
+
+    def test_headroom_lands_on_boundary(self):
+        r = PipelineFeasibleRegion(num_stages=3)
+        point = [0.1, 0.2, 0.15]
+        h = r.stage_headroom(point, 1)
+        boundary = list(point)
+        boundary[1] += h
+        assert r.value(boundary) == pytest.approx(r.budget, abs=1e-9)
+
+
+class TestBoundaryGeometry:
+    def test_uniform_bound_on_boundary(self):
+        for n in (1, 2, 5):
+            r = PipelineFeasibleRegion(num_stages=n)
+            u = r.uniform_bound()
+            assert r.value([u] * n) == pytest.approx(r.budget, abs=1e-9)
+
+    def test_boundary_curve_endpoints(self):
+        r = PipelineFeasibleRegion(num_stages=2)
+        curve = r.boundary_curve_2d(samples=11)
+        assert len(curve) == 11
+        u1_first, u2_first = curve[0]
+        assert u1_first == 0.0
+        assert u2_first == pytest.approx(UNIPROCESSOR_APERIODIC_BOUND)
+        u1_last, u2_last = curve[-1]
+        assert u1_last == pytest.approx(UNIPROCESSOR_APERIODIC_BOUND)
+        assert u2_last == pytest.approx(0.0, abs=1e-9)
+
+    def test_boundary_curve_points_on_boundary(self):
+        r = PipelineFeasibleRegion(num_stages=2)
+        for u1, u2 in r.boundary_curve_2d(samples=21):
+            assert stage_delay_factor(u1) + stage_delay_factor(u2) == pytest.approx(
+                1.0, abs=1e-9
+            )
+
+    def test_boundary_curve_monotone(self):
+        r = PipelineFeasibleRegion(num_stages=2)
+        curve = r.boundary_curve_2d(samples=21)
+        u2s = [p[1] for p in curve]
+        assert all(a >= b for a, b in zip(u2s, u2s[1:]))
+
+    def test_boundary_curve_requires_two_stages(self):
+        with pytest.raises(ValueError):
+            PipelineFeasibleRegion(num_stages=3).boundary_curve_2d()
+
+    def test_boundary_curve_sample_validation(self):
+        with pytest.raises(ValueError):
+            PipelineFeasibleRegion(num_stages=2).boundary_curve_2d(samples=1)
+
+    def test_boundary_scale_uniform_direction(self):
+        r = PipelineFeasibleRegion(num_stages=2)
+        t = r.boundary_scale([1.0, 1.0])
+        assert t == pytest.approx(r.uniform_bound(), abs=1e-9)
+
+    def test_boundary_scale_point_is_feasible(self):
+        r = PipelineFeasibleRegion(num_stages=3)
+        direction = [0.2, 0.5, 0.3]
+        t = r.boundary_scale(direction)
+        assert r.contains([t * d for d in direction])
+        assert not r.contains([(t + 1e-6) * d for d in direction])
+
+    def test_boundary_scale_rejects_zero(self):
+        r = PipelineFeasibleRegion(num_stages=2)
+        with pytest.raises(ValueError):
+            r.boundary_scale([0.0, 0.0])
+
+    def test_boundary_scale_rejects_negative(self):
+        r = PipelineFeasibleRegion(num_stages=2)
+        with pytest.raises(ValueError):
+            r.boundary_scale([1.0, -1.0])
+
+    def test_boundary_slice(self):
+        r = PipelineFeasibleRegion(num_stages=3)
+        u = r.boundary_slice({0: 0.1, 2: 0.2}, stage=1)
+        assert r.value([0.1, u, 0.2]) == pytest.approx(r.budget, abs=1e-9)
+
+    def test_boundary_slice_exhausted(self):
+        r = PipelineFeasibleRegion(num_stages=2)
+        assert r.boundary_slice({0: 0.58}, stage=1) >= 0.0
+        assert r.boundary_slice({0: UNIPROCESSOR_APERIODIC_BOUND}, stage=1) == (
+            pytest.approx(0.0, abs=1e-6)
+        )
+
+    def test_boundary_slice_validation(self):
+        r = PipelineFeasibleRegion(num_stages=3)
+        with pytest.raises(ValueError):
+            r.boundary_slice({0: 0.1}, stage=1)
+
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=1, max_size=5),
+    )
+    def test_boundary_scale_generic(self, n, direction):
+        direction = (direction * n)[:n]
+        r = PipelineFeasibleRegion(num_stages=n)
+        t = r.boundary_scale(direction)
+        point = [t * d for d in direction]
+        assert all(u < 1.0 for u in point)
+        assert r.value(point) <= r.budget + 1e-9
+
+
+class TestDagRegion:
+    def make_region(self, alpha=1.0, betas=None):
+        graph = TaskGraph(
+            resource_of={1: "R1", 2: "R2", 3: "R3", 4: "R4"},
+            edges=[(1, 2), (1, 3), (2, 4), (3, 4)],
+        )
+        return DagFeasibleRegion(graph=graph, alpha=alpha, betas=betas)
+
+    def test_contains(self):
+        r = self.make_region()
+        assert r.contains({"R1": 0.2, "R2": 0.3, "R3": 0.1, "R4": 0.2})
+
+    def test_margin_sign(self):
+        r = self.make_region()
+        assert r.margin({"R1": 0.2, "R2": 0.3, "R3": 0.1, "R4": 0.2}) > 0
+        assert r.margin({"R1": 0.5, "R2": 0.5, "R3": 0.5, "R4": 0.5}) < 0
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            self.make_region(alpha=1.5)
+
+    def test_betas_enter_value(self):
+        plain = self.make_region()
+        blocked = self.make_region(betas={"R1": 0.1})
+        utils = {"R1": 0.1, "R2": 0.1, "R3": 0.1, "R4": 0.1}
+        assert blocked.value(utils) == pytest.approx(plain.value(utils) + 0.1)
+
+
+class TestBoundarySurface3D:
+    def test_requires_three_stages(self):
+        with pytest.raises(ValueError):
+            PipelineFeasibleRegion(num_stages=2).boundary_surface_3d()
+
+    def test_sample_validation(self):
+        with pytest.raises(ValueError):
+            PipelineFeasibleRegion(num_stages=3).boundary_surface_3d(samples=1)
+
+    def test_points_lie_on_surface(self):
+        region = PipelineFeasibleRegion(num_stages=3)
+        points = region.boundary_surface_3d(samples=15)
+        assert points
+        for u1, u2, u3 in points:
+            total = (
+                stage_delay_factor(u1)
+                + stage_delay_factor(u2)
+                + stage_delay_factor(u3)
+            )
+            assert total == pytest.approx(region.budget, abs=1e-9)
+
+    def test_corners_hit_uniprocessor_bound(self):
+        region = PipelineFeasibleRegion(num_stages=3)
+        points = region.boundary_surface_3d(samples=15)
+        origin_corner = next(p for p in points if p[0] == 0.0 and p[1] == 0.0)
+        assert origin_corner[2] == pytest.approx(UNIPROCESSOR_APERIODIC_BOUND)
+
+    def test_respects_budget_parameter(self):
+        region = PipelineFeasibleRegion(num_stages=3, alpha=0.5)
+        for u1, u2, u3 in region.boundary_surface_3d(samples=9):
+            total = (
+                stage_delay_factor(u1)
+                + stage_delay_factor(u2)
+                + stage_delay_factor(u3)
+            )
+            assert total == pytest.approx(0.5, abs=1e-9)

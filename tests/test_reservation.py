@@ -1,0 +1,114 @@
+"""Tests for Section-5 reservation planning (Table 1 arithmetic)."""
+
+import math
+
+import pytest
+
+from repro.core.reservation import CriticalTask, build_reservation
+from repro.core.task import periodic_spec
+
+
+class TestCriticalTask:
+    def test_stage_contribution(self):
+        t = CriticalTask("wd", deadline=0.5, computation_times=(0.1, 0.065, 0.03))
+        assert t.stage_contribution(0) == pytest.approx(0.2)
+        assert t.stage_contribution(1) == pytest.approx(0.13)
+        assert t.stage_contribution(2) == pytest.approx(0.06)
+
+    def test_from_periodic(self):
+        spec = periodic_spec("wt", period=0.05, computation_times=[0.005, 0.005, 0.005])
+        t = CriticalTask.from_periodic(spec, exclusive_stages=[2])
+        assert t.deadline == 0.05
+        assert t.computation_times == (0.005, 0.005, 0.005)
+        assert t.exclusive_stages == (2,)
+
+
+class TestBuildReservation:
+    def tsce_tasks(self):
+        return [
+            CriticalTask(
+                "Weapon Detection", 0.5, (0.100, 0.065, 0.030), exclusive_stages=(2,)
+            ),
+            CriticalTask(
+                "Weapon Targeting", 0.050, (0.005, 0.005, 0.005), exclusive_stages=(2,)
+            ),
+            CriticalTask("UAV Video", 0.5, (0.050, 0.010, 0.050), exclusive_stages=(2,)),
+        ]
+
+    def test_tsce_reserved_vector(self):
+        """The paper's Section-5 numbers: 0.4 / 0.25 / 0.1."""
+        plan = build_reservation(self.tsce_tasks(), num_stages=3)
+        assert plan.reserved == pytest.approx((0.4, 0.25, 0.1))
+
+    def test_tsce_region_value(self):
+        """Eq. 13 value 0.93 < 1: the critical set is schedulable."""
+        plan = build_reservation(self.tsce_tasks(), num_stages=3)
+        assert plan.region_value == pytest.approx(0.93, abs=0.005)
+        assert plan.feasible
+        assert plan.headroom == pytest.approx(1 - plan.region_value)
+
+    def test_exclusive_stage_takes_max(self):
+        tasks = [
+            CriticalTask("a", 1.0, (0.0, 0.3), exclusive_stages=(1,)),
+            CriticalTask("b", 1.0, (0.0, 0.2), exclusive_stages=(1,)),
+        ]
+        plan = build_reservation(tasks, num_stages=2)
+        assert plan.reserved[1] == pytest.approx(0.3)
+
+    def test_mixed_exclusive_and_additive(self):
+        tasks = [
+            CriticalTask("a", 1.0, (0.0, 0.3), exclusive_stages=(1,)),
+            CriticalTask("b", 1.0, (0.0, 0.2)),  # additive
+        ]
+        plan = build_reservation(tasks, num_stages=2)
+        assert plan.reserved[1] == pytest.approx(0.5)
+
+    def test_additive_default(self):
+        tasks = [
+            CriticalTask("a", 1.0, (0.2,)),
+            CriticalTask("b", 2.0, (0.4,)),
+        ]
+        plan = build_reservation(tasks, num_stages=1)
+        assert plan.reserved == pytest.approx((0.4,))
+
+    def test_infeasible_detected(self):
+        tasks = [CriticalTask("hog", 1.0, (0.5, 0.5))]
+        plan = build_reservation(tasks, num_stages=2)
+        assert not plan.feasible
+
+    def test_saturating_reservation_infinite_value(self):
+        tasks = [CriticalTask("full", 1.0, (1.0,))]
+        plan = build_reservation(tasks, num_stages=1)
+        assert plan.region_value == math.inf
+        assert not plan.feasible
+
+    def test_per_task_breakdown(self):
+        plan = build_reservation(self.tsce_tasks(), num_stages=3)
+        assert plan.per_task["Weapon Detection"] == pytest.approx((0.2, 0.13, 0.06))
+        assert plan.per_task["Weapon Targeting"] == pytest.approx((0.1, 0.1, 0.1))
+        assert plan.per_task["UAV Video"] == pytest.approx((0.1, 0.02, 0.1))
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            build_reservation([CriticalTask("x", 1.0, (0.1,))], num_stages=2)
+
+    def test_invalid_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            build_reservation([CriticalTask("x", 0.0, (0.1,))], num_stages=1)
+
+    def test_empty_set(self):
+        plan = build_reservation([], num_stages=3)
+        assert plan.reserved == (0.0, 0.0, 0.0)
+        assert plan.feasible
+
+    def test_alpha_shrinks_budget(self):
+        plan = build_reservation(self.tsce_tasks(), num_stages=3, alpha=0.9)
+        assert plan.budget == pytest.approx(0.9)
+        assert not plan.feasible  # 0.93 > 0.9
+
+    def test_betas_shrink_budget(self):
+        plan = build_reservation(
+            self.tsce_tasks(), num_stages=3, betas=[0.05, 0.05, 0.05]
+        )
+        assert plan.budget == pytest.approx(0.85)
+        assert not plan.feasible

@@ -1,0 +1,102 @@
+"""Cross-validation of the event-driven stage against a quantized reference.
+
+The reference scheduler advances time in fixed quanta and always runs
+the highest-priority unfinished arrived job — the textbook definition
+of preemptive fixed-priority scheduling.  With all task parameters
+chosen as multiples of the quantum, the reference is exact, so the
+event-driven :class:`~repro.sim.stage.Stage` must produce identical
+completion times.
+"""
+
+import random
+
+import pytest
+
+from repro.core.task import make_task
+from repro.sim.engine import Simulator
+from repro.sim.stage import Stage
+
+QUANTUM = 0.125
+
+
+def reference_schedule(jobs):
+    """Quantized preemptive fixed-priority scheduler.
+
+    Args:
+        jobs: List of ``(arrival, duration, priority_key)`` tuples,
+            all multiples of ``QUANTUM``.
+
+    Returns:
+        Completion time per job (same order).
+    """
+    remaining = [duration for _, duration, _ in jobs]
+    completion = [None] * len(jobs)
+    t = 0.0
+    pending = sum(1 for r in remaining if r > 0)
+    zero_jobs = [i for i, r in enumerate(remaining) if r == 0]
+    # Zero-duration jobs complete at their arrival (they run instantly
+    # when reached; with quantized positive-work peers this matches the
+    # event simulator whenever they are the highest priority at
+    # arrival — keep the generator free of zero durations to stay
+    # exact, this branch is a guard).
+    for i in zero_jobs:
+        completion[i] = jobs[i][0]
+    horizon_guard = sum(remaining) + max((a for a, _, _ in jobs), default=0.0) + 1.0
+    while pending > 0 and t < horizon_guard:
+        ready = [
+            i
+            for i in range(len(jobs))
+            if jobs[i][0] <= t + 1e-12 and remaining[i] > 1e-12
+        ]
+        if ready:
+            chosen = min(ready, key=lambda i: jobs[i][2])
+            remaining[chosen] -= QUANTUM
+            if remaining[chosen] <= 1e-12:
+                completion[chosen] = t + QUANTUM
+                pending -= 1
+        t += QUANTUM
+    return completion
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_stage_matches_reference(seed):
+    rng = random.Random(seed)
+    jobs = []
+    t = 0.0
+    for i in range(25):
+        t += QUANTUM * rng.randint(0, 8)
+        duration = QUANTUM * rng.randint(1, 12)
+        priority = (float(rng.randint(0, 4)), float(i))
+        jobs.append((t, duration, priority))
+
+    expected = reference_schedule(jobs)
+
+    sim = Simulator()
+    stage = Stage(sim, index=0)
+    completions = {}
+    stage.on_job_complete = lambda job: completions.__setitem__(
+        job.task.task_id, sim.now
+    )
+    for i, (arrival, duration, priority) in enumerate(jobs):
+        task = make_task(arrival, 1e6, [duration], task_id=i)
+        sim.at(
+            arrival,
+            lambda tk=task, key=priority, d=duration: stage.submit(tk, key, duration=d),
+        )
+    sim.run()
+
+    for i in range(len(jobs)):
+        assert completions[i] == pytest.approx(expected[i], abs=1e-9), (
+            f"job {i}: event-driven {completions[i]} vs reference {expected[i]}"
+        )
+
+
+def test_reference_sanity():
+    """The reference itself on a hand-checked scenario."""
+    jobs = [
+        (0.0, 1.0, (2.0, 0.0)),  # low priority, 1s
+        (0.25, 0.5, (1.0, 1.0)),  # high priority, preempts
+    ]
+    completion = reference_schedule(jobs)
+    assert completion[1] == pytest.approx(0.75)
+    assert completion[0] == pytest.approx(1.5)

@@ -1,0 +1,235 @@
+"""Tests for the preemptive fixed-priority stage."""
+
+import pytest
+
+from repro.core.task import make_task
+from repro.sim.engine import Simulator
+from repro.sim.stage import Segment, Stage
+
+
+def setup_stage():
+    sim = Simulator()
+    completions = []
+    idles = []
+    stage = Stage(
+        sim,
+        index=0,
+        on_job_complete=lambda job: completions.append((sim.now, job.task.task_id)),
+        on_idle=lambda s: idles.append(sim.now),
+    )
+    return sim, stage, completions, idles
+
+
+def key(task):
+    return (task.deadline, float(task.task_id))
+
+
+class TestBasicExecution:
+    def test_single_job_runs_to_completion(self):
+        sim, stage, completions, idles = setup_stage()
+        t = make_task(0.0, 10.0, [3.0])
+        stage.submit(t, key(t), duration=3.0)
+        sim.run()
+        assert completions == [(3.0, t.task_id)]
+        assert idles == [3.0]
+        assert stage.busy_time() == pytest.approx(3.0)
+        assert stage.jobs_completed == 1
+
+    def test_sequential_jobs_same_priority_fifo(self):
+        sim, stage, completions, _ = setup_stage()
+        a = make_task(0.0, 10.0, [2.0], task_id=9001)
+        b = make_task(0.0, 10.0, [2.0], task_id=9002)
+        stage.submit(a, (10.0, 1.0), duration=2.0)
+        stage.submit(b, (10.0, 2.0), duration=2.0)
+        sim.run()
+        assert completions == [(2.0, 9001), (4.0, 9002)]
+
+    def test_zero_duration_job(self):
+        sim, stage, completions, _ = setup_stage()
+        t = make_task(0.0, 10.0, [0.0])
+        stage.submit(t, key(t), duration=0.0)
+        sim.run()
+        assert completions == [(0.0, t.task_id)]
+        assert stage.busy_time() == 0.0
+
+    def test_negative_duration_rejected(self):
+        sim, stage, _, _ = setup_stage()
+        t = make_task(0.0, 10.0, [1.0])
+        with pytest.raises(ValueError):
+            stage.submit(t, key(t), duration=-1.0)
+
+    def test_duration_xor_segments(self):
+        sim, stage, _, _ = setup_stage()
+        t = make_task(0.0, 10.0, [1.0])
+        with pytest.raises(ValueError):
+            stage.submit(t, key(t))
+        with pytest.raises(ValueError):
+            stage.submit(t, key(t), duration=1.0, segments=[Segment(1.0)])
+
+    def test_empty_segments_rejected(self):
+        sim, stage, _, _ = setup_stage()
+        t = make_task(0.0, 10.0, [1.0])
+        with pytest.raises(ValueError):
+            stage.submit(t, key(t), segments=[])
+
+
+class TestPreemption:
+    def test_higher_priority_preempts(self):
+        sim, stage, completions, _ = setup_stage()
+        low = make_task(0.0, 100.0, [4.0], task_id=9101)
+        high = make_task(0.0, 1.0, [1.0], task_id=9102)
+        job_low = stage.submit(low, key(low), duration=4.0)
+        sim.at(1.0, lambda: stage.submit(high, key(high), duration=1.0))
+        sim.run()
+        # low runs [0,1), high runs [1,2), low resumes [2,5).
+        assert completions == [(2.0, 9102), (5.0, 9101)]
+        assert job_low.preemptions == 1
+
+    def test_lower_priority_does_not_preempt(self):
+        sim, stage, completions, _ = setup_stage()
+        high = make_task(0.0, 1.0, [4.0], task_id=9111)
+        low = make_task(0.0, 100.0, [1.0], task_id=9112)
+        stage.submit(high, key(high), duration=4.0)
+        sim.at(1.0, lambda: stage.submit(low, key(low), duration=1.0))
+        sim.run()
+        assert completions == [(4.0, 9111), (5.0, 9112)]
+
+    def test_equal_priority_does_not_preempt(self):
+        sim, stage, completions, _ = setup_stage()
+        a = make_task(0.0, 5.0, [4.0], task_id=9121)
+        b = make_task(0.0, 5.0, [1.0], task_id=9122)
+        stage.submit(a, (5.0, 1.0), duration=4.0)
+        sim.at(1.0, lambda: stage.submit(b, (5.0, 2.0), duration=1.0))
+        sim.run()
+        assert completions == [(4.0, 9121), (5.0, 9122)]
+
+    def test_nested_preemption(self):
+        sim, stage, completions, _ = setup_stage()
+        t1 = make_task(0.0, 100.0, [5.0], task_id=9131)
+        t2 = make_task(0.0, 10.0, [3.0], task_id=9132)
+        t3 = make_task(0.0, 1.0, [1.0], task_id=9133)
+        stage.submit(t1, key(t1), duration=5.0)
+        sim.at(1.0, lambda: stage.submit(t2, key(t2), duration=3.0))
+        sim.at(2.0, lambda: stage.submit(t3, key(t3), duration=1.0))
+        sim.run()
+        # t1 [0,1), t2 [1,2), t3 [2,3), t2 [3,5), t1 [5,9).
+        assert completions == [(3.0, 9133), (5.0, 9132), (9.0, 9131)]
+
+    def test_preempted_job_resumes_with_remaining_time(self):
+        sim, stage, completions, _ = setup_stage()
+        low = make_task(0.0, 100.0, [2.0], task_id=9141)
+        stage.submit(low, key(low), duration=2.0)
+        for i, arrival in enumerate((0.5, 1.0, 1.5)):
+            hp = make_task(arrival, 1.0, [0.25], task_id=9150 + i)
+            sim.at(arrival, lambda t=hp: stage.submit(t, key(t), duration=0.25))
+        sim.run()
+        # Low executes 2.0 total, delayed by 0.75 of preemption.
+        assert completions[-1] == (2.75, 9141)
+
+    def test_busy_time_excludes_idle_gaps(self):
+        sim, stage, _, _ = setup_stage()
+        a = make_task(0.0, 10.0, [1.0])
+        stage.submit(a, key(a), duration=1.0)
+        b = make_task(5.0, 10.0, [1.0])
+        sim.at(5.0, lambda: stage.submit(b, key(b), duration=1.0))
+        sim.run()
+        assert stage.busy_time() == pytest.approx(2.0)
+        assert sim.now == 6.0
+
+
+class TestIdleTransitions:
+    def test_idle_fires_once_per_transition(self):
+        sim, stage, _, idles = setup_stage()
+        a = make_task(0.0, 10.0, [1.0])
+        b = make_task(3.0, 10.0, [1.0])
+        stage.submit(a, key(a), duration=1.0)
+        sim.at(3.0, lambda: stage.submit(b, key(b), duration=1.0))
+        sim.run()
+        assert idles == [1.0, 4.0]
+
+    def test_no_idle_while_queue_nonempty(self):
+        sim, stage, _, idles = setup_stage()
+        for i in range(3):
+            t = make_task(0.0, 10.0, [1.0])
+            stage.submit(t, (10.0, float(i)), duration=1.0)
+        sim.run()
+        assert idles == [3.0]
+
+    def test_is_idle_property(self):
+        sim, stage, _, _ = setup_stage()
+        assert stage.is_idle
+        t = make_task(0.0, 10.0, [1.0])
+        stage.submit(t, key(t), duration=1.0)
+        assert not stage.is_idle
+        sim.run()
+        assert stage.is_idle
+
+    def test_queue_length(self):
+        sim, stage, _, _ = setup_stage()
+        for i in range(3):
+            t = make_task(0.0, 10.0, [1.0])
+            stage.submit(t, (10.0, float(i)), duration=1.0)
+        # One runs, two queued.
+        assert stage.queue_length() == 2
+
+
+class TestAbort:
+    def test_abort_running_job(self):
+        sim, stage, completions, idles = setup_stage()
+        t = make_task(0.0, 10.0, [5.0])
+        job = stage.submit(t, key(t), duration=5.0)
+        sim.at(2.0, lambda: stage.abort(job))
+        sim.run()
+        assert completions == []
+        assert idles == [2.0]
+        # The 2 units actually executed still count as busy.
+        assert stage.busy_time() == pytest.approx(2.0)
+
+    def test_abort_ready_job_lets_other_finish(self):
+        sim, stage, completions, _ = setup_stage()
+        a = make_task(0.0, 1.0, [3.0], task_id=9201)
+        b = make_task(0.0, 100.0, [3.0], task_id=9202)
+        stage.submit(a, key(a), duration=3.0)
+        job_b = stage.submit(b, key(b), duration=3.0)
+        sim.at(1.0, lambda: stage.abort(job_b))
+        sim.run()
+        assert completions == [(3.0, 9201)]
+
+    def test_abort_is_idempotent(self):
+        sim, stage, _, _ = setup_stage()
+        t = make_task(0.0, 10.0, [5.0])
+        job = stage.submit(t, key(t), duration=5.0)
+        stage.abort(job)
+        stage.abort(job)  # no-op
+        sim.run()
+        assert stage.jobs_completed == 0
+
+    def test_abort_promotes_next_job(self):
+        sim, stage, completions, _ = setup_stage()
+        a = make_task(0.0, 1.0, [10.0], task_id=9211)
+        b = make_task(0.0, 100.0, [1.0], task_id=9212)
+        job_a = stage.submit(a, key(a), duration=10.0)
+        stage.submit(b, key(b), duration=1.0)
+        sim.at(2.0, lambda: stage.abort(job_a))
+        sim.run()
+        assert completions == [(3.0, 9212)]
+
+
+class TestSegments:
+    def test_multi_segment_job(self):
+        sim, stage, completions, _ = setup_stage()
+        t = make_task(0.0, 10.0, [3.0])
+        stage.submit(t, key(t), segments=[Segment(1.0), Segment(2.0)])
+        sim.run()
+        assert completions == [(3.0, t.task_id)]
+
+    def test_job_records_start_and_finish(self):
+        sim, stage, _, _ = setup_stage()
+        blocker = make_task(0.0, 1.0, [2.0])
+        stage.submit(blocker, key(blocker), duration=2.0)
+        t = make_task(0.0, 100.0, [1.0])
+        job = stage.submit(t, key(t), duration=1.0)
+        sim.run()
+        assert job.started_at == pytest.approx(2.0)
+        assert job.finished_at == pytest.approx(3.0)
+        assert job.total_duration == pytest.approx(1.0)

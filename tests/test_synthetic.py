@@ -1,0 +1,220 @@
+"""Tests for synthetic-utilization accounting (Section 2 / Section 4 rules)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.synthetic import StageUtilizationTracker
+
+
+class TestBasics:
+    def test_starts_at_reserved(self):
+        assert StageUtilizationTracker().value == 0.0
+        assert StageUtilizationTracker(reserved=0.4).value == 0.4
+
+    def test_invalid_reserved(self):
+        with pytest.raises(ValueError):
+            StageUtilizationTracker(reserved=-0.1)
+        with pytest.raises(ValueError):
+            StageUtilizationTracker(reserved=1.1)
+
+    def test_add_accumulates(self):
+        tr = StageUtilizationTracker()
+        tr.add("a", 0.2, expiry=10.0)
+        tr.add("b", 0.3, expiry=20.0)
+        assert tr.value == pytest.approx(0.5)
+        assert len(tr) == 2
+        assert "a" in tr and "c" not in tr
+
+    def test_add_on_reserved_baseline(self):
+        tr = StageUtilizationTracker(reserved=0.4)
+        tr.add("a", 0.1, expiry=10.0)
+        assert tr.value == pytest.approx(0.5)
+        assert tr.dynamic_value == pytest.approx(0.1)
+
+    def test_duplicate_add_rejected(self):
+        tr = StageUtilizationTracker()
+        tr.add("a", 0.2, expiry=10.0)
+        with pytest.raises(ValueError):
+            tr.add("a", 0.1, expiry=5.0)
+
+    def test_invalid_contribution(self):
+        tr = StageUtilizationTracker()
+        with pytest.raises(ValueError):
+            tr.add("a", -0.1, expiry=1.0)
+        with pytest.raises(ValueError):
+            tr.add("a", math.inf, expiry=1.0)
+
+    def test_contribution_of(self):
+        tr = StageUtilizationTracker()
+        tr.add("a", 0.25, expiry=10.0)
+        assert tr.contribution_of("a") == 0.25
+        assert tr.contribution_of("missing") == 0.0
+
+
+class TestExpiry:
+    def test_expire_removes_due_contributions(self):
+        tr = StageUtilizationTracker()
+        tr.add("a", 0.2, expiry=10.0)
+        tr.add("b", 0.3, expiry=20.0)
+        released = tr.expire_until(10.0)
+        assert released == pytest.approx(0.2)
+        assert tr.value == pytest.approx(0.3)
+
+    def test_expire_boundary_inclusive(self):
+        # A task stops being current at A + D.
+        tr = StageUtilizationTracker()
+        tr.add("a", 0.2, expiry=5.0)
+        assert tr.expire_until(5.0) == pytest.approx(0.2)
+
+    def test_expire_nothing_due(self):
+        tr = StageUtilizationTracker()
+        tr.add("a", 0.2, expiry=10.0)
+        assert tr.expire_until(9.999) == 0.0
+        assert tr.value == pytest.approx(0.2)
+
+    def test_next_expiry(self):
+        tr = StageUtilizationTracker()
+        assert tr.next_expiry() == math.inf
+        tr.add("a", 0.2, expiry=7.0)
+        tr.add("b", 0.2, expiry=3.0)
+        assert tr.next_expiry() == 3.0
+
+    def test_next_expiry_skips_removed(self):
+        tr = StageUtilizationTracker()
+        tr.add("a", 0.2, expiry=3.0)
+        tr.add("b", 0.2, expiry=7.0)
+        tr.remove("a")
+        assert tr.next_expiry() == 7.0
+
+    def test_readd_after_removal_not_clobbered_by_stale_expiry(self):
+        tr = StageUtilizationTracker()
+        tr.add("a", 0.2, expiry=5.0)
+        tr.remove("a")
+        tr.add("a", 0.3, expiry=50.0)
+        # The stale heap entry for the first incarnation must not
+        # expire the new contribution.
+        assert tr.expire_until(10.0) == 0.0
+        assert tr.value == pytest.approx(0.3)
+
+
+class TestIdleReset:
+    def test_departed_released_on_idle(self):
+        tr = StageUtilizationTracker()
+        tr.add("a", 0.2, expiry=100.0)
+        tr.add("b", 0.3, expiry=100.0)
+        tr.mark_departed("a")
+        released = tr.reset_on_idle()
+        assert released == pytest.approx(0.2)
+        assert tr.value == pytest.approx(0.3)
+
+    def test_non_departed_survive_reset(self):
+        tr = StageUtilizationTracker()
+        tr.add("a", 0.2, expiry=100.0)
+        assert tr.reset_on_idle() == 0.0
+        assert tr.value == pytest.approx(0.2)
+
+    def test_reset_keeps_reserved_baseline(self):
+        tr = StageUtilizationTracker(reserved=0.4)
+        tr.add("a", 0.2, expiry=100.0)
+        tr.mark_departed("a")
+        tr.reset_on_idle()
+        assert tr.value == pytest.approx(0.4)
+
+    def test_mark_departed_unknown_is_noop(self):
+        tr = StageUtilizationTracker()
+        tr.mark_departed("ghost")
+        assert tr.reset_on_idle() == 0.0
+
+    def test_departed_then_expired_not_double_released(self):
+        tr = StageUtilizationTracker()
+        tr.add("a", 0.2, expiry=5.0)
+        tr.mark_departed("a")
+        assert tr.expire_until(5.0) == pytest.approx(0.2)
+        assert tr.reset_on_idle() == 0.0
+        assert tr.value == 0.0
+
+    def test_reset_idempotent(self):
+        tr = StageUtilizationTracker()
+        tr.add("a", 0.2, expiry=100.0)
+        tr.mark_departed("a")
+        tr.reset_on_idle()
+        assert tr.reset_on_idle() == 0.0
+
+
+class TestRemoveAndClear:
+    def test_remove_returns_contribution(self):
+        tr = StageUtilizationTracker()
+        tr.add("a", 0.2, expiry=10.0)
+        assert tr.remove("a") == pytest.approx(0.2)
+        assert tr.value == 0.0
+
+    def test_remove_unknown(self):
+        assert StageUtilizationTracker().remove("nope") == 0.0
+
+    def test_clear(self):
+        tr = StageUtilizationTracker(reserved=0.1)
+        tr.add("a", 0.2, expiry=10.0)
+        tr.clear()
+        assert tr.value == pytest.approx(0.1)
+        assert len(tr) == 0
+        assert tr.next_expiry() == math.inf
+
+    def test_recompute_matches_running_sum(self):
+        tr = StageUtilizationTracker()
+        for i in range(100):
+            tr.add(i, 0.001 * (i % 7), expiry=float(i))
+        running = tr.dynamic_value
+        assert tr.recompute() == pytest.approx(running, abs=1e-12)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["add", "remove", "expire", "depart", "reset"]),
+            st.integers(min_value=0, max_value=9),
+            st.floats(min_value=0.0, max_value=0.1),
+            st.floats(min_value=0.0, max_value=100.0),
+        ),
+        max_size=60,
+    )
+)
+def test_tracker_matches_naive_model(ops):
+    """Drive the tracker through arbitrary op sequences against a dict model."""
+    tracker = StageUtilizationTracker()
+    model = {}  # task_id -> (contribution, expiry)
+    departed = set()
+    clock = 0.0
+    for op, key, contribution, t in ops:
+        if op == "add":
+            if key in model:
+                continue
+            expiry = clock + t + 1e-9
+            tracker.add(key, contribution, expiry)
+            model[key] = (contribution, expiry)
+        elif op == "remove":
+            got = tracker.remove(key)
+            want = model.pop(key, (0.0, 0.0))[0]
+            departed.discard(key)
+            assert got == pytest.approx(want)
+        elif op == "expire":
+            clock = max(clock, t)
+            tracker.expire_until(clock)
+            for k in [k for k, (_, e) in model.items() if e <= clock]:
+                del model[k]
+                departed.discard(k)
+        elif op == "depart":
+            tracker.mark_departed(key)
+            if key in model:
+                departed.add(key)
+        elif op == "reset":
+            tracker.reset_on_idle()
+            for k in list(departed):
+                model.pop(k, None)
+            departed.clear()
+        assert tracker.value == pytest.approx(
+            sum(c for c, _ in model.values()), abs=1e-9
+        )
+        assert len(tracker) == len(model)

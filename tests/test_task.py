@@ -1,0 +1,188 @@
+"""Tests for the task model (Section 2)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.task import (
+    make_task,
+    periodic_spec,
+    task_priority_deadline_monotonic,
+    validate_task,
+)
+
+
+class TestMakeTask:
+    def test_basic_fields(self):
+        t = make_task(1.0, 5.0, [2.0, 3.0])
+        assert t.arrival_time == 1.0
+        assert t.deadline == 5.0
+        assert t.computation_times == (2.0, 3.0)
+        assert t.num_stages == 2
+        assert t.absolute_deadline == 6.0
+        assert t.total_computation == 5.0
+
+    def test_fresh_ids_unique(self):
+        a = make_task(0.0, 1.0, [0.1])
+        b = make_task(0.0, 1.0, [0.1])
+        assert a.task_id != b.task_id
+
+    def test_explicit_id(self):
+        t = make_task(0.0, 1.0, [0.1], task_id=42)
+        assert t.task_id == 42
+
+    def test_synthetic_contribution(self):
+        t = make_task(0.0, 10.0, [1.0, 2.0])
+        assert t.synthetic_contribution(0) == pytest.approx(0.1)
+        assert t.synthetic_contribution(1) == pytest.approx(0.2)
+
+    def test_resolution(self):
+        t = make_task(0.0, 100.0, [1.0, 1.0])
+        assert t.resolution() == pytest.approx(50.0)
+
+    def test_resolution_zero_cost(self):
+        t = make_task(0.0, 100.0, [0.0, 0.0])
+        assert t.resolution() == math.inf
+
+    def test_zero_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            make_task(0.0, 0.0, [1.0])
+
+    def test_negative_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            make_task(0.0, -1.0, [1.0])
+
+    def test_empty_stages_rejected(self):
+        with pytest.raises(ValueError):
+            make_task(0.0, 1.0, [])
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            make_task(0.0, 1.0, [1.0, -0.1])
+
+    def test_infinite_cost_rejected(self):
+        with pytest.raises(ValueError):
+            make_task(0.0, 1.0, [math.inf])
+
+    def test_blocking_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            make_task(0.0, 1.0, [1.0, 1.0], blocking_times=[0.1])
+
+    def test_negative_blocking_rejected(self):
+        with pytest.raises(ValueError):
+            make_task(0.0, 1.0, [1.0], blocking_times=[-0.1])
+
+    def test_valid_blocking(self):
+        t = make_task(0.0, 1.0, [1.0, 0.5], blocking_times=[0.1, 0.0])
+        assert t.blocking_times == (0.1, 0.0)
+
+    def test_nonfinite_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            make_task(math.nan, 1.0, [1.0])
+
+    def test_frozen(self):
+        t = make_task(0.0, 1.0, [1.0])
+        with pytest.raises(AttributeError):
+            t.deadline = 2.0
+
+    @given(
+        st.floats(min_value=0.0, max_value=1e6),
+        st.floats(min_value=0.001, max_value=1e6),
+        st.lists(st.floats(min_value=0.0, max_value=1e3), min_size=1, max_size=6),
+    )
+    def test_validate_accepts_all_constructed(self, arrival, deadline, costs):
+        task = make_task(arrival, deadline, costs)
+        validate_task(task)  # must not raise
+
+    @given(
+        st.floats(min_value=0.001, max_value=1e3),
+        st.lists(st.floats(min_value=0.0, max_value=1e2), min_size=1, max_size=5),
+    )
+    def test_contributions_sum_to_total_over_deadline(self, deadline, costs):
+        task = make_task(0.0, deadline, costs)
+        total = sum(task.synthetic_contribution(j) for j in range(task.num_stages))
+        assert total == pytest.approx(task.total_computation / deadline)
+
+
+class TestDeadlineMonotonicKey:
+    def test_orders_by_relative_deadline(self):
+        short = make_task(0.0, 1.0, [0.1])
+        long = make_task(0.0, 9.0, [0.1])
+        assert task_priority_deadline_monotonic(short) < (
+            task_priority_deadline_monotonic(long)
+        )
+
+    def test_independent_of_arrival(self):
+        early = make_task(0.0, 5.0, [0.1])
+        late = make_task(100.0, 5.0, [0.1])
+        assert task_priority_deadline_monotonic(early) == (
+            task_priority_deadline_monotonic(late)
+        )
+
+
+class TestPeriodicSpec:
+    def test_defaults_deadline_to_period(self):
+        spec = periodic_spec("video", period=0.5, computation_times=[0.05])
+        assert spec.deadline == 0.5
+
+    def test_explicit_deadline(self):
+        spec = periodic_spec("x", period=1.0, computation_times=[0.1], deadline=0.4)
+        assert spec.deadline == 0.4
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            periodic_spec("x", period=0.0, computation_times=[0.1])
+
+    def test_invalid_deadline(self):
+        with pytest.raises(ValueError):
+            periodic_spec("x", period=1.0, computation_times=[0.1], deadline=-1.0)
+
+    def test_negative_cost(self):
+        with pytest.raises(ValueError):
+            periodic_spec("x", period=1.0, computation_times=[-0.1])
+
+    def test_stage_contributions(self):
+        spec = periodic_spec("x", period=0.05, computation_times=[0.005, 0.01])
+        assert spec.stage_contributions == pytest.approx((0.1, 0.2))
+
+    def test_invocation_times(self):
+        spec = periodic_spec("x", period=1.0, computation_times=[0.1], phase=0.25)
+        arrivals = [t.arrival_time for t in spec.invocations(until=3.0)]
+        assert arrivals == pytest.approx([0.25, 1.25, 2.25])
+
+    def test_invocations_share_stream_id(self):
+        spec = periodic_spec("x", period=1.0, computation_times=[0.1])
+        tasks = list(spec.invocations(until=3.0))
+        assert len({t.stream_id for t in tasks}) == 1
+        assert tasks[0].stream_id == spec.stream_id
+
+    def test_invocations_carry_parameters(self):
+        spec = periodic_spec(
+            "x", period=1.0, computation_times=[0.1, 0.2], importance=9
+        )
+        task = next(iter(spec.invocations(until=1.0)))
+        assert task.computation_times == (0.1, 0.2)
+        assert task.importance == 9
+        assert task.deadline == 1.0
+
+    def test_empty_window(self):
+        spec = periodic_spec("x", period=1.0, computation_times=[0.1], phase=5.0)
+        assert list(spec.invocations(until=5.0)) == []
+
+    @given(
+        st.floats(min_value=0.01, max_value=10.0),
+        st.floats(min_value=0.0, max_value=5.0),
+        st.floats(min_value=0.001, max_value=50.0),
+    )
+    def test_invocation_count(self, period, phase, until):
+        spec = periodic_spec("x", period=period, computation_times=[0.0], phase=phase)
+        arrivals = [t.arrival_time for t in spec.invocations(until)]
+        # Releases are phase + k * period for k = 0, 1, ...; exactly
+        # those strictly before the window end must be produced.
+        k = 0
+        expected = []
+        while phase + k * period < until:
+            expected.append(phase + k * period)
+            k += 1
+        assert arrivals == expected

@@ -1,0 +1,141 @@
+"""Tests for workload generation (Section-4 experiment setups)."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.workload import (
+    PipelineWorkload,
+    balanced_workload,
+    imbalanced_two_stage_workload,
+)
+
+
+class TestPipelineWorkload:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PipelineWorkload((), 1.0, (1.0, 2.0))
+        with pytest.raises(ValueError):
+            PipelineWorkload((1.0,), 0.0, (1.0, 2.0))
+        with pytest.raises(ValueError):
+            PipelineWorkload((1.0,), 1.0, (2.0, 1.0))
+        with pytest.raises(ValueError):
+            PipelineWorkload((0.0,), 1.0, (1.0, 2.0))
+
+    def test_derived_quantities(self):
+        w = PipelineWorkload((1.0, 3.0), arrival_rate=0.5, deadline_range=(100.0, 300.0))
+        assert w.num_stages == 2
+        assert w.mean_deadline == 200.0
+        assert w.mean_total_cost == 4.0
+        assert w.task_resolution == pytest.approx(50.0)
+        assert w.offered_load(0) == pytest.approx(0.5)
+        assert w.offered_load(1) == pytest.approx(1.5)
+        assert w.bottleneck_load == pytest.approx(1.5)
+
+    def test_same_seed_same_stream(self):
+        w = balanced_workload(2, load=1.0)
+        a = list(w.tasks(100.0, random.Random(5)))
+        b = list(w.tasks(100.0, random.Random(5)))
+        assert [t.arrival_time for t in a] == [t.arrival_time for t in b]
+        assert [t.computation_times for t in a] == [t.computation_times for t in b]
+
+    def test_different_seeds_differ(self):
+        w = balanced_workload(2, load=1.0)
+        a = list(w.tasks(100.0, random.Random(1)))
+        b = list(w.tasks(100.0, random.Random(2)))
+        assert [t.arrival_time for t in a] != [t.arrival_time for t in b]
+
+    def test_arrivals_sorted_and_in_horizon(self):
+        w = balanced_workload(3, load=1.5)
+        tasks = list(w.tasks(200.0, random.Random(3)))
+        arrivals = [t.arrival_time for t in tasks]
+        assert arrivals == sorted(arrivals)
+        assert all(0 <= a < 200.0 for a in arrivals)
+
+    def test_deadlines_within_range(self):
+        w = balanced_workload(2, load=1.0, resolution=50.0, deadline_spread=0.2)
+        lo, hi = w.deadline_range
+        for t in w.tasks(500.0, random.Random(4)):
+            assert lo <= t.deadline <= hi
+
+    def test_mean_arrival_rate(self):
+        w = balanced_workload(1, load=1.0, mean_stage_cost=2.0)
+        tasks = list(w.tasks(20000.0, random.Random(6)))
+        empirical_rate = len(tasks) / 20000.0
+        assert empirical_rate == pytest.approx(w.arrival_rate, rel=0.05)
+
+    def test_mean_costs(self):
+        w = balanced_workload(2, load=1.0, mean_stage_cost=3.0)
+        tasks = list(w.tasks(5000.0, random.Random(7)))
+        mean0 = sum(t.computation_times[0] for t in tasks) / len(tasks)
+        assert mean0 == pytest.approx(3.0, rel=0.1)
+
+
+class TestBalancedWorkload:
+    def test_resolution_relationship(self):
+        w = balanced_workload(3, load=1.0, mean_stage_cost=2.0, resolution=40.0)
+        assert w.task_resolution == pytest.approx(40.0)
+        # Deadline range grows linearly with the number of stages.
+        assert w.mean_deadline == pytest.approx(40.0 * 3 * 2.0)
+
+    def test_load_sets_rate(self):
+        w = balanced_workload(2, load=1.4, mean_stage_cost=0.5)
+        assert w.arrival_rate == pytest.approx(2.8)
+        assert w.offered_load(0) == pytest.approx(1.4)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            balanced_workload(0, load=1.0)
+        with pytest.raises(ValueError):
+            balanced_workload(2, load=0.0)
+        with pytest.raises(ValueError):
+            balanced_workload(2, load=1.0, resolution=0.0)
+        with pytest.raises(ValueError):
+            balanced_workload(2, load=1.0, deadline_spread=1.0)
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.floats(min_value=0.1, max_value=3.0),
+        st.floats(min_value=1.0, max_value=500.0),
+    )
+    def test_construction_consistent(self, n, load, resolution):
+        w = balanced_workload(n, load=load, resolution=resolution)
+        assert w.num_stages == n
+        assert w.task_resolution == pytest.approx(resolution)
+        assert w.offered_load(0) == pytest.approx(load)
+
+
+class TestImbalancedWorkload:
+    def test_balanced_midpoint(self):
+        w = imbalanced_two_stage_workload(cost_ratio=1.0, bottleneck_load=1.0)
+        assert w.mean_stage_costs[0] == pytest.approx(w.mean_stage_costs[1])
+
+    def test_ratio_respected(self):
+        w = imbalanced_two_stage_workload(cost_ratio=4.0, bottleneck_load=1.0)
+        c1, c2 = w.mean_stage_costs
+        assert c1 / c2 == pytest.approx(4.0)
+
+    def test_total_cost_preserved(self):
+        for ratio in (0.25, 1.0, 4.0):
+            w = imbalanced_two_stage_workload(
+                cost_ratio=ratio, bottleneck_load=1.0, total_mean_cost=2.0
+            )
+            assert sum(w.mean_stage_costs) == pytest.approx(2.0)
+
+    def test_bottleneck_load_fixed(self):
+        for ratio in (0.125, 0.5, 1.0, 2.0, 8.0):
+            w = imbalanced_two_stage_workload(cost_ratio=ratio, bottleneck_load=1.2)
+            assert w.bottleneck_load == pytest.approx(1.2)
+
+    def test_reciprocal_ratios_symmetric(self):
+        a = imbalanced_two_stage_workload(cost_ratio=4.0, bottleneck_load=1.0)
+        b = imbalanced_two_stage_workload(cost_ratio=0.25, bottleneck_load=1.0)
+        assert a.mean_stage_costs == pytest.approx(tuple(reversed(b.mean_stage_costs)))
+        assert a.arrival_rate == pytest.approx(b.arrival_rate)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            imbalanced_two_stage_workload(cost_ratio=0.0, bottleneck_load=1.0)
+        with pytest.raises(ValueError):
+            imbalanced_two_stage_workload(cost_ratio=1.0, bottleneck_load=0.0)
