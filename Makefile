@@ -1,0 +1,28 @@
+# Developer entry points.  Only `python` and `pytest` are hard
+# requirements; ruff and mypy are used when installed and skipped
+# (with a note) when not, so `make check` works in the minimal image.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test lint typecheck check
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+lint:
+	$(PYTHON) -m repro.lint src examples benchmarks
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests examples benchmarks; \
+	else \
+		echo "ruff not installed; skipping (config in pyproject.toml)"; \
+	fi
+
+typecheck:
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy src/repro/core src/repro/lint; \
+	else \
+		echo "mypy not installed; skipping (config in pyproject.toml)"; \
+	fi
+
+check: lint typecheck test

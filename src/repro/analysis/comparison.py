@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..core.bounds import stage_delay_factor
+from ..core.numeric import approx_eq
 from .periodic import hyperbolic_bound_holds, is_liu_layland_schedulable
 from .responsetime import PeriodicStageTask, response_time_analysis
 from .singlenode import is_uniprocessor_feasible
@@ -141,7 +142,9 @@ def compare_periodic_admission(
     total_utilization = sum(t.utilization for t in tasks)
     aperiodic_ok = synthetic_peak < 1.0 and is_uniprocessor_feasible(synthetic_peak)
 
-    implicit = all(t.deadline is None or t.deadline == t.period for t in tasks)
+    implicit = all(
+        t.deadline is None or approx_eq(t.deadline, t.period) for t in tasks
+    )
     utilizations = [t.utilization for t in tasks]
     ll_ok = implicit and is_liu_layland_schedulable(utilizations)
     hb_ok = implicit and hyperbolic_bound_holds(utilizations)

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+from ..core.numeric import EPS, approx_eq
+
 __all__ = [
     "liu_layland_bound",
     "is_liu_layland_schedulable",
@@ -74,10 +76,10 @@ def hyperbolic_bound_holds(utilizations: Sequence[float]) -> bool:
     return product <= 2.0
 
 
-def _is_harmonic(base: float, period: float, tolerance: float = 1e-9) -> bool:
+def _is_harmonic(base: float, period: float, tolerance: float = EPS) -> bool:
     """Whether ``period`` is an integer multiple of ``base``."""
     ratio = period / base
-    return abs(ratio - round(ratio)) <= tolerance * max(1.0, ratio)
+    return approx_eq(ratio, round(ratio), tol=tolerance)
 
 
 def harmonic_chain_count(periods: Sequence[float]) -> int:

@@ -25,6 +25,8 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from ..core.numeric import approx_eq
+
 __all__ = [
     "PeriodicStageTask",
     "response_time_analysis",
@@ -111,7 +113,7 @@ def response_time_analysis(
                 math.ceil((r + h.jitter) / h.period) * h.wcet for h in higher
             )
             r_next = task.wcet + task.blocking + interference
-            if r_next == r:
+            if approx_eq(r_next, r):
                 converged = True
                 break
             r = r_next
@@ -121,6 +123,18 @@ def response_time_analysis(
                 break
         results.append(r if converged else None)
     return results
+
+
+def _responses_differ(a: Optional[float], b: Optional[float]) -> bool:
+    """Change detection for the holistic fixed point, ``None``-aware.
+
+    ``None`` (divergent) only equals ``None``; finite values compare
+    through :func:`approx_eq` so sub-EPS numeric drift cannot keep the
+    outer iteration spinning.
+    """
+    if a is None or b is None:
+        return (a is None) != (b is None)
+    return not approx_eq(a, b)
 
 
 @dataclass(frozen=True)
@@ -197,7 +211,7 @@ def holistic_pipeline_analysis(
             ]
             stage_response = response_time_analysis(stage_tasks)
             for i in range(n):
-                if response[i][j] != stage_response[i]:
+                if _responses_differ(response[i][j], stage_response[i]):
                     changed = True
                 response[i][j] = stage_response[i]
         # Propagate jitter: response at stage j feeds stage j+1.
@@ -205,7 +219,7 @@ def holistic_pipeline_analysis(
             for j in range(num_stages - 1):
                 r = response[i][j]
                 new_jitter = math.inf if r is None else r
-                if new_jitter != jitter[i][j + 1]:
+                if not approx_eq(new_jitter, jitter[i][j + 1]):
                     jitter[i][j + 1] = min(new_jitter, 1e12)
                     changed = True
         if not changed:

@@ -7,6 +7,8 @@ implements the paper's primary contribution:
 - :mod:`repro.core.bounds` — the stage delay factor ``f(U)`` and the
   pipeline feasibility conditions (Eqs. 12/13/15);
 - :mod:`repro.core.alpha` — the urgency-inversion parameter ``alpha``;
+- :mod:`repro.core.numeric` — shared float-comparison tolerances
+  (``EPS``, ``approx_eq``, ``approx_le``, ``approx_ge``);
 - :mod:`repro.core.synthetic` — synthetic-utilization accounting with
   deadline expiry and idle resets;
 - :mod:`repro.core.dag` — series/parallel delay algebra and Theorem 2
@@ -53,6 +55,7 @@ from .dag import (
     par,
     seq,
 )
+from .numeric import EPS, approx_eq, approx_ge, approx_le
 from .regions import DagFeasibleRegion, PipelineFeasibleRegion
 from .reservation import (
     CriticalTask,
@@ -95,6 +98,11 @@ __all__ = [
     "alpha_random_priority",
     "alpha_from_pairs",
     "alpha_for_policy",
+    # numeric
+    "EPS",
+    "approx_eq",
+    "approx_le",
+    "approx_ge",
     # synthetic
     "StageUtilizationTracker",
     # dag

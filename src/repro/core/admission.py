@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from .bounds import region_budget, stage_delay_factor
+from .numeric import approx_le
 from .synthetic import StageUtilizationTracker
 from .task import PipelineTask
 
@@ -207,7 +208,7 @@ class PipelineAdmissionController:
         # O(N)-per-request complexity claim depends on it.
         self._expiry_heap: List[Tuple[float, Hashable]] = []
         reserved_value = sum(stage_delay_factor(r) for r in reserved)
-        if reserved_value > self.budget + 1e-12:
+        if not approx_le(reserved_value, self.budget):
             raise ValueError(
                 f"reserved utilizations are infeasible: region value "
                 f"{reserved_value:.4f} exceeds budget {self.budget:.4f}"

@@ -111,7 +111,10 @@ def urgency_inversion_alpha(
             if j - i > 1:
                 # Another member of the same class exists; if this task
                 # holds the class max, use the second largest.
-                if d_lo == class_max:
+                # Identity question ("is this task the class max?"), not a
+                # numeric-tolerance one: both values come verbatim from
+                # the same deadlines list.
+                if d_lo == class_max:  # repro: noqa[FLT001]
                     second = max(
                         (deadlines[order[m]] for m in range(i, j) if m != k),
                         default=-math.inf,

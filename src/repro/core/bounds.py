@@ -65,7 +65,7 @@ def stage_delay_factor(u: float) -> float:
         raise ValueError(f"utilization must be finite, got {u}")
     if u < 0.0 or u > 1.0:
         raise ValueError(f"utilization must be within [0, 1], got {u}")
-    if u == 1.0:
+    if u >= 1.0:  # exactly 1 after the range check: the f(U) singularity
         return math.inf
     return u * (1.0 - u / 2.0) / (1.0 - u)
 

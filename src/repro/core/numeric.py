@@ -1,0 +1,60 @@
+"""Shared floating-point comparison helpers.
+
+Every quantity in the feasible-region analysis — deadlines, arrival
+times, per-stage costs ``C_ij``, synthetic utilizations ``C_ij / D_i``,
+delay factors ``f(U)`` — is a float accumulated through sums and
+divisions, so raw ``==``/``!=`` between two such values silently turns
+numeric noise into admission or deadline-miss decisions.  All tolerance
+handling is centralized here; ``repro.lint`` rule ``FLT001`` flags raw
+equality between time/utilization expressions and points offenders at
+this module.
+
+The metric is relative with an absolute floor of 1: two values are
+equal when ``|a - b| <= tol * max(1, |a|, |b|)``.  The floor makes the
+tolerance behave absolutely for the O(1) normalized quantities the
+analysis mostly manipulates (utilizations, delay factors, ratios) while
+still scaling for large absolute times late in long simulations.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["EPS", "approx_eq", "approx_le", "approx_ge"]
+
+#: Default comparison tolerance.  Matches the ad-hoc ``1e-9`` the
+#: harmonic-chain detection historically used; loose enough to absorb
+#: accumulated rounding over ~1e6-event simulations, tight enough to
+#: never conflate two distinct model parameters.
+EPS: float = 1e-9
+
+
+def approx_eq(a: float, b: float, tol: float = EPS) -> bool:
+    """Whether ``a`` and ``b`` are equal within ``tol``.
+
+    Uses ``|a - b| <= tol * max(1, |a|, |b|)``.  Exact equality
+    short-circuits first, so infinities compare equal to themselves
+    (``approx_eq(inf, inf)`` is True — needed by fixed-point iterations
+    whose divergent branches saturate to ``inf``).  NaN is never equal
+    to anything, mirroring IEEE semantics.
+    """
+    if a == b:  # repro: noqa[FLT001] — exact shortcut; handles inf == inf
+        return True
+    if math.isinf(a) or math.isinf(b) or math.isnan(a) or math.isnan(b):
+        return False
+    return abs(a - b) <= tol * max(1.0, abs(a), abs(b))
+
+
+def approx_le(a: float, b: float, tol: float = EPS) -> bool:
+    """Whether ``a <= b`` within ``tol`` (true when ``a`` is smaller or close).
+
+    The tolerant form of budget checks such as Eq. 13's
+    ``sum_j f(U_j) <= alpha``: a region value exceeding the budget by
+    mere rounding noise still counts as feasible.
+    """
+    return a <= b or approx_eq(a, b, tol)
+
+
+def approx_ge(a: float, b: float, tol: float = EPS) -> bool:
+    """Whether ``a >= b`` within ``tol`` (true when ``a`` is larger or close)."""
+    return a >= b or approx_eq(a, b, tol)

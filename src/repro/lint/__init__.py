@@ -1,0 +1,46 @@
+"""Domain-aware static analysis for the feasible-region reproduction.
+
+An AST-based lint pass with a pluggable rule registry and two rule
+families:
+
+**Code rules** enforce the determinism and numeric-safety conventions
+the simulator and admission logic rely on (``RNG001`` seeded RNGs,
+``DET001`` no ambient nondeterminism in event paths, ``FLT001`` no raw
+float equality on time values, ``HEAP001`` heap tie-breaks, ``MUT001``
+no mutable defaults).
+
+**Model rules** statically validate task-set/DAG/experiment constructor
+literals against the paper's preconditions (``MDL001`` ``C_ij <= D_i``,
+``MDL002`` acyclic task graphs, ``MDL003`` ``alpha in (0, 1]``,
+``MDL004`` ``sum beta_j < 1``).
+
+Run as ``python -m repro.lint [paths] [--format=json|text]``; suppress
+individual findings with a ``# repro: noqa[RULE]`` comment on the
+offending line.  Exit code is 1 when findings are reported.
+"""
+
+from .context import FileContext
+from .findings import Finding
+from .registry import Rule, all_rules, get_rule, register, rule_ids
+from .runner import (
+    SYNTAX_RULE_ID,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "Rule",
+    "register",
+    "all_rules",
+    "get_rule",
+    "rule_ids",
+    "SYNTAX_RULE_ID",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

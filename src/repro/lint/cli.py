@@ -1,0 +1,127 @@
+"""Command-line interface: ``python -m repro.lint [paths]``.
+
+Exit codes: 0 clean, 1 findings reported, 2 usage or I/O error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .findings import Finding
+from .registry import all_rules, rule_ids
+from .runner import iter_python_files, lint_paths
+
+__all__ = ["main", "build_parser"]
+
+#: Schema version of the ``--format=json`` payload.
+JSON_SCHEMA_VERSION = 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "Domain-aware static analysis for the feasible-region reproduction: "
+            "determinism (RNG001/DET001), numeric safety (FLT001/HEAP001/MUT001), "
+            "and model invariants (MDL001-MDL004).  Suppress a finding with "
+            "'# repro: noqa[RULE]' on the offending line."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/ if present, else .)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _split_rules(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [token.strip().upper() for token in raw.split(",") if token.strip()]
+
+
+def _render_text(findings: List[Finding], files_checked: int, stream) -> None:
+    for finding in findings:
+        print(finding.render(), file=stream)
+    noun = "file" if files_checked == 1 else "files"
+    if findings:
+        print(
+            f"{len(findings)} finding(s) in {files_checked} {noun}.",
+            file=stream,
+        )
+    else:
+        print(f"{files_checked} {noun} checked, no findings.", file=stream)
+
+
+def _render_json(findings: List[Finding], files_checked: int, stream) -> None:
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_checked": files_checked,
+        "findings": [finding.to_dict() for finding in findings],
+        "counts": dict(sorted(counts.items())),
+    }
+    json.dump(payload, stream, indent=2, sort_keys=False)
+    print(file=stream)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            scope = ", ".join(rule.scope) if rule.scope else "all code"
+            print(f"{rule.rule_id}  [{scope}]  {rule.summary}")
+        return 0
+
+    paths = list(args.paths)
+    if not paths:
+        paths = ["src"] if Path("src").is_dir() else ["."]
+
+    try:
+        select = _split_rules(args.select)
+        ignore = _split_rules(args.ignore)
+        files_checked = sum(1 for _ in iter_python_files(paths))
+        findings = lint_paths(paths, select=select, ignore=ignore)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}; known rules: {', '.join(rule_ids())}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        _render_json(findings, files_checked, sys.stdout)
+    else:
+        _render_text(findings, files_checked, sys.stdout)
+    return 1 if findings else 0

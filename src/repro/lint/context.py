@@ -1,0 +1,103 @@
+"""Per-file analysis context: source, AST, noqa suppression, path scope."""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import PurePath
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from .findings import Finding
+
+__all__ = ["FileContext", "KNOWN_PACKAGE_DIRS"]
+
+#: Directory names that identify where a file sits in the repository
+#: layout.  A file under none of these (e.g. a unit-test fixture in a
+#: temp dir) is treated as in scope for *every* rule, so snippets can be
+#: linted without faking a package path.
+KNOWN_PACKAGE_DIRS: FrozenSet[str] = frozenset(
+    {
+        "core",
+        "sim",
+        "apps",
+        "experiments",
+        "analysis",
+        "lint",
+        "tests",
+        "benchmarks",
+        "examples",
+    }
+)
+
+#: ``# repro: noqa`` (suppress all rules on the line) or
+#: ``# repro: noqa[RULE1,RULE2]`` (suppress listed rules only).
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s]+)\])?")
+
+#: Sentinel for a bare ``# repro: noqa`` suppressing every rule.
+_ALL: FrozenSet[str] = frozenset({"*"})
+
+
+class FileContext:
+    """One parsed source file plus everything rules need to inspect it.
+
+    Attributes:
+        path: Path the file was loaded from (or a synthetic label).
+        source: Full source text.
+        tree: Parsed module AST.
+        lines: Source split into lines (1-based access via index + 1).
+    """
+
+    def __init__(self, path: str, source: str, tree: Optional[ast.Module] = None) -> None:
+        self.path = path
+        self.source = source
+        self.tree: ast.Module = ast.parse(source, filename=path) if tree is None else tree
+        self.lines: List[str] = source.splitlines()
+        self._noqa: Dict[int, FrozenSet[str]] = self._parse_noqa()
+        self._parts: FrozenSet[str] = frozenset(PurePath(path).parts)
+
+    def _parse_noqa(self) -> Dict[int, FrozenSet[str]]:
+        table: Dict[int, FrozenSet[str]] = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            match = _NOQA_RE.search(line)
+            if match is None:
+                continue
+            if match.group(1) is None:
+                table[lineno] = _ALL
+            else:
+                table[lineno] = frozenset(
+                    token.strip().upper() for token in match.group(1).split(",") if token.strip()
+                )
+        return table
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        """Whether ``rule_id`` is noqa-suppressed on ``line``."""
+        entry = self._noqa.get(line)
+        if entry is None:
+            return False
+        return entry is _ALL or "*" in entry or rule_id.upper() in entry
+
+    def in_scope(self, scope: Tuple[str, ...]) -> bool:
+        """Whether this file falls inside a rule's directory scope.
+
+        An empty ``scope`` matches everything.  Files outside every
+        known package directory (fixtures, snippets) match any scope.
+        """
+        if not scope:
+            return True
+        if not (self._parts & KNOWN_PACKAGE_DIRS):
+            return True
+        return bool(self._parts & set(scope))
+
+    def finding(self, rule_id: str, node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=rule_id,
+            message=message,
+        )
+
+    def filter_suppressed(self, findings: Iterable[Finding]) -> List[Finding]:
+        """Drop findings whose line carries a matching noqa comment."""
+        return [f for f in findings if not self.suppressed(f.rule, f.line)]

@@ -1,0 +1,39 @@
+"""Finding type shared by every lint rule and output format."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, Union
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location.
+
+    Ordering is (path, line, col, rule) so reports are stable across
+    runs and dict/set iteration orders — the linter holds itself to the
+    determinism it enforces.
+
+    Attributes:
+        path: File the finding was raised in (as given to the runner).
+        line: 1-based line of the offending node.
+        col: 0-based column of the offending node.
+        rule: Rule identifier, e.g. ``"RNG001"``.
+        message: Human-readable explanation with concrete values.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def to_dict(self) -> Dict[str, Union[str, int]]:
+        """JSON-serializable representation (stable key order)."""
+        return asdict(self)
+
+    def render(self) -> str:
+        """One-line text rendering: ``path:line:col: RULE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"

@@ -1,0 +1,102 @@
+"""Pluggable rule registry.
+
+Rules self-register via the :func:`register` decorator at import time;
+:mod:`repro.lint.rules` imports every rule module, so importing that
+package populates the registry.  The CLI's ``--select`` / ``--ignore``
+and the ``# repro: noqa[RULE]`` suppression all key off ``rule_id``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Type
+
+from .context import FileContext
+from .findings import Finding
+
+__all__ = ["Rule", "register", "all_rules", "get_rule", "rule_ids"]
+
+
+class Rule:
+    """Base class for one static-analysis rule.
+
+    Subclasses set :attr:`rule_id` and :attr:`summary`, optionally
+    narrow :attr:`scope` to repository sub-packages, and implement
+    :meth:`check`.
+
+    Attributes:
+        rule_id: Stable identifier (``RNG001``, ``MDL004``, ...).
+        summary: One-line description shown by ``--list-rules``.
+        scope: Package directory names the rule applies to (e.g.
+            ``("sim", "apps")``).  Empty means every file.  Files whose
+            path does not lie in any known package directory (ad-hoc
+            snippets, fixtures) are always in scope.
+    """
+
+    rule_id: str = ""
+    summary: str = ""
+    scope: Tuple[str, ...] = ()
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one parsed file."""
+        raise NotImplementedError
+        yield  # pragma: no cover — makes this a generator for typing
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Whether the file is inside this rule's directory scope."""
+        return ctx.in_scope(self.scope)
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding ``rule_cls`` to the global registry."""
+    if not rule_cls.rule_id:
+        raise ValueError(f"{rule_cls.__name__} must define rule_id")
+    if rule_cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_cls.rule_id}")
+    _REGISTRY[rule_cls.rule_id] = rule_cls
+    return rule_cls
+
+
+def rule_ids() -> List[str]:
+    """All registered rule ids, sorted."""
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Instantiate the rule registered under ``rule_id``.
+
+    Raises:
+        KeyError: If no such rule exists.
+    """
+    _ensure_loaded()
+    return _REGISTRY[rule_id]()
+
+
+def all_rules(
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Rule]:
+    """Instantiate registered rules, filtered and sorted by id.
+
+    Args:
+        select: If given, only these rule ids run.
+        ignore: Rule ids to drop (applied after ``select``).
+
+    Raises:
+        KeyError: If ``select``/``ignore`` name an unknown rule.
+    """
+    _ensure_loaded()
+    wanted = set(_REGISTRY) if select is None else set(select)
+    unknown = (wanted | set(ignore or ())) - set(_REGISTRY)
+    if unknown:
+        raise KeyError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+    wanted -= set(ignore or ())
+    return [_REGISTRY[rid]() for rid in sorted(wanted)]
+
+
+def _ensure_loaded() -> None:
+    """Import the bundled rule modules (idempotent)."""
+    from . import rules  # noqa: F401 — import side effect registers rules

@@ -1,0 +1,5 @@
+"""Bundled rule modules; importing this package registers every rule."""
+
+from . import code, model  # noqa: F401 — import side effect registers rules
+
+__all__ = ["code", "model"]

@@ -1,0 +1,497 @@
+"""Code rules: determinism and numeric-safety checks on the repo's own AST.
+
+These rules mechanize the conventions the simulator and admission logic
+depend on for reproducible acceptance-ratio curves:
+
+- ``RNG001`` — every random draw must come from an explicitly seeded
+  ``random.Random(seed)`` instance; the module-level RNG (or an
+  unseeded/system RNG) makes runs unrepeatable.
+- ``DET001`` — simulator event paths must not read wall clocks or feed
+  event heaps from unordered set iteration; both inject ambient
+  nondeterminism into event order.
+- ``FLT001`` — raw ``==``/``!=`` between float-typed time/utilization
+  expressions must route through :mod:`repro.core.numeric`
+  (``approx_eq``/``EPS``); bitwise float equality on computed times
+  silently flips admission and miss decisions.
+- ``HEAP001`` — tuples pushed onto a heap need a monotonic tie-break
+  field (a sequence counter or id) between the sort key and any
+  payload, or equal keys fall through to comparing payloads —
+  a crash for unorderable objects, nondeterminism otherwise.
+- ``MUT001`` — mutable default arguments alias state across calls.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
+
+from ..context import FileContext
+from ..findings import Finding
+from ..registry import Rule, register
+
+__all__ = [
+    "UnseededRandomRule",
+    "AmbientNondeterminismRule",
+    "FloatEqualityRule",
+    "HeapTieBreakRule",
+    "MutableDefaultRule",
+]
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    """Identifier of a Name, or attribute name of an Attribute."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _base_name(node: ast.AST) -> Optional[str]:
+    """Left-most identifier of a dotted access (``a`` in ``a.b.c``)."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+# ----------------------------------------------------------------------
+# RNG001 — unseeded / module-level randomness
+# ----------------------------------------------------------------------
+
+#: Draw/seed functions of the module-level RNG that make runs
+#: irreproducible when called on the ``random`` module itself.
+_RNG_MODULE_FUNCS = frozenset(
+    {
+        "random",
+        "uniform",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "expovariate",
+        "gauss",
+        "normalvariate",
+        "lognormvariate",
+        "betavariate",
+        "gammavariate",
+        "paretovariate",
+        "vonmisesvariate",
+        "weibullvariate",
+        "triangular",
+        "getrandbits",
+        "seed",
+    }
+)
+
+
+@register
+class UnseededRandomRule(Rule):
+    """RNG001: unseeded or module-level randomness in stochastic code."""
+
+    rule_id = "RNG001"
+    summary = (
+        "random.Random() without a seed, random.SystemRandom, or module-level "
+        "random.* draws — experiments must be replayable from an explicit seed"
+    )
+    scope = ("sim", "apps", "experiments")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        aliases = self._random_module_aliases(ctx.tree)
+        from_imports = self._names_imported_from_random(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and _base_name(func) in aliases:
+                if func.attr == "Random" and not node.args and not node.keywords:
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        "random.Random() without a seed — pass an explicit seed "
+                        "so runs are reproducible",
+                    )
+                elif func.attr == "SystemRandom":
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        "random.SystemRandom draws from OS entropy and can never "
+                        "be replayed — use a seeded random.Random instead",
+                    )
+                elif func.attr in _RNG_MODULE_FUNCS:
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        f"module-level random.{func.attr}() uses the shared global "
+                        "RNG — draw from a seeded random.Random instance",
+                    )
+            elif isinstance(func, ast.Name) and func.id in from_imports:
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    f"{func.id}() imported from the random module uses the shared "
+                    "global RNG — draw from a seeded random.Random instance",
+                )
+
+    @staticmethod
+    def _random_module_aliases(tree: ast.Module) -> Set[str]:
+        aliases = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        aliases.add(alias.asname or alias.name)
+        return aliases
+
+    @staticmethod
+    def _names_imported_from_random(tree: ast.Module) -> Set[str]:
+        names = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name in _RNG_MODULE_FUNCS:
+                        names.add(alias.asname or alias.name)
+        return names
+
+
+# ----------------------------------------------------------------------
+# DET001 — wall clocks and unordered iteration in simulator event paths
+# ----------------------------------------------------------------------
+
+_TIME_MODULE_FUNCS = frozenset(
+    {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns"}
+)
+_DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+
+
+def _contains_heappush(nodes: List[ast.stmt]) -> Optional[ast.Call]:
+    for stmt in nodes:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, ast.Call) and _terminal_name(sub.func) == "heappush":
+                return sub
+    return None
+
+
+@register
+class AmbientNondeterminismRule(Rule):
+    """DET001: ambient nondeterminism inside simulator event paths."""
+
+    rule_id = "DET001"
+    summary = (
+        "wall-clock reads (time.time, datetime.now, ...) or set iteration "
+        "feeding heapq.heappush — event order must be a function of the seed"
+    )
+    scope = ("sim",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                base = _base_name(node.func)
+                attr = node.func.attr
+                if base == "time" and attr in _TIME_MODULE_FUNCS:
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        f"time.{attr}() reads the wall clock — simulation time must "
+                        "come from the event queue, not the host",
+                    )
+                elif base in ("datetime", "date") and attr in _DATETIME_FUNCS:
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        f"{base}.{attr}() reads the wall clock — simulation time must "
+                        "come from the event queue, not the host",
+                    )
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if self._is_set_expr(node.iter):
+                    push = _contains_heappush(node.body)
+                    if push is not None:
+                        yield ctx.finding(
+                            self.rule_id,
+                            node,
+                            "iterating a set to feed heapq.heappush — set order is "
+                            "hash-randomized; sort the elements first",
+                        )
+
+    @staticmethod
+    def _is_set_expr(node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset")
+        )
+
+
+# ----------------------------------------------------------------------
+# FLT001 — raw float equality between time/utilization expressions
+# ----------------------------------------------------------------------
+
+#: Identifier fragments marking a value as a time/utilization quantity.
+#: Deliberately broad: in this codebase every one of these words names a
+#: float accumulated through sums/divisions (deadlines, arrivals, costs,
+#: synthetic utilizations, delay factors, blocking terms).
+_FLOAT_VOCAB_RE = re.compile(
+    r"deadline|period|arrival|expir|response|util|wcet|jitter|laten|budget"
+    r"|slack|delay|blocking|beta|alpha|computation|time",
+    re.IGNORECASE,
+)
+
+
+def _annotation_is_float(annotation: Optional[ast.expr]) -> bool:
+    return isinstance(annotation, ast.Name) and annotation.id == "float"
+
+
+class _ScopeTypes:
+    """Names known (or strongly suspected) to hold float time values."""
+
+    def __init__(self) -> None:
+        self.float_names: Set[str] = set()
+
+    def collect(self, scope: ast.AST) -> None:
+        """Two passes so chained assignments (``b = a; c = b``) resolve."""
+        if isinstance(scope, _SCOPE_NODES):
+            for arg in self._all_args(scope):
+                if _annotation_is_float(arg.annotation):
+                    self.float_names.add(arg.arg)
+        for _ in range(2):
+            for stmt in self._own_statements(scope):
+                self._collect_stmt(stmt)
+
+    @staticmethod
+    def _all_args(scope: _FunctionNode) -> List[ast.arg]:
+        a = scope.args
+        return [*a.posonlyargs, *a.args, *a.kwonlyargs]
+
+    @staticmethod
+    def _own_statements(scope: ast.AST) -> Iterator[ast.stmt]:
+        """Statements of ``scope``, not descending into nested scopes."""
+        todo: List[ast.stmt] = [
+            c for c in ast.iter_child_nodes(scope) if isinstance(c, ast.stmt)
+        ]
+        while todo:
+            stmt = todo.pop()
+            if isinstance(stmt, _SCOPE_NODES + (ast.ClassDef,)):
+                continue
+            yield stmt
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.stmt):
+                    todo.append(child)
+                elif isinstance(getattr(child, "body", None), list):
+                    # ExceptHandler, match_case
+                    todo.extend(
+                        s for s in getattr(child, "body") if isinstance(s, ast.stmt)
+                    )
+
+    def _collect_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            if self.is_float_expr(stmt.value):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        self.float_names.add(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            if _annotation_is_float(stmt.annotation) or (
+                stmt.value is not None and self.is_float_expr(stmt.value)
+            ):
+                self.float_names.add(stmt.target.id)
+        elif isinstance(stmt, ast.AugAssign) and isinstance(stmt.target, ast.Name):
+            if self.is_float_expr(stmt.value):
+                self.float_names.add(stmt.target.id)
+
+    def is_float_expr(self, node: ast.expr) -> bool:
+        """Whether ``node`` looks like a float time/utilization value."""
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, float)
+        if isinstance(node, ast.Name):
+            return node.id in self.float_names or bool(_FLOAT_VOCAB_RE.search(node.id))
+        if isinstance(node, ast.Attribute):
+            return bool(_FLOAT_VOCAB_RE.search(node.attr))
+        if isinstance(node, ast.Subscript):
+            return self.is_float_expr(node.value)
+        if isinstance(node, ast.BinOp):
+            return self.is_float_expr(node.left) or self.is_float_expr(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return self.is_float_expr(node.operand)
+        if isinstance(node, ast.IfExp):
+            return self.is_float_expr(node.body) or self.is_float_expr(node.orelse)
+        if isinstance(node, ast.Call):
+            func_name = _terminal_name(node.func)
+            if func_name == "float":
+                return True
+            if func_name in ("abs", "min", "max", "sum"):
+                return any(self.is_float_expr(arg) for arg in node.args)
+        return False
+
+
+def _is_exact_sentinel(node: ast.expr) -> bool:
+    """Comparisons against these are exempt: int literals (0/1 sentinels
+    for 'no cost'/'no stage'), None, bools, strings."""
+    return isinstance(node, ast.Constant) and not isinstance(node.value, float)
+
+
+@register
+class FloatEqualityRule(Rule):
+    """FLT001: raw ``==``/``!=`` between float time/utilization values."""
+
+    rule_id = "FLT001"
+    summary = (
+        "raw ==/!= between float-typed time/utilization expressions — use "
+        "repro.core.numeric.approx_eq (or an EPS-based comparison)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        yield from self._check_scope(ctx, ctx.tree)
+
+    def _check_scope(self, ctx: FileContext, scope: ast.AST) -> Iterator[Finding]:
+        types = _ScopeTypes()
+        types.collect(scope)
+        for node in self._own_nodes(scope):
+            if isinstance(node, ast.Compare):
+                yield from self._check_compare(ctx, node, types)
+        for child in self._child_scopes(scope):
+            yield from self._check_scope(ctx, child)
+
+    @staticmethod
+    def _own_nodes(scope: ast.AST) -> Iterator[ast.AST]:
+        """Every node of ``scope`` once, not descending into nested
+        function/class scopes (lambdas are treated as part of this scope)."""
+        todo = list(ast.iter_child_nodes(scope))
+        while todo:
+            node = todo.pop()
+            if isinstance(node, _SCOPE_NODES + (ast.ClassDef,)):
+                continue
+            yield node
+            todo.extend(ast.iter_child_nodes(node))
+
+    @staticmethod
+    def _child_scopes(scope: ast.AST) -> Iterator[_FunctionNode]:
+        """Direct child function scopes (descending through classes)."""
+        todo = list(ast.iter_child_nodes(scope))
+        while todo:
+            node = todo.pop()
+            if isinstance(node, _SCOPE_NODES):
+                yield node
+            elif not isinstance(node, ast.Lambda):
+                todo.extend(ast.iter_child_nodes(node))
+
+    def _check_compare(
+        self, ctx: FileContext, node: ast.Compare, types: _ScopeTypes
+    ) -> Iterator[Finding]:
+        left = node.left
+        for op, right in zip(node.ops, node.comparators):
+            if isinstance(op, (ast.Eq, ast.NotEq)):
+                if not _is_exact_sentinel(left) and not _is_exact_sentinel(right):
+                    if types.is_float_expr(left) and types.is_float_expr(right):
+                        symbol = "==" if isinstance(op, ast.Eq) else "!="
+                        yield ctx.finding(
+                            self.rule_id,
+                            node,
+                            f"raw `{symbol}` between float time/utilization values "
+                            f"({ast.unparse(left)} {symbol} {ast.unparse(right)}) — "
+                            "use repro.core.numeric.approx_eq",
+                        )
+            left = right
+
+
+# ----------------------------------------------------------------------
+# HEAP001 — heap tuples without a monotonic tie-break field
+# ----------------------------------------------------------------------
+
+#: Identifier components that look like a monotonic tie-break/sequence
+#: field.  Split on underscores, so ``task_id`` and ``_seq`` qualify.
+_TIEBREAK_COMPONENTS = frozenset(
+    {"seq", "sequence", "tie", "tiebreak", "count", "counter", "version", "token", "idx", "index", "id"}
+)
+
+
+def _is_tiebreak_element(node: ast.expr) -> bool:
+    name = _terminal_name(node)
+    if name is not None:
+        components = {c for c in name.lower().split("_") if c}
+        return bool(components & _TIEBREAK_COMPONENTS)
+    if isinstance(node, ast.Call):
+        func_name = _terminal_name(node.func)
+        if func_name is not None and (
+            func_name == "next" or bool({c for c in func_name.lower().split("_") if c} & _TIEBREAK_COMPONENTS)
+        ):
+            return True
+    return isinstance(node, ast.Starred)  # can't see inside — don't flag
+
+
+@register
+class HeapTieBreakRule(Rule):
+    """HEAP001: heappush of tuples lacking a monotonic tie-break field."""
+
+    rule_id = "HEAP001"
+    summary = (
+        "heapq.heappush of a tuple with no sequence/tie-break field — equal "
+        "keys fall through to comparing payloads (crash or nondeterminism)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call) and _terminal_name(node.func) == "heappush"):
+                continue
+            if len(node.args) < 2:
+                continue
+            item = node.args[1]
+            if not isinstance(item, ast.Tuple) or len(item.elts) < 2:
+                continue
+            if not any(_is_tiebreak_element(elt) for elt in item.elts[1:]):
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    f"heap entry {ast.unparse(item)} has no monotonic tie-break "
+                    "field after the sort key — insert a sequence counter "
+                    "(e.g. (key, seq, payload)) so ties never compare payloads",
+                )
+
+
+# ----------------------------------------------------------------------
+# MUT001 — mutable default arguments
+# ----------------------------------------------------------------------
+
+
+def _is_mutable_literal(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("list", "dict", "set", "bytearray", "defaultdict", "deque")
+    )
+
+
+@register
+class MutableDefaultRule(Rule):
+    """MUT001: mutable default argument values."""
+
+    rule_id = "MUT001"
+    summary = (
+        "mutable default argument (list/dict/set literal or constructor) — "
+        "the default is shared across every call"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, _SCOPE_NODES + (ast.Lambda,)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_literal(default):
+                    name = getattr(node, "name", "<lambda>")
+                    yield ctx.finding(
+                        self.rule_id,
+                        default,
+                        f"mutable default {ast.unparse(default)} in {name}() is "
+                        "evaluated once and shared across calls — default to None "
+                        "and construct inside the body",
+                    )

@@ -1,0 +1,317 @@
+"""Model rules: static validation of task-set/DAG/experiment literals.
+
+The feasible region (Eqs. 12/13/15) and Theorem 2 carry preconditions
+on the model parameters themselves, independent of any simulation.
+When a constructor call spells those parameters out as literals, the
+violation is decidable at lint time:
+
+- ``MDL001`` — a per-stage cost ``C_ij`` exceeding the end-to-end
+  deadline ``D_i`` makes the synthetic-utilization contribution
+  ``C_ij / D_i`` exceed 1 on its own; the task can never meet its
+  deadline and Theorem 1's busy-period argument does not apply.
+- ``MDL002`` — Theorem 2 requires a *directed acyclic* subtask graph:
+  the delay expression ``d(...)`` is only well-defined (and the
+  critical path only finite) without cycles.
+- ``MDL003`` — the urgency-inversion parameter must satisfy
+  ``alpha in (0, 1]``; Eq. 12's right-hand side is vacuous at 0 and
+  ``alpha > 1`` has no meaning (DM, the optimum, attains exactly 1).
+- ``MDL004`` — Eq. 15's right-hand side ``alpha (1 - sum_j beta_j)``
+  is non-positive once normalized blocking terms sum to 1 or more:
+  the feasible region is empty and every admission test fails.
+
+Only literal arguments are judged; computed expressions are left to the
+runtime validators in :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..context import FileContext
+from ..findings import Finding
+from ..registry import Rule, register
+
+__all__ = [
+    "StageCostExceedsDeadlineRule",
+    "CyclicTaskGraphRule",
+    "AlphaRangeRule",
+    "BlockingSumRule",
+]
+
+
+def _terminal_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _literal_number(node: Optional[ast.expr]) -> Optional[float]:
+    """Numeric value of an int/float literal (incl. unary +/-), else None."""
+    if node is None:
+        return None
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.UAdd, ast.USub)):
+        inner = _literal_number(node.operand)
+        if inner is None:
+            return None
+        return -inner if isinstance(node.op, ast.USub) else inner
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        if isinstance(node.value, bool):
+            return None
+        return float(node.value)
+    return None
+
+
+def _literal_number_seq(node: Optional[ast.expr]) -> Optional[List[float]]:
+    """Values of a tuple/list of numeric literals, else None."""
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return None
+    values: List[float] = []
+    for elt in node.elts:
+        value = _literal_number(elt)
+        if value is None:
+            return None
+        values.append(value)
+    return values
+
+
+def _argument(call: ast.Call, keyword: str, position: Optional[int]) -> Optional[ast.expr]:
+    """Fetch an argument by keyword, falling back to position."""
+    for kw in call.keywords:
+        if kw.arg == keyword:
+            return kw.value
+    if position is not None and position < len(call.args):
+        arg = call.args[position]
+        if not isinstance(arg, ast.Starred):
+            return arg
+    return None
+
+
+# ----------------------------------------------------------------------
+# MDL001 — stage cost exceeding end-to-end deadline
+# ----------------------------------------------------------------------
+
+#: Constructor name -> (deadline pos, computation_times pos, period pos).
+#: Keywords are always tried first; period is the implicit-deadline
+#: fallback for the periodic constructors.
+_TASK_CTORS: Dict[str, Tuple[Optional[int], Optional[int], Optional[int]]] = {
+    "make_task": (1, 2, None),
+    "PipelineTask": (2, 3, None),
+    "periodic_spec": (3, 2, 1),
+    "PeriodicTaskSpec": (2, 3, 1),
+}
+
+
+@register
+class StageCostExceedsDeadlineRule(Rule):
+    """MDL001: literal ``C_ij`` larger than the end-to-end deadline."""
+
+    rule_id = "MDL001"
+    summary = (
+        "stage cost C_ij exceeds the end-to-end deadline D_i — the task's "
+        "synthetic contribution C_ij/D_i > 1 can never be admitted"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _terminal_name(node.func)
+            if name not in _TASK_CTORS:
+                continue
+            deadline_pos, costs_pos, period_pos = _TASK_CTORS[name]
+            deadline = _literal_number(_argument(node, "deadline", deadline_pos))
+            if deadline is None and period_pos is not None:
+                deadline = _literal_number(_argument(node, "period", period_pos))
+            costs = _literal_number_seq(
+                _argument(node, "computation_times", costs_pos)
+            )
+            if deadline is None or costs is None:
+                continue
+            for stage, cost in enumerate(costs):
+                if cost > deadline:
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        f"{name}: stage-{stage} cost {cost:g} exceeds the "
+                        f"end-to-end deadline {deadline:g} (C_ij/D_i = "
+                        f"{cost / deadline:.3g} > 1) — the task is unschedulable "
+                        "by construction",
+                    )
+
+
+# ----------------------------------------------------------------------
+# MDL002 — cyclic task-graph construction
+# ----------------------------------------------------------------------
+
+
+@register
+class CyclicTaskGraphRule(Rule):
+    """MDL002: literal ``TaskGraph`` edges forming a cycle."""
+
+    rule_id = "MDL002"
+    summary = (
+        "TaskGraph constructed with literal edges containing a cycle — "
+        "Theorem 2 requires a DAG (the critical-path delay d(...) diverges)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call) and _terminal_name(node.func) == "TaskGraph"):
+                continue
+            edges = self._literal_edges(_argument(node, "edges", 1))
+            if edges is None:
+                continue
+            cycle = self._find_cycle(edges)
+            if cycle is not None:
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    "TaskGraph edges contain the cycle "
+                    + " -> ".join(repr(n) for n in cycle)
+                    + " — Theorem 2 applies to acyclic subtask graphs only",
+                )
+
+    @staticmethod
+    def _literal_edges(node: Optional[ast.expr]) -> Optional[List[Tuple[object, object]]]:
+        if not isinstance(node, (ast.List, ast.Tuple)):
+            return None
+        edges: List[Tuple[object, object]] = []
+        for elt in node.elts:
+            if not (isinstance(elt, (ast.Tuple, ast.List)) and len(elt.elts) == 2):
+                return None
+            endpoints = []
+            for end in elt.elts:
+                if not (
+                    isinstance(end, ast.Constant)
+                    and isinstance(end.value, (str, int))
+                    and not isinstance(end.value, bool)
+                ):
+                    return None
+                endpoints.append(end.value)
+            edges.append((endpoints[0], endpoints[1]))
+        return edges
+
+    @staticmethod
+    def _find_cycle(edges: Sequence[Tuple[object, object]]) -> Optional[List[object]]:
+        """Return one cycle as a node list (closed), or None."""
+        adjacency: Dict[object, List[object]] = {}
+        for u, v in edges:
+            adjacency.setdefault(u, []).append(v)
+            adjacency.setdefault(v, [])
+        white = sorted(adjacency, key=repr)
+        color: Dict[object, int] = {n: 0 for n in white}  # 0 new, 1 active, 2 done
+        parent: Dict[object, object] = {}
+        for root in white:
+            if color[root] != 0:
+                continue
+            stack: List[Tuple[object, int]] = [(root, 0)]
+            color[root] = 1
+            while stack:
+                node, edge_index = stack[-1]
+                successors = adjacency[node]
+                if edge_index < len(successors):
+                    stack[-1] = (node, edge_index + 1)
+                    succ = successors[edge_index]
+                    if color[succ] == 1:
+                        cycle = [succ, node]
+                        cursor = node
+                        while cursor != succ:
+                            cursor = parent[cursor]
+                            cycle.append(cursor)
+                        cycle.reverse()
+                        return cycle
+                    if color[succ] == 0:
+                        color[succ] = 1
+                        parent[succ] = node
+                        stack.append((succ, 0))
+                else:
+                    color[node] = 2
+                    stack.pop()
+        return None
+
+
+# ----------------------------------------------------------------------
+# MDL003 — alpha outside (0, 1]
+# ----------------------------------------------------------------------
+
+
+@register
+class AlphaRangeRule(Rule):
+    """MDL003: literal ``alpha`` keyword outside ``(0, 1]``."""
+
+    rule_id = "MDL003"
+    summary = (
+        "alpha outside (0, 1] — the urgency-inversion parameter of Eq. 12 "
+        "is a ratio of deadlines, positive and at most 1"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            value = _literal_number(_argument(node, "alpha", None))
+            if value is None:
+                continue
+            if not (0.0 < value <= 1.0):
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    f"alpha={value:g} is outside (0, 1] — Eq. 12's budget "
+                    "alpha(1 - sum beta) needs 0 < alpha <= 1 "
+                    "(deadline-monotonic attains alpha = 1)",
+                )
+
+
+# ----------------------------------------------------------------------
+# MDL004 — blocking terms emptying the feasible region
+# ----------------------------------------------------------------------
+
+
+@register
+class BlockingSumRule(Rule):
+    """MDL004: literal blocking terms with ``sum beta_j >= 1``."""
+
+    rule_id = "MDL004"
+    summary = (
+        "normalized blocking terms sum to >= 1 — Eq. 15's right-hand side "
+        "alpha(1 - sum beta_j) becomes non-positive (empty feasible region)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            betas = _argument(node, "betas", None)
+            total = self._blocking_sum(betas)
+            if total is None:
+                single = _literal_number(_argument(node, "beta", None))
+                if single is not None and single >= 1.0:
+                    total = single
+            if total is not None and total >= 1.0:
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    f"blocking terms sum to {total:g} >= 1, so Eq. 15's budget "
+                    "alpha(1 - sum beta_j) is non-positive — the feasible region "
+                    "is empty and every task set is rejected",
+                )
+
+    @staticmethod
+    def _blocking_sum(node: Optional[ast.expr]) -> Optional[float]:
+        if node is None:
+            return None
+        values = _literal_number_seq(node)
+        if values is not None:
+            return sum(values)
+        if isinstance(node, ast.Dict):
+            total = 0.0
+            for value in node.values:
+                number = _literal_number(value)
+                if number is None:
+                    return None
+                total += number
+            return total
+        return None

@@ -1,0 +1,103 @@
+"""File discovery and rule execution."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from .context import FileContext
+from .findings import Finding
+from .registry import Rule, all_rules
+
+__all__ = ["SYNTAX_RULE_ID", "iter_python_files", "lint_source", "lint_file", "lint_paths"]
+
+#: Pseudo-rule id used for files that fail to parse.
+SYNTAX_RULE_ID = "SYN000"
+
+#: Directory names never descended into.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis", ".pytest_cache", ".mypy_cache", ".ruff_cache"})
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths`` (files or directories).
+
+    Skips cache directories, hidden directories, and ``*.egg-info``
+    trees.  Yields in sorted order for deterministic reports.
+
+    Raises:
+        FileNotFoundError: If a given path does not exist.
+    """
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+        if path.is_file():
+            yield path
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            parts = candidate.parts
+            if any(
+                part in _SKIP_DIRS or part.endswith(".egg-info") or part.startswith(".")
+                for part in parts[:-1]
+            ):
+                continue
+            yield candidate
+
+
+def lint_source(
+    source: str,
+    path: str = "<snippet>",
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint one source string; the workhorse behind file and path APIs.
+
+    Args:
+        source: Python source text.
+        path: Label used in findings and for directory-scope decisions.
+        select: Optional rule-id allowlist.
+        ignore: Optional rule-id denylist.
+
+    Returns:
+        Sorted findings, noqa suppressions already applied.  A syntax
+        error yields a single :data:`SYNTAX_RULE_ID` finding.
+    """
+    try:
+        ctx = FileContext(path, source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule=SYNTAX_RULE_ID,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    findings: List[Finding] = []
+    for rule in all_rules(select=select, ignore=ignore):
+        if rule.applies_to(ctx):
+            findings.extend(rule.check(ctx))
+    return sorted(ctx.filter_suppressed(findings))
+
+
+def lint_file(
+    path: Path,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint one file from disk."""
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, path=str(path), select=select, ignore=ignore)
+
+
+def lint_paths(
+    paths: Sequence[str],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint every Python file under ``paths``; returns sorted findings."""
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        findings.extend(lint_file(file_path, select=select, ignore=ignore))
+    return sorted(findings)

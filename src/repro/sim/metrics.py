@@ -14,6 +14,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..core.numeric import approx_le
+
 __all__ = [
     "TaskRecord",
     "StageUsage",
@@ -61,7 +63,9 @@ class TaskRecord:
         Incomplete tasks are judged by the caller against the horizon;
         see :meth:`SimulationReport.miss_ratio`.
         """
-        return self.completed_at is not None and self.completed_at > self.absolute_deadline + 1e-12
+        return self.completed_at is not None and not approx_le(
+            self.completed_at, self.absolute_deadline
+        )
 
     @property
     def response_time(self) -> Optional[float]:

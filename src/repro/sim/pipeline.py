@@ -20,6 +20,7 @@ counted in the miss ratio (the regime of Figures 4–7).
 
 from __future__ import annotations
 
+import math
 import random
 from collections import deque
 from typing import Deque, Dict, Iterable, List, Optional, Sequence
@@ -242,7 +243,7 @@ class PipelineSimulation:
         next_expiry = self.controller.next_expiry()
         if next_expiry <= self.sim.now:
             next_expiry = self.sim.now
-        if next_expiry == float("inf"):
+        if math.isinf(next_expiry):
             return
         self._expiry_retry_event = self.sim.at(next_expiry, self._expiry_retry)
 

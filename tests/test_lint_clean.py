@@ -1,0 +1,26 @@
+"""Tier-1 gate: the repository's own source must lint clean.
+
+Every future PR runs behind this test — a new unseeded RNG, raw float
+equality on a deadline, or an infeasible literal task set fails the
+suite, not just a style check.
+"""
+
+from pathlib import Path
+
+from repro.lint import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_src_lints_clean():
+    findings = lint_paths([str(REPO_ROOT / "src")])
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_examples_and_benchmarks_lint_clean():
+    # Examples and benchmarks sit outside the scoped packages, so only
+    # globally scoped rules apply — they must still hold.
+    findings = lint_paths(
+        [str(REPO_ROOT / "examples"), str(REPO_ROOT / "benchmarks")]
+    )
+    assert findings == [], "\n".join(f.render() for f in findings)

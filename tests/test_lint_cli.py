@@ -1,0 +1,172 @@
+"""CLI tests: JSON schema, exit codes, noqa suppression, path filtering."""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_DIR = REPO_ROOT / "src"
+
+BAD_SNIPPET = textwrap.dedent(
+    """
+    import random
+
+    def draw():
+        return random.random()
+    """
+)
+
+CLEAN_SNIPPET = textwrap.dedent(
+    """
+    import random
+
+    def draw(seed: int):
+        return random.Random(seed).random()
+    """
+)
+
+
+def run_lint(*args, cwd=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        capture_output=True,
+        text=True,
+        cwd=cwd or REPO_ROOT,
+        env=env,
+    )
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, tmp_path):
+        target = tmp_path / "clean.py"
+        target.write_text(CLEAN_SNIPPET)
+        proc = run_lint(str(target))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "no findings" in proc.stdout
+
+    def test_findings_exit_one(self, tmp_path):
+        target = tmp_path / "bad.py"
+        target.write_text(BAD_SNIPPET)
+        proc = run_lint(str(target))
+        assert proc.returncode == 1
+        assert "RNG001" in proc.stdout
+
+    def test_missing_path_exits_two(self):
+        proc = run_lint("definitely/does/not/exist")
+        assert proc.returncode == 2
+        assert "error" in proc.stderr
+
+    def test_unknown_rule_exits_two(self, tmp_path):
+        target = tmp_path / "clean.py"
+        target.write_text(CLEAN_SNIPPET)
+        proc = run_lint(str(target), "--select", "NOPE999")
+        assert proc.returncode == 2
+        assert "known rules" in proc.stderr
+
+
+class TestJsonFormat:
+    def test_schema(self, tmp_path):
+        target = tmp_path / "bad.py"
+        target.write_text(BAD_SNIPPET)
+        proc = run_lint(str(target), "--format=json")
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload["version"] == 1
+        assert payload["files_checked"] == 1
+        assert isinstance(payload["findings"], list) and payload["findings"]
+        finding = payload["findings"][0]
+        assert set(finding) == {"path", "line", "col", "rule", "message"}
+        assert finding["rule"] == "RNG001"
+        assert finding["path"] == str(target)
+        assert isinstance(finding["line"], int) and finding["line"] >= 1
+        assert payload["counts"] == {"RNG001": 1}
+
+    def test_clean_json_payload(self, tmp_path):
+        target = tmp_path / "clean.py"
+        target.write_text(CLEAN_SNIPPET)
+        proc = run_lint(str(target), "--format=json")
+        assert proc.returncode == 0
+        payload = json.loads(proc.stdout)
+        assert payload["findings"] == []
+        assert payload["counts"] == {}
+
+
+class TestNoqa:
+    def test_rule_specific_noqa_suppresses(self, tmp_path):
+        target = tmp_path / "suppressed.py"
+        target.write_text(
+            "import random\nx = random.random()  # repro: noqa[RNG001]\n"
+        )
+        assert run_lint(str(target)).returncode == 0
+
+    def test_bare_noqa_suppresses(self, tmp_path):
+        target = tmp_path / "suppressed.py"
+        target.write_text("import random\nx = random.random()  # repro: noqa\n")
+        assert run_lint(str(target)).returncode == 0
+
+    def test_mismatched_noqa_does_not_suppress(self, tmp_path):
+        target = tmp_path / "unsuppressed.py"
+        target.write_text(
+            "import random\nx = random.random()  # repro: noqa[MDL001]\n"
+        )
+        assert run_lint(str(target)).returncode == 1
+
+
+class TestPathFiltering:
+    def test_only_given_paths_are_linted(self, tmp_path):
+        (tmp_path / "bad.py").write_text(BAD_SNIPPET)
+        (tmp_path / "clean.py").write_text(CLEAN_SNIPPET)
+        proc = run_lint(str(tmp_path / "clean.py"))
+        assert proc.returncode == 0
+        proc = run_lint(str(tmp_path))
+        assert proc.returncode == 1
+        assert "bad.py" in proc.stdout
+        assert "clean.py" not in proc.stdout
+
+    def test_directory_recursion_skips_caches(self, tmp_path):
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "bad.py").write_text(BAD_SNIPPET)
+        (tmp_path / "clean.py").write_text(CLEAN_SNIPPET)
+        proc = run_lint(str(tmp_path))
+        assert proc.returncode == 0
+
+    def test_select_filters_rules(self, tmp_path):
+        target = tmp_path / "mixed.py"
+        target.write_text(
+            BAD_SNIPPET + "\ndef f(acc=[]):\n    return acc\n"
+        )
+        proc = run_lint(str(target), "--select", "MUT001", "--format=json")
+        payload = json.loads(proc.stdout)
+        assert set(payload["counts"]) == {"MUT001"}
+
+    def test_ignore_filters_rules(self, tmp_path):
+        target = tmp_path / "mixed.py"
+        target.write_text(
+            BAD_SNIPPET + "\ndef f(acc=[]):\n    return acc\n"
+        )
+        proc = run_lint(str(target), "--ignore", "RNG001", "--format=json")
+        payload = json.loads(proc.stdout)
+        assert set(payload["counts"]) == {"MUT001"}
+
+
+def test_list_rules_shows_catalog():
+    proc = run_lint("--list-rules")
+    assert proc.returncode == 0
+    for rule_id in (
+        "RNG001",
+        "DET001",
+        "FLT001",
+        "HEAP001",
+        "MUT001",
+        "MDL001",
+        "MDL002",
+        "MDL003",
+        "MDL004",
+    ):
+        assert rule_id in proc.stdout

@@ -1,0 +1,503 @@
+"""Per-rule unit tests: each rule fires on a minimal bad fixture and
+stays silent on a minimal good one."""
+
+import textwrap
+
+import pytest
+
+from repro.lint import Finding, all_rules, lint_source, rule_ids
+from repro.lint.runner import SYNTAX_RULE_ID
+
+
+def findings_for(source, rule, path="<snippet>"):
+    """Lint a dedented snippet with a single rule selected."""
+    return lint_source(textwrap.dedent(source), path=path, select=[rule])
+
+
+def rules_hit(source, path="<snippet>"):
+    return {f.rule for f in lint_source(textwrap.dedent(source), path=path)}
+
+
+# ----------------------------------------------------------------------
+# RNG001
+# ----------------------------------------------------------------------
+
+
+class TestRNG001:
+    def test_unseeded_random_instance_fires(self):
+        hits = findings_for(
+            """
+            import random
+            rng = random.Random()
+            """,
+            "RNG001",
+        )
+        assert len(hits) == 1
+        assert "seed" in hits[0].message
+
+    def test_module_level_draw_fires(self):
+        assert findings_for("import random\nx = random.uniform(0, 1)\n", "RNG001")
+
+    def test_module_level_seed_call_fires(self):
+        assert findings_for("import random\nrandom.seed(7)\n", "RNG001")
+
+    def test_system_random_fires(self):
+        assert findings_for("import random\nr = random.SystemRandom()\n", "RNG001")
+
+    def test_from_import_draw_fires(self):
+        assert findings_for(
+            "from random import expovariate\nx = expovariate(2.0)\n", "RNG001"
+        )
+
+    def test_aliased_module_fires(self):
+        assert findings_for("import random as rnd\nx = rnd.random()\n", "RNG001")
+
+    def test_seeded_instance_is_clean(self):
+        assert not findings_for(
+            """
+            import random
+            rng = random.Random(42)
+            x = rng.random()
+            """,
+            "RNG001",
+        )
+
+    def test_scoped_to_stochastic_packages(self):
+        bad = "import random\nx = random.random()\n"
+        assert findings_for(bad, "RNG001", path="src/repro/sim/workload.py")
+        assert findings_for(bad, "RNG001", path="src/repro/apps/tsce.py")
+        assert findings_for(bad, "RNG001", path="src/repro/experiments/fig4.py")
+        # Pure analysis code is out of scope for RNG001.
+        assert not findings_for(bad, "RNG001", path="src/repro/analysis/periodic.py")
+
+    def test_unrelated_random_name_is_clean(self):
+        # A local function named `random` on another object is not the module.
+        assert not findings_for("x = numpy.random()\n", "RNG001")
+
+
+# ----------------------------------------------------------------------
+# DET001
+# ----------------------------------------------------------------------
+
+
+class TestDET001:
+    def test_wall_clock_fires(self):
+        assert findings_for("import time\nnow = time.time()\n", "DET001")
+
+    def test_perf_counter_fires(self):
+        assert findings_for("import time\nt0 = time.perf_counter()\n", "DET001")
+
+    def test_datetime_now_fires(self):
+        assert findings_for(
+            "from datetime import datetime\nts = datetime.now()\n", "DET001"
+        )
+
+    def test_set_iteration_feeding_heappush_fires(self):
+        hits = findings_for(
+            """
+            import heapq
+            heap = []
+            for item in {3, 1, 2}:
+                heapq.heappush(heap, item)
+            """,
+            "DET001",
+        )
+        assert len(hits) == 1
+        assert "set" in hits[0].message
+
+    def test_set_call_iteration_feeding_heappush_fires(self):
+        assert findings_for(
+            """
+            import heapq
+            def rebuild(heap, items):
+                for item in set(items):
+                    heapq.heappush(heap, item)
+            """,
+            "DET001",
+        )
+
+    def test_sorted_iteration_is_clean(self):
+        assert not findings_for(
+            """
+            import heapq
+            def rebuild(heap, items):
+                for item in sorted(set(items)):
+                    heapq.heappush(heap, item)
+            """,
+            "DET001",
+        )
+
+    def test_simulation_clock_attribute_is_clean(self):
+        # sim.time / self.now attribute reads are simulation time, not host time.
+        assert not findings_for("now = sim.now\nt = self.time\n", "DET001")
+
+    def test_scoped_to_sim(self):
+        bad = "import time\nnow = time.time()\n"
+        assert findings_for(bad, "DET001", path="src/repro/sim/engine.py")
+        # Benchmarks legitimately measure wall time.
+        assert not findings_for(bad, "DET001", path="benchmarks/bench_fig4.py")
+
+
+# ----------------------------------------------------------------------
+# FLT001
+# ----------------------------------------------------------------------
+
+
+class TestFLT001:
+    def test_vocabulary_attributes_fire(self):
+        assert findings_for("ok = t.deadline == t.period\n", "FLT001")
+
+    def test_annotated_float_params_fire(self):
+        assert findings_for(
+            """
+            def same(a: float, b: float) -> bool:
+                return a == b
+            """,
+            "FLT001",
+        )
+
+    def test_inferred_assignment_chain_fires(self):
+        # r is float-typed through the wcet vocabulary; r_next through r.
+        assert findings_for(
+            """
+            def converge(task, limit):
+                r = task.wcet + task.blocking
+                for _ in range(limit):
+                    r_next = task.wcet + interference(r)
+                    if r_next == r:
+                        return r
+                    r = r_next
+            """,
+            "FLT001",
+        )
+
+    def test_not_eq_fires(self):
+        assert findings_for("changed = new_jitter != old_jitter\n", "FLT001")
+
+    def test_float_literal_comparison_fires(self):
+        assert findings_for(
+            """
+            def guard(utilization: float) -> bool:
+                return utilization == 1.0
+            """,
+            "FLT001",
+        )
+
+    def test_approx_eq_call_is_clean(self):
+        assert not findings_for(
+            "ok = approx_eq(t.deadline, t.period)\n", "FLT001"
+        )
+
+    def test_int_sentinel_comparison_is_clean(self):
+        # Comparing a float against the int literal 0 is the idiomatic
+        # exact "no computation" sentinel check.
+        assert not findings_for("empty = task.total_computation == 0\n", "FLT001")
+
+    def test_non_float_names_are_clean(self):
+        assert not findings_for("same = left == right\n", "FLT001")
+
+    def test_ordering_comparisons_are_clean(self):
+        assert not findings_for("late = t.deadline < t.period\n", "FLT001")
+
+    def test_noqa_suppresses(self):
+        assert not findings_for(
+            "ok = t.deadline == t.period  # repro: noqa[FLT001]\n", "FLT001"
+        )
+
+
+# ----------------------------------------------------------------------
+# HEAP001
+# ----------------------------------------------------------------------
+
+
+class TestHEAP001:
+    def test_tuple_without_tiebreak_fires(self):
+        hits = findings_for(
+            """
+            import heapq
+            def push(heap, deadline, task):
+                heapq.heappush(heap, (deadline, task))
+            """,
+            "HEAP001",
+        )
+        assert len(hits) == 1
+        assert "tie-break" in hits[0].message
+
+    def test_sequence_field_is_clean(self):
+        assert not findings_for(
+            """
+            import heapq
+            def push(heap, deadline, seq, task):
+                heapq.heappush(heap, (deadline, seq, task))
+            """,
+            "HEAP001",
+        )
+
+    def test_id_suffix_field_is_clean(self):
+        assert not findings_for(
+            """
+            import heapq
+            def push(heap, expiry, task):
+                heapq.heappush(heap, (expiry, task.task_id))
+            """,
+            "HEAP001",
+        )
+
+    def test_next_counter_call_is_clean(self):
+        assert not findings_for(
+            """
+            import heapq
+            import itertools
+            counter = itertools.count()
+            def push(heap, key, task):
+                heapq.heappush(heap, (key, next(counter), task))
+            """,
+            "HEAP001",
+        )
+
+    def test_non_tuple_push_is_clean(self):
+        assert not findings_for(
+            """
+            import heapq
+            def push(heap, handle):
+                heapq.heappush(heap, handle)
+            """,
+            "HEAP001",
+        )
+
+    def test_single_element_tuple_is_clean(self):
+        assert not findings_for(
+            "import heapq\nheapq.heappush(h, (t,))\n", "HEAP001"
+        )
+
+
+# ----------------------------------------------------------------------
+# MUT001
+# ----------------------------------------------------------------------
+
+
+class TestMUT001:
+    def test_list_default_fires(self):
+        assert findings_for("def f(acc=[]):\n    return acc\n", "MUT001")
+
+    def test_dict_default_fires(self):
+        assert findings_for("def f(cache={}):\n    return cache\n", "MUT001")
+
+    def test_set_constructor_default_fires(self):
+        assert findings_for("def f(seen=set()):\n    return seen\n", "MUT001")
+
+    def test_kwonly_default_fires(self):
+        assert findings_for("def f(*, acc=[]):\n    return acc\n", "MUT001")
+
+    def test_none_default_is_clean(self):
+        assert not findings_for(
+            """
+            def f(acc=None):
+                if acc is None:
+                    acc = []
+                return acc
+            """,
+            "MUT001",
+        )
+
+    def test_immutable_defaults_are_clean(self):
+        assert not findings_for("def f(a=0, b=(), c='x', d=None):\n    pass\n", "MUT001")
+
+
+# ----------------------------------------------------------------------
+# MDL001
+# ----------------------------------------------------------------------
+
+
+class TestMDL001:
+    def test_stage_cost_exceeding_deadline_fires(self):
+        hits = findings_for(
+            "t = make_task(0.0, deadline=2.0, computation_times=[1.0, 3.0])\n",
+            "MDL001",
+        )
+        assert len(hits) == 1
+        assert "stage-1" in hits[0].message
+
+    def test_positional_arguments_fire(self):
+        assert findings_for("t = make_task(0.0, 2.0, [3.0])\n", "MDL001")
+
+    def test_periodic_spec_implicit_deadline_uses_period(self):
+        assert findings_for(
+            "s = periodic_spec('radar', period=1.0, computation_times=[2.0])\n",
+            "MDL001",
+        )
+
+    def test_periodic_spec_explicit_deadline_overrides_period(self):
+        assert not findings_for(
+            "s = periodic_spec('radar', period=1.0, computation_times=[2.0], deadline=5.0)\n",
+            "MDL001",
+        )
+
+    def test_feasible_literals_are_clean(self):
+        assert not findings_for(
+            "t = make_task(0.0, deadline=10.0, computation_times=[1.0, 2.0])\n",
+            "MDL001",
+        )
+
+    def test_non_literal_arguments_are_skipped(self):
+        assert not findings_for(
+            "t = make_task(0.0, deadline=d, computation_times=costs)\n", "MDL001"
+        )
+
+
+# ----------------------------------------------------------------------
+# MDL002
+# ----------------------------------------------------------------------
+
+
+class TestMDL002:
+    def test_two_node_cycle_fires(self):
+        hits = findings_for(
+            """
+            g = TaskGraph(
+                resource_of={"a": 1, "b": 2},
+                edges=[("a", "b"), ("b", "a")],
+            )
+            """,
+            "MDL002",
+        )
+        assert len(hits) == 1
+        assert "cycle" in hits[0].message
+
+    def test_self_loop_fires(self):
+        assert findings_for(
+            'g = TaskGraph(resource_of={"a": 1}, edges=[("a", "a")])\n', "MDL002"
+        )
+
+    def test_longer_cycle_fires(self):
+        assert findings_for(
+            """
+            g = TaskGraph(
+                resource_of={"a": 1, "b": 2, "c": 3},
+                edges=[("a", "b"), ("b", "c"), ("c", "a")],
+            )
+            """,
+            "MDL002",
+        )
+
+    def test_dag_is_clean(self):
+        assert not findings_for(
+            """
+            g = TaskGraph(
+                resource_of={"a": 1, "b": 2, "c": 3},
+                edges=[("a", "b"), ("a", "c"), ("b", "c")],
+            )
+            """,
+            "MDL002",
+        )
+
+    def test_non_literal_edges_are_skipped(self):
+        assert not findings_for(
+            "g = TaskGraph(resource_of=r, edges=build_edges())\n", "MDL002"
+        )
+
+
+# ----------------------------------------------------------------------
+# MDL003
+# ----------------------------------------------------------------------
+
+
+class TestMDL003:
+    @pytest.mark.parametrize("alpha", ["0", "0.0", "-0.5", "1.5", "2"])
+    def test_out_of_range_alpha_fires(self, alpha):
+        assert findings_for(f"ok = is_pipeline_feasible(us, alpha={alpha})\n", "MDL003")
+
+    @pytest.mark.parametrize("alpha", ["1", "1.0", "0.5", "0.001"])
+    def test_valid_alpha_is_clean(self, alpha):
+        assert not findings_for(
+            f"ok = is_pipeline_feasible(us, alpha={alpha})\n", "MDL003"
+        )
+
+    def test_non_literal_alpha_is_skipped(self):
+        assert not findings_for(
+            "ok = is_pipeline_feasible(us, alpha=policy.alpha(ds))\n", "MDL003"
+        )
+
+
+# ----------------------------------------------------------------------
+# MDL004
+# ----------------------------------------------------------------------
+
+
+class TestMDL004:
+    def test_beta_list_summing_past_one_fires(self):
+        hits = findings_for(
+            "b = region_budget(alpha=1.0, betas=[0.6, 0.5])\n", "MDL004"
+        )
+        assert len(hits) == 1
+        assert "Eq. 15" in hits[0].message
+
+    def test_beta_dict_summing_past_one_fires(self):
+        assert findings_for(
+            'ok = graph.is_feasible(us, betas={"cpu": 0.7, "disk": 0.4})\n', "MDL004"
+        )
+
+    def test_single_beta_at_one_fires(self):
+        assert findings_for("bound = single_resource_bound(beta=1.0)\n", "MDL004")
+
+    def test_small_blocking_is_clean(self):
+        assert not findings_for(
+            "b = region_budget(alpha=1.0, betas=[0.1, 0.2])\n", "MDL004"
+        )
+
+    def test_non_literal_betas_are_skipped(self):
+        assert not findings_for(
+            "b = region_budget(alpha=1.0, betas=computed)\n", "MDL004"
+        )
+
+
+# ----------------------------------------------------------------------
+# Framework behavior
+# ----------------------------------------------------------------------
+
+
+class TestFramework:
+    def test_all_nine_rules_registered(self):
+        assert rule_ids() == [
+            "DET001",
+            "FLT001",
+            "HEAP001",
+            "MDL001",
+            "MDL002",
+            "MDL003",
+            "MDL004",
+            "MUT001",
+            "RNG001",
+        ]
+
+    def test_every_rule_has_summary_and_id(self):
+        for rule in all_rules():
+            assert rule.rule_id
+            assert rule.summary
+
+    def test_bare_noqa_suppresses_everything(self):
+        assert not rules_hit("rng = random.Random()  # repro: noqa\n")
+
+    def test_noqa_for_other_rule_does_not_suppress(self):
+        src = "import random\nrng = random.Random()  # repro: noqa[FLT001]\n"
+        assert "RNG001" in rules_hit(src)
+
+    def test_syntax_error_reported_as_finding(self):
+        findings = lint_source("def broken(:\n", path="bad.py")
+        assert [f.rule for f in findings] == [SYNTAX_RULE_ID]
+
+    def test_findings_sorted_and_stable(self):
+        src = textwrap.dedent(
+            """
+            import random
+            b = random.random()
+            a = random.random()
+            """
+        )
+        findings = lint_source(src, path="snippet.py")
+        assert findings == sorted(findings)
+        assert all(isinstance(f, Finding) for f in findings)
+
+    def test_unknown_select_raises(self):
+        with pytest.raises(KeyError):
+            lint_source("x = 1\n", select=["NOPE999"])

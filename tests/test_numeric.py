@@ -1,0 +1,190 @@
+"""Tests for repro.core.numeric and regression tests for its adopters.
+
+Each migration away from an ad-hoc tolerance or raw float equality has
+a regression test here proving the behavior the shared helpers must
+preserve (or deliberately improve).
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.comparison import PeriodicTaskParams, compare_periodic_admission
+from repro.analysis.periodic import harmonic_chain_count
+from repro.analysis.responsetime import holistic_pipeline_analysis
+from repro.core.admission import PipelineAdmissionController
+from repro.core.bounds import region_budget, stage_delay_factor
+from repro.core.numeric import EPS, approx_eq, approx_ge, approx_le
+from repro.sim.metrics import TaskRecord
+
+
+class TestApproxEq:
+    def test_exact_equality(self):
+        assert approx_eq(1.0, 1.0)
+        assert approx_eq(0.0, 0.0)
+
+    def test_within_tolerance(self):
+        assert approx_eq(1.0, 1.0 + 1e-12)
+        assert approx_eq(0.3, 0.1 + 0.2)
+
+    def test_outside_tolerance(self):
+        assert not approx_eq(1.0, 1.0 + 1e-6)
+        assert not approx_eq(0.0, 1e-6)
+
+    def test_relative_scaling_for_large_values(self):
+        # At magnitude 1e6 the tolerance scales: 1e6 * EPS = 1e-3.
+        assert approx_eq(1e6, 1e6 + 1e-4)
+        assert not approx_eq(1e6, 1e6 + 1.0)
+
+    def test_absolute_floor_for_small_values(self):
+        # Near zero the floor max(1, ...) keeps the tolerance at EPS.
+        assert approx_eq(1e-15, 2e-15)
+        assert not approx_eq(0.0, 2 * EPS)
+
+    def test_infinities(self):
+        assert approx_eq(math.inf, math.inf)
+        assert approx_eq(-math.inf, -math.inf)
+        assert not approx_eq(math.inf, -math.inf)
+        assert not approx_eq(math.inf, 1e300)
+
+    def test_nan_never_equal(self):
+        assert not approx_eq(math.nan, math.nan)
+        assert not approx_eq(math.nan, 0.0)
+
+    def test_custom_tolerance(self):
+        assert approx_eq(1.0, 1.1, tol=0.2)
+        assert not approx_eq(1.0, 1.1, tol=0.01)
+
+
+class TestApproxLeGe:
+    def test_strictly_less(self):
+        assert approx_le(1.0, 2.0)
+        assert not approx_ge(1.0, 2.0)
+
+    def test_strictly_greater(self):
+        assert not approx_le(2.0, 1.0)
+        assert approx_ge(2.0, 1.0)
+
+    def test_within_tolerance_counts_as_equal(self):
+        assert approx_le(1.0 + 1e-12, 1.0)
+        assert approx_ge(1.0 - 1e-12, 1.0)
+
+    def test_infinite_bounds(self):
+        assert approx_le(5.0, math.inf)
+        assert approx_ge(math.inf, 5.0)
+        assert approx_le(math.inf, math.inf)
+
+
+class TestHarmonicToleranceRegression:
+    """periodic.py:_is_harmonic migrated from ad-hoc 1e-9 to EPS."""
+
+    def test_harmonic_with_float_noise(self):
+        # 0.30000000000000004 vs 0.1: ratio is 3 within EPS.
+        periods = [0.1, 0.1 + 0.2]
+        assert harmonic_chain_count(periods) == 1
+
+    def test_non_harmonic_detected(self):
+        assert harmonic_chain_count([2.0, 3.0]) == 2
+
+
+class TestImplicitDeadlineRegression:
+    """comparison.py migrated ``deadline == period`` to approx_eq."""
+
+    def test_float_noise_still_counts_as_implicit(self):
+        # deadline differs from period by one ulp-scale error; the L&L
+        # and hyperbolic tests must still be evaluated (not skipped).
+        tasks = [PeriodicTaskParams(period=0.3, wcet=0.05, deadline=0.1 + 0.2)]
+        result = compare_periodic_admission(tasks)
+        assert result.liu_layland  # would be False if treated as constrained
+
+    def test_constrained_deadline_skips_periodic_bounds(self):
+        tasks = [PeriodicTaskParams(period=10.0, wcet=1.0, deadline=5.0)]
+        result = compare_periodic_admission(tasks)
+        assert not result.liu_layland
+        assert not result.hyperbolic
+
+
+class TestDeadlineMissToleranceRegression:
+    """metrics.py migrated ``> deadline + 1e-12`` to approx_le."""
+
+    def _record(self, completed_at):
+        return TaskRecord(
+            task_id=0,
+            arrival_time=0.0,
+            deadline=10.0,
+            admitted=True,
+            admitted_at=0.0,
+            completed_at=completed_at,
+        )
+
+    def test_on_time_not_missed(self):
+        assert not self._record(10.0).missed
+
+    def test_sub_eps_overrun_not_missed(self):
+        assert not self._record(10.0 + 1e-12).missed
+
+    def test_real_overrun_missed(self):
+        assert self._record(10.0 + 1e-6).missed
+        assert self._record(11.0).missed
+
+    def test_incomplete_not_missed(self):
+        assert not self._record(None).missed
+
+
+class TestReservationBudgetToleranceRegression:
+    """admission.py migrated ``> budget + 1e-12`` to approx_le."""
+
+    def test_reservation_exactly_at_budget_accepted(self):
+        # Reserve a utilization whose f-value equals the full budget up
+        # to float noise: f(2 - sqrt(2)) == 1 analytically.
+        u = 2.0 - math.sqrt(2.0)
+        controller = PipelineAdmissionController(num_stages=1, reserved=[u])
+        assert controller.utilizations()[0] == pytest.approx(u)
+
+    def test_reservation_over_budget_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineAdmissionController(num_stages=1, reserved=[0.9])
+
+
+class TestStageDelaySingularityRegression:
+    """bounds.py replaced ``u == 1.0`` with a >= singularity guard."""
+
+    def test_exactly_one_is_infinite(self):
+        assert stage_delay_factor(1.0) == math.inf
+
+    def test_just_below_one_is_finite(self):
+        value = stage_delay_factor(math.nextafter(1.0, 0.0))
+        assert math.isfinite(value)
+        assert value > 1e10
+
+    def test_above_one_raises(self):
+        with pytest.raises(ValueError):
+            stage_delay_factor(1.0 + 1e-9)
+
+
+class TestHolisticFixedPointRegression:
+    """responsetime.py fixed-point checks migrated to approx_eq."""
+
+    def test_converges_on_awkward_floats(self):
+        result = holistic_pipeline_analysis(
+            periods=[0.1 + 0.2, 1.0 / 3.0, 0.7],
+            stage_wcets=[[0.01, 0.02], [0.03, 0.01], [0.05, 0.04]],
+            end_to_end_deadlines=[0.3, 1.0 / 3.0, 0.7],
+        )
+        assert result.iterations < 200  # reached a fixed point, not the cap
+        assert all(result.schedulable)
+
+    def test_overload_reported_unschedulable(self):
+        result = holistic_pipeline_analysis(
+            periods=[1.0, 1.0],
+            stage_wcets=[[0.9], [0.9]],
+            end_to_end_deadlines=[1.0, 1.0],
+        )
+        assert not all(result.schedulable)
+
+
+def test_region_budget_blocking_guard_unchanged():
+    # Companion invariant to lint rule MDL004: runtime validation still
+    # rejects blocking sums >= 1.
+    with pytest.raises(ValueError):
+        region_budget(alpha=1.0, betas=[0.5, 0.5])
