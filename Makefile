@@ -5,10 +5,14 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint typecheck check
+.PHONY: test lint typecheck check chaos
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Fast chaos suite: every named fault scenario, deterministic at seed 0.
+chaos:
+	$(PYTHON) -m repro.faults --scenario all --seed 0
 
 lint:
 	$(PYTHON) -m repro.lint src examples benchmarks

@@ -1,0 +1,110 @@
+"""Overhead benchmarks for the robustness layer.
+
+Two costs the chaos subsystem adds to the hot path:
+
+- admission throughput with the periodic invariant auditor armed vs
+  disarmed (the auditor re-sums every tracker, so its period bounds the
+  amortized per-request overhead);
+- raw admission request rate through a controller whose notifications
+  pass through the fault-injection wrappers (empty schedule — the
+  wrappers are not even installed, measuring the zero-fault fast path).
+"""
+
+import random
+
+from repro.core.audit import ControllerAuditor
+from repro.faults import DropNotification, FaultInjector, FaultSchedule
+from repro.sim.pipeline import PipelineSimulation
+
+from conftest import run_once
+
+NUM_STAGES = 3
+HORIZON = 400.0
+
+
+def _offered(seed, num_stages=NUM_STAGES, load=0.9, horizon=HORIZON):
+    rng = random.Random(seed)
+    mean_cost = 0.5
+    rate = load / (num_stages * mean_cost)
+    from repro.core.task import make_task
+
+    t = 0.0
+    tasks = []
+    while True:
+        t += rng.expovariate(rate)
+        if t >= horizon:
+            break
+        tasks.append(
+            make_task(
+                t,
+                rng.uniform(5.0, 15.0),
+                [rng.expovariate(1.0 / mean_cost) for _ in range(num_stages)],
+            )
+        )
+    return tasks
+
+
+def _run(audit_period):
+    pipeline = PipelineSimulation(NUM_STAGES)
+    pipeline.offer_stream(_offered(seed=5))
+    injector = FaultInjector(
+        pipeline, FaultSchedule(), audit_period=audit_period
+    )
+    injector.install()
+    report = pipeline.run(HORIZON)
+    return report, injector
+
+
+def test_admission_throughput_auditor_off(benchmark):
+    report, injector = run_once(benchmark, _run, audit_period=None)
+    assert report.generated > 200
+    # Only the explicit final audit may run.
+    assert injector.auditor.audits_run == 0
+
+
+def test_admission_throughput_auditor_on(benchmark):
+    report, injector = run_once(benchmark, _run, audit_period=5.0)
+    assert report.generated > 200
+    assert injector.auditor.audits_run >= HORIZON / 5.0 - 1
+    # A fault-free run must audit clean every single time.
+    assert injector.auditor.violations_found == 0
+
+
+def test_admission_throughput_with_drop_wrappers(benchmark):
+    def run():
+        pipeline = PipelineSimulation(NUM_STAGES)
+        pipeline.offer_stream(_offered(seed=5))
+        # Wrappers installed but windowed out: measures interception
+        # cost alone.
+        schedule = FaultSchedule(
+            drops=[
+                DropNotification(
+                    kind="departure",
+                    probability=1.0,
+                    start=HORIZON * 10,
+                    end=HORIZON * 20,
+                )
+            ]
+        )
+        FaultInjector(pipeline, schedule, seed=1).install()
+        return pipeline.run(HORIZON)
+
+    report = run_once(benchmark, run)
+    assert report.miss_ratio() == 0.0
+
+
+def test_standalone_audit_cost(benchmark):
+    pipeline = PipelineSimulation(NUM_STAGES)
+    pipeline.offer_stream(_offered(seed=5, horizon=100.0))
+    pipeline.run(50.0)  # leave live admitted state behind
+    auditor = ControllerAuditor(pipeline.controller)
+
+    def audit():
+        return auditor.audit(
+            50.0,
+            frontier=pipeline.frontier(),
+            idle_stages=pipeline.idle_stages(),
+        )
+
+    violations = run_once(benchmark, audit)
+    assert violations == []

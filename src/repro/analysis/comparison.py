@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..core.bounds import stage_delay_factor
-from ..core.numeric import approx_eq
+from ..core.numeric import approx_eq, approx_le
 from .periodic import hyperbolic_bound_holds, is_liu_layland_schedulable
 from .responsetime import PeriodicStageTask, response_time_analysis
 from .singlenode import is_uniprocessor_feasible
@@ -160,7 +160,7 @@ def compare_periodic_admission(
     ]
     responses = response_time_analysis(rta_tasks)
     rta_ok = all(
-        r is not None and r <= t.effective_deadline
+        r is not None and approx_le(r, t.effective_deadline)
         for r, t in zip(responses, tasks)
     )
     return AdmissionComparison(

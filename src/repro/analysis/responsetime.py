@@ -25,7 +25,7 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from ..core.numeric import approx_eq
+from ..core.numeric import approx_eq, approx_le
 
 __all__ = [
     "PeriodicStageTask",
@@ -119,7 +119,7 @@ def response_time_analysis(
             r = r_next
             # Early exit: response time already exceeds any bound of
             # interest by far (divergent under overload).
-            if r > 1e6 * max(task.effective_deadline, task.period):
+            if r > 1e6 * max(task.effective_deadline, task.period):  # repro: noqa[FLT002] — coarse divergence guard, not a boundary decision
                 break
         results.append(r if converged else None)
     return results
@@ -234,7 +234,7 @@ def holistic_pipeline_analysis(
         else:
             total = sum(response[i])  # type: ignore[arg-type]
             end_to_end.append(total)
-            schedulable.append(total <= end_to_end_deadlines[i])
+            schedulable.append(approx_le(total, end_to_end_deadlines[i]))
     return HolisticResult(
         response_times=response,
         end_to_end=end_to_end,

@@ -19,6 +19,7 @@ from ..core.bounds import (
     region_budget,
     stage_delay_factor,
 )
+from ..core.numeric import approx_le
 
 __all__ = [
     "uniprocessor_bound",
@@ -49,7 +50,7 @@ def is_uniprocessor_feasible(
     if utilization >= 1.0:
         return False
     betas = [beta] if beta else None
-    return stage_delay_factor(utilization) <= region_budget(alpha, betas)
+    return approx_le(stage_delay_factor(utilization), region_budget(alpha, betas))
 
 
 def max_admissible_contribution(

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
+from ..core.numeric import approx_le
 from ..core.reservation import CriticalTask, ReservationPlan, build_reservation
 from ..core.task import PeriodicTaskSpec, periodic_spec
 from ..sim.pipeline import PipelineSimulation
@@ -377,7 +378,7 @@ def simulate_self_defense_scenario(
         if r.task_id not in set(urgent_ids) and not r.shed
     ]
     judged = [
-        r for r in routine_records if r.admitted and r.absolute_deadline <= horizon
+        r for r in routine_records if r.admitted and approx_le(r.absolute_deadline, horizon)
     ]
     missed = sum(1 for r in judged if r.missed or r.completed_at is None)
     return SelfDefenseResult(
@@ -388,7 +389,7 @@ def simulate_self_defense_scenario(
             if r.admitted
             and (
                 r.missed
-                or (r.completed_at is None and r.absolute_deadline <= horizon)
+                or (r.completed_at is None and approx_le(r.absolute_deadline, horizon))
             )
         ),
         shed_tasks=report.shed_count,

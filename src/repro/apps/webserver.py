@@ -17,10 +17,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterator, Sequence, Tuple
+from typing import Dict, Iterator, Optional, Sequence, Tuple
 
 from ..core.bounds import pipeline_region_value, region_budget
+from ..core.numeric import EPS
 from ..core.task import PipelineTask, make_task
+from ..faults.degradation import BrownoutConfig, BrownoutController
 from ..sim.metrics import SimulationReport
 from ..sim.pipeline import PipelineSimulation
 
@@ -170,7 +172,9 @@ class WebServerModel:
         per_rate = [u / self.arrival_rate for u in self.offered_tier_loads()]
 
         def value(rate: float) -> float:
-            utils = [min(rate * u, 1.0 - 1e-12) for u in per_rate]
+            # Clamp just inside the f(U) pole at U = 1 using the shared
+            # numeric tolerance, so the bisection bracket stays finite.
+            utils = [min(rate * u, 1.0 - EPS) for u in per_rate]
             return pipeline_region_value(utils)
 
         lo, hi = 0.0, 1.0
@@ -224,6 +228,48 @@ class WebServerModel:
         rng = random.Random(seed)
         sim.offer_stream(self.requests(horizon, rng))
         return sim.run(horizon, warmup=horizon * warmup_fraction)
+
+    def simulate_brownout(
+        self,
+        horizon: float = 60.0,
+        seed: int = 0,
+        warmup_fraction: float = 0.05,
+        config: Optional[BrownoutConfig] = None,
+    ) -> Tuple[SimulationReport, BrownoutController]:
+        """Run the server with brownout-mode load shedding.
+
+        Under sustained overload the brownout controller sheds whole
+        request classes in increasing order of importance *before* the
+        admission test, so the feasible-region headroom is spent on the
+        traffic that matters (transactional over dynamic over static)
+        instead of first-come-first-served.
+
+        Args:
+            horizon: Simulated seconds.
+            seed: RNG seed (same seed as :meth:`simulate` replays the
+                identical request stream).
+            warmup_fraction: Fraction of the horizon excluded from
+                utilization measurement.
+            config: Brownout control-loop parameters; the default sheds
+                up to all classes below the most important one.
+
+        Returns:
+            The simulation report and the brownout controller (for shed
+            counters and the level history).
+        """
+        if config is None:
+            config = BrownoutConfig(
+                max_level=max(c.importance for c in self.request_mix)
+            )
+        sim = PipelineSimulation(
+            num_stages=len(TIERS),
+            max_admission_wait=self.admission_wait,
+        )
+        brownout = BrownoutController(sim, config).install()
+        rng = random.Random(seed)
+        brownout.offer_stream(self.requests(horizon, rng))
+        report = sim.run(horizon, warmup=horizon * warmup_fraction)
+        return report, brownout
 
     def per_class_accept_ratios(self, report: SimulationReport) -> Dict[str, float]:
         """Accept ratio per request class (classes keyed by importance)."""

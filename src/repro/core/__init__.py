@@ -15,7 +15,10 @@ implements the paper's primary contribution:
   for arbitrary task graphs;
 - :mod:`repro.core.regions` — region objects with boundary geometry;
 - :mod:`repro.core.admission` — the O(N) admission controller with
-  reservations, shedding, and approximate (mean-demand) mode;
+  reservations, shedding, capacity-aware degradation, state resync,
+  and approximate (mean-demand) mode;
+- :mod:`repro.core.audit` — invariant auditing of the controller's
+  bookkeeping state against ground truth;
 - :mod:`repro.core.reservation` — Section-5 reservation planning.
 """
 
@@ -25,8 +28,10 @@ from .admission import (
     ExactDemand,
     MeanDemand,
     PipelineAdmissionController,
+    ResyncReport,
     ScaledDemand,
 )
+from .audit import AUDIT_KINDS, ControllerAuditor, InvariantViolation
 from .alpha import (
     alpha_deadline_monotonic,
     alpha_for_policy,
@@ -123,6 +128,11 @@ __all__ = [
     "ExactDemand",
     "MeanDemand",
     "ScaledDemand",
+    "ResyncReport",
+    # audit
+    "ControllerAuditor",
+    "InvariantViolation",
+    "AUDIT_KINDS",
     # reservation
     "CriticalTask",
     "ReservationPlan",

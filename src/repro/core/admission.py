@@ -34,7 +34,7 @@ from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from .bounds import region_budget, stage_delay_factor
-from .numeric import approx_le
+from .numeric import approx_ge, approx_le
 from .synthetic import StageUtilizationTracker
 from .task import PipelineTask
 
@@ -44,6 +44,7 @@ __all__ = [
     "MeanDemand",
     "ScaledDemand",
     "AdmissionDecision",
+    "ResyncReport",
     "PipelineAdmissionController",
 ]
 
@@ -136,6 +137,27 @@ class AdmissionDecision:
     shed: Tuple[Hashable, ...] = ()
 
 
+@dataclass(frozen=True)
+class ResyncReport:
+    """What :meth:`PipelineAdmissionController.resync` changed.
+
+    Attributes:
+        restored: Number of (stage, task) contributions re-installed.
+        departures_marked: Contributions re-marked as departed from the
+            ground-truth frontier (recovering lost departure
+            notifications).
+        dropped_orphans: Stage contributions removed because no admitted
+            record justifies them.
+        dropped_expired: Admitted records discarded because their
+            deadline had passed.
+    """
+
+    restored: int
+    departures_marked: int
+    dropped_orphans: int
+    dropped_expired: int
+
+
 @dataclass
 class _Admitted:
     """Internal record of an admitted task's live contributions."""
@@ -201,6 +223,12 @@ class PipelineAdmissionController:
         self.budget = region_budget(alpha, betas)
         self.demand_model = demand_model if demand_model is not None else ExactDemand()
         self.reset_on_idle = reset_on_idle
+        # Remaining processing capacity per stage, in [0, 1].  1.0 is
+        # nominal; a degraded stage (graceful-degradation layer) serves
+        # at a fraction of its speed, so admitted work must be charged
+        # proportionally more synthetic utilization; 0.0 marks a full
+        # outage, under which nothing new is admitted through the stage.
+        self._capacities: List[float] = [1.0] * num_stages
         self.trackers = [StageUtilizationTracker(r) for r in reserved]
         self._admitted: Dict[Hashable, _Admitted] = {}
         # Min-heap of (expiry, task_id) so expire() is amortized
@@ -238,6 +266,51 @@ class PipelineAdmissionController:
     def admitted_count(self) -> int:
         """Number of tasks with live contributions."""
         return len(self._admitted)
+
+    def stage_capacities(self) -> Tuple[float, ...]:
+        """Declared remaining capacity per stage (1.0 = nominal)."""
+        return tuple(self._capacities)
+
+    def admitted_expiry(self, task_id: Hashable) -> Optional[float]:
+        """Absolute deadline of an admitted task (``None`` if not admitted)."""
+        record = self._admitted.get(task_id)
+        return None if record is None else record.expiry
+
+    def admitted_snapshot(self) -> Dict[Hashable, Tuple[float, ...]]:
+        """Contribution vectors of every admitted task (read-only copy)."""
+        return {
+            task_id: record.contributions
+            for task_id, record in self._admitted.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Degradation
+    # ------------------------------------------------------------------
+
+    def set_stage_capacity(self, stage: int, capacity: float) -> None:
+        """Declare that ``stage`` now serves at ``capacity`` of nominal speed.
+
+        Capacity-aware region rescaling: a stage running at capacity
+        ``c`` needs ``C_ij / c`` time units to serve a demand of
+        ``C_ij``, so future admission tests charge the inflated
+        contribution ``C_ij / (c * D_i)``.  Contributions of already
+        admitted tasks are left untouched — the test degrades gracefully
+        rather than retroactively revoking admissions.
+
+        ``capacity = 0.0`` marks a full outage: every admission through
+        the stage is rejected until capacity is restored.
+
+        Args:
+            stage: Stage index.
+            capacity: Fraction of nominal speed in ``[0, 1]``.
+
+        Raises:
+            ValueError: If ``capacity`` is outside ``[0, 1]`` or not
+                finite.
+        """
+        if not math.isfinite(capacity) or not (0.0 <= capacity <= 1.0):
+            raise ValueError(f"capacity must be in [0, 1], got {capacity}")
+        self._capacities[stage] = capacity
 
     # ------------------------------------------------------------------
     # Admission
@@ -356,6 +429,71 @@ class PipelineAdmissionController:
         return min((t.next_expiry() for t in self.trackers), default=math.inf)
 
     # ------------------------------------------------------------------
+    # Self-healing
+    # ------------------------------------------------------------------
+
+    def resync(self, now: float, frontier: Dict[Hashable, int]) -> ResyncReport:
+        """Rebuild tracker state from the ground-truth set of in-flight tasks.
+
+        Recovery path for lost ``notify_subtask_departure`` /
+        ``notify_stage_idle`` events (or any other bookkeeping
+        corruption): the canonical synthetic-utilization state is a pure
+        function of the admitted records and each task's execution
+        frontier, so it can be reconstructed wholesale.
+
+        For every unexpired admitted task the contribution vector is
+        re-installed; stages the task has already departed (``stage <
+        frontier``) are re-marked departed so the next idle instant
+        releases them, per the Section-4 reset rule.  Contributions with
+        no admitted record (orphans) and records past their deadline are
+        dropped.
+
+        Args:
+            now: Current time (expired records are discarded first).
+            frontier: Ground truth per live task: the stage index the
+                task currently occupies (``num_stages`` once it has left
+                the last stage).  Tasks absent from the mapping are
+                treated as fully departed.
+
+        Returns:
+            A :class:`ResyncReport` summarizing the rebuild.
+        """
+        self.expire(now)
+        expired = [
+            task_id
+            for task_id, record in self._admitted.items()
+            if record.expiry <= now
+        ]
+        for task_id in expired:
+            del self._admitted[task_id]
+        live = set(self._admitted)
+        orphans = sum(
+            len(tracker.tracked_ids() - live) for tracker in self.trackers
+        )
+        for tracker in self.trackers:
+            tracker.clear()
+        self._expiry_heap = []
+        restored = 0
+        departures = 0
+        for task_id, record in self._admitted.items():
+            stage_frontier = frontier.get(task_id, self.num_stages)
+            for j, (tracker, contribution) in enumerate(
+                zip(self.trackers, record.contributions)
+            ):
+                tracker.add(task_id, contribution, record.expiry)
+                restored += 1
+                if j < stage_frontier:
+                    tracker.mark_departed(task_id)
+                    departures += 1
+            heapq.heappush(self._expiry_heap, (record.expiry, task_id))
+        return ResyncReport(
+            restored=restored,
+            departures_marked=departures,
+            dropped_orphans=orphans,
+            dropped_expired=len(expired),
+        )
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 
@@ -366,16 +504,26 @@ class PipelineAdmissionController:
                 f"task {task.task_id} has {len(demand)} stages, controller has "
                 f"{self.num_stages}"
             )
-        return tuple(c / task.deadline for c in demand)
+        contributions = []
+        for c, capacity in zip(demand, self._capacities):
+            if capacity == 1.0:
+                contributions.append(c / task.deadline)
+            elif capacity == 0.0:
+                # Outage: an infinite charge can never fit, so the task
+                # is rejected by _fits before anything is installed.
+                contributions.append(math.inf)
+            else:
+                contributions.append(c / (capacity * task.deadline))
+        return tuple(contributions)
 
     def _fits(self, contributions: Tuple[float, ...]) -> bool:
         value = 0.0
         for tracker, extra in zip(self.trackers, contributions):
             u = tracker.value + extra
-            if u >= 1.0:
+            if approx_ge(u, 1.0):
                 return False
             value += stage_delay_factor(u)
-            if value > self.budget:
+            if not approx_le(value, self.budget):
                 return False
         return True
 

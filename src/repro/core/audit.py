@@ -1,0 +1,231 @@
+"""Invariant auditing for the admission controller's bookkeeping state.
+
+The zero-miss guarantee rests on the synthetic-utilization counters
+being *exactly* the bookkeeping of Section 4: one contribution
+``C_ij / D_i`` per current task per stage, removed at deadline expiry,
+and released at stage-idle instants for departed tasks.  In a real
+deployment (and in the chaos harness of :mod:`repro.faults`) that
+bookkeeping is fed by notifications that can be lost, duplicated, or
+delayed — so the controller's view silently drifts away from ground
+truth and the admission test becomes either unsafe or needlessly
+pessimistic.
+
+:class:`ControllerAuditor` checks two families of invariants:
+
+*Internal consistency* (no ground truth needed):
+
+- ``sum-drift`` — a tracker's incremental running sum disagrees with an
+  exact re-summation of its contributions (floating-point corruption or
+  a bookkeeping bug);
+- ``negative-utilization`` — the running sum is materially negative
+  (double removal);
+- ``orphan-contribution`` — a stage holds a contribution for a task the
+  controller has no admitted record of;
+- ``expired-contribution`` — a contribution outlived its task's
+  deadline even after ``expire(now)`` ran (expiry-heap corruption).
+
+*Ground-truth cross-checks* (fed by the simulation or a monitoring
+layer):
+
+- ``missed-departure`` — ground truth says the task departed the stage
+  but the tracker never recorded it, so the idle-reset rule cannot
+  release the contribution (a lost ``notify_subtask_departure``);
+- ``missed-idle-reset`` — the stage is idle but departed contributions
+  are still counted (a lost ``notify_stage_idle``).
+
+Recovery is :meth:`~repro.core.admission.PipelineAdmissionController.resync`,
+which rebuilds the canonical state from the same ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional
+
+from .admission import PipelineAdmissionController
+from .numeric import EPS
+
+__all__ = ["InvariantViolation", "ControllerAuditor", "AUDIT_KINDS"]
+
+#: Every violation kind the auditor can emit, in report order.
+AUDIT_KINDS = (
+    "sum-drift",
+    "negative-utilization",
+    "orphan-contribution",
+    "expired-contribution",
+    "missed-departure",
+    "missed-idle-reset",
+)
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One detected invariant breach.
+
+    Attributes:
+        kind: One of :data:`AUDIT_KINDS`.
+        stage: Stage index the violation anchors to (or ``None``).
+        task_id: Task involved (or ``None`` for stage-level checks).
+        detail: Human-readable specifics.
+    """
+
+    kind: str
+    stage: Optional[int]
+    task_id: Optional[Hashable]
+    detail: str
+
+    def render(self) -> str:
+        where = f"stage {self.stage}" if self.stage is not None else "controller"
+        who = f" task {self.task_id}" if self.task_id is not None else ""
+        return f"[{self.kind}] {where}{who}: {self.detail}"
+
+
+class ControllerAuditor:
+    """Audits a :class:`PipelineAdmissionController` against its invariants.
+
+    Args:
+        controller: The controller under audit.
+        tolerance: Absolute slack allowed on sum comparisons; defaults
+            to the shared :data:`repro.core.numeric.EPS`.
+    """
+
+    def __init__(
+        self,
+        controller: PipelineAdmissionController,
+        tolerance: float = EPS,
+    ) -> None:
+        self.controller = controller
+        self.tolerance = tolerance
+        self.audits_run = 0
+        self.violations_found = 0
+
+    def audit(
+        self,
+        now: float,
+        frontier: Optional[Dict[Hashable, int]] = None,
+        idle_stages: Optional[Iterable[int]] = None,
+    ) -> List[InvariantViolation]:
+        """Run every applicable check and return the violations.
+
+        ``expire(now)`` is applied first — lazily pending expirations
+        are normal operation, not corruption, so the auditor must not
+        report them.
+
+        Args:
+            now: Current time.
+            frontier: Ground-truth execution frontier per live task (the
+                stage index each task currently occupies;
+                ``num_stages`` once fully departed).  ``None`` skips the
+                ``missed-departure`` cross-check.
+            idle_stages: Ground-truth indices of currently idle stages.
+                ``None`` skips the ``missed-idle-reset`` cross-check.
+
+        Returns:
+            All violations found, internal checks first.
+        """
+        controller = self.controller
+        controller.expire(now)
+        violations: List[InvariantViolation] = []
+        admitted = controller.admitted_snapshot()
+        for j, tracker in enumerate(controller.trackers):
+            incremental, exact = tracker.audit_sums()
+            if abs(incremental - exact) > self.tolerance * max(1.0, abs(exact)):
+                violations.append(
+                    InvariantViolation(
+                        "sum-drift",
+                        j,
+                        None,
+                        f"incremental sum {incremental!r} != exact sum {exact!r}",
+                    )
+                )
+            if incremental < -self.tolerance:
+                violations.append(
+                    InvariantViolation(
+                        "negative-utilization",
+                        j,
+                        None,
+                        f"running sum is {incremental!r}",
+                    )
+                )
+            for task_id in sorted(tracker.tracked_ids(), key=repr):
+                if task_id not in admitted:
+                    violations.append(
+                        InvariantViolation(
+                            "orphan-contribution",
+                            j,
+                            task_id,
+                            f"contribution {tracker.contribution_of(task_id)!r} "
+                            "has no admitted record",
+                        )
+                    )
+        violations.extend(self._check_expired(now))
+        if frontier is not None:
+            violations.extend(self._check_departures(frontier))
+        if idle_stages is not None:
+            violations.extend(self._check_idle(idle_stages))
+        self.audits_run += 1
+        self.violations_found += len(violations)
+        return violations
+
+    # ------------------------------------------------------------------
+    # Individual checks
+    # ------------------------------------------------------------------
+
+    def _check_expired(self, now: float) -> List[InvariantViolation]:
+        violations: List[InvariantViolation] = []
+        for task_id, record in self.controller._admitted.items():
+            if record.expiry <= now:
+                violations.append(
+                    InvariantViolation(
+                        "expired-contribution",
+                        None,
+                        task_id,
+                        f"record expired at {record.expiry!r} but survived "
+                        f"expire({now!r})",
+                    )
+                )
+        return violations
+
+    def _check_departures(
+        self, frontier: Dict[Hashable, int]
+    ) -> List[InvariantViolation]:
+        """Cross-check departed-stage marks against the execution frontier."""
+        violations: List[InvariantViolation] = []
+        controller = self.controller
+        for task_id, record in controller._admitted.items():
+            stage_frontier = frontier.get(task_id, controller.num_stages)
+            for j in range(min(stage_frontier, controller.num_stages)):
+                tracker = controller.trackers[j]
+                if task_id in tracker and not tracker.is_departed(task_id):
+                    violations.append(
+                        InvariantViolation(
+                            "missed-departure",
+                            j,
+                            task_id,
+                            "task departed this stage but was never marked "
+                            "departed — a lost notify_subtask_departure",
+                        )
+                    )
+        return violations
+
+    def _check_idle(
+        self, idle_stages: Iterable[int]
+    ) -> List[InvariantViolation]:
+        """An idle stage must not be holding departed contributions."""
+        violations: List[InvariantViolation] = []
+        if not self.controller.reset_on_idle:
+            return violations
+        for j in sorted(set(idle_stages)):
+            pending = self.controller.trackers[j].pending_idle_release()
+            if pending > self.tolerance:
+                violations.append(
+                    InvariantViolation(
+                        "missed-idle-reset",
+                        j,
+                        None,
+                        f"stage is idle but {pending!r} of departed "
+                        "utilization is still counted — a lost "
+                        "notify_stage_idle",
+                    )
+                )
+        return violations

@@ -29,6 +29,8 @@ from __future__ import annotations
 import math
 from typing import Iterable, Optional, Sequence
 
+from .numeric import approx_le
+
 __all__ = [
     "stage_delay_factor",
     "inverse_stage_delay_factor",
@@ -163,7 +165,7 @@ def is_pipeline_feasible(
         alpha: Urgency-inversion parameter (1 for deadline-monotonic).
         betas: Optional per-stage normalized blocking terms.
     """
-    return pipeline_region_value(utilizations) <= region_budget(alpha, betas)
+    return approx_le(pipeline_region_value(utilizations), region_budget(alpha, betas))
 
 
 def pipeline_margin(

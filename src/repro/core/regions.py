@@ -25,6 +25,7 @@ from .bounds import (
     stage_delay_factor,
 )
 from .dag import TaskGraph
+from .numeric import approx_le
 
 __all__ = ["PipelineFeasibleRegion", "DagFeasibleRegion"]
 
@@ -65,7 +66,7 @@ class PipelineFeasibleRegion:
 
     def contains(self, utilizations: Sequence[float]) -> bool:
         """True iff the utilization vector lies inside the region."""
-        return self.value(utilizations) <= self.budget
+        return approx_le(self.value(utilizations), self.budget)
 
     def margin(self, utilizations: Sequence[float]) -> float:
         """Budget remaining: positive inside, negative outside."""
@@ -128,11 +129,11 @@ class PipelineFeasibleRegion:
         def lhs(t: float) -> float:
             return sum(stage_delay_factor(min(t * d, 1.0)) for d in direction)
 
-        if lhs(hi * (1 - 1e-12)) <= self.budget:
+        if lhs(hi * (1 - 1e-12)) <= self.budget:  # repro: noqa[FLT002] — exact bisection bracket test
             return hi
         for _ in range(200):
             mid = (lo + hi) / 2.0
-            if lhs(mid) <= self.budget:
+            if lhs(mid) <= self.budget:  # repro: noqa[FLT002] — exact bisection step
                 lo = mid
             else:
                 hi = mid
@@ -194,7 +195,7 @@ class PipelineFeasibleRegion:
         for i in range(samples):
             u1 = u_max * i / (samples - 1)
             f1 = stage_delay_factor(u1)
-            if f1 > self.budget:
+            if f1 > self.budget:  # repro: noqa[FLT002] — geometry sampling, not an admission decision
                 continue
             for j in range(samples):
                 u2 = u_max * j / (samples - 1)

@@ -27,6 +27,7 @@ from .bounds import (
     region_budget,
     stage_delay_factor,
 )
+from .numeric import approx_ge, approx_le
 from .task import PeriodicTaskSpec
 
 __all__ = [
@@ -146,10 +147,10 @@ def aperiodic_capacity(
         total = 0.0
         for reserved_j, contribution_j in zip(plan.reserved, contributions):
             u = reserved_j + k * contribution_j
-            if u >= 1.0:
+            if approx_ge(u, 1.0):
                 return False
             total += stage_delay_factor(u)
-            if total > budget:
+            if not approx_le(total, budget):
                 return False
         return True
 
@@ -231,6 +232,6 @@ def build_reservation(
         reserved=reserved,
         region_value=value,
         budget=budget,
-        feasible=value <= budget,
+        feasible=approx_le(value, budget),
         per_task=per_task,
     )

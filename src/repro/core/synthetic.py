@@ -28,7 +28,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from typing import Dict, Hashable, List, Tuple
+from typing import Dict, FrozenSet, Hashable, List, Tuple
 
 __all__ = ["StageUtilizationTracker"]
 
@@ -89,6 +89,36 @@ class StageUtilizationTracker:
         """Return the tracked contribution of ``task_id`` (0.0 if absent)."""
         entry = self._contribs.get(task_id)
         return entry[0] if entry is not None else 0.0
+
+    def tracked_ids(self) -> FrozenSet[Hashable]:
+        """Ids of every task currently holding a contribution here."""
+        return frozenset(self._contribs)
+
+    def departed_ids(self) -> FrozenSet[Hashable]:
+        """Ids marked departed and awaiting the next idle reset."""
+        return frozenset(self._departed)
+
+    def is_departed(self, task_id: Hashable) -> bool:
+        """Whether ``task_id`` is marked departed at this stage."""
+        return task_id in self._departed
+
+    def pending_idle_release(self) -> float:
+        """Utilization :meth:`reset_on_idle` would release right now."""
+        return math.fsum(
+            contribution
+            for task_id, contribution in self._departed.items()
+            if task_id in self._contribs
+        )
+
+    def audit_sums(self) -> Tuple[float, float]:
+        """``(incremental, exact)`` dynamic sums, without mutating state.
+
+        The incremental sum is the raw running total (possibly slightly
+        negative from rounding); the exact sum is a fresh ``fsum`` over
+        the tracked contributions.  The invariant auditor compares the
+        two to detect drift or corruption.
+        """
+        return self._sum, math.fsum(c for c, _ in self._contribs.values())
 
     def __contains__(self, task_id: Hashable) -> bool:
         return task_id in self._contribs

@@ -1,0 +1,49 @@
+"""Fault injection and graceful degradation for the pipeline model.
+
+The paper's zero-miss guarantee holds when its assumptions do: known
+stage capacity, truthful demand declarations, and reliable Section-4
+bookkeeping notifications.  This package deliberately breaks each
+assumption (:mod:`~repro.faults.schedule`), injects the breakage
+through the simulator's existing hooks
+(:mod:`~repro.faults.injector`), detects the resulting controller
+state corruption with ground-truth audits
+(:mod:`repro.core.audit`), and degrades gracefully instead of
+failing — capacity-aware region rescaling, deadline-aware admission
+retry, and web-server brownout (:mod:`~repro.faults.degradation`).
+
+The chaos harness CLI (``python -m repro.faults``) runs named
+scenarios deterministically from a seed; see
+:mod:`~repro.faults.scenarios`.  The scenario and CLI modules are
+imported lazily (they pull in :mod:`repro.apps`) — import them
+explicitly when needed.
+"""
+
+from .degradation import (
+    BackoffAdmission,
+    BackoffPolicy,
+    BrownoutConfig,
+    BrownoutController,
+)
+from .injector import FaultInjector
+from .schedule import (
+    ArrivalBurst,
+    DropNotification,
+    ExecutionOverrun,
+    FaultSchedule,
+    StageOutage,
+    StageSlowdown,
+)
+
+__all__ = [
+    "ArrivalBurst",
+    "BackoffAdmission",
+    "BackoffPolicy",
+    "BrownoutConfig",
+    "BrownoutController",
+    "DropNotification",
+    "ExecutionOverrun",
+    "FaultInjector",
+    "FaultSchedule",
+    "StageOutage",
+    "StageSlowdown",
+]

@@ -1,0 +1,88 @@
+"""Command-line chaos harness: ``python -m repro.faults``.
+
+Runs named fault scenarios deterministically from a seed and emits a
+JSON report of miss ratio among admitted tasks vs. fault intensity.
+Two invocations with the same arguments produce byte-identical output.
+
+Examples::
+
+    python -m repro.faults --list
+    python -m repro.faults --scenario all --seed 0
+    python -m repro.faults --scenario lost_departures --out chaos.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .report import render_report
+from .scenarios import run_scenarios, scenario_names
+
+__all__ = ["main"]
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults",
+        description=(
+            "Chaos harness: scripted fault injection against the pipeline "
+            "admission controller, with invariant auditing and graceful "
+            "degradation."
+        ),
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help=(
+            "scenario to run (repeatable); 'all' runs the whole catalog "
+            "(default: all)"
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="seed for workloads and faults (default: 0)"
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the JSON report to PATH instead of stdout",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list known scenarios and exit"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    catalog = scenario_names()
+    if args.list:
+        for name in catalog:
+            print(name)
+        return 0
+    requested = args.scenario if args.scenario else ["all"]
+    names: List[str] = []
+    for name in requested:
+        if name == "all":
+            names.extend(n for n in catalog if n not in names)
+        elif name not in catalog:
+            print(
+                f"unknown scenario {name!r}; known: {', '.join(catalog)} (or 'all')",
+                file=sys.stderr,
+            )
+            return 2
+        elif name not in names:
+            names.append(name)
+    results = run_scenarios(names, seed=args.seed)
+    text = render_report(results, seed=args.seed)
+    if args.out is None:
+        print(text)
+    else:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0

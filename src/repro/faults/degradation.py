@@ -1,0 +1,262 @@
+"""Graceful-degradation policies layered on top of admission control.
+
+Three mechanisms for keeping *useful* guarantees when the paper's
+assumptions crack under faults or overload:
+
+- capacity-aware region rescaling lives in the controller itself
+  (:meth:`~repro.core.admission.PipelineAdmissionController.set_stage_capacity`);
+  the injector drives it from slowdown/outage windows;
+- :class:`BackoffAdmission` — deadline-aware admission retry with
+  bounded exponential backoff: a rejected arrival is retried while a
+  later admission could still meet its deadline, instead of being
+  dropped on first contact with a transient fault;
+- :class:`BrownoutController` — webserver brownout: under sustained
+  overload, whole request classes are shed in increasing order of
+  importance *before* the admission test, keeping the region's headroom
+  for the traffic that matters; the shed level decays when load
+  subsides.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, List, Tuple
+
+from ..core.numeric import approx_le
+from ..core.task import PipelineTask
+from ..sim.pipeline import PipelineSimulation
+
+__all__ = [
+    "BackoffPolicy",
+    "BackoffAdmission",
+    "BrownoutConfig",
+    "BrownoutController",
+]
+
+
+# ----------------------------------------------------------------------
+# Deadline-aware admission retry
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Bounded exponential backoff for admission retries.
+
+    Attributes:
+        base_delay: Delay before the first retry (> 0).
+        multiplier: Geometric growth factor per retry (>= 1).
+        max_attempts: Total admission attempts, the initial one
+            included (>= 1).
+    """
+
+    base_delay: float
+    multiplier: float = 2.0
+    max_attempts: int = 6
+
+    def __post_init__(self) -> None:
+        if self.base_delay <= 0:
+            raise ValueError(f"base_delay must be > 0, got {self.base_delay}")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+
+    def delay(self, attempt: int) -> float:
+        """Delay after the ``attempt``-th failed attempt (0-based)."""
+        return self.base_delay * self.multiplier**attempt
+
+
+class BackoffAdmission:
+    """Offers tasks with deadline-aware bounded-backoff retries.
+
+    A rejected arrival is re-offered after an exponentially growing
+    delay, but only while the retry is *worth taking*: once
+    ``retry_time + sum_j C_ij`` can no longer meet the task's absolute
+    deadline, retrying would only admit a guaranteed miss, so the task
+    is abandoned instead.  This replaces the pipeline's FIFO admission
+    queue (do not combine with ``max_admission_wait > 0``).
+
+    Attributes:
+        admitted_first_try / admitted_after_retry / abandoned: Counters.
+    """
+
+    def __init__(self, pipeline: PipelineSimulation, policy: BackoffPolicy) -> None:
+        if pipeline.max_admission_wait > 0:
+            raise ValueError(
+                "BackoffAdmission replaces the admission wait queue; "
+                "build the pipeline with max_admission_wait=0"
+            )
+        self.pipeline = pipeline
+        self.policy = policy
+        self.admitted_first_try = 0
+        self.admitted_after_retry = 0
+        self.abandoned = 0
+
+    def offer_at(self, task: PipelineTask) -> None:
+        """Schedule the task's first admission attempt at its arrival."""
+        self.pipeline.sim.at(task.arrival_time, self._attempt, task, 0)
+
+    def offer_stream(self, tasks: Iterable[PipelineTask]) -> int:
+        """Schedule a whole arrival stream; returns the number offered."""
+        count = 0
+        for task in tasks:
+            self.offer_at(task)
+            count += 1
+        return count
+
+    def _attempt(self, task: PipelineTask, attempt: int) -> None:
+        pipeline = self.pipeline
+        if attempt == 0:
+            record = pipeline._record(task)
+        else:
+            record = pipeline.records[task.task_id]
+        if pipeline._try_admit(task, record):
+            if attempt == 0:
+                self.admitted_first_try += 1
+            else:
+                self.admitted_after_retry += 1
+            return
+        next_time = pipeline.sim.now + self.policy.delay(attempt)
+        remaining_work = sum(task.computation_times)
+        if attempt + 1 >= self.policy.max_attempts or not approx_le(
+            next_time + remaining_work, task.absolute_deadline
+        ):
+            # Deadline-aware bound: a later admission could no longer
+            # finish in time even on an empty pipeline — stop retrying.
+            self.abandoned += 1
+            return
+        pipeline.sim.at(next_time, self._attempt, task, attempt + 1)
+
+
+# ----------------------------------------------------------------------
+# Brownout: importance-class shedding under sustained overload
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BrownoutConfig:
+    """Brownout control-loop parameters.
+
+    Attributes:
+        max_level: Highest shed level; level ``k`` drops every arrival
+            with importance ``< k``, so ``max_level`` should equal the
+            highest importance class (which is then never shed).
+        window: Sliding window (time units) over which the reject ratio
+            is measured.
+        evaluation_period: How often the shed level is reconsidered.
+        enter_reject_ratio: Raise the shed level when the windowed
+            reject ratio exceeds this.
+        exit_reject_ratio: Lower the shed level when the windowed
+            reject ratio falls below this.
+        min_samples: Do not change level on fewer windowed outcomes.
+    """
+
+    max_level: int
+    window: float = 2.0
+    evaluation_period: float = 0.5
+    enter_reject_ratio: float = 0.15
+    exit_reject_ratio: float = 0.02
+    min_samples: int = 20
+
+    def __post_init__(self) -> None:
+        if self.max_level < 1:
+            raise ValueError(f"max_level must be >= 1, got {self.max_level}")
+        if self.window <= 0 or self.evaluation_period <= 0:
+            raise ValueError("window and evaluation_period must be > 0")
+        if not (0.0 <= self.exit_reject_ratio < self.enter_reject_ratio <= 1.0):
+            raise ValueError(
+                "need 0 <= exit_reject_ratio < enter_reject_ratio <= 1, got "
+                f"{self.exit_reject_ratio} / {self.enter_reject_ratio}"
+            )
+        if self.min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {self.min_samples}")
+
+
+class BrownoutController:
+    """Sheds low-importance arrivals while admission pressure persists.
+
+    The control loop watches the reject ratio of attempted admissions
+    over a sliding window.  Sustained pressure raises the *shed level*
+    one importance class at a time; arrivals below the level are
+    dropped before the admission test (cheap, and keeps the region's
+    headroom for important traffic).  When pressure subsides the level
+    steps back down, restoring full service.
+
+    Attributes:
+        level: Current shed level (0 = everything served).
+        browned_out: Arrivals dropped by the brownout gate, total.
+        browned_out_by_importance: Same, per importance class.
+        level_history: ``(time, level)`` transitions, starting implicit
+            at ``(0, 0)``.
+    """
+
+    def __init__(self, pipeline: PipelineSimulation, config: BrownoutConfig) -> None:
+        self.pipeline = pipeline
+        self.config = config
+        self.level = 0
+        self.browned_out = 0
+        self.browned_out_by_importance: Dict[int, int] = {}
+        self.level_history: List[Tuple[float, int]] = []
+        self._outcomes: Deque[Tuple[float, bool]] = deque()
+        self._installed = False
+
+    def install(self) -> "BrownoutController":
+        """Arm the periodic control-loop evaluation."""
+        if self._installed:
+            raise RuntimeError("BrownoutController.install called twice")
+        self._installed = True
+        self.pipeline.sim.after(self.config.evaluation_period, self._evaluate)
+        return self
+
+    # ------------------------------------------------------------------
+    # Arrival path
+    # ------------------------------------------------------------------
+
+    def offer_at(self, task: PipelineTask) -> None:
+        """Schedule the task's (gated) arrival."""
+        self.pipeline.sim.at(task.arrival_time, self._gated_arrive, task)
+
+    def offer_stream(self, tasks: Iterable[PipelineTask]) -> int:
+        """Schedule a whole request stream; returns the number offered."""
+        count = 0
+        for task in tasks:
+            self.offer_at(task)
+            count += 1
+        return count
+
+    def _gated_arrive(self, task: PipelineTask) -> None:
+        if task.importance < self.level:
+            # Browned out: recorded as a non-admitted offer, but never
+            # charged against the admission test.
+            self.pipeline._record(task)
+            self.browned_out += 1
+            self.browned_out_by_importance[task.importance] = (
+                self.browned_out_by_importance.get(task.importance, 0) + 1
+            )
+            return
+        self.pipeline._arrive(task)
+        record = self.pipeline.records[task.task_id]
+        self._outcomes.append((self.pipeline.sim.now, record.admitted))
+
+    # ------------------------------------------------------------------
+    # Control loop
+    # ------------------------------------------------------------------
+
+    def _evaluate(self) -> None:
+        now = self.pipeline.sim.now
+        cutoff = now - self.config.window
+        while self._outcomes and self._outcomes[0][0] < cutoff:
+            self._outcomes.popleft()
+        total = len(self._outcomes)
+        if total >= self.config.min_samples:
+            rejected = sum(1 for _, admitted in self._outcomes if not admitted)
+            ratio = rejected / total
+            if ratio > self.config.enter_reject_ratio and self.level < self.config.max_level:
+                self.level += 1
+                self.level_history.append((now, self.level))
+            elif ratio < self.config.exit_reject_ratio and self.level > 0:
+                self.level -= 1
+                self.level_history.append((now, self.level))
+        self.pipeline.sim.after(self.config.evaluation_period, self._evaluate)

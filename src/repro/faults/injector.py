@@ -1,0 +1,361 @@
+"""Applies a :class:`~repro.faults.schedule.FaultSchedule` to a simulation.
+
+The injector never forks the engine: every fault rides on mechanisms
+the simulation already exposes —
+
+- *slowdowns* and *execution overruns* wrap the pipeline's public
+  ``segment_builder`` hook, scaling job durations at dispatch time;
+- *outages* submit a maximal-priority blocker job that occupies the
+  stage for the outage window (in-flight work is preempted, not lost);
+- *lost notifications* shadow the controller's ``notify_*`` methods on
+  the instance, swallowing calls per the schedule;
+- *arrival bursts* are ordinary ``offer_at`` submissions scheduled from
+  an injection event.
+
+Every random decision draws from one seeded ``random.Random``, so a
+given (schedule, seed) pair replays the exact same fault trace.
+
+The injector doubles as the detection harness: each state-corrupting
+lost notification immediately schedules an audit
+(:class:`~repro.core.audit.ControllerAuditor`) against ground truth
+from the simulation, and — when healing is enabled — repairs the
+controller with
+:meth:`~repro.core.admission.PipelineAdmissionController.resync`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import Counter
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..core.audit import ControllerAuditor, InvariantViolation
+from ..core.task import PipelineTask, make_task
+from ..sim.pipeline import PipelineSimulation
+from ..sim.stage import Segment
+from .schedule import FaultSchedule, StageOutage
+
+__all__ = ["FaultInjector"]
+
+#: Priority key strictly smaller than any policy-assigned key, so an
+#: outage blocker preempts (freezes) whatever the stage is running.
+_OUTAGE_KEY: Tuple[float, ...] = (-math.inf,)
+
+#: Expected violation for a corrupting drop: (kind, stage, task_id).
+_Expectation = Tuple[str, int, Optional[Hashable]]
+
+
+class FaultInjector:
+    """Wires a fault schedule into a :class:`PipelineSimulation`.
+
+    Args:
+        pipeline: The target simulation (not yet run).
+        schedule: The scripted faults.
+        seed: Seed for every stochastic fault decision.
+        rescale_admission: Enable capacity-aware region rescaling — the
+            admission controller is told about slowdown/outage windows
+            via ``set_stage_capacity`` so it charges inflated demand
+            (or rejects outright) while a stage is degraded.
+        audit_period: Run a ground-truth audit every this many time
+            units (``None`` disables periodic audits).  Corrupting
+            notification drops always trigger an immediate audit.
+        heal: Self-healing mode — after an audit that found violations,
+            rebuild controller state with ``resync`` and re-apply idle
+            resets from ground truth.
+
+    Attributes:
+        auditor: The underlying :class:`ControllerAuditor`.
+        dropped_departures / dropped_idles: Notifications swallowed.
+        corrupting_drops: Drops that actually changed controller state.
+        detected_corruptions: Corrupting drops whose expected violation
+            the very next audit reported.
+        heals: Number of ``resync`` repairs performed.
+        violation_counts: Total violations seen, by kind.
+        audit_log: ``(time, trigger, violations)`` per audit run.
+    """
+
+    def __init__(
+        self,
+        pipeline: PipelineSimulation,
+        schedule: FaultSchedule,
+        seed: int = 0,
+        rescale_admission: bool = False,
+        audit_period: Optional[float] = None,
+        heal: bool = False,
+    ) -> None:
+        if audit_period is not None and audit_period <= 0:
+            raise ValueError(f"audit_period must be > 0, got {audit_period}")
+        self.pipeline = pipeline
+        self.schedule = schedule
+        self.rescale_admission = rescale_admission
+        self.audit_period = audit_period
+        self.heal = heal
+        self.rng = random.Random(seed)
+        self.auditor = ControllerAuditor(pipeline.controller)
+        self.dropped_departures = 0
+        self.dropped_idles = 0
+        self.corrupting_drops = 0
+        self.detected_corruptions = 0
+        self.heals = 0
+        self.burst_task_ids: List[int] = []
+        self.violation_counts: Counter = Counter()
+        self.audit_log: List[Tuple[float, str, List[InvariantViolation]]] = []
+        self._installed = False
+        self._original_builder = None
+        self._orig_departure = None
+        self._orig_idle = None
+        self._blocker_ids: set = set()
+        self._overrun_factors: Dict[int, float] = {}
+        self._pending_checks: List[_Expectation] = []
+        self._audit_scheduled = False
+
+    # ------------------------------------------------------------------
+    # Installation
+    # ------------------------------------------------------------------
+
+    def install(self) -> "FaultInjector":
+        """Arm every fault and audit hook.  Idempotent-hostile: once only."""
+        if self._installed:
+            raise RuntimeError("FaultInjector.install called twice")
+        self._installed = True
+        pipeline = self.pipeline
+        sim = pipeline.sim
+        needs_builder = bool(self.schedule.slowdowns or self.schedule.overruns)
+        if needs_builder:
+            self._original_builder = pipeline.segment_builder
+            pipeline.segment_builder = self._build_segments
+        if self.schedule.drops:
+            controller = pipeline.controller
+            self._orig_departure = controller.notify_subtask_departure
+            self._orig_idle = controller.notify_stage_idle
+            controller.notify_subtask_departure = self._notify_departure  # type: ignore[method-assign]
+            controller.notify_stage_idle = self._notify_idle  # type: ignore[method-assign]
+        if self.schedule.outages:
+            for stage in pipeline.stages:
+                stage.on_job_complete = self._wrap_job_complete(stage.on_job_complete)
+            for outage in self.schedule.outages:
+                sim.at(outage.start, self._begin_outage, outage)
+        if self.rescale_admission:
+            for slowdown in self.schedule.slowdowns:
+                sim.at(slowdown.start, self._set_capacity, slowdown.stage, slowdown.factor)
+                sim.at(slowdown.end, self._set_capacity, slowdown.stage, 1.0)
+            for outage in self.schedule.outages:
+                sim.at(outage.start, self._set_capacity, outage.stage, 0.0)
+                sim.at(outage.end, self._set_capacity, outage.stage, 1.0)
+        for burst in self.schedule.bursts:
+            sim.at(burst.time, self._inject_burst, burst)
+        if self.audit_period is not None:
+            sim.after(self.audit_period, self._periodic_audit)
+        return self
+
+    # ------------------------------------------------------------------
+    # Execution-time faults (slowdown / overrun)
+    # ------------------------------------------------------------------
+
+    def _build_segments(
+        self, task: PipelineTask, stage_index: int
+    ) -> Optional[Sequence[Segment]]:
+        base = (
+            self._original_builder(task, stage_index)
+            if self._original_builder is not None
+            else None
+        )
+        scale = self._execution_scale(task, stage_index)
+        if scale == 1.0:
+            return base
+        if base is None:
+            return [Segment(task.computation_times[stage_index] * scale)]
+        return [Segment(s.duration * scale, s.lock) for s in base]
+
+    def _execution_scale(self, task: PipelineTask, stage_index: int) -> float:
+        """Duration multiplier for a job dispatched right now.
+
+        Slowdowns apply the window active at dispatch time (a job
+        spanning a window boundary keeps its dispatch-time rate — the
+        injection granularity is the job, not the segment tick).
+        """
+        now = self.pipeline.sim.now
+        scale = 1.0
+        for slowdown in self.schedule.slowdowns:
+            if slowdown.stage == stage_index and slowdown.active_at(now):
+                scale /= slowdown.factor
+        return scale * self._overrun_factor(task)
+
+    def _overrun_factor(self, task: PipelineTask) -> float:
+        factor = self._overrun_factors.get(task.task_id)
+        if factor is None:
+            factor = 1.0
+            for overrun in self.schedule.overruns:
+                if overrun.applies_to_arrival(task.arrival_time):
+                    if overrun.probability >= 1.0 or self.rng.random() < overrun.probability:
+                        factor *= overrun.factor
+            self._overrun_factors[task.task_id] = factor
+        return factor
+
+    # ------------------------------------------------------------------
+    # Outages
+    # ------------------------------------------------------------------
+
+    def _begin_outage(self, outage: StageOutage) -> None:
+        blocker = make_task(
+            arrival_time=self.pipeline.sim.now,
+            deadline=outage.duration,
+            computation_times=[0.0] * self.pipeline.num_stages,
+        )
+        self._blocker_ids.add(blocker.task_id)
+        self.pipeline.stages[outage.stage].submit(
+            blocker, _OUTAGE_KEY, duration=outage.duration
+        )
+
+    def _wrap_job_complete(self, original):
+        def handler(job):
+            if job.task.task_id in self._blocker_ids:
+                self._blocker_ids.discard(job.task.task_id)
+                return  # outage lifted; not a real task
+            original(job)
+
+        return handler
+
+    def _set_capacity(self, stage: int, capacity: float) -> None:
+        self.pipeline.controller.set_stage_capacity(stage, capacity)
+
+    # ------------------------------------------------------------------
+    # Lost notifications
+    # ------------------------------------------------------------------
+
+    def _notify_departure(self, task_id: Hashable, stage: int) -> None:
+        assert self._orig_departure is not None
+        now = self.pipeline.sim.now
+        for fault in self.schedule.drops_of_kind("departure"):
+            if fault.matches(now, stage) and self._coin(fault.probability):
+                self.dropped_departures += 1
+                tracker = self.pipeline.controller.trackers[stage]
+                expiry = self.pipeline.controller.admitted_expiry(task_id)
+                if tracker.contribution_of(task_id) > 0 and (
+                    expiry is not None and expiry > now
+                ):
+                    # The contribution is live: dropping this departure
+                    # leaves state the idle-reset rule can never release.
+                    self.corrupting_drops += 1
+                    self._expect_violation(("missed-departure", stage, task_id))
+                return
+        self._orig_departure(task_id, stage)
+
+    def _notify_idle(self, stage: int) -> float:
+        assert self._orig_idle is not None
+        now = self.pipeline.sim.now
+        for fault in self.schedule.drops_of_kind("idle"):
+            if fault.matches(now, stage) and self._coin(fault.probability):
+                self.dropped_idles += 1
+                tracker = self.pipeline.controller.trackers[stage]
+                if (
+                    self.pipeline.controller.reset_on_idle
+                    and tracker.pending_idle_release() > 0
+                ):
+                    self.corrupting_drops += 1
+                    self._expect_violation(("missed-idle-reset", stage, None))
+                return 0.0
+        return self._orig_idle(stage)
+
+    def _coin(self, probability: float) -> bool:
+        return probability >= 1.0 or self.rng.random() < probability
+
+    # ------------------------------------------------------------------
+    # Bursts
+    # ------------------------------------------------------------------
+
+    def _inject_burst(self, burst) -> None:
+        for _ in range(burst.count):
+            costs = [
+                self.rng.expovariate(1.0 / c) if c > 0 else 0.0
+                for c in burst.mean_costs
+            ]
+            task = make_task(
+                arrival_time=self.pipeline.sim.now,
+                deadline=burst.deadline,
+                computation_times=costs,
+                importance=burst.importance,
+            )
+            self.burst_task_ids.append(task.task_id)
+            self.pipeline.offer_at(task)
+
+    # ------------------------------------------------------------------
+    # Auditing / healing
+    # ------------------------------------------------------------------
+
+    def _expect_violation(self, expectation: _Expectation) -> None:
+        self._pending_checks.append(expectation)
+        if not self._audit_scheduled:
+            # Defer to the next event at the same timestamp: the
+            # pipeline finishes advancing the task (updating the
+            # ground-truth frontier) before the audit inspects it.
+            self._audit_scheduled = True
+            self.pipeline.sim.after(0.0, self._run_audit, "drop")
+
+    def _periodic_audit(self) -> None:
+        self._run_audit("periodic")
+        assert self.audit_period is not None
+        self.pipeline.sim.after(self.audit_period, self._periodic_audit)
+
+    def _run_audit(self, trigger: str) -> List[InvariantViolation]:
+        self._audit_scheduled = False
+        now = self.pipeline.sim.now
+        violations = self.auditor.audit(
+            now,
+            frontier=self.pipeline.frontier(),
+            idle_stages=self.pipeline.idle_stages(),
+        )
+        self.audit_log.append((now, trigger, violations))
+        for violation in violations:
+            self.violation_counts[violation.kind] += 1
+        if self._pending_checks:
+            found = {(v.kind, v.stage, v.task_id) for v in violations}
+            for expectation in self._pending_checks:
+                if expectation in found:
+                    self.detected_corruptions += 1
+            self._pending_checks.clear()
+        if self.heal and violations:
+            self.resync()
+        return violations
+
+    def resync(self) -> None:
+        """Rebuild controller state from simulation ground truth."""
+        controller = self.pipeline.controller
+        controller.resync(self.pipeline.sim.now, self.pipeline.frontier())
+        if controller.reset_on_idle:
+            notify = self._orig_idle
+            for stage in self.pipeline.idle_stages():
+                # Bypass the fault wrapper: healing must not be dropped.
+                if notify is not None:
+                    notify(stage)
+                else:
+                    controller.notify_stage_idle(stage)
+        self.heals += 1
+
+    def final_audit(self) -> List[InvariantViolation]:
+        """One last ground-truth audit (call after the run completes)."""
+        return self._run_audit("final")
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, object]:
+        """Deterministic counters for the chaos report."""
+        return {
+            "dropped_departures": self.dropped_departures,
+            "dropped_idles": self.dropped_idles,
+            "corrupting_drops": self.corrupting_drops,
+            "detected_corruptions": self.detected_corruptions,
+            "detection_ratio": (
+                self.detected_corruptions / self.corrupting_drops
+                if self.corrupting_drops
+                else 1.0
+            ),
+            "heals": self.heals,
+            "audits_run": self.auditor.audits_run,
+            "burst_tasks": len(self.burst_task_ids),
+            "violations_by_kind": dict(sorted(self.violation_counts.items())),
+            "violations_total": sum(self.violation_counts.values()),
+        }

@@ -1,0 +1,41 @@
+"""Deterministic JSON rendering for chaos-harness results.
+
+The acceptance bar for the harness is byte-identical output for a
+given ``(scenario set, seed)`` pair, so rendering is intentionally
+rigid: keys are sorted, floats keep their shortest-repr form (no
+formatting that could vary by locale or platform), and nothing
+time- or environment-dependent enters the payload.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+__all__ = ["build_payload", "render_report"]
+
+
+def build_payload(
+    results: Dict[str, Dict[str, object]], seed: int
+) -> Dict[str, object]:
+    """Assemble the report payload from per-scenario results."""
+    return {
+        "harness": "repro.faults",
+        "seed": seed,
+        "scenario_count": len(results),
+        "scenarios": results,
+    }
+
+
+def render_report(results: Dict[str, Dict[str, object]], seed: int) -> str:
+    """Render results as canonical JSON (sorted keys, 2-space indent)."""
+    return json.dumps(build_payload(results, seed), indent=2, sort_keys=True)
+
+
+def summarize_lines(results: Dict[str, Dict[str, object]]) -> List[str]:
+    """One human-readable line per scenario (for stderr progress)."""
+    lines = []
+    for name, result in results.items():
+        points = result.get("points", [])
+        lines.append(f"{name}: {len(points)} point(s) — {result.get('description', '')}")
+    return lines

@@ -1,0 +1,239 @@
+"""Declarative fault schedules for the chaos harness.
+
+A :class:`FaultSchedule` is a scripted, deterministic description of
+what goes wrong during a simulation run — which stages degrade and
+when, which execution overruns occur, which controller notifications
+get lost, and where arrival bursts land.  The schedule is pure data;
+:class:`repro.faults.injector.FaultInjector` applies it to a
+:class:`~repro.sim.pipeline.PipelineSimulation` through the existing
+event loop and public callback hooks, never by forking the engine.
+
+Each fault model deliberately violates one assumption behind the
+paper's zero-miss guarantee (see DESIGN.md §8):
+
+========================  =============================================
+Fault                     Violated assumption
+========================  =============================================
+:class:`StageSlowdown`    Fixed, known stage capacity
+:class:`StageOutage`      Stage availability (capacity > 0)
+:class:`ExecutionOverrun` Exact declared demand ``C_ij``
+:class:`DropNotification` Reliable bookkeeping notifications (Sec. 4)
+:class:`ArrivalBurst`     No assumption — admission must absorb it
+========================  =============================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = [
+    "StageSlowdown",
+    "StageOutage",
+    "ExecutionOverrun",
+    "DropNotification",
+    "ArrivalBurst",
+    "FaultSchedule",
+]
+
+
+def _check_window(start: float, end: float, what: str) -> None:
+    if not (0.0 <= start < end):
+        raise ValueError(f"{what}: need 0 <= start < end, got [{start}, {end})")
+
+
+@dataclass(frozen=True)
+class StageSlowdown:
+    """One stage serves at a fraction of nominal speed during a window.
+
+    Attributes:
+        stage: Degraded stage index.
+        start: Window start (inclusive).
+        end: Window end (exclusive).
+        factor: Remaining capacity in ``(0, 1)``; jobs dispatched during
+            the window execute ``1 / factor`` times longer.
+    """
+
+    stage: int
+    start: float
+    end: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.end, "StageSlowdown")
+        if not (0.0 < self.factor < 1.0):
+            raise ValueError(f"slowdown factor must be in (0, 1), got {self.factor}")
+
+    def active_at(self, time: float) -> bool:
+        return self.start <= time < self.end
+
+
+@dataclass(frozen=True)
+class StageOutage:
+    """One stage processes nothing during a window.
+
+    Modeled as a maximal-priority blocker job occupying the stage for
+    the whole window: in-flight work is preempted (frozen) and resumes
+    when the outage lifts — the resource is down, the work is not lost.
+
+    Attributes:
+        stage: Failed stage index.
+        start: Outage start.
+        end: Outage end.
+    """
+
+    stage: int
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.end, "StageOutage")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class ExecutionOverrun:
+    """Tasks execute longer than the demand they declared at admission.
+
+    Selected tasks (an independent seeded coin flip per task) run
+    ``factor`` times their declared per-stage computation times, while
+    the admission test still charges the declared amounts — modeling
+    optimistic WCET declarations.
+
+    Attributes:
+        factor: Execution-time multiplier (> 1 overruns; 1 is a no-op).
+        probability: Per-task selection probability in ``[0, 1]``.
+        start: Only tasks arriving at or after this time are eligible.
+        end: Only tasks arriving before this time are eligible.
+    """
+
+    factor: float
+    probability: float = 1.0
+    start: float = 0.0
+    end: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.factor < 1.0 or not math.isfinite(self.factor):
+            raise ValueError(f"overrun factor must be finite and >= 1, got {self.factor}")
+        if not (0.0 <= self.probability <= 1.0):
+            raise ValueError(f"probability must be in [0, 1], got {self.probability}")
+        if not (0.0 <= self.start < self.end):
+            raise ValueError(f"need 0 <= start < end, got [{self.start}, {self.end})")
+
+    def applies_to_arrival(self, arrival_time: float) -> bool:
+        return self.start <= arrival_time < self.end
+
+
+@dataclass(frozen=True)
+class DropNotification:
+    """Controller bookkeeping notifications are lost.
+
+    Attributes:
+        kind: ``"departure"`` (lost ``notify_subtask_departure``) or
+            ``"idle"`` (lost ``notify_stage_idle``).
+        probability: Per-notification drop probability in ``(0, 1]``.
+        start: Window start.
+        end: Window end.
+        stage: Restrict the fault to one stage (``None`` = all stages).
+    """
+
+    kind: str
+    probability: float = 1.0
+    start: float = 0.0
+    end: float = math.inf
+    stage: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("departure", "idle"):
+            raise ValueError(f"kind must be 'departure' or 'idle', got {self.kind!r}")
+        if not (0.0 < self.probability <= 1.0):
+            raise ValueError(f"probability must be in (0, 1], got {self.probability}")
+        if not (0.0 <= self.start < self.end):
+            raise ValueError(f"need 0 <= start < end, got [{self.start}, {self.end})")
+
+    def matches(self, time: float, stage: int) -> bool:
+        if not (self.start <= time < self.end):
+            return False
+        return self.stage is None or self.stage == stage
+
+
+@dataclass(frozen=True)
+class ArrivalBurst:
+    """A batch of simultaneous extra arrivals at one instant.
+
+    Attributes:
+        time: Burst instant.
+        count: Number of injected tasks (> 0).
+        deadline: Relative end-to-end deadline of every burst task.
+        mean_costs: Mean exponential per-stage computation times; the
+            injector draws actual costs from its seeded RNG.
+        importance: Semantic importance of the burst tasks.
+    """
+
+    time: float
+    count: int
+    deadline: float
+    mean_costs: Tuple[float, ...]
+    importance: int = 0
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"burst time must be >= 0, got {self.time}")
+        if self.count < 1:
+            raise ValueError(f"burst count must be >= 1, got {self.count}")
+        if self.deadline <= 0:
+            raise ValueError(f"burst deadline must be > 0, got {self.deadline}")
+        if not self.mean_costs or any(c < 0 for c in self.mean_costs):
+            raise ValueError("burst mean costs must be non-empty and >= 0")
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """The full scripted fault load of one chaos run.
+
+    An empty schedule is a valid (and useful) degenerate case: the
+    injector then only audits, and results must match a fault-free run
+    exactly.
+    """
+
+    slowdowns: Tuple[StageSlowdown, ...] = field(default_factory=tuple)
+    outages: Tuple[StageOutage, ...] = field(default_factory=tuple)
+    overruns: Tuple[ExecutionOverrun, ...] = field(default_factory=tuple)
+    drops: Tuple[DropNotification, ...] = field(default_factory=tuple)
+    bursts: Tuple[ArrivalBurst, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        # Normalize: accept any iterable, store sorted tuples so the
+        # injection event order is independent of construction order.
+        object.__setattr__(
+            self, "slowdowns", tuple(sorted(self.slowdowns, key=lambda f: (f.start, f.stage)))
+        )
+        object.__setattr__(
+            self, "outages", tuple(sorted(self.outages, key=lambda f: (f.start, f.stage)))
+        )
+        object.__setattr__(
+            self, "overruns", tuple(sorted(self.overruns, key=lambda f: (f.start, f.factor)))
+        )
+        object.__setattr__(
+            self,
+            "drops",
+            tuple(sorted(self.drops, key=lambda f: (f.start, f.kind, -1 if f.stage is None else f.stage))),
+        )
+        object.__setattr__(
+            self, "bursts", tuple(sorted(self.bursts, key=lambda f: (f.time, f.count)))
+        )
+
+    @property
+    def empty(self) -> bool:
+        """True when the schedule injects nothing."""
+        return not (
+            self.slowdowns or self.outages or self.overruns or self.drops or self.bursts
+        )
+
+    def drops_of_kind(self, kind: str) -> Tuple[DropNotification, ...]:
+        """The drop faults matching ``kind`` (``"departure"``/``"idle"``)."""
+        return tuple(f for f in self.drops if f.kind == kind)

@@ -13,6 +13,11 @@ depend on for reproducible acceptance-ratio curves:
   expressions must route through :mod:`repro.core.numeric`
   (``approx_eq``/``EPS``); bitwise float equality on computed times
   silently flips admission and miss decisions.
+- ``FLT002`` — raw ordered comparisons (``<``/``<=``/``>``/``>=``)
+  against ``budget``/``deadline`` expressions must route through
+  ``approx_le``/``approx_ge``; a task landing exactly on the region
+  surface or its deadline boundary would otherwise be decided by the
+  last ulp of an accumulated float sum.
 - ``HEAP001`` — tuples pushed onto a heap need a monotonic tie-break
   field (a sequence counter or id) between the sort key and any
   payload, or equal keys fall through to comparing payloads —
@@ -34,6 +39,7 @@ __all__ = [
     "UnseededRandomRule",
     "AmbientNondeterminismRule",
     "FloatEqualityRule",
+    "DeadlineBudgetComparisonRule",
     "HeapTieBreakRule",
     "MutableDefaultRule",
 ]
@@ -397,6 +403,65 @@ class FloatEqualityRule(Rule):
                             "use repro.core.numeric.approx_eq",
                         )
             left = right
+
+
+# ----------------------------------------------------------------------
+# FLT002 — raw ordered comparisons against budget/deadline expressions
+# ----------------------------------------------------------------------
+
+#: Identifier fragments marking an admission-boundary quantity: the
+#: region budget and (absolute/relative) deadlines.  Kept narrow on
+#: purpose — these are the comparisons where a boundary-landing task
+#: flips between admit/reject or hit/miss on the last ulp.
+_BOUNDARY_VOCAB_RE = re.compile(r"budget|deadline", re.IGNORECASE)
+
+
+def _mentions_boundary_quantity(node: ast.expr) -> bool:
+    """Whether any identifier inside ``node`` names a budget/deadline."""
+    for sub in ast.walk(node):
+        name = _terminal_name(sub)
+        if name is not None and _BOUNDARY_VOCAB_RE.search(name):
+            return True
+    return False
+
+
+@register
+class DeadlineBudgetComparisonRule(Rule):
+    """FLT002: raw ordered comparison against a budget/deadline value."""
+
+    rule_id = "FLT002"
+    summary = (
+        "raw </<=/>/>= against a budget or deadline expression — use "
+        "repro.core.numeric.approx_le/approx_ge so boundary-landing tasks "
+        "are decided by tolerance, not by the last ulp of a float sum"
+    )
+
+    _SYMBOLS = {ast.Lt: "<", ast.LtE: "<=", ast.Gt: ">", ast.GtE: ">="}
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            left = node.left
+            for op, right in zip(node.ops, node.comparators):
+                symbol = self._SYMBOLS.get(type(op))
+                if (
+                    symbol is not None
+                    and not _is_exact_sentinel(left)
+                    and not _is_exact_sentinel(right)
+                    and (
+                        _mentions_boundary_quantity(left)
+                        or _mentions_boundary_quantity(right)
+                    )
+                ):
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        f"raw `{symbol}` against a budget/deadline value "
+                        f"({ast.unparse(left)} {symbol} {ast.unparse(right)}) — "
+                        "use repro.core.numeric.approx_le/approx_ge",
+                    )
+                left = right
 
 
 # ----------------------------------------------------------------------

@@ -131,7 +131,7 @@ class StageCostExceedsDeadlineRule(Rule):
             if deadline is None or costs is None:
                 continue
             for stage, cost in enumerate(costs):
-                if cost > deadline:
+                if cost > deadline:  # repro: noqa[FLT002] — exact check on literal constants
                     yield ctx.finding(
                         self.rule_id,
                         node,

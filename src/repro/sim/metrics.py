@@ -164,7 +164,7 @@ class SimulationReport:
         for t in self.tasks:
             if not t.admitted or t.shed:
                 continue
-            if t.absolute_deadline > cutoff:
+            if not approx_le(t.absolute_deadline, cutoff):
                 continue
             judged += 1
             if t.missed or t.completed_at is None:
@@ -243,7 +243,7 @@ class SimulationReport:
                 1
                 for r in admitted
                 if not r.shed
-                and r.absolute_deadline <= self.horizon
+                and approx_le(r.absolute_deadline, self.horizon)
                 and (r.missed or r.completed_at is None)
             )
             summaries[stream_id] = StreamSummary(

@@ -109,7 +109,7 @@ class PipelineSimulation:
         self._record_order: List[TaskRecord] = []
         self._live_jobs: Dict[int, Job] = {}
         self._pending: Deque[PipelineTask] = deque()
-        self._pending_deadline: Dict[int, float] = {}
+        self._pending_timeout: Dict[int, float] = {}
         self._expiry_retry_event = None
 
     # ------------------------------------------------------------------
@@ -174,8 +174,8 @@ class PipelineSimulation:
             return
         if self.max_admission_wait > 0:
             self._pending.append(task)
-            self._pending_deadline[task.task_id] = self.sim.now + self.max_admission_wait
-            self.sim.after(self.max_admission_wait, self._pending_timeout, task.task_id)
+            self._pending_timeout[task.task_id] = self.sim.now + self.max_admission_wait
+            self.sim.after(self.max_admission_wait, self._pending_timed_out, task.task_id)
             self._arm_expiry_retry()
         # else: finally rejected; record.admitted stays False
 
@@ -199,11 +199,11 @@ class PipelineSimulation:
         self._start_task(task)
         return True
 
-    def _pending_timeout(self, task_id: int) -> None:
+    def _pending_timed_out(self, task_id: int) -> None:
         """Final rejection of a task whose admission wait expired."""
-        if task_id not in self._pending_deadline:
+        if task_id not in self._pending_timeout:
             return
-        del self._pending_deadline[task_id]
+        del self._pending_timeout[task_id]
         # Lazily removed from the deque during retries.
 
     def _retry_pending(self) -> None:
@@ -215,15 +215,15 @@ class PipelineSimulation:
         """
         while self._pending:
             task = self._pending[0]
-            deadline = self._pending_deadline.get(task.task_id)
-            if deadline is None or deadline < self.sim.now:
+            timeout_at = self._pending_timeout.get(task.task_id)
+            if timeout_at is None or timeout_at < self.sim.now:
                 self._pending.popleft()
-                self._pending_deadline.pop(task.task_id, None)
+                self._pending_timeout.pop(task.task_id, None)
                 continue  # timed out: stays rejected
             record = self.records[task.task_id]
             if self._try_admit(task, record):
                 self._pending.popleft()
-                del self._pending_deadline[task.task_id]
+                del self._pending_timeout[task.task_id]
             else:
                 break
         self._arm_expiry_retry()
@@ -251,6 +251,35 @@ class PipelineSimulation:
         self._expiry_retry_event = None
         self.controller.expire(self.sim.now)
         self._retry_pending()
+
+    # ------------------------------------------------------------------
+    # Ground truth (for auditing / state resync)
+    # ------------------------------------------------------------------
+
+    def frontier(self) -> Dict[int, int]:
+        """Ground-truth execution frontier of every admitted, live task.
+
+        Maps each task id to the stage index the task currently
+        occupies; tasks that already left the last stage map to
+        ``num_stages``.  Shed and rejected tasks are excluded.  This is
+        the reference state :class:`~repro.core.audit.ControllerAuditor`
+        and :meth:`~repro.core.admission.PipelineAdmissionController.resync`
+        compare the controller's bookkeeping against.
+        """
+        result: Dict[int, int] = {}
+        for record in self._record_order:
+            if not record.admitted or record.shed:
+                continue
+            job = self._live_jobs.get(record.task_id)
+            if job is not None:
+                result[record.task_id] = job.stage_index
+            elif record.completed_at is not None:
+                result[record.task_id] = self.num_stages
+        return result
+
+    def idle_stages(self) -> List[int]:
+        """Indices of stages with no ready, running, or blocked work."""
+        return [j for j, stage in enumerate(self.stages) if stage.is_idle]
 
     # ------------------------------------------------------------------
     # Execution plumbing

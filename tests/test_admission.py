@@ -350,3 +350,115 @@ class TestScaledDemand:
             if optimistic.request(make_task(0.0, 10.0, [0.2], task_id=81_000 + i), 0.0).admitted
         )
         assert admitted_optimistic > admitted_exact
+
+
+class TestBoundaryAdmission:
+    """Regression tests for the approximate region-surface comparison.
+
+    The admission test accepts ``sum_j f(U_j) <= budget`` with the
+    shared relative tolerance: a task landing *exactly on* the region
+    surface is feasible by Theorem 2 and must not be bounced by
+    floating-point rounding in ``f``.  The slope ``f'(U)`` is ~3.4 near
+    the uniprocessor bound, so genuine violations are still rejected.
+    """
+
+    def test_task_on_the_surface_is_admitted(self):
+        c = controller(1)
+        # Contribution C/D == 2 - sqrt(2): f(U*) == budget == 1 exactly
+        # (up to rounding in f, which the tolerance absorbs).
+        t = make_task(0.0, 1.0, [UNIPROCESSOR_APERIODIC_BOUND])
+        assert c.request(t, now=0.0).admitted
+
+    def test_ulp_scale_overshoot_is_admitted(self):
+        c = controller(1)
+        t = make_task(0.0, 1.0, [UNIPROCESSOR_APERIODIC_BOUND * (1.0 + 1e-12)])
+        assert c.request(t, now=0.0).admitted
+
+    def test_material_overshoot_is_rejected(self):
+        c = controller(1)
+        t = make_task(0.0, 1.0, [UNIPROCESSOR_APERIODIC_BOUND + 1e-5])
+        assert not c.request(t, now=0.0).admitted
+
+    def test_two_stage_surface_task_is_admitted(self):
+        from repro.core.bounds import inverse_stage_delay_factor
+
+        c = controller(2)
+        u_half = inverse_stage_delay_factor(0.5)
+        t = make_task(0.0, 1.0, [u_half, u_half])
+        assert pipeline_region_value([u_half, u_half]) == pytest.approx(1.0)
+        assert c.request(t, now=0.0).admitted
+
+    def test_second_task_on_shared_surface_is_admitted(self):
+        c = controller(1)
+        half = UNIPROCESSOR_APERIODIC_BOUND / 2.0
+        assert c.request(make_task(0.0, 1.0, [half]), now=0.0).admitted
+        assert c.request(make_task(0.0, 1.0, [half]), now=0.0).admitted
+        # The region is now exactly full; any material demand bounces.
+        assert not c.request(make_task(0.0, 1.0, [0.01]), now=0.0).admitted
+
+
+class TestSheddingPartialLapse:
+    def test_rollback_after_partial_idle_release(self):
+        """Rolled-back eviction must restore exactly the pre-eviction
+        state — and must not resurrect utilization that the idle-reset
+        rule had already released before the shedding attempt."""
+        c = controller(2)
+        victim = make_task(0.0, 2.0, [0.6, 0.6], importance=0)
+        assert c.request(victim, now=0.0).admitted
+        # Partial lapse: the victim departs stage 0 and the stage goes
+        # idle, releasing 0.3 there; stage 1 still holds 0.3.
+        c.notify_subtask_departure(victim.task_id, 0)
+        assert c.notify_stage_idle(0) == pytest.approx(0.3)
+        assert c.utilizations() == (0.0, 0.3)
+        # An unfittable high-importance arrival: contribution 1.0 at
+        # stage 0 can never pass the test, so shedding the victim is
+        # attempted and then rolled back.
+        monster = make_task(0.0, 2.0, [2.0, 0.0], importance=9)
+        decision = c.request_with_shedding(monster, now=0.0)
+        assert not decision.admitted
+        assert decision.shed == ()
+        # Exact pre-eviction state: the surviving stage-1 contribution
+        # is back bit-for-bit, stage 0 stays released.
+        assert c.is_admitted(victim.task_id)
+        assert c.trackers[1].contribution_of(victim.task_id) == 0.6 / 2.0
+        assert c.trackers[0].contribution_of(victim.task_id) == 0.0
+        assert c.utilizations() == (0.0, 0.3)
+        # No resurrected utilization: another idle instant at stage 0
+        # has nothing to release.
+        assert c.notify_stage_idle(0) == 0.0
+
+
+class TestStageCapacity:
+    def test_validation(self):
+        c = controller(1)
+        for bad in (-0.1, 1.1, math.nan, math.inf):
+            with pytest.raises(ValueError):
+                c.set_stage_capacity(0, bad)
+
+    def test_reduced_capacity_inflates_charge(self):
+        c = controller(1)
+        c.set_stage_capacity(0, 0.5)
+        t = make_task(0.0, 10.0, [2.0])
+        assert c.request(t, now=0.0).admitted
+        # C / (capacity * D) = 2 / (0.5 * 10)
+        assert c.utilizations() == pytest.approx((0.4,))
+
+    def test_outage_rejects_everything(self):
+        c = controller(1)
+        c.set_stage_capacity(0, 0.0)
+        assert not c.request(make_task(0.0, 100.0, [0.001]), now=0.0).admitted
+        c.set_stage_capacity(0, 1.0)
+        assert c.request(make_task(0.0, 100.0, [0.001]), now=0.0).admitted
+
+    def test_nominal_capacity_keeps_exact_charge(self):
+        c = controller(1)
+        t = make_task(0.0, 7.0, [0.3])
+        assert c.request(t, now=0.0).admitted
+        # capacity == 1.0 must take the exact C/D path (byte-identity
+        # of fault-free runs depends on it), not C/(1.0*D).
+        assert c.trackers[0].contribution_of(t.task_id) == 0.3 / 7.0
+
+    def test_capacities_snapshot(self):
+        c = controller(3)
+        c.set_stage_capacity(1, 0.25)
+        assert c.stage_capacities() == (1.0, 0.25, 1.0)

@@ -1,0 +1,212 @@
+"""Tests for the controller invariant auditor and resync recovery."""
+
+import pytest
+
+from repro.core.admission import PipelineAdmissionController
+from repro.core.audit import AUDIT_KINDS, ControllerAuditor, InvariantViolation
+from repro.core.task import make_task
+
+
+def controller(num_stages=2, **kwargs):
+    return PipelineAdmissionController(num_stages, **kwargs)
+
+
+def admit(c, costs, deadline=10.0, now=0.0, importance=0):
+    task = make_task(now, deadline, costs, importance=importance)
+    decision = c.request(task, now=now)
+    assert decision.admitted
+    return task
+
+
+def kinds(violations):
+    return {v.kind for v in violations}
+
+
+class TestCleanState:
+    def test_fresh_controller_is_clean(self):
+        auditor = ControllerAuditor(controller())
+        assert auditor.audit(0.0) == []
+        assert auditor.audits_run == 1
+        assert auditor.violations_found == 0
+
+    def test_normal_lifecycle_is_clean(self):
+        c = controller()
+        auditor = ControllerAuditor(c)
+        t = admit(c, [0.5, 0.5])
+        assert auditor.audit(1.0, frontier={t.task_id: 0}, idle_stages=[1]) == []
+        c.notify_subtask_departure(t.task_id, 0)
+        assert auditor.audit(2.0, frontier={t.task_id: 1}, idle_stages=[]) == []
+        c.notify_stage_idle(0)
+        assert (
+            auditor.audit(3.0, frontier={t.task_id: 1}, idle_stages=[0]) == []
+        )
+
+    def test_expiry_is_not_a_violation(self):
+        c = controller()
+        auditor = ControllerAuditor(c)
+        admit(c, [0.5, 0.5], deadline=2.0)
+        # Past the deadline: lazily-pending expiry must be applied, not
+        # reported.
+        assert auditor.audit(5.0, frontier={}, idle_stages=[0, 1]) == []
+        assert c.admitted_count == 0
+
+
+class TestInternalChecks:
+    def test_sum_drift_detected(self):
+        c = controller()
+        admit(c, [0.5, 0.5])
+        c.trackers[0]._sum += 0.25  # simulate bit-rot in the running sum
+        violations = ControllerAuditor(c).audit(1.0)
+        assert kinds(violations) == {"sum-drift"}
+        assert violations[0].stage == 0
+
+    def test_negative_utilization_detected(self):
+        c = controller()
+        c.trackers[1]._sum = -0.5
+        violations = ControllerAuditor(c).audit(0.0)
+        assert "negative-utilization" in kinds(violations)
+
+    def test_orphan_contribution_detected(self):
+        c = controller()
+        c.trackers[0].add("ghost", 0.3, expiry=100.0)
+        violations = ControllerAuditor(c).audit(0.0)
+        assert kinds(violations) == {"orphan-contribution"}
+        assert violations[0].task_id == "ghost"
+
+    def test_expired_record_surviving_expire_detected(self):
+        c = controller()
+        t = admit(c, [0.2, 0.2], deadline=1.0)
+        c._expiry_heap = []  # corrupt the heap so expire() can't find it
+        violations = ControllerAuditor(c).audit(5.0)
+        assert "expired-contribution" in kinds(violations)
+        assert any(v.task_id == t.task_id for v in violations)
+
+
+class TestGroundTruthChecks:
+    def test_missed_departure_detected(self):
+        c = controller()
+        t = admit(c, [0.5, 0.5])
+        # Ground truth: the task moved on to stage 1, but the departure
+        # notification for stage 0 was lost.
+        violations = ControllerAuditor(c).audit(
+            1.0, frontier={t.task_id: 1}, idle_stages=[]
+        )
+        assert [(v.kind, v.stage, v.task_id) for v in violations] == [
+            ("missed-departure", 0, t.task_id)
+        ]
+
+    def test_marked_departure_is_clean(self):
+        c = controller()
+        t = admit(c, [0.5, 0.5])
+        c.notify_subtask_departure(t.task_id, 0)
+        assert (
+            ControllerAuditor(c).audit(1.0, frontier={t.task_id: 1}) == []
+        )
+
+    def test_missed_idle_reset_detected(self):
+        c = controller()
+        t = admit(c, [0.5, 0.5])
+        c.notify_subtask_departure(t.task_id, 0)
+        # Stage 0 went idle but the notification was lost: the departed
+        # contribution is still counted.
+        violations = ControllerAuditor(c).audit(
+            1.0, frontier={t.task_id: 1}, idle_stages=[0]
+        )
+        assert kinds(violations) == {"missed-idle-reset"}
+        assert violations[0].stage == 0
+
+    def test_idle_check_skipped_when_reset_disabled(self):
+        c = controller(reset_on_idle=False)
+        t = admit(c, [0.5, 0.5])
+        c.notify_subtask_departure(t.task_id, 0)
+        assert (
+            ControllerAuditor(c).audit(
+                1.0, frontier={t.task_id: 1}, idle_stages=[0]
+            )
+            == []
+        )
+
+    def test_no_ground_truth_skips_cross_checks(self):
+        c = controller()
+        t = admit(c, [0.5, 0.5])
+        # Lost departure, but no frontier provided: internal checks
+        # cannot see it.
+        assert ControllerAuditor(c).audit(1.0) == []
+        assert ControllerAuditor(c).audit(1.0, frontier={t.task_id: 1}) != []
+
+
+class TestResync:
+    def test_resync_recovers_lost_departure(self):
+        c = controller()
+        t = admit(c, [0.5, 0.5])
+        frontier = {t.task_id: 1}  # departed stage 0; notification lost
+        auditor = ControllerAuditor(c)
+        assert auditor.audit(1.0, frontier=frontier) != []
+        report = c.resync(1.0, frontier)
+        assert report.departures_marked == 1
+        assert report.restored == 2
+        assert auditor.audit(1.0, frontier=frontier, idle_stages=[]) == []
+        # The recovered departed mark makes the next idle release work.
+        released = c.notify_stage_idle(0)
+        assert released == pytest.approx(0.05)
+
+    def test_resync_drops_orphans(self):
+        c = controller()
+        c.trackers[0].add("ghost", 0.3, expiry=100.0)
+        report = c.resync(0.0, frontier={})
+        assert report.dropped_orphans == 1
+        assert c.utilizations() == (0.0, 0.0)
+
+    def test_resync_drops_expired_records(self):
+        c = controller()
+        admit(c, [0.2, 0.2], deadline=1.0)
+        c._expiry_heap = []  # lose the expiry bookkeeping entirely
+        report = c.resync(5.0, frontier={})
+        assert report.dropped_expired == 1
+        assert c.admitted_count == 0
+        assert c.utilizations() == (0.0, 0.0)
+
+    def test_resync_preserves_live_state(self):
+        c = controller()
+        t1 = admit(c, [0.4, 0.2])
+        t2 = admit(c, [0.1, 0.3])
+        before = c.utilizations()
+        c.resync(1.0, frontier={t1.task_id: 0, t2.task_id: 0})
+        assert c.utilizations() == pytest.approx(before)
+        assert c.is_admitted(t1.task_id) and c.is_admitted(t2.task_id)
+        # Expiry machinery still works after the heap rebuild.
+        c.expire(11.0)
+        assert c.admitted_count == 0
+
+    def test_resync_preserves_reserved_baseline(self):
+        c = controller(2, reserved=[0.3, 0.1])
+        t = admit(c, [0.5, 0.5])
+        c.resync(1.0, frontier={t.task_id: 0})
+        assert c.utilizations() == pytest.approx((0.35, 0.15))
+
+    def test_tasks_absent_from_frontier_are_fully_departed(self):
+        c = controller()
+        t = admit(c, [0.5, 0.5])
+        report = c.resync(1.0, frontier={})
+        assert report.departures_marked == 2
+        assert c.notify_stage_idle(0) == pytest.approx(0.05)
+        assert c.notify_stage_idle(1) == pytest.approx(0.05)
+
+
+class TestViolationRendering:
+    def test_render_mentions_kind_stage_and_task(self):
+        v = InvariantViolation("missed-departure", 2, 17, "lost notification")
+        text = v.render()
+        assert "missed-departure" in text
+        assert "stage 2" in text
+        assert "17" in text
+
+    def test_kinds_catalog_is_complete(self):
+        assert set(AUDIT_KINDS) == {
+            "sum-drift",
+            "negative-utilization",
+            "orphan-contribution",
+            "expired-contribution",
+            "missed-departure",
+            "missed-idle-reset",
+        }

@@ -1,0 +1,349 @@
+"""Tests for the fault-injection and graceful-degradation subsystem."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.task import make_task
+from repro.faults import (
+    ArrivalBurst,
+    BackoffAdmission,
+    BackoffPolicy,
+    BrownoutConfig,
+    BrownoutController,
+    DropNotification,
+    ExecutionOverrun,
+    FaultInjector,
+    FaultSchedule,
+    StageOutage,
+    StageSlowdown,
+)
+from repro.faults.cli import main as faults_main
+from repro.faults.report import build_payload, render_report
+from repro.faults.scenarios import run_scenario, run_scenarios, scenario_names
+from repro.sim.pipeline import PipelineSimulation
+
+
+def completed_at(report, task_id):
+    for record in report.tasks:
+        if record.task_id == task_id:
+            return record.completed_at
+    raise AssertionError(f"task {task_id} not in report")
+
+
+def loaded_pipeline(seed, num_stages=2, load=0.8, horizon=60.0):
+    """A pipeline plus a Poisson arrival stream at the given mean load."""
+    pipeline = PipelineSimulation(num_stages)
+    rng = random.Random(seed)
+    mean_cost = 0.5
+    rate = load / (num_stages * mean_cost)
+    tasks = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(rate)
+        if t >= horizon:
+            break
+        tasks.append(
+            make_task(
+                t,
+                rng.uniform(5.0, 15.0),
+                [rng.expovariate(1.0 / mean_cost) for _ in range(num_stages)],
+            )
+        )
+    pipeline.offer_stream(tasks)
+    return pipeline
+
+
+class TestScheduleValidation:
+    def test_slowdown_rejects_bad_window_and_factor(self):
+        with pytest.raises(ValueError):
+            StageSlowdown(stage=0, start=5.0, end=5.0, factor=0.5)
+        with pytest.raises(ValueError):
+            StageSlowdown(stage=0, start=-1.0, end=5.0, factor=0.5)
+        with pytest.raises(ValueError):
+            StageSlowdown(stage=0, start=0.0, end=5.0, factor=1.0)
+        with pytest.raises(ValueError):
+            StageSlowdown(stage=0, start=0.0, end=5.0, factor=0.0)
+
+    def test_outage_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            StageOutage(stage=0, start=3.0, end=2.0)
+        assert StageOutage(stage=0, start=2.0, end=5.0).duration == 3.0
+
+    def test_overrun_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ExecutionOverrun(factor=0.9)
+        with pytest.raises(ValueError):
+            ExecutionOverrun(factor=math.inf)
+        with pytest.raises(ValueError):
+            ExecutionOverrun(factor=2.0, probability=1.5)
+
+    def test_drop_rejects_bad_kind_and_probability(self):
+        with pytest.raises(ValueError):
+            DropNotification(kind="bogus")
+        with pytest.raises(ValueError):
+            DropNotification(kind="idle", probability=0.0)
+
+    def test_burst_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ArrivalBurst(time=-1.0, count=5, deadline=1.0, mean_costs=(1.0,))
+        with pytest.raises(ValueError):
+            ArrivalBurst(time=0.0, count=0, deadline=1.0, mean_costs=(1.0,))
+        with pytest.raises(ValueError):
+            ArrivalBurst(time=0.0, count=5, deadline=0.0, mean_costs=(1.0,))
+        with pytest.raises(ValueError):
+            ArrivalBurst(time=0.0, count=5, deadline=1.0, mean_costs=())
+
+    def test_schedule_sorts_and_classifies(self):
+        late = StageSlowdown(stage=0, start=10.0, end=20.0, factor=0.5)
+        early = StageSlowdown(stage=1, start=1.0, end=2.0, factor=0.5)
+        dep = DropNotification(kind="departure")
+        idle = DropNotification(kind="idle")
+        schedule = FaultSchedule(slowdowns=[late, early], drops=[dep, idle])
+        assert schedule.slowdowns == (early, late)
+        assert schedule.drops_of_kind("departure") == (dep,)
+        assert schedule.drops_of_kind("idle") == (idle,)
+        assert not schedule.empty
+        assert FaultSchedule().empty
+
+
+class TestInjection:
+    def test_install_twice_raises(self):
+        injector = FaultInjector(PipelineSimulation(1), FaultSchedule())
+        injector.install()
+        with pytest.raises(RuntimeError):
+            injector.install()
+
+    def test_slowdown_stretches_execution(self):
+        pipeline = PipelineSimulation(1)
+        task = make_task(0.0, 10.0, [1.0])
+        pipeline.offer_at(task)
+        schedule = FaultSchedule(
+            slowdowns=[StageSlowdown(stage=0, start=0.0, end=10.0, factor=0.5)]
+        )
+        FaultInjector(pipeline, schedule).install()
+        report = pipeline.run(20.0)
+        # Half speed: the 1.0-unit job takes 2.0 wall-clock units.
+        assert completed_at(report, task.task_id) == pytest.approx(2.0)
+
+    def test_outage_freezes_in_flight_work(self):
+        pipeline = PipelineSimulation(1)
+        task = make_task(0.0, 10.0, [2.0])
+        pipeline.offer_at(task)
+        schedule = FaultSchedule(outages=[StageOutage(stage=0, start=1.0, end=3.0)])
+        FaultInjector(pipeline, schedule).install()
+        report = pipeline.run(20.0)
+        # Runs [0,1), frozen during the outage [1,3), resumes [3,4).
+        assert completed_at(report, task.task_id) == pytest.approx(4.0)
+
+    def test_overrun_executes_longer_than_declared(self):
+        pipeline = PipelineSimulation(1)
+        task = make_task(0.0, 10.0, [1.0])
+        pipeline.offer_at(task)
+        schedule = FaultSchedule(
+            overruns=[ExecutionOverrun(factor=2.0, probability=1.0)]
+        )
+        FaultInjector(pipeline, schedule).install()
+        report = pipeline.run(20.0)
+        record = next(r for r in report.tasks if r.task_id == task.task_id)
+        # Admission charged the declared demand; execution overran it.
+        assert record.admitted
+        assert record.completed_at == pytest.approx(2.0)
+
+    def test_rescaling_inflates_admission_charge(self):
+        pipeline = PipelineSimulation(1)
+        # Alone, this task contributes C/D = 0.3; at capacity 0.5 the
+        # charge doubles to 0.6, past the 2 - sqrt(2) region bound.
+        task = make_task(1.0, 10.0, [3.0])
+        pipeline.offer_at(task)
+        schedule = FaultSchedule(
+            slowdowns=[StageSlowdown(stage=0, start=0.0, end=20.0, factor=0.5)]
+        )
+        FaultInjector(pipeline, schedule, rescale_admission=True).install()
+        report = pipeline.run(30.0)
+        record = next(r for r in report.tasks if r.task_id == task.task_id)
+        assert not record.admitted
+
+    def test_empty_schedule_is_transparent(self):
+        plain = loaded_pipeline(seed=7).run(60.0)
+        chaotic = loaded_pipeline(seed=7)
+        injector = FaultInjector(chaotic, FaultSchedule(), audit_period=5.0)
+        injector.install()
+        report = chaotic.run(60.0)
+        assert injector.final_audit() == []
+        assert [(r.admitted, r.completed_at) for r in report.tasks] == [
+            (r.admitted, r.completed_at) for r in plain.tasks
+        ]
+
+    def test_burst_injection_is_deterministic(self):
+        def run(seed):
+            pipeline = PipelineSimulation(2)
+            schedule = FaultSchedule(
+                bursts=[
+                    ArrivalBurst(
+                        time=5.0, count=30, deadline=10.0, mean_costs=(0.5, 0.5)
+                    )
+                ]
+            )
+            injector = FaultInjector(pipeline, schedule, seed=seed).install()
+            report = pipeline.run(40.0)
+            return injector.summary(), report.admitted, report.miss_ratio()
+
+        assert run(3) == run(3)
+        assert run(3)[0]["burst_tasks"] == 30
+
+
+class TestDetectionAndHealing:
+    def drop_run(self, heal):
+        pipeline = loaded_pipeline(seed=11, load=0.9)
+        schedule = FaultSchedule(
+            drops=[DropNotification(kind="departure", probability=1.0)]
+        )
+        injector = FaultInjector(pipeline, schedule, seed=12, heal=heal)
+        injector.install()
+        report = pipeline.run(60.0)
+        return injector, report
+
+    def test_every_corrupting_drop_is_detected(self):
+        injector, _ = self.drop_run(heal=False)
+        summary = injector.summary()
+        assert summary["corrupting_drops"] > 0
+        assert summary["detected_corruptions"] == summary["corrupting_drops"]
+        assert summary["detection_ratio"] == 1.0
+
+    def test_healing_repairs_the_controller(self):
+        injector, _ = self.drop_run(heal=True)
+        assert injector.heals > 0
+        # After the last in-run heal the controller is consistent again:
+        # the final ground-truth audit must come back clean.
+        assert injector.final_audit() == []
+
+    def test_healing_recovers_accept_ratio(self):
+        _, degraded = self.drop_run(heal=False)
+        _, healed = self.drop_run(heal=True)
+        assert healed.accept_ratio > degraded.accept_ratio
+
+
+class TestBackoffAdmission:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(base_delay=0.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(base_delay=1.0, multiplier=0.5)
+        with pytest.raises(ValueError):
+            BackoffPolicy(base_delay=1.0, max_attempts=0)
+        assert BackoffPolicy(base_delay=1.0, multiplier=3.0).delay(2) == 9.0
+
+    def test_rejects_pipeline_with_wait_queue(self):
+        pipeline = PipelineSimulation(1, max_admission_wait=5.0)
+        with pytest.raises(ValueError):
+            BackoffAdmission(pipeline, BackoffPolicy(base_delay=1.0))
+
+    def test_retry_admits_after_transient_pressure(self):
+        pipeline = PipelineSimulation(1)
+        # The blocker saturates the region until it departs and the
+        # stage goes idle at t = 1, releasing its contribution.
+        blocker = make_task(0.0, 2.0, [1.0])
+        contender = make_task(0.0, 10.0, [2.0])
+        pipeline.offer_at(blocker)
+        backoff = BackoffAdmission(pipeline, BackoffPolicy(base_delay=1.0))
+        backoff.offer_at(contender)
+        report = pipeline.run(20.0)
+        assert backoff.admitted_first_try == 0
+        assert backoff.admitted_after_retry == 1
+        assert backoff.abandoned == 0
+        record = next(r for r in report.tasks if r.task_id == contender.task_id)
+        assert record.admitted and not record.missed
+
+    def test_abandons_when_deadline_unreachable(self):
+        pipeline = PipelineSimulation(1)
+        # f(2/3) > 1: this demand never fits the region, and by t = 1
+        # a retry could not finish before the deadline anyway.
+        contender = make_task(0.0, 3.0, [2.0])
+        backoff = BackoffAdmission(pipeline, BackoffPolicy(base_delay=1.0))
+        backoff.offer_at(contender)
+        pipeline.run(20.0)
+        assert backoff.abandoned == 1
+        assert backoff.admitted_first_try == backoff.admitted_after_retry == 0
+
+
+class TestBrownout:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BrownoutConfig(max_level=0)
+        with pytest.raises(ValueError):
+            BrownoutConfig(max_level=1, window=0.0)
+        with pytest.raises(ValueError):
+            BrownoutConfig(
+                max_level=1, enter_reject_ratio=0.1, exit_reject_ratio=0.2
+            )
+        with pytest.raises(ValueError):
+            BrownoutConfig(max_level=1, min_samples=0)
+
+    def test_install_twice_raises(self):
+        controller = BrownoutController(
+            PipelineSimulation(1), BrownoutConfig(max_level=1)
+        )
+        controller.install()
+        with pytest.raises(RuntimeError):
+            controller.install()
+
+    def test_gate_sheds_below_level_only(self):
+        pipeline = PipelineSimulation(1)
+        brownout = BrownoutController(pipeline, BrownoutConfig(max_level=2))
+        brownout.level = 1
+        low = make_task(1.0, 10.0, [0.1], importance=0)
+        high = make_task(1.0, 10.0, [0.1], importance=1)
+        brownout.offer_at(low)
+        brownout.offer_at(high)
+        report = pipeline.run(20.0)
+        assert brownout.browned_out == 1
+        assert brownout.browned_out_by_importance == {0: 1}
+        by_id = {r.task_id: r for r in report.tasks}
+        # The shed task is recorded as rejected but was never charged.
+        assert not by_id[low.task_id].admitted
+        assert by_id[high.task_id].admitted
+
+
+class TestScenarios:
+    def test_catalog_and_unknown_name(self):
+        names = scenario_names()
+        assert "baseline" in names and "brownout" in names
+        with pytest.raises(KeyError):
+            run_scenario("no-such-scenario", seed=0)
+
+    def test_baseline_scenario_is_fault_free(self):
+        result = run_scenario("baseline", seed=0)
+        (point,) = result["points"]
+        assert point["violations_total"] == 0
+        assert point["detection_ratio"] == 1.0
+        assert point["miss_ratio_admitted"] == 0.0
+
+    @pytest.mark.slow_chaos
+    def test_all_scenarios_are_deterministic(self):
+        names = scenario_names()
+        first = render_report(run_scenarios(names, seed=0), seed=0)
+        second = render_report(run_scenarios(names, seed=0), seed=0)
+        assert first == second
+        assert build_payload({}, 0)["harness"] == "repro.faults"
+
+
+class TestCli:
+    def test_list_names_scenarios(self, capsys):
+        assert faults_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in out
+
+    def test_unknown_scenario_fails(self, capsys):
+        assert faults_main(["--scenario", "bogus"]) == 2
+
+    def test_output_is_byte_identical_across_runs(self, tmp_path):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        args = ["--scenario", "baseline", "--scenario", "burst", "--seed", "3"]
+        assert faults_main(args + ["--out", str(first)]) == 0
+        assert faults_main(args + ["--out", str(second)]) == 0
+        assert first.read_bytes() == second.read_bytes()
+        assert b'"harness": "repro.faults"' in first.read_bytes()

@@ -206,6 +206,51 @@ class TestFLT001:
 
 
 # ----------------------------------------------------------------------
+# FLT002
+# ----------------------------------------------------------------------
+
+
+class TestFLT002:
+    def test_budget_comparison_fires(self):
+        hits = findings_for("fits = u <= budget\n", "FLT002")
+        assert len(hits) == 1
+        assert "approx" in hits[0].message
+
+    def test_deadline_comparison_fires(self):
+        assert findings_for("late = t > deadline\n", "FLT002")
+
+    def test_attribute_deadline_fires(self):
+        assert findings_for(
+            "settled = r.absolute_deadline <= horizon\n", "FLT002"
+        )
+
+    def test_strict_orderings_fire(self):
+        assert findings_for("over = value > region_budget(a, b)\n", "FLT002")
+        assert findings_for("under = remaining_budget < x\n", "FLT002")
+
+    def test_integer_sentinel_is_clean(self):
+        # Validations against exact non-float literals are not boundary
+        # decisions: `deadline <= 0` is an argument check.
+        assert not findings_for("bad = deadline <= 0\n", "FLT002")
+        assert not findings_for("bad = 0 < deadline\n", "FLT002")
+
+    def test_float_literal_boundary_fires(self):
+        assert findings_for("tight = deadline <= 1.5\n", "FLT002")
+
+    def test_unrelated_names_are_clean(self):
+        assert not findings_for("less = left < right\n", "FLT002")
+        assert not findings_for("done = count >= limit\n", "FLT002")
+
+    def test_equality_is_flt001_territory(self):
+        assert not findings_for("same = deadline == other\n", "FLT002")
+
+    def test_noqa_suppresses(self):
+        assert not findings_for(
+            "fits = u <= budget  # repro: noqa[FLT002]\n", "FLT002"
+        )
+
+
+# ----------------------------------------------------------------------
 # HEAP001
 # ----------------------------------------------------------------------
 
@@ -457,10 +502,11 @@ class TestMDL004:
 
 
 class TestFramework:
-    def test_all_nine_rules_registered(self):
+    def test_all_rules_registered(self):
         assert rule_ids() == [
             "DET001",
             "FLT001",
+            "FLT002",
             "HEAP001",
             "MDL001",
             "MDL002",
