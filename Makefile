@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint typecheck check chaos
+.PHONY: test lint typecheck check chaos serve-smoke bench
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -13,6 +13,19 @@ test:
 # Fast chaos suite: every named fault scenario, deterministic at seed 0.
 chaos:
 	$(PYTHON) -m repro.faults --scenario all --seed 0
+
+# Serving-layer smoke: replay a 1k-request seeded trace through the
+# in-process gateway twice and require byte-identical reports, zero
+# deadline misses, batching equivalence, and a clean snapshot audit.
+serve-smoke:
+	$(PYTHON) -m repro.serve.loadgen --scenario webserver --seed 0 --requests 1000 --selftest
+
+# Consolidated benchmark run: every benchmarks/bench_*.py file, one
+# machine-readable summary at the repo root.
+bench:
+	$(PYTHON) -m pytest benchmarks -q -o addopts="" --benchmark-only \
+		--benchmark-json=BENCH_serve.json
+	@echo "wrote BENCH_serve.json"
 
 lint:
 	$(PYTHON) -m repro.lint src examples benchmarks
@@ -24,9 +37,9 @@ lint:
 
 typecheck:
 	@if command -v mypy >/dev/null 2>&1; then \
-		mypy src/repro/core src/repro/lint; \
+		mypy src/repro/core src/repro/lint src/repro/serve; \
 	else \
 		echo "mypy not installed; skipping (config in pyproject.toml)"; \
 	fi
 
-check: lint typecheck test
+check: lint typecheck test serve-smoke

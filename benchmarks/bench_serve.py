@@ -1,0 +1,120 @@
+"""Throughput and latency benchmarks for the serving layer.
+
+Four costs the gateway adds around the core admission test:
+
+- protocol round trips (parse, dispatch, decide, encode) through the
+  in-process transport — the full stack minus sockets;
+- batched admission (``admit_many``) vs a sequential ``request`` loop
+  at the same virtual timestamps, the amortization the batch queue buys;
+- snapshot/restore of a controller with live admitted state;
+- the end-to-end load generator on the webserver scenario, the number
+  `make serve-smoke` exercises.
+"""
+
+import random
+
+from repro.core.admission import PipelineAdmissionController
+from repro.core.task import make_task
+from repro.serve.client import GatewayClient, InProcessTransport
+from repro.serve.gateway import AdmissionGateway
+from repro.serve.loadgen import run_scenario
+from repro.serve.snapshot import controller_snapshot, restore_controller
+
+from conftest import run_once
+
+NUM_STAGES = 3
+TRACE_LEN = 2000
+
+
+def _trace(seed, count=TRACE_LEN, num_stages=NUM_STAGES):
+    rng = random.Random(seed)
+    t = 0.0
+    tasks = []
+    for task_id in range(count):
+        t += rng.expovariate(100.0)
+        tasks.append(
+            make_task(
+                arrival_time=t,
+                deadline=rng.uniform(0.5, 2.0),
+                computation_times=[
+                    rng.expovariate(1.0 / 0.004) for _ in range(num_stages)
+                ],
+                importance=rng.randrange(3),
+                task_id=task_id,
+            )
+        )
+    return tasks
+
+
+def test_gateway_protocol_round_trips(benchmark):
+    tasks = _trace(seed=0)
+
+    def run():
+        client = GatewayClient(InProcessTransport(AdmissionGateway()))
+        client.register("bench", {"num_stages": NUM_STAGES})
+        admitted = 0
+        for task in tasks:
+            if client.admit("bench", task)["admitted"]:
+                admitted += 1
+        return admitted
+
+    admitted = run_once(benchmark, run)
+    assert 0 < admitted <= TRACE_LEN
+
+
+def test_sequential_request_loop(benchmark):
+    tasks = _trace(seed=0)
+
+    def run():
+        controller = PipelineAdmissionController(NUM_STAGES)
+        return sum(
+            controller.request(task, task.arrival_time).admitted
+            for task in tasks
+        )
+
+    admitted = run_once(benchmark, run)
+    assert 0 < admitted <= TRACE_LEN
+
+
+def test_batched_admit_many(benchmark):
+    tasks = _trace(seed=0)
+
+    def run():
+        controller = PipelineAdmissionController(NUM_STAGES)
+        return sum(d.admitted for d in controller.admit_many(tasks))
+
+    admitted = run_once(benchmark, run)
+    # Amortized path must agree with the sequential loop above.
+    reference = PipelineAdmissionController(NUM_STAGES)
+    assert admitted == sum(
+        reference.request(task, task.arrival_time).admitted for task in tasks
+    )
+
+
+def test_snapshot_restore_round_trip(benchmark):
+    controller = PipelineAdmissionController(NUM_STAGES)
+    for task in _trace(seed=1, count=500):
+        # Long deadlines keep every record live at snapshot time.
+        controller.request(
+            make_task(
+                arrival_time=task.arrival_time,
+                deadline=1000.0,
+                computation_times=[c * 0.01 for c in task.computation_times],
+                task_id=task.task_id,
+            ),
+            task.arrival_time,
+        )
+    live = len(controller.iter_admitted())
+    assert live > 100
+
+    def round_trip():
+        return restore_controller(controller_snapshot(controller))
+
+    restored = run_once(benchmark, round_trip)
+    assert len(restored.iter_admitted()) == live
+
+
+def test_loadgen_webserver_scenario(benchmark):
+    report = run_once(benchmark, run_scenario, "webserver", 0, 500)
+    assert report["traffic"]["missed"] == 0
+    assert report["traffic"]["admitted"] == 500

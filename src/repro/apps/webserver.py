@@ -192,11 +192,17 @@ class WebServerModel:
     # Simulation
     # ------------------------------------------------------------------
 
-    def requests(self, horizon: float, rng: random.Random) -> Iterator[PipelineTask]:
-        """Generate the Poisson request stream over ``[0, horizon)``."""
+    def request_stream(self, rng: random.Random) -> Iterator[PipelineTask]:
+        """The endless seeded Poisson request stream under the mix.
+
+        Draw order per request is fixed (inter-arrival gap, class
+        choice, per-tier costs), so any prefix of the stream is a pure
+        function of the seed — the property the serving load generator
+        depends on for byte-stable replays.
+        """
         t = rng.expovariate(self.arrival_rate)
         classes = list(self.request_mix)
-        while t < horizon:
+        while True:
             cls = rng.choices(classes, weights=self._probabilities, k=1)[0]
             costs = [
                 rng.expovariate(1.0 / c) if c > 0 else 0.0
@@ -209,6 +215,42 @@ class WebServerModel:
                 importance=cls.importance,
             )
             t += rng.expovariate(self.arrival_rate)
+
+    def requests(self, horizon: float, rng: random.Random) -> Iterator[PipelineTask]:
+        """Generate the Poisson request stream over ``[0, horizon)``."""
+        for task in self.request_stream(rng):
+            if task.arrival_time >= horizon:
+                return
+            yield task
+
+    def request_trace(self, count: int, seed: int) -> Tuple[PipelineTask, ...]:
+        """The first ``count`` requests of the seed's stream, re-identified.
+
+        Task ids are rewritten to ``0..count-1`` so the trace is fully
+        reproducible across processes *and* within one process (the
+        default ids come from a global counter).  This is the loadgen
+        scenario input.
+
+        Raises:
+            ValueError: If ``count`` is negative.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        rng = random.Random(seed)
+        trace = []
+        for task_id, task in enumerate(self.request_stream(rng)):
+            if task_id >= count:
+                break
+            trace.append(
+                make_task(
+                    arrival_time=task.arrival_time,
+                    deadline=task.deadline,
+                    computation_times=task.computation_times,
+                    importance=task.importance,
+                    task_id=task_id,
+                )
+            )
+        return tuple(trace)
 
     def simulate(
         self, horizon: float = 60.0, seed: int = 0, warmup_fraction: float = 0.05

@@ -283,6 +283,79 @@ class PipelineAdmissionController:
             for task_id, record in self._admitted.items()
         }
 
+    def iter_admitted(self) -> List[Tuple[Hashable, Tuple[float, ...], float, int]]:
+        """Full admitted records: ``(task_id, contributions, expiry, importance)``.
+
+        The contributions are the amounts charged at admission time;
+        per-stage *live* amounts (after idle resets) must be read from
+        the trackers.  Used by the serving layer's snapshot/restore.
+        """
+        return [
+            (task_id, record.contributions, record.expiry, record.importance)
+            for task_id, record in self._admitted.items()
+        ]
+
+    # ------------------------------------------------------------------
+    # State restore (serving-layer snapshot support)
+    # ------------------------------------------------------------------
+
+    def load_admitted(
+        self,
+        task_id: Hashable,
+        contributions: Sequence[float],
+        expiry: float,
+        importance: int = 0,
+        live: Optional[Sequence[Optional[float]]] = None,
+        departed_stages: Sequence[int] = (),
+    ) -> None:
+        """Re-install one admitted task's bookkeeping from a snapshot.
+
+        The inverse of :meth:`iter_admitted` plus the trackers' live
+        state: the admitted record keeps the originally charged
+        ``contributions`` (so shedding rollback restores exactly what it
+        removed), while the trackers only receive the ``live`` per-stage
+        amounts — entries already released by idle resets stay released.
+
+        Args:
+            task_id: Task identifier (must not currently be admitted).
+            contributions: Originally charged per-stage contributions.
+            expiry: Absolute deadline of the task.
+            importance: Semantic importance (shedding order).
+            live: Per-stage amounts still counted by the trackers; a
+                ``None`` entry marks a stage no longer tracking the
+                task (its contribution was released by an idle reset —
+                distinct from a tracked zero-cost contribution).
+                Defaults to ``contributions`` (nothing released yet).
+            departed_stages: Stages where the task already departed and
+                awaits the next idle reset.
+
+        Raises:
+            ValueError: If the task is already admitted or a vector has
+                the wrong length.
+        """
+        if task_id in self._admitted:
+            raise ValueError(f"task {task_id!r} is already admitted")
+        charged = tuple(float(c) for c in contributions)
+        amounts: Tuple[Optional[float], ...] = (
+            charged
+            if live is None
+            else tuple(None if c is None else float(c) for c in live)
+        )
+        if len(charged) != self.num_stages or len(amounts) != self.num_stages:
+            raise ValueError(
+                f"contribution vectors must have {self.num_stages} entries"
+            )
+        departed = frozenset(departed_stages)
+        for j, (tracker, amount) in enumerate(zip(self.trackers, amounts)):
+            if amount is not None:
+                tracker.add(task_id, amount, expiry)
+                if j in departed:
+                    tracker.mark_departed(task_id)
+        self._admitted[task_id] = _Admitted(
+            contributions=charged, expiry=expiry, importance=importance
+        )
+        heapq.heappush(self._expiry_heap, (expiry, task_id))
+
     # ------------------------------------------------------------------
     # Degradation
     # ------------------------------------------------------------------
@@ -340,6 +413,99 @@ class PipelineAdmissionController:
             return AdmissionDecision(admitted=False, region_value=self.region_value())
         self._install(task, contributions)
         return AdmissionDecision(admitted=True, region_value=self.region_value())
+
+    def admit_many(
+        self,
+        tasks: Sequence[PipelineTask],
+        times: Optional[Sequence[float]] = None,
+    ) -> List[AdmissionDecision]:
+        """Batched admission: decide a time-ordered arrival sequence in one pass.
+
+        The batched fast path amortizes the per-request bookkeeping of
+        :meth:`request` — expiry processing is skipped for arrivals that
+        share a timestamp (bursts), and the region value returned with
+        each decision is served from a per-stage cache of
+        ``f(min(U_j, 1))`` terms instead of being recomputed ``O(N)``
+        per rejection.
+
+        Correctness guarantee: the decisions (and the final tracker
+        state) are *decision-for-decision identical* to calling
+        :meth:`request` once per task at the same timestamps.  The test
+        loop performs the exact same float operations in the exact same
+        order as :meth:`_fits`, and cache entries are always recomputed
+        from ``tracker.value`` with the same expression
+        :meth:`region_value` uses — so not even the last ulp differs.
+
+        Args:
+            tasks: Arriving tasks, ordered by decision time.
+            times: Decision timestamp per task; defaults to each task's
+                ``arrival_time``.  Must be non-decreasing.
+
+        Returns:
+            One :class:`AdmissionDecision` per task, in input order.
+
+        Raises:
+            ValueError: If ``times`` has the wrong length or the
+                timestamps are not non-decreasing.
+        """
+        task_list = list(tasks)
+        if times is None:
+            time_list = [task.arrival_time for task in task_list]
+        else:
+            time_list = [float(t) for t in times]
+            if len(time_list) != len(task_list):
+                raise ValueError(
+                    f"{len(time_list)} timestamps for {len(task_list)} tasks"
+                )
+        for earlier, later in zip(time_list, time_list[1:]):
+            if later < earlier:
+                raise ValueError(
+                    f"batch timestamps must be non-decreasing, got {earlier} "
+                    f"then {later}"
+                )
+        trackers = self.trackers
+        budget = self.budget
+        # f(min(U_j, 1)) per stage; kept exactly equal to the terms
+        # region_value() would compute, so sum(cache) == region_value().
+        cache = [stage_delay_factor(min(t.value, 1.0)) for t in trackers]
+        decisions: List[AdmissionDecision] = []
+        last_now: Optional[float] = None
+        for task, now in zip(task_list, time_list):
+            if last_now is None or now > last_now:
+                self._expire_cached(now, cache)
+                last_now = now
+            contributions = self._contributions(task)
+            # Inline of _fits, same float-op order (equivalence depends on it).
+            value = 0.0
+            fits = True
+            for tracker, extra in zip(trackers, contributions):
+                u = tracker.value + extra
+                if approx_ge(u, 1.0):
+                    fits = False
+                    break
+                value += stage_delay_factor(u)
+                if not approx_le(value, budget):
+                    fits = False
+                    break
+            if fits:
+                self._install(task, contributions)
+                for j, tracker in enumerate(trackers):
+                    cache[j] = stage_delay_factor(min(tracker.value, 1.0))
+            decisions.append(
+                AdmissionDecision(admitted=fits, region_value=sum(cache))
+            )
+        return decisions
+
+    def _expire_cached(self, now: float, cache: List[float]) -> None:
+        """:meth:`expire`, refreshing region-cache entries of touched stages."""
+        for j, tracker in enumerate(self.trackers):
+            if tracker.expire_until(now):
+                cache[j] = stage_delay_factor(min(tracker.value, 1.0))
+        while self._expiry_heap and self._expiry_heap[0][0] <= now:
+            _, task_id = heapq.heappop(self._expiry_heap)
+            record = self._admitted.get(task_id)
+            if record is not None and record.expiry <= now:
+                del self._admitted[task_id]
 
     def request_with_shedding(
         self, task: PipelineTask, now: float

@@ -1,0 +1,53 @@
+"""repro.serve: the online admission-control gateway.
+
+Turns the library's feasible-region admission test into a runnable
+service: a :class:`~repro.serve.registry.PipelineRegistry` hosts many
+named controllers, an :class:`~repro.serve.gateway.AdmissionGateway`
+speaks a newline-delimited JSON protocol (over TCP via
+:class:`~repro.serve.gateway.GatewayServer` or in-process via
+:class:`~repro.serve.client.InProcessTransport`), admissions can be
+batched with a sequential-equivalence guarantee, controller state
+snapshots and restores with auditing, and ``python -m
+repro.serve.loadgen`` replays seeded traces into byte-stable reports.
+
+See DESIGN.md §9 for the mapping from protocol operations to the
+paper's Section-4 bookkeeping rules.
+"""
+
+from .batching import AdmissionBatcher
+from .client import (
+    GatewayClient,
+    GatewayControllerProxy,
+    GatewayError,
+    InProcessTransport,
+    TcpTransport,
+)
+from .gateway import AdmissionGateway, GatewayServer
+from .protocol import OPS, ProtocolError
+from .registry import PipelinePolicy, PipelineRegistry, ServedPipeline
+from .snapshot import (
+    SNAPSHOT_FORMAT,
+    controller_snapshot,
+    restore_controller,
+    verify_restored,
+)
+
+__all__ = [
+    "AdmissionBatcher",
+    "AdmissionGateway",
+    "GatewayClient",
+    "GatewayControllerProxy",
+    "GatewayError",
+    "GatewayServer",
+    "InProcessTransport",
+    "OPS",
+    "PipelinePolicy",
+    "PipelineRegistry",
+    "ProtocolError",
+    "SNAPSHOT_FORMAT",
+    "ServedPipeline",
+    "TcpTransport",
+    "controller_snapshot",
+    "restore_controller",
+    "verify_restored",
+]

@@ -1,0 +1,31 @@
+"""Run a standalone gateway server: ``python -m repro.serve``."""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from typing import Optional, Sequence
+
+from .gateway import serve_forever
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve the admission-control gateway over TCP.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=0, help="bind port (0 picks a free port)"
+    )
+    args = parser.parse_args(argv)
+    try:
+        asyncio.run(serve_forever(args.host, args.port))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

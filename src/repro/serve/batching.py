@@ -1,0 +1,111 @@
+"""Admission batching: queue arrivals, decide them in one amortized pass.
+
+Under heavy traffic the gateway amortizes the feasible-region
+evaluation by queueing ``admit`` requests and deciding a whole batch
+with :meth:`~repro.core.admission.PipelineAdmissionController.admit_many`.
+Two triggers close a batch:
+
+- *virtual-time window*: a batch opened at virtual time ``t0`` flushes
+  when an arrival at ``t >= t0 + window`` shows up (the newcomer starts
+  the next batch);
+- *size cap*: a batch holding ``max_batch`` entries flushes
+  immediately.
+
+Any non-``admit`` operation on the pipeline acts as a *barrier* — the
+pending batch is decided first, so every observer (``stats``,
+``snapshot``, ``depart``, ...) sees the state sequential processing
+would have produced.
+
+Correctness: ``admit_many`` guarantees decision-for-decision
+equivalence with sequential admission at the same virtual timestamps,
+so batching changes *when* responses are emitted, never *what* they
+say.  Batching is virtual-time based and therefore fully deterministic:
+no wall-clock timer ever closes a batch.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generic, List, Optional, Tuple, TypeVar
+
+__all__ = ["AdmissionBatcher"]
+
+T = TypeVar("T")
+
+
+class AdmissionBatcher(Generic[T]):
+    """Orders queued admission entries into flush-ready batches.
+
+    The batcher is pure queue mechanics — it never decides admissions
+    itself.  Entries are opaque to it (the serving layer queues
+    ``(correlation token, task)`` pairs).
+
+    Args:
+        window: Virtual-time width of one batch (> 0), or ``None`` for
+            no time-based trigger.
+        max_batch: Maximum entries per batch (>= 1), or ``None`` for no
+            size cap.
+
+    Raises:
+        ValueError: On a non-positive window or size cap.
+    """
+
+    def __init__(
+        self, window: Optional[float] = None, max_batch: Optional[int] = None
+    ) -> None:
+        if window is not None and not window > 0:
+            raise ValueError(f"batch window must be > 0, got {window}")
+        if max_batch is not None and max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.window = window
+        self.max_batch = max_batch
+        self._pending: List[T] = []
+        self._opened_at: float = 0.0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether batching is configured at all."""
+        return self.window is not None or self.max_batch is not None
+
+    @property
+    def pending(self) -> int:
+        """Entries queued and not yet flushed."""
+        return len(self._pending)
+
+    def push(self, entry: T, arrival: float) -> List[List[T]]:
+        """Queue one entry; return any batches that are now ready.
+
+        The window trigger fires *before* queueing (the newcomer opens
+        the next batch); the size trigger fires after.  At most two
+        batches can come back from a single push (a window flush of the
+        old batch, then a size-1 flush of the new one).
+
+        Args:
+            entry: Opaque queue entry.
+            arrival: The entry's virtual timestamp.
+        """
+        ready: List[List[T]] = []
+        if (
+            self._pending
+            and self.window is not None
+            and arrival >= self._opened_at + self.window
+        ):
+            ready.append(self._drain())
+        if not self._pending:
+            self._opened_at = arrival
+        self._pending.append(entry)
+        if self.max_batch is not None and len(self._pending) >= self.max_batch:
+            ready.append(self._drain())
+        return ready
+
+    def flush(self) -> List[T]:
+        """Drain the pending batch (barrier operations and shutdown)."""
+        return self._drain()
+
+    def _drain(self) -> List[T]:
+        drained = self._pending
+        self._pending = []
+        return drained
+
+    def peek(self) -> Tuple[Any, ...]:
+        """Read-only view of the pending entries (diagnostics)."""
+        return tuple(self._pending)

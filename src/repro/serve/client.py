@@ -1,0 +1,273 @@
+"""Gateway clients: transports, a request/response client, and a proxy.
+
+Three layers, bottom-up:
+
+* Transports carry protocol lines.  :class:`InProcessTransport` drives
+  an :class:`~repro.serve.gateway.AdmissionGateway` directly — same
+  lines, same bytes, no sockets — so tests and the load generator stay
+  deterministic and fast.  :class:`TcpTransport` is a blocking-socket
+  client for a live :class:`~repro.serve.gateway.GatewayServer`.
+* :class:`GatewayClient` assigns request ids, correlates responses
+  (batched ``admit`` responses arrive *later*, interleaved with other
+  replies), and raises :class:`GatewayError` on protocol errors.
+* :class:`GatewayControllerProxy` duck-types the
+  :class:`~repro.core.admission.PipelineAdmissionController` interface
+  over a client, so a :class:`~repro.sim.pipeline.PipelineSimulation`
+  can run closed-loop against a remote gateway unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import socket
+from typing import Any, Dict, Hashable, List, Optional, Union
+
+from ..core.admission import AdmissionDecision
+from ..core.task import PipelineTask
+from .gateway import AdmissionGateway
+from .protocol import task_to_wire
+
+__all__ = [
+    "GatewayError",
+    "InProcessTransport",
+    "TcpTransport",
+    "GatewayClient",
+    "GatewayControllerProxy",
+]
+
+
+class GatewayError(RuntimeError):
+    """An error response from the gateway (or a transport failure).
+
+    Attributes:
+        code: The protocol error code (e.g. ``"unknown-pipeline"``),
+            or ``"transport"`` for client-side failures.
+    """
+
+    def __init__(self, code: str, detail: str) -> None:
+        super().__init__(f"[{code}] {detail}")
+        self.code = code
+        self.detail = detail
+
+
+class InProcessTransport:
+    """Drives a gateway synchronously; full protocol, no sockets."""
+
+    def __init__(self, gateway: Optional[AdmissionGateway] = None) -> None:
+        self.gateway = gateway if gateway is not None else AdmissionGateway()
+
+    def submit(self, line: str) -> List[str]:
+        """Send one request line; return every response line it released."""
+        return [response for _origin, response in self.gateway.handle_line(line)]
+
+    def readline(self) -> Optional[str]:
+        """In-process responses always come back from :meth:`submit`."""
+        return None
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+class TcpTransport:
+    """Blocking-socket client for a live gateway server."""
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def submit(self, line: str) -> List[str]:
+        """Send one request line; responses are read via :meth:`readline`."""
+        self._file.write(line.encode("utf-8") + b"\n")
+        self._file.flush()
+        return []
+
+    def readline(self) -> Optional[str]:
+        """Block until the server sends the next response line."""
+        raw = self._file.readline()
+        if not raw:
+            return None
+        return raw.decode("utf-8").strip()
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+
+Transport = Union[InProcessTransport, TcpTransport]
+
+
+class GatewayClient:
+    """Request/response client with deferred-response correlation."""
+
+    def __init__(self, transport: Transport) -> None:
+        self.transport = transport
+        self._next_id = 0
+        self._inbox: Dict[Any, Dict[str, Any]] = {}
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def send(self, op: str, **operands: Any) -> int:
+        """Send one request; return its id without waiting for a reply."""
+        request_id = self._next_id
+        self._next_id += 1
+        request: Dict[str, Any] = {"id": request_id, "op": op}
+        request.update(operands)
+        line = json.dumps(request, sort_keys=True, separators=(",", ":"))
+        self._stash(self.transport.submit(line))
+        return request_id
+
+    def _stash(self, lines: List[str]) -> None:
+        for line in lines:
+            response = json.loads(line)
+            self._inbox[response.get("id")] = response
+
+    def collect(self, request_id: int, wait: bool = True) -> Optional[Dict[str, Any]]:
+        """Fetch the response to ``request_id``.
+
+        Args:
+            request_id: Id returned by :meth:`send`.
+            wait: Block (reading the transport) until the response
+                arrives.  With ``wait=False``, return ``None`` if it is
+                not here yet — e.g. an admit still queued in a batch.
+
+        Raises:
+            GatewayError: If waiting and the transport cannot produce
+                the response (in-process deferred batch, closed
+                socket).
+        """
+        while request_id not in self._inbox:
+            if not wait:
+                return None
+            line = self.transport.readline()
+            if line is None:
+                raise GatewayError(
+                    "transport",
+                    f"response to request {request_id} is not available "
+                    "(batched admit pending? connection closed?)",
+                )
+            self._stash([line])
+        return self._inbox.pop(request_id)
+
+    def call(self, op: str, **operands: Any) -> Dict[str, Any]:
+        """Send one request and return its (checked) response.
+
+        Raises:
+            GatewayError: On an error response.
+        """
+        response = self.collect(self.send(op, **operands))
+        assert response is not None
+        if not response.get("ok"):
+            raise GatewayError(
+                str(response.get("error", "unknown")),
+                str(response.get("detail", "")),
+            )
+        return response
+
+    def close(self) -> None:
+        self.transport.close()
+
+    # ------------------------------------------------------------------
+    # Operation helpers
+    # ------------------------------------------------------------------
+
+    def register(self, pipeline: str, policy: Dict[str, Any]) -> Dict[str, Any]:
+        return self.call("register", pipeline=pipeline, policy=policy)
+
+    def admit(self, pipeline: str, task: PipelineTask) -> Dict[str, Any]:
+        """Admit synchronously (the pipeline must respond unbatched)."""
+        return self.call("admit", pipeline=pipeline, task=task_to_wire(task))
+
+    def submit_admit(self, pipeline: str, task: PipelineTask) -> int:
+        """Queue an admit on a batched pipeline; correlate via the id."""
+        return self.send("admit", pipeline=pipeline, task=task_to_wire(task))
+
+    def drain(self) -> Dict[str, Any]:
+        """Flush all pending batches; afterwards every admit answered."""
+        return self.call("drain")
+
+    def stats(self, pipeline: Optional[str] = None) -> Dict[str, Any]:
+        if pipeline is None:
+            return self.call("stats")
+        return self.call("stats", pipeline=pipeline)
+
+
+def _decision_from_response(response: Dict[str, Any]) -> AdmissionDecision:
+    return AdmissionDecision(
+        admitted=bool(response["admitted"]),
+        region_value=float(response["region_value"]),
+        shed=tuple(response.get("shed", ())),
+    )
+
+
+class GatewayControllerProxy:
+    """Duck-typed admission controller backed by a gateway pipeline.
+
+    Implements the controller surface a
+    :class:`~repro.sim.pipeline.PipelineSimulation` touches —
+    ``request``/``request_with_shedding``, ``expire``, the departure
+    and idle notifications, ``set_stage_capacity`` — by issuing
+    protocol calls.  The served pipeline must be *unbatched*: the
+    simulation needs each decision synchronously.  (Whether shedding is
+    applied is the pipeline policy's choice; both request methods map
+    to the same ``admit`` operation.)
+    """
+
+    def __init__(
+        self,
+        client: GatewayClient,
+        pipeline: str,
+        num_stages: int,
+        reset_on_idle: bool = True,
+    ) -> None:
+        self.client = client
+        self.pipeline = pipeline
+        self.num_stages = num_stages
+        self.reset_on_idle = reset_on_idle
+        self.drop_departures = False
+        self.drop_idles = False
+
+    def request(self, task: PipelineTask, now: float) -> AdmissionDecision:
+        del now  # the wire task carries its own arrival timestamp
+        return _decision_from_response(self.client.admit(self.pipeline, task))
+
+    def request_with_shedding(
+        self, task: PipelineTask, now: float
+    ) -> AdmissionDecision:
+        del now
+        return _decision_from_response(self.client.admit(self.pipeline, task))
+
+    def expire(self, now: float) -> None:
+        self.client.call("expire", pipeline=self.pipeline, now=now)
+
+    def notify_subtask_departure(self, task_id: Hashable, stage: int) -> None:
+        if self.drop_departures:
+            return
+        self.client.call(
+            "depart", pipeline=self.pipeline, task_id=task_id, stage=stage
+        )
+
+    def notify_stage_idle(self, stage: int) -> float:
+        if self.drop_idles:
+            return 0.0
+        response = self.client.call("idle", pipeline=self.pipeline, stage=stage)
+        return float(response["released"])
+
+    def set_stage_capacity(self, stage: int, capacity: float) -> None:
+        self.client.call(
+            "capacity", pipeline=self.pipeline, stage=stage, capacity=capacity
+        )
+
+    def resync(self, now: float, frontier: Dict[Hashable, int]) -> Dict[str, Any]:
+        wire_frontier = {str(task_id): stage for task_id, stage in frontier.items()}
+        return self.client.call(
+            "resync", pipeline=self.pipeline, now=now, frontier=wire_frontier
+        )
+
+    def next_expiry(self) -> float:
+        """Expiry wake-ups are server-side; the proxy never schedules one."""
+        return math.inf

@@ -1,0 +1,404 @@
+"""The admission gateway: protocol dispatch and the asyncio server.
+
+Two layers:
+
+:class:`AdmissionGateway`
+    Synchronous, deterministic core.  One call per request line;
+    returns zero or more ``(origin, response line)`` pairs (batched
+    admissions defer their responses until the batch flushes, so a
+    single request can release responses owed to *earlier* requests,
+    potentially from other connections).  All protocol errors become
+    error responses — the gateway never raises for request content.
+
+:class:`GatewayServer`
+    Asyncio TCP front end.  Reads newline-delimited requests per
+    connection, feeds them to the shared core, routes responses to the
+    connection that issued each request, applies write backpressure
+    (``await drain()``), and performs a graceful drain on shutdown:
+    pending admission batches are flushed and their responses delivered
+    before sockets close.
+
+The core is also driven directly by
+:class:`repro.serve.client.InProcessTransport` — same lines, same
+bytes, no event loop — which keeps tests and the load generator
+deterministic and fast while exercising the full protocol stack.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from .protocol import (
+    ProtocolError,
+    error_response,
+    frontier_from_wire,
+    ok_response,
+    parse_request,
+    task_from_wire,
+)
+from .registry import Decided, PipelinePolicy, PipelineRegistry, ServedPipeline
+from .snapshot import verify_restored
+
+__all__ = ["AdmissionGateway", "GatewayServer", "serve_forever"]
+
+#: ``(origin, response line)`` — origin is the opaque connection token
+#: the request arrived with (``None`` for in-process callers).
+Routed = Tuple[Any, str]
+
+
+class AdmissionGateway:
+    """Deterministic protocol core over a :class:`PipelineRegistry`."""
+
+    def __init__(self, registry: Optional[PipelineRegistry] = None) -> None:
+        self.registry = registry if registry is not None else PipelineRegistry()
+        self.draining = False
+        self.op_counts: Dict[str, int] = {}
+        self.errors = 0
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def handle_line(self, line: str, origin: Any = None) -> List[Routed]:
+        """Process one request line; return routed response lines.
+
+        Never raises for request content — malformed or unserviceable
+        requests produce a single error response to ``origin``.
+        """
+        request: Optional[Dict[str, Any]] = None
+        try:
+            request = parse_request(line)
+            op = request["op"]
+            self.op_counts[op] = self.op_counts.get(op, 0) + 1
+            if self.draining and op == "admit":
+                raise ProtocolError("draining", "gateway is draining; no new admits")
+            handler = getattr(self, f"_op_{op}")
+            return handler(request, origin)
+        except ProtocolError as exc:
+            self.errors += 1
+            return [(origin, error_response(request, exc.code, exc.detail))]
+
+    def drain(self) -> List[Routed]:
+        """Flush every pipeline's pending batch (shutdown path)."""
+        routed: List[Routed] = []
+        for pipeline in self.registry:
+            routed.extend(_decided_responses(pipeline.flush()))
+        return routed
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _pipeline(self, request: Dict[str, Any]) -> ServedPipeline:
+        return self.registry.get(request["pipeline"])
+
+    def _barrier(self, request: Dict[str, Any]) -> Tuple[ServedPipeline, List[Routed]]:
+        """Look up the target pipeline and flush its pending batch.
+
+        Every non-admit pipeline operation is a batch barrier: queued
+        admissions are decided (and their responses released) *before*
+        the operation runs, so observers see sequential-equivalent
+        state.
+        """
+        pipeline = self._pipeline(request)
+        return pipeline, _decided_responses(pipeline.flush())
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def _op_health(self, request: Dict[str, Any], origin: Any) -> List[Routed]:
+        return [
+            (
+                origin,
+                ok_response(
+                    request,
+                    pipelines=sorted(self.registry.names()),
+                    draining=self.draining,
+                    errors=self.errors,
+                ),
+            )
+        ]
+
+    def _op_register(self, request: Dict[str, Any], origin: Any) -> List[Routed]:
+        policy = PipelinePolicy.from_dict(request.get("policy"))
+        pipeline = self.registry.register(request["pipeline"], policy)
+        return [
+            (
+                origin,
+                ok_response(
+                    request,
+                    pipeline=pipeline.name,
+                    region_budget=pipeline.controller.budget,
+                ),
+            )
+        ]
+
+    def _op_unregister(self, request: Dict[str, Any], origin: Any) -> List[Routed]:
+        pipeline, routed = self._barrier(request)
+        self.registry.unregister(pipeline.name)
+        routed.append((origin, ok_response(request, pipeline=pipeline.name)))
+        return routed
+
+    def _op_admit(self, request: Dict[str, Any], origin: Any) -> List[Routed]:
+        pipeline = self._pipeline(request)
+        task = task_from_wire(request.get("task"))
+        token = (origin, request)
+        return _decided_responses(pipeline.admit(token, task))
+
+    def _op_depart(self, request: Dict[str, Any], origin: Any) -> List[Routed]:
+        pipeline, routed = self._barrier(request)
+        pipeline.depart(_task_id_operand(request), _stage_operand(request))
+        routed.append((origin, ok_response(request)))
+        return routed
+
+    def _op_idle(self, request: Dict[str, Any], origin: Any) -> List[Routed]:
+        pipeline, routed = self._barrier(request)
+        released = pipeline.idle(_stage_operand(request))
+        routed.append((origin, ok_response(request, released=released)))
+        return routed
+
+    def _op_expire(self, request: Dict[str, Any], origin: Any) -> List[Routed]:
+        pipeline, routed = self._barrier(request)
+        pipeline.expire(_time_operand(request))
+        routed.append(
+            (
+                origin,
+                ok_response(
+                    request, region_value=pipeline.controller.region_value()
+                ),
+            )
+        )
+        return routed
+
+    def _op_capacity(self, request: Dict[str, Any], origin: Any) -> List[Routed]:
+        pipeline, routed = self._barrier(request)
+        value = request.get("capacity")
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ProtocolError("bad-request", "capacity must be a number")
+        pipeline.set_capacity(_stage_operand(request), float(value))
+        routed.append(
+            (
+                origin,
+                ok_response(
+                    request,
+                    capacities=list(pipeline.controller.stage_capacities()),
+                ),
+            )
+        )
+        return routed
+
+    def _op_resync(self, request: Dict[str, Any], origin: Any) -> List[Routed]:
+        pipeline, routed = self._barrier(request)
+        frontier = frontier_from_wire(request.get("frontier", {}))
+        report = pipeline.resync(_time_operand(request), frontier)
+        routed.append(
+            (
+                origin,
+                ok_response(
+                    request,
+                    report=report,
+                    region_value=pipeline.controller.region_value(),
+                ),
+            )
+        )
+        return routed
+
+    def _op_snapshot(self, request: Dict[str, Any], origin: Any) -> List[Routed]:
+        pipeline, routed = self._barrier(request)
+        try:
+            snapshot = pipeline.snapshot()
+        except ValueError as exc:
+            raise ProtocolError("bad-snapshot", str(exc)) from exc
+        routed.append((origin, ok_response(request, snapshot=snapshot)))
+        return routed
+
+    def _op_restore(self, request: Dict[str, Any], origin: Any) -> List[Routed]:
+        name = request["pipeline"]
+        pipeline = ServedPipeline.from_snapshot(request.get("snapshot"), name=name)
+        check_at = pipeline.clock if pipeline.clock is not None else 0.0
+        violations = verify_restored(pipeline.controller, check_at)
+        if violations:
+            raise ProtocolError(
+                "restore-audit-failed",
+                "; ".join(f"{v.kind}: {v.detail}" for v in violations),
+            )
+        self.registry.adopt(pipeline)
+        return [
+            (
+                origin,
+                ok_response(
+                    request,
+                    pipeline=name,
+                    audited=True,
+                    region_value=pipeline.controller.region_value(),
+                ),
+            )
+        ]
+
+    def _op_stats(self, request: Dict[str, Any], origin: Any) -> List[Routed]:
+        name = request.get("pipeline")
+        routed: List[Routed] = []
+        if name is not None:
+            if not isinstance(name, str):
+                raise ProtocolError("bad-request", "pipeline must be a string")
+            pipeline, routed = self._barrier({"pipeline": name})
+            stats = {name: pipeline.stats()}
+        else:
+            for pipeline in self.registry:
+                routed.extend(_decided_responses(pipeline.flush()))
+            stats = {p.name: p.stats() for p in self.registry}
+        routed.append(
+            (
+                origin,
+                ok_response(request, ops=dict(sorted(self.op_counts.items())), stats=stats),
+            )
+        )
+        return routed
+
+    def _op_drain(self, request: Dict[str, Any], origin: Any) -> List[Routed]:
+        routed = self.drain()
+        routed.append((origin, ok_response(request, drained=True)))
+        return routed
+
+
+def _decided_responses(decided: List[Decided]) -> List[Routed]:
+    """Render decided admissions as responses routed to their origins."""
+    routed: List[Routed] = []
+    for token, _task, decision in decided:
+        origin, request = token
+        routed.append(
+            (
+                origin,
+                ok_response(
+                    request,
+                    admitted=decision.admitted,
+                    region_value=decision.region_value,
+                    shed=sorted(decision.shed, key=repr),
+                ),
+            )
+        )
+    return routed
+
+
+def _time_operand(request: Dict[str, Any]) -> float:
+    value = request.get("now")
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ProtocolError("bad-request", "'now' must be a number")
+    return float(value)
+
+
+def _stage_operand(request: Dict[str, Any]) -> int:
+    value = request.get("stage")
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ProtocolError("bad-request", "'stage' must be an integer")
+    return value
+
+
+def _task_id_operand(request: Dict[str, Any]) -> Hashable:
+    value = request.get("task_id")
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ProtocolError("bad-request", "'task_id' must be an integer")
+    return value
+
+
+class GatewayServer:
+    """Asyncio TCP front end over a shared :class:`AdmissionGateway`.
+
+    One server, many connections, one deterministic core: requests are
+    dispatched in arrival order per connection; responses (including
+    deferred batched-admission responses owed to other connections) are
+    routed to the connection that issued the request.  Writes apply
+    backpressure via ``drain()`` so a slow reader cannot balloon server
+    memory.
+    """
+
+    def __init__(
+        self,
+        gateway: Optional[AdmissionGateway] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.gateway = gateway if gateway is not None else AdmissionGateway()
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._writers: Dict[int, asyncio.StreamWriter] = {}
+        self._next_origin = 0
+        self._lock = asyncio.Lock()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)``; valid after :meth:`start`."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+
+    async def shutdown(self) -> None:
+        """Graceful drain: flush batches, deliver responses, close."""
+        self.gateway.draining = True
+        async with self._lock:
+            await self._deliver(self.gateway.drain())
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for writer in list(self._writers.values()):
+            writer.close()
+        self._writers.clear()
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        origin = self._next_origin
+        self._next_origin += 1
+        self._writers[origin] = writer
+        try:
+            while True:
+                raw = await reader.readline()
+                if not raw:
+                    break
+                line = raw.decode("utf-8", errors="replace").strip()
+                if not line:
+                    continue
+                # The lock serializes dispatch across connections, so the
+                # deterministic core only ever sees one request at a time.
+                async with self._lock:
+                    routed = self.gateway.handle_line(line, origin=origin)
+                    await self._deliver(routed)
+        finally:
+            self._writers.pop(origin, None)
+            writer.close()
+
+    async def _deliver(self, routed: List[Routed]) -> None:
+        for origin, response in routed:
+            writer = self._writers.get(origin)
+            if writer is None or writer.is_closing():
+                continue
+            writer.write(response.encode("utf-8") + b"\n")
+            await writer.drain()
+
+
+async def serve_forever(
+    host: str, port: int, gateway: Optional[AdmissionGateway] = None
+) -> None:
+    """Run a gateway server until cancelled (``python -m repro.serve``)."""
+    server = GatewayServer(gateway, host=host, port=port)
+    await server.start()
+    bound_host, bound_port = server.address
+    print(f"repro.serve gateway listening on {bound_host}:{bound_port}", flush=True)
+    try:
+        assert server._server is not None
+        await server._server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.shutdown()

@@ -1,0 +1,521 @@
+"""Deterministic load generator for the admission gateway.
+
+``python -m repro.serve.loadgen --scenario webserver --seed 0`` replays
+a seeded aperiodic arrival trace *closed-loop* against a gateway — the
+full pipeline simulation executes admitted requests and feeds every
+departure/idle notification back through the protocol — and emits a
+byte-stable JSON report (throughput, latency, rejects, gateway
+counters).  The same seed always produces the same bytes: all time is
+virtual, every random draw comes from a seeded generator, and the
+report contains nothing environment-dependent.
+
+Scenarios:
+
+``webserver``
+    The intro's three-tier request mix at its default rate (inside the
+    feasible region) — zero deadline misses expected.
+``overload``
+    The same mix at four times the rate with Section-5 importance
+    shedding — heavy rejects, still zero misses among surviving tasks.
+``burst``
+    In-region traffic plus :class:`repro.faults.schedule.ArrivalBurst`
+    flash crowds — the region test sheds the overflow at the ingress.
+``chaos``
+    In-region traffic while bookkeeping notifications are dropped
+    (:class:`repro.faults.schedule.DropNotification` windows make the
+    client swallow depart/idle calls) and periodic ``resync``
+    operations repair the gateway from the ground-truth frontier.
+
+Every report also embeds two standing self-checks: a
+batching-equivalence replay (the trace re-decided open-loop at batch
+sizes 1/4/32 and sequentially must agree decision-for-decision) and a
+snapshot round-trip (snapshot → restore → audit → re-snapshot must be
+clean and byte-stable).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import sys
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..apps.webserver import TIERS, WebServerModel
+from ..core.task import PipelineTask, make_task
+from ..faults.schedule import ArrivalBurst, DropNotification
+from ..sim.pipeline import PipelineSimulation
+from .client import GatewayClient, GatewayControllerProxy, InProcessTransport, TcpTransport
+from .gateway import AdmissionGateway, GatewayServer
+from .protocol import json_safe
+from .snapshot import controller_snapshot, restore_controller, verify_restored
+
+__all__ = ["SCENARIOS", "REPORT_FORMAT", "run_scenario", "render_report", "main"]
+
+#: Version tag of the loadgen report document.
+REPORT_FORMAT = "repro.serve.loadgen-report/1"
+
+#: Batch sizes exercised by the standing batching-equivalence check.
+EQUIVALENCE_BATCH_SIZES = (1, 4, 32)
+
+#: The pipeline name every scenario registers.
+PIPELINE_NAME = "web"
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One reproducible load shape.
+
+    Attributes:
+        name: Scenario name (the CLI ``--scenario`` value).
+        summary: One-line description for ``--list``.
+        arrival_rate: Request rate of the underlying web-server mix.
+        shedding: Register the pipeline with importance shedding.
+        bursts: Extra flash-crowd arrivals (fractions of the nominal
+            trace span, so they scale with ``--requests``).
+        drop_windows: Notification-drop windows (fractions of the
+            nominal span) applied at the *client* side.
+        resyncs: Number of periodic ground-truth resyncs.
+    """
+
+    name: str
+    summary: str
+    arrival_rate: float = 100.0
+    shedding: bool = False
+    bursts: Tuple[Tuple[float, int], ...] = ()
+    drop_windows: Tuple[Tuple[str, float, float], ...] = ()
+    resyncs: int = 0
+
+
+SCENARIOS: Tuple[Scenario, ...] = (
+    Scenario(
+        name="webserver",
+        summary="three-tier request mix inside the feasible region",
+    ),
+    Scenario(
+        name="overload",
+        summary="4x overload with Section-5 importance shedding",
+        arrival_rate=400.0,
+        shedding=True,
+    ),
+    Scenario(
+        name="burst",
+        summary="in-region traffic plus flash-crowd arrival bursts",
+        bursts=((0.3, 40), (0.6, 60)),
+    ),
+    Scenario(
+        name="chaos",
+        summary="dropped bookkeeping notifications repaired by resync",
+        drop_windows=(("departure", 0.2, 0.4), ("idle", 0.5, 0.6)),
+        resyncs=6,
+    ),
+)
+
+
+def _scenario(name: str) -> Scenario:
+    for scenario in SCENARIOS:
+        if scenario.name == name:
+            return scenario
+    known = ", ".join(s.name for s in SCENARIOS)
+    raise ValueError(f"unknown scenario {name!r}; choose one of {known}")
+
+
+# ----------------------------------------------------------------------
+# Trace construction
+# ----------------------------------------------------------------------
+
+
+def build_trace(
+    scenario: Scenario, seed: int, requests: int
+) -> Tuple[List[PipelineTask], float, float]:
+    """The scenario's full arrival trace, its span, and the run horizon.
+
+    Returns:
+        ``(tasks, span, horizon)`` — tasks sorted by arrival (stable on
+        ties), ``span`` the nominal trace duration used to place
+        faults, ``horizon`` late enough for every deadline to settle.
+    """
+    model = WebServerModel(arrival_rate=scenario.arrival_rate)
+    trace = list(model.request_trace(requests, seed))
+    span = requests / scenario.arrival_rate
+    if scenario.bursts:
+        burst_rng = random.Random(seed + 1_000_003)
+        next_id = requests
+        mean_costs = (0.002, 0.006, 0.012)
+        for fraction, count in scenario.bursts:
+            burst = ArrivalBurst(
+                time=round(fraction * span, 6),
+                count=count,
+                deadline=1.0,
+                mean_costs=mean_costs,
+            )
+            for _ in range(burst.count):
+                costs = [
+                    burst_rng.expovariate(1.0 / c) if c > 0 else 0.0
+                    for c in burst.mean_costs
+                ]
+                trace.append(
+                    make_task(
+                        arrival_time=burst.time,
+                        deadline=burst.deadline,
+                        computation_times=costs,
+                        importance=burst.importance,
+                        task_id=next_id,
+                    )
+                )
+                next_id += 1
+        trace.sort(key=lambda task: (task.arrival_time, task.task_id))
+    last_settled = max(
+        (task.arrival_time + task.deadline for task in trace), default=0.0
+    )
+    horizon = last_settled + 1.0
+    return trace, span, horizon
+
+
+# ----------------------------------------------------------------------
+# Closed-loop run
+# ----------------------------------------------------------------------
+
+
+def _policy_doc(scenario: Scenario) -> Dict[str, Any]:
+    return {"num_stages": len(TIERS), "shedding": scenario.shedding}
+
+
+def _install_chaos(
+    scenario: Scenario,
+    span: float,
+    sim: PipelineSimulation,
+    proxy: GatewayControllerProxy,
+    resync_reports: List[Dict[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Schedule drop windows and resyncs on the simulation clock."""
+    windows: List[Dict[str, Any]] = []
+    for kind, start_fraction, end_fraction in scenario.drop_windows:
+        fault = DropNotification(
+            kind=kind,
+            start=round(start_fraction * span, 6),
+            end=round(end_fraction * span, 6),
+        )
+        attr = "drop_departures" if kind == "departure" else "drop_idles"
+
+        def _set(flag_value: bool, name: str = attr) -> None:
+            setattr(proxy, name, flag_value)
+
+        sim.sim.at(fault.start, _set, True)
+        sim.sim.at(fault.end, _set, False)
+        windows.append({"kind": kind, "start": fault.start, "end": fault.end})
+
+    def _resync() -> None:
+        response = proxy.resync(sim.sim.now, sim.frontier())
+        resync_reports.append(
+            {"now": round(sim.sim.now, 6), "report": response["report"]}
+        )
+
+    for k in range(1, scenario.resyncs + 1):
+        sim.sim.at(round(span * k / scenario.resyncs, 6), _resync)
+    return windows
+
+
+class _TcpGatewayThread:
+    """A gateway server on a background asyncio thread (TCP transport)."""
+
+    def __init__(self) -> None:
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+        self.address: Tuple[str, int] = ("", 0)
+
+    def __enter__(self) -> "_TcpGatewayThread":
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()), daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise RuntimeError("gateway server failed to start")
+        return self
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        server = GatewayServer()
+        await server.start()
+        self.address = server.address
+        self._stop = asyncio.Event()
+        self._ready.set()
+        await self._stop.wait()
+        await server.shutdown()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+
+
+def run_scenario(
+    name: str,
+    seed: int,
+    requests: int = 1000,
+    transport: str = "inproc",
+) -> Dict[str, Any]:
+    """Run one scenario closed-loop and build the report payload."""
+    scenario = _scenario(name)
+    if transport == "inproc":
+        client = GatewayClient(InProcessTransport(AdmissionGateway()))
+        payload = _run_with_client(scenario, seed, requests, transport, client)
+        client.close()
+        return payload
+    if transport == "tcp":
+        with _TcpGatewayThread() as server:
+            client = GatewayClient(TcpTransport(*server.address))
+            try:
+                return _run_with_client(scenario, seed, requests, transport, client)
+            finally:
+                client.close()
+    raise ValueError(f"unknown transport {transport!r}; choose inproc or tcp")
+
+
+def _run_with_client(
+    scenario: Scenario,
+    seed: int,
+    requests: int,
+    transport: str,
+    client: GatewayClient,
+) -> Dict[str, Any]:
+    trace, span, horizon = build_trace(scenario, seed, requests)
+    client.register(PIPELINE_NAME, _policy_doc(scenario))
+    proxy = GatewayControllerProxy(client, PIPELINE_NAME, num_stages=len(TIERS))
+    sim = PipelineSimulation(
+        num_stages=len(TIERS),
+        controller=proxy,
+        max_admission_wait=0.0,
+        admit_with_shedding=scenario.shedding,
+    )
+    resync_reports: List[Dict[str, Any]] = []
+    windows = _install_chaos(scenario, span, sim, proxy, resync_reports)
+
+    # Snapshot mid-run (half the trace span) so the round-trip check
+    # exercises a controller with live admitted records, not the
+    # drained end-of-run state.
+    mid_run: Dict[str, Any] = {}
+
+    def _take_mid_snapshot() -> None:
+        mid_run["snapshot"] = client.call("snapshot", pipeline=PIPELINE_NAME)[
+            "snapshot"
+        ]
+
+    sim.sim.at(round(span * 0.5, 6), _take_mid_snapshot)
+
+    sim.offer_stream(iter(trace))
+    report = sim.run(horizon, warmup=0.0)
+
+    stats_response = client.stats(PIPELINE_NAME)
+    snapshot_doc = mid_run["snapshot"]
+
+    missed = sum(
+        1
+        for record in report.tasks
+        if record.admitted and not record.shed and record.missed
+    )
+    unfinished = sum(
+        1
+        for record in report.tasks
+        if record.admitted and not record.shed and record.completed_at is None
+    )
+    payload: Dict[str, Any] = {
+        "format": REPORT_FORMAT,
+        "scenario": scenario.name,
+        "seed": seed,
+        "requests": requests,
+        "transport": transport,
+        "trace": {
+            "tasks": len(trace),
+            "span": round(span, 6),
+            "horizon": round(horizon, 6),
+        },
+        "traffic": {
+            "offered": report.generated,
+            "admitted": report.admitted,
+            "rejected": report.rejected,
+            "shed": report.shed_count,
+            "completed": report.completed,
+            "missed": missed,
+            "unfinished": unfinished,
+            "accept_ratio": round(report.accept_ratio, 6),
+            "miss_ratio": round(report.miss_ratio(), 6),
+        },
+        "latency": {
+            "mean": round(report.mean_response_time(), 6),
+            "p50": round(report.response_time_percentile(50.0), 6),
+            "p99": round(report.response_time_percentile(99.0), 6),
+            "max": round(max(report.response_times(), default=0.0), 6),
+        },
+        "gateway": {
+            "ops": stats_response["ops"],
+            "pipeline": stats_response["stats"][PIPELINE_NAME],
+        },
+        "batching": batching_equivalence(trace),
+        "snapshot": snapshot_roundtrip(snapshot_doc),
+    }
+    if scenario.drop_windows or scenario.resyncs:
+        payload["chaos"] = {"drop_windows": windows, "resyncs": resync_reports}
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Standing self-checks
+# ----------------------------------------------------------------------
+
+
+def batching_equivalence(
+    trace: Sequence[PipelineTask],
+    batch_sizes: Sequence[int] = EQUIVALENCE_BATCH_SIZES,
+) -> Dict[str, Any]:
+    """Replay the trace open-loop at several batch sizes and compare.
+
+    Each replay registers a fresh in-process pipeline, submits every
+    arrival, drains, and collects the decision sequence.  Sequential
+    (unbatched) processing is the reference; every batch size must
+    match it decision-for-decision, including the reported region
+    value byte-for-byte.
+    """
+    outcomes: Dict[Optional[int], List[Tuple[bool, float]]] = {}
+    for max_batch in (None, *batch_sizes):
+        client = GatewayClient(InProcessTransport(AdmissionGateway()))
+        policy: Dict[str, Any] = {"num_stages": len(TIERS), "max_batch": max_batch}
+        client.register("replay", policy)
+        request_ids = [client.submit_admit("replay", task) for task in trace]
+        client.drain()
+        decisions: List[Tuple[bool, float]] = []
+        for request_id in request_ids:
+            response = client.collect(request_id, wait=False)
+            assert response is not None, "drain must answer every admit"
+            decisions.append((response["admitted"], response["region_value"]))
+        outcomes[max_batch] = decisions
+        client.close()
+    reference = outcomes[None]
+    equivalent = all(outcomes[size] == reference for size in batch_sizes)
+    return {
+        "batch_sizes": list(batch_sizes),
+        "checked": len(trace),
+        "admitted_sequential": sum(1 for admitted, _ in reference if admitted),
+        "equivalent": equivalent,
+    }
+
+
+def snapshot_roundtrip(pipeline_snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """Restore a pipeline snapshot locally, audit it, re-snapshot it.
+
+    The round trip must produce zero auditor violations and a
+    byte-identical controller document (snapshot → restore →
+    snapshot is a fixed point).
+    """
+    controller_doc = pipeline_snapshot["controller"]
+    restored = restore_controller(controller_doc)
+    check_at = pipeline_snapshot.get("clock")
+    violations = verify_restored(restored, 0.0 if check_at is None else check_at)
+    first = json.dumps(json_safe(controller_doc), sort_keys=True)
+    second = json.dumps(json_safe(controller_snapshot(restored)), sort_keys=True)
+    return {
+        "admitted_records": len(controller_doc["admitted"]),
+        "violations": len(violations),
+        "stable": first == second,
+    }
+
+
+# ----------------------------------------------------------------------
+# Rendering and CLI
+# ----------------------------------------------------------------------
+
+
+def render_report(payload: Dict[str, Any]) -> str:
+    """Canonical byte-stable JSON rendering of a report payload."""
+    return json.dumps(json_safe(payload), indent=2, sort_keys=True) + "\n"
+
+
+def _gate_failures(payload: Dict[str, Any]) -> List[str]:
+    """The selftest acceptance gates a report must clear."""
+    failures = []
+    if payload["traffic"]["missed"] != 0:
+        failures.append(f"{payload['traffic']['missed']} deadline misses")
+    if payload["traffic"]["unfinished"] != 0:
+        failures.append(f"{payload['traffic']['unfinished']} unfinished tasks")
+    if not payload["batching"]["equivalent"]:
+        failures.append("batched decisions diverged from sequential")
+    if payload["snapshot"]["violations"] != 0:
+        failures.append("snapshot restore failed the audit")
+    if not payload["snapshot"]["stable"]:
+        failures.append("snapshot round trip was not byte-stable")
+    return failures
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.loadgen",
+        description="Replay a seeded trace against the admission gateway.",
+    )
+    parser.add_argument(
+        "--scenario", choices=[s.name for s in SCENARIOS], help="load shape to replay"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="trace seed")
+    parser.add_argument(
+        "--requests", type=int, default=1000, help="base trace length"
+    )
+    parser.add_argument(
+        "--transport",
+        choices=["inproc", "tcp"],
+        default="inproc",
+        help="drive the gateway in-process or over a TCP socket",
+    )
+    parser.add_argument("--out", help="also write the report to this path")
+    parser.add_argument(
+        "--selftest",
+        action="store_true",
+        help="run twice, assert byte-identical reports and zero misses",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list scenarios and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for scenario in SCENARIOS:
+            print(f"{scenario.name:12s} {scenario.summary}")
+        return 0
+    if args.scenario is None:
+        parser.error("--scenario is required (or use --list)")
+
+    payload = run_scenario(args.scenario, args.seed, args.requests, args.transport)
+    rendered = render_report(payload)
+
+    if args.selftest:
+        replay = render_report(
+            run_scenario(args.scenario, args.seed, args.requests, args.transport)
+        )
+        if replay != rendered:
+            print("selftest FAILED: replay produced different bytes", file=sys.stderr)
+            return 1
+        failures = _gate_failures(payload)
+        if failures:
+            print(f"selftest FAILED: {'; '.join(failures)}", file=sys.stderr)
+            return 1
+        traffic = payload["traffic"]
+        print(
+            f"selftest ok: scenario={args.scenario} seed={args.seed} "
+            f"offered={traffic['offered']} admitted={traffic['admitted']} "
+            f"missed={traffic['missed']} bytes={len(rendered)}"
+        )
+    else:
+        sys.stdout.write(rendered)
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

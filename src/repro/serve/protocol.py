@@ -1,0 +1,240 @@
+"""Wire protocol of the admission gateway: newline-delimited JSON.
+
+One request per line, one or more JSON responses per request (batched
+``admit`` responses are deferred until their batch flushes).  The
+protocol is transport-agnostic — the same lines flow over TCP or the
+in-process transport — and strictly deterministic: responses are a pure
+function of the request sequence, never of wall-clock time.
+
+Request envelope::
+
+    {"id": 7, "op": "admit", "pipeline": "web", ...operands}
+
+Response envelope::
+
+    {"id": 7, "op": "admit", "ok": true, ...payload}
+    {"id": 7, "op": "admit", "ok": false, "error": "unknown-pipeline",
+     "detail": "..."}
+
+Operations (see DESIGN.md §9 for the mapping onto the paper's
+Section-4 bookkeeping rules):
+
+==============  ========================================================
+``health``      Liveness probe; pipeline count and drain state.
+``register``    Create a named pipeline from a policy document.
+``unregister``  Flush and remove a pipeline.
+``admit``       Run the feasible-region admission test for one arrival.
+``depart``      Record a subtask departure (stage bookkeeping).
+``idle``        Apply the idle-reset rule at one stage.
+``expire``      Lapse contributions whose deadlines passed.
+``capacity``    Declare degraded stage capacity (region rescaling).
+``resync``      Rebuild controller state from a ground-truth frontier.
+``snapshot``    Serialize full controller state.
+``restore``     Instantiate a pipeline from a snapshot, then audit it.
+``stats``       Serving counters and region state, per pipeline.
+``drain``       Flush every pending admission batch.
+==============  ========================================================
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.task import PipelineTask, make_task
+
+__all__ = [
+    "OPS",
+    "PIPELINE_OPS",
+    "ProtocolError",
+    "parse_request",
+    "encode",
+    "ok_response",
+    "error_response",
+    "task_to_wire",
+    "task_from_wire",
+    "frontier_from_wire",
+    "json_safe",
+]
+
+#: Every operation the gateway dispatches, in documentation order.
+OPS = (
+    "health",
+    "register",
+    "unregister",
+    "admit",
+    "depart",
+    "idle",
+    "expire",
+    "capacity",
+    "resync",
+    "snapshot",
+    "restore",
+    "stats",
+    "drain",
+)
+
+#: Operations that require a ``pipeline`` operand.
+PIPELINE_OPS = frozenset(OPS) - {"health", "stats", "drain"}
+
+
+class ProtocolError(ValueError):
+    """A malformed or unserviceable request.
+
+    Attributes:
+        code: Short machine-readable error code (e.g.
+            ``"bad-request"``, ``"unknown-pipeline"``).
+    """
+
+    def __init__(self, code: str, detail: str) -> None:
+        super().__init__(detail)
+        self.code = code
+        self.detail = detail
+
+
+def parse_request(line: str) -> Dict[str, Any]:
+    """Parse and validate one request line.
+
+    Returns:
+        The decoded request object with a validated envelope.
+
+    Raises:
+        ProtocolError: On malformed JSON, a non-object payload, a
+            missing/unknown ``op``, or a missing ``pipeline`` operand.
+    """
+    try:
+        request = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError("bad-json", f"request is not valid JSON: {exc}") from exc
+    if not isinstance(request, dict):
+        raise ProtocolError("bad-request", "request must be a JSON object")
+    op = request.get("op")
+    if not isinstance(op, str) or op not in OPS:
+        raise ProtocolError(
+            "unknown-op", f"op must be one of {', '.join(OPS)}; got {op!r}"
+        )
+    request_id = request.get("id")
+    if request_id is not None and not isinstance(request_id, (int, str)):
+        raise ProtocolError("bad-request", "id must be an integer or string")
+    if op in PIPELINE_OPS and not isinstance(request.get("pipeline"), str):
+        raise ProtocolError(
+            "bad-request", f"op {op!r} requires a string 'pipeline' operand"
+        )
+    return request
+
+
+def json_safe(value: Any) -> Any:
+    """Map non-JSON floats (inf/nan) to ``None``, recursively."""
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {k: json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(v) for v in value]
+    return value
+
+
+def encode(payload: Dict[str, Any]) -> str:
+    """Render one response object as a canonical single-line JSON string."""
+    return json.dumps(json_safe(payload), sort_keys=True, separators=(",", ":"))
+
+
+def ok_response(request: Dict[str, Any], **payload: Any) -> str:
+    """A success response echoing the request's ``id`` and ``op``."""
+    body: Dict[str, Any] = {"id": request.get("id"), "op": request.get("op"), "ok": True}
+    body.update(payload)
+    return encode(body)
+
+
+def error_response(
+    request: Optional[Dict[str, Any]], code: str, detail: str
+) -> str:
+    """A failure response; ``request`` may be ``None`` for parse errors."""
+    request = request or {}
+    return encode(
+        {
+            "id": request.get("id"),
+            "op": request.get("op"),
+            "ok": False,
+            "error": code,
+            "detail": detail,
+        }
+    )
+
+
+# ----------------------------------------------------------------------
+# Task encoding
+# ----------------------------------------------------------------------
+
+
+def task_to_wire(task: PipelineTask) -> Dict[str, Any]:
+    """Encode a task as its wire document."""
+    wire: Dict[str, Any] = {
+        "task_id": task.task_id,
+        "arrival": task.arrival_time,
+        "deadline": task.deadline,
+        "costs": list(task.computation_times),
+    }
+    if task.importance:
+        wire["importance"] = task.importance
+    return wire
+
+
+def _require_number(doc: Dict[str, Any], key: str) -> float:
+    value = doc.get(key)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ProtocolError("bad-task", f"task field {key!r} must be a number")
+    return float(value)
+
+
+def task_from_wire(doc: Any) -> PipelineTask:
+    """Decode and validate a wire task document.
+
+    Raises:
+        ProtocolError: On missing/ill-typed fields or model-invariant
+            violations (non-positive deadline, negative costs, ...).
+    """
+    if not isinstance(doc, dict):
+        raise ProtocolError("bad-task", "task must be a JSON object")
+    task_id = doc.get("task_id")
+    if not isinstance(task_id, int) or isinstance(task_id, bool):
+        raise ProtocolError("bad-task", "task_id must be an integer")
+    costs = doc.get("costs")
+    if not isinstance(costs, list) or not costs:
+        raise ProtocolError("bad-task", "costs must be a non-empty array")
+    importance = doc.get("importance", 0)
+    if not isinstance(importance, int) or isinstance(importance, bool):
+        raise ProtocolError("bad-task", "importance must be an integer")
+    try:
+        cost_values: Tuple[float, ...] = tuple(float(c) for c in costs)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError("bad-task", "costs must be numbers") from exc
+    try:
+        return make_task(
+            arrival_time=_require_number(doc, "arrival"),
+            deadline=_require_number(doc, "deadline"),
+            computation_times=cost_values,
+            importance=importance,
+            task_id=task_id,
+        )
+    except ValueError as exc:
+        raise ProtocolError("bad-task", str(exc)) from exc
+
+
+def frontier_from_wire(doc: Any) -> Dict[int, int]:
+    """Decode a ``resync`` frontier document (task-id keys arrive as strings)."""
+    if not isinstance(doc, dict):
+        raise ProtocolError("bad-request", "frontier must be a JSON object")
+    frontier: Dict[int, int] = {}
+    for key, stage in doc.items():
+        try:
+            task_id = int(key)
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(
+                "bad-request", f"frontier key {key!r} is not a task id"
+            ) from exc
+        if not isinstance(stage, int) or isinstance(stage, bool):
+            raise ProtocolError("bad-request", "frontier stages must be integers")
+        frontier[task_id] = stage
+    return frontier

@@ -1,0 +1,483 @@
+"""Multi-pipeline registry: named controllers with per-pipeline policy.
+
+A gateway hosts many independent resource pipelines (the paper's model
+is one pipeline; a serving deployment fronts several — e.g. one per
+service tier).  Each :class:`ServedPipeline` owns one
+:class:`~repro.core.admission.PipelineAdmissionController` configured
+by a :class:`PipelinePolicy` (stage count, alpha/beta, reservations,
+demand model, shedding, batching), a virtual clock, and serving
+counters.  The :class:`PipelineRegistry` maps names to served
+pipelines.
+
+Time is *virtual* throughout: every timed operation carries its own
+timestamp, the registry only enforces per-pipeline monotonicity.  The
+gateway therefore replays identically regardless of wall-clock
+scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Iterator, List, Optional, Tuple
+
+from ..core.admission import AdmissionDecision, PipelineAdmissionController
+from ..core.task import PipelineTask
+from .batching import AdmissionBatcher
+from .protocol import ProtocolError
+from .snapshot import (
+    controller_snapshot,
+    demand_model_from_wire,
+    demand_model_to_wire,
+    restore_controller,
+)
+
+__all__ = [
+    "PIPELINE_SNAPSHOT_FORMAT",
+    "PipelinePolicy",
+    "ServedPipeline",
+    "PipelineRegistry",
+    "Decided",
+]
+
+#: Version tag of the pipeline-level snapshot document (wraps the
+#: controller-level document from :mod:`repro.serve.snapshot`).
+PIPELINE_SNAPSHOT_FORMAT = "repro.serve.pipeline-snapshot/1"
+
+#: One decided admission: ``(correlation token, task, decision)``.
+Decided = Tuple[Any, PipelineTask, AdmissionDecision]
+
+
+@dataclass(frozen=True)
+class PipelinePolicy:
+    """Per-pipeline admission configuration.
+
+    Attributes:
+        num_stages: Pipeline length ``N``.
+        alpha: Urgency-inversion parameter in ``(0, 1]`` (Eq. 15).
+        betas: Per-stage blocking terms, or ``None``.
+        reserved: Per-stage reserved synthetic utilization (Section 5),
+            or ``None``.
+        demand: Demand-model wire document (see
+            :func:`repro.serve.snapshot.demand_model_from_wire`), or
+            ``None`` for exact demand.
+        reset_on_idle: Whether the Section-4 idle-reset rule is active.
+        shedding: Decide arrivals with
+            :meth:`~repro.core.admission.PipelineAdmissionController.request_with_shedding`
+            (importance-ordered load shedding) instead of plain
+            admission.
+        batch_window: Virtual-time admission batching window, or
+            ``None``.
+        max_batch: Admission batch size cap, or ``None``.
+    """
+
+    num_stages: int
+    alpha: float = 1.0
+    betas: Optional[Tuple[float, ...]] = None
+    reserved: Optional[Tuple[float, ...]] = None
+    demand: Optional[Dict[str, Any]] = None
+    reset_on_idle: bool = True
+    shedding: bool = False
+    batch_window: Optional[float] = None
+    max_batch: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.betas is not None:
+            object.__setattr__(self, "betas", tuple(float(b) for b in self.betas))
+        if self.reserved is not None:
+            object.__setattr__(
+                self, "reserved", tuple(float(r) for r in self.reserved)
+            )
+        # Validate batching parameters eagerly (same rules as the batcher).
+        AdmissionBatcher(self.batch_window, self.max_batch)
+        if self.demand is not None:
+            demand_model_from_wire(self.demand)
+
+    @property
+    def batched(self) -> bool:
+        """Whether admissions on this pipeline are queued into batches."""
+        return self.batch_window is not None or self.max_batch is not None
+
+    def build_controller(self) -> PipelineAdmissionController:
+        """Instantiate the controller this policy describes."""
+        return PipelineAdmissionController(
+            num_stages=self.num_stages,
+            alpha=self.alpha,
+            betas=self.betas,
+            reserved=self.reserved,
+            demand_model=demand_model_from_wire(self.demand),
+            reset_on_idle=self.reset_on_idle,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Wire document for this policy (canonical field set)."""
+        return {
+            "num_stages": self.num_stages,
+            "alpha": self.alpha,
+            "betas": None if self.betas is None else list(self.betas),
+            "reserved": None if self.reserved is None else list(self.reserved),
+            "demand": self.demand,
+            "reset_on_idle": self.reset_on_idle,
+            "shedding": self.shedding,
+            "batch_window": self.batch_window,
+            "max_batch": self.max_batch,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Any) -> "PipelinePolicy":
+        """Parse a policy wire document.
+
+        Raises:
+            ProtocolError: On a non-object document, unknown fields, or
+                invalid parameter values.
+        """
+        if not isinstance(doc, dict):
+            raise ProtocolError("bad-policy", "policy must be a JSON object")
+        known = {
+            "num_stages",
+            "alpha",
+            "betas",
+            "reserved",
+            "demand",
+            "reset_on_idle",
+            "shedding",
+            "batch_window",
+            "max_batch",
+        }
+        unknown = set(doc) - known
+        if unknown:
+            raise ProtocolError(
+                "bad-policy", f"unknown policy fields: {sorted(unknown)}"
+            )
+        if "num_stages" not in doc:
+            raise ProtocolError("bad-policy", "policy requires num_stages")
+        try:
+            policy = cls(
+                num_stages=int(doc["num_stages"]),
+                alpha=float(doc.get("alpha", 1.0)),
+                betas=doc.get("betas"),
+                reserved=doc.get("reserved"),
+                demand=doc.get("demand"),
+                reset_on_idle=bool(doc.get("reset_on_idle", True)),
+                shedding=bool(doc.get("shedding", False)),
+                batch_window=(
+                    None
+                    if doc.get("batch_window") is None
+                    else float(doc["batch_window"])
+                ),
+                max_batch=(
+                    None if doc.get("max_batch") is None else int(doc["max_batch"])
+                ),
+            )
+            # Surface controller-level parameter errors (alpha range,
+            # infeasible reservations, vector lengths) at registration
+            # time rather than on the first admit.
+            policy.build_controller()
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError("bad-policy", str(exc)) from exc
+        return policy
+
+
+@dataclass
+class ServeCounters:
+    """Serving counters of one pipeline (all virtual-time driven)."""
+
+    offered: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    shed: int = 0
+    batches: int = 0
+    largest_batch: int = 0
+    resyncs: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "shed": self.shed,
+            "batches": self.batches,
+            "largest_batch": self.largest_batch,
+            "resyncs": self.resyncs,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "ServeCounters":
+        return cls(**{key: int(value) for key, value in doc.items()})
+
+
+@dataclass
+class ServedPipeline:
+    """One named pipeline: controller + batcher + virtual clock + counters."""
+
+    name: str
+    policy: PipelinePolicy
+    controller: PipelineAdmissionController = field(init=False)
+    counters: ServeCounters = field(default_factory=ServeCounters)
+
+    def __post_init__(self) -> None:
+        self.controller = self.policy.build_controller()
+        self._batcher: AdmissionBatcher[Tuple[Any, PipelineTask]] = AdmissionBatcher(
+            self.policy.batch_window, self.policy.max_batch
+        )
+        self._clock: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Virtual clock
+    # ------------------------------------------------------------------
+
+    @property
+    def clock(self) -> Optional[float]:
+        """Latest virtual timestamp observed (``None`` before any)."""
+        return self._clock
+
+    def observe_time(self, now: float) -> float:
+        """Advance the virtual clock; reject time running backwards.
+
+        Raises:
+            ProtocolError: If ``now`` precedes an already-observed
+                timestamp (the protocol requires per-pipeline
+                non-decreasing time).
+        """
+        if self._clock is not None and now < self._clock:
+            raise ProtocolError(
+                "time-regression",
+                f"timestamp {now} precedes pipeline clock {self._clock}",
+            )
+        self._clock = now
+        return now
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    def admit(self, token: Any, task: PipelineTask) -> List[Decided]:
+        """Offer one arrival; return every decision that is now ready.
+
+        On an unbatched pipeline the arrival is decided immediately and
+        the single decision comes back.  On a batched pipeline the
+        arrival is queued; the returned list holds the decisions of any
+        batch the arrival caused to flush (possibly none — the caller
+        must defer its response until a later flush).
+
+        Args:
+            token: Opaque correlation token echoed in the decision
+                triple (the gateway passes the pending request).
+            task: The arriving task.
+        """
+        self.observe_time(task.arrival_time)
+        self.counters.offered += 1
+        entry = (token, task)
+        if not self._batcher.enabled:
+            return self._decide_batch([entry])
+        decided: List[Decided] = []
+        for batch in self._batcher.push(entry, task.arrival_time):
+            decided.extend(self._decide_batch(batch))
+        return decided
+
+    def flush(self) -> List[Decided]:
+        """Decide the pending admission batch, if any (barrier/drain)."""
+        batch = self._batcher.flush()
+        if not batch:
+            return []
+        return self._decide_batch(batch)
+
+    @property
+    def pending(self) -> int:
+        """Admissions queued behind the batching window."""
+        return self._batcher.pending
+
+    def _decide_batch(self, batch: List[Tuple[Any, PipelineTask]]) -> List[Decided]:
+        tasks = [task for _, task in batch]
+        if self.policy.shedding:
+            # Shedding inspects (and mutates) the admitted set per
+            # arrival, so it stays on the sequential path; batching then
+            # only defers responses, with identical decisions.
+            decisions = [
+                self.controller.request_with_shedding(task, task.arrival_time)
+                for task in tasks
+            ]
+        else:
+            decisions = self.controller.admit_many(tasks)
+        self.counters.batches += 1
+        if len(batch) > self.counters.largest_batch:
+            self.counters.largest_batch = len(batch)
+        decided: List[Decided] = []
+        for (token, task), decision in zip(batch, decisions):
+            if decision.admitted:
+                self.counters.admitted += 1
+            else:
+                self.counters.rejected += 1
+            self.counters.shed += len(decision.shed)
+            decided.append((token, task, decision))
+        return decided
+
+    # ------------------------------------------------------------------
+    # Bookkeeping operations (callers must flush first — the gateway
+    # treats every non-admit op as a batch barrier)
+    # ------------------------------------------------------------------
+
+    def depart(self, task_id: Hashable, stage: int) -> None:
+        """Record a subtask departure at ``stage``."""
+        self._check_stage(stage)
+        self.controller.notify_subtask_departure(task_id, stage)
+
+    def idle(self, stage: int) -> float:
+        """Apply the idle-reset rule at ``stage``; return released amount."""
+        self._check_stage(stage)
+        return self.controller.notify_stage_idle(stage)
+
+    def expire(self, now: float) -> None:
+        """Lapse contributions whose deadlines passed by ``now``."""
+        self.observe_time(now)
+        self.controller.expire(now)
+
+    def set_capacity(self, stage: int, capacity: float) -> None:
+        """Declare (possibly degraded) capacity at ``stage``."""
+        self._check_stage(stage)
+        try:
+            self.controller.set_stage_capacity(stage, capacity)
+        except ValueError as exc:
+            raise ProtocolError("bad-capacity", str(exc)) from exc
+
+    def resync(self, now: float, frontier: Dict[Hashable, int]) -> Dict[str, Any]:
+        """Rebuild controller state from a ground-truth frontier."""
+        self.observe_time(now)
+        report = self.controller.resync(now, frontier)
+        self.counters.resyncs += 1
+        return {
+            "restored": report.restored,
+            "departures_marked": report.departures_marked,
+            "dropped_orphans": report.dropped_orphans,
+            "dropped_expired": report.dropped_expired,
+        }
+
+    def _check_stage(self, stage: int) -> None:
+        if not isinstance(stage, int) or isinstance(stage, bool):
+            raise ProtocolError("bad-stage", "stage must be an integer")
+        if not 0 <= stage < self.policy.num_stages:
+            raise ProtocolError(
+                "bad-stage",
+                f"stage {stage} outside [0, {self.policy.num_stages})",
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection / persistence
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Serving counters plus live region state."""
+        return {
+            "policy": self.policy.to_dict(),
+            "clock": self._clock,
+            "pending": self.pending,
+            "counters": self.counters.to_dict(),
+            "region_value": self.controller.region_value(),
+            "region_budget": self.controller.budget,
+            "utilizations": list(self.controller.utilizations()),
+            "capacities": list(self.controller.stage_capacities()),
+            "admitted_live": len(self.controller.admitted_snapshot()),
+        }
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Full pipeline state (policy + clock + counters + controller).
+
+        Callers must flush pending admissions first; a snapshot with a
+        non-empty batch queue would silently drop the queued arrivals.
+        """
+        if self.pending:
+            raise ProtocolError(
+                "pending-batch", "flush pending admissions before snapshotting"
+            )
+        return {
+            "format": PIPELINE_SNAPSHOT_FORMAT,
+            "name": self.name,
+            "policy": self.policy.to_dict(),
+            "clock": self._clock,
+            "counters": self.counters.to_dict(),
+            "controller": controller_snapshot(self.controller),
+        }
+
+    @classmethod
+    def from_snapshot(cls, doc: Dict[str, Any], name: Optional[str] = None) -> "ServedPipeline":
+        """Rebuild a served pipeline from a :meth:`snapshot` document.
+
+        Raises:
+            ProtocolError: On a malformed document or format mismatch.
+        """
+        if not isinstance(doc, dict) or doc.get("format") != PIPELINE_SNAPSHOT_FORMAT:
+            raise ProtocolError(
+                "bad-snapshot",
+                f"expected a {PIPELINE_SNAPSHOT_FORMAT!r} document",
+            )
+        try:
+            policy = PipelinePolicy.from_dict(doc["policy"])
+            pipeline = cls(name=name or str(doc["name"]), policy=policy)
+            pipeline.controller = restore_controller(doc["controller"])
+            pipeline.counters = ServeCounters.from_dict(doc["counters"])
+            if doc.get("clock") is not None:
+                pipeline._clock = float(doc["clock"])
+            return pipeline
+        except ProtocolError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError("bad-snapshot", str(exc)) from exc
+
+
+class PipelineRegistry:
+    """Name → :class:`ServedPipeline` map with registration lifecycle."""
+
+    def __init__(self) -> None:
+        self._pipelines: Dict[str, ServedPipeline] = {}
+
+    def register(self, name: str, policy: PipelinePolicy) -> ServedPipeline:
+        """Create and host a pipeline under ``name``.
+
+        Raises:
+            ProtocolError: If the name is empty or already registered.
+        """
+        if not name:
+            raise ProtocolError("bad-request", "pipeline name must be non-empty")
+        if name in self._pipelines:
+            raise ProtocolError(
+                "duplicate-pipeline", f"pipeline {name!r} already registered"
+            )
+        pipeline = ServedPipeline(name=name, policy=policy)
+        self._pipelines[name] = pipeline
+        return pipeline
+
+    def adopt(self, pipeline: ServedPipeline) -> ServedPipeline:
+        """Host an already-built pipeline (snapshot restore path)."""
+        if pipeline.name in self._pipelines:
+            raise ProtocolError(
+                "duplicate-pipeline",
+                f"pipeline {pipeline.name!r} already registered",
+            )
+        self._pipelines[pipeline.name] = pipeline
+        return pipeline
+
+    def unregister(self, name: str) -> ServedPipeline:
+        """Remove and return the pipeline under ``name``."""
+        pipeline = self.get(name)
+        del self._pipelines[name]
+        return pipeline
+
+    def get(self, name: str) -> ServedPipeline:
+        """Look up a pipeline.
+
+        Raises:
+            ProtocolError: If no pipeline is registered under ``name``.
+        """
+        pipeline = self._pipelines.get(name)
+        if pipeline is None:
+            raise ProtocolError("unknown-pipeline", f"no pipeline named {name!r}")
+        return pipeline
+
+    def names(self) -> List[str]:
+        """Registered pipeline names, in registration order."""
+        return list(self._pipelines)
+
+    def __len__(self) -> int:
+        return len(self._pipelines)
+
+    def __iter__(self) -> Iterator[ServedPipeline]:
+        return iter(self._pipelines.values())

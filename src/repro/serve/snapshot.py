@@ -1,0 +1,195 @@
+"""Snapshot/restore of admission-controller state.
+
+The controller's bookkeeping is small and fully explicit — per-stage
+reserved baselines and capacities, plus one record per admitted task
+(charged contributions, expiry, importance) and the trackers' live
+per-stage state (amounts still counted, departed marks).  A snapshot
+serializes exactly that as a JSON-safe document; restore rebuilds a
+controller whose *future decisions* match the snapshotted one.
+
+Floats survive the JSON round trip exactly (shortest-repr encoding is
+lossless for IEEE doubles), so a restored controller differs from the
+original only in the association order of incremental sums — within the
+shared numeric tolerance, never across a decision boundary.
+
+Verification reuses the PR-2 machinery: :func:`verify_restored` runs
+the :class:`~repro.core.audit.ControllerAuditor` internal-consistency
+checks against the restored instance, and the gateway's ``restore``
+operation refuses snapshots that do not audit clean.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..core.admission import (
+    DemandModel,
+    ExactDemand,
+    MeanDemand,
+    PipelineAdmissionController,
+    ScaledDemand,
+)
+from ..core.audit import ControllerAuditor, InvariantViolation
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "controller_snapshot",
+    "restore_controller",
+    "verify_restored",
+    "demand_model_to_wire",
+    "demand_model_from_wire",
+]
+
+#: Version tag embedded in (and required of) every snapshot document.
+SNAPSHOT_FORMAT = "repro.serve.controller-snapshot/1"
+
+
+def demand_model_to_wire(model: DemandModel) -> Dict[str, Any]:
+    """Encode a known demand model as a JSON document.
+
+    Raises:
+        ValueError: For custom :class:`DemandModel` subclasses the wire
+            format has no spelling for.
+    """
+    if isinstance(model, ScaledDemand):
+        return {"kind": "scaled", "factor": model.factor}
+    if isinstance(model, MeanDemand):
+        return {"kind": "mean", "means": list(model.mean_computation_times)}
+    if isinstance(model, ExactDemand):
+        return {"kind": "exact"}
+    raise ValueError(
+        f"demand model {type(model).__name__} has no wire encoding; "
+        "pass demand_model explicitly on restore"
+    )
+
+
+def demand_model_from_wire(doc: Optional[Dict[str, Any]]) -> DemandModel:
+    """Decode a demand-model document (``None`` means exact demand).
+
+    Raises:
+        ValueError: On an unknown ``kind`` or missing parameters.
+    """
+    if doc is None:
+        return ExactDemand()
+    kind = doc.get("kind")
+    if kind == "exact":
+        return ExactDemand()
+    if kind == "scaled":
+        return ScaledDemand(float(doc["factor"]))
+    if kind == "mean":
+        return MeanDemand([float(c) for c in doc["means"]])
+    raise ValueError(f"unknown demand model kind {kind!r}")
+
+
+def controller_snapshot(
+    controller: PipelineAdmissionController,
+) -> Dict[str, Any]:
+    """Serialize a controller's full state as a JSON-safe document.
+
+    The admitted records are emitted sorted by task id so a given
+    controller state always snapshots to byte-identical JSON.
+
+    Raises:
+        ValueError: If the controller uses a demand model the wire
+            format cannot express, or an admitted task id is not an
+            integer (the protocol's task-id type).
+    """
+    records = controller.iter_admitted()
+    for task_id, _, _, _ in records:
+        if not isinstance(task_id, int):
+            raise ValueError(
+                f"task id {task_id!r} is not an integer; snapshots require "
+                "protocol-typed ids"
+            )
+    admitted: List[Dict[str, Any]] = []
+    tracked = [t.tracked_ids() for t in controller.trackers]
+    for task_id, contributions, expiry, importance in sorted(records):
+        # None marks a stage that no longer tracks the task (released
+        # by an idle reset) — distinct from a tracked 0.0 contribution
+        # (a zero-cost stage), which must survive the round trip so
+        # departed marks and idle-reset bookkeeping stay exact.
+        live = [
+            t.contribution_of(task_id) if task_id in ids else None
+            for t, ids in zip(controller.trackers, tracked)
+        ]
+        departed = [
+            j for j, t in enumerate(controller.trackers) if t.is_departed(task_id)
+        ]
+        admitted.append(
+            {
+                "task_id": task_id,
+                "contributions": list(contributions),
+                "expiry": expiry,
+                "importance": importance,
+                "live": live,
+                "departed": departed,
+            }
+        )
+    return {
+        "format": SNAPSHOT_FORMAT,
+        "num_stages": controller.num_stages,
+        "alpha": controller.alpha,
+        "betas": None if controller.betas is None else list(controller.betas),
+        "reserved": [t.reserved for t in controller.trackers],
+        "reset_on_idle": controller.reset_on_idle,
+        "capacities": list(controller.stage_capacities()),
+        "demand_model": demand_model_to_wire(controller.demand_model),
+        "admitted": admitted,
+    }
+
+
+def restore_controller(
+    state: Dict[str, Any],
+    demand_model: Optional[DemandModel] = None,
+) -> PipelineAdmissionController:
+    """Rebuild a controller from a :func:`controller_snapshot` document.
+
+    Args:
+        state: The snapshot document.
+        demand_model: Override for the demand model; defaults to the
+            snapshot's own encoding.
+
+    Raises:
+        ValueError: On a missing/unknown format tag or inconsistent
+            state vectors.
+    """
+    if state.get("format") != SNAPSHOT_FORMAT:
+        raise ValueError(
+            f"unsupported snapshot format {state.get('format')!r}; "
+            f"expected {SNAPSHOT_FORMAT!r}"
+        )
+    if demand_model is None:
+        demand_model = demand_model_from_wire(state.get("demand_model"))
+    controller = PipelineAdmissionController(
+        num_stages=int(state["num_stages"]),
+        alpha=float(state["alpha"]),
+        betas=state["betas"],
+        reserved=state["reserved"],
+        demand_model=demand_model,
+        reset_on_idle=bool(state["reset_on_idle"]),
+    )
+    for stage, capacity in enumerate(state["capacities"]):
+        if capacity != 1.0:
+            controller.set_stage_capacity(stage, float(capacity))
+    for record in state["admitted"]:
+        controller.load_admitted(
+            task_id=record["task_id"],
+            contributions=record["contributions"],
+            expiry=float(record["expiry"]),
+            importance=int(record["importance"]),
+            live=record["live"],
+            departed_stages=record["departed"],
+        )
+    return controller
+
+
+def verify_restored(
+    controller: PipelineAdmissionController, now: float
+) -> List[InvariantViolation]:
+    """Audit a restored controller's internal consistency.
+
+    Runs every ground-truth-free :class:`ControllerAuditor` check
+    (sum drift, negative utilization, orphan and expired
+    contributions).  A clean restore returns an empty list.
+    """
+    return ControllerAuditor(controller).audit(now)

@@ -1,0 +1,255 @@
+"""Batched admission must be decision-for-decision equal to sequential.
+
+The serving layer's amortized fast path
+(:meth:`PipelineAdmissionController.admit_many`, and the batch queue in
+:class:`repro.serve.registry.ServedPipeline`) carries a hard
+correctness guarantee: at the same virtual timestamps, batching changes
+*when* decisions are emitted, never *what* they say — down to the last
+ulp of the reported region value and the final tracker state.
+"""
+
+import random
+
+import pytest
+
+from repro.core.admission import PipelineAdmissionController
+from repro.core.bounds import inverse_stage_delay_factor
+from repro.core.task import make_task
+from repro.serve.batching import AdmissionBatcher
+from repro.serve.registry import PipelinePolicy, ServedPipeline
+
+NUM_STAGES = 3
+
+
+def _random_tasks(seed, count, num_stages=NUM_STAGES, rate=4.0, start_id=0):
+    """A seeded aperiodic arrival sequence with varied load and slack."""
+    rng = random.Random(seed)
+    t = 0.0
+    tasks = []
+    for k in range(count):
+        t += rng.expovariate(rate)
+        deadline = rng.uniform(0.5, 3.0)
+        costs = [
+            rng.expovariate(1.0 / 0.08) if rng.random() > 0.2 else 0.0
+            for _ in range(num_stages)
+        ]
+        tasks.append(
+            make_task(
+                arrival_time=t,
+                deadline=deadline,
+                computation_times=costs,
+                importance=rng.randrange(3),
+                task_id=start_id + k,
+            )
+        )
+    return tasks
+
+
+def _sequential_reference(tasks, **controller_kwargs):
+    """Decide the sequence one call at a time on a fresh controller."""
+    controller = PipelineAdmissionController(NUM_STAGES, **controller_kwargs)
+    decisions = [controller.request(task, task.arrival_time) for task in tasks]
+    return controller, decisions
+
+
+def _assert_same_state(a, b):
+    """Exact (bitwise) equality of two controllers' visible state."""
+    assert a.utilizations() == b.utilizations()
+    assert a.region_value() == b.region_value()
+    assert a.admitted_snapshot() == b.admitted_snapshot()
+
+
+class TestAdmitMany:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_sequential_on_random_sequences(self, seed):
+        tasks = _random_tasks(seed, count=120)
+        reference, expected = _sequential_reference(tasks)
+
+        batched = PipelineAdmissionController(NUM_STAGES)
+        decisions = batched.admit_many(tasks)
+
+        assert [d.admitted for d in decisions] == [d.admitted for d in expected]
+        # The reported region value must agree bitwise, not just within
+        # tolerance — admit_many recomputes cache entries with the same
+        # float expressions request() uses.
+        assert [d.region_value for d in decisions] == [
+            d.region_value for d in expected
+        ]
+        _assert_same_state(batched, reference)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_sequential_under_simultaneous_bursts(self, seed):
+        rng = random.Random(seed + 500)
+        tasks = []
+        t = 0.0
+        for k in range(90):
+            if k % 3:  # two of three arrivals share the previous timestamp
+                t += rng.expovariate(2.0)
+            tasks.append(
+                make_task(
+                    arrival_time=t,
+                    deadline=rng.uniform(0.4, 2.0),
+                    computation_times=[
+                        rng.expovariate(1.0 / 0.1) for _ in range(NUM_STAGES)
+                    ],
+                    task_id=k,
+                )
+            )
+        reference, expected = _sequential_reference(tasks)
+        batched = PipelineAdmissionController(NUM_STAGES)
+        decisions = batched.admit_many(tasks)
+        assert [(d.admitted, d.region_value) for d in decisions] == [
+            (d.admitted, d.region_value) for d in expected
+        ]
+        _assert_same_state(batched, reference)
+
+    def test_boundary_arrivals_decide_identically(self):
+        """Tasks engineered to land exactly on the region surface.
+
+        A single-stage pipeline with budget 1.0 admits synthetic
+        utilization up to ``f^-1(1)``.  Arrivals sized to fractions of
+        that bound — including one that lands the region value on the
+        budget to within float resolution — must flip (or not) the
+        same way on both paths.
+        """
+        boundary_u = inverse_stage_delay_factor(1.0)
+        for fraction in (0.25, 0.5, 0.25, 1e-9, 0.1):
+            tasks = []
+            t = 0.0
+            deadline = 1.0
+            for k, frac in enumerate((0.25, 0.5, fraction, 0.3, 0.2)):
+                tasks.append(
+                    make_task(
+                        arrival_time=t,
+                        deadline=deadline,
+                        computation_times=[boundary_u * frac * deadline],
+                        task_id=k,
+                    )
+                )
+                t += 1e-6
+            reference = PipelineAdmissionController(1)
+            expected = [
+                reference.request(task, task.arrival_time) for task in tasks
+            ]
+            batched = PipelineAdmissionController(1)
+            decisions = batched.admit_many(tasks)
+            assert [(d.admitted, d.region_value) for d in decisions] == [
+                (d.admitted, d.region_value) for d in expected
+            ]
+            assert batched.utilizations() == reference.utilizations()
+
+    def test_rejects_decreasing_timestamps(self):
+        tasks = _random_tasks(11, count=3)
+        controller = PipelineAdmissionController(NUM_STAGES)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            controller.admit_many(tasks, times=[1.0, 0.5, 2.0])
+
+    def test_explicit_times_override_arrivals(self):
+        tasks = _random_tasks(12, count=20)
+        times = [task.arrival_time + 0.25 for task in tasks]
+        reference = PipelineAdmissionController(NUM_STAGES)
+        expected = [
+            reference.request(task, now) for task, now in zip(tasks, times)
+        ]
+        batched = PipelineAdmissionController(NUM_STAGES)
+        decisions = batched.admit_many(tasks, times=times)
+        assert [(d.admitted, d.region_value) for d in decisions] == [
+            (d.admitted, d.region_value) for d in expected
+        ]
+
+
+class TestServedPipelineBatching:
+    @pytest.mark.parametrize("max_batch", [1, 4, 32])
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_batch_sizes_equal_sequential(self, max_batch, seed):
+        """The ISSUE acceptance matrix: batch windows {1, 4, 32}."""
+        tasks = _random_tasks(seed, count=100)
+        _, expected = _sequential_reference(tasks)
+
+        policy = PipelinePolicy(num_stages=NUM_STAGES, max_batch=max_batch)
+        pipeline = ServedPipeline(name="p", policy=policy)
+        decided = []
+        for task in tasks:
+            decided.extend(pipeline.admit(task.task_id, task))
+        decided.extend(pipeline.flush())
+
+        # Deferred decisions are released in queue order, so after the
+        # final flush the token order matches the offer order.
+        assert [token for token, _, _ in decided] == [t.task_id for t in tasks]
+        assert [(d.admitted, d.region_value) for _, _, d in decided] == [
+            (d.admitted, d.region_value) for d in expected
+        ]
+
+    def test_time_window_batching_equal_sequential(self):
+        tasks = _random_tasks(3, count=80)
+        _, expected = _sequential_reference(tasks)
+        policy = PipelinePolicy(num_stages=NUM_STAGES, batch_window=0.5)
+        pipeline = ServedPipeline(name="p", policy=policy)
+        decided = []
+        for task in tasks:
+            decided.extend(pipeline.admit(task.task_id, task))
+        decided.extend(pipeline.flush())
+        assert pipeline.counters.batches > 1
+        assert pipeline.counters.largest_batch > 1
+        assert [(d.admitted, d.region_value) for _, _, d in decided] == [
+            (d.admitted, d.region_value) for d in expected
+        ]
+
+    def test_shedding_pipeline_defers_but_matches_sequential(self):
+        tasks = _random_tasks(9, count=60, rate=30.0)  # overload the region
+        reference = PipelineAdmissionController(NUM_STAGES)
+        expected = [
+            reference.request_with_shedding(task, task.arrival_time)
+            for task in tasks
+        ]
+        policy = PipelinePolicy(num_stages=NUM_STAGES, shedding=True, max_batch=4)
+        pipeline = ServedPipeline(name="p", policy=policy)
+        decided = []
+        for task in tasks:
+            decided.extend(pipeline.admit(task.task_id, task))
+        decided.extend(pipeline.flush())
+        assert any(d.shed for _, _, d in decided)  # the scenario sheds
+        assert [(d.admitted, d.shed) for _, _, d in decided] == [
+            (d.admitted, d.shed) for d in expected
+        ]
+
+    def test_clock_rejects_time_regression(self):
+        policy = PipelinePolicy(num_stages=NUM_STAGES)
+        pipeline = ServedPipeline(name="p", policy=policy)
+        first = make_task(1.0, 1.0, [0.1] * NUM_STAGES, task_id=0)
+        stale = make_task(0.5, 1.0, [0.1] * NUM_STAGES, task_id=1)
+        pipeline.admit(0, first)
+        from repro.serve.protocol import ProtocolError
+
+        with pytest.raises(ProtocolError) as err:
+            pipeline.admit(1, stale)
+        assert err.value.code == "time-regression"
+
+
+class TestBatcherMechanics:
+    def test_window_flushes_before_newcomer_joins(self):
+        batcher = AdmissionBatcher(window=1.0)
+        assert batcher.push("a", 0.0) == []
+        assert batcher.push("b", 0.5) == []
+        ready = batcher.push("c", 1.0)  # window boundary is inclusive
+        assert ready == [["a", "b"]]
+        assert batcher.pending == 1
+        assert batcher.flush() == ["c"]
+
+    def test_size_cap_flushes_immediately(self):
+        batcher = AdmissionBatcher(max_batch=2)
+        assert batcher.push("a", 0.0) == []
+        assert batcher.push("b", 0.0) == [["a", "b"]]
+        assert batcher.pending == 0
+
+    def test_window_and_cap_can_both_fire_on_one_push(self):
+        batcher = AdmissionBatcher(window=1.0, max_batch=1)
+        assert batcher.push("a", 0.0) == [["a"]]
+        assert batcher.push("b", 5.0) == [["b"]]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AdmissionBatcher(window=0.0)
+        with pytest.raises(ValueError):
+            AdmissionBatcher(max_batch=0)
+        assert not AdmissionBatcher().enabled

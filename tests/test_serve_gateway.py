@@ -1,0 +1,332 @@
+"""Protocol-level tests for the admission gateway.
+
+Exercises every operation through the same line-oriented protocol the
+TCP server speaks, using the in-process transport for determinism and a
+real asyncio server for end-to-end coverage.
+"""
+
+import json
+
+import pytest
+
+from repro.core.task import make_task
+from repro.serve.client import (
+    GatewayClient,
+    GatewayError,
+    InProcessTransport,
+    TcpTransport,
+)
+from repro.serve.gateway import AdmissionGateway
+from repro.serve.loadgen import _TcpGatewayThread
+from repro.serve.protocol import task_to_wire
+
+NUM_STAGES = 3
+POLICY = {"num_stages": NUM_STAGES}
+
+
+def _client():
+    return GatewayClient(InProcessTransport(AdmissionGateway()))
+
+
+def _task(task_id, arrival, cost=0.01, deadline=1.0):
+    return make_task(
+        arrival_time=arrival,
+        deadline=deadline,
+        computation_times=[cost] * NUM_STAGES,
+        task_id=task_id,
+    )
+
+
+class TestOperations:
+    def test_health_reports_registered_pipelines(self):
+        client = _client()
+        assert client.call("health")["pipelines"] == []
+        client.register("web", POLICY)
+        client.register("api", POLICY)
+        response = client.call("health")
+        assert response["pipelines"] == ["api", "web"]
+        assert response["draining"] is False
+
+    def test_register_admit_depart_idle_expire(self):
+        client = _client()
+        register = client.register("web", POLICY)
+        assert register["region_budget"] > 0.0
+
+        admit = client.admit("web", _task(0, 0.0))
+        assert admit["admitted"] is True
+        assert admit["shed"] == []
+        assert admit["region_value"] > 0.0
+
+        client.call("depart", pipeline="web", task_id=0, stage=0)
+        released = client.call("idle", pipeline="web", stage=0)["released"]
+        assert released > 0.0
+
+        expire = client.call("expire", pipeline="web", now=10.0)
+        assert expire["region_value"] == 0.0
+
+    def test_capacity_rescale(self):
+        client = _client()
+        client.register("web", POLICY)
+        response = client.call("capacity", pipeline="web", stage=1, capacity=0.5)
+        assert response["capacities"] == [1.0, 0.5, 1.0]
+
+    def test_resync_reconciles_against_frontier(self):
+        client = _client()
+        client.register("web", POLICY)
+        client.admit("web", _task(0, 0.0, deadline=5.0))
+        client.admit("web", _task(1, 0.1, deadline=5.0))
+        # Ground truth: task 0 progressed to stage 2; task 1 is absent
+        # from the frontier, i.e. fully departed.
+        response = client.call(
+            "resync", pipeline="web", now=0.5, frontier={"0": 2}
+        )
+        report = response["report"]
+        assert report["restored"] == 2 * NUM_STAGES
+        assert report["departures_marked"] == 2 + NUM_STAGES
+        assert report["dropped_orphans"] == 0
+        assert report["dropped_expired"] == 0
+
+    def test_stats_scoped_and_global(self):
+        client = _client()
+        client.register("web", POLICY)
+        client.register("api", POLICY)
+        client.admit("web", _task(0, 0.0))
+        scoped = client.stats("web")
+        assert set(scoped["stats"]) == {"web"}
+        assert scoped["stats"]["web"]["counters"]["admitted"] == 1
+        everything = client.stats()
+        assert set(everything["stats"]) == {"api", "web"}
+        assert everything["ops"]["admit"] == 1
+
+    def test_unregister_forgets_the_pipeline(self):
+        client = _client()
+        client.register("web", POLICY)
+        client.call("unregister", pipeline="web")
+        with pytest.raises(GatewayError) as err:
+            client.admit("web", _task(0, 0.0))
+        assert err.value.code == "unknown-pipeline"
+
+    def test_drain_refuses_new_admits(self):
+        gateway = AdmissionGateway()
+        client = GatewayClient(InProcessTransport(gateway))
+        client.register("web", POLICY)
+        gateway.draining = True
+        with pytest.raises(GatewayError) as err:
+            client.admit("web", _task(0, 0.0))
+        assert err.value.code == "draining"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "line,code",
+        [
+            ("{not json", "bad-json"),
+            ('"just a string"', "bad-request"),
+            ('{"id": 1, "op": "frobnicate"}', "unknown-op"),
+            ('{"id": 1}', "unknown-op"),
+        ],
+    )
+    def test_malformed_lines_become_error_responses(self, line, code):
+        gateway = AdmissionGateway()
+        routed = gateway.handle_line(line)
+        assert len(routed) == 1
+        response = json.loads(routed[0][1])
+        assert response["ok"] is False
+        assert response["error"] == code
+        assert gateway.errors == 1
+
+    def test_unknown_pipeline(self):
+        client = _client()
+        with pytest.raises(GatewayError) as err:
+            client.admit("ghost", _task(0, 0.0))
+        assert err.value.code == "unknown-pipeline"
+
+    def test_duplicate_register(self):
+        client = _client()
+        client.register("web", POLICY)
+        with pytest.raises(GatewayError) as err:
+            client.register("web", POLICY)
+        assert err.value.code == "duplicate-pipeline"
+
+    @pytest.mark.parametrize(
+        "policy",
+        [
+            None,
+            {},
+            {"num_stages": 0},
+            {"num_stages": 3, "alpha": -1.0},
+            {"num_stages": 3, "mystery_knob": 7},
+            {"num_stages": 3, "batch_window": -0.5},
+        ],
+    )
+    def test_bad_policies_are_rejected(self, policy):
+        client = _client()
+        with pytest.raises(GatewayError) as err:
+            client.register("web", policy)
+        assert err.value.code == "bad-policy"
+
+    def test_bad_task(self):
+        client = _client()
+        client.register("web", POLICY)
+        with pytest.raises(GatewayError) as err:
+            client.call("admit", pipeline="web", task={"task_id": 0})
+        assert err.value.code == "bad-task"
+
+    def test_time_regression_rejected(self):
+        client = _client()
+        client.register("web", POLICY)
+        client.admit("web", _task(0, 1.0))
+        with pytest.raises(GatewayError) as err:
+            client.admit("web", _task(1, 0.5))
+        assert err.value.code == "time-regression"
+
+    @pytest.mark.parametrize(
+        "op,operands",
+        [
+            ("depart", {"pipeline": "web", "task_id": "zero", "stage": 0}),
+            ("idle", {"pipeline": "web", "stage": True}),
+            ("idle", {"pipeline": "web", "stage": 99}),
+            ("expire", {"pipeline": "web", "now": "later"}),
+            ("capacity", {"pipeline": "web", "stage": 0, "capacity": "half"}),
+        ],
+    )
+    def test_bad_operands(self, op, operands):
+        client = _client()
+        client.register("web", POLICY)
+        with pytest.raises(GatewayError):
+            client.call(op, **operands)
+
+
+class TestBatchingDeferral:
+    def test_queued_admits_answer_before_barrier_response(self):
+        """A barrier op releases batched decisions ahead of its own reply."""
+        gateway = AdmissionGateway()
+        client = GatewayClient(InProcessTransport(gateway))
+        client.register("web", {"num_stages": NUM_STAGES, "max_batch": 8})
+        ids = [client.submit_admit("web", _task(k, 0.01 * k)) for k in range(3)]
+        # Nothing answered yet: the batch is still open.
+        assert all(client.collect(i, wait=False) is None for i in ids)
+
+        stats_id = client.send("stats", pipeline="web")
+        for i in ids:
+            response = client.collect(i, wait=False)
+            assert response is not None and response["admitted"] is True
+        stats = client.collect(stats_id, wait=False)
+        assert stats is not None
+        assert stats["stats"]["web"]["counters"]["batches"] == 1
+        assert stats["stats"]["web"]["counters"]["largest_batch"] == 3
+
+    def test_size_cap_releases_batch_mid_stream(self):
+        client = _client()
+        client.register("web", {"num_stages": NUM_STAGES, "max_batch": 2})
+        a = client.submit_admit("web", _task(0, 0.0))
+        assert client.collect(a, wait=False) is None
+        b = client.submit_admit("web", _task(1, 0.1))  # fills the batch
+        assert client.collect(a, wait=False)["admitted"] is True
+        assert client.collect(b, wait=False)["admitted"] is True
+
+    def test_drain_answers_every_pending_admit(self):
+        client = _client()
+        client.register("web", {"num_stages": NUM_STAGES, "max_batch": 32})
+        ids = [client.submit_admit("web", _task(k, 0.01 * k)) for k in range(5)]
+        client.drain()
+        for i in ids:
+            assert client.collect(i, wait=False)["admitted"] is True
+
+    def test_snapshot_refuses_pending_batch(self):
+        client = _client()
+        client.register("web", {"num_stages": NUM_STAGES, "max_batch": 32})
+        client.submit_admit("web", _task(0, 0.0))
+        # snapshot is a barrier like any other pipeline op: the pending
+        # admit is decided first, so the snapshot itself succeeds.
+        response = client.call("snapshot", pipeline="web")
+        assert len(response["snapshot"]["controller"]["admitted"]) == 1
+
+
+class TestSnapshotRestoreOps:
+    def test_state_migrates_across_gateways(self):
+        source = _client()
+        source.register("web", POLICY)
+        for k in range(10):
+            source.admit("web", _task(k, 0.05 * k, deadline=5.0))
+        source.call("depart", pipeline="web", task_id=0, stage=0)
+        snapshot = source.call("snapshot", pipeline="web")["snapshot"]
+        before = source.stats("web")["stats"]["web"]
+
+        target = _client()
+        restore = target.call("restore", pipeline="web", snapshot=snapshot)
+        assert restore["audited"] is True
+
+        after = target.stats("web")["stats"]["web"]
+        assert after["admitted_live"] == before["admitted_live"]
+        assert after["region_value"] == pytest.approx(before["region_value"])
+
+        # Both gateways must agree on the next decision.
+        probe = _task(100, 1.0, deadline=5.0)
+        a = source.admit("web", probe)
+        b = target.admit("web", probe)
+        assert (a["admitted"], a["shed"]) == (b["admitted"], b["shed"])
+
+    def test_restore_rejects_corrupt_snapshot(self):
+        source = _client()
+        source.register("web", POLICY)
+        source.admit("web", _task(0, 0.0, deadline=5.0))
+        snapshot = source.call("snapshot", pipeline="web")["snapshot"]
+        snapshot["controller"]["format"] = "bogus/0"
+        target = _client()
+        with pytest.raises(GatewayError) as err:
+            target.call("restore", pipeline="web", snapshot=snapshot)
+        assert err.value.code == "bad-snapshot"
+
+
+class TestTcpServer:
+    def test_end_to_end_over_sockets(self):
+        with _TcpGatewayThread() as server:
+            host, port = server.address
+            client = GatewayClient(TcpTransport(host, port))
+            try:
+                client.register("web", POLICY)
+                for k in range(20):
+                    response = client.admit("web", _task(k, 0.05 * k))
+                    assert response["admitted"] is True
+                stats = client.stats("web")
+                assert stats["stats"]["web"]["counters"]["admitted"] == 20
+            finally:
+                client.close()
+
+    def test_two_connections_share_one_registry(self):
+        with _TcpGatewayThread() as server:
+            host, port = server.address
+            first = GatewayClient(TcpTransport(host, port))
+            second = GatewayClient(TcpTransport(host, port))
+            try:
+                first.register("web", POLICY)
+                assert second.call("health")["pipelines"] == ["web"]
+                second.admit("web", _task(0, 0.0))
+                assert (
+                    first.stats("web")["stats"]["web"]["counters"]["admitted"]
+                    == 1
+                )
+            finally:
+                first.close()
+                second.close()
+
+
+class TestWireFormat:
+    def test_task_round_trip_is_lossless(self):
+        task = _task(7, 1.25, cost=0.0123456789, deadline=0.75)
+        from repro.serve.protocol import task_from_wire
+
+        again = task_from_wire(json.loads(json.dumps(task_to_wire(task))))
+        assert again.task_id == task.task_id
+        assert again.arrival_time == task.arrival_time
+        assert again.deadline == task.deadline
+        assert again.computation_times == task.computation_times
+        assert again.importance == task.importance
+
+    def test_responses_are_canonical_json(self):
+        gateway = AdmissionGateway()
+        (_, line), = gateway.handle_line('{"id": 5, "op": "health"}')
+        assert line == json.dumps(
+            json.loads(line), sort_keys=True, separators=(",", ":")
+        )
