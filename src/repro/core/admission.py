@@ -436,17 +436,28 @@ class PipelineAdmissionController:
         from ``tracker.value`` with the same expression
         :meth:`region_value` uses — so not even the last ulp differs.
 
+        The guarantee requires every task's expiry to lie strictly
+        after its decision timestamp: the equal-timestamp expiry skip
+        would otherwise keep an already-lapsed admission charged for
+        the rest of its burst, where sequential :meth:`request` calls
+        would have expired it.  Such a task is dead on arrival anyway
+        (its deadline passed before it was decided), so the batch path
+        rejects the input outright.  Default timestamps always satisfy
+        this (``absolute_deadline > arrival_time`` for any valid task).
+
         Args:
             tasks: Arriving tasks, ordered by decision time.
             times: Decision timestamp per task; defaults to each task's
-                ``arrival_time``.  Must be non-decreasing.
+                ``arrival_time``.  Must be non-decreasing, and each must
+                precede its task's ``absolute_deadline``.
 
         Returns:
             One :class:`AdmissionDecision` per task, in input order.
 
         Raises:
-            ValueError: If ``times`` has the wrong length or the
-                timestamps are not non-decreasing.
+            ValueError: If ``times`` has the wrong length, the
+                timestamps are not non-decreasing, or a task would be
+                decided at or after its absolute deadline.
         """
         task_list = list(tasks)
         if times is None:
@@ -462,6 +473,17 @@ class PipelineAdmissionController:
                 raise ValueError(
                     f"batch timestamps must be non-decreasing, got {earlier} "
                     f"then {later}"
+                )
+        for task, now in zip(task_list, time_list):
+            # Raw comparison on purpose: expiry uses raw `expiry <= now`
+            # (StageUtilizationTracker.expire_until), so the divergence
+            # this precondition excludes begins exactly at equality.
+            if now >= task.absolute_deadline:  # repro: noqa[FLT002]
+                raise ValueError(
+                    f"task {task.task_id!r} decided at {now}, at or after its "
+                    f"absolute deadline {task.absolute_deadline}; sequential "
+                    "equivalence requires every decision to precede the "
+                    "task's expiry"
                 )
         trackers = self.trackers
         budget = self.budget

@@ -64,9 +64,16 @@ class AdmissionGateway:
         """Process one request line; return routed response lines.
 
         Never raises for request content — malformed or unserviceable
-        requests produce a single error response to ``origin``.
+        requests produce an error response to ``origin``.  Handlers
+        accumulate responses into a shared list, so responses already
+        released by the request (batched admissions flushed by a
+        barrier operation) are still delivered when the operation
+        itself subsequently fails: the batch's decisions mutate
+        controller state, and the clients that queued them must see
+        them even though the failing request only gets an error.
         """
         request: Optional[Dict[str, Any]] = None
+        routed: List[Routed] = []
         try:
             request = parse_request(line)
             op = request["op"]
@@ -74,10 +81,11 @@ class AdmissionGateway:
             if self.draining and op == "admit":
                 raise ProtocolError("draining", "gateway is draining; no new admits")
             handler = getattr(self, f"_op_{op}")
-            return handler(request, origin)
+            handler(request, origin, routed)
         except ProtocolError as exc:
             self.errors += 1
-            return [(origin, error_response(request, exc.code, exc.detail))]
+            routed.append((origin, error_response(request, exc.code, exc.detail)))
+        return routed
 
     def drain(self) -> List[Routed]:
         """Flush every pipeline's pending batch (shutdown path)."""
@@ -93,23 +101,27 @@ class AdmissionGateway:
     def _pipeline(self, request: Dict[str, Any]) -> ServedPipeline:
         return self.registry.get(request["pipeline"])
 
-    def _barrier(self, request: Dict[str, Any]) -> Tuple[ServedPipeline, List[Routed]]:
+    def _barrier(self, request: Dict[str, Any], routed: List[Routed]) -> ServedPipeline:
         """Look up the target pipeline and flush its pending batch.
 
         Every non-admit pipeline operation is a batch barrier: queued
         admissions are decided (and their responses released) *before*
         the operation runs, so observers see sequential-equivalent
-        state.
+        state.  The flushed decisions go straight into ``routed`` so
+        they survive even if the operation fails after the barrier
+        (handlers validate their operands first, but some failures —
+        e.g. a time regression — are only detectable afterwards).
         """
         pipeline = self._pipeline(request)
-        return pipeline, _decided_responses(pipeline.flush())
+        routed.extend(_decided_responses(pipeline.flush()))
+        return pipeline
 
     # ------------------------------------------------------------------
     # Operations
     # ------------------------------------------------------------------
 
-    def _op_health(self, request: Dict[str, Any], origin: Any) -> List[Routed]:
-        return [
+    def _op_health(self, request: Dict[str, Any], origin: Any, routed: List[Routed]) -> None:
+        routed.append(
             (
                 origin,
                 ok_response(
@@ -119,12 +131,12 @@ class AdmissionGateway:
                     errors=self.errors,
                 ),
             )
-        ]
+        )
 
-    def _op_register(self, request: Dict[str, Any], origin: Any) -> List[Routed]:
+    def _op_register(self, request: Dict[str, Any], origin: Any, routed: List[Routed]) -> None:
         policy = PipelinePolicy.from_dict(request.get("policy"))
         pipeline = self.registry.register(request["pipeline"], policy)
-        return [
+        routed.append(
             (
                 origin,
                 ok_response(
@@ -133,35 +145,36 @@ class AdmissionGateway:
                     region_budget=pipeline.controller.budget,
                 ),
             )
-        ]
+        )
 
-    def _op_unregister(self, request: Dict[str, Any], origin: Any) -> List[Routed]:
-        pipeline, routed = self._barrier(request)
+    def _op_unregister(self, request: Dict[str, Any], origin: Any, routed: List[Routed]) -> None:
+        pipeline = self._barrier(request, routed)
         self.registry.unregister(pipeline.name)
         routed.append((origin, ok_response(request, pipeline=pipeline.name)))
-        return routed
 
-    def _op_admit(self, request: Dict[str, Any], origin: Any) -> List[Routed]:
+    def _op_admit(self, request: Dict[str, Any], origin: Any, routed: List[Routed]) -> None:
         pipeline = self._pipeline(request)
         task = task_from_wire(request.get("task"))
         token = (origin, request)
-        return _decided_responses(pipeline.admit(token, task))
+        routed.extend(_decided_responses(pipeline.admit(token, task)))
 
-    def _op_depart(self, request: Dict[str, Any], origin: Any) -> List[Routed]:
-        pipeline, routed = self._barrier(request)
-        pipeline.depart(_task_id_operand(request), _stage_operand(request))
+    def _op_depart(self, request: Dict[str, Any], origin: Any, routed: List[Routed]) -> None:
+        task_id = _task_id_operand(request)
+        stage = _stage_operand(request)
+        pipeline = self._barrier(request, routed)
+        pipeline.depart(task_id, stage)
         routed.append((origin, ok_response(request)))
-        return routed
 
-    def _op_idle(self, request: Dict[str, Any], origin: Any) -> List[Routed]:
-        pipeline, routed = self._barrier(request)
-        released = pipeline.idle(_stage_operand(request))
+    def _op_idle(self, request: Dict[str, Any], origin: Any, routed: List[Routed]) -> None:
+        stage = _stage_operand(request)
+        pipeline = self._barrier(request, routed)
+        released = pipeline.idle(stage)
         routed.append((origin, ok_response(request, released=released)))
-        return routed
 
-    def _op_expire(self, request: Dict[str, Any], origin: Any) -> List[Routed]:
-        pipeline, routed = self._barrier(request)
-        pipeline.expire(_time_operand(request))
+    def _op_expire(self, request: Dict[str, Any], origin: Any, routed: List[Routed]) -> None:
+        now = _time_operand(request)
+        pipeline = self._barrier(request, routed)
+        pipeline.expire(now)
         routed.append(
             (
                 origin,
@@ -170,14 +183,14 @@ class AdmissionGateway:
                 ),
             )
         )
-        return routed
 
-    def _op_capacity(self, request: Dict[str, Any], origin: Any) -> List[Routed]:
-        pipeline, routed = self._barrier(request)
+    def _op_capacity(self, request: Dict[str, Any], origin: Any, routed: List[Routed]) -> None:
         value = request.get("capacity")
         if not isinstance(value, (int, float)) or isinstance(value, bool):
             raise ProtocolError("bad-request", "capacity must be a number")
-        pipeline.set_capacity(_stage_operand(request), float(value))
+        stage = _stage_operand(request)
+        pipeline = self._barrier(request, routed)
+        pipeline.set_capacity(stage, float(value))
         routed.append(
             (
                 origin,
@@ -187,12 +200,12 @@ class AdmissionGateway:
                 ),
             )
         )
-        return routed
 
-    def _op_resync(self, request: Dict[str, Any], origin: Any) -> List[Routed]:
-        pipeline, routed = self._barrier(request)
+    def _op_resync(self, request: Dict[str, Any], origin: Any, routed: List[Routed]) -> None:
+        now = _time_operand(request)
         frontier = frontier_from_wire(request.get("frontier", {}))
-        report = pipeline.resync(_time_operand(request), frontier)
+        pipeline = self._barrier(request, routed)
+        report = pipeline.resync(now, frontier)
         routed.append(
             (
                 origin,
@@ -203,18 +216,16 @@ class AdmissionGateway:
                 ),
             )
         )
-        return routed
 
-    def _op_snapshot(self, request: Dict[str, Any], origin: Any) -> List[Routed]:
-        pipeline, routed = self._barrier(request)
+    def _op_snapshot(self, request: Dict[str, Any], origin: Any, routed: List[Routed]) -> None:
+        pipeline = self._barrier(request, routed)
         try:
             snapshot = pipeline.snapshot()
         except ValueError as exc:
             raise ProtocolError("bad-snapshot", str(exc)) from exc
         routed.append((origin, ok_response(request, snapshot=snapshot)))
-        return routed
 
-    def _op_restore(self, request: Dict[str, Any], origin: Any) -> List[Routed]:
+    def _op_restore(self, request: Dict[str, Any], origin: Any, routed: List[Routed]) -> None:
         name = request["pipeline"]
         pipeline = ServedPipeline.from_snapshot(request.get("snapshot"), name=name)
         check_at = pipeline.clock if pipeline.clock is not None else 0.0
@@ -225,7 +236,7 @@ class AdmissionGateway:
                 "; ".join(f"{v.kind}: {v.detail}" for v in violations),
             )
         self.registry.adopt(pipeline)
-        return [
+        routed.append(
             (
                 origin,
                 ok_response(
@@ -235,15 +246,14 @@ class AdmissionGateway:
                     region_value=pipeline.controller.region_value(),
                 ),
             )
-        ]
+        )
 
-    def _op_stats(self, request: Dict[str, Any], origin: Any) -> List[Routed]:
+    def _op_stats(self, request: Dict[str, Any], origin: Any, routed: List[Routed]) -> None:
         name = request.get("pipeline")
-        routed: List[Routed] = []
         if name is not None:
             if not isinstance(name, str):
                 raise ProtocolError("bad-request", "pipeline must be a string")
-            pipeline, routed = self._barrier({"pipeline": name})
+            pipeline = self._barrier({"pipeline": name}, routed)
             stats = {name: pipeline.stats()}
         else:
             for pipeline in self.registry:
@@ -255,12 +265,10 @@ class AdmissionGateway:
                 ok_response(request, ops=dict(sorted(self.op_counts.items())), stats=stats),
             )
         )
-        return routed
 
-    def _op_drain(self, request: Dict[str, Any], origin: Any) -> List[Routed]:
-        routed = self.drain()
+    def _op_drain(self, request: Dict[str, Any], origin: Any, routed: List[Routed]) -> None:
+        routed.extend(self.drain())
         routed.append((origin, ok_response(request, drained=True)))
-        return routed
 
 
 def _decided_responses(decided: List[Decided]) -> List[Routed]:

@@ -402,7 +402,11 @@ class ServedPipeline:
         """Rebuild a served pipeline from a :meth:`snapshot` document.
 
         Raises:
-            ProtocolError: On a malformed document or format mismatch.
+            ProtocolError: On a malformed document, a format mismatch,
+                or a policy document that disagrees with the embedded
+                controller document (a pipeline whose policy claims
+                different parameters than its controller would accept
+                operations the controller cannot serve).
         """
         if not isinstance(doc, dict) or doc.get("format") != PIPELINE_SNAPSHOT_FORMAT:
             raise ProtocolError(
@@ -411,6 +415,7 @@ class ServedPipeline:
             )
         try:
             policy = PipelinePolicy.from_dict(doc["policy"])
+            _check_controller_matches_policy(policy, doc["controller"])
             pipeline = cls(name=name or str(doc["name"]), policy=policy)
             pipeline.controller = restore_controller(doc["controller"])
             pipeline.counters = ServeCounters.from_dict(doc["counters"])
@@ -421,6 +426,49 @@ class ServedPipeline:
             raise
         except (KeyError, TypeError, ValueError) as exc:
             raise ProtocolError("bad-snapshot", str(exc)) from exc
+
+
+def _check_controller_matches_policy(
+    policy: PipelinePolicy, controller_doc: Any
+) -> None:
+    """Reject a pipeline snapshot whose two documents disagree.
+
+    The policy document drives gateway-side validation (``_check_stage``
+    bounds, the ``stats`` report) while the controller document rebuilds
+    the decision state.  If they diverge — e.g. a policy claiming more
+    stages than the controller has trackers — a policy-valid operation
+    would raise ``IndexError`` inside the controller, escaping the
+    gateway's "never raises for request content" contract.
+
+    Raises:
+        ProtocolError: On any parameter mismatch.
+    """
+    if not isinstance(controller_doc, dict):
+        raise ProtocolError("bad-snapshot", "controller must be a JSON object")
+    expected: Dict[str, Any] = {
+        "num_stages": policy.num_stages,
+        "alpha": policy.alpha,
+        "betas": None if policy.betas is None else list(policy.betas),
+        "reserved": (
+            [0.0] * policy.num_stages
+            if policy.reserved is None
+            else list(policy.reserved)
+        ),
+        "reset_on_idle": policy.reset_on_idle,
+        # Both sides are normalized through the wire codec so the
+        # policy's ``None`` (= exact demand) compares equal to the
+        # controller's explicit ``{"kind": "exact"}``.
+        "demand_model": demand_model_to_wire(demand_model_from_wire(policy.demand)),
+    }
+    for key, want in expected.items():
+        got = controller_doc.get(key)
+        if key == "demand_model":
+            got = demand_model_to_wire(demand_model_from_wire(got))
+        if got != want:
+            raise ProtocolError(
+                "bad-snapshot",
+                f"controller {key} {got!r} disagrees with policy value {want!r}",
+            )
 
 
 class PipelineRegistry:

@@ -144,6 +144,22 @@ class TestAdmitMany:
         with pytest.raises(ValueError, match="non-decreasing"):
             controller.admit_many(tasks, times=[1.0, 0.5, 2.0])
 
+    def test_rejects_decision_at_or_after_task_expiry(self):
+        """Explicit times must precede each task's absolute deadline.
+
+        The equal-timestamp expiry skip would keep a dead-on-arrival
+        admission charged where sequential request() calls would have
+        expired it before the next same-timestamp decision — so the
+        batch path refuses the input instead of silently diverging.
+        """
+        tasks = [
+            make_task(0.0, 1.0, [0.1] * NUM_STAGES, task_id=0),
+            make_task(0.0, 1.0, [0.1] * NUM_STAGES, task_id=1),
+        ]
+        controller = PipelineAdmissionController(NUM_STAGES)
+        with pytest.raises(ValueError, match="absolute deadline"):
+            controller.admit_many(tasks, times=[1.0, 1.0])
+
     def test_explicit_times_override_arrivals(self):
         tasks = _random_tasks(12, count=20)
         times = [task.arrival_time + 0.25 for task in tasks]

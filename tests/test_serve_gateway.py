@@ -242,6 +242,45 @@ class TestBatchingDeferral:
         response = client.call("snapshot", pipeline="web")
         assert len(response["snapshot"]["controller"]["admitted"]) == 1
 
+    def test_failed_barrier_op_still_delivers_flushed_decisions(self):
+        """A barrier that errors after the flush must not eat the batch.
+
+        The flush decides the queued admissions and mutates controller
+        state; the waiting clients must receive those decisions even
+        though the barrier operation itself only yields an error.
+        """
+        client = _client()
+        client.register("web", {"num_stages": NUM_STAGES, "max_batch": 8})
+        ids = [client.submit_admit("web", _task(k, 0.01 * k)) for k in range(2)]
+        with pytest.raises(GatewayError) as err:
+            client.call("depart", pipeline="web", task_id=0, stage=99)
+        assert err.value.code == "bad-stage"
+        for i in ids:
+            response = client.collect(i, wait=False)
+            assert response is not None and response["admitted"] is True
+
+    def test_time_regression_after_barrier_still_delivers_flushed_decisions(self):
+        client = _client()
+        client.register("web", {"num_stages": NUM_STAGES, "max_batch": 8})
+        admit_id = client.submit_admit("web", _task(0, 1.0))
+        with pytest.raises(GatewayError) as err:
+            client.call("expire", pipeline="web", now=0.5)
+        assert err.value.code == "time-regression"
+        response = client.collect(admit_id, wait=False)
+        assert response is not None and response["admitted"] is True
+
+    def test_bad_operand_types_fail_before_the_barrier(self):
+        """Trivially malformed requests do not force a batch flush."""
+        client = _client()
+        client.register("web", {"num_stages": NUM_STAGES, "max_batch": 8})
+        admit_id = client.submit_admit("web", _task(0, 0.0))
+        with pytest.raises(GatewayError) as err:
+            client.call("depart", pipeline="web", task_id=0, stage="zero")
+        assert err.value.code == "bad-request"
+        assert client.collect(admit_id, wait=False) is None  # still queued
+        client.drain()
+        assert client.collect(admit_id, wait=False)["admitted"] is True
+
 
 class TestSnapshotRestoreOps:
     def test_state_migrates_across_gateways(self):
@@ -277,6 +316,37 @@ class TestSnapshotRestoreOps:
         with pytest.raises(GatewayError) as err:
             target.call("restore", pipeline="web", snapshot=snapshot)
         assert err.value.code == "bad-snapshot"
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("num_stages", NUM_STAGES + 1),
+            ("alpha", 0.5),
+            ("betas", [0.1] * NUM_STAGES),
+            ("reserved", [0.2, 0.0, 0.0]),
+            ("demand", {"kind": "scaled", "factor": 2.0}),
+            ("reset_on_idle", False),
+        ],
+    )
+    def test_restore_rejects_policy_controller_mismatch(self, field, value):
+        """The two snapshot documents must describe the same pipeline.
+
+        A policy claiming (say) more stages than the controller has
+        trackers would pass stage validation for operations the
+        controller cannot serve, turning a later depart/idle into an
+        IndexError that escapes the protocol layer.
+        """
+        source = _client()
+        source.register("web", POLICY)
+        source.admit("web", _task(0, 0.0, deadline=5.0))
+        snapshot = source.call("snapshot", pipeline="web")["snapshot"]
+        snapshot["policy"][field] = value
+        target = _client()
+        with pytest.raises(GatewayError) as err:
+            target.call("restore", pipeline="web", snapshot=snapshot)
+        assert err.value.code == "bad-snapshot"
+        # The mismatched pipeline must not be adopted.
+        assert target.call("health")["pipelines"] == []
 
 
 class TestTcpServer:
