@@ -16,9 +16,12 @@ chaos:
 
 # Serving-layer smoke: replay a 1k-request seeded trace through the
 # in-process gateway twice and require byte-identical reports, zero
-# deadline misses, batching equivalence, and a clean snapshot audit.
+# deadline misses, batching equivalence, and a clean snapshot audit —
+# then 24 crash/recover cycles with zero lost or duplicated admissions
+# and bitwise-identical recovered state.
 serve-smoke:
 	$(PYTHON) -m repro.serve.loadgen --scenario webserver --seed 0 --requests 1000 --selftest
+	$(PYTHON) -m repro.serve.loadgen --chaos-crash --cycles 24 --seed 0 --selftest
 
 # Consolidated benchmark run: every benchmarks/bench_*.py file, one
 # machine-readable summary at the repo root.

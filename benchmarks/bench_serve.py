@@ -1,6 +1,6 @@
 """Throughput and latency benchmarks for the serving layer.
 
-Four costs the gateway adds around the core admission test:
+Five costs the gateway adds around the core admission test:
 
 - protocol round trips (parse, dispatch, decide, encode) through the
   in-process transport — the full stack minus sockets;
@@ -8,15 +8,19 @@ Four costs the gateway adds around the core admission test:
   at the same virtual timestamps, the amortization the batch queue buys;
 - snapshot/restore of a controller with live admitted state;
 - the end-to-end load generator on the webserver scenario, the number
-  `make serve-smoke` exercises.
+  `make serve-smoke` exercises;
+- write-ahead journaling: the same admit stream with the journal off,
+  on (buffered), and on with per-record fsync — the durability tax.
 """
 
+import json
 import random
 
 from repro.core.admission import PipelineAdmissionController
 from repro.core.task import make_task
 from repro.serve.client import GatewayClient, InProcessTransport
 from repro.serve.gateway import AdmissionGateway
+from repro.serve.journal import DurableGateway, Journal
 from repro.serve.loadgen import run_scenario
 from repro.serve.snapshot import controller_snapshot, restore_controller
 
@@ -118,3 +122,85 @@ def test_loadgen_webserver_scenario(benchmark):
     report = run_once(benchmark, run_scenario, "webserver", 0, 500)
     assert report["traffic"]["missed"] == 0
     assert report["traffic"]["admitted"] == 500
+
+
+# ----------------------------------------------------------------------
+# Journal overhead: the same admit stream, journal off / on / on+fsync.
+# ----------------------------------------------------------------------
+
+JOURNAL_TRACE_LEN = 500
+
+
+def _admit_lines(count=JOURNAL_TRACE_LEN, num_stages=NUM_STAGES):
+    lines = [
+        json.dumps(
+            {
+                "id": 0,
+                "op": "register",
+                "pipeline": "bench",
+                "policy": {"num_stages": num_stages},
+            }
+        )
+    ]
+    for n, task in enumerate(_trace(seed=2, count=count), start=1):
+        lines.append(
+            json.dumps(
+                {
+                    "id": n,
+                    "op": "admit",
+                    "pipeline": "bench",
+                    "task": {
+                        "task_id": task.task_id,
+                        "arrival": task.arrival_time,
+                        "deadline": task.arrival_time + task.deadline,
+                        "costs": list(task.computation_times),
+                    },
+                }
+            )
+        )
+    return lines
+
+
+def _drive_lines(gateway, lines):
+    admitted = 0
+    for line in lines:
+        for _, response in gateway.handle_line(line):
+            if json.loads(response).get("admitted"):
+                admitted += 1
+    return admitted
+
+
+def _assert_admits(admitted):
+    assert 0 < admitted <= JOURNAL_TRACE_LEN
+
+
+def test_admit_stream_journal_off(benchmark):
+    lines = _admit_lines()
+    _assert_admits(run_once(benchmark, lambda: _drive_lines(AdmissionGateway(), lines)))
+
+
+def _durable_run(tmp_path, lines, fsync, tag):
+    journal = Journal(tmp_path / f"{tag}.ndjson", fsync=fsync)
+    durable = DurableGateway(
+        AdmissionGateway(), journal, tmp_path / f"{tag}.snapshot.json",
+        snapshot_every=0,
+    )
+    try:
+        return _drive_lines(durable, lines)
+    finally:
+        durable.close()
+        journal.path.unlink(missing_ok=True)
+
+
+def test_admit_stream_journal_on(benchmark, tmp_path):
+    lines = _admit_lines()
+    _assert_admits(
+        run_once(benchmark, lambda: _durable_run(tmp_path, lines, False, "buffered"))
+    )
+
+
+def test_admit_stream_journal_fsync(benchmark, tmp_path):
+    lines = _admit_lines()
+    _assert_admits(
+        run_once(benchmark, lambda: _durable_run(tmp_path, lines, True, "fsync"))
+    )

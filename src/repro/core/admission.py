@@ -521,8 +521,12 @@ class PipelineAdmissionController:
     def _expire_cached(self, now: float, cache: List[float]) -> None:
         """:meth:`expire`, refreshing region-cache entries of touched stages."""
         for j, tracker in enumerate(self.trackers):
-            if tracker.expire_until(now):
-                cache[j] = stage_delay_factor(min(tracker.value, 1.0))
+            # Unconditional refresh: a released amount of 0.0 does not
+            # mean the tracker's total is unchanged — expiring zero-cost
+            # contributions re-derives the running sum (fsum), which can
+            # shift it by an ulp relative to the stale cached term.
+            tracker.expire_until(now)
+            cache[j] = stage_delay_factor(min(tracker.value, 1.0))
         while self._expiry_heap and self._expiry_heap[0][0] <= now:
             _, task_id = heapq.heappop(self._expiry_heap)
             record = self._admitted.get(task_id)

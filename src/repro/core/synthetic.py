@@ -37,17 +37,22 @@ class StageUtilizationTracker:
     """Tracks the synthetic utilization of a single pipeline stage.
 
     The tracker holds one *contribution* per current task plus a fixed
-    *reserved* baseline.  The total is maintained incrementally; a
-    periodic exact recomputation guards against floating-point drift on
-    very long runs.
+    *reserved* baseline.  Additions update the total incrementally (one
+    rounding per add, in arrival order); every removal operation
+    re-derives the total with an exact ``math.fsum`` over the surviving
+    contributions.  Because ``fsum`` is correctly rounded regardless of
+    summation order, the running total is a *canonical function of the
+    tracked set and the add sequence* — two trackers fed the same
+    operations hold bitwise-identical totals even if internal iteration
+    orders (expiry-heap layout, departed-set insertion order) differ.
+    That property is what lets crash recovery reproduce a controller
+    bitwise (see ``repro.serve.recovery``), and it also bounds drift:
+    rounding error never accumulates across removals.
 
     Attributes:
         reserved: Baseline utilization reserved for critical tasks.
             Resets never go below this value.
     """
-
-    #: Recompute the running sum exactly after this many removals.
-    _RESYNC_INTERVAL = 4096
 
     def __init__(self, reserved: float = 0.0) -> None:
         """Create a tracker.
@@ -68,7 +73,6 @@ class StageUtilizationTracker:
         self._departed: Dict[Hashable, float] = {}
         self._expiry_heap: List[Tuple[float, int, Hashable]] = []
         self._sum = 0.0
-        self._ops_since_resync = 0
         self._tokens = itertools.count()
 
     # ------------------------------------------------------------------
@@ -162,10 +166,8 @@ class StageUtilizationTracker:
         self._departed.pop(task_id, None)
         if entry is None:
             return 0.0
-        contribution = entry[0]
-        self._sum -= contribution
-        self._maybe_resync()
-        return contribution
+        self.recompute()
+        return entry[0]
 
     def expire_until(self, now: float) -> float:
         """Drop all contributions whose deadline expired at or before ``now``.
@@ -173,7 +175,7 @@ class StageUtilizationTracker:
         Returns:
             Total utilization released.
         """
-        released = 0.0
+        removed: List[float] = []
         while self._expiry_heap and self._expiry_heap[0][0] <= now:
             _, token, task_id = heapq.heappop(self._expiry_heap)
             entry = self._contribs.get(task_id)
@@ -181,11 +183,13 @@ class StageUtilizationTracker:
                 continue  # stale entry: task removed (and possibly re-added)
             del self._contribs[task_id]
             self._departed.pop(task_id, None)
-            self._sum -= entry[0]
-            released += entry[0]
-        if released:
-            self._maybe_resync()
-        return released
+            removed.append(entry[0])
+        if not removed:
+            return 0.0
+        # fsum on both sides: neither the released amount nor the new
+        # total depends on the (tie-dependent) heap pop order.
+        self.recompute()
+        return math.fsum(removed)
 
     def next_expiry(self) -> float:
         """Earliest pending expiry time, or ``inf`` when nothing is tracked.
@@ -221,15 +225,17 @@ class StageUtilizationTracker:
         Returns:
             Total utilization released.
         """
-        released = 0.0
+        removed: List[float] = []
         for task_id, contribution in self._departed.items():
             if self._contribs.pop(task_id, None) is not None:
-                self._sum -= contribution
-                released += contribution
+                removed.append(contribution)
         self._departed.clear()
-        if released:
-            self._maybe_resync()
-        return released
+        if not removed:
+            return 0.0
+        # fsum on both sides: the result is independent of the departed
+        # set's (path-dependent) insertion order.
+        self.recompute()
+        return math.fsum(removed)
 
     def clear(self) -> None:
         """Drop every tracked contribution, returning to the reserved baseline."""
@@ -237,25 +243,29 @@ class StageUtilizationTracker:
         self._departed.clear()
         self._expiry_heap.clear()
         self._sum = 0.0
-        self._ops_since_resync = 0
+
+    def load_sum(self, value: float) -> None:
+        """Restore the raw running sum (snapshot round-trip).
+
+        The running total is path-dependent in its last ulp: additions
+        round once per add, in arrival order.  Restoring per-task
+        contributions alone would rebuild the total in a *different*
+        association order, so snapshots carry the raw sum and restore
+        it here — making a restored tracker bitwise identical to the
+        one that was snapshotted.
+
+        Raises:
+            ValueError: If ``value`` is not finite.
+        """
+        if not math.isfinite(value):
+            raise ValueError(f"running sum must be finite, got {value}")
+        self._sum = value
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 
-    def _maybe_resync(self) -> None:
-        """Recompute the incremental sum exactly every few thousand removals.
-
-        The incremental total accumulates one floating-point rounding
-        error per mutation; an exact resummation keeps long simulations
-        (millions of task arrivals) honest.
-        """
-        self._ops_since_resync += 1
-        if self._ops_since_resync >= self._RESYNC_INTERVAL:
-            self.recompute()
-
     def recompute(self) -> float:
-        """Force an exact recomputation of the running sum and return it."""
+        """Recompute the running sum exactly (order-independent ``fsum``)."""
         self._sum = math.fsum(c for c, _ in self._contribs.values())
-        self._ops_since_resync = 0
         return self._sum

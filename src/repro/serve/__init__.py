@@ -10,8 +10,19 @@ batched with a sequential-equivalence guarantee, controller state
 snapshots and restores with auditing, and ``python -m
 repro.serve.loadgen`` replays seeded traces into byte-stable reports.
 
+Durability (PR 4): a :class:`~repro.serve.journal.Journal` write-ahead
+log plus periodic snapshot compaction make the gateway
+crash-recoverable — :func:`~repro.serve.recovery.recover` rebuilds a
+*bitwise identical* gateway from disk, the
+:class:`~repro.serve.client.RetryingGatewayClient` pairs
+client-generated request ids with the gateway's dedup window for
+exactly-once admission across timeouts and reconnects, and
+``python -m repro.serve.loadgen --chaos-crash`` proves zero
+lost/duplicated admissions across repeated kill/recover cycles.
+
 See DESIGN.md §9 for the mapping from protocol operations to the
-paper's Section-4 bookkeeping rules.
+paper's Section-4 bookkeeping rules, and §10 for the durability
+contract.
 """
 
 from .batching import AdmissionBatcher
@@ -19,11 +30,28 @@ from .client import (
     GatewayClient,
     GatewayControllerProxy,
     GatewayError,
+    GatewayTimeout,
     InProcessTransport,
+    RetryingGatewayClient,
+    RetryPolicy,
     TcpTransport,
 )
-from .gateway import AdmissionGateway, GatewayServer
+from .gateway import AdmissionGateway, GatewayLike, GatewayServer
+from .journal import (
+    GATEWAY_SNAPSHOT_FORMAT,
+    DurableGateway,
+    Journal,
+    JournalError,
+    scan_journal,
+)
 from .protocol import OPS, ProtocolError
+from .recovery import (
+    RecoveryError,
+    RecoveryReport,
+    recover,
+    registry_fingerprint,
+    run_crash_chaos,
+)
 from .registry import PipelinePolicy, PipelineRegistry, ServedPipeline
 from .snapshot import (
     SNAPSHOT_FORMAT,
@@ -35,19 +63,33 @@ from .snapshot import (
 __all__ = [
     "AdmissionBatcher",
     "AdmissionGateway",
+    "DurableGateway",
+    "GATEWAY_SNAPSHOT_FORMAT",
     "GatewayClient",
     "GatewayControllerProxy",
     "GatewayError",
+    "GatewayLike",
     "GatewayServer",
+    "GatewayTimeout",
     "InProcessTransport",
+    "Journal",
+    "JournalError",
     "OPS",
     "PipelinePolicy",
     "PipelineRegistry",
     "ProtocolError",
+    "RecoveryError",
+    "RecoveryReport",
+    "RetryPolicy",
+    "RetryingGatewayClient",
     "SNAPSHOT_FORMAT",
     "ServedPipeline",
     "TcpTransport",
     "controller_snapshot",
+    "recover",
+    "registry_fingerprint",
     "restore_controller",
+    "run_crash_chaos",
+    "scan_journal",
     "verify_restored",
 ]

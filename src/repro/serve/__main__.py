@@ -1,4 +1,12 @@
-"""Run a standalone gateway server: ``python -m repro.serve``."""
+"""Run a standalone gateway server: ``python -m repro.serve``.
+
+With ``--state-dir`` the gateway is *durable*: it recovers from the
+directory's snapshot + journal on startup (creating both on first
+run), then journals every state-mutating operation before applying
+it.  Kill the process at any point and restart with the same
+``--state-dir`` — admitted state, batching queues, and the idempotency
+window come back bitwise identical (see ``repro.serve.recovery``).
+"""
 
 from __future__ import annotations
 
@@ -8,6 +16,7 @@ import sys
 from typing import Optional, Sequence
 
 from .gateway import serve_forever
+from .journal import DEFAULT_SNAPSHOT_EVERY
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -19,11 +28,47 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--port", type=int, default=0, help="bind port (0 picks a free port)"
     )
+    parser.add_argument(
+        "--state-dir",
+        help="durable mode: recover from (and journal to) this directory",
+    )
+    parser.add_argument(
+        "--fsync",
+        action="store_true",
+        help="fsync the journal after every record (durable mode only)",
+    )
+    parser.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=DEFAULT_SNAPSHOT_EVERY,
+        help="compact the journal into a snapshot every N journaled ops",
+    )
     args = parser.parse_args(argv)
+    gateway = None
+    if args.state_dir is not None:
+        from .recovery import recover
+
+        gateway, report = recover(
+            args.state_dir,
+            fsync=args.fsync,
+            snapshot_every=args.snapshot_every,
+        )
+        print(
+            f"recovered from {args.state_dir}: "
+            f"snapshot_seq={report.snapshot_seq} replayed={report.replayed} "
+            f"truncated_bytes={report.truncated_bytes} "
+            f"pipelines={report.pipelines}",
+            flush=True,
+        )
+    elif args.fsync:
+        parser.error("--fsync requires --state-dir")
     try:
-        asyncio.run(serve_forever(args.host, args.port))
+        asyncio.run(serve_forever(args.host, args.port, gateway))
     except KeyboardInterrupt:
         pass
+    finally:
+        if gateway is not None:
+            gateway.close()
     return 0
 
 

@@ -10,6 +10,12 @@ Three layers, bottom-up:
 * :class:`GatewayClient` assigns request ids, correlates responses
   (batched ``admit`` responses arrive *later*, interleaved with other
   replies), and raises :class:`GatewayError` on protocol errors.
+* :class:`RetryingGatewayClient` layers idempotent retries on top: it
+  stamps every logical request with a client-generated ``rid`` and
+  re-sends the *same* rid across timeouts and reconnects, so the
+  gateway's dedup window turns an ambiguous failure ("did my admit
+  land?") into an exactly-once decision.  Backoff is deadline-aware,
+  mirroring :class:`~repro.faults.degradation.BackoffAdmission`.
 * :class:`GatewayControllerProxy` duck-types the
   :class:`~repro.core.admission.PipelineAdmissionController` interface
   over a client, so a :class:`~repro.sim.pipeline.PipelineSimulation`
@@ -20,19 +26,28 @@ from __future__ import annotations
 
 import json
 import math
+import random
 import socket
-from typing import Any, Dict, Hashable, List, Optional, Union
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, List, Optional, Union
 
 from ..core.admission import AdmissionDecision
+from ..core.numeric import approx_le
 from ..core.task import PipelineTask
+from ..faults.degradation import BackoffPolicy
 from .gateway import AdmissionGateway
 from .protocol import task_to_wire
 
 __all__ = [
     "GatewayError",
+    "GatewayTimeout",
     "InProcessTransport",
     "TcpTransport",
     "GatewayClient",
+    "RetryPolicy",
+    "RetryingGatewayClient",
     "GatewayControllerProxy",
 ]
 
@@ -49,6 +64,18 @@ class GatewayError(RuntimeError):
         super().__init__(f"[{code}] {detail}")
         self.code = code
         self.detail = detail
+
+
+class GatewayTimeout(GatewayError):
+    """A connect or read exceeded its configured timeout.
+
+    A timeout is *ambiguous*: the request may or may not have reached
+    the gateway.  Safe to retry only with an idempotent rid (see
+    :class:`RetryingGatewayClient`).
+    """
+
+    def __init__(self, detail: str) -> None:
+        super().__init__("timeout", detail)
 
 
 class InProcessTransport:
@@ -70,21 +97,65 @@ class InProcessTransport:
 
 
 class TcpTransport:
-    """Blocking-socket client for a live gateway server."""
+    """Blocking-socket client for a live gateway server.
 
-    def __init__(self, host: str, port: int, timeout: float = 10.0) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+    Args:
+        host / port: Gateway server address.
+        connect_timeout: Seconds to wait for the TCP connect.
+        read_timeout: Seconds any single read or write may block
+            (``None`` blocks forever).
+
+    Raises:
+        GatewayTimeout: If the connect times out.
+        GatewayError: (code ``"transport"``) if the connect fails.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        connect_timeout: float = 10.0,
+        read_timeout: Optional[float] = 30.0,
+    ) -> None:
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=connect_timeout
+            )
+        except socket.timeout as exc:
+            raise GatewayTimeout(
+                f"connect to {host}:{port} timed out after {connect_timeout}s"
+            ) from exc
+        except OSError as exc:
+            raise GatewayError(
+                "transport", f"connect to {host}:{port} failed: {exc}"
+            ) from exc
+        self._sock.settimeout(read_timeout)
         self._file = self._sock.makefile("rwb")
 
     def submit(self, line: str) -> List[str]:
         """Send one request line; responses are read via :meth:`readline`."""
-        self._file.write(line.encode("utf-8") + b"\n")
-        self._file.flush()
+        try:
+            self._file.write(line.encode("utf-8") + b"\n")
+            self._file.flush()
+        except socket.timeout as exc:
+            raise GatewayTimeout(f"write timed out: {exc}") from exc
+        except OSError as exc:
+            raise GatewayError("transport", f"write failed: {exc}") from exc
         return []
 
     def readline(self) -> Optional[str]:
-        """Block until the server sends the next response line."""
-        raw = self._file.readline()
+        """Block (up to the read timeout) for the next response line.
+
+        Raises:
+            GatewayTimeout: If no line arrives within the read timeout.
+            GatewayError: (code ``"transport"``) on a socket error.
+        """
+        try:
+            raw = self._file.readline()
+        except socket.timeout as exc:
+            raise GatewayTimeout(f"read timed out: {exc}") from exc
+        except OSError as exc:
+            raise GatewayError("transport", f"read failed: {exc}") from exc
         if not raw:
             return None
         return raw.decode("utf-8").strip()
@@ -194,6 +265,185 @@ class GatewayClient:
         if pipeline is None:
             return self.call("stats")
         return self.call("stats", pipeline=pipeline)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deadline-aware retry schedule with seeded jitter.
+
+    Wraps the fault-model's :class:`BackoffPolicy` (same geometric
+    growth, same attempt accounting) and adds a symmetric jitter
+    fraction drawn from a seeded RNG, so retry storms decorrelate but
+    every run with the same seed schedules identical delays.
+
+    Attributes:
+        base_delay: Delay before the first retry (> 0).
+        multiplier: Geometric growth factor per retry (>= 1).
+        max_attempts: Total attempts, the initial one included (>= 1).
+        jitter: Symmetric jitter fraction in ``[0, 1]``: the delay for
+            attempt ``k`` is ``base * multiplier**k`` scaled by a
+            uniform factor in ``[1 - jitter, 1 + jitter]``.
+        seed: Seed for the jitter RNG (``None`` for entropy).
+    """
+
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_attempts: int = 6
+    jitter: float = 0.1
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        # Delegates range validation of the shared fields.
+        backoff = BackoffPolicy(
+            base_delay=self.base_delay,
+            multiplier=self.multiplier,
+            max_attempts=self.max_attempts,
+        )
+        if not (0.0 <= self.jitter <= 1.0):
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        object.__setattr__(self, "_backoff", backoff)
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Jittered delay after the ``attempt``-th failed attempt (0-based)."""
+        base: float = self._backoff.delay(attempt)  # type: ignore[attr-defined]
+        if not self.jitter:
+            return base
+        return base * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
+
+
+class RetryingGatewayClient:
+    """Exactly-once request layer: idempotent rids + bounded retries.
+
+    Every logical request gets one client-generated ``rid`` that is
+    re-sent verbatim across retries and reconnects.  The gateway's
+    dedup window guarantees the operation executes at most once; the
+    retry loop guarantees (within the attempt/deadline budget) that
+    the client eventually observes its decision — together: effectively
+    exactly-once, even when a timeout leaves the first attempt's fate
+    unknown.
+
+    Retryable failures are :class:`GatewayTimeout`, transport errors
+    (including connect failures — the client reconnects via
+    ``connect``), and the gateway's ``duplicate-request`` bounce (the
+    first attempt is still in flight server-side; backing off and
+    re-asking returns the cached decision once it settles).  Any other
+    error response is a *final* answer and is raised immediately.
+
+    Abandonment mirrors :class:`~repro.faults.degradation.BackoffAdmission`:
+    a retry is only taken while it can still matter — once the next
+    attempt would start after ``deadline`` (or attempts run out), the
+    last failure is re-raised.
+
+    Args:
+        connect: Zero-argument factory returning a fresh connected
+            :class:`GatewayClient`; called lazily and again after any
+            transport-level failure.
+        policy: Retry schedule (default :class:`RetryPolicy` with its
+            documented defaults).
+        rid_factory: Generator of unique request ids (defaults to
+            ``uuid4().hex``).
+        clock / sleep: Injectable time sources (monotonic seconds) so
+            tests can run the schedule without real waiting.
+
+    Attributes:
+        retries: Re-sent requests (excludes each first attempt).
+        reconnects: Times the underlying client was rebuilt.
+        abandoned: Logical requests given up on (budget exhausted).
+    """
+
+    RETRYABLE_CODES = frozenset({"timeout", "transport", "duplicate-request"})
+
+    def __init__(
+        self,
+        connect: Callable[[], "GatewayClient"],
+        policy: Optional[RetryPolicy] = None,
+        rid_factory: Optional[Callable[[], str]] = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self._connect = connect
+        self.policy = policy if policy is not None else RetryPolicy()
+        self._rng = random.Random(self.policy.seed)
+        self._rid_factory = (
+            rid_factory if rid_factory is not None else (lambda: uuid.uuid4().hex)
+        )
+        self._clock = clock
+        self._sleep = sleep
+        self._client: Optional[GatewayClient] = None
+        self.retries = 0
+        self.reconnects = 0
+        self.abandoned = 0
+
+    def _ensure_client(self) -> "GatewayClient":
+        if self._client is None:
+            self._client = self._connect()
+        return self._client
+
+    def _drop_client(self) -> None:
+        if self._client is not None:
+            try:
+                self._client.close()
+            except Exception:
+                pass
+            self._client = None
+            self.reconnects += 1
+
+    def call(
+        self, op: str, deadline: Optional[float] = None, **operands: Any
+    ) -> Dict[str, Any]:
+        """Issue one logical request, retrying until decided or abandoned.
+
+        Args:
+            op: Protocol operation name.
+            deadline: Absolute time (on ``clock``'s scale) after which
+                starting another attempt is pointless; ``None`` retries
+                on attempts alone.
+            **operands: Request fields (a ``rid`` is added).
+
+        Raises:
+            GatewayError: The gateway's final error answer, or — after
+                abandonment — the last retryable failure.
+        """
+        rid = self._rid_factory()
+        attempt = 0
+        while True:
+            try:
+                return self._ensure_client().call(op, rid=rid, **operands)
+            except GatewayError as exc:
+                if exc.code not in self.RETRYABLE_CODES:
+                    raise
+                if exc.code != "duplicate-request":
+                    # Ambiguous transport state: the connection may have
+                    # unread responses queued; start clean.  The rid makes
+                    # the re-send safe.
+                    self._drop_client()
+                delay = self.policy.delay(attempt, self._rng)
+                attempt += 1
+                out_of_attempts = attempt >= self.policy.max_attempts
+                past_deadline = deadline is not None and not approx_le(
+                    self._clock() + delay, deadline
+                )
+                if out_of_attempts or past_deadline:
+                    self.abandoned += 1
+                    raise
+                self.retries += 1
+                self._sleep(delay)
+
+    def admit(
+        self,
+        pipeline: str,
+        task: PipelineTask,
+        deadline: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Admit a task exactly once (the pipeline must respond unbatched)."""
+        return self.call(
+            "admit", deadline=deadline, pipeline=pipeline, task=task_to_wire(task)
+        )
+
+    def close(self) -> None:
+        if self._client is not None:
+            self._client.close()
+            self._client = None
 
 
 def _decision_from_response(response: Dict[str, Any]) -> AdmissionDecision:

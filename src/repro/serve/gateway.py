@@ -27,7 +27,8 @@ deterministic and fast while exercising the full protocol stack.
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, List, Optional, Protocol, Tuple
 
 from .protocol import (
     ProtocolError,
@@ -35,26 +36,76 @@ from .protocol import (
     frontier_from_wire,
     ok_response,
     parse_request,
+    rewrite_response_id,
     task_from_wire,
 )
 from .registry import Decided, PipelinePolicy, PipelineRegistry, ServedPipeline
 from .snapshot import verify_restored
 
-__all__ = ["AdmissionGateway", "GatewayServer", "serve_forever"]
+__all__ = [
+    "AdmissionGateway",
+    "GatewayLike",
+    "GatewayServer",
+    "serve_forever",
+    "DEFAULT_DEDUP_WINDOW",
+]
 
 #: ``(origin, response line)`` — origin is the opaque connection token
 #: the request arrived with (``None`` for in-process callers).
 Routed = Tuple[Any, str]
 
+#: Default size of the idempotency deduplication window: how many
+#: decided ``rid``-tagged responses the gateway remembers for retries.
+DEFAULT_DEDUP_WINDOW = 1024
+
+
+class GatewayLike(Protocol):
+    """The surface the server/transports need from a gateway core.
+
+    Satisfied by :class:`AdmissionGateway` and by the durable
+    write-ahead-journaled wrapper
+    :class:`repro.serve.journal.DurableGateway`.
+    """
+
+    @property
+    def draining(self) -> bool: ...
+
+    @draining.setter
+    def draining(self, value: bool) -> None: ...
+
+    def handle_line(self, line: str, origin: Any = None) -> List[Routed]: ...
+
+    def drain(self) -> List[Routed]: ...
+
 
 class AdmissionGateway:
-    """Deterministic protocol core over a :class:`PipelineRegistry`."""
+    """Deterministic protocol core over a :class:`PipelineRegistry`.
 
-    def __init__(self, registry: Optional[PipelineRegistry] = None) -> None:
+    Args:
+        registry: The pipeline registry to serve (fresh if ``None``).
+        dedup_window: How many decided idempotent (``rid``-tagged)
+            responses to keep for retry deduplication; oldest entries
+            are evicted first.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[PipelineRegistry] = None,
+        dedup_window: int = DEFAULT_DEDUP_WINDOW,
+    ) -> None:
+        if dedup_window < 1:
+            raise ValueError(f"dedup_window must be >= 1, got {dedup_window}")
         self.registry = registry if registry is not None else PipelineRegistry()
         self.draining = False
         self.op_counts: Dict[str, int] = {}
         self.errors = 0
+        self.dedup_window = dedup_window
+        self.dedup_hits = 0
+        #: rids whose requests are in flight (queued in an admission
+        #: batch) and not yet answered.
+        self._rid_pending: set = set()
+        #: rid -> the response line its request was answered with.
+        self._rid_decided: "OrderedDict[str, str]" = OrderedDict()
 
     # ------------------------------------------------------------------
     # Entry point
@@ -76,23 +127,105 @@ class AdmissionGateway:
         routed: List[Routed] = []
         try:
             request = parse_request(line)
+            # ``health`` is read-only and unjournaled, so its responses
+            # must stay out of the (durable) idempotency window.
+            rid = request.get("rid") if request.get("op") != "health" else None
+            if isinstance(rid, str):
+                cached = self._rid_decided.get(rid)
+                if cached is not None:
+                    # Idempotent retry of an already-decided request:
+                    # serve the cached decision without re-running the
+                    # operation (and without counting it as a new op).
+                    self.dedup_hits += 1
+                    self._rid_decided.move_to_end(rid)
+                    routed.append((origin, rewrite_response_id(cached, request)))
+                    return routed
+                if rid in self._rid_pending:
+                    # The original is still queued in an admission
+                    # batch; there is no decision to replay yet.  Not
+                    # an ``errors`` increment — the client did nothing
+                    # wrong, it just retried too early.
+                    routed.append(
+                        (
+                            origin,
+                            error_response(
+                                request,
+                                "duplicate-request",
+                                f"request rid {rid!r} is still queued in an "
+                                "admission batch; retry after it is decided",
+                            ),
+                        )
+                    )
+                    return routed
+                self._rid_pending.add(rid)
             op = request["op"]
             self.op_counts[op] = self.op_counts.get(op, 0) + 1
             if self.draining and op == "admit":
                 raise ProtocolError("draining", "gateway is draining; no new admits")
             handler = getattr(self, f"_op_{op}")
             handler(request, origin, routed)
+            if op != "admit":
+                # Every non-admit handler appends the response answering
+                # *this* request last; admit responses settle when their
+                # batch flushes (see :meth:`_emit_decided`).
+                self._settle(request, routed[-1][1])
         except ProtocolError as exc:
             self.errors += 1
-            routed.append((origin, error_response(request, exc.code, exc.detail)))
+            response = error_response(request, exc.code, exc.detail)
+            if request is not None:
+                self._settle(request, response)
+            routed.append((origin, response))
         return routed
 
     def drain(self) -> List[Routed]:
         """Flush every pipeline's pending batch (shutdown path)."""
         routed: List[Routed] = []
         for pipeline in self.registry:
-            routed.extend(_decided_responses(pipeline.flush()))
+            routed.extend(self._emit_decided(pipeline.flush()))
         return routed
+
+    # ------------------------------------------------------------------
+    # Idempotency (rid deduplication)
+    # ------------------------------------------------------------------
+
+    def _settle(self, request: Dict[str, Any], line: str) -> None:
+        """Record ``line`` as the decision for ``request``'s rid, if any."""
+        rid = request.get("rid")
+        if not isinstance(rid, str) or request.get("op") == "health":
+            return
+        self._rid_pending.discard(rid)
+        self._rid_decided[rid] = line
+        self._rid_decided.move_to_end(rid)
+        while len(self._rid_decided) > self.dedup_window:
+            self._rid_decided.popitem(last=False)
+
+    def dedup_status(self, rid: str) -> str:
+        """One of ``"decided"``, ``"pending"``, ``"unknown"`` for a rid."""
+        if rid in self._rid_decided:
+            return "decided"
+        if rid in self._rid_pending:
+            return "pending"
+        return "unknown"
+
+    def dedup_state(self) -> Dict[str, Any]:
+        """The dedup window as a JSON-serializable document.
+
+        ``decided`` preserves eviction (insertion) order so a restored
+        gateway evicts in the same order as the original.
+        """
+        return {
+            "decided": [[rid, line] for rid, line in self._rid_decided.items()],
+            "pending": sorted(self._rid_pending),
+        }
+
+    def load_dedup_state(self, state: Dict[str, Any]) -> None:
+        """Replace the dedup window with a :meth:`dedup_state` document."""
+        decided = state.get("decided", [])
+        pending = state.get("pending", [])
+        self._rid_decided = OrderedDict((rid, line) for rid, line in decided)
+        self._rid_pending = set(pending)
+        while len(self._rid_decided) > self.dedup_window:
+            self._rid_decided.popitem(last=False)
 
     # ------------------------------------------------------------------
     # Helpers
@@ -100,6 +233,21 @@ class AdmissionGateway:
 
     def _pipeline(self, request: Dict[str, Any]) -> ServedPipeline:
         return self.registry.get(request["pipeline"])
+
+    def _emit_decided(self, decided: List[Decided]) -> List[Routed]:
+        """Render decided admissions as responses routed to their origins."""
+        routed: List[Routed] = []
+        for token, _task, decision in decided:
+            origin, request = token
+            line = ok_response(
+                request,
+                admitted=decision.admitted,
+                region_value=decision.region_value,
+                shed=sorted(decision.shed, key=repr),
+            )
+            self._settle(request, line)
+            routed.append((origin, line))
+        return routed
 
     def _barrier(self, request: Dict[str, Any], routed: List[Routed]) -> ServedPipeline:
         """Look up the target pipeline and flush its pending batch.
@@ -113,7 +261,7 @@ class AdmissionGateway:
         e.g. a time regression — are only detectable afterwards).
         """
         pipeline = self._pipeline(request)
-        routed.extend(_decided_responses(pipeline.flush()))
+        routed.extend(self._emit_decided(pipeline.flush()))
         return pipeline
 
     # ------------------------------------------------------------------
@@ -129,6 +277,7 @@ class AdmissionGateway:
                     pipelines=sorted(self.registry.names()),
                     draining=self.draining,
                     errors=self.errors,
+                    dedup_hits=self.dedup_hits,
                 ),
             )
         )
@@ -156,7 +305,7 @@ class AdmissionGateway:
         pipeline = self._pipeline(request)
         task = task_from_wire(request.get("task"))
         token = (origin, request)
-        routed.extend(_decided_responses(pipeline.admit(token, task)))
+        routed.extend(self._emit_decided(pipeline.admit(token, task)))
 
     def _op_depart(self, request: Dict[str, Any], origin: Any, routed: List[Routed]) -> None:
         task_id = _task_id_operand(request)
@@ -257,37 +406,22 @@ class AdmissionGateway:
             stats = {name: pipeline.stats()}
         else:
             for pipeline in self.registry:
-                routed.extend(_decided_responses(pipeline.flush()))
+                routed.extend(self._emit_decided(pipeline.flush()))
             stats = {p.name: p.stats() for p in self.registry}
         routed.append(
             (
                 origin,
-                ok_response(request, ops=dict(sorted(self.op_counts.items())), stats=stats),
+                ok_response(
+                    request,
+                    ops=dict(sorted(self.op_counts.items())),
+                    stats=stats,
+                ),
             )
         )
 
     def _op_drain(self, request: Dict[str, Any], origin: Any, routed: List[Routed]) -> None:
         routed.extend(self.drain())
         routed.append((origin, ok_response(request, drained=True)))
-
-
-def _decided_responses(decided: List[Decided]) -> List[Routed]:
-    """Render decided admissions as responses routed to their origins."""
-    routed: List[Routed] = []
-    for token, _task, decision in decided:
-        origin, request = token
-        routed.append(
-            (
-                origin,
-                ok_response(
-                    request,
-                    admitted=decision.admitted,
-                    region_value=decision.region_value,
-                    shed=sorted(decision.shed, key=repr),
-                ),
-            )
-        )
-    return routed
 
 
 def _time_operand(request: Dict[str, Any]) -> float:
@@ -324,11 +458,13 @@ class GatewayServer:
 
     def __init__(
         self,
-        gateway: Optional[AdmissionGateway] = None,
+        gateway: Optional[GatewayLike] = None,
         host: str = "127.0.0.1",
         port: int = 0,
     ) -> None:
-        self.gateway = gateway if gateway is not None else AdmissionGateway()
+        self.gateway: GatewayLike = (
+            gateway if gateway is not None else AdmissionGateway()
+        )
         self.host = host
         self.port = port
         self._server: Optional[asyncio.AbstractServer] = None
@@ -366,6 +502,18 @@ class GatewayServer:
     async def _serve_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        if self.gateway.draining:
+            # A draining gateway tells new connections *why* instead of
+            # silently closing the socket under them.
+            response = error_response(
+                None, "draining", "gateway is draining; not accepting connections"
+            )
+            try:
+                writer.write(response.encode("utf-8") + b"\n")
+                await writer.drain()
+            finally:
+                writer.close()
+            return
         origin = self._next_origin
         self._next_origin += 1
         self._writers[origin] = writer
@@ -396,7 +544,7 @@ class GatewayServer:
 
 
 async def serve_forever(
-    host: str, port: int, gateway: Optional[AdmissionGateway] = None
+    host: str, port: int, gateway: Optional[GatewayLike] = None
 ) -> None:
     """Run a gateway server until cancelled (``python -m repro.serve``)."""
     server = GatewayServer(gateway, host=host, port=port)

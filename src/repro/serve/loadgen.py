@@ -220,9 +220,24 @@ def _install_chaos(
 
 
 class _TcpGatewayThread:
-    """A gateway server on a background asyncio thread (TCP transport)."""
+    """A gateway server on a background asyncio thread (TCP transport).
 
-    def __init__(self) -> None:
+    Args:
+        gateway: Gateway instance to serve (fresh
+            :class:`AdmissionGateway` when omitted).
+        start_timeout: Seconds to wait for the server to come up.
+        stop_timeout: Seconds to wait for the thread on shutdown.
+    """
+
+    def __init__(
+        self,
+        gateway: Optional[Any] = None,
+        start_timeout: float = 30.0,
+        stop_timeout: float = 30.0,
+    ) -> None:
+        self._gateway = gateway
+        self._start_timeout = start_timeout
+        self._stop_timeout = stop_timeout
         self._ready = threading.Event()
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stop: Optional[asyncio.Event] = None
@@ -234,13 +249,15 @@ class _TcpGatewayThread:
             target=lambda: asyncio.run(self._main()), daemon=True
         )
         self._thread.start()
-        if not self._ready.wait(timeout=30.0):
-            raise RuntimeError("gateway server failed to start")
+        if not self._ready.wait(timeout=self._start_timeout):
+            raise RuntimeError(
+                f"gateway server failed to start within {self._start_timeout}s"
+            )
         return self
 
     async def _main(self) -> None:
         self._loop = asyncio.get_running_loop()
-        server = GatewayServer()
+        server = GatewayServer(gateway=self._gateway)
         await server.start()
         self.address = server.address
         self._stop = asyncio.Event()
@@ -252,7 +269,7 @@ class _TcpGatewayThread:
         if self._loop is not None and self._stop is not None:
             self._loop.call_soon_threadsafe(self._stop.set)
         if self._thread is not None:
-            self._thread.join(timeout=30.0)
+            self._thread.join(timeout=self._stop_timeout)
 
 
 def run_scenario(
@@ -260,8 +277,16 @@ def run_scenario(
     seed: int,
     requests: int = 1000,
     transport: str = "inproc",
+    timeout: float = 30.0,
 ) -> Dict[str, Any]:
-    """Run one scenario closed-loop and build the report payload."""
+    """Run one scenario closed-loop and build the report payload.
+
+    Args:
+        name / seed / requests: Scenario selection and trace shape.
+        transport: ``"inproc"`` or ``"tcp"``.
+        timeout: Upper bound (seconds) on any single TCP wait — server
+            start/stop, connect, and per-read.
+    """
     scenario = _scenario(name)
     if transport == "inproc":
         client = GatewayClient(InProcessTransport(AdmissionGateway()))
@@ -269,8 +294,16 @@ def run_scenario(
         client.close()
         return payload
     if transport == "tcp":
-        with _TcpGatewayThread() as server:
-            client = GatewayClient(TcpTransport(*server.address))
+        with _TcpGatewayThread(
+            start_timeout=timeout, stop_timeout=timeout
+        ) as server:
+            client = GatewayClient(
+                TcpTransport(
+                    *server.address,
+                    connect_timeout=timeout,
+                    read_timeout=timeout,
+                )
+            )
             try:
                 return _run_with_client(scenario, seed, requests, transport, client)
             finally:
@@ -452,6 +485,45 @@ def _gate_failures(payload: Dict[str, Any]) -> List[str]:
     return failures
 
 
+def _chaos_crash_main(args: argparse.Namespace) -> int:
+    """``--chaos-crash``: crash/recovery durability gate (see recovery.py)."""
+    from .recovery import crash_chaos_gate_failures, run_crash_chaos
+
+    payload = run_crash_chaos(seed=args.seed, cycles=args.cycles)
+    rendered = render_report(payload)
+    if args.selftest:
+        replay = render_report(run_crash_chaos(seed=args.seed, cycles=args.cycles))
+        if replay != rendered:
+            print("selftest FAILED: replay produced different bytes", file=sys.stderr)
+            return 1
+        failures = crash_chaos_gate_failures(
+            payload, min_recoveries=min(20, args.cycles)
+        )
+        if failures:
+            print(f"selftest FAILED: {'; '.join(failures)}", file=sys.stderr)
+            return 1
+        admissions = payload["admissions"]
+        print(
+            f"selftest ok: chaos-crash seed={args.seed} "
+            f"recoveries={payload['recoveries']['count']} "
+            f"acked={admissions['acked_admitted']} "
+            f"lost={admissions['lost']} duplicated={admissions['duplicated']} "
+            f"bytes={len(rendered)}"
+        )
+    else:
+        failures = crash_chaos_gate_failures(
+            payload, min_recoveries=min(20, args.cycles)
+        )
+        sys.stdout.write(rendered)
+        if failures:
+            print(f"gate FAILED: {'; '.join(failures)}", file=sys.stderr)
+            return 1
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.serve.loadgen",
@@ -470,11 +542,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default="inproc",
         help="drive the gateway in-process or over a TCP socket",
     )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="upper bound (seconds) on any single TCP wait",
+    )
     parser.add_argument("--out", help="also write the report to this path")
     parser.add_argument(
         "--selftest",
         action="store_true",
         help="run twice, assert byte-identical reports and zero misses",
+    )
+    parser.add_argument(
+        "--chaos-crash",
+        action="store_true",
+        help="run the crash/recovery chaos harness instead of a scenario",
+    )
+    parser.add_argument(
+        "--cycles",
+        type=int,
+        default=24,
+        help="crash/recover cycles for --chaos-crash",
     )
     parser.add_argument(
         "--list", action="store_true", help="list scenarios and exit"
@@ -485,15 +574,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for scenario in SCENARIOS:
             print(f"{scenario.name:12s} {scenario.summary}")
         return 0
+    if args.chaos_crash:
+        return _chaos_crash_main(args)
     if args.scenario is None:
         parser.error("--scenario is required (or use --list)")
 
-    payload = run_scenario(args.scenario, args.seed, args.requests, args.transport)
+    payload = run_scenario(
+        args.scenario, args.seed, args.requests, args.transport, args.timeout
+    )
     rendered = render_report(payload)
 
     if args.selftest:
         replay = render_report(
-            run_scenario(args.scenario, args.seed, args.requests, args.transport)
+            run_scenario(
+                args.scenario, args.seed, args.requests, args.transport, args.timeout
+            )
         )
         if replay != rendered:
             print("selftest FAILED: replay produced different bytes", file=sys.stderr)

@@ -16,6 +16,21 @@ Response envelope::
     {"id": 7, "op": "admit", "ok": false, "error": "unknown-pipeline",
      "detail": "..."}
 
+Idempotency: a request may carry an optional ``rid`` — a
+client-chosen unique string (a UUID in practice).  The gateway
+remembers the response it gave each ``rid`` inside a bounded
+deduplication window; a retry with the same ``rid`` receives the
+*cached* decision (with the ``id`` echo rewritten to the retry's own
+``id``) instead of re-running the operation, so a client that lost a
+response to a crash or connection drop can retry without
+double-admitting.  A retry that races its original while the original
+is still queued in an admission batch gets a ``duplicate-request``
+error and must retry again later.
+
+Numbers in requests must be finite: ``Infinity``/``NaN`` literals are
+rejected as ``bad-json`` (the write-ahead journal and the canonical
+response encoding have no spelling for them).
+
 Operations (see DESIGN.md §9 for the mapping onto the paper's
 Section-4 bookkeeping rules):
 
@@ -56,6 +71,7 @@ __all__ = [
     "task_from_wire",
     "frontier_from_wire",
     "json_safe",
+    "rewrite_response_id",
 ]
 
 #: Every operation the gateway dispatches, in documentation order.
@@ -93,6 +109,10 @@ class ProtocolError(ValueError):
         self.detail = detail
 
 
+def _reject_nonfinite(token: str) -> float:
+    raise ValueError(f"non-finite number {token} is not allowed in requests")
+
+
 def parse_request(line: str) -> Dict[str, Any]:
     """Parse and validate one request line.
 
@@ -100,12 +120,13 @@ def parse_request(line: str) -> Dict[str, Any]:
         The decoded request object with a validated envelope.
 
     Raises:
-        ProtocolError: On malformed JSON, a non-object payload, a
-            missing/unknown ``op``, or a missing ``pipeline`` operand.
+        ProtocolError: On malformed JSON (including non-finite number
+            literals), a non-object payload, a missing/unknown ``op``,
+            a missing ``pipeline`` operand, or an ill-typed ``rid``.
     """
     try:
-        request = json.loads(line)
-    except json.JSONDecodeError as exc:
+        request = json.loads(line, parse_constant=_reject_nonfinite)
+    except ValueError as exc:
         raise ProtocolError("bad-json", f"request is not valid JSON: {exc}") from exc
     if not isinstance(request, dict):
         raise ProtocolError("bad-request", "request must be a JSON object")
@@ -117,6 +138,13 @@ def parse_request(line: str) -> Dict[str, Any]:
     request_id = request.get("id")
     if request_id is not None and not isinstance(request_id, (int, str)):
         raise ProtocolError("bad-request", "id must be an integer or string")
+    rid = request.get("rid")
+    if rid is not None and (
+        not isinstance(rid, str) or not rid or len(rid) > 200
+    ):
+        raise ProtocolError(
+            "bad-request", "rid must be a non-empty string of at most 200 chars"
+        )
     if op in PIPELINE_OPS and not isinstance(request.get("pipeline"), str):
         raise ProtocolError(
             "bad-request", f"op {op!r} requires a string 'pipeline' operand"
@@ -145,6 +173,18 @@ def ok_response(request: Dict[str, Any], **payload: Any) -> str:
     body: Dict[str, Any] = {"id": request.get("id"), "op": request.get("op"), "ok": True}
     body.update(payload)
     return encode(body)
+
+
+def rewrite_response_id(line: str, request: Dict[str, Any]) -> str:
+    """Re-encode a cached response with the retry request's ``id`` echo.
+
+    Deduplicated retries receive the originally computed response, but
+    the retry correlates replies by its *own* request id — only the
+    ``id`` field is rewritten; the decision payload is untouched.
+    """
+    doc = json.loads(line)
+    doc["id"] = request.get("id")
+    return encode(doc)
 
 
 def error_response(

@@ -286,6 +286,15 @@ class ServedPipeline:
         """Admissions queued behind the batching window."""
         return self._batcher.pending
 
+    def pending_tasks(self) -> List[PipelineTask]:
+        """The tasks queued behind the batching window, in queue order.
+
+        Read-only introspection for recovery fingerprinting: a crash
+        with a non-empty batch queue must recover the queue too, and
+        equivalence checks need to see it without flushing it.
+        """
+        return [task for _, task in self._batcher.peek()]
+
     def _decide_batch(self, batch: List[Tuple[Any, PipelineTask]]) -> List[Decided]:
         tasks = [task for _, task in batch]
         if self.policy.shedding:

@@ -8,9 +8,12 @@ serializes exactly that as a JSON-safe document; restore rebuilds a
 controller whose *future decisions* match the snapshotted one.
 
 Floats survive the JSON round trip exactly (shortest-repr encoding is
-lossless for IEEE doubles), so a restored controller differs from the
-original only in the association order of incremental sums — within the
-shared numeric tolerance, never across a decision boundary.
+lossless for IEEE doubles), and the snapshot carries each stage's raw
+running sum alongside the per-task contributions, so a restored
+controller is *bitwise identical* to the snapshotted one — same future
+decisions, same region values, down to the last ulp.  Crash recovery
+(``repro.serve.recovery``) leans on this to prove a recovered gateway
+equivalent to one that never crashed.
 
 Verification reuses the PR-2 machinery: :func:`verify_restored` runs
 the :class:`~repro.core.audit.ControllerAuditor` internal-consistency
@@ -135,6 +138,13 @@ def controller_snapshot(
         "capacities": list(controller.stage_capacities()),
         "demand_model": demand_model_to_wire(controller.demand_model),
         "admitted": admitted,
+        # Raw per-stage running sums.  The incremental total is
+        # path-dependent in its last ulp (one rounding per add, in
+        # arrival order); rebuilding it from the admitted records alone
+        # would re-associate the additions and drift by an ulp.
+        # Carrying the raw value makes restore bitwise-exact, which the
+        # crash-recovery equivalence guarantee depends on.
+        "sums": [t.audit_sums()[0] for t in controller.trackers],
     }
 
 
@@ -180,6 +190,15 @@ def restore_controller(
             live=record["live"],
             departed_stages=record["departed"],
         )
+    sums = state.get("sums")
+    if sums is not None:
+        if len(sums) != controller.num_stages:
+            raise ValueError(
+                f"snapshot has {len(sums)} stage sums for "
+                f"{controller.num_stages} stages"
+            )
+        for tracker, raw_sum in zip(controller.trackers, sums):
+            tracker.load_sum(float(raw_sum))
     return controller
 
 

@@ -3,7 +3,12 @@
 import pytest
 
 from repro.core.admission import PipelineAdmissionController
-from repro.core.audit import AUDIT_KINDS, ControllerAuditor, InvariantViolation
+from repro.core.audit import (
+    AUDIT_KINDS,
+    ControllerAuditor,
+    InvariantViolation,
+    diff_controllers,
+)
 from repro.core.task import make_task
 
 
@@ -11,8 +16,9 @@ def controller(num_stages=2, **kwargs):
     return PipelineAdmissionController(num_stages, **kwargs)
 
 
-def admit(c, costs, deadline=10.0, now=0.0, importance=0):
-    task = make_task(now, deadline, costs, importance=importance)
+def admit(c, costs, deadline=10.0, now=0.0, importance=0, task_id=None):
+    task = make_task(now, deadline, costs, importance=importance,
+                     task_id=task_id)
     decision = c.request(task, now=now)
     assert decision.admitted
     return task
@@ -191,6 +197,151 @@ class TestResync:
         assert report.departures_marked == 2
         assert c.notify_stage_idle(0) == pytest.approx(0.05)
         assert c.notify_stage_idle(1) == pytest.approx(0.05)
+
+
+def _inject_sum_drift(c):
+    admit(c, [0.5, 0.5])
+    c.trackers[0]._sum += 0.25
+    # frontier/idle None: the drifted sum must be caught by the
+    # internal check alone, with no ground truth supplied.
+    return 1.0, None, None
+
+
+def _inject_negative_utilization(c):
+    # A double removal drives the contribution — and hence both the
+    # incremental and exact sums — negative *consistently*, so only the
+    # sign check fires, not sum-drift.
+    t = admit(c, [0.5, 0.5])
+    tracker = c.trackers[1]
+    _, token = tracker._contribs[t.task_id]
+    tracker._contribs[t.task_id] = (-0.05, token)
+    tracker._sum = -0.05
+    return 0.0, None, None
+
+
+def _inject_orphan_contribution(c):
+    c.trackers[0].add("ghost", 0.3, expiry=100.0)
+    return 0.0, {}, []
+
+
+def _inject_expired_contribution(c):
+    admit(c, [0.2, 0.2], deadline=1.0)
+    c._expiry_heap = []
+    return 5.0, {}, []
+
+
+def _inject_missed_departure(c):
+    t = admit(c, [0.5, 0.5])
+    return 1.0, {t.task_id: 1}, []  # departed stage 0, mark lost
+
+
+def _inject_missed_idle_reset(c):
+    t = admit(c, [0.5, 0.5])
+    c.notify_subtask_departure(t.task_id, 0)
+    return 1.0, {t.task_id: 1}, [0]  # stage 0 idle, reset lost
+
+
+_INJECTORS = {
+    "sum-drift": _inject_sum_drift,
+    "negative-utilization": _inject_negative_utilization,
+    "orphan-contribution": _inject_orphan_contribution,
+    "expired-contribution": _inject_expired_contribution,
+    "missed-departure": _inject_missed_departure,
+    "missed-idle-reset": _inject_missed_idle_reset,
+}
+
+
+def _clean_twin(kind, c):
+    """Drive the same shape of state as the injector, without the fault."""
+    if kind in ("sum-drift", "negative-utilization", "missed-departure"):
+        t = admit(c, [0.5, 0.5])
+        if kind == "missed-departure":
+            c.notify_subtask_departure(t.task_id, 0)
+            return 1.0, {t.task_id: 1}, []
+        return 1.0, {t.task_id: 0}, []
+    if kind == "orphan-contribution":
+        admit(c, [0.3, 0.3])
+        return 0.0, None, None
+    if kind == "expired-contribution":
+        admit(c, [0.2, 0.2], deadline=1.0)  # heap intact: expire() works
+        return 5.0, {}, []
+    assert kind == "missed-idle-reset"
+    t = admit(c, [0.5, 0.5])
+    c.notify_subtask_departure(t.task_id, 0)
+    c.notify_stage_idle(0)  # the notification was NOT lost
+    return 1.0, {t.task_id: 1}, [0]
+
+
+class TestAuditMatrix:
+    """Every audit kind, detected in isolation and silent on the clean twin."""
+
+    @pytest.mark.parametrize("kind", AUDIT_KINDS)
+    def test_injected_fault_reports_exactly_its_kind(self, kind):
+        c = controller()
+        now, frontier, idle_stages = _INJECTORS[kind](c)
+        violations = ControllerAuditor(c).audit(
+            now, frontier=frontier, idle_stages=idle_stages
+        )
+        assert kinds(violations) == {kind}
+
+    @pytest.mark.parametrize("kind", AUDIT_KINDS)
+    def test_clean_twin_is_silent(self, kind):
+        c = controller()
+        now, frontier, idle_stages = _clean_twin(kind, c)
+        assert (
+            ControllerAuditor(c).audit(
+                now, frontier=frontier, idle_stages=idle_stages
+            )
+            == []
+        )
+
+    def test_matrix_covers_the_catalog(self):
+        assert set(_INJECTORS) == set(AUDIT_KINDS)
+
+
+class TestDiffControllers:
+    def test_identical_histories_produce_empty_diff(self):
+        a, b = controller(), controller()
+        for c in (a, b):
+            t = admit(c, [0.4, 0.2], task_id=901)
+            c.notify_subtask_departure(t.task_id, 0)
+        assert diff_controllers(a, b) == []
+
+    def test_config_difference_reported_first(self):
+        a = controller(2)
+        b = controller(3)
+        diffs = diff_controllers(a, b)
+        assert len(diffs) == 1 and "num_stages" in diffs[0]
+
+    def test_missing_admitted_record_reported(self):
+        a, b = controller(), controller()
+        admit(a, [0.4, 0.2])
+        diffs = diff_controllers(a, b)
+        assert any("only in first" in d for d in diffs)
+
+    def test_one_ulp_sum_difference_is_reported(self):
+        import math
+
+        a, b = controller(), controller()
+        for c in (a, b):
+            admit(c, [0.4, 0.2], task_id=902)
+        b.trackers[0]._sum = math.nextafter(b.trackers[0]._sum, 1.0)
+        diffs = diff_controllers(a, b)
+        assert any("running sum" in d for d in diffs)
+
+    def test_departed_mark_difference_is_reported(self):
+        a, b = controller(), controller()
+        ta = admit(a, [0.4, 0.2], task_id=903)
+        admit(b, [0.4, 0.2], task_id=903)
+        a.notify_subtask_departure(ta.task_id, 0)
+        diffs = diff_controllers(a, b)
+        assert any("departed" in d for d in diffs)
+
+    def test_capacity_difference_is_reported(self):
+        a, b = controller(), controller()
+        a.set_stage_capacity(0, 0.5)
+        diffs = diff_controllers(a, b)
+        assert any("capacities" in d for d in diffs)
 
 
 class TestViolationRendering:

@@ -6,6 +6,7 @@ real asyncio server for end-to-end coverage.
 """
 
 import json
+import socket
 
 import pytest
 
@@ -13,7 +14,10 @@ from repro.core.task import make_task
 from repro.serve.client import (
     GatewayClient,
     GatewayError,
+    GatewayTimeout,
     InProcessTransport,
+    RetryingGatewayClient,
+    RetryPolicy,
     TcpTransport,
 )
 from repro.serve.gateway import AdmissionGateway
@@ -380,6 +384,239 @@ class TestTcpServer:
             finally:
                 first.close()
                 second.close()
+
+
+class TestIdempotency:
+    def _admit_doc(self, request_id, rid, task_id=0, arrival=0.0):
+        return json.dumps({
+            "id": request_id, "rid": rid, "op": "admit", "pipeline": "web",
+            "task": task_to_wire(_task(task_id, arrival)),
+        })
+
+    def test_retry_is_served_from_cache_not_re_executed(self):
+        gateway = AdmissionGateway()
+        client = GatewayClient(InProcessTransport(gateway))
+        client.register("web", POLICY)
+        (_, first), = gateway.handle_line(self._admit_doc(1, "r1"))
+        (_, again), = gateway.handle_line(self._admit_doc(2, "r1"))
+        first_doc, again_doc = json.loads(first), json.loads(again)
+        assert first_doc["admitted"] is True
+        # Same decision, rewritten to the retry's request id.
+        assert again_doc == {**first_doc, "id": 2}
+        assert gateway.dedup_hits == 1
+        # Executed once: a double-admit would raise on the duplicate
+        # task id, and the counter would read 2.
+        stats = client.stats("web")
+        assert stats["stats"]["web"]["counters"]["admitted"] == 1
+
+    def test_error_responses_are_cached_as_final_answers(self):
+        gateway = AdmissionGateway()
+        client = GatewayClient(InProcessTransport(gateway))
+        client.register("web", POLICY)
+        bad = json.dumps({"id": 1, "rid": "r1", "op": "admit",
+                          "pipeline": "web", "task": {"task_id": 0}})
+        (_, first), = gateway.handle_line(bad)
+        (_, again), = gateway.handle_line(
+            json.dumps({"id": 2, "rid": "r1", "op": "admit",
+                        "pipeline": "web", "task": {"task_id": 0}}))
+        assert json.loads(first)["error"] == "bad-task"
+        assert json.loads(again) == {**json.loads(first), "id": 2}
+        assert gateway.dedup_hits == 1
+
+    def test_pending_rid_bounces_as_duplicate_request(self):
+        gateway = AdmissionGateway()
+        client = GatewayClient(InProcessTransport(gateway))
+        client.register("web", {"num_stages": NUM_STAGES, "max_batch": 8})
+        gateway.handle_line(self._admit_doc(1, "r1"))  # queued, undecided
+        (_, bounce), = gateway.handle_line(self._admit_doc(2, "r1"))
+        doc = json.loads(bounce)
+        assert doc["error"] == "duplicate-request"
+        assert doc["id"] == 2
+        # The bounce is not a final answer: after the batch decides,
+        # the retry is served the real decision.
+        gateway.drain()
+        (_, decided), = gateway.handle_line(self._admit_doc(3, "r1"))
+        assert json.loads(decided)["admitted"] is True
+
+    def test_health_is_exempt_from_rid_tracking(self):
+        gateway = AdmissionGateway()
+        (_, a), = gateway.handle_line('{"id": 1, "rid": "h", "op": "health"}')
+        (_, b), = gateway.handle_line('{"id": 2, "rid": "h", "op": "health"}')
+        assert gateway.dedup_hits == 0
+        assert json.loads(a)["id"] == 1 and json.loads(b)["id"] == 2
+
+    def test_window_evicts_oldest_decision(self):
+        gateway = AdmissionGateway(dedup_window=2)
+        client = GatewayClient(InProcessTransport(gateway))
+        client.register("web", POLICY)
+        for n in range(3):
+            gateway.handle_line(json.dumps(
+                {"id": n, "rid": f"r{n}", "op": "expire",
+                 "pipeline": "web", "now": 0.1 * n}))
+        assert gateway.dedup_status("r0") == "unknown"  # evicted
+        assert gateway.dedup_status("r1") == "decided"
+        assert gateway.dedup_status("r2") == "decided"
+
+    @pytest.mark.parametrize("rid", [17, "", "x" * 201])
+    def test_invalid_rid_rejected(self, rid):
+        gateway = AdmissionGateway()
+        (_, line), = gateway.handle_line(
+            json.dumps({"id": 1, "rid": rid, "op": "health"}))
+        assert json.loads(line)["error"] == "bad-request"
+
+    def test_non_finite_json_rejected(self):
+        gateway = AdmissionGateway()
+        (_, line), = gateway.handle_line(
+            '{"id": 1, "op": "expire", "pipeline": "web", "now": Infinity}')
+        doc = json.loads(line)
+        assert doc["error"] == "bad-json"
+        assert "non-finite" in doc["detail"]
+
+
+class _FlakyTransport(InProcessTransport):
+    """Fails the first ``failures`` submits with a timeout, then works."""
+
+    def __init__(self, gateway, failures):
+        super().__init__(gateway)
+        self.remaining = failures
+
+    def submit(self, line):
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise GatewayTimeout("injected timeout")
+        return super().submit(line)
+
+
+class TestRetryingClient:
+    def _retrying(self, gateway, failures, **policy_kwargs):
+        transport = _FlakyTransport(gateway, failures)
+        rids = iter(f"rid-{n}" for n in range(100))
+        return RetryingGatewayClient(
+            connect=lambda: GatewayClient(transport),
+            policy=RetryPolicy(base_delay=0.001, seed=0, **policy_kwargs),
+            rid_factory=lambda: next(rids),
+            sleep=lambda _delay: None,
+        )
+
+    def test_timeouts_are_retried_with_the_same_rid(self):
+        gateway = AdmissionGateway()
+        GatewayClient(InProcessTransport(gateway)).register("web", POLICY)
+        client = self._retrying(gateway, failures=2)
+        response = client.admit("web", _task(0, 0.0))
+        assert response["admitted"] is True
+        assert client.retries == 2
+        assert client.reconnects == 2
+        # Exactly-once despite the ambiguity: one admission recorded.
+        stats = GatewayClient(InProcessTransport(gateway)).stats("web")
+        assert stats["stats"]["web"]["counters"]["admitted"] == 1
+
+    def test_budget_exhaustion_reraises_last_failure(self):
+        gateway = AdmissionGateway()
+        GatewayClient(InProcessTransport(gateway)).register("web", POLICY)
+        client = self._retrying(gateway, failures=99, max_attempts=3)
+        with pytest.raises(GatewayTimeout):
+            client.admit("web", _task(0, 0.0))
+        assert client.retries == 2  # 3 attempts = initial + 2 retries
+        assert client.abandoned == 1
+
+    def test_deadline_aware_abandonment(self):
+        gateway = AdmissionGateway()
+        GatewayClient(InProcessTransport(gateway)).register("web", POLICY)
+        transport = _FlakyTransport(gateway, 99)
+        clock = iter([0.0, 1.0, 2.0, 3.0, 4.0])
+        client = RetryingGatewayClient(
+            connect=lambda: GatewayClient(transport),
+            policy=RetryPolicy(base_delay=0.001, max_attempts=50, seed=0),
+            rid_factory=lambda: "r-deadline",
+            clock=lambda: next(clock),
+            sleep=lambda _delay: None,
+        )
+        with pytest.raises(GatewayTimeout):
+            client.call("stats", deadline=1.5)
+        assert client.abandoned == 1
+        # Retries at t=0 and t=1 still fit; the attempt that would
+        # start past t=1.5 is abandoned.
+        assert client.retries == 2
+
+    def test_final_error_answers_are_not_retried(self):
+        gateway = AdmissionGateway()
+        client = self._retrying(gateway, failures=0)
+        with pytest.raises(GatewayError) as err:
+            client.admit("ghost", _task(0, 0.0))
+        assert err.value.code == "unknown-pipeline"
+        assert client.retries == 0
+
+    def test_duplicate_request_bounce_retries_until_decided(self):
+        gateway = AdmissionGateway()
+        setup = GatewayClient(InProcessTransport(gateway))
+        setup.register("web", {"num_stages": NUM_STAGES, "max_batch": 8})
+        # Queue the admit under the retry rid, so the retrying client's
+        # own request bounces off the pending batch.
+        gateway.handle_line(json.dumps({
+            "id": 900, "rid": "rid-0", "op": "admit", "pipeline": "web",
+            "task": task_to_wire(_task(0, 0.0)),
+        }))
+        transport = InProcessTransport(gateway)
+        client = RetryingGatewayClient(
+            connect=lambda: GatewayClient(transport),
+            policy=RetryPolicy(base_delay=0.001, seed=0),
+            rid_factory=lambda: "rid-0",
+            # The batch decides while the client is backing off.
+            sleep=lambda _delay: gateway.drain(),
+        )
+        response = client.admit("web", _task(0, 0.0))
+        assert response["admitted"] is True
+        assert client.retries >= 1
+        assert client.reconnects == 0  # bounces do not drop the connection
+
+
+class TestDrainingServer:
+    def test_new_connections_rejected_while_draining(self):
+        gateway = AdmissionGateway()
+        with _TcpGatewayThread(gateway=gateway) as server:
+            host, port = server.address
+            established = GatewayClient(TcpTransport(host, port))
+            try:
+                established.register("web", POLICY)
+                gateway.draining = True
+                # A connection opened mid-drain gets a structured error
+                # and an immediate close.
+                raw = socket.create_connection((host, port), timeout=10)
+                try:
+                    line = raw.makefile("rb").readline()
+                finally:
+                    raw.close()
+                doc = json.loads(line)
+                assert doc["ok"] is False
+                assert doc["error"] == "draining"
+                # Established connections keep working for non-admit ops.
+                assert established.call("health")["draining"] is True
+            finally:
+                established.close()
+
+
+class TestTimeouts:
+    def test_read_timeout_raises_gateway_timeout(self):
+        with _TcpGatewayThread() as server:
+            host, port = server.address
+            transport = TcpTransport(
+                host, port, connect_timeout=10.0, read_timeout=0.05
+            )
+            try:
+                # No request submitted: the server has nothing to say.
+                with pytest.raises(GatewayTimeout):
+                    transport.readline()
+            finally:
+                transport.close()
+
+    def test_connect_failure_is_a_transport_error(self):
+        sink = socket.socket()
+        sink.bind(("127.0.0.1", 0))
+        _host, port = sink.getsockname()
+        sink.close()  # nothing listens here anymore
+        with pytest.raises(GatewayError) as err:
+            TcpTransport("127.0.0.1", port, connect_timeout=0.5)
+        assert err.value.code in ("transport", "timeout")
 
 
 class TestWireFormat:
