@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint typecheck check chaos serve-smoke bench
+.PHONY: test lint typecheck check chaos serve-smoke bench bench-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -23,12 +23,26 @@ serve-smoke:
 	$(PYTHON) -m repro.serve.loadgen --scenario webserver --seed 0 --requests 1000 --selftest
 	$(PYTHON) -m repro.serve.loadgen --chaos-crash --cycles 24 --seed 0 --selftest
 
-# Consolidated benchmark run: every benchmarks/bench_*.py file, one
-# machine-readable summary at the repo root.
+# Consolidated benchmark run: paper-artifact and serving benchmarks in
+# BENCH_serve.json, the core hot-path suite (exact-accumulator churn,
+# admit_many, gateway encode/flush) in BENCH_core.json.
 bench:
 	$(PYTHON) -m pytest benchmarks -q -o addopts="" --benchmark-only \
+		--ignore=benchmarks/bench_core_hotpath.py \
 		--benchmark-json=BENCH_serve.json
-	@echo "wrote BENCH_serve.json"
+	$(PYTHON) -m pytest benchmarks/bench_core_hotpath.py -q -o addopts="" \
+		--benchmark-only --benchmark-json=BENCH_core.json
+	@echo "wrote BENCH_serve.json and BENCH_core.json"
+
+# CI regression gate: the hot-path suite at reduced iterations
+# (REPRO_BENCH_SMOKE=1), failing when any benchmark runs more than 2x
+# slower than the committed baseline benchmarks/BASELINE_core.json.
+bench-smoke:
+	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_core_hotpath.py \
+		-q -o addopts="" --benchmark-only \
+		--benchmark-json=BENCH_core_smoke.json
+	$(PYTHON) benchmarks/check_bench_regression.py BENCH_core_smoke.json \
+		benchmarks/BASELINE_core.json
 
 lint:
 	$(PYTHON) -m repro.lint src examples benchmarks

@@ -1,0 +1,85 @@
+"""Gate a fresh benchmark run against a committed baseline.
+
+Reads two ``pytest-benchmark`` JSON documents and fails (exit code 1)
+when any benchmark's best-case time regressed by more than the allowed
+ratio, or when a baseline benchmark is missing from the fresh run
+(a silently deleted benchmark must not pass the gate).
+
+The committed baseline ``benchmarks/BASELINE_core.json`` was recorded
+in smoke mode (``REPRO_BENCH_SMOKE=1``) so CI compares equal workloads;
+the default 2x tolerance absorbs machine-to-machine variance while
+still catching the order-of-magnitude cliffs this gate exists for
+(e.g. an accidental O(n) recompute creeping back into the tracker
+hot path).
+
+Usage::
+
+    python benchmarks/check_bench_regression.py CURRENT.json BASELINE.json \
+        [--max-ratio 2.0]
+"""
+
+import argparse
+import json
+import sys
+
+
+def _min_times(document):
+    """``{benchmark name: best-case seconds}`` from a pytest-benchmark doc."""
+    return {
+        bench["name"]: float(bench["stats"]["min"])
+        for bench in document.get("benchmarks", [])
+    }
+
+
+def check(current, baseline, max_ratio):
+    """Return a list of human-readable failures (empty when the gate passes)."""
+    failures = []
+    current_times = _min_times(current)
+    baseline_times = _min_times(baseline)
+    if not baseline_times:
+        return ["baseline document contains no benchmarks"]
+    for name, base_seconds in sorted(baseline_times.items()):
+        now_seconds = current_times.get(name)
+        if now_seconds is None:
+            failures.append(f"{name}: present in baseline but missing from run")
+            continue
+        ratio = now_seconds / base_seconds if base_seconds > 0 else float("inf")
+        if ratio > max_ratio:
+            failures.append(
+                f"{name}: {now_seconds * 1e3:.2f} ms vs baseline "
+                f"{base_seconds * 1e3:.2f} ms ({ratio:.2f}x > {max_ratio}x)"
+            )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="benchmark JSON from the fresh run")
+    parser.add_argument("baseline", help="committed baseline benchmark JSON")
+    parser.add_argument(
+        "--max-ratio",
+        type=float,
+        default=2.0,
+        help="fail when current/baseline best-case time exceeds this (default 2.0)",
+    )
+    args = parser.parse_args(argv)
+    with open(args.current) as fh:
+        current = json.load(fh)
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    failures = check(current, baseline, args.max_ratio)
+    if failures:
+        print("benchmark regression gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    names = sorted(_min_times(baseline))
+    print(
+        f"benchmark regression gate passed: {len(names)} benchmarks within "
+        f"{args.max_ratio}x of baseline ({', '.join(names)})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,8 @@ implements the paper's primary contribution:
   pipeline feasibility conditions (Eqs. 12/13/15);
 - :mod:`repro.core.alpha` — the urgency-inversion parameter ``alpha``;
 - :mod:`repro.core.numeric` — shared float-comparison tolerances
-  (``EPS``, ``approx_eq``, ``approx_le``, ``approx_ge``);
+  (``EPS``, ``approx_eq``, ``approx_le``, ``approx_ge``) and the
+  exact running-sum accumulator (``ExactSum``);
 - :mod:`repro.core.synthetic` — synthetic-utilization accounting with
   deadline expiry and idle resets;
 - :mod:`repro.core.dag` — series/parallel delay algebra and Theorem 2
@@ -60,7 +61,7 @@ from .dag import (
     par,
     seq,
 )
-from .numeric import EPS, approx_eq, approx_ge, approx_le
+from .numeric import EPS, ExactSum, approx_eq, approx_ge, approx_le
 from .regions import DagFeasibleRegion, PipelineFeasibleRegion
 from .reservation import (
     CriticalTask,
@@ -105,6 +106,7 @@ __all__ = [
     "alpha_for_policy",
     # numeric
     "EPS",
+    "ExactSum",
     "approx_eq",
     "approx_le",
     "approx_ge",

@@ -521,12 +521,14 @@ class PipelineAdmissionController:
     def _expire_cached(self, now: float, cache: List[float]) -> None:
         """:meth:`expire`, refreshing region-cache entries of touched stages."""
         for j, tracker in enumerate(self.trackers):
-            # Unconditional refresh: a released amount of 0.0 does not
-            # mean the tracker's total is unchanged — expiring zero-cost
-            # contributions re-derives the running sum (fsum), which can
-            # shift it by an ulp relative to the stale cached term.
-            tracker.expire_until(now)
-            cache[j] = stage_delay_factor(min(tracker.value, 1.0))
+            # A released amount of 0.0 leaves the cached term valid: the
+            # exact accumulator guarantees expiring zero-cost
+            # contributions cannot move the running sum (an exact
+            # subtraction of zero), so only stages that actually
+            # released utilization need their f(min(U_j, 1)) term
+            # re-derived.
+            if tracker.expire_until(now):
+                cache[j] = stage_delay_factor(min(tracker.value, 1.0))
         while self._expiry_heap and self._expiry_heap[0][0] <= now:
             _, task_id = heapq.heappop(self._expiry_heap)
             record = self._admitted.get(task_id)

@@ -14,9 +14,10 @@ pessimistic.
 
 *Internal consistency* (no ground truth needed):
 
-- ``sum-drift`` — a tracker's incremental running sum disagrees with an
-  exact re-summation of its contributions (floating-point corruption or
-  a bookkeeping bug);
+- ``sum-drift`` — a tracker's cached running sum disagrees with its
+  exact accumulator, or the accumulator disagrees with a ground-truth
+  re-summation of the tracked contributions (floating-point corruption
+  or a bookkeeping bug);
 - ``negative-utilization`` — the running sum is materially negative
   (double removal);
 - ``orphan-contribution`` — a stage holds a contribution for a task the
@@ -141,6 +142,22 @@ class ControllerAuditor:
                         j,
                         None,
                         f"incremental sum {incremental!r} != exact sum {exact!r}",
+                    )
+                )
+            # Deep check: the accumulator itself against a ground-truth
+            # re-summation of the tracked contributions.  O(n), but the
+            # auditor is diagnostics, not the hot path.
+            ground_truth = tracker.fsum_contributions()
+            if abs(exact - ground_truth) > self.tolerance * max(
+                1.0, abs(ground_truth)
+            ):
+                violations.append(
+                    InvariantViolation(
+                        "sum-drift",
+                        j,
+                        None,
+                        f"exact accumulator {exact!r} != contribution "
+                        f"re-summation {ground_truth!r}",
                     )
                 )
             if incremental < -self.tolerance:
@@ -300,4 +317,9 @@ def diff_controllers(
         sum_a, sum_b = ta.audit_sums()[0], tb.audit_sums()[0]
         if sum_a != sum_b:
             diffs.append(f"stage {j}: running sum {sum_a!r} != {sum_b!r}")
+        if ta.exact_state() != tb.exact_state():
+            diffs.append(
+                f"stage {j}: exact accumulator state "
+                f"{ta.exact_state()!r} != {tb.exact_state()!r}"
+            )
     return diffs

@@ -1,4 +1,4 @@
-"""Shared floating-point comparison helpers.
+"""Shared floating-point comparison helpers and exact accumulation.
 
 Every quantity in the feasible-region analysis — deadlines, arrival
 times, per-stage costs ``C_ij``, synthetic utilizations ``C_ij / D_i``,
@@ -14,13 +14,25 @@ equal when ``|a - b| <= tol * max(1, |a|, |b|)``.  The floor makes the
 tolerance behave absolutely for the O(1) normalized quantities the
 analysis mostly manipulates (utilizations, delay factors, ratios) while
 still scaling for large absolute times late in long simulations.
+
+:class:`ExactSum` is the long-accumulator counterpart: running sums
+whose adds *and removals* must be exact, invertible, and independent of
+operation order (the synthetic-utilization bookkeeping, stage busy-time
+accounting).  It holds the mathematically exact sum as an arbitrary-
+precision integer in units of ``2**-1074`` — the smallest positive
+subnormal, of which every finite IEEE-754 double is an exact integer
+multiple — so no information is ever lost and subtracting a previously
+added value restores the prior state bit-for-bit.  ``value()`` performs
+the single correctly-rounded (ties-to-even) conversion back to a float,
+matching ``math.fsum`` over the same multiset of addends.
 """
 
 from __future__ import annotations
 
 import math
+from typing import Any, Dict, Iterable
 
-__all__ = ["EPS", "approx_eq", "approx_le", "approx_ge"]
+__all__ = ["EPS", "approx_eq", "approx_le", "approx_ge", "ExactSum"]
 
 #: Default comparison tolerance.  Matches the ad-hoc ``1e-9`` the
 #: harmonic-chain detection historically used; loose enough to absorb
@@ -58,3 +70,140 @@ def approx_le(a: float, b: float, tol: float = EPS) -> bool:
 def approx_ge(a: float, b: float, tol: float = EPS) -> bool:
     """Whether ``a >= b`` within ``tol`` (true when ``a`` is larger or close)."""
     return a >= b or approx_eq(a, b, tol)
+
+
+#: Scale exponent of the fixed-point representation.  ``2**-1074`` is
+#: the smallest positive subnormal double; every finite double equals
+#: ``m * 2**-1074`` for some integer ``m``, so the representation below
+#: is lossless for arbitrary finite inputs.
+_FIXED_SCALE = 1074
+
+
+def _to_fixed(x: float) -> int:
+    """Exact fixed-point image of a finite float, in units of ``2**-1074``."""
+    n, d = x.as_integer_ratio()
+    # d is always a power of two for a float, so this shift is exact.
+    return n << (_FIXED_SCALE - (d.bit_length() - 1))
+
+
+def _fixed_to_float(fixed: int) -> float:
+    """Round a fixed-point value (units of ``2**-1074``) to the nearest
+    double, ties to even — the single rounding step of the accumulator.
+
+    Mirrors IEEE round-to-nearest so the result matches what
+    ``math.fsum`` would return for any multiset of addends with the
+    same exact sum.
+    """
+    if fixed == 0:
+        return 0.0
+    magnitude = abs(fixed)
+    nbits = magnitude.bit_length()
+    if nbits <= 53:
+        # Fits in the significand (covers all subnormal results and
+        # small normals): ldexp is exact, no rounding needed.
+        result = math.ldexp(float(magnitude), -_FIXED_SCALE)
+    else:
+        shift = nbits - 54
+        top = magnitude >> shift  # 54 bits: 53 result bits + round bit
+        rest = magnitude & ((1 << shift) - 1)  # sticky bits below
+        q, round_bit = divmod(top, 2)
+        if round_bit and (rest or (q & 1)):
+            q += 1  # round up: above halfway, or tie with odd quotient
+        result = math.ldexp(float(q), shift + 1 - _FIXED_SCALE)
+    return -result if fixed < 0 else result
+
+
+class ExactSum:
+    """Exact, invertible running sum of finite floats.
+
+    The true sum is held as an arbitrary-precision integer in units of
+    ``2**-1074``, so :meth:`add` and :meth:`subtract` never round: the
+    state after any sequence of operations is a function only of the
+    *multiset* of currently included addends, independent of the order
+    in which they were added or removed, and removing a value restores
+    the exact prior state.  :meth:`value` performs the one rounding
+    step (to nearest, ties to even), matching ``math.fsum`` over the
+    same multiset.  Like ``fsum``, a sum that is exactly zero yields
+    ``+0.0`` regardless of the signs of the (cancelling or zero)
+    addends.
+
+    Adds cost O(1) bigint work (the integers stay within a few machine
+    words for utilization-scale values); the win is that *removal* is
+    also O(1), where a cancellation-safe float scheme would need an
+    O(n) recompute over the surviving addends.
+    """
+
+    __slots__ = ("_fixed",)
+
+    def __init__(self) -> None:
+        self._fixed = 0  # exact sum, units of 2**-1074
+
+    def add(self, x: float) -> None:
+        """Include finite ``x`` in the sum exactly."""
+        n, d = x.as_integer_ratio()  # raises for inf/nan
+        if n:
+            self._fixed += n << (_FIXED_SCALE - (d.bit_length() - 1))
+
+    def subtract(self, x: float) -> None:
+        """Remove one previously added ``x``; exact inverse of :meth:`add`."""
+        n, d = x.as_integer_ratio()  # raises for inf/nan
+        if n:
+            self._fixed -= n << (_FIXED_SCALE - (d.bit_length() - 1))
+
+    def add_all(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.add(v)
+
+    def value(self) -> float:
+        """The correctly rounded float sum (ties to even, fsum parity)."""
+        return _fixed_to_float(self._fixed)
+
+    def is_zero(self) -> bool:
+        """Whether the exact sum is exactly zero."""
+        return self._fixed == 0
+
+    def clear(self) -> None:
+        self._fixed = 0
+
+    def copy(self) -> "ExactSum":
+        dup = ExactSum()
+        dup._fixed = self._fixed
+        return dup
+
+    def load_float(self, x: float) -> None:
+        """Reset the state to represent the single float ``x``.
+
+        Used when restoring from legacy serialized state that recorded
+        only the rounded running sum: the accumulator then carries the
+        rounded value forward exactly.
+        """
+        if not math.isfinite(x):
+            raise ValueError(f"ExactSum requires a finite value, got {x!r}")
+        self._fixed = _to_fixed(x)
+
+    def state(self) -> Dict[str, Any]:
+        """JSON-safe exact state (hex-encoded fixed-point integer)."""
+        return {"fixed": hex(self._fixed)}
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "ExactSum":
+        """Rebuild from :meth:`state` output; raises ``ValueError`` on
+        malformed documents."""
+        try:
+            fixed = int(str(state["fixed"]), 16)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"malformed ExactSum state: {state!r}") from exc
+        acc = cls()
+        acc._fixed = fixed
+        return acc
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExactSum):
+            return NotImplemented
+        return self._fixed == other._fixed
+
+    def __hash__(self) -> int:
+        return hash(self._fixed)
+
+    def __repr__(self) -> str:
+        return f"ExactSum(value={self.value()!r})"

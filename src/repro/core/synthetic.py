@@ -19,8 +19,9 @@ becoming pessimistic:
    to its *reserved* baseline (Section 5 initializes the counters with
    reserved utilization for critical tasks).
 
-:class:`StageUtilizationTracker` implements one stage; all operations
-are amortized ``O(log n)`` via an expiry heap.
+:class:`StageUtilizationTracker` implements one stage; additions and
+removals are ``O(1)`` on the running total (an exact accumulator),
+``O(log n)`` overall via the expiry heap.
 """
 
 from __future__ import annotations
@@ -28,7 +29,9 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from typing import Dict, FrozenSet, Hashable, List, Tuple
+from typing import Any, Dict, FrozenSet, Hashable, List, Tuple
+
+from .numeric import ExactSum
 
 __all__ = ["StageUtilizationTracker"]
 
@@ -37,17 +40,20 @@ class StageUtilizationTracker:
     """Tracks the synthetic utilization of a single pipeline stage.
 
     The tracker holds one *contribution* per current task plus a fixed
-    *reserved* baseline.  Additions update the total incrementally (one
-    rounding per add, in arrival order); every removal operation
-    re-derives the total with an exact ``math.fsum`` over the surviving
-    contributions.  Because ``fsum`` is correctly rounded regardless of
-    summation order, the running total is a *canonical function of the
-    tracked set and the add sequence* — two trackers fed the same
-    operations hold bitwise-identical totals even if internal iteration
-    orders (expiry-heap layout, departed-set insertion order) differ.
-    That property is what lets crash recovery reproduce a controller
-    bitwise (see ``repro.serve.recovery``), and it also bounds drift:
-    rounding error never accumulates across removals.
+    *reserved* baseline.  The running total is maintained by an
+    :class:`~repro.core.numeric.ExactSum` accumulator: additions and
+    removals update the exact sum in ``O(1)`` with no rounding, and the
+    cached float total is the single correctly-rounded image of that
+    exact sum.  The total is therefore a *canonical function of the
+    tracked multiset alone* — independent of operation order — so two
+    trackers holding the same contributions are bitwise identical even
+    if their histories (expiry-heap layout, departed-set insertion
+    order, add/remove interleaving) differ.  That is strictly stronger
+    than the earlier fsum-on-removal scheme, whose total was canonical
+    only per add *sequence*; it is what lets crash recovery reproduce a
+    controller bitwise and order-independently (see
+    ``repro.serve.recovery``), and drift can never accumulate because
+    no operation ever rounds into the accumulator.
 
     Attributes:
         reserved: Baseline utilization reserved for critical tasks.
@@ -72,6 +78,11 @@ class StageUtilizationTracker:
         self._contribs: Dict[Hashable, Tuple[float, int]] = {}
         self._departed: Dict[Hashable, float] = {}
         self._expiry_heap: List[Tuple[float, int, Hashable]] = []
+        # Exact running sum of the tracked contributions; `_sum` caches
+        # its correctly-rounded float image so hot-path reads (`value`)
+        # stay a plain attribute load.  Every mutation refreshes the
+        # cache; the auditor compares the two to detect bit-rot.
+        self._acc = ExactSum()
         self._sum = 0.0
         self._tokens = itertools.count()
 
@@ -107,22 +118,51 @@ class StageUtilizationTracker:
         return task_id in self._departed
 
     def pending_idle_release(self) -> float:
-        """Utilization :meth:`reset_on_idle` would release right now."""
-        return math.fsum(
-            contribution
-            for task_id, contribution in self._departed.items()
-            if task_id in self._contribs
-        )
+        """Utilization :meth:`reset_on_idle` would release right now.
+
+        Every departed entry is live by construction — ``remove``,
+        ``expire_until``, ``reset_on_idle`` and ``clear`` all drop the
+        departed mark together with the contribution — so no membership
+        re-check against the tracked set is needed.
+        """
+        return math.fsum(self._departed.values())
 
     def audit_sums(self) -> Tuple[float, float]:
-        """``(incremental, exact)`` dynamic sums, without mutating state.
+        """``(cached, exact)`` dynamic sums, without mutating state — O(1).
 
-        The incremental sum is the raw running total (possibly slightly
-        negative from rounding); the exact sum is a fresh ``fsum`` over
-        the tracked contributions.  The invariant auditor compares the
-        two to detect drift or corruption.
+        The cached sum is the float total hot-path reads use; the exact
+        sum is the accumulator's correctly-rounded value.  The invariant
+        auditor compares the two to detect bit-rot in the cache (and
+        separately cross-checks the accumulator against the tracked
+        contributions via :meth:`fsum_contributions`).
         """
-        return self._sum, math.fsum(c for c, _ in self._contribs.values())
+        return self._sum, self._acc.value()
+
+    def fsum_contributions(self) -> float:
+        """Fresh ``fsum`` over the tracked contributions — O(n).
+
+        Ground-truth recompute for the auditor's deep drift check; the
+        hot path never calls this.
+        """
+        return math.fsum(c for c, _ in self._contribs.values())
+
+    def exact_state(self) -> Dict[str, Any]:
+        """JSON-safe exact accumulator state (snapshot schema v2)."""
+        return self._acc.state()
+
+    def load_exact(self, state: Dict[str, Any]) -> None:
+        """Adopt a serialized exact accumulator state (snapshot restore).
+
+        Replaces the accumulator wholesale — including one rebuilt from
+        re-added contributions — so a restored tracker reproduces the
+        snapshotted total bit-for-bit even when the snapshot's lineage
+        passed through the legacy rounded-sum format (:meth:`load_sum`).
+
+        Raises:
+            ValueError: If the state document is malformed.
+        """
+        self._acc = ExactSum.from_state(state)
+        self._sum = self._acc.value()
 
     def __contains__(self, task_id: Hashable) -> bool:
         return task_id in self._contribs
@@ -153,7 +193,8 @@ class StageUtilizationTracker:
             raise ValueError(f"contribution must be finite and >= 0, got {contribution}")
         token = next(self._tokens)
         self._contribs[task_id] = (contribution, token)
-        self._sum += contribution
+        self._acc.add(contribution)
+        self._sum = self._acc.value()
         heapq.heappush(self._expiry_heap, (expiry, token, task_id))
 
     def remove(self, task_id: Hashable) -> float:
@@ -166,7 +207,8 @@ class StageUtilizationTracker:
         self._departed.pop(task_id, None)
         if entry is None:
             return 0.0
-        self.recompute()
+        self._acc.subtract(entry[0])
+        self._sum = self._acc.value()
         return entry[0]
 
     def expire_until(self, now: float) -> float:
@@ -183,12 +225,13 @@ class StageUtilizationTracker:
                 continue  # stale entry: task removed (and possibly re-added)
             del self._contribs[task_id]
             self._departed.pop(task_id, None)
+            self._acc.subtract(entry[0])
             removed.append(entry[0])
         if not removed:
             return 0.0
-        # fsum on both sides: neither the released amount nor the new
-        # total depends on the (tie-dependent) heap pop order.
-        self.recompute()
+        self._sum = self._acc.value()
+        # fsum for the released amount: independent of the
+        # (tie-dependent) heap pop order, like the accumulator itself.
         return math.fsum(removed)
 
     def next_expiry(self) -> float:
@@ -227,14 +270,17 @@ class StageUtilizationTracker:
         """
         removed: List[float] = []
         for task_id, contribution in self._departed.items():
-            if self._contribs.pop(task_id, None) is not None:
-                removed.append(contribution)
+            # Departed entries are always still tracked (see
+            # pending_idle_release), so this never misses.
+            del self._contribs[task_id]
+            self._acc.subtract(contribution)
+            removed.append(contribution)
         self._departed.clear()
         if not removed:
             return 0.0
-        # fsum on both sides: the result is independent of the departed
+        self._sum = self._acc.value()
+        # fsum for the released amount: independent of the departed
         # set's (path-dependent) insertion order.
-        self.recompute()
         return math.fsum(removed)
 
     def clear(self) -> None:
@@ -242,23 +288,25 @@ class StageUtilizationTracker:
         self._contribs.clear()
         self._departed.clear()
         self._expiry_heap.clear()
+        self._acc.clear()
         self._sum = 0.0
 
     def load_sum(self, value: float) -> None:
-        """Restore the raw running sum (snapshot round-trip).
+        """Restore a legacy rounded running sum (schema-v1 snapshots).
 
-        The running total is path-dependent in its last ulp: additions
-        round once per add, in arrival order.  Restoring per-task
-        contributions alone would rebuild the total in a *different*
-        association order, so snapshots carry the raw sum and restore
-        it here — making a restored tracker bitwise identical to the
-        one that was snapshotted.
+        Old snapshots recorded only the rounded float total.  The
+        accumulator adopts that value exactly (it is a finite double,
+        hence exactly representable), so a v1-restored tracker carries
+        the snapshotted total forward bit-for-bit; it can differ from
+        the exact sum of the restored contributions by at most the
+        rounding the legacy format already baked in — far below the
+        auditor's drift tolerance.  New snapshots carry the exact
+        accumulator state instead (:meth:`exact_state`).
 
         Raises:
             ValueError: If ``value`` is not finite.
         """
-        if not math.isfinite(value):
-            raise ValueError(f"running sum must be finite, got {value}")
+        self._acc.load_float(value)  # raises for non-finite values
         self._sum = value
 
     # ------------------------------------------------------------------
@@ -266,6 +314,14 @@ class StageUtilizationTracker:
     # ------------------------------------------------------------------
 
     def recompute(self) -> float:
-        """Recompute the running sum exactly (order-independent ``fsum``)."""
-        self._sum = math.fsum(c for c, _ in self._contribs.values())
+        """Rebuild the accumulator from the tracked contributions.
+
+        The result equals the running total the incremental path
+        maintains (both are the correctly-rounded exact sum of the
+        same multiset); exposed for tests and corruption recovery.
+        """
+        self._acc.clear()
+        for contribution, _ in self._contribs.values():
+            self._acc.add(contribution)
+        self._sum = self._acc.value()
         return self._sum

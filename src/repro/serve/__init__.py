@@ -55,6 +55,8 @@ from .recovery import (
 from .registry import PipelinePolicy, PipelineRegistry, ServedPipeline
 from .snapshot import (
     SNAPSHOT_FORMAT,
+    SNAPSHOT_FORMAT_V1,
+    SUPPORTED_SNAPSHOT_FORMATS,
     controller_snapshot,
     restore_controller,
     verify_restored,
@@ -83,6 +85,8 @@ __all__ = [
     "RetryPolicy",
     "RetryingGatewayClient",
     "SNAPSHOT_FORMAT",
+    "SNAPSHOT_FORMAT_V1",
+    "SUPPORTED_SNAPSHOT_FORMATS",
     "ServedPipeline",
     "TcpTransport",
     "controller_snapshot",

@@ -27,16 +27,18 @@ deterministic and fast while exercising the full protocol stack.
 from __future__ import annotations
 
 import asyncio
+import json
 from collections import OrderedDict
 from typing import Any, Dict, Hashable, List, Optional, Protocol, Tuple
 
 from .protocol import (
     ProtocolError,
+    admit_response,
+    encode,
     error_response,
     frontier_from_wire,
     ok_response,
     parse_request,
-    rewrite_response_id,
     task_from_wire,
 )
 from .registry import Decided, PipelinePolicy, PipelineRegistry, ServedPipeline
@@ -57,6 +59,10 @@ Routed = Tuple[Any, str]
 #: Default size of the idempotency deduplication window: how many
 #: decided ``rid``-tagged responses the gateway remembers for retries.
 DEFAULT_DEDUP_WINDOW = 1024
+
+#: Placeholder for a dedup entry whose original request id is unknown
+#: (restored from serialized state); resolved lazily on first retry.
+_UNKNOWN_ID = object()
 
 
 class GatewayLike(Protocol):
@@ -104,8 +110,12 @@ class AdmissionGateway:
         #: rids whose requests are in flight (queued in an admission
         #: batch) and not yet answered.
         self._rid_pending: set = set()
-        #: rid -> the response line its request was answered with.
-        self._rid_decided: "OrderedDict[str, str]" = OrderedDict()
+        #: rid -> ``[line, original_id, parsed_doc_or_None]``.  The
+        #: original request id lets a retry carrying the same id be
+        #: served the cached line verbatim in O(1); the parsed document
+        #: is materialized lazily, once, for retries that need the id
+        #: echo rewritten.
+        self._rid_decided: "OrderedDict[str, List[Any]]" = OrderedDict()
 
     # ------------------------------------------------------------------
     # Entry point
@@ -131,14 +141,14 @@ class AdmissionGateway:
             # must stay out of the (durable) idempotency window.
             rid = request.get("rid") if request.get("op") != "health" else None
             if isinstance(rid, str):
-                cached = self._rid_decided.get(rid)
-                if cached is not None:
+                entry = self._rid_decided.get(rid)
+                if entry is not None:
                     # Idempotent retry of an already-decided request:
                     # serve the cached decision without re-running the
                     # operation (and without counting it as a new op).
                     self.dedup_hits += 1
                     self._rid_decided.move_to_end(rid)
-                    routed.append((origin, rewrite_response_id(cached, request)))
+                    routed.append((origin, self._replay(entry, request)))
                     return routed
                 if rid in self._rid_pending:
                     # The original is still queued in an admission
@@ -194,10 +204,39 @@ class AdmissionGateway:
         if not isinstance(rid, str) or request.get("op") == "health":
             return
         self._rid_pending.discard(rid)
-        self._rid_decided[rid] = line
+        self._rid_decided[rid] = [line, request.get("id"), None]
         self._rid_decided.move_to_end(rid)
         while len(self._rid_decided) > self.dedup_window:
             self._rid_decided.popitem(last=False)
+
+    @staticmethod
+    def _replay(entry: List[Any], request: Dict[str, Any]) -> str:
+        """The cached decision line, with the ``id`` echo matching ``request``.
+
+        The dominant retry (same request id as the original, or a
+        restored entry retried once before) is served the stored line
+        verbatim — no JSON parse, no re-encode.  Only a retry carrying
+        a *different* id pays for rewriting, against a parsed document
+        cached on the entry.  The type check keeps int/bool ids apart:
+        ``1 == True`` but they encode differently.
+        """
+        line, original_id, doc = entry
+        request_id = request.get("id")
+        if type(request_id) is type(original_id) and request_id == original_id:
+            return line
+        if doc is None:
+            doc = json.loads(line)
+            entry[2] = doc
+            if original_id is _UNKNOWN_ID:
+                entry[1] = doc.get("id")
+                if (
+                    type(request_id) is type(entry[1])
+                    and request_id == entry[1]
+                ):
+                    return line
+        rewritten = dict(doc)
+        rewritten["id"] = request_id
+        return encode(rewritten)
 
     def dedup_status(self, rid: str) -> str:
         """One of ``"decided"``, ``"pending"``, ``"unknown"`` for a rid."""
@@ -214,7 +253,9 @@ class AdmissionGateway:
         gateway evicts in the same order as the original.
         """
         return {
-            "decided": [[rid, line] for rid, line in self._rid_decided.items()],
+            "decided": [
+                [rid, entry[0]] for rid, entry in self._rid_decided.items()
+            ],
             "pending": sorted(self._rid_pending),
         }
 
@@ -222,7 +263,9 @@ class AdmissionGateway:
         """Replace the dedup window with a :meth:`dedup_state` document."""
         decided = state.get("decided", [])
         pending = state.get("pending", [])
-        self._rid_decided = OrderedDict((rid, line) for rid, line in decided)
+        self._rid_decided = OrderedDict(
+            (rid, [line, _UNKNOWN_ID, None]) for rid, line in decided
+        )
         self._rid_pending = set(pending)
         while len(self._rid_decided) > self.dedup_window:
             self._rid_decided.popitem(last=False)
@@ -239,7 +282,7 @@ class AdmissionGateway:
         routed: List[Routed] = []
         for token, _task, decision in decided:
             origin, request = token
-            line = ok_response(
+            line = admit_response(
                 request,
                 admitted=decision.admitted,
                 region_value=decision.region_value,
@@ -535,11 +578,25 @@ class GatewayServer:
             writer.close()
 
     async def _deliver(self, routed: List[Routed]) -> None:
+        """Write responses, coalesced into one write+drain per connection.
+
+        A batch flush can release dozens of responses at once; paying a
+        ``drain()`` round trip per response serializes the event loop on
+        the slowest socket.  Responses are grouped by origin — order
+        preserved within each connection, which is the only ordering the
+        protocol promises — and each connection gets a single buffered
+        write followed by a single backpressure ``drain()``.
+        """
+        if not routed:
+            return
+        by_origin: Dict[Any, List[str]] = {}
         for origin, response in routed:
+            by_origin.setdefault(origin, []).append(response)
+        for origin, responses in by_origin.items():
             writer = self._writers.get(origin)
             if writer is None or writer.is_closing():
                 continue
-            writer.write(response.encode("utf-8") + b"\n")
+            writer.write(("\n".join(responses) + "\n").encode("utf-8"))
             await writer.drain()
 
 

@@ -66,6 +66,7 @@ __all__ = [
     "parse_request",
     "encode",
     "ok_response",
+    "admit_response",
     "error_response",
     "task_to_wire",
     "task_from_wire",
@@ -173,6 +174,67 @@ def ok_response(request: Dict[str, Any], **payload: Any) -> str:
     body: Dict[str, Any] = {"id": request.get("id"), "op": request.get("op"), "ok": True}
     body.update(payload)
     return encode(body)
+
+
+# Precomputed canonical fragments of the admit response.  The envelope
+# is immutable — ``{"admitted":..,"id":..,"ok":true,"op":"admit",
+# "region_value":..,"shed":[..]}`` with keys already in sorted order —
+# so the hot path only has to render the three variable tokens instead
+# of building a dict and running the generic sorted-keys encoder.
+_ADMIT_TRUE = '{"admitted":true,"id":'
+_ADMIT_FALSE = '{"admitted":false,"id":'
+_ADMIT_MID = ',"ok":true,"op":"admit","region_value":'
+_ADMIT_SHED_EMPTY = ',"shed":[]}'
+_ADMIT_SHED = ',"shed":'
+
+
+def admit_response(
+    request: Dict[str, Any],
+    admitted: bool,
+    region_value: float,
+    shed: Any = (),
+) -> str:
+    """Fast-path encoder for admission decisions.
+
+    Byte-identical to ``ok_response(request, admitted=...,
+    region_value=..., shed=list(shed))`` — the differential test pins
+    that equivalence — but ~5x cheaper: the immutable envelope is
+    served from precomputed canonical fragments and only the ``id``
+    echo, the region value, and the shed list are rendered.  Falls back
+    to the generic encoder for anything it cannot prove it renders
+    canonically.
+    """
+    request_id = request.get("id")
+    if request_id is None:
+        id_token = "null"
+    elif isinstance(request_id, bool):
+        # bool is an int subclass and passes request validation, but
+        # encodes as a JSON literal, not via repr().
+        id_token = "true" if request_id else "false"
+    elif isinstance(request_id, int):
+        id_token = repr(request_id)
+    elif isinstance(request_id, str):
+        id_token = json.dumps(request_id)
+    else:
+        return ok_response(
+            request, admitted=admitted, region_value=region_value, shed=list(shed)
+        )
+    if request.get("op") != "admit" or not isinstance(region_value, float):
+        return ok_response(
+            request, admitted=admitted, region_value=region_value, shed=list(shed)
+        )
+    # json.dumps renders floats with float.__repr__; non-finite values
+    # (f(U) saturates to inf at U == 1) canonically become null.
+    region_token = repr(region_value) if math.isfinite(region_value) else "null"
+    prefix = _ADMIT_TRUE if admitted else _ADMIT_FALSE
+    if not shed:
+        return prefix + id_token + _ADMIT_MID + region_token + _ADMIT_SHED_EMPTY
+    shed_token = json.dumps(
+        json_safe(list(shed)), sort_keys=True, separators=(",", ":")
+    )
+    return (
+        prefix + id_token + _ADMIT_MID + region_token + _ADMIT_SHED + shed_token + "}"
+    )
 
 
 def rewrite_response_id(line: str, request: Dict[str, Any]) -> str:

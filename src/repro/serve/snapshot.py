@@ -8,12 +8,16 @@ serializes exactly that as a JSON-safe document; restore rebuilds a
 controller whose *future decisions* match the snapshotted one.
 
 Floats survive the JSON round trip exactly (shortest-repr encoding is
-lossless for IEEE doubles), and the snapshot carries each stage's raw
-running sum alongside the per-task contributions, so a restored
-controller is *bitwise identical* to the snapshotted one — same future
-decisions, same region values, down to the last ulp.  Crash recovery
-(``repro.serve.recovery``) leans on this to prove a recovered gateway
-equivalent to one that never crashed.
+lossless for IEEE doubles), and the snapshot carries each stage's
+*exact accumulator state* (schema v2) alongside the per-task
+contributions, so a restored controller is *bitwise identical* to the
+snapshotted one — same future decisions, same region values, down to
+the last ulp, and independent of the order the records are replayed
+in.  Crash recovery (``repro.serve.recovery``) leans on this to prove
+a recovered gateway equivalent to one that never crashed.  Legacy v1
+documents (rounded per-stage running sums) are still accepted:
+restore adopts the recorded float totals, which the accumulator
+carries forward exactly.
 
 Verification reuses the PR-2 machinery: :func:`verify_restored` runs
 the :class:`~repro.core.audit.ControllerAuditor` internal-consistency
@@ -36,6 +40,8 @@ from ..core.audit import ControllerAuditor, InvariantViolation
 
 __all__ = [
     "SNAPSHOT_FORMAT",
+    "SNAPSHOT_FORMAT_V1",
+    "SUPPORTED_SNAPSHOT_FORMATS",
     "controller_snapshot",
     "restore_controller",
     "verify_restored",
@@ -43,8 +49,16 @@ __all__ = [
     "demand_model_from_wire",
 ]
 
-#: Version tag embedded in (and required of) every snapshot document.
-SNAPSHOT_FORMAT = "repro.serve.controller-snapshot/1"
+#: Version tag embedded in every snapshot document written today:
+#: schema v2 carries the exact per-stage accumulator state.
+SNAPSHOT_FORMAT = "repro.serve.controller-snapshot/2"
+
+#: Legacy schema: rounded per-stage running sums only.  Still accepted
+#: on restore so existing ``--state-dir`` deployments recover cleanly.
+SNAPSHOT_FORMAT_V1 = "repro.serve.controller-snapshot/1"
+
+#: Every format :func:`restore_controller` accepts, newest first.
+SUPPORTED_SNAPSHOT_FORMATS = (SNAPSHOT_FORMAT, SNAPSHOT_FORMAT_V1)
 
 
 def demand_model_to_wire(model: DemandModel) -> Dict[str, Any]:
@@ -138,13 +152,17 @@ def controller_snapshot(
         "capacities": list(controller.stage_capacities()),
         "demand_model": demand_model_to_wire(controller.demand_model),
         "admitted": admitted,
-        # Raw per-stage running sums.  The incremental total is
-        # path-dependent in its last ulp (one rounding per add, in
-        # arrival order); rebuilding it from the admitted records alone
-        # would re-associate the additions and drift by an ulp.
-        # Carrying the raw value makes restore bitwise-exact, which the
-        # crash-recovery equivalence guarantee depends on.
+        # Rounded per-stage running sums: diagnostics, and what a v1
+        # reader would have recorded.  The decision-relevant state is
+        # carried exactly by `accumulators` below.
         "sums": [t.audit_sums()[0] for t in controller.trackers],
+        # Exact per-stage accumulator state (schema v2).  For a healthy
+        # tracker this equals the exact sum of its live contributions —
+        # order-independent by construction — but snapshots whose
+        # lineage passed through a legacy v1 restore may carry a
+        # rounded total; adopting the recorded state verbatim keeps
+        # either lineage bitwise-stable across round trips.
+        "accumulators": [t.exact_state() for t in controller.trackers],
     }
 
 
@@ -153,6 +171,9 @@ def restore_controller(
     demand_model: Optional[DemandModel] = None,
 ) -> PipelineAdmissionController:
     """Rebuild a controller from a :func:`controller_snapshot` document.
+
+    Accepts both schema v2 (exact accumulator state) and legacy v1
+    (rounded running sums); see :data:`SUPPORTED_SNAPSHOT_FORMATS`.
 
     Args:
         state: The snapshot document.
@@ -163,10 +184,11 @@ def restore_controller(
         ValueError: On a missing/unknown format tag or inconsistent
             state vectors.
     """
-    if state.get("format") != SNAPSHOT_FORMAT:
+    fmt = state.get("format")
+    if fmt not in SUPPORTED_SNAPSHOT_FORMATS:
         raise ValueError(
-            f"unsupported snapshot format {state.get('format')!r}; "
-            f"expected {SNAPSHOT_FORMAT!r}"
+            f"unsupported snapshot format {fmt!r}; "
+            f"expected one of {SUPPORTED_SNAPSHOT_FORMATS!r}"
         )
     if demand_model is None:
         demand_model = demand_model_from_wire(state.get("demand_model"))
@@ -190,15 +212,30 @@ def restore_controller(
             live=record["live"],
             departed_stages=record["departed"],
         )
-    sums = state.get("sums")
-    if sums is not None:
-        if len(sums) != controller.num_stages:
+    if fmt == SNAPSHOT_FORMAT:
+        accumulators = state["accumulators"]
+        if len(accumulators) != controller.num_stages:
             raise ValueError(
-                f"snapshot has {len(sums)} stage sums for "
+                f"snapshot has {len(accumulators)} accumulator states for "
                 f"{controller.num_stages} stages"
             )
-        for tracker, raw_sum in zip(controller.trackers, sums):
-            tracker.load_sum(float(raw_sum))
+        for tracker, acc_state in zip(controller.trackers, accumulators):
+            tracker.load_exact(acc_state)
+    else:
+        # Legacy v1: only the rounded running sums were recorded; the
+        # accumulator adopts them exactly, so the restored totals match
+        # the snapshotted ones bit-for-bit (they can differ from the
+        # exact contribution sum by the rounding the old format baked
+        # in — far below the auditor's drift tolerance).
+        sums = state.get("sums")
+        if sums is not None:
+            if len(sums) != controller.num_stages:
+                raise ValueError(
+                    f"snapshot has {len(sums)} stage sums for "
+                    f"{controller.num_stages} stages"
+                )
+            for tracker, raw_sum in zip(controller.trackers, sums):
+                tracker.load_sum(float(raw_sum))
     return controller
 
 

@@ -22,6 +22,7 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Hashable, List, Optional, Sequence, Tuple
 
+from ..core.numeric import ExactSum
 from ..core.task import PipelineTask
 from .engine import Simulator
 from .locks import LockManager
@@ -160,7 +161,10 @@ class Stage:
         self._running: Optional[Job] = None
         self._run_started = 0.0
         self._segment_event = None
-        self._busy_total = 0.0
+        # Busy-time accounting uses the exact accumulator: utilization
+        # statistics over millions of short segments must not drift, and
+        # the total stays independent of segment interleaving order.
+        self._busy_total = ExactSum()
         self._seq = itertools.count()
         self._jobs_completed = 0
         self._idle = True
@@ -191,7 +195,7 @@ class Stage:
     def busy_time(self, now: Optional[float] = None) -> float:
         """Cumulative busy time up to ``now`` (defaults to the sim clock)."""
         t = self.sim.now if now is None else now
-        total = self._busy_total
+        total = self._busy_total.value()
         if self._running is not None:
             total += t - self._run_started
         return total
@@ -368,7 +372,7 @@ class Stage:
         return True
 
     def _stop_running_clock(self) -> None:
-        self._busy_total += self.sim.now - self._run_started
+        self._busy_total.add(self.sim.now - self._run_started)
         self._run_started = self.sim.now
 
     def _segment_end(self, job: Job) -> None:

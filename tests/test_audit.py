@@ -208,14 +208,17 @@ def _inject_sum_drift(c):
 
 
 def _inject_negative_utilization(c):
-    # A double removal drives the contribution — and hence both the
-    # incremental and exact sums — negative *consistently*, so only the
-    # sign check fires, not sum-drift.
+    # A double removal drives the contribution — and hence the cached
+    # sum, the exact accumulator, and the contribution re-summation —
+    # negative *consistently*, so only the sign check fires, not
+    # sum-drift.
     t = admit(c, [0.5, 0.5])
     tracker = c.trackers[1]
     _, token = tracker._contribs[t.task_id]
     tracker._contribs[t.task_id] = (-0.05, token)
-    tracker._sum = -0.05
+    tracker._acc.subtract(0.05)
+    tracker._acc.subtract(0.05)
+    tracker._sum = tracker._acc.value()
     return 0.0, None, None
 
 

@@ -1,0 +1,321 @@
+"""Differential tests for :class:`repro.core.numeric.ExactSum`.
+
+The accumulator's contract is bitwise ``math.fsum`` parity: after any
+sequence of adds and removals, ``value()`` must equal ``fsum`` over the
+multiset of addends still included — for every intermediate state, not
+just the final one.  These tests drive seeded random operation streams
+(including negative zeros, subnormals, and values at the ``2**-1074``
+granularity floor) against that fsum oracle, and pin the same contract
+through :class:`~repro.core.synthetic.StageUtilizationTracker`'s full
+op vocabulary (add / remove / expire / idle-reset / shed).
+"""
+
+import json
+import math
+import random
+
+import pytest
+
+from repro.core.numeric import ExactSum
+from repro.core.synthetic import StageUtilizationTracker
+
+#: Smallest positive subnormal double: the accumulator's unit.
+TINY = math.ldexp(1.0, -1074)
+
+
+def _random_float(rng):
+    """One float from a mix of regimes that stress rounding paths."""
+    kind = rng.randrange(8)
+    if kind == 0:
+        return 0.0
+    if kind == 1:
+        return -0.0
+    if kind == 2:
+        return rng.randrange(1, 50) * TINY * (1 if rng.random() < 0.5 else -1)
+    if kind == 3:  # subnormal-range magnitudes
+        return math.ldexp(rng.random(), -1050) * (1 if rng.random() < 0.5 else -1)
+    if kind == 4:  # large magnitudes: force the >53-bit rounding branch
+        return rng.uniform(-1.0, 1.0) * 2.0 ** rng.randrange(0, 400)
+    if kind == 5:  # utilization-scale values, the production regime
+        return rng.uniform(0.0, 0.2)
+    if kind == 6:  # exact dyadics: sums hit ties often
+        return math.ldexp(rng.randrange(-8, 9), rng.randrange(-60, 4))
+    return rng.uniform(-1e6, 1e6)
+
+
+def _assert_bitwise(got, want):
+    """Bitwise float equality (repr distinguishes -0.0 from +0.0)."""
+    # repro: noqa[FLT001] — bitwise parity is the property under test
+    assert repr(got) == repr(want), f"{got!r} != fsum {want!r}"
+
+
+class TestUnit:
+    def test_empty_sum_is_positive_zero(self):
+        _assert_bitwise(ExactSum().value(), 0.0)
+
+    def test_negative_zero_addends_yield_positive_zero(self):
+        # fsum never returns -0.0; neither does the accumulator.
+        acc = ExactSum()
+        acc.add(-0.0)
+        acc.add(-0.0)
+        _assert_bitwise(acc.value(), math.fsum([-0.0, -0.0]))
+        assert acc.is_zero()
+
+    def test_exact_cancellation_returns_to_zero(self):
+        acc = ExactSum()
+        values = [0.1, 0.2, 0.3, 1e300, TINY, -0.7]
+        acc.add_all(values)
+        for v in values:
+            acc.subtract(v)
+        assert acc.is_zero()
+        _assert_bitwise(acc.value(), 0.0)
+
+    def test_subtract_is_exact_inverse_of_add(self):
+        rng = random.Random(7)
+        acc = ExactSum()
+        baseline = [_random_float(rng) for _ in range(50)]
+        acc.add_all(baseline)
+        before = acc.value()
+        for _ in range(200):
+            x = _random_float(rng)
+            acc.add(x)
+            acc.subtract(x)
+            _assert_bitwise(acc.value(), before)
+
+    def test_order_independence(self):
+        rng = random.Random(11)
+        values = [_random_float(rng) for _ in range(80)]
+        reference = ExactSum()
+        reference.add_all(values)
+        for seed in range(5):
+            shuffled = list(values)
+            random.Random(seed).shuffle(shuffled)
+            acc = ExactSum()
+            acc.add_all(shuffled)
+            assert acc == reference
+            _assert_bitwise(acc.value(), reference.value())
+
+    @pytest.mark.parametrize(
+        "values",
+        [
+            # Exact halfway cases: rounding must go to the even significand.
+            [1.0, math.ldexp(1.0, -53)],           # tie, round down (even)
+            [1.0 + math.ldexp(1.0, -52), math.ldexp(1.0, -53)],  # tie, up
+            [math.ldexp(1.0, 60), 0.5, 0.5],       # tie built from halves
+            [1e16, 1.0],                            # above/below halfway
+            [1e16, 3.0],
+            [TINY] * 3,                             # subnormal exactness
+            [math.ldexp(1.0, -1074), math.ldexp(1.0, -1073)],
+        ],
+    )
+    def test_rounding_matches_fsum(self, values):
+        acc = ExactSum()
+        acc.add_all(values)
+        _assert_bitwise(acc.value(), math.fsum(values))
+
+    def test_rejects_non_finite(self):
+        acc = ExactSum()
+        for bad in (math.inf, -math.inf, math.nan):
+            with pytest.raises((OverflowError, ValueError)):
+                acc.add(bad)
+            with pytest.raises((OverflowError, ValueError)):
+                acc.subtract(bad)
+            with pytest.raises(ValueError):
+                acc.load_float(bad)
+
+    def test_load_float_adopts_value_exactly(self):
+        acc = ExactSum()
+        acc.load_float(0.30000000000000004)
+        _assert_bitwise(acc.value(), 0.30000000000000004)
+        acc.subtract(0.30000000000000004)
+        assert acc.is_zero()
+
+    def test_copy_is_independent(self):
+        acc = ExactSum()
+        acc.add(0.25)
+        dup = acc.copy()
+        dup.add(0.5)
+        _assert_bitwise(acc.value(), 0.25)
+        _assert_bitwise(dup.value(), 0.75)
+
+    def test_state_round_trip_is_json_safe_and_exact(self):
+        rng = random.Random(3)
+        acc = ExactSum()
+        acc.add_all(_random_float(rng) for _ in range(60))
+        wire = json.loads(json.dumps(acc.state()))
+        again = ExactSum.from_state(wire)
+        assert again == acc
+        _assert_bitwise(again.value(), acc.value())
+
+    @pytest.mark.parametrize(
+        "state", [{}, {"fixed": "zz"}, {"fixed": None}, {"other": "0x0"}]
+    )
+    def test_malformed_state_raises(self, state):
+        with pytest.raises(ValueError, match="malformed ExactSum state"):
+            ExactSum.from_state(state)
+
+    def test_equality_and_hash_follow_exact_state(self):
+        a, b = ExactSum(), ExactSum()
+        a.add(0.1)
+        a.add(0.2)
+        b.add(0.2)
+        b.add(0.1)
+        assert a == b and hash(a) == hash(b)
+        b.add(TINY)  # below float resolution of the sum, still unequal
+        _assert_bitwise(a.value(), b.value())
+        assert a != b
+
+
+class TestDifferentialVsFsum:
+    """Seeded random add/remove streams against an fsum oracle.
+
+    Every intermediate total — not just the final one — must be the
+    bitwise fsum of the surviving multiset.
+    """
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_stream_matches_fsum_at_every_step(self, seed):
+        rng = random.Random(seed)
+        acc = ExactSum()
+        live = []  # oracle multiset
+        for step in range(400):
+            if live and rng.random() < 0.45:
+                x = live.pop(rng.randrange(len(live)))
+                acc.subtract(x)
+            else:
+                x = _random_float(rng)
+                live.append(x)
+                acc.add(x)
+            _assert_bitwise(acc.value(), math.fsum(live))
+        for x in live:  # drain back to exact zero
+            acc.subtract(x)
+        assert acc.is_zero()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_granularity_floor_streams(self, seed):
+        """Pure 2**-1074-granularity traffic: every bit matters."""
+        rng = random.Random(100 + seed)
+        acc = ExactSum()
+        live = []
+        for _ in range(300):
+            if live and rng.random() < 0.4:
+                x = live.pop(rng.randrange(len(live)))
+                acc.subtract(x)
+            else:
+                x = rng.randrange(-6, 7) * TINY
+                live.append(x)
+                acc.add(x)
+            _assert_bitwise(acc.value(), math.fsum(live))
+
+    def test_catastrophic_cancellation(self):
+        acc = ExactSum()
+        values = [1e308, 1.0, -1e308, TINY]
+        acc.add_all(values)
+        _assert_bitwise(acc.value(), math.fsum(values))
+        acc.subtract(TINY)
+        acc.subtract(1.0)
+        _assert_bitwise(acc.value(), 0.0)
+
+
+class TestTrackerDifferential:
+    """The tracker's cached total stays the bitwise fsum of its multiset
+    through its full op vocabulary, for arbitrary seeded histories."""
+
+    @staticmethod
+    def _contribution(rng):
+        kind = rng.randrange(6)
+        if kind == 0:
+            return 0.0
+        if kind == 1:
+            return rng.randrange(0, 40) * TINY
+        if kind == 2:
+            return math.ldexp(rng.random(), -1060)
+        return rng.uniform(0.0, 0.15)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_op_stream_matches_fsum_oracle(self, seed):
+        rng = random.Random(seed)
+        tracker = StageUtilizationTracker()
+        oracle = {}  # task_id -> (contribution, expiry)
+        departed = set()
+        clock = 0.0
+        next_id = 0
+        for _ in range(300):
+            op = rng.choice(
+                ["add", "add", "add", "remove", "expire", "depart", "reset"]
+            )
+            if op == "add":
+                contribution = self._contribution(rng)
+                expiry = clock + rng.uniform(0.01, 3.0)
+                tracker.add(next_id, contribution, expiry)
+                oracle[next_id] = (contribution, expiry)
+                next_id += 1
+            elif op == "remove" and oracle:  # shedding path
+                victim = rng.choice(sorted(oracle))
+                got = tracker.remove(victim)
+                want, _ = oracle.pop(victim)
+                departed.discard(victim)
+                _assert_bitwise(got, want)
+            elif op == "expire":
+                clock += rng.uniform(0.0, 0.5)
+                tracker.expire_until(clock)
+                for k in [k for k, (_, e) in oracle.items() if e <= clock]:
+                    del oracle[k]
+                    departed.discard(k)
+            elif op == "depart" and oracle:
+                chosen = rng.choice(sorted(oracle))
+                tracker.mark_departed(chosen)
+                departed.add(chosen)
+            elif op == "reset":
+                tracker.reset_on_idle()
+                for k in departed:
+                    oracle.pop(k, None)
+                departed.clear()
+            want_sum = math.fsum(c for c, _ in oracle.values())
+            cached, exact = tracker.audit_sums()
+            _assert_bitwise(cached, want_sum)
+            _assert_bitwise(exact, want_sum)
+            _assert_bitwise(tracker.fsum_contributions(), want_sum)
+            assert len(tracker) == len(oracle)
+
+    def test_pending_idle_release_matches_reset_release(self):
+        """Regression (ISSUE 5 satellite): ``pending_idle_release`` must
+        predict exactly what ``reset_on_idle`` then releases, without a
+        membership re-check — departed entries are live by construction.
+        """
+        for seed in range(6):
+            rng = random.Random(50 + seed)
+            tracker = StageUtilizationTracker()
+            for task_id in range(40):
+                tracker.add(task_id, self._contribution(rng), 100.0)
+                if rng.random() < 0.5:
+                    tracker.mark_departed(task_id)
+            # Exercise the interleavings that historically forced the
+            # re-check: departed tasks that were since shed or expired
+            # must already have left the departed set.
+            for task_id in range(0, 40, 7):
+                tracker.remove(task_id)
+            tracker.expire_until(0.0)
+            predicted = tracker.pending_idle_release()
+            released = tracker.reset_on_idle()
+            _assert_bitwise(released, predicted)
+            assert tracker.pending_idle_release() == 0.0
+            assert tracker.departed_ids() == frozenset()
+
+    def test_value_is_exact_after_heavy_churn(self):
+        rng = random.Random(2)
+        tracker = StageUtilizationTracker(reserved=0.05)
+        oracle = {}
+        for round_no in range(30):
+            for _ in range(20):
+                task_id = (round_no, rng.randrange(10 ** 6))
+                contribution = self._contribution(rng)
+                tracker.add(task_id, contribution, float(round_no) + 1.5)
+                oracle[task_id] = contribution
+            tracker.expire_until(float(round_no))
+            oracle = {
+                k: c for k, c in oracle.items() if k[0] + 1.5 > round_no
+            }
+        want = math.fsum(oracle.values())
+        _assert_bitwise(tracker.dynamic_value, max(want, 0.0))
+        _assert_bitwise(tracker.value, 0.05 + max(want, 0.0))

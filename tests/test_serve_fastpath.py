@@ -1,0 +1,257 @@
+"""The serve-layer hot path: fast encoding, O(1) dedup, write coalescing.
+
+Each optimization is pinned against the behavior it replaced:
+``admit_response`` must be *byte-identical* to the generic
+``ok_response`` encoder for every admissible input, the dedup window's
+replay must return the cached line verbatim (same object) on the
+dominant same-id retry, and the server's coalesced delivery must
+preserve per-connection response order while issuing exactly one
+write+drain per connection.
+"""
+
+import asyncio
+import json
+import math
+import socket
+
+import pytest
+
+from repro.core.task import make_task
+from repro.serve.gateway import AdmissionGateway, GatewayServer, _UNKNOWN_ID
+from repro.serve.loadgen import _TcpGatewayThread
+from repro.serve.protocol import admit_response, ok_response, task_to_wire
+
+NUM_STAGES = 2
+BATCHED = {"num_stages": NUM_STAGES, "max_batch": 3}
+
+IDS = [
+    None,
+    0,
+    7,
+    -42,
+    10**19,  # larger than any fixed-width integer fast path
+    True,
+    False,
+    "r-1",
+    "",
+    'quote"backslash\\and\ttab',
+    "unicode: åβ中 ",
+]
+
+
+class TestAdmitResponseEncoder:
+    @pytest.mark.parametrize("request_id", IDS)
+    @pytest.mark.parametrize("admitted", [True, False])
+    def test_byte_identical_to_generic_encoder(self, request_id, admitted):
+        request = {"id": request_id, "op": "admit", "rid": "r"}
+        for region_value in (0.0, -0.0, 0.7321, 1e-300, math.inf):
+            for shed in ([], [3], [1, 2, 9]):
+                fast = admit_response(
+                    request,
+                    admitted=admitted,
+                    region_value=region_value,
+                    shed=shed,
+                )
+                slow = ok_response(
+                    request,
+                    admitted=admitted,
+                    region_value=region_value,
+                    shed=list(shed),
+                )
+                assert fast == slow
+
+    def test_shed_accepts_any_iterable(self):
+        request = {"id": 1, "op": "admit"}
+        assert admit_response(
+            request, admitted=True, region_value=0.5, shed=(4, 5)
+        ) == ok_response(request, admitted=True, region_value=0.5, shed=[4, 5])
+
+    def test_output_parses_back_canonically(self):
+        request = {"id": 'q"\\', "op": "admit"}
+        line = admit_response(request, admitted=False, region_value=math.inf)
+        doc = json.loads(line)
+        assert doc == {
+            "id": 'q"\\',
+            "op": "admit",
+            "ok": True,
+            "admitted": False,
+            "region_value": None,
+            "shed": [],
+        }
+        # Canonical form: sorted keys, compact separators.
+        assert line == json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+    @pytest.mark.parametrize(
+        "request_, region_value",
+        [
+            ({"id": 1, "op": "expire"}, 0.5),  # wrong op
+            ({"id": 1, "op": "admit"}, 1),  # non-float region value
+            ({"id": 1.5, "op": "admit"}, 0.5),  # unprovable id type
+        ],
+    )
+    def test_falls_back_to_generic_encoder(self, request_, region_value):
+        fast = admit_response(request_, admitted=True, region_value=region_value)
+        slow = ok_response(
+            request_, admitted=True, region_value=region_value, shed=[]
+        )
+        assert fast == slow
+
+
+class TestDedupReplay:
+    def _decide(self, gateway, request_id, rid):
+        doc = {
+            "id": request_id, "rid": rid, "op": "admit", "pipeline": "web",
+            "task": task_to_wire(
+                make_task(0.0, 1.0, [0.01] * NUM_STAGES, task_id=0)
+            ),
+        }
+        (_, line), = gateway.handle_line(json.dumps(doc))
+        return doc, line
+
+    def _gateway(self):
+        gateway = AdmissionGateway()
+        gateway.handle_line(json.dumps({
+            "id": 0, "op": "register", "pipeline": "web",
+            "policy": {"num_stages": NUM_STAGES},
+        }))
+        return gateway
+
+    def test_same_id_retry_returns_cached_line_verbatim(self):
+        gateway = self._gateway()
+        doc, first = self._decide(gateway, request_id=7, rid="r7")
+        (_, again), = gateway.handle_line(json.dumps(doc))
+        assert again is first  # no parse, no re-encode
+        assert gateway.dedup_hits == 1
+
+    def test_different_id_retry_rewrites_only_the_id_echo(self):
+        gateway = self._gateway()
+        doc, first = self._decide(gateway, request_id=7, rid="r7")
+        doc["id"] = "retry-2"
+        (_, again), = gateway.handle_line(json.dumps(doc))
+        want = dict(json.loads(first))
+        want["id"] = "retry-2"
+        assert json.loads(again) == want
+        # The lazily parsed document is cached: a third retry with yet
+        # another id must not change the decision payload.
+        doc["id"] = 99
+        (_, third), = gateway.handle_line(json.dumps(doc))
+        assert json.loads(third) == dict(want, id=99)
+
+    def test_bool_and_int_ids_are_not_conflated(self):
+        # 1 == True in Python but they encode differently on the wire;
+        # the verbatim fast path must not serve one for the other.
+        gateway = self._gateway()
+        doc, first = self._decide(gateway, request_id=True, rid="rb")
+        assert '"id":true' in first.replace(" ", "")
+        doc["id"] = 1
+        (_, again), = gateway.handle_line(json.dumps(doc))
+        assert json.loads(again)["id"] == 1
+        assert not isinstance(json.loads(again)["id"], bool)
+
+    def test_restored_entries_resolve_their_id_lazily(self):
+        gateway = self._gateway()
+        doc, first = self._decide(gateway, request_id=7, rid="r7")
+        restored = AdmissionGateway()
+        restored.load_dedup_state(gateway.dedup_state())
+        entry = restored._rid_decided["r7"]
+        assert entry[1] is _UNKNOWN_ID
+        # Same-id retry against a restored window: one parse resolves
+        # the original id, and the cached line is served verbatim.
+        (_, again), = restored.handle_line(json.dumps(doc))
+        assert again is first or again == first
+        assert entry[1] == 7
+        # Now the fast path is armed for subsequent retries.
+        (_, third), = restored.handle_line(json.dumps(doc))
+        assert third is entry[0]
+
+    def test_restored_entry_with_different_retry_id(self):
+        gateway = self._gateway()
+        doc, first = self._decide(gateway, request_id=7, rid="r7")
+        restored = AdmissionGateway()
+        restored.load_dedup_state(gateway.dedup_state())
+        doc["id"] = 8
+        (_, again), = restored.handle_line(json.dumps(doc))
+        assert json.loads(again) == dict(json.loads(first), id=8)
+
+    def test_dedup_state_wire_format_is_unchanged(self):
+        gateway = self._gateway()
+        self._decide(gateway, request_id=7, rid="r7")
+        state = gateway.dedup_state()
+        assert list(state) == ["decided", "pending"]
+        (rid, line), = state["decided"]
+        assert rid == "r7" and isinstance(line, str)
+
+
+class _RecordingWriter:
+    """A StreamWriter stand-in that records write/drain traffic."""
+
+    def __init__(self):
+        self.chunks = []
+        self.drains = 0
+        self.closing = False
+
+    def write(self, data):
+        self.chunks.append(data)
+
+    async def drain(self):
+        self.drains += 1
+
+    def is_closing(self):
+        return self.closing
+
+
+class TestCoalescedDelivery:
+    def _deliver(self, routed, writers):
+        server = GatewayServer()
+        server._writers = dict(writers)
+        asyncio.run(server._deliver(routed))
+
+    def test_one_write_and_drain_per_connection(self):
+        a, b = _RecordingWriter(), _RecordingWriter()
+        routed = [
+            (0, '{"id":1}'), (1, '{"id":2}'), (0, '{"id":3}'),
+            (0, '{"id":4}'), (1, '{"id":5}'),
+        ]
+        self._deliver(routed, {0: a, 1: b})
+        assert a.chunks == [b'{"id":1}\n{"id":3}\n{"id":4}\n']
+        assert b.chunks == [b'{"id":2}\n{"id":5}\n']
+        assert a.drains == 1 and b.drains == 1
+
+    def test_closed_or_missing_connections_are_skipped(self):
+        live, dead = _RecordingWriter(), _RecordingWriter()
+        dead.closing = True
+        routed = [(0, "x"), (1, "y"), (2, "z")]
+        self._deliver(routed, {0: live, 1: dead})
+        assert live.chunks == [b"x\n"]
+        assert dead.chunks == []
+
+    def test_empty_batch_is_a_noop(self):
+        writer = _RecordingWriter()
+        self._deliver([], {0: writer})
+        assert writer.chunks == [] and writer.drains == 0
+
+    def test_batched_admissions_arrive_in_order_over_tcp(self):
+        """A batch flush (3 responses released at once) reaches the
+        socket as parseable, correctly ordered NDJSON."""
+        with _TcpGatewayThread() as server:
+            host, port = server.address
+            with socket.create_connection((host, port), timeout=30) as sock:
+                stream = sock.makefile("rwb")
+
+                def call(doc):
+                    stream.write((json.dumps(doc) + "\n").encode())
+                    stream.flush()
+
+                call({"id": 0, "op": "register", "pipeline": "web",
+                      "policy": BATCHED})
+                assert json.loads(stream.readline())["ok"] is True
+                for k in range(1, 4):  # third admit fills the batch
+                    call({
+                        "id": k, "op": "admit", "pipeline": "web",
+                        "task": task_to_wire(make_task(
+                            0.1 * k, 1.0, [0.01] * NUM_STAGES, task_id=k
+                        )),
+                    })
+                responses = [json.loads(stream.readline()) for _ in range(3)]
+                assert [r["id"] for r in responses] == [1, 2, 3]
+                assert all(r["admitted"] for r in responses)

@@ -184,8 +184,10 @@ class TestRecover:
         durable.close()
         snapshot_path = tmp_path / SNAPSHOT_FILE
         doc = json.loads(snapshot_path.read_text())
-        # Corrupt a tracker's running sum far past the audit tolerance.
-        doc["pipelines"][0]["controller"]["sums"][0] += 0.5
+        # Corrupt a tracker's exact accumulator far past the audit
+        # tolerance (+0.5 in units of 2**-1074).
+        acc = doc["pipelines"][0]["controller"]["accumulators"][0]
+        acc["fixed"] = hex(int(acc["fixed"], 16) + (1 << 1073))
         snapshot_path.write_text(json.dumps(doc))
         with pytest.raises(RecoveryError, match="failed audit"):
             recover(tmp_path)

@@ -20,6 +20,8 @@ from repro.core.task import make_task
 from repro.core.numeric import approx_le
 from repro.serve.snapshot import (
     SNAPSHOT_FORMAT,
+    SNAPSHOT_FORMAT_V1,
+    SUPPORTED_SNAPSHOT_FORMATS,
     controller_snapshot,
     demand_model_from_wire,
     demand_model_to_wire,
@@ -201,4 +203,62 @@ class TestValidation:
             demand_model_from_wire({"kind": "quadratic"})
 
     def test_format_constant_is_versioned(self):
-        assert SNAPSHOT_FORMAT.endswith("/1")
+        assert SNAPSHOT_FORMAT.endswith("/2")
+        assert SNAPSHOT_FORMAT_V1.endswith("/1")
+        assert SUPPORTED_SNAPSHOT_FORMATS == (SNAPSHOT_FORMAT, SNAPSHOT_FORMAT_V1)
+
+
+def _as_v1_document(doc):
+    """Down-convert a v2 snapshot to what a v1 writer would have produced."""
+    legacy = {k: v for k, v in doc.items() if k != "accumulators"}
+    legacy["format"] = SNAPSHOT_FORMAT_V1
+    return legacy
+
+
+class TestV1Compat:
+    """Old raw-sum snapshots (existing --state-dir deployments) restore cleanly."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_v1_restore_audits_clean(self, seed):
+        controller, now = _busy_controller(seed)
+        legacy = _as_v1_document(controller_snapshot(controller))
+        restored = restore_controller(legacy)
+        assert verify_restored(restored, now) == []
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_v1_restore_preserves_sums_bitwise(self, seed):
+        controller, _ = _busy_controller(seed)
+        doc = controller_snapshot(controller)
+        restored = restore_controller(_as_v1_document(doc))
+        assert [t.audit_sums()[0] for t in restored.trackers] == doc["sums"]
+        assert restored.utilizations() == controller.utilizations()
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_v1_restore_decides_the_same_tail(self, seed):
+        controller, now = _busy_controller(seed)
+        restored = restore_controller(
+            _as_v1_document(controller_snapshot(controller))
+        )
+        original_tail = _decide_tail(controller, now)
+        restored_tail = _decide_tail(restored, now)
+        assert [(a, s) for a, s, _ in original_tail] == [
+            (a, s) for a, s, _ in restored_tail
+        ]
+        for (_, _, rv_a), (_, _, rv_b) in zip(original_tail, restored_tail):
+            assert approx_le(rv_a, rv_b) and approx_le(rv_b, rv_a)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_v1_lineage_upgrades_to_byte_stable_v2(self, seed):
+        """v1 restore → v2 snapshot → restore → v2 snapshot is a fixpoint.
+
+        The first v2 document after an upgrade adopts the legacy rounded
+        totals; every round trip from there on must be byte-identical.
+        """
+        controller, _ = _busy_controller(seed)
+        legacy = _as_v1_document(controller_snapshot(controller))
+        upgraded = controller_snapshot(restore_controller(legacy))
+        assert upgraded["format"] == SNAPSHOT_FORMAT
+        again = controller_snapshot(restore_controller(upgraded))
+        assert json.dumps(upgraded, sort_keys=True) == json.dumps(
+            again, sort_keys=True
+        )
