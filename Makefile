@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint typecheck check chaos serve-smoke bench bench-smoke
+.PHONY: test lint lint-sarif typecheck check chaos serve-smoke bench bench-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -24,33 +24,47 @@ serve-smoke:
 	$(PYTHON) -m repro.serve.loadgen --chaos-crash --cycles 24 --seed 0 --selftest
 
 # Consolidated benchmark run: paper-artifact and serving benchmarks in
-# BENCH_serve.json, the core hot-path suite (exact-accumulator churn,
-# admit_many, gateway encode/flush) in BENCH_core.json.
+# BENCH_serve.json, the core hot-path + analyzer suite
+# (exact-accumulator churn, admit_many, gateway encode/flush,
+# whole-program lint pass) in BENCH_core.json.
 bench:
 	$(PYTHON) -m pytest benchmarks -q -o addopts="" --benchmark-only \
 		--ignore=benchmarks/bench_core_hotpath.py \
+		--ignore=benchmarks/bench_lint.py \
 		--benchmark-json=BENCH_serve.json
-	$(PYTHON) -m pytest benchmarks/bench_core_hotpath.py -q -o addopts="" \
+	$(PYTHON) -m pytest benchmarks/bench_core_hotpath.py benchmarks/bench_lint.py \
+		-q -o addopts="" \
 		--benchmark-only --benchmark-json=BENCH_core.json
 	@echo "wrote BENCH_serve.json and BENCH_core.json"
 
-# CI regression gate: the hot-path suite at reduced iterations
-# (REPRO_BENCH_SMOKE=1), failing when any benchmark runs more than 2x
-# slower than the committed baseline benchmarks/BASELINE_core.json.
+# CI regression gate: the hot-path + analyzer suites at reduced
+# iterations (REPRO_BENCH_SMOKE=1), failing when any benchmark runs
+# more than 2x slower than the committed baseline
+# benchmarks/BASELINE_core.json.
 bench-smoke:
 	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_core_hotpath.py \
+		benchmarks/bench_lint.py \
 		-q -o addopts="" --benchmark-only \
 		--benchmark-json=BENCH_core_smoke.json
 	$(PYTHON) benchmarks/check_bench_regression.py BENCH_core_smoke.json \
 		benchmarks/BASELINE_core.json
 
+# Whole-program pass (per-file rules + call-graph/taint rules + the
+# unused-suppression audit), ratcheted against the committed baseline:
+# only findings NOT recorded in lint-baseline.json fail.
 lint:
-	$(PYTHON) -m repro.lint src examples benchmarks
+	$(PYTHON) -m repro.lint src examples benchmarks --baseline lint-baseline.json
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests examples benchmarks; \
 	else \
 		echo "ruff not installed; skipping (config in pyproject.toml)"; \
 	fi
+
+# Machine-readable report for code-scanning UIs.
+lint-sarif:
+	$(PYTHON) -m repro.lint src examples benchmarks --sarif --out lint.sarif \
+		--baseline lint-baseline.json
+	@echo "wrote lint.sarif"
 
 typecheck:
 	@if command -v mypy >/dev/null 2>&1; then \

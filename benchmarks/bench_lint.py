@@ -1,0 +1,58 @@
+"""Analyzer benchmark: the whole-program pass over the repository.
+
+The analyzer runs on every `make check` / CI job, so its own cost is a
+developer-facing hot path.  One benchmark times the full pipeline —
+file discovery, parsing, per-file rules, call-graph construction,
+protocol fan-out, taint, and the suppression audit — over ``src/``;
+a second isolates graph construction (the piece that grows
+quadratically if symbol resolution regresses to repeated scans).
+
+Folded into ``BENCH_core.json`` by ``make bench`` and gated at 2x
+against ``benchmarks/BASELINE_core.json`` by ``make bench-smoke``.
+"""
+
+import os
+from pathlib import Path
+
+from repro.lint import analyze_paths
+from repro.lint.context import FileContext
+from repro.lint.graph import ProjectContext
+from repro.lint.runner import iter_python_files
+
+from conftest import run_once
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = str(REPO_ROOT / "src")
+
+#: Smoke mode shares the switch used by the hot-path suite; the
+#: analyzer's workload (the repo itself) cannot shrink, so both modes
+#: run one pass and smoke relies on the 2x gate's headroom.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+#: Full-pass repetitions outside smoke mode.
+PASSES = 1 if SMOKE else 3
+
+
+def test_analyzer_full_pass(benchmark):
+    def run():
+        total = 0
+        for _ in range(PASSES):
+            total += len(analyze_paths([SRC]))
+        return total
+
+    findings = run_once(benchmark, run)
+    assert findings == 0  # the tree gates clean (tests/test_lint_clean.py)
+
+
+def test_project_graph_build(benchmark):
+    files = [
+        (path, FileContext(str(path), path.read_text(encoding="utf-8")))
+        for path in iter_python_files([SRC])
+    ]
+
+    def build():
+        project = ProjectContext(files)
+        return len(project.functions)
+
+    functions = run_once(benchmark, build)
+    assert functions > 100  # the graph actually saw the repository

@@ -478,7 +478,7 @@ class PipelineAdmissionController:
             # Raw comparison on purpose: expiry uses raw `expiry <= now`
             # (StageUtilizationTracker.expire_until), so the divergence
             # this precondition excludes begins exactly at equality.
-            if now >= task.absolute_deadline:  # repro: noqa[FLT002]
+            if now >= task.absolute_deadline:  # repro: noqa[FLT002] — must mirror the raw `expiry <= now` expiry comparison exactly
                 raise ValueError(
                     f"task {task.task_id!r} decided at {now}, at or after its "
                     f"absolute deadline {task.absolute_deadline}; sequential "

@@ -114,7 +114,7 @@ def urgency_inversion_alpha(
                 # Identity question ("is this task the class max?"), not a
                 # numeric-tolerance one: both values come verbatim from
                 # the same deadlines list.
-                if d_lo == class_max:  # repro: noqa[FLT001]
+                if d_lo == class_max:  # repro: noqa[FLT001] — identity test on values copied verbatim from one list
                     second = max(
                         (deadlines[order[m]] for m in range(i, j) if m != k),
                         default=-math.inf,

@@ -1,7 +1,9 @@
 """Domain-aware static analysis for the feasible-region reproduction.
 
-An AST-based lint pass with a pluggable rule registry and two rule
-families:
+An AST-based analyzer with a pluggable rule registry and two rule
+kinds: per-file rules and whole-program rules over a project-wide
+symbol table and call graph (:mod:`repro.lint.graph`) with a
+lightweight intraprocedural taint pass (:mod:`repro.lint.taint`).
 
 **Code rules** enforce the determinism and numeric-safety conventions
 the simulator and admission logic rely on (``RNG001`` seeded RNGs,
@@ -14,33 +16,71 @@ literals against the paper's preconditions (``MDL001`` ``C_ij <= D_i``,
 ``MDL002`` acyclic task graphs, ``MDL003`` ``alpha in (0, 1]``,
 ``MDL004`` ``sum beta_j < 1``).
 
-Run as ``python -m repro.lint [paths] [--format=json|text]``; suppress
-individual findings with a ``# repro: noqa[RULE]`` comment on the
-offending line.  Exit code is 1 when findings are reported.
+**Whole-program rules** see across files: ``ASY001`` blocking calls
+reachable from ``async def`` through sync call chains with no executor
+hop, ``ASY002`` shared state mutated on both sides of an ``await``,
+``DET101``/``DET102`` nondeterministic values / set iteration order
+flowing into canonical serialization, and ``EXS001`` raw float
+accumulation that should route through ``ExactSum``.
+
+Run as ``python -m repro.lint [paths] [--format=text|json|sarif]``;
+suppress individual findings with a ``# repro: noqa[RULE]`` comment on
+the offending line (stale suppressions are flagged as ``SUP001``).
+``--baseline`` ratchets CI on new findings only.  Exit code is 1 when
+findings are reported.
 """
 
+from .baseline import apply_baseline, fingerprint, load_baseline, write_baseline
 from .context import FileContext
 from .findings import Finding
-from .registry import Rule, all_rules, get_rule, register, rule_ids
+from .graph import ProjectContext, module_name_for
+from .registry import (
+    ProjectRule,
+    Rule,
+    all_project_rules,
+    all_rules,
+    get_rule,
+    known_rule_ids,
+    register,
+    register_project,
+    rule_ids,
+)
 from .runner import (
+    SUPPRESSION_RULE_ID,
     SYNTAX_RULE_ID,
+    analyze_paths,
     iter_python_files,
     lint_file,
     lint_paths,
     lint_source,
 )
+from .sarif import render_sarif, to_sarif
 
 __all__ = [
     "FileContext",
     "Finding",
+    "ProjectContext",
+    "ProjectRule",
     "Rule",
     "register",
+    "register_project",
     "all_rules",
+    "all_project_rules",
     "get_rule",
     "rule_ids",
+    "known_rule_ids",
+    "module_name_for",
     "SYNTAX_RULE_ID",
+    "SUPPRESSION_RULE_ID",
+    "analyze_paths",
     "iter_python_files",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "apply_baseline",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+    "render_sarif",
+    "to_sarif",
 ]

@@ -1,0 +1,138 @@
+"""Finding baseline: ratchet CI on *new* findings only.
+
+A baseline file records fingerprints of findings the project has
+accepted (or not yet paid down).  CI runs the analyzer with
+``--baseline lint-baseline.json``: findings matching a baselined
+fingerprint are filtered, anything else fails the build.  The ratchet
+is one-way — ``--write-baseline`` regenerates the file from the
+current findings, so paying down a finding *expires* its entry and it
+can never silently return.
+
+Fingerprints are ``path|rule|message`` (no line number), so moving
+code around a file does not churn the baseline; per-fingerprint
+*counts* keep multiple identical findings in one file honest.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple, Union
+
+from .findings import Finding
+
+__all__ = [
+    "BASELINE_VERSION",
+    "BaselineResult",
+    "fingerprint",
+    "load_baseline",
+    "apply_baseline",
+    "write_baseline",
+]
+
+#: Schema version of the baseline JSON payload.
+BASELINE_VERSION = 1
+
+
+def fingerprint(finding: Finding) -> str:
+    """Stable identity of a finding: ``path|rule|message``.
+
+    Line numbers are deliberately excluded so unrelated edits above a
+    finding do not expire its baseline entry.
+    """
+    return f"{finding.path}|{finding.rule}|{finding.message}"
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of filtering findings through a baseline.
+
+    Attributes:
+        new: Findings not covered by the baseline — these fail CI.
+        suppressed: Findings absorbed by a baseline entry.
+        expired: ``fingerprint -> count`` of baseline capacity that no
+            current finding used; the entries are stale and
+            ``--write-baseline`` would drop them.
+    """
+
+    new: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    expired: Dict[str, int] = field(default_factory=dict)
+
+
+def load_baseline(path: Union[str, Path]) -> Dict[str, int]:
+    """Load ``fingerprint -> count`` from a baseline file.
+
+    Raises:
+        ValueError: On a malformed payload or unknown schema version.
+    """
+    raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(raw, dict) or raw.get("version") != BASELINE_VERSION:
+        raise ValueError(f"unsupported baseline file: {path}")
+    entries = raw.get("entries")
+    if not isinstance(entries, dict):
+        raise ValueError(f"baseline file has no entries mapping: {path}")
+    out: Dict[str, int] = {}
+    for key, count in entries.items():
+        if not isinstance(key, str) or not isinstance(count, int) or count < 1:
+            raise ValueError(f"malformed baseline entry {key!r}: {count!r}")
+        out[key] = count
+    return out
+
+
+def apply_baseline(
+    findings: Iterable[Finding], baseline: Dict[str, int]
+) -> BaselineResult:
+    """Split findings into new vs. baselined; report expired capacity.
+
+    The first ``count`` findings matching a fingerprint are suppressed;
+    any surplus (a regression adding one *more* of the same defect) is
+    new and fails.
+    """
+    remaining = dict(baseline)
+    result = BaselineResult()
+    for finding in findings:
+        key = fingerprint(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            result.suppressed.append(finding)
+        else:
+            result.new.append(finding)
+    result.expired = {key: count for key, count in sorted(remaining.items()) if count > 0}
+    return result
+
+
+def write_baseline(path: Union[str, Path], findings: Iterable[Finding]) -> Dict[str, int]:
+    """Write a baseline file covering exactly ``findings``.
+
+    Returns the entry mapping that was written.  The payload is
+    byte-deterministic (sorted keys, fixed indentation) so the file
+    diffs cleanly in review.
+    """
+    entries: Dict[str, int] = {}
+    for finding in sorted(findings):
+        key = fingerprint(finding)
+        entries[key] = entries.get(key, 0) + 1
+    payload = {
+        "version": BASELINE_VERSION,
+        "note": (
+            "Accepted lint findings; regenerate with "
+            "`python -m repro.lint --write-baseline --baseline <this file>`. "
+            "New findings not listed here fail CI."
+        ),
+        "entries": dict(sorted(entries.items())),
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+    )
+    return entries
+
+
+def split_expired(expired: Dict[str, int]) -> List[Tuple[str, str, str, int]]:
+    """Decompose expired fingerprints into ``(path, rule, message, count)``."""
+    out = []
+    for key, count in sorted(expired.items()):
+        path, rule, message = key.split("|", 2)
+        out.append((path, rule, message, count))
+    return out

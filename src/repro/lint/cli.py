@@ -1,6 +1,13 @@
 """Command-line interface: ``python -m repro.lint [paths]``.
 
 Exit codes: 0 clean, 1 findings reported, 2 usage or I/O error.
+
+The default run is the *whole-program* pass: per-file rules plus the
+call-graph / taint rules over one project context, plus the
+unused-suppression audit.  ``--no-project`` restores the PR-1 per-file
+behavior.  ``--baseline FILE`` filters findings recorded in a
+committed baseline (only *new* findings affect the exit code);
+``--write-baseline`` regenerates that file from the current findings.
 """
 
 from __future__ import annotations
@@ -11,9 +18,11 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
+from .baseline import apply_baseline, load_baseline, split_expired, write_baseline
 from .findings import Finding
-from .registry import all_rules, rule_ids
-from .runner import iter_python_files, lint_paths
+from .registry import all_project_rules, all_rules, known_rule_ids
+from .runner import analyze_paths, iter_python_files
+from .sarif import render_sarif
 
 __all__ = ["main", "build_parser"]
 
@@ -26,9 +35,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.lint",
         description=(
             "Domain-aware static analysis for the feasible-region reproduction: "
-            "determinism (RNG001/DET001), numeric safety (FLT001/HEAP001/MUT001), "
-            "and model invariants (MDL001-MDL004).  Suppress a finding with "
-            "'# repro: noqa[RULE]' on the offending line."
+            "determinism (RNG001/DET001/DET101/DET102), numeric safety "
+            "(FLT001/HEAP001/MUT001/EXS001), async safety over the project "
+            "call graph (ASY001/ASY002), and model invariants (MDL001-MDL004). "
+            "Suppress a finding with '# repro: noqa[RULE]' on the offending "
+            "line; unused suppressions are themselves flagged (SUP001)."
         ),
     )
     parser.add_argument(
@@ -38,9 +49,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--sarif",
+        action="store_true",
+        help="shorthand for --format sarif",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help=(
+            "baseline file of accepted findings; matching findings are "
+            "filtered and only new ones affect the exit code"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="regenerate --baseline FILE from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--no-project",
+        action="store_true",
+        help="per-file rules only (skip call-graph/taint rules and SUP001)",
     )
     parser.add_argument(
         "--select",
@@ -101,27 +140,74 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.list_rules:
         for rule in all_rules():
             scope = ", ".join(rule.scope) if rule.scope else "all code"
-            print(f"{rule.rule_id}  [{scope}]  {rule.summary}")
+            print(f"{rule.rule_id}  [file]     [{scope}]  {rule.summary}")
+        for prule in all_project_rules():
+            print(f"{prule.rule_id}  [project]  [all code]  {prule.summary}")
         return 0
+
+    if args.write_baseline and not args.baseline:
+        print("error: --write-baseline requires --baseline FILE", file=sys.stderr)
+        return 2
 
     paths = list(args.paths)
     if not paths:
         paths = ["src"] if Path("src").is_dir() else ["."]
 
+    fmt = "sarif" if args.sarif else args.format
+
     try:
         select = _split_rules(args.select)
         ignore = _split_rules(args.ignore)
         files_checked = sum(1 for _ in iter_python_files(paths))
-        findings = lint_paths(paths, select=select, ignore=ignore)
+        findings = analyze_paths(
+            paths, select=select, ignore=ignore, project=not args.no_project
+        )
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except KeyError as exc:
-        print(f"error: {exc.args[0]}; known rules: {', '.join(rule_ids())}", file=sys.stderr)
+        print(
+            f"error: {exc.args[0]}; known rules: {', '.join(known_rule_ids())}",
+            file=sys.stderr,
+        )
         return 2
 
-    if args.format == "json":
-        _render_json(findings, files_checked, sys.stdout)
+    if args.write_baseline:
+        entries = write_baseline(args.baseline, findings)
+        print(
+            f"wrote baseline {args.baseline}: {sum(entries.values())} finding(s) "
+            f"across {len(entries)} fingerprint(s)",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+        result = apply_baseline(findings, baseline)
+        findings = result.new
+        for path, rule, _message, count in split_expired(result.expired):
+            print(
+                f"note: baseline entry for {rule} in {path} is stale "
+                f"({count} unmatched) — regenerate with --write-baseline",
+                file=sys.stderr,
+            )
+
+    if args.out:
+        stream = open(args.out, "w", encoding="utf-8")
     else:
-        _render_text(findings, files_checked, sys.stdout)
+        stream = sys.stdout
+    try:
+        if fmt == "sarif":
+            stream.write(render_sarif(findings))
+        elif fmt == "json":
+            _render_json(findings, files_checked, stream)
+        else:
+            _render_text(findings, files_checked, stream)
+    finally:
+        if args.out:
+            stream.close()
     return 1 if findings else 0

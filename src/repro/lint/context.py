@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from pathlib import PurePath
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from .findings import Finding
 
@@ -23,17 +25,18 @@ KNOWN_PACKAGE_DIRS: FrozenSet[str] = frozenset(
         "experiments",
         "analysis",
         "lint",
+        "serve",
         "tests",
         "benchmarks",
         "examples",
     }
 )
 
-#: ``# repro: noqa`` (suppress all rules on the line) or
-#: ``# repro: noqa[RULE1,RULE2]`` (suppress listed rules only).
+#: ``repro: noqa`` comments (suppress all rules on the line) or
+#: ``repro: noqa[RULE1,RULE2]`` (suppress listed rules only).
 _NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s]+)\])?")
 
-#: Sentinel for a bare ``# repro: noqa`` suppressing every rule.
+#: Sentinel for a bare ``repro: noqa`` comment suppressing every rule.
 _ALL: FrozenSet[str] = frozenset({"*"})
 
 
@@ -53,28 +56,76 @@ class FileContext:
         self.tree: ast.Module = ast.parse(source, filename=path) if tree is None else tree
         self.lines: List[str] = source.splitlines()
         self._noqa: Dict[int, FrozenSet[str]] = self._parse_noqa()
+        #: rule ids (or ``"*"``) each noqa line actually suppressed —
+        #: feeds the unused-suppression check (SUP001).
+        self._noqa_used: Dict[int, Set[str]] = {}
         self._parts: FrozenSet[str] = frozenset(PurePath(path).parts)
 
     def _parse_noqa(self) -> Dict[int, FrozenSet[str]]:
+        """Noqa table from real ``COMMENT`` tokens only.
+
+        Tokenizing (rather than regexing raw lines) means a docstring
+        *describing* the ``# repro: noqa[RULE]`` syntax never counts as
+        a suppression.  Tokenization failures (only possible for
+        sources that did not come from :func:`ast.parse`-clean text)
+        fall back to an empty table.
+        """
         table: Dict[int, FrozenSet[str]] = {}
-        for lineno, line in enumerate(self.lines, start=1):
-            match = _NOQA_RE.search(line)
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(self.source).readline))
+        except (tokenize.TokenError, IndentationError):
+            return table
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _NOQA_RE.search(token.string)
             if match is None:
                 continue
+            lineno = token.start[0]
             if match.group(1) is None:
                 table[lineno] = _ALL
             else:
                 table[lineno] = frozenset(
-                    token.strip().upper() for token in match.group(1).split(",") if token.strip()
+                    part.strip().upper() for part in match.group(1).split(",") if part.strip()
                 )
         return table
 
     def suppressed(self, rule_id: str, line: int) -> bool:
-        """Whether ``rule_id`` is noqa-suppressed on ``line``."""
+        """Whether ``rule_id`` is noqa-suppressed on ``line``.
+
+        A match is recorded as a *use* of that suppression so the
+        runner can flag noqa comments that no longer suppress anything.
+        """
         entry = self._noqa.get(line)
         if entry is None:
             return False
-        return entry is _ALL or "*" in entry or rule_id.upper() in entry
+        rule = rule_id.upper()
+        if entry is _ALL or "*" in entry:
+            self._noqa_used.setdefault(line, set()).add("*")
+            return True
+        if rule in entry:
+            self._noqa_used.setdefault(line, set()).add(rule)
+            return True
+        return False
+
+    def unused_suppressions(self) -> List[Tuple[int, str]]:
+        """``(line, rule_id_or_star)`` for noqa entries nothing used.
+
+        Meaningful only after every rule's findings have been run
+        through :meth:`filter_suppressed` / :meth:`suppressed` for this
+        file — the runner calls it last.
+        """
+        stale: List[Tuple[int, str]] = []
+        for line, entry in sorted(self._noqa.items()):
+            used = self._noqa_used.get(line, set())
+            if entry is _ALL or "*" in entry:
+                if "*" not in used:
+                    stale.append((line, "*"))
+                continue
+            for rule in sorted(entry):
+                if rule not in used:
+                    stale.append((line, rule))
+        return stale
 
     def in_scope(self, scope: Tuple[str, ...]) -> bool:
         """Whether this file falls inside a rule's directory scope.

@@ -1,0 +1,686 @@
+"""Project-wide symbol table and call graph for whole-program rules.
+
+The per-file rules (PR 1) see one AST at a time, so they cannot tell
+that a blocking ``fsync`` *reaches* the event loop through three frames
+of sync helpers, or that a wall-clock read flows into the canonical
+wire encoding two calls later.  This module gives rules that visibility:
+
+:class:`ProjectContext`
+    Parses every file once (reusing the runner's
+    :class:`~repro.lint.context.FileContext`), assigns dotted module
+    names, and builds a symbol table of top-level functions, classes,
+    methods, and imports per module.
+
+Call resolution
+    Each function body is linked into a call graph.  Calls are
+    resolved through: plain names (module functions, imported
+    symbols), ``self.method()`` (including inherited project bases),
+    ``self.attr.method()`` via *annotated or inferred attribute
+    types* (``self.journal = journal`` with ``journal: Journal``
+    resolves to ``Journal``), parameters with project-class
+    annotations, local variables bound to constructor calls, and
+    ``typing.Protocol`` receivers, which fan out to every project
+    class that structurally implements the protocol (defines all of
+    its method names).  File handles returned by ``open()`` get the
+    ``<file>`` pseudo-type so ``handle.write(...)`` is recognizable
+    as real I/O.  Unresolvable calls keep their dotted source text as
+    an *external* target (``time.sleep``, ``os.fsync``) for the
+    async-safety rule's blocking-primitive table.
+
+Known, documented blind spots (the engine over-approximates where it
+can and stays silent where it cannot): ``getattr``-style dynamic
+dispatch, calls through containers, and functions passed as values
+(which is exactly why a callable handed to ``loop.run_in_executor``
+creates **no** call edge — the executor hop breaks the chain by
+construction).
+
+Everything is deterministic: modules, symbols, and edges are stored
+and traversed in sorted order, so findings built on top of the graph
+are byte-stable across runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .context import FileContext
+
+__all__ = [
+    "FILE_TYPE",
+    "SET_TYPE",
+    "CallSite",
+    "FunctionInfo",
+    "ClassInfo",
+    "ModuleInfo",
+    "ProjectContext",
+    "module_name_for",
+]
+
+#: Pseudo-type assigned to values produced by the ``open()`` builtin;
+#: method calls on it (``.write``, ``.flush``) resolve to external
+#: targets like ``<file>.write`` so rules can classify them as I/O.
+FILE_TYPE = "<file>"
+
+#: Pseudo-type for ``set()`` / ``frozenset()`` values and ``set``
+#: annotations — the determinism rules treat iterating one as an
+#: unordered source.
+SET_TYPE = "<set>"
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name of ``path`` derived from package structure.
+
+    Walks up while the parent directory holds an ``__init__.py`` —
+    ``src/repro/serve/gateway.py`` becomes ``repro.serve.gateway``.  A
+    file outside any package (a benchmark, an example, a fixture
+    snippet) is named by its stem alone.
+    """
+    path = path.resolve()
+    parts = [path.stem] if path.stem != "__init__" else []
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+@dataclass
+class CallSite:
+    """One resolved call expression inside a function body.
+
+    Attributes:
+        node: The ``ast.Call`` node (for finding locations).
+        targets: Qualified names of project functions this call may
+            dispatch to (several for protocol receivers).
+        external: Dotted name of a non-project callee (``time.sleep``,
+            ``open``, ``<file>.write``) when no project target resolved.
+    """
+
+    node: ast.Call
+    targets: Tuple[str, ...] = ()
+    external: Optional[str] = None
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method known to the project symbol table."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    path: str
+    is_async: bool
+    owner: Optional[str] = None  # owning class qualname, if a method
+    calls: List[CallSite] = field(default_factory=list)
+
+
+@dataclass
+class ClassInfo:
+    """One class: methods, resolved bases, and attribute types."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    attr_types: Dict[str, str] = field(default_factory=dict)
+    bases: List[str] = field(default_factory=list)
+    is_protocol: bool = False
+
+    def protocol_method_names(self) -> List[str]:
+        """Plain (non-property) method names a protocol declares."""
+        names = []
+        for name, info in sorted(self.methods.items()):
+            decorators = getattr(info.node, "decorator_list", [])
+            if any(_is_property_decorator(d) for d in decorators):
+                continue
+            names.append(name)
+        return names
+
+
+def _is_property_decorator(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id == "property"
+    if isinstance(node, ast.Attribute):
+        return node.attr in ("setter", "getter", "deleter")
+    return False
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module and its top-level symbols."""
+
+    name: str
+    path: str
+    ctx: FileContext
+    imports: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+
+
+def _dotted(node: ast.expr) -> Optional[str]:
+    """Source-level dotted name of ``a.b.c`` expressions, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _unwrap_annotation(node: ast.expr) -> Optional[ast.expr]:
+    """Strip ``Optional[X]`` / ``"X"`` wrappers down to the named type."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.Subscript):
+        base = _dotted(node.value)
+        if base and base.split(".")[-1] in ("Optional", "Union"):
+            inner = node.slice
+            if isinstance(inner, ast.Tuple):
+                for elt in inner.elts:
+                    if not (isinstance(elt, ast.Constant) and elt.value is None):
+                        return _unwrap_annotation(elt)
+                return None
+            return _unwrap_annotation(inner)
+        if base and base.split(".")[-1] in ("Set", "FrozenSet"):
+            return node.value  # the container itself is the receiver type
+        return None  # List[X], Dict[..] — containers, not receivers
+    return node
+
+
+class ProjectContext:
+    """Whole-program symbol table + call graph over a set of files.
+
+    Args:
+        files: ``(path, FileContext)`` pairs — every parsed file of the
+            analysis run.  Files that failed to parse are simply absent
+            (the runner reports those separately as ``SYN000``).
+    """
+
+    def __init__(self, files: Sequence[Tuple[Path, FileContext]]) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self._ctx_by_path: Dict[str, FileContext] = {}
+        self._local_types_cache: Dict[str, Dict[str, str]] = {}
+        for path, ctx in sorted(files, key=lambda item: str(item[0])):
+            self._add_module(Path(path), ctx)
+        self._link_all()
+
+    # -- construction --------------------------------------------------
+
+    def _add_module(self, path: Path, ctx: FileContext) -> None:
+        name = module_name_for(path)
+        if name in self.modules:  # two non-package files with one stem
+            suffix = 2
+            while f"{name}#{suffix}" in self.modules:
+                suffix += 1
+            name = f"{name}#{suffix}"
+        module = ModuleInfo(name=name, path=str(path), ctx=ctx)
+        self.modules[name] = module
+        self._ctx_by_path[str(path)] = ctx
+        for stmt in module.ctx.tree.body:
+            self._collect_top_level(module, stmt)
+
+    def _collect_top_level(self, module: ModuleInfo, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                local = alias.asname or alias.name.split(".")[0]
+                module.imports[local] = alias.name if alias.asname else alias.name.split(".")[0]
+                if alias.asname is None and "." in alias.name:
+                    # ``import a.b`` binds ``a``; record the full path
+                    # too so ``a.b.f()`` resolves through the root.
+                    module.imports[alias.name.split(".")[0]] = alias.name.split(".")[0]
+        elif isinstance(stmt, ast.ImportFrom):
+            base = self._resolve_from_import(module, stmt)
+            for alias in stmt.names:
+                if alias.name == "*":
+                    continue
+                module.imports[alias.asname or alias.name] = f"{base}.{alias.name}"
+        elif isinstance(stmt, _FUNC_NODES):
+            info = FunctionInfo(
+                qualname=f"{module.name}.{stmt.name}",
+                module=module.name,
+                name=stmt.name,
+                node=stmt,
+                path=module.path,
+                is_async=isinstance(stmt, ast.AsyncFunctionDef),
+            )
+            module.functions[stmt.name] = info
+            self.functions[info.qualname] = info
+        elif isinstance(stmt, ast.ClassDef):
+            self._collect_class(module, stmt)
+        elif isinstance(stmt, (ast.If, ast.Try)):
+            # TYPE_CHECKING guards and optional-import fallbacks.
+            for sub in ast.iter_child_nodes(stmt):
+                if isinstance(sub, ast.stmt):
+                    self._collect_top_level(module, sub)
+
+    @staticmethod
+    def _resolve_from_import(module: ModuleInfo, stmt: ast.ImportFrom) -> str:
+        if stmt.level == 0:
+            return stmt.module or ""
+        package_parts = module.name.split(".")[:-1]  # containing package
+        ascend = stmt.level - 1
+        base_parts = package_parts[: len(package_parts) - ascend] if ascend else package_parts
+        if stmt.module:
+            base_parts = base_parts + stmt.module.split(".")
+        return ".".join(base_parts)
+
+    def _collect_class(self, module: ModuleInfo, stmt: ast.ClassDef) -> None:
+        info = ClassInfo(
+            qualname=f"{module.name}.{stmt.name}",
+            module=module.name,
+            name=stmt.name,
+            node=stmt,
+        )
+        for base in stmt.bases:
+            dotted = _dotted(base)
+            if dotted is None and isinstance(base, ast.Subscript):
+                dotted = _dotted(base.value)  # Protocol[...] / Generic[T]
+            if dotted is None:
+                continue
+            info.bases.append(dotted)
+            if dotted.split(".")[-1] == "Protocol":
+                info.is_protocol = True
+        for body_stmt in stmt.body:
+            if isinstance(body_stmt, _FUNC_NODES):
+                method = FunctionInfo(
+                    qualname=f"{info.qualname}.{body_stmt.name}",
+                    module=module.name,
+                    name=body_stmt.name,
+                    node=body_stmt,
+                    path=module.path,
+                    is_async=isinstance(body_stmt, ast.AsyncFunctionDef),
+                    owner=info.qualname,
+                )
+                info.methods[body_stmt.name] = method
+                self.functions[method.qualname] = method
+            elif isinstance(body_stmt, ast.AnnAssign) and isinstance(
+                body_stmt.target, ast.Name
+            ):
+                resolved = self._resolve_type_expr(module, body_stmt.annotation)
+                if resolved:
+                    info.attr_types[body_stmt.target.id] = resolved
+        module.classes[stmt.name] = info
+        self.classes[info.qualname] = info
+
+    # -- symbol / type resolution --------------------------------------
+
+    def _lookup(self, dotted: str) -> Optional[str]:
+        """Qualified name of a project symbol named by ``dotted``."""
+        if dotted in self.functions or dotted in self.classes or dotted in self.modules:
+            return dotted
+        return None
+
+    def _resolve_symbol(self, module: ModuleInfo, name: str) -> Optional[str]:
+        """Resolve a bare name used in ``module`` to a qualified name.
+
+        Project symbols win; an import of an external module/symbol
+        returns its dotted source name (still useful as an *external*
+        target).  Returns None for unknown locals.
+        """
+        if name in module.functions:
+            return module.functions[name].qualname
+        if name in module.classes:
+            return module.classes[name].qualname
+        if name in module.imports:
+            target = module.imports[name]
+            return self._lookup(target) or target
+        return None
+
+    def _resolve_type_expr(self, module: ModuleInfo, node: ast.expr) -> Optional[str]:
+        """Resolve an annotation / constructor expression to a type name."""
+        unwrapped = _unwrap_annotation(node)
+        if unwrapped is None:
+            return None
+        dotted = _dotted(unwrapped)
+        if dotted is None:
+            return None
+        if dotted in ("set", "frozenset") or dotted.split(".")[-1] in ("Set", "FrozenSet"):
+            return SET_TYPE
+        head, _, rest = dotted.partition(".")
+        resolved_head = self._resolve_symbol(module, head)
+        if resolved_head is None:
+            return dotted
+        return f"{resolved_head}.{rest}" if rest else resolved_head
+
+    def _class_by_name(self, qualname: Optional[str]) -> Optional[ClassInfo]:
+        if qualname is None:
+            return None
+        return self.classes.get(qualname)
+
+    def _mro(self, cls: ClassInfo) -> List[ClassInfo]:
+        """The class plus its resolvable project bases (cycle-safe)."""
+        out: List[ClassInfo] = []
+        seen: Set[str] = set()
+        todo = [cls]
+        while todo:
+            current = todo.pop(0)
+            if current.qualname in seen:
+                continue
+            seen.add(current.qualname)
+            out.append(current)
+            module = self.modules[current.module]
+            for base in current.bases:
+                resolved = self._resolve_type_expr(module, ast.parse(base, mode="eval").body)
+                base_cls = self._class_by_name(resolved)
+                if base_cls is not None:
+                    todo.append(base_cls)
+        return out
+
+    def _find_method(self, cls: ClassInfo, name: str) -> Optional[FunctionInfo]:
+        for candidate in self._mro(cls):
+            if name in candidate.methods:
+                return candidate.methods[name]
+        return None
+
+    def protocol_implementers(self, protocol: ClassInfo) -> List[ClassInfo]:
+        """Project classes structurally implementing ``protocol``.
+
+        A class implements the protocol when it defines (or inherits)
+        every plain method the protocol declares.  Protocol classes
+        themselves are excluded.
+        """
+        wanted = protocol.protocol_method_names()
+        if not wanted:
+            return []
+        out = []
+        for qualname in sorted(self.classes):
+            cls = self.classes[qualname]
+            if cls.is_protocol or qualname == protocol.qualname:
+                continue
+            if all(self._find_method(cls, name) is not None for name in wanted):
+                out.append(cls)
+        return out
+
+    # -- call-graph linking --------------------------------------------
+
+    def _link_all(self) -> None:
+        # Attribute types first: linking ``self.journal.append()`` in one
+        # method needs the ``self.journal = journal`` binding from
+        # ``__init__`` already resolved.
+        for qualname in sorted(self.classes):
+            self._infer_attr_types(self.classes[qualname])
+        for qualname in sorted(self.functions):
+            self._link_function(self.functions[qualname])
+
+    def _infer_attr_types(self, cls: ClassInfo) -> None:
+        """Harvest ``self.attr`` types from the constructor body.
+
+        Three shapes, in priority order (class-body ``AnnAssign``
+        entries collected earlier always win): ``self.x: T = ...``,
+        ``self.x = param`` with an annotated parameter, and
+        ``self.x = Ctor()`` / ``open()`` / ``set()`` constructor calls.
+        """
+        init = cls.methods.get("__init__")
+        if init is None:
+            return
+        module = self.modules[cls.module]
+        local_types = self._infer_local_types(init, module, cls)
+        for node in self._body_nodes(init):
+            attr: Optional[str] = None
+            inferred: Optional[str] = None
+            if isinstance(node, ast.AnnAssign):
+                target = node.target
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    attr = target.attr
+                    inferred = self._resolve_type_expr(module, node.annotation)
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    attr = target.attr
+                    inferred = self._infer_value_type(
+                        node.value, module, cls, local_types
+                    )
+            if attr is not None and inferred and attr not in cls.attr_types:
+                cls.attr_types[attr] = inferred
+
+    @staticmethod
+    def _body_nodes(func: FunctionInfo) -> Iterator[ast.AST]:
+        """Every node of the function, *including* nested def/lambda
+        bodies — a nested helper is part of the enclosing behavior
+        (over-approximation, documented in the module docstring)."""
+        for stmt in func.node.body:  # type: ignore[attr-defined]
+            yield from ast.walk(stmt)
+
+    def _link_function(self, func: FunctionInfo) -> None:
+        module = self.modules[func.module]
+        owner = self._class_by_name(func.owner)
+        local_types = self._infer_local_types(func, module, owner)
+        for node in self._body_nodes(func):
+            if isinstance(node, ast.Call):
+                func.calls.append(
+                    self._resolve_call(node, module, owner, local_types)
+                )
+
+    def _infer_local_types(
+        self,
+        func: FunctionInfo,
+        module: ModuleInfo,
+        owner: Optional[ClassInfo],
+    ) -> Dict[str, str]:
+        """Parameter annotations + obvious constructor-call locals."""
+        types: Dict[str, str] = {}
+        args = func.node.args  # type: ignore[attr-defined]
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            if arg.annotation is not None:
+                resolved = self._resolve_type_expr(module, arg.annotation)
+                if resolved:
+                    types[arg.arg] = resolved
+        for node in self._body_nodes(func):
+            target: Optional[str] = None
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 and isinstance(
+                node.targets[0], ast.Name
+            ):
+                target, value = node.targets[0].id, node.value
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                resolved = self._resolve_type_expr(module, node.annotation)
+                if resolved:
+                    types[node.target.id] = resolved
+                continue
+            if target is None or value is None:
+                continue
+            inferred = self._infer_value_type(value, module, owner, types)
+            if inferred:
+                types[target] = inferred
+        return types
+
+    def _infer_value_type(
+        self,
+        value: ast.expr,
+        module: ModuleInfo,
+        owner: Optional[ClassInfo],
+        local_types: Dict[str, str],
+    ) -> Optional[str]:
+        if isinstance(value, (ast.Set, ast.SetComp)):
+            return SET_TYPE
+        if isinstance(value, ast.Call):
+            dotted = _dotted(value.func)
+            if dotted == "open":
+                return FILE_TYPE
+            if dotted in ("set", "frozenset"):
+                return SET_TYPE
+            if dotted is not None:
+                head, _, rest = dotted.partition(".")
+                resolved = self._resolve_symbol(module, head)
+                if resolved is not None and not rest:
+                    if resolved in self.classes:
+                        return resolved
+                if resolved in self.modules and rest:
+                    candidate = f"{resolved}.{rest}"
+                    if candidate in self.classes:
+                        return candidate
+            return None
+        if isinstance(value, ast.Attribute):
+            return self._receiver_type(value, module, owner, local_types)
+        if isinstance(value, ast.Name):
+            return local_types.get(value.id)
+        if isinstance(value, ast.IfExp):
+            return self._infer_value_type(
+                value.body, module, owner, local_types
+            ) or self._infer_value_type(value.orelse, module, owner, local_types)
+        return None
+
+    def _receiver_type(
+        self,
+        node: ast.expr,
+        module: ModuleInfo,
+        owner: Optional[ClassInfo],
+        local_types: Dict[str, str],
+    ) -> Optional[str]:
+        """Type of the *object* a method is called on (``a.b`` in
+        ``a.b.m()``), resolved through attribute-type annotations."""
+        if isinstance(node, ast.Name):
+            if node.id == "self" and owner is not None:
+                return owner.qualname
+            return local_types.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base_type = self._receiver_type(node.value, module, owner, local_types)
+            base_cls = self._class_by_name(base_type)
+            if base_cls is None:
+                return None
+            for candidate in self._mro(base_cls):
+                if node.attr in candidate.attr_types:
+                    return candidate.attr_types[node.attr]
+            return None
+        if isinstance(node, ast.Call):
+            return self._infer_value_type(node, module, owner, local_types)
+        return None
+
+    def _resolve_call(
+        self,
+        node: ast.Call,
+        module: ModuleInfo,
+        owner: Optional[ClassInfo],
+        local_types: Dict[str, str],
+    ) -> CallSite:
+        func = node.func
+        if isinstance(func, ast.Name):
+            resolved = self._resolve_symbol(module, func.id)
+            if resolved is None:
+                return CallSite(node=node, external=func.id)
+            if resolved in self.functions:
+                return CallSite(node=node, targets=(resolved,))
+            cls = self.classes.get(resolved)
+            if cls is not None:
+                init = self._find_method(cls, "__init__")
+                return CallSite(
+                    node=node, targets=(init.qualname,) if init else ()
+                )
+            return CallSite(node=node, external=resolved)
+        if isinstance(func, ast.Attribute):
+            return self._resolve_method_call(node, func, module, owner, local_types)
+        return CallSite(node=node)
+
+    def _resolve_method_call(
+        self,
+        node: ast.Call,
+        func: ast.Attribute,
+        module: ModuleInfo,
+        owner: Optional[ClassInfo],
+        local_types: Dict[str, str],
+    ) -> CallSite:
+        # Module-qualified call: ``mod.func()`` / ``pkg.mod.func()``.
+        dotted = _dotted(func)
+        if dotted is not None:
+            head, _, rest = dotted.partition(".")
+            resolved_head = self._resolve_symbol(module, head)
+            if resolved_head in self.modules and rest:
+                candidate = f"{resolved_head}.{rest}"
+                if candidate in self.functions:
+                    return CallSite(node=node, targets=(candidate,))
+                if candidate in self.classes:
+                    init = self._find_method(self.classes[candidate], "__init__")
+                    return CallSite(
+                        node=node, targets=(init.qualname,) if init else ()
+                    )
+        # Method on a typed receiver.
+        receiver = self._receiver_type(func.value, module, owner, local_types)
+        if receiver == FILE_TYPE:
+            return CallSite(node=node, external=f"{FILE_TYPE}.{func.attr}")
+        receiver_cls = self._class_by_name(receiver)
+        if receiver_cls is not None:
+            targets: List[str] = []
+            if receiver_cls.is_protocol:
+                for impl in self.protocol_implementers(receiver_cls):
+                    method = self._find_method(impl, func.attr)
+                    if method is not None:
+                        targets.append(method.qualname)
+                own = self._find_method(receiver_cls, func.attr)
+                if own is not None and not targets:
+                    targets.append(own.qualname)
+            else:
+                method = self._find_method(receiver_cls, func.attr)
+                if method is not None:
+                    targets.append(method.qualname)
+            if targets:
+                return CallSite(node=node, targets=tuple(sorted(set(targets))))
+        if dotted is not None:
+            # Keep the raw dotted text (``time.sleep``, ``os.fsync``) —
+            # the blocking-primitive table keys off it.
+            head = dotted.partition(".")[0]
+            external = module.imports.get(head)
+            if external is not None and external == head:
+                return CallSite(node=node, external=dotted)
+            return CallSite(node=node, external=dotted)
+        return CallSite(node=node)
+
+    # -- queries --------------------------------------------------------
+
+    def ctx_for(self, func: FunctionInfo) -> FileContext:
+        return self._ctx_by_path[func.path]
+
+    def expr_type(self, func: FunctionInfo, node: ast.expr) -> Optional[str]:
+        """Best-effort static type of an expression inside ``func``.
+
+        Resolves parameter/attribute annotations, constructor calls,
+        and the ``<file>`` / ``<set>`` pseudo-types.  ``None`` when the
+        engine cannot tell.
+        """
+        module = self.modules[func.module]
+        owner = self._class_by_name(func.owner)
+        local_types = self._local_types_cache.get(func.qualname)
+        if local_types is None:
+            local_types = self._infer_local_types(func, module, owner)
+            self._local_types_cache[func.qualname] = local_types
+        resolved = self._receiver_type(node, module, owner, local_types)
+        if resolved is not None:
+            return resolved
+        return self._infer_value_type(node, module, owner, local_types)
+
+    def iter_functions(self) -> Iterator[FunctionInfo]:
+        """Every known function, in sorted qualname order."""
+        for qualname in sorted(self.functions):
+            yield self.functions[qualname]
+
+    def iter_classes(self) -> Iterator[ClassInfo]:
+        for qualname in sorted(self.classes):
+            yield self.classes[qualname]
+
+    def resolve_targets(self, func: FunctionInfo, node: ast.Call) -> Tuple[str, ...]:
+        """Project targets recorded for a specific call node."""
+        for site in func.calls:
+            if site.node is node:
+                return site.targets
+        return ()

@@ -4,16 +4,37 @@ Rules self-register via the :func:`register` decorator at import time;
 :mod:`repro.lint.rules` imports every rule module, so importing that
 package populates the registry.  The CLI's ``--select`` / ``--ignore``
 and the ``# repro: noqa[RULE]`` suppression all key off ``rule_id``.
+
+Two rule kinds share the id namespace:
+
+- :class:`Rule` — per-file AST checks (one :class:`FileContext` at a
+  time); the PR-1 rule set.
+- :class:`ProjectRule` — whole-program checks over a
+  :class:`~repro.lint.graph.ProjectContext` (call graph, symbol table,
+  cross-file reachability); registered via :func:`register_project`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Type
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Tuple, Type
 
 from .context import FileContext
 from .findings import Finding
 
-__all__ = ["Rule", "register", "all_rules", "get_rule", "rule_ids"]
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard
+    from .graph import ProjectContext
+
+__all__ = [
+    "Rule",
+    "ProjectRule",
+    "register",
+    "register_project",
+    "all_rules",
+    "all_project_rules",
+    "get_rule",
+    "rule_ids",
+    "known_rule_ids",
+]
 
 
 class Rule:
@@ -46,33 +67,71 @@ class Rule:
         return ctx.in_scope(self.scope)
 
 
+class ProjectRule:
+    """Base class for one whole-program static-analysis rule.
+
+    Subclasses set :attr:`rule_id` / :attr:`summary` and implement
+    :meth:`check_project` against the call graph.  Findings land in
+    whatever file the offending node lives in; the runner applies
+    per-file noqa suppression afterwards exactly as for file rules.
+    """
+
+    rule_id: str = ""
+    summary: str = ""
+    scope: Tuple[str, ...] = ()  # informational; project rules self-scope
+
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
+        """Yield findings across the whole project."""
+        raise NotImplementedError
+        yield  # pragma: no cover — makes this a generator for typing
+
+
 _REGISTRY: Dict[str, Type[Rule]] = {}
+_PROJECT_REGISTRY: Dict[str, Type[ProjectRule]] = {}
 
 
 def register(rule_cls: Type[Rule]) -> Type[Rule]:
     """Class decorator adding ``rule_cls`` to the global registry."""
     if not rule_cls.rule_id:
         raise ValueError(f"{rule_cls.__name__} must define rule_id")
-    if rule_cls.rule_id in _REGISTRY:
+    if rule_cls.rule_id in _REGISTRY or rule_cls.rule_id in _PROJECT_REGISTRY:
         raise ValueError(f"duplicate rule id {rule_cls.rule_id}")
     _REGISTRY[rule_cls.rule_id] = rule_cls
     return rule_cls
 
 
+def register_project(rule_cls: Type[ProjectRule]) -> Type[ProjectRule]:
+    """Class decorator adding a whole-program rule to the registry."""
+    if not rule_cls.rule_id:
+        raise ValueError(f"{rule_cls.__name__} must define rule_id")
+    if rule_cls.rule_id in _REGISTRY or rule_cls.rule_id in _PROJECT_REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_cls.rule_id}")
+    _PROJECT_REGISTRY[rule_cls.rule_id] = rule_cls
+    return rule_cls
+
+
 def rule_ids() -> List[str]:
-    """All registered rule ids, sorted."""
+    """All per-file rule ids, sorted."""
     _ensure_loaded()
     return sorted(_REGISTRY)
 
 
-def get_rule(rule_id: str) -> Rule:
-    """Instantiate the rule registered under ``rule_id``.
+def known_rule_ids() -> List[str]:
+    """Every rule id the analyzer knows — file and project rules."""
+    _ensure_loaded()
+    return sorted({*_REGISTRY, *_PROJECT_REGISTRY})
+
+
+def get_rule(rule_id: str):
+    """Instantiate the rule registered under ``rule_id`` (either kind).
 
     Raises:
         KeyError: If no such rule exists.
     """
     _ensure_loaded()
-    return _REGISTRY[rule_id]()
+    if rule_id in _REGISTRY:
+        return _REGISTRY[rule_id]()
+    return _PROJECT_REGISTRY[rule_id]()
 
 
 def all_rules(
@@ -90,11 +149,32 @@ def all_rules(
     """
     _ensure_loaded()
     wanted = set(_REGISTRY) if select is None else set(select)
-    unknown = (wanted | set(ignore or ())) - set(_REGISTRY)
+    known = set(_REGISTRY) | set(_PROJECT_REGISTRY)
+    unknown = (wanted | set(ignore or ())) - known
     if unknown:
         raise KeyError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
-    wanted -= set(ignore or ())
+    wanted = (wanted & set(_REGISTRY)) - set(ignore or ())
     return [_REGISTRY[rid]() for rid in sorted(wanted)]
+
+
+def all_project_rules(
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[ProjectRule]:
+    """Instantiate registered whole-program rules, filtered and sorted.
+
+    Unknown ids in ``select``/``ignore`` raise exactly as
+    :func:`all_rules` does (ids naming file rules are simply not
+    project rules and are filtered, not rejected).
+    """
+    _ensure_loaded()
+    wanted = set(_PROJECT_REGISTRY) if select is None else set(select)
+    known = set(_REGISTRY) | set(_PROJECT_REGISTRY)
+    unknown = (wanted | set(ignore or ())) - known
+    if unknown:
+        raise KeyError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+    wanted = (wanted & set(_PROJECT_REGISTRY)) - set(ignore or ())
+    return [_PROJECT_REGISTRY[rid]() for rid in sorted(wanted)]
 
 
 def _ensure_loaded() -> None:

@@ -1,5 +1,5 @@
 """Bundled rule modules; importing this package registers every rule."""
 
-from . import code, model  # noqa: F401 — import side effect registers rules
+from . import async_rules, code, model, taint_rules  # noqa: F401 — import side effect registers rules
 
-__all__ = ["code", "model"]
+__all__ = ["async_rules", "code", "model", "taint_rules"]

@@ -1,0 +1,313 @@
+"""Async-safety rules over the whole-program call graph.
+
+The serving layer's latency story rests on the event loop never
+stalling: the paper's stage service bound (the ``n_j/a_j`` term in
+Eq. 12) models a stage that is *actually scheduled* — a gateway whose
+loop is parked inside ``fsync`` for milliseconds silently violates the
+service assumption every admitted task was tested against.  Two rules
+mechanize that:
+
+- ``ASY001`` — a blocking primitive (file I/O, ``time.sleep``,
+  synchronous socket/subprocess calls) is *reachable* from an ``async
+  def`` through any chain of synchronous project calls, with no
+  executor hop in between.  A callable handed to
+  ``loop.run_in_executor`` / ``asyncio.to_thread`` is a function
+  *value*, not a call, so it creates no call edge — the hop breaks the
+  chain by construction.
+- ``ASY002`` — shared instance state (``self.*``) mutated on both
+  sides of an ``await`` in one ``async def``.  Between the two
+  mutations the loop may run any other coroutine; for the coming
+  sharded server this is the classic check-then-act interleaving
+  hazard.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..findings import Finding
+from ..graph import FILE_TYPE, CallSite, FunctionInfo, ProjectContext
+from ..registry import ProjectRule, register_project
+
+__all__ = ["AsyncBlockingReachabilityRule", "AwaitInterleavingRule", "BLOCKING_CALLS"]
+
+#: External callables that block the calling thread.  Keys are the
+#: dotted call text the graph resolves (``<file>.*`` is the pseudo-type
+#: given to ``open()`` results).  Values say *why* it blocks.
+BLOCKING_CALLS: Dict[str, str] = {
+    "time.sleep": "sleeps the whole event loop",
+    "open": "synchronous file open",
+    "os.fsync": "forces a disk flush",
+    "os.fdatasync": "forces a disk flush",
+    "os.replace": "synchronous rename",
+    "os.rename": "synchronous rename",
+    "os.unlink": "synchronous unlink",
+    "os.remove": "synchronous unlink",
+    "os.makedirs": "synchronous directory creation",
+    "os.fdopen": "synchronous file open",
+    "tempfile.mkstemp": "synchronous file creation",
+    "tempfile.mkdtemp": "synchronous directory creation",
+    "shutil.rmtree": "synchronous recursive delete",
+    "shutil.copy": "synchronous file copy",
+    "shutil.copyfile": "synchronous file copy",
+    "subprocess.run": "blocks on a child process",
+    "subprocess.check_output": "blocks on a child process",
+    "subprocess.check_call": "blocks on a child process",
+    "socket.create_connection": "synchronous connect",
+    "urllib.request.urlopen": "synchronous network request",
+    f"{FILE_TYPE}.write": "synchronous file write",
+    f"{FILE_TYPE}.writelines": "synchronous file write",
+    f"{FILE_TYPE}.flush": "synchronous file flush",
+    f"{FILE_TYPE}.read": "synchronous file read",
+    f"{FILE_TYPE}.readline": "synchronous file read",
+    f"{FILE_TYPE}.readlines": "synchronous file read",
+}
+
+#: ``Path`` methods that hit the filesystem.  Matched on the *final*
+#: attribute of an external dotted call whose base cannot be typed —
+#: kept to names that are unambiguous file operations.
+_PATH_IO_METHODS = frozenset(
+    {"read_text", "write_text", "read_bytes", "write_bytes"}
+)
+
+
+def _blocking_reason(external: Optional[str]) -> Optional[str]:
+    """Why an external call target blocks, or ``None`` if it does not."""
+    if external is None:
+        return None
+    reason = BLOCKING_CALLS.get(external)
+    if reason is not None:
+        return reason
+    tail = external.rsplit(".", 1)[-1]
+    if tail in _PATH_IO_METHODS:
+        return "synchronous file I/O"
+    return None
+
+
+def _display(qualname: str) -> str:
+    """Short human-readable name: strip the package path, keep Class.m."""
+    parts = qualname.split(".")
+    if len(parts) >= 2 and parts[-2][:1].isupper():
+        return ".".join(parts[-2:])
+    return parts[-1]
+
+
+@register_project
+class AsyncBlockingReachabilityRule(ProjectRule):
+    """ASY001: blocking call reachable from ``async def`` sans executor."""
+
+    rule_id = "ASY001"
+    summary = (
+        "blocking primitive (file I/O, time.sleep, sync socket/subprocess) "
+        "reachable from an async def through sync calls with no executor hop "
+        "— the event loop stalls and the stage service bound is violated"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        #: qualname -> (chain of display names, primitive, reason) or None
+        memo: Dict[str, Optional[Tuple[List[str], str, str]]] = {}
+
+        def first_blocking(
+            qualname: str, stack: Set[str]
+        ) -> Optional[Tuple[List[str], str, str]]:
+            """Shortest-discovered chain from ``qualname`` (a *sync*
+            project function) to a blocking primitive, or None."""
+            if qualname in memo:
+                return memo[qualname]
+            if qualname in stack:
+                return None  # cycle: already being explored
+            func = project.functions.get(qualname)
+            if func is None or func.is_async:
+                # Async callees are analyzed as their own roots; calls
+                # into them suspend rather than block.
+                memo[qualname] = None
+                return None
+            stack.add(qualname)
+            found: Optional[Tuple[List[str], str, str]] = None
+            for site in func.calls:
+                reason = _blocking_reason(site.external)
+                if reason is not None:
+                    found = ([_display(qualname)], site.external or "", reason)
+                    break
+                for target in site.targets:
+                    sub = first_blocking(target, stack)
+                    if sub is not None:
+                        found = ([_display(qualname), *sub[0]], sub[1], sub[2])
+                        break
+                if found is not None:
+                    break
+            stack.discard(qualname)
+            memo[qualname] = found
+            return found
+
+        for func in project.iter_functions():
+            if not func.is_async:
+                continue
+            ctx = project.ctx_for(func)
+            reported: Set[Tuple[int, str]] = set()
+            for site in func.calls:
+                finding = None
+                reason = _blocking_reason(site.external)
+                if reason is not None:
+                    finding = (site, [_display(func.qualname)], site.external or "", reason)
+                else:
+                    for target in site.targets:
+                        chain = first_blocking(target, set())
+                        if chain is not None:
+                            finding = (
+                                site,
+                                [_display(func.qualname), *chain[0]],
+                                chain[1],
+                                chain[2],
+                            )
+                            break
+                if finding is None:
+                    continue
+                site_obj, chain_names, primitive, why = finding
+                key = (site_obj.node.lineno, primitive)
+                if key in reported:
+                    continue
+                reported.add(key)
+                chain_text = " -> ".join(chain_names)
+                yield ctx.finding(
+                    self.rule_id,
+                    site_obj.node,
+                    f"blocking call {primitive}() ({why}) is reachable from "
+                    f"async `{func.name}` via {chain_text} with no executor "
+                    "hop — offload with loop.run_in_executor or make the "
+                    "chain async",
+                )
+
+
+# ----------------------------------------------------------------------
+# ASY002 — shared-state mutation straddling an await
+# ----------------------------------------------------------------------
+
+
+def _mutation_root(node: ast.AST) -> Optional[str]:
+    """Dotted ``self.``-rooted name a statement mutates, or None."""
+    target: Optional[ast.expr] = None
+    if isinstance(node, ast.Assign):
+        for t in node.targets:
+            root = _target_root(t)
+            if root is not None:
+                return root
+        return None
+    if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        target = node.target
+    elif isinstance(node, ast.Delete):
+        for t in node.targets:
+            root = _target_root(t)
+            if root is not None:
+                return root
+        return None
+    if target is not None:
+        return _target_root(target)
+    return None
+
+
+#: Method names that mutate their receiver in place.
+_MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "popitem",
+        "clear",
+        "add",
+        "discard",
+        "update",
+        "setdefault",
+        "move_to_end",
+        "appendleft",
+        "popleft",
+        "sort",
+    }
+)
+
+
+def _target_root(node: ast.expr) -> Optional[str]:
+    """``self.x`` prefix of an assignment/del target, if any."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    dotted = _dotted_from(node)
+    if dotted is not None and dotted.startswith("self.") and dotted.count(".") >= 1:
+        # Root at the first attribute: self.x[...] and self.x.y both
+        # mutate the shared object reachable through self.x.
+        return ".".join(dotted.split(".")[:2])
+    return None
+
+
+def _dotted_from(node: ast.expr) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@register_project
+class AwaitInterleavingRule(ProjectRule):
+    """ASY002: ``self.*`` state mutated on both sides of an ``await``."""
+
+    rule_id = "ASY002"
+    summary = (
+        "shared instance state mutated both before and after an await in "
+        "the same async function — another coroutine can observe (or race) "
+        "the half-updated state at the suspension point"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for func in project.iter_functions():
+            if not func.is_async or func.owner is None:
+                continue
+            ctx = project.ctx_for(func)
+            mutations: List[Tuple[int, str, ast.AST]] = []
+            awaits: List[int] = []
+            for stmt in func.node.body:  # type: ignore[attr-defined]
+                for node in ast.walk(stmt):
+                    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        continue
+                    if isinstance(node, ast.Await):
+                        awaits.append(node.lineno)
+                        continue
+                    root = _mutation_root(node)
+                    if root is None and isinstance(node, ast.Expr):
+                        call = node.value
+                        if (
+                            isinstance(call, ast.Call)
+                            and isinstance(call.func, ast.Attribute)
+                            and call.func.attr in _MUTATING_METHODS
+                        ):
+                            root = _target_root(call.func.value)
+                    if root is not None:
+                        mutations.append((node.lineno, root, node))
+            if not awaits or len(mutations) < 2:
+                continue
+            mutations.sort(key=lambda item: item[0])
+            awaits.sort()
+            reported: Set[str] = set()
+            for i, (line_a, root, _node_a) in enumerate(mutations):
+                if root in reported:
+                    continue
+                for line_b, root_b, node_b in mutations[i + 1 :]:
+                    if root_b != root:
+                        continue
+                    if any(line_a <= aw <= line_b for aw in awaits):
+                        reported.add(root)
+                        yield ctx.finding(
+                            self.rule_id,
+                            node_b,
+                            f"`{root}` is mutated on line {line_a} and again "
+                            f"here with an await suspension in between "
+                            f"(async `{func.name}`) — another coroutine can "
+                            "interleave between the two mutations; make the "
+                            "update atomic or guard it with a lock",
+                        )
+                        break

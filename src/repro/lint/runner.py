@@ -1,18 +1,48 @@
-"""File discovery and rule execution."""
+"""File discovery and rule execution.
+
+Two entry points:
+
+- :func:`lint_paths` / :func:`lint_file` / :func:`lint_source` — the
+  per-file pass only (PR-1 behavior, kept for embedding and for
+  snippets with no project around them).
+- :func:`analyze_paths` — the whole-program pass: parses every file
+  once, runs the per-file rules, builds a
+  :class:`~repro.lint.graph.ProjectContext` over everything that
+  parsed, runs the registered project rules (call-graph reachability,
+  taint), and finally reports ``noqa`` comments that suppressed
+  nothing (:data:`SUPPRESSION_RULE_ID`).
+"""
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .context import FileContext
 from .findings import Finding
-from .registry import Rule, all_rules
+from .graph import ProjectContext
+from .registry import all_project_rules, all_rules
 
-__all__ = ["SYNTAX_RULE_ID", "iter_python_files", "lint_source", "lint_file", "lint_paths"]
+__all__ = [
+    "SYNTAX_RULE_ID",
+    "SUPPRESSION_RULE_ID",
+    "iter_python_files",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "analyze_paths",
+]
 
 #: Pseudo-rule id used for files that fail to parse.
 SYNTAX_RULE_ID = "SYN000"
+
+#: Pseudo-rule id for a ``repro: noqa`` comment that suppressed no
+#: finding of any rule that ran.  Emitted only on *full* runs (no
+#: ``--select`` / ``--ignore``), because a narrowed run cannot tell a
+#: stale suppression from one whose rule was simply not executed.
+#: Like :data:`SYNTAX_RULE_ID` it is synthetic and cannot itself be
+#: noqa-suppressed.
+SUPPRESSION_RULE_ID = "SUP001"
 
 #: Directory names never descended into.
 _SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis", ".pytest_cache", ".mypy_cache", ".ruff_cache"})
@@ -44,6 +74,16 @@ def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
             yield candidate
 
 
+def _syntax_finding(path: str, exc: SyntaxError) -> Finding:
+    return Finding(
+        path=path,
+        line=exc.lineno or 1,
+        col=(exc.offset or 1) - 1,
+        rule=SYNTAX_RULE_ID,
+        message=f"file does not parse: {exc.msg}",
+    )
+
+
 def lint_source(
     source: str,
     path: str = "<snippet>",
@@ -65,15 +105,7 @@ def lint_source(
     try:
         ctx = FileContext(path, source)
     except SyntaxError as exc:
-        return [
-            Finding(
-                path=path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-                rule=SYNTAX_RULE_ID,
-                message=f"file does not parse: {exc.msg}",
-            )
-        ]
+        return [_syntax_finding(path, exc)]
     findings: List[Finding] = []
     for rule in all_rules(select=select, ignore=ignore):
         if rule.applies_to(ctx):
@@ -96,8 +128,84 @@ def lint_paths(
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
 ) -> List[Finding]:
-    """Lint every Python file under ``paths``; returns sorted findings."""
+    """Lint every Python file under ``paths`` (per-file rules only)."""
     findings: List[Finding] = []
     for file_path in iter_python_files(paths):
         findings.extend(lint_file(file_path, select=select, ignore=ignore))
+    return sorted(findings)
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    project: bool = True,
+) -> List[Finding]:
+    """Whole-program analysis over every Python file under ``paths``.
+
+    Runs the per-file rules, then (when ``project`` is true) builds one
+    :class:`ProjectContext` spanning every file that parsed and runs
+    the registered project rules — so a blocking ``fsync`` three sync
+    frames below an ``async def`` in *another file* is still found.
+    ``# repro: noqa[RULE]`` suppression applies to both passes.
+
+    On a full run (no ``select``/``ignore``) each file's noqa comments
+    are audited afterwards: an entry that suppressed nothing produces a
+    :data:`SUPPRESSION_RULE_ID` finding, so stale suppressions cannot
+    silently accumulate.
+
+    Returns:
+        Sorted findings across all files and both passes.
+    """
+    contexts: List[Tuple[Path, FileContext]] = []
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        try:
+            ctx = FileContext(str(file_path), source)
+        except SyntaxError as exc:
+            findings.append(_syntax_finding(str(file_path), exc))
+            continue
+        contexts.append((file_path, ctx))
+
+    ctx_by_path: Dict[str, FileContext] = {str(p): c for p, c in contexts}
+
+    file_rules = all_rules(select=select, ignore=ignore)
+    project_rules = all_project_rules(select=select, ignore=ignore) if project else []
+
+    for _path, ctx in contexts:
+        per_file: List[Finding] = []
+        for rule in file_rules:
+            if rule.applies_to(ctx):
+                per_file.extend(rule.check(ctx))
+        findings.extend(ctx.filter_suppressed(per_file))
+
+    if project_rules:
+        project_ctx = ProjectContext(contexts)
+        for prule in project_rules:
+            for finding in prule.check_project(project_ctx):
+                ctx = ctx_by_path.get(finding.path)
+                if ctx is not None and ctx.suppressed(finding.rule, finding.line):
+                    continue
+                findings.append(finding)
+
+    full_run = select is None and not ignore and project
+    if full_run:
+        for _path, ctx in contexts:
+            for line, rule in ctx.unused_suppressions():
+                label = "every rule" if rule == "*" else rule
+                findings.append(
+                    Finding(
+                        path=ctx.path,
+                        line=line,
+                        col=0,
+                        rule=SUPPRESSION_RULE_ID,
+                        message=(
+                            f"noqa suppression for {label} is unused — no "
+                            "finding on this line needed it; delete the "
+                            "comment or qualify it with the right rule id"
+                        ),
+                    )
+                )
+
     return sorted(findings)

@@ -1,0 +1,101 @@
+"""SARIF 2.1.0 serialization of analyzer findings.
+
+One static schema, no external dependencies: the subset of SARIF that
+code-scanning UIs (GitHub, VS Code SARIF viewer) actually read —
+``tool.driver.rules`` metadata plus ``results`` with physical
+locations.  Output is byte-deterministic: rules and results are sorted,
+and the JSON uses sorted keys nowhere (key order is authored, stable).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List
+
+from .findings import Finding
+from .registry import all_project_rules, all_rules
+
+__all__ = ["SARIF_VERSION", "to_sarif", "render_sarif"]
+
+SARIF_VERSION = "2.1.0"
+_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Synthetic rules the registry does not know (see the runner).
+_PSEUDO_RULES = {
+    "SYN000": "file does not parse",
+    "SUP001": "noqa suppression that no longer suppresses anything",
+}
+
+#: Findings of these rules are reported at SARIF level ``error``.
+_ERROR_RULES = frozenset({"SYN000"})
+
+
+def _rule_catalog() -> List[Dict[str, Any]]:
+    catalog: Dict[str, str] = dict(_PSEUDO_RULES)
+    for rule in all_rules():
+        catalog[rule.rule_id] = rule.summary
+    for prule in all_project_rules():
+        catalog[prule.rule_id] = prule.summary
+    return [
+        {
+            "id": rule_id,
+            "shortDescription": {"text": summary},
+            "defaultConfiguration": {
+                "level": "error" if rule_id in _ERROR_RULES else "warning"
+            },
+        }
+        for rule_id, summary in sorted(catalog.items())
+    ]
+
+
+def to_sarif(findings: Iterable[Finding]) -> Dict[str, Any]:
+    """Build the SARIF log object for ``findings``."""
+    rules = _rule_catalog()
+    rule_index = {rule["id"]: i for i, rule in enumerate(rules)}
+    results = []
+    for finding in sorted(findings):
+        result: Dict[str, Any] = {
+            "ruleId": finding.rule,
+            "level": "error" if finding.rule in _ERROR_RULES else "warning",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.rule in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule]
+        results.append(result)
+    return {
+        "$schema": _SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://example.invalid/repro-lint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(findings: Iterable[Finding]) -> str:
+    """Serialize findings to a SARIF JSON string (trailing newline)."""
+    return json.dumps(to_sarif(findings), indent=2) + "\n"

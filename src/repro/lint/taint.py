@@ -1,0 +1,288 @@
+"""Lightweight intraprocedural taint/dataflow over one function body.
+
+The determinism rules need to know whether a value *derived from* a
+nondeterministic source (a wall-clock read, an unseeded draw, ``id()``)
+reaches a serialization sink (canonical encoding, the write-ahead
+journal, a snapshot).  Full interprocedural dataflow is out of scope;
+what admission-control code actually does — read a source into a local,
+arithmetic on it, build a dict, pass it to ``encode`` — is covered by a
+simple forward pass:
+
+- A **source** is an expression the rule classifies (a callback returns
+  a human-readable label, e.g. ``"time.time()"``, or ``None``).
+- Assignments propagate taint to their targets; two passes resolve
+  chains written out of order.  Containers, f-strings, arithmetic,
+  comparisons, subscripts, and attribute access on a tainted base all
+  propagate.
+- ``sorted(...)`` and friends do **not** launder value taint (sorting a
+  timestamp does not make it deterministic) — but *order* taint (see
+  ``unordered_iter``) is laundered by sorting, because order is exactly
+  what sorting fixes.
+- A **sink** is a call the rule classifies (via the project call graph
+  or a name table); any tainted argument produces a hit.
+
+The pass is deliberately conservative in both directions and documented
+as such: it does not follow taint through ``self`` attributes across
+methods, nor through return values of project calls.  Those are the
+engine's known blind spots; the rules it powers guard the paths that
+matter (wire encoding, journal, snapshots) where the flow is local.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["TaintHit", "analyze_function", "UNORDERED_LABEL"]
+
+#: Label attached to loop variables bound by iterating an unordered
+#: collection (a set); sorting launders it.
+UNORDERED_LABEL = "unordered"
+
+#: Builtins that establish a deterministic order: passing an
+#: order-tainted value through them clears *order* taint only.
+_ORDER_LAUNDERING = frozenset({"sorted", "min", "max", "len", "sum"})
+
+
+@dataclass(frozen=True)
+class TaintHit:
+    """One tainted value reaching a sink.
+
+    Attributes:
+        sink_node: The sink call expression.
+        sink_label: Human-readable sink name (``"encode"``).
+        source_label: What tainted the value (``"time.time()"``).
+        source_line: Line the taint was introduced on.
+        kind: ``"value"`` or :data:`UNORDERED_LABEL`.
+    """
+
+    sink_node: ast.Call
+    sink_label: str
+    source_label: str
+    source_line: int
+    kind: str = "value"
+
+
+#: taint state per name: (source_label, source_line, kind)
+_Taint = Tuple[str, int, str]
+
+SourceFn = Callable[[ast.expr], Optional[str]]
+SinkFn = Callable[[ast.Call], Optional[str]]
+
+
+class _FunctionTaint(ast.NodeVisitor):
+    def __init__(self, is_source: SourceFn, is_sink: SinkFn) -> None:
+        self.is_source = is_source
+        self.is_sink = is_sink
+        self.tainted: Dict[str, _Taint] = {}
+        self.hits: List[TaintHit] = []
+        self._collect_hits = False
+
+    # -- expression taint ----------------------------------------------
+
+    def taint_of(self, node: ast.expr) -> Optional[_Taint]:
+        source = self.is_source(node)
+        if source is not None:
+            kind = UNORDERED_LABEL if source == UNORDERED_LABEL else "value"
+            return (source, node.lineno, kind)
+        if isinstance(node, ast.Name):
+            return self.tainted.get(node.id)
+        if isinstance(node, ast.Attribute):
+            return self.taint_of(node.value)
+        if isinstance(node, ast.Subscript):
+            return self.taint_of(node.value)
+        if isinstance(node, ast.Starred):
+            return self.taint_of(node.value)
+        if isinstance(node, (ast.BinOp,)):
+            return self.taint_of(node.left) or self.taint_of(node.right)
+        if isinstance(node, ast.BoolOp):
+            return _first(self.taint_of(v) for v in node.values)
+        if isinstance(node, ast.UnaryOp):
+            return self.taint_of(node.operand)
+        if isinstance(node, ast.Compare):
+            return self.taint_of(node.left) or _first(
+                self.taint_of(c) for c in node.comparators
+            )
+        if isinstance(node, ast.IfExp):
+            return self.taint_of(node.body) or self.taint_of(node.orelse)
+        if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+            return _first(self.taint_of(e) for e in node.elts)
+        if isinstance(node, ast.Dict):
+            return _first(
+                self.taint_of(part)
+                for part in [*[k for k in node.keys if k is not None], *node.values]
+            )
+        if isinstance(node, ast.JoinedStr):
+            return _first(
+                self.taint_of(v.value)
+                for v in node.values
+                if isinstance(v, ast.FormattedValue)
+            )
+        if isinstance(node, ast.FormattedValue):
+            return self.taint_of(node.value)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return self.taint_of(node.elt) or _first(
+                self.taint_of(gen.iter) for gen in node.generators
+            )
+        if isinstance(node, ast.DictComp):
+            return (
+                self.taint_of(node.key)
+                or self.taint_of(node.value)
+                or _first(self.taint_of(gen.iter) for gen in node.generators)
+            )
+        if isinstance(node, ast.Call):
+            return self._call_taint(node)
+        if isinstance(node, ast.Await):
+            return self.taint_of(node.value)
+        return None
+
+    def _call_taint(self, node: ast.Call) -> Optional[_Taint]:
+        """Taint of a call's result: any tainted argument taints it,
+        except order-laundering builtins which clear *order* taint."""
+        launders_order = (
+            isinstance(node.func, ast.Name) and node.func.id in _ORDER_LAUNDERING
+        )
+        for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+            taint = self.taint_of(arg)
+            if taint is None:
+                continue
+            if launders_order and taint[2] == UNORDERED_LABEL:
+                continue
+            return taint
+        # Method result on a tainted receiver stays tainted
+        # (``now.hex()``); order taint does not survive a method hop.
+        if isinstance(node.func, ast.Attribute):
+            taint = self.taint_of(node.func.value)
+            if taint is not None and taint[2] != UNORDERED_LABEL:
+                return taint
+        return None
+
+    # -- statement walk -------------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        taint = self.taint_of(node.value)
+        for target in node.targets:
+            self._bind(target, taint)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._bind(node.target, self.taint_of(node.value))
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        taint = self.taint_of(node.value)
+        if taint is not None:
+            self._bind(node.target, taint)
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._bind_loop(node.target, node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._bind_loop(node.target, node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension_generators(self, node: ast.AST) -> None:
+        for gen in getattr(node, "generators", []):
+            self._bind_loop(gen.target, gen.iter)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self.visit_comprehension_generators(node)
+        self.generic_visit(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self.visit_comprehension_generators(node)
+        self.generic_visit(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self.visit_comprehension_generators(node)
+        self.generic_visit(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self.visit_comprehension_generators(node)
+        self.generic_visit(node)
+
+    def _bind_loop(self, target: ast.expr, iterable: ast.expr) -> None:
+        taint = self.taint_of(iterable)
+        self._bind(target, taint)
+
+    def _bind(self, target: ast.expr, taint: Optional[_Taint]) -> None:
+        if isinstance(target, ast.Name):
+            if taint is not None:
+                self.tainted[target.id] = taint
+            else:
+                self.tainted.pop(target.id, None)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, taint)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, taint)
+        # Attribute/subscript targets: no tracking (self.* is cross-
+        # method state, out of intraprocedural scope).
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._collect_hits:
+            sink = self.is_sink(node)
+            if sink is not None:
+                for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+                    taint = self.taint_of(arg)
+                    if taint is not None:
+                        label, line, kind = taint
+                        self.hits.append(
+                            TaintHit(
+                                sink_node=node,
+                                sink_label=sink,
+                                source_label=label,
+                                source_line=line,
+                                kind=kind,
+                            )
+                        )
+                        break
+        self.generic_visit(node)
+
+    # Nested defs keep their own dataflow; do not descend.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+
+def _first(items: Iterator[Optional[_Taint]]) -> Optional[_Taint]:
+    for item in items:
+        if item is not None:
+            return item
+    return None
+
+
+def analyze_function(
+    func_node: ast.AST,
+    is_source: SourceFn,
+    is_sink: SinkFn,
+) -> List[TaintHit]:
+    """Run the taint pass over one function body.
+
+    Args:
+        func_node: A ``FunctionDef`` / ``AsyncFunctionDef`` node.
+        is_source: Classifier returning a label for source expressions.
+        is_sink: Classifier returning a label for sink call nodes.
+
+    Returns:
+        Hits in source order (stable across runs).
+    """
+    walker = _FunctionTaint(is_source, is_sink)
+    # Two propagation passes resolve chained assignments written out of
+    # order; the final pass collects sink hits against the fixpoint.
+    for collect in (False, False, True):
+        walker._collect_hits = collect
+        walker.hits = []
+        for stmt in func_node.body:  # type: ignore[attr-defined]
+            walker.visit(stmt)
+    walker.hits.sort(key=lambda hit: (hit.sink_node.lineno, hit.sink_node.col_offset))
+    return walker.hits

@@ -71,6 +71,12 @@ class GatewayLike(Protocol):
     Satisfied by :class:`AdmissionGateway` and by the durable
     write-ahead-journaled wrapper
     :class:`repro.serve.journal.DurableGateway`.
+
+    The ``*_async`` variants are what the asyncio server calls: a core
+    that performs real I/O (the durable journal) must keep it off the
+    event loop there.  The sync variants remain the interface for
+    in-process transports and recovery replay, where there is no loop
+    to stall.
     """
 
     @property
@@ -82,6 +88,10 @@ class GatewayLike(Protocol):
     def handle_line(self, line: str, origin: Any = None) -> List[Routed]: ...
 
     def drain(self) -> List[Routed]: ...
+
+    async def handle_line_async(self, line: str, origin: Any = None) -> List[Routed]: ...
+
+    async def drain_async(self) -> List[Routed]: ...
 
 
 class AdmissionGateway:
@@ -193,6 +203,15 @@ class AdmissionGateway:
         for pipeline in self.registry:
             routed.extend(self._emit_decided(pipeline.flush()))
         return routed
+
+    async def handle_line_async(self, line: str, origin: Any = None) -> List[Routed]:
+        """Async facade over :meth:`handle_line` — the core is pure
+        compute, so there is nothing to offload."""
+        return self.handle_line(line, origin=origin)
+
+    async def drain_async(self) -> List[Routed]:
+        """Async facade over :meth:`drain` (pure compute)."""
+        return self.drain()
 
     # ------------------------------------------------------------------
     # Idempotency (rid deduplication)
@@ -534,7 +553,7 @@ class GatewayServer:
         """Graceful drain: flush batches, deliver responses, close."""
         self.gateway.draining = True
         async with self._lock:
-            await self._deliver(self.gateway.drain())
+            await self._deliver(await self.gateway.drain_async())
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -570,11 +589,17 @@ class GatewayServer:
                     continue
                 # The lock serializes dispatch across connections, so the
                 # deterministic core only ever sees one request at a time.
+                # The async variant keeps a durable core's journal I/O
+                # off the event loop (executor offload inside).
                 async with self._lock:
-                    routed = self.gateway.handle_line(line, origin=origin)
+                    routed = await self.gateway.handle_line_async(line, origin=origin)
                     await self._deliver(routed)
         finally:
-            self._writers.pop(origin, None)
+            # The origin key is written once above and removed only
+            # here, both by this connection's own task — no other
+            # coroutine touches this key, so the two mutations cannot
+            # race across the awaits in between.
+            self._writers.pop(origin, None)  # repro: noqa[ASY002] — per-connection key, single-owner
             writer.close()
 
     async def _deliver(self, routed: List[Routed]) -> None:

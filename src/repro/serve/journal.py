@@ -44,6 +44,7 @@ with ``seq`` at or below the snapshot's sequence number.
 
 from __future__ import annotations
 
+import asyncio
 import json
 import os
 import tempfile
@@ -372,22 +373,30 @@ class DurableGateway:
     def registry(self) -> Any:
         return self.gateway.registry
 
-    def handle_line(self, line: str, origin: Any = None) -> List[Routed]:
-        """Journal (when mutating) then dispatch one request line."""
+    def _journaled_request(self, line: str) -> Optional[Dict[str, Any]]:
+        """The parsed request to journal before dispatch, or ``None``.
+
+        ``None`` covers the bypass cases: unparseable lines (only bump
+        the error counter — counters are diagnostics, not part of the
+        durability contract), non-mutating ops, and idempotent retries
+        already decided in the dedup window (journaling a retry would
+        replay a second, state-mutating copy of the op).
+        """
         try:
             request = parse_request(line)
         except ProtocolError:
-            # Unparseable lines only bump the error counter — counters
-            # are diagnostics, not part of the durability contract.
-            return self.gateway.handle_line(line, origin)
-        op = request.get("op")
-        if op not in JOURNALED_OPS:
-            return self.gateway.handle_line(line, origin)
+            return None
+        if request.get("op") not in JOURNALED_OPS:
+            return None
         rid = request.get("rid")
         if isinstance(rid, str) and self.gateway.dedup_status(rid) != "unknown":
-            # A retry served from the dedup window (or bounced as
-            # duplicate-request) re-runs nothing; journaling it would
-            # replay a second, state-mutating copy of the op.
+            return None
+        return request
+
+    def handle_line(self, line: str, origin: Any = None) -> List[Routed]:
+        """Journal (when mutating) then dispatch one request line."""
+        request = self._journaled_request(line)
+        if request is None:
             return self.gateway.handle_line(line, origin)
         self.journal.append(request)
         routed = self.gateway.handle_line(line, origin)
@@ -409,6 +418,40 @@ class DurableGateway:
         routed = self.gateway.drain()
         self._ops_since_snapshot += 1
         self._maybe_compact()
+        return routed
+
+    async def handle_line_async(self, line: str, origin: Any = None) -> List[Routed]:
+        """Event-loop-safe :meth:`handle_line`: journal I/O (append,
+        flush, optional fsync) and compaction run in the default
+        executor so the loop keeps scheduling other coroutines.
+
+        Ordering is identical to the sync path — the journal append
+        *completes* before the core dispatches, and the server's
+        dispatch lock is held across the whole call, so durability and
+        bitwise determinism are unchanged.
+        """
+        request = self._journaled_request(line)
+        if request is None:
+            return self.gateway.handle_line(line, origin)
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.journal.append, request)
+        routed = self.gateway.handle_line(line, origin)
+        self._ops_since_snapshot += 1
+        await loop.run_in_executor(None, self._maybe_compact)
+        return routed
+
+    async def drain_async(self) -> List[Routed]:
+        """Event-loop-safe :meth:`drain`; same offloading as
+        :meth:`handle_line_async`."""
+        if not any(pipeline.pending for pipeline in self.gateway.registry):
+            return []
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            None, self.journal.append, {"op": "drain", "synthetic": True}
+        )
+        routed = self.gateway.drain()
+        self._ops_since_snapshot += 1
+        await loop.run_in_executor(None, self._maybe_compact)
         return routed
 
     # -- Compaction ----------------------------------------------------

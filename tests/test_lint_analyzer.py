@@ -1,0 +1,707 @@
+"""Whole-program analyzer: call graph, taint, ASY/DET1xx/EXS rules,
+baseline ratchet, SARIF output, and the unused-suppression audit."""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import analyze_paths
+from repro.lint.baseline import (
+    apply_baseline,
+    fingerprint,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.graph import FILE_TYPE, SET_TYPE, ProjectContext, module_name_for
+from repro.lint.sarif import render_sarif, to_sarif
+
+
+def write_pkg(root: Path, files: dict) -> Path:
+    """Materialize ``{relpath: source}`` under ``root/proj``."""
+    base = root / "proj"
+    for rel, source in files.items():
+        path = base / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return base
+
+
+def build_project(base: Path) -> ProjectContext:
+    files = []
+    for path in sorted(base.rglob("*.py")):
+        files.append((path, FileContext(str(path), path.read_text())))
+    return ProjectContext(files)
+
+
+# ----------------------------------------------------------------------
+# Symbol table / call graph
+# ----------------------------------------------------------------------
+
+
+class TestCallGraph:
+    def test_module_names_follow_packages(self, tmp_path):
+        base = write_pkg(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/sub/__init__.py": "",
+                "pkg/sub/mod.py": "def f():\n    pass\n",
+                "loose.py": "def g():\n    pass\n",
+            },
+        )
+        assert module_name_for(base / "pkg" / "sub" / "mod.py") == "pkg.sub.mod"
+        assert module_name_for(base / "loose.py") == "loose"
+
+    def test_direct_call_edge(self, tmp_path):
+        base = write_pkg(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/a.py": "def helper():\n    pass\n\ndef caller():\n    helper()\n",
+            },
+        )
+        project = build_project(base)
+        caller = project.functions["pkg.a.caller"]
+        targets = [t for site in caller.calls for t in site.targets]
+        assert targets == ["pkg.a.helper"]
+
+    def test_cross_module_import_edge(self, tmp_path):
+        base = write_pkg(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/util.py": "def enc(x):\n    return x\n",
+                "pkg/b.py": "from .util import enc\n\ndef go():\n    return enc(1)\n",
+            },
+        )
+        project = build_project(base)
+        go = project.functions["pkg.b.go"]
+        targets = [t for site in go.calls for t in site.targets]
+        assert targets == ["pkg.util.enc"]
+
+    def test_method_resolved_via_annotated_attribute(self, tmp_path):
+        base = write_pkg(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/core.py": (
+                    "class Engine:\n"
+                    "    def run(self):\n"
+                    "        pass\n"
+                ),
+                "pkg/wrap.py": (
+                    "from .core import Engine\n\n"
+                    "class Wrapper:\n"
+                    "    def __init__(self, engine: Engine):\n"
+                    "        self.engine = engine\n"
+                    "    def go(self):\n"
+                    "        self.engine.run()\n"
+                ),
+            },
+        )
+        project = build_project(base)
+        wrapper = project.classes["pkg.wrap.Wrapper"]
+        assert wrapper.attr_types["engine"] == "pkg.core.Engine"
+        go = project.functions["pkg.wrap.Wrapper.go"]
+        targets = [t for site in go.calls for t in site.targets]
+        assert targets == ["pkg.core.Engine.run"]
+
+    def test_open_result_gets_file_pseudo_type(self, tmp_path):
+        base = write_pkg(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/j.py": (
+                    "class J:\n"
+                    "    def __init__(self, p):\n"
+                    "        self._fh = open(p)\n"
+                    "    def put(self, x):\n"
+                    "        self._fh.write(x)\n"
+                ),
+            },
+        )
+        project = build_project(base)
+        assert project.classes["pkg.j.J"].attr_types["_fh"] == FILE_TYPE
+        put = project.functions["pkg.j.J.put"]
+        assert [site.external for site in put.calls] == [f"{FILE_TYPE}.write"]
+
+    def test_set_annotation_gets_set_pseudo_type(self, tmp_path):
+        base = write_pkg(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/s.py": "def f(items: set):\n    return items\n",
+            },
+        )
+        project = build_project(base)
+        func = project.functions["pkg.s.f"]
+        import ast
+
+        name = ast.parse("items", mode="eval").body
+        assert project.expr_type(func, name) == SET_TYPE
+
+    def test_protocol_receiver_fans_out_to_implementers(self, tmp_path):
+        base = write_pkg(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/proto.py": (
+                    "from typing import Protocol\n\n"
+                    "class CoreLike(Protocol):\n"
+                    "    def handle(self, line: str) -> str: ...\n\n"
+                    "class Fast:\n"
+                    "    def handle(self, line: str) -> str:\n"
+                    "        return line\n\n"
+                    "class Slow:\n"
+                    "    def handle(self, line: str) -> str:\n"
+                    "        return line.strip()\n"
+                ),
+                "pkg/srv.py": (
+                    "from .proto import CoreLike\n\n"
+                    "class Server:\n"
+                    "    def __init__(self, core: CoreLike):\n"
+                    "        self.core = core\n"
+                    "    def dispatch(self, line):\n"
+                    "        return self.core.handle(line)\n"
+                ),
+            },
+        )
+        project = build_project(base)
+        dispatch = project.functions["pkg.srv.Server.dispatch"]
+        targets = sorted(t for site in dispatch.calls for t in site.targets)
+        assert targets == ["pkg.proto.Fast.handle", "pkg.proto.Slow.handle"]
+
+
+# ----------------------------------------------------------------------
+# ASY001 — blocking reachability
+# ----------------------------------------------------------------------
+
+#: A miniature of the pre-fix serve layer: async handler -> sync
+#: wrapper -> journal append that writes and fsyncs an open file.
+PREFIX_JOURNAL_PKG = {
+    "pkg/__init__.py": "",
+    "pkg/journal.py": (
+        """
+        import os
+
+
+        class Journal:
+            def __init__(self, path):
+                self._file = open(path, "a")
+
+            def append(self, record):
+                self._file.write(record)
+                self._file.flush()
+                os.fsync(self._file.fileno())
+
+
+        class Durable:
+            def __init__(self, journal: Journal):
+                self.journal = journal
+
+            def handle(self, line):
+                self.journal.append(line)
+                return line
+        """
+    ),
+    "pkg/server.py": (
+        """
+        from .journal import Durable
+
+
+        class Server:
+            def __init__(self, core: Durable):
+                self.core = core
+
+            async def serve(self, line):
+                return self.core.handle(line)
+        """
+    ),
+}
+
+
+class TestASY001:
+    def test_flags_pre_fix_journal_chain(self, tmp_path):
+        """The known true positive this PR fixed, pinned as a fixture:
+        an async handler reaching file write/fsync through two sync
+        frames must be reported with the full chain."""
+        base = write_pkg(tmp_path, PREFIX_JOURNAL_PKG)
+        findings = [
+            f for f in analyze_paths([str(base)], select=["ASY001"])
+        ]
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.rule == "ASY001"
+        assert finding.path.endswith("server.py")
+        assert "Server.serve -> Durable.handle -> Journal.append" in finding.message
+        assert "run_in_executor" in finding.message
+
+    def test_executor_hop_breaks_the_chain(self, tmp_path):
+        files = dict(PREFIX_JOURNAL_PKG)
+        files["pkg/server.py"] = textwrap.dedent(
+            """
+            import asyncio
+
+            from .journal import Durable
+
+
+            class Server:
+                def __init__(self, core: Durable):
+                    self.core = core
+
+                async def serve(self, line):
+                    loop = asyncio.get_running_loop()
+                    return await loop.run_in_executor(None, self.core.handle, line)
+            """
+        )
+        base = write_pkg(tmp_path, files)
+        assert analyze_paths([str(base)], select=["ASY001"]) == []
+
+    def test_direct_blocking_call_in_async(self, tmp_path):
+        base = write_pkg(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/m.py": (
+                    "import time\n\n"
+                    "async def pause():\n"
+                    "    time.sleep(1)\n"
+                ),
+            },
+        )
+        findings = analyze_paths([str(base)], select=["ASY001"])
+        assert [f.rule for f in findings] == ["ASY001"]
+        assert "time.sleep" in findings[0].message
+
+    def test_async_callee_is_not_a_blocking_edge(self, tmp_path):
+        base = write_pkg(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/m.py": (
+                    "import time\n\n"
+                    "async def inner():\n"
+                    "    time.sleep(1)\n\n"
+                    "async def outer():\n"
+                    "    await inner()\n"
+                ),
+            },
+        )
+        findings = analyze_paths([str(base)], select=["ASY001"])
+        # inner is flagged at its own call site; outer's await of a
+        # coroutine suspends rather than blocks and is not re-flagged.
+        assert [f.line for f in findings] == [4]
+
+    def test_sync_only_project_is_clean(self, tmp_path):
+        base = write_pkg(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/m.py": (
+                    "import time\n\n"
+                    "def pause():\n"
+                    "    time.sleep(1)\n"
+                ),
+            },
+        )
+        assert analyze_paths([str(base)], select=["ASY001"]) == []
+
+
+# ----------------------------------------------------------------------
+# ASY002 — mutation straddling an await
+# ----------------------------------------------------------------------
+
+
+class TestASY002:
+    def test_flags_mutation_on_both_sides_of_await(self, tmp_path):
+        base = write_pkg(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/m.py": (
+                    "class C:\n"
+                    "    async def go(self):\n"
+                    "        self.items.append(1)\n"
+                    "        await self.wait()\n"
+                    "        self.items.pop()\n"
+                ),
+            },
+        )
+        findings = analyze_paths([str(base)], select=["ASY002"])
+        assert len(findings) == 1
+        assert "self.items" in findings[0].message
+        assert findings[0].line == 5  # anchored at the second mutation
+
+    def test_mutations_on_one_side_are_fine(self, tmp_path):
+        base = write_pkg(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/m.py": (
+                    "class C:\n"
+                    "    async def go(self):\n"
+                    "        self.items.append(1)\n"
+                    "        self.items.pop()\n"
+                    "        await self.wait()\n"
+                ),
+            },
+        )
+        assert analyze_paths([str(base)], select=["ASY002"]) == []
+
+    def test_distinct_attributes_do_not_pair(self, tmp_path):
+        base = write_pkg(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/m.py": (
+                    "class C:\n"
+                    "    async def go(self):\n"
+                    "        self.a = 1\n"
+                    "        await self.wait()\n"
+                    "        self.b = 2\n"
+                ),
+            },
+        )
+        assert analyze_paths([str(base)], select=["ASY002"]) == []
+
+
+# ----------------------------------------------------------------------
+# DET101 / DET102 — determinism taint
+# ----------------------------------------------------------------------
+
+ENCODE_MODULE = {
+    "pkg/__init__.py": "",
+    "pkg/proto.py": (
+        "import json\n\n"
+        "def encode(doc):\n"
+        "    return json.dumps(doc, sort_keys=True)\n"
+    ),
+}
+
+
+class TestDET101:
+    def test_wall_clock_into_project_encode(self, tmp_path):
+        files = dict(ENCODE_MODULE)
+        files["pkg/uses.py"] = (
+            "import time\n\n"
+            "from .proto import encode\n\n"
+            "def stamp():\n"
+            "    now = time.time()\n"
+            "    doc = {'t': now}\n"
+            "    return encode(doc)\n"
+        )
+        base = write_pkg(tmp_path, files)
+        findings = analyze_paths([str(base)], select=["DET101"])
+        assert len(findings) == 1
+        assert "time.time()" in findings[0].message
+        assert "`encode`" in findings[0].message
+
+    def test_str_encode_method_is_not_a_sink(self, tmp_path):
+        files = dict(ENCODE_MODULE)
+        files["pkg/uses.py"] = (
+            "import time\n\n"
+            "def raw():\n"
+            "    now = time.time()\n"
+            "    return str(now).encode('utf-8')\n"
+        )
+        base = write_pkg(tmp_path, files)
+        assert analyze_paths([str(base)], select=["DET101"]) == []
+
+    def test_untainted_argument_is_clean(self, tmp_path):
+        files = dict(ENCODE_MODULE)
+        files["pkg/uses.py"] = (
+            "from .proto import encode\n\n"
+            "def fixed():\n"
+            "    return encode({'t': 1})\n"
+        )
+        base = write_pkg(tmp_path, files)
+        assert analyze_paths([str(base)], select=["DET101"]) == []
+
+    def test_journal_append_attribute_is_a_sink(self, tmp_path):
+        base = write_pkg(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/j.py": (
+                    "import os\n\n"
+                    "class Journal:\n"
+                    "    def append(self, rec):\n"
+                    "        return rec\n\n"
+                    "class Wrap:\n"
+                    "    def __init__(self, journal: Journal):\n"
+                    "        self.journal = journal\n"
+                    "    def log(self):\n"
+                    "        nonce = os.urandom(8)\n"
+                    "        self.journal.append({'n': nonce})\n"
+                ),
+            },
+        )
+        findings = analyze_paths([str(base)], select=["DET101"])
+        assert len(findings) == 1
+        assert "os.urandom" in findings[0].message
+
+
+class TestDET102:
+    def test_set_iteration_into_encode(self, tmp_path):
+        files = dict(ENCODE_MODULE)
+        files["pkg/uses.py"] = (
+            "from .proto import encode\n\n"
+            "def dump(items: set):\n"
+            "    doc = [i for i in items]\n"
+            "    return encode(doc)\n"
+        )
+        base = write_pkg(tmp_path, files)
+        findings = analyze_paths([str(base)], select=["DET102"])
+        assert len(findings) == 1
+        assert "set iteration order" in findings[0].message
+
+    def test_sorted_launders_order(self, tmp_path):
+        files = dict(ENCODE_MODULE)
+        files["pkg/uses.py"] = (
+            "from .proto import encode\n\n"
+            "def dump(items: set):\n"
+            "    doc = sorted(items)\n"
+            "    return encode(doc)\n"
+        )
+        base = write_pkg(tmp_path, files)
+        assert analyze_paths([str(base)], select=["DET102"]) == []
+
+    def test_set_literal_source(self, tmp_path):
+        files = dict(ENCODE_MODULE)
+        files["pkg/uses.py"] = (
+            "from .proto import encode\n\n"
+            "def dump():\n"
+            "    items = {1, 2, 3}\n"
+            "    return encode(list(items))\n"
+        )
+        base = write_pkg(tmp_path, files)
+        findings = analyze_paths([str(base)], select=["DET102"])
+        assert len(findings) == 1
+
+
+# ----------------------------------------------------------------------
+# EXS001 — float accumulation bypassing ExactSum
+# ----------------------------------------------------------------------
+
+
+class TestEXS001:
+    def test_flags_raw_float_accumulation(self, tmp_path):
+        base = write_pkg(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/t.py": (
+                    "class Tracker:\n"
+                    "    def __init__(self):\n"
+                    "        self.util_sum = 0.0\n"
+                    "    def add(self, u):\n"
+                    "        self.util_sum += u\n"
+                ),
+            },
+        )
+        findings = analyze_paths([str(base)], select=["EXS001"])
+        assert len(findings) == 1
+        assert "ExactSum" in findings[0].message
+        assert findings[0].line == 5
+
+    def test_integer_counters_are_fine(self, tmp_path):
+        base = write_pkg(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/t.py": (
+                    "class Tracker:\n"
+                    "    def __init__(self):\n"
+                    "        self.usage_events = 0\n"
+                    "        self.errors = 0\n"
+                    "    def bump(self):\n"
+                    "        self.usage_events += 1\n"
+                    "        self.errors += 1\n"
+                ),
+            },
+        )
+        assert analyze_paths([str(base)], select=["EXS001"]) == []
+
+    def test_non_accumulator_attributes_are_fine(self, tmp_path):
+        base = write_pkg(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/t.py": (
+                    "class Clock:\n"
+                    "    def advance(self, dt):\n"
+                    "        self.now += dt\n"
+                ),
+            },
+        )
+        assert analyze_paths([str(base)], select=["EXS001"]) == []
+
+
+# ----------------------------------------------------------------------
+# SUP001 — unused suppressions
+# ----------------------------------------------------------------------
+
+
+class TestUnusedSuppressions:
+    def test_stale_noqa_is_flagged(self, tmp_path):
+        base = write_pkg(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/m.py": "x = 1  # repro: noqa[RNG001] — nothing here needs this\n",
+            },
+        )
+        findings = analyze_paths([str(base)])
+        assert [f.rule for f in findings] == ["SUP001"]
+        assert "RNG001" in findings[0].message
+
+    def test_used_noqa_is_not_flagged(self, tmp_path):
+        base = write_pkg(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/m.py": "def f(x=[]):  # repro: noqa[MUT001] — intentional shared default\n    return x\n",
+            },
+        )
+        assert analyze_paths([str(base)]) == []
+
+    def test_noqa_mention_in_docstring_is_ignored(self, tmp_path):
+        base = write_pkg(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/m.py": '"""Docs about the # repro: noqa[RNG001] syntax."""\n',
+            },
+        )
+        assert analyze_paths([str(base)]) == []
+
+    def test_narrowed_runs_skip_the_audit(self, tmp_path):
+        base = write_pkg(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/m.py": "x = 1  # repro: noqa[RNG001] — stale\n",
+            },
+        )
+        # A --select run cannot distinguish stale from not-executed.
+        assert analyze_paths([str(base)], select=["RNG001"]) == []
+
+
+# ----------------------------------------------------------------------
+# Baseline ratchet
+# ----------------------------------------------------------------------
+
+
+def _finding(path="pkg/m.py", line=3, rule="ASY001", message="blocking call"):
+    return Finding(path=path, line=line, col=0, rule=rule, message=message)
+
+
+class TestBaseline:
+    def test_round_trip_absorbs_exactly_the_recorded_findings(self, tmp_path):
+        a = _finding(line=3)
+        b = _finding(line=9, rule="DET101", message="tainted encode")
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, [a, b])
+        baseline = load_baseline(baseline_file)
+        result = apply_baseline([a, b], baseline)
+        assert result.new == []
+        assert sorted(result.suppressed) == sorted([a, b])
+        assert result.expired == {}
+
+    def test_fingerprint_ignores_line_numbers(self):
+        moved = _finding(line=40)
+        assert fingerprint(_finding(line=3)) == fingerprint(moved)
+
+    def test_fixed_finding_expires_its_entry(self, tmp_path):
+        a, b = _finding(), _finding(rule="DET101", message="tainted encode")
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, [a, b])
+        result = apply_baseline([a], load_baseline(baseline_file))
+        assert result.new == []
+        assert list(result.expired) == [fingerprint(b)]
+
+    def test_regression_beyond_baselined_count_is_new(self, tmp_path):
+        a = _finding()
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, [a])
+        twin = _finding(line=77)  # same fingerprint, second instance
+        result = apply_baseline([a, twin], load_baseline(baseline_file))
+        assert len(result.suppressed) == 1 and len(result.new) == 1
+
+    def test_malformed_baseline_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"version": 99}')
+        with pytest.raises(ValueError):
+            load_baseline(bad)
+
+
+# ----------------------------------------------------------------------
+# SARIF
+# ----------------------------------------------------------------------
+
+
+class TestSarif:
+    def test_matches_golden_file(self, tmp_path):
+        findings = [
+            _finding(path="pkg/server.py", line=12, rule="ASY001",
+                     message="blocking call os.fsync() reachable from async serve"),
+            _finding(path="pkg/proto.py", line=7, rule="DET101",
+                     message="time.time() flows into encode"),
+        ]
+        golden = Path(__file__).parent / "data" / "lint_golden.sarif"
+        assert render_sarif(findings) == golden.read_text(encoding="utf-8")
+
+    def test_structure_and_determinism(self):
+        findings = [_finding()]
+        doc = to_sarif(findings)
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert rule_ids == sorted(rule_ids)
+        for expected in ("ASY001", "ASY002", "DET101", "DET102", "EXS001",
+                         "SUP001", "SYN000"):
+            assert expected in rule_ids
+        result = run["results"][0]
+        assert result["ruleId"] == "ASY001"
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "pkg/m.py"
+        assert loc["region"] == {"startLine": 3, "startColumn": 1}
+        assert render_sarif(findings) == render_sarif(list(findings))
+
+    def test_result_links_rule_index(self):
+        doc = to_sarif([_finding()])
+        run = doc["runs"][0]
+        idx = run["results"][0]["ruleIndex"]
+        assert run["tool"]["driver"]["rules"][idx]["id"] == "ASY001"
+
+
+# ----------------------------------------------------------------------
+# The whole engine over the real serve layer (regression pin)
+# ----------------------------------------------------------------------
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+class TestServeLayerPin:
+    def test_post_fix_serve_layer_has_no_async_findings(self):
+        findings = analyze_paths(
+            [str(REPO_SRC / "repro" / "serve")], select=["ASY001", "ASY002"]
+        )
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_sync_journal_path_still_resolves_in_graph(self):
+        """The graph must keep seeing the blocking chain in the *sync*
+        entry points — the fix moved the async path onto an executor,
+        it did not lose the engine's visibility into Journal.append."""
+        files = []
+        for path in sorted((REPO_SRC / "repro" / "serve").rglob("*.py")):
+            files.append((path, FileContext(str(path), path.read_text())))
+        project = ProjectContext(files)
+        append = project.functions["repro.serve.journal.Journal.append"]
+        externals = {site.external for site in append.calls}
+        assert f"{FILE_TYPE}.write" in externals

@@ -1,13 +1,15 @@
 """Tier-1 gate: the repository's own source must lint clean.
 
 Every future PR runs behind this test — a new unseeded RNG, raw float
-equality on a deadline, or an infeasible literal task set fails the
-suite, not just a style check.
+equality on a deadline, an infeasible literal task set, a blocking
+call reachable from the event loop, or a nondeterministic value
+flowing into the journal fails the suite, not just a style check.
 """
 
 from pathlib import Path
 
-from repro.lint import lint_paths
+from repro.lint import analyze_paths, lint_paths
+from repro.lint.baseline import apply_baseline, load_baseline
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -24,3 +26,25 @@ def test_examples_and_benchmarks_lint_clean():
         [str(REPO_ROOT / "examples"), str(REPO_ROOT / "benchmarks")]
     )
     assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_whole_program_pass_is_clean():
+    # The full analyzer: per-file rules, call-graph/taint rules, and
+    # the unused-suppression audit, across everything CI lints.
+    findings = analyze_paths(
+        [
+            str(REPO_ROOT / "src"),
+            str(REPO_ROOT / "examples"),
+            str(REPO_ROOT / "benchmarks"),
+        ]
+    )
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_committed_baseline_is_empty_and_loadable():
+    # The tree carries no accepted debt: the committed baseline must
+    # load, hold zero entries, and absorb nothing.
+    baseline = load_baseline(REPO_ROOT / "lint-baseline.json")
+    assert baseline == {}
+    result = apply_baseline(analyze_paths([str(REPO_ROOT / "src")]), baseline)
+    assert result.new == [] and result.suppressed == [] and result.expired == {}

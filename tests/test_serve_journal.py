@@ -228,3 +228,70 @@ class TestDurableGateway:
         durable.close()
         scan = scan_journal(tmp_path / "journal.ndjson")
         assert [r["op"]["op"] for r in scan.records] == ["register"]
+
+
+class TestAsyncOffload:
+    """The event-loop-safe entry points must be byte-equivalent to the
+    sync ones: same responses, same journal bytes, same snapshots —
+    only *where* the I/O runs (the default executor) changes."""
+
+    @staticmethod
+    def _workload():
+        lines = [json.dumps({"id": 0, "op": "register", "pipeline": "web",
+                             "policy": {"num_stages": 2, "max_batch": 2}})]
+        for n in range(1, 6):
+            lines.append(json.dumps({
+                "id": n, "op": "admit", "pipeline": "web",
+                "task": {"task_id": n, "arrival": float(n),
+                         "deadline": float(n) + 1.0, "costs": [0.1, 0.1]},
+            }))
+        lines.append('{"id": 99, "op": "health"}')
+        lines.append("{not json")
+        return lines
+
+    def test_async_path_is_bitwise_identical_to_sync(self, tmp_path):
+        import asyncio
+
+        sync_dir = tmp_path / "sync"
+        async_dir = tmp_path / "async"
+        sync_dir.mkdir()
+        async_dir.mkdir()
+        sync_gw = _durable(sync_dir, snapshot_every=3)
+        async_gw = _durable(async_dir, snapshot_every=3)
+
+        sync_out = [sync_gw.handle_line(line) for line in self._workload()]
+        sync_out.append(sync_gw.drain())
+        sync_gw.close()
+
+        async def run():
+            out = [await async_gw.handle_line_async(line)
+                   for line in self._workload()]
+            out.append(await async_gw.drain_async())
+            return out
+
+        async_out = asyncio.run(run())
+        async_gw.close()
+
+        assert async_out == sync_out
+        assert (async_dir / "journal.ndjson").read_bytes() == \
+            (sync_dir / "journal.ndjson").read_bytes()
+        assert (async_dir / "snapshot.json").exists() == \
+            (sync_dir / "snapshot.json").exists()
+        if (sync_dir / "snapshot.json").exists():
+            assert (async_dir / "snapshot.json").read_bytes() == \
+                (sync_dir / "snapshot.json").read_bytes()
+
+    def test_plain_gateway_async_facade(self):
+        import asyncio
+
+        gateway = AdmissionGateway()
+        line = json.dumps({"id": 0, "op": "register", "pipeline": "web",
+                           "policy": {"num_stages": 2}})
+        twin = AdmissionGateway()
+
+        async def run():
+            routed = await gateway.handle_line_async(line)
+            routed += await gateway.drain_async()
+            return routed
+
+        assert asyncio.run(run()) == twin.handle_line(line) + twin.drain()
