@@ -18,10 +18,13 @@ chaos:
 # in-process gateway twice and require byte-identical reports, zero
 # deadline misses, batching equivalence, and a clean snapshot audit —
 # then 24 crash/recover cycles with zero lost or duplicated admissions
-# and bitwise-identical recovered state.
+# and bitwise-identical recovered state, and 12 fleet chaos cycles
+# (worker SIGKILLs + network faults across 3 shards) with the same
+# zero-loss/zero-duplication guarantee against a shadow fleet.
 serve-smoke:
 	$(PYTHON) -m repro.serve.loadgen --scenario webserver --seed 0 --requests 1000 --selftest
 	$(PYTHON) -m repro.serve.loadgen --chaos-crash --cycles 24 --seed 0 --selftest
+	$(PYTHON) -m repro.serve.loadgen --chaos-fleet --cycles 12 --workers 3 --seed 0 --selftest
 
 # Consolidated benchmark run: paper-artifact and serving benchmarks in
 # BENCH_serve.json, the core hot-path + analyzer suite

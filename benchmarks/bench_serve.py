@@ -204,3 +204,77 @@ def test_admit_stream_journal_fsync(benchmark, tmp_path):
     _assert_admits(
         run_once(benchmark, lambda: _durable_run(tmp_path, lines, True, "fsync"))
     )
+
+
+# ----------------------------------------------------------------------
+# Fleet overhead: shard enforcement on the hot path, and a supervised
+# 3-worker fleet (routing + durable workers + one heartbeat round).
+# ----------------------------------------------------------------------
+
+
+def test_admit_stream_shard_gateway(benchmark):
+    # The same stream as the journal benchmarks, behind ownership
+    # enforcement: measures the per-line cost of the shard bounce check
+    # when every request is correctly routed (the common case).
+    from repro.serve.router import ShardGateway, ShardMap
+
+    lines = _admit_lines()
+    shard_map = ShardMap(shards=3, assignments=(("bench", 0),))
+
+    def run():
+        return _drive_lines(ShardGateway(AdmissionGateway(), 0, shard_map), lines)
+
+    _assert_admits(run_once(benchmark, run))
+
+
+def test_fleet_dispatch_three_workers(benchmark, tmp_path):
+    from repro.serve.fleet import FleetSupervisor
+    from repro.serve.router import ShardMap
+
+    names = ["bench-a", "bench-b", "bench-c"]
+    docs = []
+    for shard, name in enumerate(names):
+        docs.append(
+            {
+                "id": f"reg-{shard}",
+                "op": "register",
+                "pipeline": name,
+                "policy": {"num_stages": NUM_STAGES},
+            }
+        )
+    for n, task in enumerate(_trace(seed=3, count=JOURNAL_TRACE_LEN), start=1):
+        docs.append(
+            {
+                "id": n,
+                "op": "admit",
+                "pipeline": names[n % len(names)],
+                "task": {
+                    "task_id": task.task_id,
+                    "arrival": task.arrival_time,
+                    "deadline": task.arrival_time + task.deadline,
+                    "costs": list(task.computation_times),
+                },
+            }
+        )
+
+    def run(root):
+        fleet = FleetSupervisor(
+            3, root, shard_map=ShardMap.balanced(names, 3), snapshot_every=0
+        )
+        fleet.start()
+        try:
+            admitted = 0
+            for doc in docs:
+                for response in fleet.dispatch(doc):
+                    if json.loads(response).get("admitted"):
+                        admitted += 1
+            fleet.probe()
+            return admitted
+        finally:
+            fleet.close()
+
+    runs = iter(range(1_000_000))
+    admitted = run_once(
+        benchmark, lambda: run(tmp_path / f"fleet-{next(runs)}")
+    )
+    _assert_admits(admitted)

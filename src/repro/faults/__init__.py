@@ -27,11 +27,17 @@ from .degradation import (
 from .injector import FaultInjector
 from .schedule import (
     ArrivalBurst,
+    ConnectionStorm,
     DropNotification,
     ExecutionOverrun,
     FaultSchedule,
+    NetworkFaultSchedule,
+    PartialWrite,
+    SlowClientStall,
     StageOutage,
     StageSlowdown,
+    TornFrame,
+    WorkerKill,
 )
 
 __all__ = [
@@ -40,10 +46,16 @@ __all__ = [
     "BackoffPolicy",
     "BrownoutConfig",
     "BrownoutController",
+    "ConnectionStorm",
     "DropNotification",
     "ExecutionOverrun",
     "FaultInjector",
     "FaultSchedule",
+    "NetworkFaultSchedule",
+    "PartialWrite",
+    "SlowClientStall",
     "StageOutage",
     "StageSlowdown",
+    "TornFrame",
+    "WorkerKill",
 ]

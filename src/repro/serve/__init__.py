@@ -20,9 +20,18 @@ exactly-once admission across timeouts and reconnects, and
 ``python -m repro.serve.loadgen --chaos-crash`` proves zero
 lost/duplicated admissions across repeated kill/recover cycles.
 
+Fleet (PR 7): a :class:`~repro.serve.fleet.FleetSupervisor` partitions
+the registry across N workers via a versioned
+:class:`~repro.serve.router.ShardMap`, monitors them with seq-stamped
+heartbeats, and restarts dead workers through the recovery path;
+``python -m repro.serve.loadgen --chaos-fleet`` proves zero
+lost/duplicated admissions and bitwise-identical recovered registries
+under whole-worker SIGKILL plus torn-frame / partial-write /
+slow-client / connection-storm network faults.
+
 See DESIGN.md §9 for the mapping from protocol operations to the
-paper's Section-4 bookkeeping rules, and §10 for the durability
-contract.
+paper's Section-4 bookkeeping rules, §10 for the durability contract,
+and §13 for the fleet failover invariants.
 """
 
 from .batching import AdmissionBatcher
@@ -36,15 +45,27 @@ from .client import (
     RetryPolicy,
     TcpTransport,
 )
+from .fleet import (
+    FleetError,
+    FleetSupervisor,
+    HeartbeatMonitor,
+    InProcessWorker,
+    ProcessFleet,
+    ProcessWorker,
+    WorkerUnavailable,
+)
+from .fleetchaos import fleet_chaos_gate_failures, run_fleet_chaos
 from .gateway import AdmissionGateway, GatewayLike, GatewayServer
 from .journal import (
     GATEWAY_SNAPSHOT_FORMAT,
     DurableGateway,
     Journal,
     JournalError,
+    fsync_dir,
     scan_journal,
 )
 from .protocol import OPS, ProtocolError
+from .router import ShardGateway, ShardMap, ShardRouter
 from .recovery import (
     RecoveryError,
     RecoveryReport,
@@ -66,6 +87,8 @@ __all__ = [
     "AdmissionBatcher",
     "AdmissionGateway",
     "DurableGateway",
+    "FleetError",
+    "FleetSupervisor",
     "GATEWAY_SNAPSHOT_FORMAT",
     "GatewayClient",
     "GatewayControllerProxy",
@@ -73,12 +96,16 @@ __all__ = [
     "GatewayLike",
     "GatewayServer",
     "GatewayTimeout",
+    "HeartbeatMonitor",
     "InProcessTransport",
+    "InProcessWorker",
     "Journal",
     "JournalError",
     "OPS",
     "PipelinePolicy",
     "PipelineRegistry",
+    "ProcessFleet",
+    "ProcessWorker",
     "ProtocolError",
     "RecoveryError",
     "RecoveryReport",
@@ -88,12 +115,19 @@ __all__ = [
     "SNAPSHOT_FORMAT_V1",
     "SUPPORTED_SNAPSHOT_FORMATS",
     "ServedPipeline",
+    "ShardGateway",
+    "ShardMap",
+    "ShardRouter",
     "TcpTransport",
+    "WorkerUnavailable",
     "controller_snapshot",
+    "fleet_chaos_gate_failures",
+    "fsync_dir",
     "recover",
     "registry_fingerprint",
     "restore_controller",
     "run_crash_chaos",
+    "run_fleet_chaos",
     "scan_journal",
     "verify_restored",
 ]

@@ -43,16 +43,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=DEFAULT_SNAPSHOT_EVERY,
         help="compact the journal into a snapshot every N journaled ops",
     )
+    parser.add_argument(
+        "--shard-index",
+        type=int,
+        help="fleet mode: serve only pipelines this shard owns",
+    )
+    parser.add_argument(
+        "--shard-count",
+        type=int,
+        help="fleet mode: total shards in the pipeline->shard map",
+    )
+    parser.add_argument(
+        "--map-version",
+        type=int,
+        default=1,
+        help="fleet mode: version of the installed shard map",
+    )
     args = parser.parse_args(argv)
+    if (args.shard_index is None) != (args.shard_count is None):
+        parser.error("--shard-index and --shard-count must be given together")
+    durable = None
     gateway = None
     if args.state_dir is not None:
         from .recovery import recover
 
-        gateway, report = recover(
+        durable, report = recover(
             args.state_dir,
             fsync=args.fsync,
             snapshot_every=args.snapshot_every,
         )
+        gateway = durable
         print(
             f"recovered from {args.state_dir}: "
             f"snapshot_seq={report.snapshot_seq} replayed={report.replayed} "
@@ -62,13 +82,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     elif args.fsync:
         parser.error("--fsync requires --state-dir")
+    if args.shard_index is not None:
+        from .gateway import AdmissionGateway
+        from .router import ShardGateway, ShardMap
+
+        shard_map = ShardMap(shards=args.shard_count, version=args.map_version)
+        gateway = ShardGateway(
+            gateway if gateway is not None else AdmissionGateway(),
+            args.shard_index,
+            shard_map,
+        )
+        print(
+            f"shard {args.shard_index}/{args.shard_count} "
+            f"(map version {shard_map.version})",
+            flush=True,
+        )
     try:
         asyncio.run(serve_forever(args.host, args.port, gateway))
     except KeyboardInterrupt:
         pass
     finally:
-        if gateway is not None:
-            gateway.close()
+        if durable is not None:
+            durable.close()
     return 0
 
 

@@ -58,12 +58,19 @@ class GatewayError(RuntimeError):
     Attributes:
         code: The protocol error code (e.g. ``"unknown-pipeline"``),
             or ``"transport"`` for client-side failures.
+        response: The full error-response document when the failure was
+            a gateway answer (``None`` for client-side failures).  Lets
+            routing layers read structured payload fields — a
+            ``wrong-shard`` bounce carries the current shard map here.
     """
 
-    def __init__(self, code: str, detail: str) -> None:
+    def __init__(
+        self, code: str, detail: str, response: Optional[Dict[str, Any]] = None
+    ) -> None:
         super().__init__(f"[{code}] {detail}")
         self.code = code
         self.detail = detail
+        self.response = response
 
 
 class GatewayTimeout(GatewayError):
@@ -236,6 +243,7 @@ class GatewayClient:
             raise GatewayError(
                 str(response.get("error", "unknown")),
                 str(response.get("detail", "")),
+                response=response,
             )
         return response
 
@@ -389,7 +397,11 @@ class RetryingGatewayClient:
             self.reconnects += 1
 
     def call(
-        self, op: str, deadline: Optional[float] = None, **operands: Any
+        self,
+        op: str,
+        deadline: Optional[float] = None,
+        rid: Optional[str] = None,
+        **operands: Any,
     ) -> Dict[str, Any]:
         """Issue one logical request, retrying until decided or abandoned.
 
@@ -398,13 +410,18 @@ class RetryingGatewayClient:
             deadline: Absolute time (on ``clock``'s scale) after which
                 starting another attempt is pointless; ``None`` retries
                 on attempts alone.
-            **operands: Request fields (a ``rid`` is added).
+            rid: Pin the idempotency key instead of generating one —
+                failover layers pass the *original* rid when re-issuing
+                a request against a restarted worker, so the recovered
+                dedup window can serve the already-made decision.
+            **operands: Request fields (the ``rid`` is added).
 
         Raises:
             GatewayError: The gateway's final error answer, or — after
                 abandonment — the last retryable failure.
         """
-        rid = self._rid_factory()
+        if rid is None:
+            rid = self._rid_factory()
         attempt = 0
         while True:
             try:

@@ -1,0 +1,709 @@
+"""Fleet chaos gate: network faults + whole-worker crashes, proven safe.
+
+The supervised shard fleet (:mod:`repro.serve.fleet`) claims three
+invariants under whole-worker crash: **zero acked admissions lost**,
+**zero admissions duplicated**, and every recovered worker's
+``registry_fingerprint`` **bitwise identical** to a worker that never
+crashed.  This module is the executable proof: a deterministic harness
+that runs a real fleet next to a shadow fleet (same code, never
+killed), drives both with an identical seeded request stream plus a
+per-cycle :class:`~repro.faults.schedule.NetworkFaultSchedule`, and
+diffs them line-for-line and fingerprint-for-fingerprint.
+
+Injected per cycle, all from one seeded RNG:
+
+* a **worker kill** (``torn`` / ``after_journal`` / ``after_apply``,
+  rotating over every worker), detected either by exit status or by
+  missed seq-stamped heartbeats, healed via WAL recovery;
+* a **torn frame** — a request line truncated mid-byte, which must
+  come back as a structured ``bad-json`` error on both fleets, never
+  an exception;
+* a **partial write** — a request whose final newline never arrives,
+  so no worker ever sees it and the client's idempotent retry must
+  recover the decision later;
+* a **slow-client stall** — a response so late the client already
+  retried, exercising the dedup window;
+* a **connection storm** — a burst of health probes, exercising
+  liveness-path churn that must never touch the journal.
+
+Mid-run the harness live-migrates one pipeline to a different shard on
+both fleets, then deliberately replays the *old* route to prove the
+stale-map bounce (``wrong-shard`` + embedded map) re-resolves
+correctly.
+
+The report is byte-stable for a given parameter set — ``--selftest``
+runs the harness twice and compares bytes — and
+:func:`fleet_chaos_gate_failures` turns it into a CI gate.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import shutil
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..faults.schedule import (
+    ConnectionStorm,
+    NetworkFaultSchedule,
+    PartialWrite,
+    SlowClientStall,
+    TornFrame,
+    WorkerKill,
+    WORKER_KILL_DETECTIONS,
+    WORKER_KILL_KINDS,
+)
+from .fleet import (
+    DEFAULT_MISS_THRESHOLD,
+    FleetSupervisor,
+    WORKER_UNAVAILABLE,
+)
+from .gateway import DEFAULT_DEDUP_WINDOW
+from .protocol import encode
+from .router import ShardMap
+
+__all__ = [
+    "FLEET_CHAOS_REPORT_FORMAT",
+    "run_fleet_chaos",
+    "fleet_chaos_gate_failures",
+]
+
+FLEET_CHAOS_REPORT_FORMAT = "repro.serve.fleet-chaos-report/1"
+
+#: The fleet's pipeline population: more pipelines than shards, so
+#: every worker owns at least one and the mid-run migration has a
+#: donor and a receiver on distinct shards.
+_FLEET_POLICIES: Dict[str, Dict[str, Any]] = {
+    "api": {"num_stages": 3, "alpha": 0.9, "max_batch": 3},
+    "img": {"num_stages": 2, "alpha": 1.0},
+    "web": {"num_stages": 2, "alpha": 0.8, "max_batch": 2},
+    "etl": {"num_stages": 4, "alpha": 0.95},
+}
+
+
+def _build_schedule(
+    rng: random.Random, cycle: int, workers: int, ops_per_cycle: int
+) -> NetworkFaultSchedule:
+    """One cycle's deterministic fault mix.
+
+    Every family fires every cycle (coverage is guaranteed, the gate
+    need not hope); *where* in the cycle each lands, which worker dies,
+    and how, rotate deterministically so ``cycles >= 3 * workers``
+    covers the full (worker × kind) matrix and both detection paths.
+    """
+    at = lambda: rng.randrange(1, ops_per_cycle)  # noqa: E731
+    return NetworkFaultSchedule(
+        torn_frames=(TornFrame(at_op=at(), keep=rng.uniform(0.2, 0.8)),),
+        partial_writes=(PartialWrite(at_op=at(), cut=rng.uniform(0.2, 0.8)),),
+        stalls=(SlowClientStall(at_op=at(), retries=1 + rng.randrange(2)),),
+        storms=(ConnectionStorm(at_op=at(), count=2 + rng.randrange(3)),),
+        kills=(
+            WorkerKill(
+                at_op=at(),
+                worker=cycle % workers,
+                # cycle // workers walks the kind axis while cycle %
+                # workers walks the worker axis: 3*workers cycles cover
+                # the full (worker x kind) matrix.
+                kind=WORKER_KILL_KINDS[(cycle // workers) % len(WORKER_KILL_KINDS)],
+                detect=WORKER_KILL_DETECTIONS[cycle % len(WORKER_KILL_DETECTIONS)],
+            ),
+        ),
+    )
+
+
+def run_fleet_chaos(
+    seed: int = 0,
+    cycles: int = 12,
+    workers: int = 3,
+    ops_per_cycle: int = 16,
+    state_dir: Optional[Union[str, Path]] = None,
+    snapshot_every: int = 20,
+    fsync: bool = False,
+    dedup_window: int = DEFAULT_DEDUP_WINDOW,
+    miss_threshold: int = DEFAULT_MISS_THRESHOLD,
+) -> Dict[str, Any]:
+    """Run the fleet chaos gate; return its byte-stable report.
+
+    Args:
+        seed: RNG seed driving the op stream and every fault choice.
+        cycles: Fault cycles; each kills exactly one worker.
+        workers: Fleet size (shadow fleet matches).
+        ops_per_cycle: Client ops generated per cycle.
+        state_dir: Root for both fleets' state directories; a private
+            temporary directory (removed afterwards) if ``None``.
+        snapshot_every: Compaction period for every worker.
+        fsync: Run worker journals with per-record fsync.
+        dedup_window: Idempotency window size, fleet-wide.
+        miss_threshold: Heartbeat misses before restart.
+    """
+    if cycles < 1:
+        raise ValueError(f"cycles must be >= 1, got {cycles}")
+    if ops_per_cycle < 4:
+        raise ValueError(f"ops_per_cycle must be >= 4, got {ops_per_cycle}")
+    owns_dir = state_dir is None
+    root = Path(
+        tempfile.mkdtemp(prefix="repro-fleet-chaos-") if owns_dir else state_dir
+    )
+    try:
+        return _run_fleet_chaos(
+            rng=random.Random(seed),
+            seed=seed,
+            cycles=cycles,
+            workers=workers,
+            ops_per_cycle=ops_per_cycle,
+            root=root,
+            snapshot_every=snapshot_every,
+            fsync=fsync,
+            dedup_window=dedup_window,
+            miss_threshold=miss_threshold,
+        )
+    finally:
+        if owns_dir:
+            shutil.rmtree(root, ignore_errors=True)
+
+
+def _run_fleet_chaos(
+    rng: random.Random,
+    seed: int,
+    cycles: int,
+    workers: int,
+    ops_per_cycle: int,
+    root: Path,
+    snapshot_every: int,
+    fsync: bool,
+    dedup_window: int,
+    miss_threshold: int,
+) -> Dict[str, Any]:
+    names = sorted(_FLEET_POLICIES)
+    shard_map = ShardMap.balanced(names, workers)
+    fleet = FleetSupervisor(
+        workers,
+        root / "fleet",
+        shard_map=shard_map,
+        fsync=fsync,
+        snapshot_every=snapshot_every,
+        dedup_window=dedup_window,
+        miss_threshold=miss_threshold,
+    )
+    shadow = FleetSupervisor(
+        workers,
+        root / "shadow",
+        shard_map=shard_map,
+        fsync=False,
+        snapshot_every=snapshot_every,
+        dedup_window=dedup_window,
+        miss_threshold=miss_threshold,
+    )
+    fleet.start()
+    shadow.start()
+
+    next_id = 0
+    next_task_id = 0
+    now = 0.0
+    id_to_rid: Dict[int, str] = {}
+    unacked: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+    ledger: Dict[str, Any] = {}
+    kill_counts = {kind: 0 for kind in WORKER_KILL_KINDS}
+    detect_counts = {detect: 0 for detect in WORKER_KILL_DETECTIONS}
+    killed_workers = [0] * workers
+    kills_with_pending = 0
+    fault_counts = {"torn_frames": 0, "partial_writes": 0, "stalls": 0, "storms": 0}
+    torn_frame_errors = 0
+    partial_pending: List[Dict[str, Any]] = []
+    stall_retries = 0
+    storm_probes = 0
+    response_mismatches = 0
+    decision_mismatches = 0
+    fingerprint_matches = 0
+    fingerprint_mismatches = 0
+    stale_routes = 0
+    stale_route_failures = 0
+    heartbeat_rounds = 0
+    ops_issued = 0
+    migrations: List[Dict[str, Any]] = []
+
+    def fresh_id() -> int:
+        nonlocal next_id
+        next_id += 1
+        return next_id
+
+    def ack(response: Dict[str, Any]) -> None:
+        nonlocal decision_mismatches
+        rid = id_to_rid.get(response.get("id"))
+        if rid is None:
+            return
+        if response.get("error") == "duplicate-request":
+            return  # "still queued, retry later" — not a final answer
+        unacked.pop(rid, None)
+        decision = response.get("admitted")
+        if rid in ledger:
+            if ledger[rid] != decision:
+                decision_mismatches += 1
+        else:
+            ledger[rid] = decision
+
+    def apply(doc: Dict[str, Any]) -> None:
+        nonlocal response_mismatches
+        got = fleet.dispatch(doc)
+        want = shadow.dispatch(doc)
+        if got != want:
+            response_mismatches += 1
+        for response in got:
+            ack(json.loads(response))
+
+    def issue(doc: Dict[str, Any]) -> None:
+        id_to_rid[doc["id"]] = doc["rid"]
+        if doc["rid"] not in ledger:
+            unacked[doc["rid"]] = doc
+
+    def retry(doc: Dict[str, Any]) -> None:
+        again = dict(doc)
+        again["id"] = fresh_id()
+        id_to_rid[again["id"]] = doc["rid"]
+        apply(again)
+
+    def gen_op(name: Optional[str] = None) -> Dict[str, Any]:
+        nonlocal now, next_task_id, ops_issued
+        ops_issued += 1
+        now += rng.uniform(0.05, 0.3)
+        request_id = fresh_id()
+        if name is None:
+            name = names[rng.randrange(len(names))]
+        stages = _FLEET_POLICIES[name]["num_stages"]
+        doc: Dict[str, Any] = {
+            "id": request_id,
+            "rid": f"r{request_id}",
+            "pipeline": name,
+        }
+        roll = rng.random()
+        if roll < 0.62:
+            next_task_id += 1
+            doc["op"] = "admit"
+            doc["task"] = {
+                "task_id": next_task_id,
+                "arrival": now,
+                "deadline": now + rng.uniform(0.8, 2.5),
+                "costs": [rng.uniform(0.02, 0.15) for _ in range(stages)],
+            }
+        elif roll < 0.74:
+            doc["op"] = "depart"
+            doc["task_id"] = rng.randrange(1, max(2, next_task_id + 1))
+            doc["stage"] = rng.randrange(stages)
+        elif roll < 0.84:
+            doc["op"] = "expire"
+            doc["now"] = now
+        elif roll < 0.92:
+            doc["op"] = "idle"
+            doc["stage"] = rng.randrange(stages)
+        else:
+            doc["op"] = "capacity"
+            doc["stage"] = rng.randrange(stages)
+            doc["capacity"] = rng.uniform(0.6, 1.0)
+        return doc
+
+    def settle_outstanding() -> None:
+        for doc in list(unacked.values()):
+            retry(doc)
+        if unacked:
+            drain_id = fresh_id()
+            drain_doc = {"id": drain_id, "op": "drain", "rid": f"r{drain_id}"}
+            issue(drain_doc)
+            apply(drain_doc)
+            for doc in list(unacked.values()):
+                retry(doc)
+
+    def torn_frame(fault: TornFrame) -> None:
+        """A request line cut mid-byte must bounce as a structured error."""
+        nonlocal torn_frame_errors, response_mismatches
+        doc = gen_op()  # never issued: the client sees the connection die
+        line = encode(doc)
+        cut = max(1, min(len(line) - 1, int(len(line) * fault.keep)))
+        torn = line[:cut]
+        shard = fleet.shard_for(doc)
+        target = shard if shard is not None else 0
+        got = fleet.workers[target].handle_line(torn)
+        want = shadow.workers[target].handle_line(torn)
+        if got != want:
+            response_mismatches += 1
+        if (
+            len(got) == 1
+            and json.loads(got[0]).get("ok") is False
+            and json.loads(got[0]).get("error") in ("bad-json", "bad-request")
+        ):
+            torn_frame_errors += 1
+        fault_counts["torn_frames"] += 1
+
+    def partial_write(fault: PartialWrite) -> None:
+        """The newline never lands: no worker sees the op; retry later."""
+        doc = gen_op()
+        issue(doc)
+        partial_pending.append(doc)
+        fault_counts["partial_writes"] += 1
+
+    def slow_client_stall(fault: SlowClientStall) -> None:
+        nonlocal stall_retries
+        doc = gen_op()
+        issue(doc)
+        apply(doc)
+        for _ in range(fault.retries):
+            stall_retries += 1
+            retry(doc)
+        fault_counts["stalls"] += 1
+
+    def connection_storm(fault: ConnectionStorm) -> None:
+        """A probe burst: liveness churn that must never touch a journal."""
+        nonlocal storm_probes, heartbeat_rounds
+        before = [worker.durable.journal.last_seq for worker in fleet.workers]
+        for _ in range(fault.count):
+            heartbeat_rounds += 1
+            fleet.probe()
+            storm_probes += workers
+        after = [worker.durable.journal.last_seq for worker in fleet.workers]
+        if before != after:
+            fault_counts.setdefault("storm_journal_writes", 0)
+            fault_counts["storm_journal_writes"] += 1
+        fault_counts["storms"] += 1
+
+    def kill_worker(fault: WorkerKill) -> None:
+        nonlocal kills_with_pending, fingerprint_matches, fingerprint_mismatches
+        nonlocal heartbeat_rounds
+        victim = fault.worker
+        # The in-flight op must be headed for the victim, so generate
+        # it against a pipeline the victim owns.
+        owned = fleet.shard_map.owned_by(victim)
+        doc = gen_op(name=owned[rng.randrange(len(owned))])
+        issue(doc)
+        if fault.kind == "after_journal":
+            # Durable but unacked on the fleet; the shadow applies it
+            # now (recovery will replay it on the fleet side).
+            shadow.dispatch(doc)
+        elif fault.kind == "after_apply":
+            # Applied on both sides; every response line is lost.
+            fleet.workers[victim].handle_line(encode(doc))
+            shadow.dispatch(doc)
+        victim_worker = fleet.workers[victim]
+        if victim_worker.durable is not None and any(
+            p.pending for p in victim_worker.durable.gateway.registry
+        ):
+            kills_with_pending += 1
+        victim_worker.kill(
+            kind=fault.kind,
+            doc=doc if fault.kind in ("torn", "after_journal") else None,
+            keep=rng.uniform(0.1, 0.9),
+        )
+        kill_counts[fault.kind] += 1
+        detect_counts[fault.detect] += 1
+        killed_workers[victim] += 1
+        if fault.detect == "heartbeat":
+            # The supervisor only learns of the death when seq-stamped
+            # probes go unanswered past the miss threshold.
+            while fleet.monitor.states[victim] != WORKER_UNAVAILABLE:
+                heartbeat_rounds += 1
+                fleet.probe()
+            fleet.heal()
+        else:
+            # Exit-status detection: the supervisor reaps the dead
+            # child immediately and restarts it.
+            fleet.restart(victim)
+        heartbeat_rounds += 1
+        fleet.probe()  # the recovered worker re-arms to healthy
+        if fleet.workers[victim].fingerprint() == shadow.workers[victim].fingerprint():
+            fingerprint_matches += 1
+        else:
+            fingerprint_mismatches += 1
+        settle_outstanding()
+
+    def exercise_stale_route(pipeline: str, old_shard: int) -> None:
+        """Replay the pre-migration route; the bounce must re-resolve."""
+        nonlocal stale_routes, stale_route_failures, response_mismatches
+        doc = gen_op(name=pipeline)
+        issue(doc)
+        got = fleet.workers[old_shard].handle_line(encode(doc))
+        want = shadow.workers[old_shard].handle_line(encode(doc))
+        if got != want:
+            response_mismatches += 1
+        bounce = json.loads(got[0]) if got else {}
+        if bounce.get("error") != "wrong-shard" or "map" not in bounce:
+            stale_route_failures += 1
+            return
+        resolved = ShardMap.from_wire(bounce["map"])
+        owner = resolved.shard_of(pipeline)
+        if owner == old_shard or resolved.version <= 1:
+            stale_route_failures += 1
+            return
+        stale_routes += 1
+        # Re-issue on the authoritative owner with the SAME rid: the
+        # re-route must not double-apply.
+        retry(doc)
+
+    # -- drive --------------------------------------------------------
+
+    for name in names:
+        register_id = fresh_id()
+        register_doc = {
+            "id": register_id,
+            "rid": f"r{register_id}",
+            "op": "register",
+            "pipeline": name,
+            "policy": dict(_FLEET_POLICIES[name]),
+        }
+        issue(register_doc)
+        apply(register_doc)
+
+    migrate_cycle = cycles // 2
+    for cycle in range(cycles):
+        schedule = _build_schedule(rng, cycle, workers, ops_per_cycle)
+        fault_at: Dict[int, List[Any]] = {}
+        for family in (
+            schedule.torn_frames
+            + schedule.partial_writes
+            + schedule.stalls
+            + schedule.storms
+            + schedule.kills
+        ):
+            fault_at.setdefault(family.at_op, []).append(family)
+        killed_this_cycle = False
+        for index in range(ops_per_cycle):
+            for fault in fault_at.get(index, []):
+                if isinstance(fault, TornFrame):
+                    torn_frame(fault)
+                elif isinstance(fault, PartialWrite):
+                    partial_write(fault)
+                elif isinstance(fault, SlowClientStall):
+                    slow_client_stall(fault)
+                elif isinstance(fault, ConnectionStorm):
+                    connection_storm(fault)
+                elif isinstance(fault, WorkerKill):
+                    kill_worker(fault)
+                    killed_this_cycle = True
+            doc = gen_op()
+            issue(doc)
+            apply(doc)
+        assert killed_this_cycle  # every cycle's schedule holds one kill
+
+        if cycle == migrate_cycle:
+            migrated = names[0]
+            old_shard = fleet.shard_map.shard_of(migrated)
+            new_shard = (old_shard + 1) % workers
+            fleet.migrate(migrated, new_shard)
+            shadow.migrate(migrated, new_shard)
+            migrations.append(
+                {
+                    "pipeline": migrated,
+                    "from": old_shard,
+                    "to": new_shard,
+                    "map_version": fleet.shard_map.version,
+                }
+            )
+            exercise_stale_route(migrated, old_shard)
+            settle_outstanding()
+
+        # Retried partial writes: the connection died before the
+        # newline, so the op reaches the fleet for the first time here.
+        for doc in partial_pending:
+            retry(doc)
+        partial_pending.clear()
+
+    final_drain_id = fresh_id()
+    final_drain = {"id": final_drain_id, "op": "drain", "rid": f"r{final_drain_id}"}
+    issue(final_drain)
+    apply(final_drain)
+    for doc in list(unacked.values()):
+        retry(doc)
+
+    fleet_prints = fleet.fingerprints()
+    shadow_prints = shadow.fingerprints()
+    final_identical = fleet_prints == shadow_prints
+    acked_admitted = sum(1 for decision in ledger.values() if decision is True)
+    counted_admitted = sum(
+        pipeline.counters.admitted
+        for worker in fleet.workers
+        if worker.durable is not None
+        for pipeline in worker.durable.gateway.registry
+    )
+    shadow_admitted = sum(
+        pipeline.counters.admitted
+        for worker in shadow.workers
+        if worker.durable is not None
+        for pipeline in worker.durable.gateway.registry
+    )
+    health = fleet.fleet_health()
+    stats = fleet.fleet_stats()
+    fleet_dedup = sum(
+        worker.durable.gateway.dedup_hits
+        for worker in fleet.workers
+        if worker.durable is not None
+    )
+    shadow_dedup = sum(
+        worker.durable.gateway.dedup_hits
+        for worker in shadow.workers
+        if worker.durable is not None
+    )
+    bounced = sum(
+        worker.gateway.bounced
+        for worker in fleet.workers
+        if worker.gateway is not None
+    )
+    recoveries = fleet.recoveries
+    fleet.close()
+    shadow.close()
+
+    return {
+        "format": FLEET_CHAOS_REPORT_FORMAT,
+        "seed": seed,
+        "cycles": cycles,
+        "workers": workers,
+        "ops_per_cycle": ops_per_cycle,
+        "snapshot_every": snapshot_every,
+        "fsync": fsync,
+        "miss_threshold": miss_threshold,
+        "ops_issued": ops_issued,
+        "kills": {
+            **kill_counts,
+            "total": sum(kill_counts.values()),
+            "by_worker": list(killed_workers),
+            "with_pending_batch": kills_with_pending,
+        },
+        "detection": {
+            **detect_counts,
+            "heartbeat_rounds": heartbeat_rounds,
+            "seq_regressions": fleet.monitor.seq_regressions,
+            "transitions": len(fleet.monitor.transitions),
+        },
+        "faults": {
+            **fault_counts,
+            "torn_frame_errors": torn_frame_errors,
+            "stall_retries": stall_retries,
+            "storm_probes": storm_probes,
+        },
+        "routing": {
+            "map_version": fleet.shard_map.version,
+            "migrations": migrations,
+            "stale_routes_resolved": stale_routes,
+            "stale_route_failures": stale_route_failures,
+            "wrong_shard_bounces": bounced,
+        },
+        "recoveries": {
+            "count": len(recoveries),
+            "snapshot_loads": sum(1 for r in recoveries if r.snapshot_loaded),
+            "replayed": sum(r.replayed for r in recoveries),
+            "skipped": sum(r.skipped for r in recoveries),
+            "truncated_bytes": sum(r.truncated_bytes for r in recoveries),
+        },
+        "dedup_hits": {"fleet": fleet_dedup, "shadow": shadow_dedup},
+        "admissions": {
+            "acked_admitted": acked_admitted,
+            "counted_admitted": counted_admitted,
+            "shadow_admitted": shadow_admitted,
+            "lost": max(0, acked_admitted - counted_admitted),
+            "duplicated": max(0, counted_admitted - acked_admitted),
+            "decision_mismatches": decision_mismatches,
+            "response_mismatches": response_mismatches,
+            "unresolved": len(unacked),
+        },
+        "equivalence": {
+            "fingerprint_matches": fingerprint_matches,
+            "fingerprint_mismatches": fingerprint_mismatches,
+            "final_identical": final_identical,
+        },
+        "aggregation": {
+            "health_degraded": health["degraded"],
+            "health_unavailable": health["unavailable"],
+            "stats_pipelines": sorted(stats["pipelines"]),
+            "stats_shards_reporting": sum(
+                1
+                for entry in stats["shards"].values()
+                if entry["stats"] is not None
+            ),
+        },
+    }
+
+
+def fleet_chaos_gate_failures(
+    report: Dict[str, Any], min_recoveries: int = 10
+) -> List[str]:
+    """Check a fleet chaos report against the failover acceptance gates."""
+    failures: List[str] = []
+    admissions = report["admissions"]
+    if admissions["lost"]:
+        failures.append(f"{admissions['lost']} acked admissions lost to kills")
+    if admissions["duplicated"]:
+        failures.append(f"{admissions['duplicated']} admissions double-counted")
+    if admissions["decision_mismatches"]:
+        failures.append(
+            f"{admissions['decision_mismatches']} retries changed their decision"
+        )
+    if admissions["response_mismatches"]:
+        failures.append(
+            f"{admissions['response_mismatches']} fleet/shadow response divergences"
+        )
+    if admissions["unresolved"]:
+        failures.append(f"{admissions['unresolved']} requests never acknowledged")
+    equivalence = report["equivalence"]
+    if equivalence["fingerprint_mismatches"]:
+        failures.append(
+            f"{equivalence['fingerprint_mismatches']} post-recovery fingerprint "
+            "mismatches"
+        )
+    if not equivalence["final_identical"]:
+        failures.append("final fleet/shadow fingerprints differ on some shard")
+    if report["recoveries"]["count"] < min_recoveries:
+        failures.append(
+            f"only {report['recoveries']['count']} worker recoveries ran "
+            f"(need >= {min_recoveries})"
+        )
+    kills = report["kills"]
+    for kind in WORKER_KILL_KINDS:
+        if kills[kind] == 0:
+            failures.append(f"kill kind {kind!r} was never exercised")
+    for worker, count in enumerate(kills["by_worker"]):
+        if count == 0:
+            failures.append(f"worker {worker} was never killed")
+    if kills["with_pending_batch"] == 0:
+        failures.append("no kill landed while an admission batch was pending")
+    detection = report["detection"]
+    for detect in WORKER_KILL_DETECTIONS:
+        if detection[detect] == 0:
+            failures.append(f"detection path {detect!r} was never exercised")
+    if detection["seq_regressions"]:
+        failures.append(
+            f"{detection['seq_regressions']} heartbeats saw the journal "
+            "sequence regress (recovered worker lost durable state)"
+        )
+    faults = report["faults"]
+    if faults["torn_frames"] == 0:
+        failures.append("no torn frames were injected")
+    if faults["torn_frame_errors"] != faults["torn_frames"]:
+        failures.append(
+            f"{faults['torn_frames'] - faults['torn_frame_errors']} torn frames "
+            "did not come back as structured errors"
+        )
+    if faults["partial_writes"] == 0:
+        failures.append("no partial writes were injected")
+    if faults["stall_retries"] == 0:
+        failures.append("no slow-client stall retries were injected")
+    if faults["storms"] == 0:
+        failures.append("no connection storms were injected")
+    if faults.get("storm_journal_writes"):
+        failures.append("a connection storm wrote to a journal")
+    routing = report["routing"]
+    if not routing["migrations"]:
+        failures.append("no live migration was exercised")
+    if routing["stale_routes_resolved"] == 0:
+        failures.append("no stale route was bounced and re-resolved")
+    if routing["stale_route_failures"]:
+        failures.append(
+            f"{routing['stale_route_failures']} stale routes failed to re-resolve"
+        )
+    if report["recoveries"]["snapshot_loads"] == 0:
+        failures.append("no recovery ever loaded a compaction snapshot")
+    aggregation = report["aggregation"]
+    if aggregation["stats_shards_reporting"] != report["workers"]:
+        failures.append(
+            "cross-shard stats aggregation missing "
+            f"{report['workers'] - aggregation['stats_shards_reporting']} shards"
+        )
+    return failures

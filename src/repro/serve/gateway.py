@@ -29,9 +29,10 @@ from __future__ import annotations
 import asyncio
 import json
 from collections import OrderedDict
-from typing import Any, Dict, Hashable, List, Optional, Protocol, Tuple
+from typing import Any, Callable, Dict, Hashable, List, Optional, Protocol, Tuple
 
 from .protocol import (
+    MAX_REQUEST_CHARS,
     ProtocolError,
     admit_response,
     encode,
@@ -113,6 +114,11 @@ class AdmissionGateway:
             raise ValueError(f"dedup_window must be >= 1, got {dedup_window}")
         self.registry = registry if registry is not None else PipelineRegistry()
         self.draining = False
+        #: Optional provider of extra ``health`` payload fields — the
+        #: durable wrapper reports its journal/snapshot sequence here so
+        #: fleet heartbeats can watch replication progress (a regressing
+        #: sequence means the worker lost durable state).
+        self.health_extra: Optional[Callable[[], Dict[str, Any]]] = None
         self.op_counts: Dict[str, int] = {}
         self.errors = 0
         self.dedup_window = dedup_window
@@ -156,8 +162,14 @@ class AdmissionGateway:
                     # Idempotent retry of an already-decided request:
                     # serve the cached decision without re-running the
                     # operation (and without counting it as a new op).
+                    # The window stays in decision order — a hit must
+                    # NOT refresh the entry's position, because hits
+                    # are served without journaling and an LRU bump
+                    # here could never be reproduced by crash-recovery
+                    # replay (eviction order, and with it future dedup
+                    # decisions, would diverge from a never-crashed
+                    # gateway).
                     self.dedup_hits += 1
-                    self._rid_decided.move_to_end(rid)
                     routed.append((origin, self._replay(entry, request)))
                     return routed
                 if rid in self._rid_pending:
@@ -331,6 +343,7 @@ class AdmissionGateway:
     # ------------------------------------------------------------------
 
     def _op_health(self, request: Dict[str, Any], origin: Any, routed: List[Routed]) -> None:
+        extra = self.health_extra() if self.health_extra is not None else {}
         routed.append(
             (
                 origin,
@@ -340,6 +353,7 @@ class AdmissionGateway:
                     draining=self.draining,
                     errors=self.errors,
                     dedup_hits=self.dedup_hits,
+                    **extra,
                 ),
             )
         )
@@ -543,10 +557,17 @@ class GatewayServer:
         host, port = sock.getsockname()[:2]
         return host, port
 
+    #: Stream-reader buffer limit.  Comfortably above the protocol's
+    #: ``MAX_REQUEST_CHARS`` so every line the protocol would accept
+    #: (or reject with a structured ``too-large`` error) fits; a line
+    #: that overruns even this is answered with the same structured
+    #: error and the connection is closed instead of wedged.
+    READER_LIMIT = 4 * MAX_REQUEST_CHARS
+
     async def start(self) -> None:
         """Bind and start accepting connections."""
         self._server = await asyncio.start_server(
-            self._serve_connection, self.host, self.port
+            self._serve_connection, self.host, self.port, limit=self.READER_LIMIT
         )
 
     async def shutdown(self) -> None:
@@ -581,7 +602,23 @@ class GatewayServer:
         self._writers[origin] = writer
         try:
             while True:
-                raw = await reader.readline()
+                try:
+                    raw = await reader.readline()
+                except ValueError:
+                    # A line longer than READER_LIMIT (LimitOverrunError
+                    # is a ValueError).  Tell the client why, then close
+                    # — the stream position inside the oversized line is
+                    # unrecoverable, but the *server* must not wedge and
+                    # other connections are unaffected.
+                    response = error_response(
+                        None,
+                        "too-large",
+                        f"request line exceeds the {self.READER_LIMIT}-byte "
+                        "stream limit; connection closed",
+                    )
+                    writer.write(response.encode("utf-8") + b"\n")
+                    await writer.drain()
+                    break
                 if not raw:
                     break
                 line = raw.decode("utf-8", errors="replace").strip()

@@ -66,6 +66,7 @@ __all__ = [
     "encode_record",
     "decode_record",
     "record_crc",
+    "fsync_dir",
     "gateway_snapshot",
     "write_gateway_snapshot",
     "DurableGateway",
@@ -91,6 +92,23 @@ class JournalError(ValueError):
 
 def _canonical(doc: Dict[str, Any]) -> str:
     return json.dumps(doc, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+def fsync_dir(path: Union[str, Path]) -> None:
+    """fsync a *directory*, making completed renames in it durable.
+
+    ``os.replace`` (and the journal's truncate-and-reopen reset) only
+    update the directory entry; on power loss the rename itself can
+    vanish even though the file's *data* was fsynced.  POSIX requires
+    an fsync of the directory's own file descriptor to pin the entry
+    (``O_DIRECTORY`` narrows the open where the platform supports it).
+    """
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    fd = os.open(str(path), flags)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 def record_crc(op: Dict[str, Any], seq: int) -> str:
@@ -260,12 +278,21 @@ class Journal:
         self._sync()
 
     def reset(self, next_seq: int) -> None:
-        """Truncate the journal (after a snapshot made it redundant)."""
+        """Truncate the journal (after a snapshot made it redundant).
+
+        In fsync mode the parent directory is fsynced too: the
+        truncate-and-reopen rewrites the directory entry, and losing
+        that update to a power cut would resurrect pre-compaction
+        records *below* the snapshot's sequence — harmless for replay
+        (recovery skips them) but a durability lie about journal size.
+        """
         if next_seq < 1:
             raise ValueError(f"next_seq must be >= 1, got {next_seq}")
         self._file.close()
         self._file = open(self.path, "w", encoding="utf-8")
         self._sync()
+        if self.fsync:
+            fsync_dir(self.path.parent)
         self._next_seq = next_seq
 
     def close(self) -> None:
@@ -304,7 +331,15 @@ def gateway_snapshot(gateway: AdmissionGateway, seq: int) -> Dict[str, Any]:
 def write_gateway_snapshot(
     path: Union[str, Path], doc: Dict[str, Any], fsync: bool = False
 ) -> None:
-    """Atomically write a snapshot document (temp file + ``os.replace``)."""
+    """Atomically write a snapshot document (temp file + ``os.replace``).
+
+    With ``fsync``, the write is made power-loss durable in the full
+    three-step discipline: fsync the temp file's *data*, rename it over
+    the target, then fsync the *parent directory* so the rename's
+    directory-entry update itself survives — without the last step a
+    crash can roll the directory back to the old snapshot even though
+    the new bytes were stable.
+    """
     path = Path(path)
     fd, tmp_name = tempfile.mkstemp(
         prefix=path.name + ".", suffix=".tmp", dir=str(path.parent)
@@ -316,6 +351,8 @@ def write_gateway_snapshot(
             if fsync:
                 os.fsync(handle.fileno())
         os.replace(tmp_name, path)
+        if fsync:
+            fsync_dir(path.parent)
     except BaseException:
         if os.path.exists(tmp_name):
             os.unlink(tmp_name)
@@ -358,6 +395,17 @@ class DurableGateway:
         self.snapshot_every = snapshot_every
         self.last_snapshot_seq = last_snapshot_seq
         self._ops_since_snapshot = 0
+        # Surface durable progress in ``health`` responses so fleet
+        # heartbeats can seq-stamp liveness: a journal sequence that
+        # regresses between probes means the worker came back without
+        # its durable state.
+        gateway.health_extra = self._health_extra
+
+    def _health_extra(self) -> Dict[str, Any]:
+        return {
+            "journal_seq": self.journal.last_seq,
+            "snapshot_seq": self.last_snapshot_seq,
+        }
 
     # -- GatewayLike surface ------------------------------------------
 

@@ -524,6 +524,48 @@ def _chaos_crash_main(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos_fleet_main(args: argparse.Namespace) -> int:
+    """``--chaos-fleet``: shard-fleet failover gate (see fleetchaos.py)."""
+    from .fleetchaos import fleet_chaos_gate_failures, run_fleet_chaos
+
+    payload = run_fleet_chaos(
+        seed=args.seed, cycles=args.cycles, workers=args.workers
+    )
+    rendered = render_report(payload)
+    min_recoveries = min(10, args.cycles)
+    if args.selftest:
+        replay = render_report(
+            run_fleet_chaos(seed=args.seed, cycles=args.cycles, workers=args.workers)
+        )
+        if replay != rendered:
+            print("selftest FAILED: replay produced different bytes", file=sys.stderr)
+            return 1
+        failures = fleet_chaos_gate_failures(payload, min_recoveries=min_recoveries)
+        if failures:
+            print(f"selftest FAILED: {'; '.join(failures)}", file=sys.stderr)
+            return 1
+        admissions = payload["admissions"]
+        equivalence = payload["equivalence"]
+        print(
+            f"selftest ok: chaos-fleet seed={args.seed} workers={args.workers} "
+            f"recoveries={payload['recoveries']['count']} "
+            f"acked={admissions['acked_admitted']} "
+            f"lost={admissions['lost']} duplicated={admissions['duplicated']} "
+            f"fingerprint_matches={equivalence['fingerprint_matches']} "
+            f"bytes={len(rendered)}"
+        )
+    else:
+        failures = fleet_chaos_gate_failures(payload, min_recoveries=min_recoveries)
+        sys.stdout.write(rendered)
+        if failures:
+            print(f"gate FAILED: {'; '.join(failures)}", file=sys.stderr)
+            return 1
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.serve.loadgen",
@@ -560,10 +602,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="run the crash/recovery chaos harness instead of a scenario",
     )
     parser.add_argument(
+        "--chaos-fleet",
+        action="store_true",
+        help="run the shard-fleet failover chaos harness instead of a scenario",
+    )
+    parser.add_argument(
         "--cycles",
         type=int,
         default=24,
-        help="crash/recover cycles for --chaos-crash",
+        help="crash/recover cycles for --chaos-crash / --chaos-fleet",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=3,
+        help="fleet size for --chaos-fleet",
     )
     parser.add_argument(
         "--list", action="store_true", help="list scenarios and exit"
@@ -576,6 +629,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.chaos_crash:
         return _chaos_crash_main(args)
+    if args.chaos_fleet:
+        return _chaos_fleet_main(args)
     if args.scenario is None:
         parser.error("--scenario is required (or use --list)")
 

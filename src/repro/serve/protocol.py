@@ -62,6 +62,8 @@ from ..core.task import PipelineTask, make_task
 __all__ = [
     "OPS",
     "PIPELINE_OPS",
+    "MAX_REQUEST_CHARS",
+    "MAX_REQUEST_DEPTH",
     "ProtocolError",
     "parse_request",
     "encode",
@@ -95,6 +97,18 @@ OPS = (
 #: Operations that require a ``pipeline`` operand.
 PIPELINE_OPS = frozenset(OPS) - {"health", "stats", "drain"}
 
+#: Largest request line the gateway will parse.  Big enough for a full
+#: ``restore`` snapshot, small enough that a hostile client cannot make
+#: a single line balloon server memory.
+MAX_REQUEST_CHARS = 1 << 20
+
+#: Deepest container nesting a request may carry.  The stdlib JSON
+#: *parser* survives well past this, but the canonical *encoder* (and
+#: therefore the write-ahead journal) recurses per level — a request
+#: that parses but cannot be journaled would escape the "never raises
+#: for request content" contract, so depth is bounded at parse time.
+MAX_REQUEST_DEPTH = 32
+
 
 class ProtocolError(ValueError):
     """A malformed or unserviceable request.
@@ -114,6 +128,47 @@ def _reject_nonfinite(token: str) -> float:
     raise ValueError(f"non-finite number {token} is not allowed in requests")
 
 
+def _validate_payload(request: Dict[str, Any]) -> None:
+    """Reject payloads the canonical encoders cannot round-trip.
+
+    Two hazards survive ``json.loads`` and would otherwise detonate
+    later, inside the write-ahead journal's ``allow_nan=False``
+    canonical encoder: number *overflow* (``1e999`` parses to ``inf``
+    without ever invoking ``parse_constant``) and container nesting
+    deep enough to blow the recursive encoder's stack.  Both are caught
+    here with one iterative walk so ``handle_line`` keeps its
+    never-raises contract.
+
+    Raises:
+        ProtocolError: On a non-finite number anywhere in the request,
+            or nesting deeper than :data:`MAX_REQUEST_DEPTH`.
+    """
+    stack: List[Tuple[Any, int]] = [(request, 1)]
+    while stack:
+        value, depth = stack.pop()
+        if depth > MAX_REQUEST_DEPTH:
+            raise ProtocolError(
+                "too-deep",
+                f"request nesting exceeds {MAX_REQUEST_DEPTH} levels",
+            )
+        if isinstance(value, dict):
+            for child in value.values():
+                if isinstance(child, (dict, list)):
+                    stack.append((child, depth + 1))
+                elif isinstance(child, float) and not math.isfinite(child):
+                    raise ProtocolError(
+                        "bad-json", "non-finite number is not allowed in requests"
+                    )
+        elif isinstance(value, list):
+            for child in value:
+                if isinstance(child, (dict, list)):
+                    stack.append((child, depth + 1))
+                elif isinstance(child, float) and not math.isfinite(child):
+                    raise ProtocolError(
+                        "bad-json", "non-finite number is not allowed in requests"
+                    )
+
+
 def parse_request(line: str) -> Dict[str, Any]:
     """Parse and validate one request line.
 
@@ -121,16 +176,31 @@ def parse_request(line: str) -> Dict[str, Any]:
         The decoded request object with a validated envelope.
 
     Raises:
-        ProtocolError: On malformed JSON (including non-finite number
-            literals), a non-object payload, a missing/unknown ``op``,
-            a missing ``pipeline`` operand, or an ill-typed ``rid``.
+        ProtocolError: On an oversized line, malformed JSON (including
+            non-finite number literals and overflowing numbers like
+            ``1e999``), nesting deeper than :data:`MAX_REQUEST_DEPTH`,
+            a non-object payload, a missing/unknown ``op``, a missing
+            ``pipeline`` operand, or an ill-typed ``rid``.
     """
+    if len(line) > MAX_REQUEST_CHARS:
+        raise ProtocolError(
+            "too-large",
+            f"request line of {len(line)} chars exceeds the "
+            f"{MAX_REQUEST_CHARS}-char limit",
+        )
     try:
         request = json.loads(line, parse_constant=_reject_nonfinite)
+    except RecursionError:
+        # Deeply nested input overruns the parser's stack long before
+        # _validate_payload could see it.
+        raise ProtocolError(
+            "too-deep", "request nesting overran the JSON parser"
+        ) from None
     except ValueError as exc:
         raise ProtocolError("bad-json", f"request is not valid JSON: {exc}") from exc
     if not isinstance(request, dict):
         raise ProtocolError("bad-request", "request must be a JSON object")
+    _validate_payload(request)
     op = request.get("op")
     if not isinstance(op, str) or op not in OPS:
         raise ProtocolError(

@@ -347,3 +347,91 @@ class TestCli:
         assert faults_main(args + ["--out", str(second)]) == 0
         assert first.read_bytes() == second.read_bytes()
         assert b'"harness": "repro.faults"' in first.read_bytes()
+
+
+class TestNetworkFaultSchedule:
+    """ISSUE-7: the fleet chaos harness's pure-data fault scripts."""
+
+    def test_validation_rejects_bad_parameters(self):
+        from repro.faults.schedule import (
+            ConnectionStorm,
+            PartialWrite,
+            SlowClientStall,
+            TornFrame,
+            WorkerKill,
+        )
+
+        with pytest.raises(ValueError):
+            TornFrame(at_op=-1)
+        with pytest.raises(ValueError):
+            TornFrame(at_op=0, keep=1.0)
+        with pytest.raises(ValueError):
+            PartialWrite(at_op=0, cut=0.0)
+        with pytest.raises(ValueError):
+            SlowClientStall(at_op=0, retries=0)
+        with pytest.raises(ValueError):
+            ConnectionStorm(at_op=0, count=0)
+        with pytest.raises(ValueError):
+            WorkerKill(at_op=0, worker=-1)
+        with pytest.raises(ValueError):
+            WorkerKill(at_op=0, worker=0, kind="mid-quantum")
+        with pytest.raises(ValueError):
+            WorkerKill(at_op=0, worker=0, detect="telepathy")
+
+    def test_kill_kind_and_detection_enums_accept_all_members(self):
+        from repro.faults.schedule import (
+            WORKER_KILL_DETECTIONS,
+            WORKER_KILL_KINDS,
+            WorkerKill,
+        )
+
+        for kind in WORKER_KILL_KINDS:
+            for detect in WORKER_KILL_DETECTIONS:
+                kill = WorkerKill(at_op=1, worker=0, kind=kind, detect=detect)
+                assert (kill.kind, kill.detect) == (kind, detect)
+
+    def test_construction_order_does_not_matter(self):
+        from repro.faults.schedule import (
+            NetworkFaultSchedule,
+            TornFrame,
+            WorkerKill,
+        )
+
+        forward = NetworkFaultSchedule(
+            torn_frames=(TornFrame(at_op=1), TornFrame(at_op=5)),
+            kills=(WorkerKill(at_op=2, worker=0), WorkerKill(at_op=2, worker=1)),
+        )
+        backward = NetworkFaultSchedule(
+            torn_frames=(TornFrame(at_op=5), TornFrame(at_op=1)),
+            kills=(WorkerKill(at_op=2, worker=1), WorkerKill(at_op=2, worker=0)),
+        )
+        assert forward == backward
+        assert [f.at_op for f in forward.torn_frames] == [1, 5]
+        assert [k.worker for k in forward.kills] == [0, 1]
+
+    def test_empty_and_counts(self):
+        from repro.faults.schedule import (
+            ConnectionStorm,
+            NetworkFaultSchedule,
+            PartialWrite,
+            SlowClientStall,
+            TornFrame,
+            WorkerKill,
+        )
+
+        assert NetworkFaultSchedule().empty is True
+        schedule = NetworkFaultSchedule(
+            torn_frames=(TornFrame(at_op=0),),
+            partial_writes=(PartialWrite(at_op=1), PartialWrite(at_op=2)),
+            stalls=(SlowClientStall(at_op=3),),
+            storms=(ConnectionStorm(at_op=4),),
+            kills=(WorkerKill(at_op=5, worker=0),),
+        )
+        assert schedule.empty is False
+        assert schedule.counts() == {
+            "torn_frames": 1,
+            "partial_writes": 2,
+            "stalls": 1,
+            "storms": 1,
+            "kills": 1,
+        }

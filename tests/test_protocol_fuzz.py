@@ -1,0 +1,251 @@
+"""Protocol fuzz hardening: hostile frames must never wedge a gateway.
+
+ISSUE-7 satellite: truncated frames, oversized lines, invalid UTF-8,
+overflowing numbers, and pathologically nested JSON must all come back
+as *structured* error responses — ``handle_line`` never raises for
+request content, the asyncio server never drops a connection without
+answering, and the gateway keeps serving afterwards.
+"""
+
+import json
+import random
+import socket
+
+import pytest
+
+from repro.serve.gateway import AdmissionGateway, GatewayServer
+from repro.serve.journal import DurableGateway, Journal
+from repro.serve.loadgen import _TcpGatewayThread
+from repro.serve.protocol import (
+    MAX_REQUEST_CHARS,
+    MAX_REQUEST_DEPTH,
+    ProtocolError,
+    parse_request,
+)
+
+POLICY = {"num_stages": 2, "alpha": 0.9}
+
+VALID_LINES = [
+    '{"id":1,"op":"register","pipeline":"web","policy":{"num_stages":2,"alpha":0.9}}',
+    '{"id":2,"rid":"r2","op":"admit","pipeline":"web","task":'
+    '{"task_id":1,"arrival":0.1,"deadline":1.0,"costs":[0.05,0.03]}}',
+    '{"id":3,"op":"expire","pipeline":"web","now":0.5}',
+    '{"id":4,"op":"stats"}',
+    '{"id":5,"op":"health"}',
+]
+
+
+def _error_of(gateway, line):
+    """Dispatch one hostile line; assert a single structured error."""
+    routed = gateway.handle_line(line)
+    assert len(routed) == 1
+    response = json.loads(routed[0][1])
+    assert response["ok"] is False
+    assert isinstance(response["error"], str)
+    assert isinstance(response["detail"], str)
+    return response["error"]
+
+
+def _still_serves(gateway):
+    """The gateway must keep answering after any hostile input."""
+    routed = gateway.handle_line('{"id":99,"op":"health"}')
+    assert json.loads(routed[0][1])["ok"] is True
+
+
+class TestTruncatedFrames:
+    def test_every_truncation_of_every_op_is_a_structured_error(self):
+        gateway = AdmissionGateway()
+        for line in VALID_LINES:
+            for cut in range(1, len(line)):
+                code = _error_of(gateway, line[:cut])
+                assert code in ("bad-json", "bad-request", "unknown-op")
+        _still_serves(gateway)
+
+    def test_truncated_frame_never_reaches_the_journal(self, tmp_path):
+        journal = Journal(tmp_path / "j.ndjson")
+        durable = DurableGateway(
+            AdmissionGateway(), journal, tmp_path / "s.json"
+        )
+        try:
+            _error_of(durable, VALID_LINES[1][:40])
+            assert journal.last_seq == 0
+        finally:
+            durable.close()
+
+
+class TestOversizedRequests:
+    def test_line_over_limit_is_rejected_with_too_large(self):
+        gateway = AdmissionGateway()
+        assert _error_of(gateway, "x" * (MAX_REQUEST_CHARS + 1)) == "too-large"
+        _still_serves(gateway)
+
+    def test_limit_is_checked_before_parsing(self):
+        # An oversized line of valid JSON must still bounce: the limit
+        # protects the parser, not just the journal.
+        huge = '{"op":"health","pad":"' + "p" * MAX_REQUEST_CHARS + '"}'
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(huge)
+        assert excinfo.value.code == "too-large"
+
+
+class TestNumericOverflow:
+    def test_overflowing_literal_is_rejected(self):
+        # json.loads('1e999') quietly returns inf without consulting
+        # parse_constant; unchecked it would detonate the journal's
+        # allow_nan=False encoder *after* acceptance.
+        gateway = AdmissionGateway()
+        line = '{"op":"expire","pipeline":"web","now":1e999}'
+        assert _error_of(gateway, line) == "bad-json"
+        _still_serves(gateway)
+
+    def test_named_constants_are_rejected(self):
+        gateway = AdmissionGateway()
+        for literal in ("NaN", "Infinity", "-Infinity"):
+            line = f'{{"op":"expire","pipeline":"web","now":{literal}}}'
+            assert _error_of(gateway, line) == "bad-json"
+
+    def test_nested_overflow_is_rejected(self):
+        gateway = AdmissionGateway()
+        line = (
+            '{"op":"admit","pipeline":"web","task":'
+            '{"task_id":1,"arrival":0.0,"deadline":1.0,"costs":[0.05,-1e999]}}'
+        )
+        assert _error_of(gateway, line) == "bad-json"
+
+    def test_overflow_never_reaches_a_durable_journal(self, tmp_path):
+        journal = Journal(tmp_path / "j.ndjson")
+        durable = DurableGateway(AdmissionGateway(), journal, tmp_path / "s.json")
+        try:
+            _error_of(
+                durable, '{"op":"expire","pipeline":"web","now":1e999,"rid":"rX"}'
+            )
+            assert journal.last_seq == 0
+        finally:
+            durable.close()
+
+
+class TestDeepNesting:
+    def test_depth_just_over_the_limit_is_rejected(self):
+        gateway = AdmissionGateway()
+        depth = MAX_REQUEST_DEPTH + 1
+        line = '{"op":"health","x":' + "[" * depth + "]" * depth + "}"
+        assert _error_of(gateway, line) == "too-deep"
+        _still_serves(gateway)
+
+    def test_depth_at_the_limit_is_accepted(self):
+        nested = "[" * (MAX_REQUEST_DEPTH - 1) + "]" * (MAX_REQUEST_DEPTH - 1)
+        line = '{"op":"health","x":' + nested + "}"
+        request = parse_request(line)
+        assert request["op"] == "health"
+
+    def test_parser_stack_overrun_is_a_structured_error(self):
+        # Deep enough to blow CPython's recursive JSON parser before
+        # the iterative depth check could ever run.
+        gateway = AdmissionGateway()
+        assert _error_of(gateway, "[" * 100_000) in ("bad-json", "too-deep")
+        _still_serves(gateway)
+
+    def test_deep_object_nesting_is_rejected(self):
+        depth = MAX_REQUEST_DEPTH + 5
+        line = '{"a":' * depth + "1" + "}" * depth
+        gateway = AdmissionGateway()
+        assert _error_of(gateway, line) == "too-deep"
+
+
+class TestMojibake:
+    def test_replacement_characters_are_a_structured_error(self):
+        # The server decodes with errors="replace", so invalid UTF-8
+        # reaches the core as U+FFFD runs — hostile but harmless.
+        gateway = AdmissionGateway()
+        mangled = b'\xff\xfe{"op":"health"}\xff'.decode("utf-8", errors="replace")
+        assert _error_of(gateway, mangled) == "bad-json"
+        _still_serves(gateway)
+
+    def test_mid_string_mojibake_keeps_the_envelope_checks(self):
+        gateway = AdmissionGateway()
+        mangled = '{"op":"��"}'
+        assert _error_of(gateway, mangled) == "unknown-op"
+
+
+class TestSeededGarbage:
+    def test_random_garbage_never_raises_and_never_wedges(self):
+        gateway = AdmissionGateway()
+        rng = random.Random(7)
+        alphabet = '{}[]",:0123456789.eE+-abcdefghijklmnop \t�'
+        for _ in range(500):
+            line = "".join(
+                rng.choice(alphabet) for _ in range(rng.randrange(1, 120))
+            )
+            routed = gateway.handle_line(line)
+            assert len(routed) == 1
+            response = json.loads(routed[0][1])
+            assert isinstance(response.get("ok"), bool)
+            if not response["ok"]:
+                assert isinstance(response["error"], str)
+        _still_serves(gateway)
+
+    def test_mutated_valid_lines_never_raise(self):
+        gateway = AdmissionGateway()
+        gateway.handle_line(VALID_LINES[0])
+        rng = random.Random(11)
+        for _ in range(300):
+            line = list(rng.choice(VALID_LINES))
+            for _ in range(rng.randrange(1, 4)):
+                pos = rng.randrange(len(line))
+                line[pos] = rng.choice('{}[]",:x9')
+            routed = gateway.handle_line("".join(line))
+            for _origin, response in routed:
+                json.loads(response)
+        _still_serves(gateway)
+
+
+class TestOversizedLineOverTcp:
+    def test_oversized_line_gets_structured_error_not_a_wedge(self):
+        # The asyncio reader's default 64 KiB limit used to surface as
+        # an unhandled LimitOverrunError that killed the connection
+        # task silently.  Now the server answers with a structured
+        # ``too-large`` error, closes *that* connection, and keeps
+        # serving others.
+        with _TcpGatewayThread() as server:
+            host, port = server.address
+            sock = socket.create_connection((host, port), timeout=30)
+            try:
+                sock.sendall(b"x" * (GatewayServer.READER_LIMIT + 1024) + b"\n")
+                reply = b""
+                while b"\n" not in reply:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        break
+                    reply += chunk
+                response = json.loads(reply.split(b"\n")[0])
+                assert response["ok"] is False
+                assert response["error"] == "too-large"
+            finally:
+                sock.close()
+            # The server survived: a fresh connection still works.
+            probe = socket.create_connection((host, port), timeout=30)
+            try:
+                probe.sendall(b'{"id":1,"op":"health"}\n')
+                buf = b""
+                while b"\n" not in buf:
+                    buf += probe.recv(65536)
+                assert json.loads(buf.split(b"\n")[0])["ok"] is True
+            finally:
+                probe.close()
+
+    def test_large_but_legal_request_passes_the_reader(self):
+        # READER_LIMIT is 4x the protocol cap so legal near-cap lines
+        # (snapshot restores) flow through the stream reader untouched.
+        with _TcpGatewayThread() as server:
+            host, port = server.address
+            sock = socket.create_connection((host, port), timeout=30)
+            try:
+                pad = "p" * (128 * 1024)  # far past the old 64 KiB limit
+                line = f'{{"id":1,"op":"health","pad":"{pad}"}}\n'
+                sock.sendall(line.encode("utf-8"))
+                buf = b""
+                while b"\n" not in buf:
+                    buf += sock.recv(65536)
+                assert json.loads(buf.split(b"\n")[0])["ok"] is True
+            finally:
+                sock.close()

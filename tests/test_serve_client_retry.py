@@ -1,0 +1,278 @@
+"""Retry-budget, drain, and cross-restart edge cases for the client.
+
+ISSUE-7 satellite: pins the exact boundary where the deadline-aware
+retry loop abandons, what happens when a reconnect lands on a draining
+gateway, and that a pinned rid survives a worker kill/recover cycle
+with its decision intact.
+"""
+
+import json
+
+import pytest
+
+from repro.core.task import PipelineTask
+from repro.serve.client import (
+    GatewayClient,
+    GatewayError,
+    GatewayTimeout,
+    InProcessTransport,
+    RetryPolicy,
+    RetryingGatewayClient,
+)
+from repro.serve.gateway import AdmissionGateway
+from repro.serve.recovery import recover, registry_fingerprint
+
+POLICY = {"num_stages": 2, "alpha": 0.9}
+
+
+class FakeTime:
+    """A clock that only sleep() advances — the schedule, replayed dry."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.sleeps = []
+
+    def clock(self) -> float:
+        return self.now
+
+    def sleep(self, delay: float) -> None:
+        self.sleeps.append(delay)
+        self.now += delay
+
+
+class _TimeoutTransport(InProcessTransport):
+    """Times out the first ``failures`` submissions, then serves."""
+
+    def __init__(self, gateway, failures):
+        super().__init__(gateway)
+        self.failures = failures
+        self.attempts = 0
+
+    def submit(self, line):
+        self.attempts += 1
+        if self.attempts <= self.failures:
+            raise GatewayTimeout("injected")
+        return super().submit(line)
+
+
+def _flat_policy(max_attempts=10):
+    # base 1s, no growth, no jitter: every retry delay is exactly 1.0,
+    # so the abandonment boundary is an exact arithmetic statement.
+    return RetryPolicy(
+        base_delay=1.0, multiplier=1.0, max_attempts=max_attempts, jitter=0.0
+    )
+
+
+def _retrying(transport, policy, fake):
+    return RetryingGatewayClient(
+        connect=lambda: GatewayClient(transport),
+        policy=policy,
+        rid_factory=iter(f"rid-{n}" for n in range(1000)).__next__,
+        clock=fake.clock,
+        sleep=fake.sleep,
+    )
+
+
+class TestDeadlineBoundary:
+    def test_retry_starting_exactly_at_the_deadline_is_taken(self):
+        # Failures at t=0,1,2; the third retry is scheduled for t=3,
+        # exactly the deadline.  approx_le(3.0, 3.0) holds, so the
+        # attempt runs — and succeeds.
+        fake = FakeTime()
+        transport = _TimeoutTransport(AdmissionGateway(), failures=3)
+        client = _retrying(transport, _flat_policy(), fake)
+        response = client.call("health", deadline=3.0)
+        assert response["ok"] is True
+        assert client.retries == 3
+        assert client.abandoned == 0
+        assert fake.sleeps == [1.0, 1.0, 1.0]
+
+    def test_retry_past_the_deadline_is_abandoned(self):
+        # Same schedule, deadline one sleep earlier: the retry that
+        # would start at t=3 > 2.0 is never taken and the last timeout
+        # resurfaces, even though the transport would have recovered.
+        fake = FakeTime()
+        transport = _TimeoutTransport(AdmissionGateway(), failures=3)
+        client = _retrying(transport, _flat_policy(), fake)
+        with pytest.raises(GatewayTimeout):
+            client.call("health", deadline=2.0)
+        assert client.retries == 2
+        assert client.abandoned == 1
+        assert fake.now == 2.0  # abandoned *before* sleeping past it
+
+    def test_attempt_budget_binds_without_a_deadline(self):
+        fake = FakeTime()
+        transport = _TimeoutTransport(AdmissionGateway(), failures=99)
+        client = _retrying(transport, _flat_policy(max_attempts=4), fake)
+        with pytest.raises(GatewayTimeout):
+            client.call("health")
+        assert transport.attempts == 4
+        assert client.retries == 3
+        assert client.abandoned == 1
+
+    def test_zero_budget_deadline_means_no_retry_at_all(self):
+        fake = FakeTime()
+        transport = _TimeoutTransport(AdmissionGateway(), failures=1)
+        client = _retrying(transport, _flat_policy(), fake)
+        with pytest.raises(GatewayTimeout):
+            client.call("health", deadline=0.5)
+        assert client.retries == 0
+        assert fake.sleeps == []
+
+
+class TestReconnectDuringDrain:
+    def test_draining_refusal_is_final_not_retried(self):
+        # A reconnect can land on a gateway already in shutdown drain.
+        # ``draining`` is a *decision* (the gateway answered), not an
+        # ambiguous failure — retrying it would just burn the budget.
+        gateway = AdmissionGateway()
+        gateway.handle_line(json.dumps({
+            "id": 0, "op": "register", "pipeline": "api", "policy": POLICY,
+        }))
+        gateway.draining = True
+        fake = FakeTime()
+        client = _retrying(InProcessTransport(gateway), _flat_policy(), fake)
+        task = PipelineTask(
+            task_id=1, arrival_time=0.0, deadline=5.0,
+            computation_times=(0.05, 0.03),
+        )
+        with pytest.raises(GatewayError) as excinfo:
+            client.admit("api", task)
+        assert excinfo.value.code == "draining"
+        assert client.retries == 0
+        assert fake.sleeps == []
+
+    def test_timeout_then_drain_refusal_stops_the_loop(self):
+        # First attempt times out (ambiguous, retried); the reconnect
+        # reaches a draining gateway whose refusal ends the story.
+        gateway = AdmissionGateway()
+        gateway.handle_line(json.dumps({
+            "id": 0, "op": "register", "pipeline": "api", "policy": POLICY,
+        }))
+        gateway.draining = True
+        fake = FakeTime()
+        transport = _TimeoutTransport(gateway, failures=1)
+        client = _retrying(transport, _flat_policy(), fake)
+        task = PipelineTask(
+            task_id=1, arrival_time=0.0, deadline=5.0,
+            computation_times=(0.05, 0.03),
+        )
+        with pytest.raises(GatewayError) as excinfo:
+            client.admit("api", task)
+        assert excinfo.value.code == "draining"
+        assert client.retries == 1
+        assert client.reconnects == 1  # the timeout dropped the client
+
+    def test_duplicate_request_backs_off_without_reconnecting(self):
+        # ``duplicate-request`` means "your original is still pending
+        # in a batch" — the connection is healthy, so the client backs
+        # off on the *same* connection instead of churning sockets.
+        gateway = AdmissionGateway()
+        gateway.handle_line(json.dumps({
+            "id": 0, "op": "register", "pipeline": "api",
+            "policy": {**POLICY, "max_batch": 2},
+        }))
+        # Queue the original admit directly so the rid sits pending.
+        gateway.handle_line(json.dumps({
+            "id": 100, "rid": "rid-0", "op": "admit", "pipeline": "api",
+            "task": {"task_id": 1, "arrival": 0.0, "deadline": 5.0,
+                     "costs": [0.05, 0.03]},
+        }))
+        fake = FakeTime()
+
+        class _DrainingRetry(InProcessTransport):
+            """Flushes the pending batch right before the 3rd attempt."""
+
+            def __init__(self, inner_gateway):
+                super().__init__(inner_gateway)
+                self.submits = 0
+
+            def submit(self, line):
+                self.submits += 1
+                if self.submits == 3:
+                    self.gateway.drain()
+                return super().submit(line)
+
+        transport = _DrainingRetry(gateway)
+        client = _retrying(transport, _flat_policy(), fake)
+        response = client.call(
+            "admit", rid="rid-0", pipeline="api",
+            task={"task_id": 1, "arrival": 0.0, "deadline": 5.0,
+                  "costs": [0.05, 0.03]},
+        )
+        assert response["ok"] is True
+        assert client.retries == 2
+        assert client.reconnects == 0
+        assert gateway.dedup_hits == 1  # the settled decision, replayed
+
+
+class TestRidReuseAcrossRestart:
+    def test_pinned_rid_survives_kill_and_recovery(self, tmp_path):
+        durable, _ = recover(tmp_path)
+        durable.handle_line(json.dumps({
+            "id": 0, "op": "register", "pipeline": "api", "policy": POLICY,
+        }))
+        fake = FakeTime()
+        client = _retrying(InProcessTransport(durable), _flat_policy(), fake)
+        first = client.call(
+            "admit", rid="pinned-rid", pipeline="api",
+            task={"task_id": 1, "arrival": 0.0, "deadline": 5.0,
+                  "costs": [0.05, 0.03]},
+        )
+        assert first["ok"] is True
+
+        # SIGKILL-equivalent: no drain, no close bookkeeping.
+        durable.journal.close()
+        fingerprint = registry_fingerprint(durable)
+        recovered, report = recover(tmp_path)
+        try:
+            assert report.replayed >= 2
+            assert registry_fingerprint(recovered) == fingerprint
+
+            # Failover: the same logical request, same rid, against the
+            # recovered worker.  The rebuilt dedup window answers it
+            # without re-admitting.
+            retry_client = _retrying(
+                InProcessTransport(recovered), _flat_policy(), fake
+            )
+            second = retry_client.call(
+                "admit", rid="pinned-rid", pipeline="api",
+                task={"task_id": 1, "arrival": 0.0, "deadline": 5.0,
+                      "costs": [0.05, 0.03]},
+            )
+            assert second["admitted"] == first["admitted"]
+            assert second["region_value"] == first["region_value"]
+            assert recovered.gateway.dedup_hits == 1
+            stats = retry_client.call("stats", pipeline="api")
+            assert stats["stats"]["api"]["counters"]["offered"] == 1
+        finally:
+            recovered.close()
+
+    def test_fresh_rids_are_not_deduped_after_recovery(self, tmp_path):
+        durable, _ = recover(tmp_path)
+        durable.handle_line(json.dumps({
+            "id": 0, "op": "register", "pipeline": "api", "policy": POLICY,
+        }))
+        fake = FakeTime()
+        client = _retrying(InProcessTransport(durable), _flat_policy(), fake)
+        client.call(
+            "admit", rid="rid-a", pipeline="api",
+            task={"task_id": 1, "arrival": 0.0, "deadline": 5.0,
+                  "costs": [0.05, 0.03]},
+        )
+        durable.journal.close()
+        recovered, _ = recover(tmp_path)
+        try:
+            retry_client = _retrying(
+                InProcessTransport(recovered), _flat_policy(), fake
+            )
+            retry_client.call(
+                "admit", rid="rid-b", pipeline="api",
+                task={"task_id": 2, "arrival": 0.1, "deadline": 5.0,
+                      "costs": [0.05, 0.03]},
+            )
+            assert recovered.gateway.dedup_hits == 0
+            stats = retry_client.call("stats", pipeline="api")
+            assert stats["stats"]["api"]["counters"]["offered"] == 2
+        finally:
+            recovered.close()

@@ -295,3 +295,96 @@ class TestAsyncOffload:
             return routed
 
         assert asyncio.run(run()) == twin.handle_line(line) + twin.drain()
+
+
+class TestRenameDurability:
+    """ISSUE-7 satellite: the rename itself must be made durable.
+
+    fsyncing the snapshot's *data* is not enough — ``os.replace`` only
+    updates the parent directory's entry, and a power cut can roll that
+    entry back.  These tests record the actual syscall order through
+    monkeypatched wrappers and pin the three-step discipline:
+    fsync(temp file) -> rename -> fsync(parent directory).
+    """
+
+    @pytest.fixture
+    def syscalls(self, monkeypatch):
+        import os
+        import stat
+
+        events = []
+        real_fsync, real_replace, real_fstat = os.fsync, os.replace, os.fstat
+
+        def recording_fsync(fd):
+            kind = (
+                "fsync-dir"
+                if stat.S_ISDIR(real_fstat(fd).st_mode)
+                else "fsync-file"
+            )
+            events.append(kind)
+            return real_fsync(fd)
+
+        def recording_replace(src, dst):
+            events.append("rename")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "fsync", recording_fsync)
+        monkeypatch.setattr(os, "replace", recording_replace)
+        return events
+
+    def test_snapshot_write_orders_fsync_rename_fsync_dir(
+        self, tmp_path, syscalls
+    ):
+        from repro.serve.journal import write_gateway_snapshot
+
+        write_gateway_snapshot(
+            tmp_path / "snap.json", {"format": "x"}, fsync=True
+        )
+        assert syscalls == ["fsync-file", "rename", "fsync-dir"]
+
+    def test_snapshot_write_without_fsync_skips_both_fsyncs(
+        self, tmp_path, syscalls
+    ):
+        from repro.serve.journal import write_gateway_snapshot
+
+        write_gateway_snapshot(
+            tmp_path / "snap.json", {"format": "x"}, fsync=False
+        )
+        assert syscalls == ["rename"]
+
+    def test_journal_reset_fsyncs_the_parent_directory(
+        self, tmp_path, syscalls
+    ):
+        journal = Journal(tmp_path / "j.ndjson", fsync=True)
+        journal.append(_op())
+        del syscalls[:]
+        journal.reset(next_seq=2)
+        journal.close()
+        # Truncate-and-reopen rewrites the directory entry, so the
+        # parent is pinned after the (empty) file itself is synced.
+        assert syscalls == ["fsync-file", "fsync-dir"]
+
+    def test_compaction_runs_the_full_discipline_in_order(
+        self, tmp_path, syscalls
+    ):
+        journal = Journal(tmp_path / "j.ndjson", fsync=True)
+        durable = DurableGateway(
+            AdmissionGateway(), journal, tmp_path / "snap.json"
+        )
+        durable.handle_line(
+            '{"id":1,"op":"register","pipeline":"web",'
+            '"policy":{"num_stages":2,"alpha":0.9}}'
+        )
+        del syscalls[:]
+        assert durable.compact() is True
+        durable.close()
+        # Snapshot: data fsync, rename, dir fsync.  Journal reset:
+        # truncated-file fsync, dir fsync.  Strictly in that order —
+        # the journal must never shrink before its snapshot is pinned.
+        assert syscalls == [
+            "fsync-file",
+            "rename",
+            "fsync-dir",
+            "fsync-file",
+            "fsync-dir",
+        ]
