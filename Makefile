@@ -21,10 +21,15 @@ chaos:
 # and bitwise-identical recovered state, and 12 fleet chaos cycles
 # (worker SIGKILLs + network faults across 3 shards) with the same
 # zero-loss/zero-duplication guarantee against a shadow fleet.
+# Finally the blocking comparison report: online PCP-derived beta_j vs
+# the static worst-case population bound over one contention trace —
+# must be byte-stable, admit at least as much online, and finish the
+# closed-loop simulation with zero deadline misses on both sides.
 serve-smoke:
 	$(PYTHON) -m repro.serve.loadgen --scenario webserver --seed 0 --requests 1000 --selftest
 	$(PYTHON) -m repro.serve.loadgen --chaos-crash --cycles 24 --seed 0 --selftest
 	$(PYTHON) -m repro.serve.loadgen --chaos-fleet --cycles 12 --workers 3 --seed 0 --selftest
+	$(PYTHON) -m repro.serve.loadgen --compare-blocking --seed 0 --selftest
 
 # Consolidated benchmark run: paper-artifact and serving benchmarks in
 # BENCH_serve.json, the core hot-path + analyzer suite
@@ -34,8 +39,10 @@ bench:
 	$(PYTHON) -m pytest benchmarks -q -o addopts="" --benchmark-only \
 		--ignore=benchmarks/bench_core_hotpath.py \
 		--ignore=benchmarks/bench_lint.py \
+		--ignore=benchmarks/bench_locking.py \
 		--benchmark-json=BENCH_serve.json
 	$(PYTHON) -m pytest benchmarks/bench_core_hotpath.py benchmarks/bench_lint.py \
+		benchmarks/bench_locking.py \
 		-q -o addopts="" \
 		--benchmark-only --benchmark-json=BENCH_core.json
 	@echo "wrote BENCH_serve.json and BENCH_core.json"
@@ -46,7 +53,7 @@ bench:
 # benchmarks/BASELINE_core.json.
 bench-smoke:
 	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_core_hotpath.py \
-		benchmarks/bench_lint.py \
+		benchmarks/bench_lint.py benchmarks/bench_locking.py \
 		-q -o addopts="" --benchmark-only \
 		--benchmark-json=BENCH_core_smoke.json
 	$(PYTHON) benchmarks/check_bench_regression.py BENCH_core_smoke.json \

@@ -33,6 +33,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
+from ..locking.bounds import PCPBlockingState
+from ..locking.model import ResourceSpec
 from .bounds import region_budget, stage_delay_factor
 from .numeric import approx_ge, approx_le
 from .synthetic import StageUtilizationTracker
@@ -165,6 +167,8 @@ class _Admitted:
     contributions: Tuple[float, ...]
     expiry: float
     importance: int
+    deadline: float = 0.0
+    resources: Tuple[ResourceSpec, ...] = ()
 
 
 class PipelineAdmissionController:
@@ -192,6 +196,7 @@ class PipelineAdmissionController:
         reserved: Optional[Sequence[float]] = None,
         demand_model: Optional[DemandModel] = None,
         reset_on_idle: bool = True,
+        locking: bool = False,
     ) -> None:
         """Create a controller.
 
@@ -204,6 +209,14 @@ class PipelineAdmissionController:
                 with these values.
             demand_model: Defaults to :class:`ExactDemand`.
             reset_on_idle: Enable the idle-reset rule.
+            locking: Derive ``beta_j`` online from the admitted tasks'
+                :class:`~repro.locking.model.ResourceSpec` declarations
+                under the priority-ceiling protocol instead of taking a
+                static vector.  ``self.betas`` and ``self.budget`` then
+                track the admitted set transactionally: an arrival
+                whose critical sections would push ``sum_j beta_j``
+                past the region is itself refused.  Mutually exclusive
+                with a static ``betas`` vector.
 
         Raises:
             ValueError: On invalid dimensions or parameter ranges, or
@@ -213,14 +226,27 @@ class PipelineAdmissionController:
             raise ValueError(f"num_stages must be >= 1, got {num_stages}")
         if betas is not None and len(betas) != num_stages:
             raise ValueError(f"betas length {len(betas)} != num_stages {num_stages}")
+        if locking and betas is not None:
+            raise ValueError(
+                "locking derives the beta vector online; a static betas "
+                "vector cannot be combined with it"
+            )
         if reserved is None:
             reserved = [0.0] * num_stages
         if len(reserved) != num_stages:
             raise ValueError(f"reserved length {len(reserved)} != num_stages {num_stages}")
         self.num_stages = num_stages
         self.alpha = alpha
-        self.betas = None if betas is None else tuple(betas)
-        self.budget = region_budget(alpha, betas)
+        self.locking = locking
+        self._blocking: Optional[PCPBlockingState] = (
+            PCPBlockingState(num_stages) if locking else None
+        )
+        if self._blocking is not None:
+            self.betas: Optional[Tuple[float, ...]] = self._blocking.betas()
+            self.budget = region_budget(alpha, self.betas)
+        else:
+            self.betas = None if betas is None else tuple(betas)
+            self.budget = region_budget(alpha, betas)
         self.demand_model = demand_model if demand_model is not None else ExactDemand()
         self.reset_on_idle = reset_on_idle
         # Remaining processing capacity per stage, in [0, 1].  1.0 is
@@ -283,15 +309,39 @@ class PipelineAdmissionController:
             for task_id, record in self._admitted.items()
         }
 
-    def iter_admitted(self) -> List[Tuple[Hashable, Tuple[float, ...], float, int]]:
-        """Full admitted records: ``(task_id, contributions, expiry, importance)``.
+    def iter_admitted(
+        self,
+    ) -> List[
+        Tuple[
+            Hashable,
+            Tuple[float, ...],
+            float,
+            int,
+            float,
+            Tuple[ResourceSpec, ...],
+        ]
+    ]:
+        """Full admitted records:
+        ``(task_id, contributions, expiry, importance, deadline, resources)``.
 
         The contributions are the amounts charged at admission time;
         per-stage *live* amounts (after idle resets) must be read from
-        the trackers.  Used by the serving layer's snapshot/restore.
+        the trackers.  ``deadline`` is the task's relative deadline
+        ``D_i`` (0.0 for records restored from pre-locking snapshots
+        that never persisted it) and ``resources`` its canonical
+        shared-resource declarations — together they are what the
+        blocking engine needs to rebuild ``B_ij`` from a snapshot.
+        Used by the serving layer's snapshot/restore.
         """
         return [
-            (task_id, record.contributions, record.expiry, record.importance)
+            (
+                task_id,
+                record.contributions,
+                record.expiry,
+                record.importance,
+                record.deadline,
+                record.resources,
+            )
             for task_id, record in self._admitted.items()
         ]
 
@@ -307,6 +357,8 @@ class PipelineAdmissionController:
         importance: int = 0,
         live: Optional[Sequence[Optional[float]]] = None,
         departed_stages: Sequence[int] = (),
+        deadline: float = 0.0,
+        resources: Sequence[ResourceSpec] = (),
     ) -> None:
         """Re-install one admitted task's bookkeeping from a snapshot.
 
@@ -328,6 +380,15 @@ class PipelineAdmissionController:
                 Defaults to ``contributions`` (nothing released yet).
             departed_stages: Stages where the task already departed and
                 awaits the next idle reset.
+            deadline: The task's relative deadline ``D_i``; required
+                (> 0) on a locking controller, where it feeds the
+                blocking engine's priority key and normalization.
+                Pre-locking snapshots never persisted it, so 0.0 marks
+                "unknown" on non-locking controllers.
+            resources: Canonical shared-resource declarations of the
+                task; re-tracked by the blocking engine on a locking
+                controller so ``beta_j`` and the budget are rebuilt
+                bitwise.
 
         Raises:
             ValueError: If the task is already admitted or a vector has
@@ -345,6 +406,8 @@ class PipelineAdmissionController:
             raise ValueError(
                 f"contribution vectors must have {self.num_stages} entries"
             )
+        specs = tuple(resources)
+        self._locking_track(task_id, deadline, specs)
         departed = frozenset(departed_stages)
         for j, (tracker, amount) in enumerate(zip(self.trackers, amounts)):
             if amount is not None:
@@ -352,7 +415,11 @@ class PipelineAdmissionController:
                 if j in departed:
                     tracker.mark_departed(task_id)
         self._admitted[task_id] = _Admitted(
-            contributions=charged, expiry=expiry, importance=importance
+            contributions=charged,
+            expiry=expiry,
+            importance=importance,
+            deadline=float(deadline),
+            resources=specs,
         )
         heapq.heappush(self._expiry_heap, (expiry, task_id))
 
@@ -392,10 +459,17 @@ class PipelineAdmissionController:
     def would_admit(self, task: PipelineTask, now: float) -> bool:
         """Evaluate the O(N) test without committing the task."""
         self.expire(now)
-        return self._fits(self._contributions(task))
+        budget = self._candidate_budget(task)
+        return budget is not None and self._fits(self._contributions(task), budget)
 
     def request(self, task: PipelineTask, now: float) -> AdmissionDecision:
         """Run the admission test and commit the task when it passes.
+
+        On a locking controller the test runs against the budget the
+        controller *would* hold after admitting the task — including
+        the blocking its own critical sections add — so an arrival that
+        would push ``sum_j beta_j`` out of the region is refused even
+        when the utilization terms alone still fit.
 
         Args:
             task: The arriving task (its pipeline length must match).
@@ -409,7 +483,8 @@ class PipelineAdmissionController:
         """
         self.expire(now)
         contributions = self._contributions(task)
-        if not self._fits(contributions):
+        budget = self._candidate_budget(task)
+        if budget is None or not self._fits(contributions, budget):
             return AdmissionDecision(admitted=False, region_value=self.region_value())
         self._install(task, contributions)
         return AdmissionDecision(admitted=True, region_value=self.region_value())
@@ -486,6 +561,11 @@ class PipelineAdmissionController:
                     "task's expiry"
                 )
         trackers = self.trackers
+        # With locking off the budget is a constant and is hoisted out
+        # of the loop; a locking controller's budget moves with every
+        # install/expiry, and each candidate is tested against its own
+        # previewed budget — exactly as sequential request() would.
+        locking = self._blocking is not None
         budget = self.budget
         # f(min(U_j, 1)) per stage; kept exactly equal to the terms
         # region_value() would compute, so sum(cache) == region_value().
@@ -497,18 +577,20 @@ class PipelineAdmissionController:
                 self._expire_cached(now, cache)
                 last_now = now
             contributions = self._contributions(task)
+            row_budget = self._candidate_budget(task) if locking else budget
             # Inline of _fits, same float-op order (equivalence depends on it).
             value = 0.0
-            fits = True
-            for tracker, extra in zip(trackers, contributions):
-                u = tracker.value + extra
-                if approx_ge(u, 1.0):
-                    fits = False
-                    break
-                value += stage_delay_factor(u)
-                if not approx_le(value, budget):
-                    fits = False
-                    break
+            fits = row_budget is not None
+            if fits:
+                for tracker, extra in zip(trackers, contributions):
+                    u = tracker.value + extra
+                    if approx_ge(u, 1.0):
+                        fits = False
+                        break
+                    value += stage_delay_factor(u)
+                    if not approx_le(value, row_budget):
+                        fits = False
+                        break
             if fits:
                 self._install(task, contributions)
                 for j, tracker in enumerate(trackers):
@@ -534,6 +616,7 @@ class PipelineAdmissionController:
             record = self._admitted.get(task_id)
             if record is not None and record.expiry <= now:
                 del self._admitted[task_id]
+                self._locking_discard(task_id)
 
     def request_with_shedding(
         self, task: PipelineTask, now: float
@@ -553,7 +636,8 @@ class PipelineAdmissionController:
         """
         self.expire(now)
         contributions = self._contributions(task)
-        if self._fits(contributions):
+        budget = self._candidate_budget(task)
+        if budget is not None and self._fits(contributions, budget):
             self._install(task, contributions)
             return AdmissionDecision(admitted=True, region_value=self.region_value())
 
@@ -571,11 +655,17 @@ class PipelineAdmissionController:
             if not any(t.contribution_of(victim_id) for t in self.trackers):
                 # All of the victim's contributions already lapsed
                 # (idle resets / expiry): shedding it frees nothing.
+                # On a locking controller its blocking sections may
+                # still be charged, but eviction of zero-contribution
+                # blockers is handled by expiry, not shedding.
                 continue
             removed = self._evict(victim_id)
             shed.append(victim_id)
             rollback.append((victim_id, record, removed))
-            if self._fits(contributions):
+            # Shedding a victim relaxes ceilings and drops sections, so
+            # the previewed budget must be re-derived after each evict.
+            budget = self._candidate_budget(task)
+            if budget is not None and self._fits(contributions, budget):
                 self._install(task, contributions)
                 return AdmissionDecision(
                     admitted=True, region_value=self.region_value(), shed=tuple(shed)
@@ -591,7 +681,12 @@ class PipelineAdmissionController:
     # ------------------------------------------------------------------
 
     def expire(self, now: float) -> None:
-        """Lapse contributions of tasks whose deadlines passed."""
+        """Lapse contributions of tasks whose deadlines passed.
+
+        On a locking controller an expired job also stops blocking:
+        its critical sections leave the ``B_ij`` bound and the budget
+        grows back accordingly.
+        """
         for tracker in self.trackers:
             tracker.expire_until(now)
         while self._expiry_heap and self._expiry_heap[0][0] <= now:
@@ -599,6 +694,7 @@ class PipelineAdmissionController:
             record = self._admitted.get(task_id)
             if record is not None and record.expiry <= now:
                 del self._admitted[task_id]
+                self._locking_discard(task_id)
 
     def notify_subtask_departure(self, task_id: Hashable, stage: int) -> None:
         """Record that the task finished executing at ``stage``.
@@ -660,6 +756,7 @@ class PipelineAdmissionController:
         ]
         for task_id in expired:
             del self._admitted[task_id]
+            self._locking_discard(task_id)
         live = set(self._admitted)
         orphans = sum(
             len(tracker.tracked_ids() - live) for tracker in self.trackers
@@ -710,14 +807,58 @@ class PipelineAdmissionController:
                 contributions.append(c / (capacity * task.deadline))
         return tuple(contributions)
 
-    def _fits(self, contributions: Tuple[float, ...]) -> bool:
+    def _candidate_budget(self, task: PipelineTask) -> Optional[float]:
+        """Region budget the controller would hold after admitting ``task``.
+
+        Without locking this is the static :attr:`budget`.  With
+        locking it is ``alpha (1 - sum_j beta_j)`` over the previewed
+        blocking vector that *includes* the candidate's own critical
+        sections (and the candidate as a blocking victim).  ``None``
+        means the previewed blocking alone empties the region — the
+        arrival is refused before any utilization term is examined.
+        """
+        if self._blocking is None:
+            return self.budget
+        betas = self._blocking.preview(task.task_id, task.deadline, task.resources)
+        if math.fsum(betas) >= 1.0:
+            return None
+        return region_budget(self.alpha, betas)
+
+    def _locking_track(
+        self,
+        task_id: Hashable,
+        deadline: float,
+        resources: Tuple[ResourceSpec, ...],
+    ) -> None:
+        """Commit a task to the blocking engine; betas/budget follow."""
+        if self._blocking is None:
+            return
+        self.betas = self._blocking.add(task_id, deadline, resources)
+        self.budget = region_budget(self.alpha, self.betas)
+
+    def _locking_discard(self, task_id: Hashable) -> None:
+        """Drop a task from the blocking engine; betas/budget follow.
+
+        Removal can only relax the bound, so the refreshed budget never
+        raises (``sum beta`` is monotonically non-increasing here).
+        """
+        if self._blocking is None or task_id not in self._blocking:
+            return
+        self.betas = self._blocking.remove(task_id)
+        self.budget = region_budget(self.alpha, self.betas)
+
+    def _fits(
+        self, contributions: Tuple[float, ...], budget: Optional[float] = None
+    ) -> bool:
+        if budget is None:
+            budget = self.budget
         value = 0.0
         for tracker, extra in zip(self.trackers, contributions):
             u = tracker.value + extra
             if approx_ge(u, 1.0):
                 return False
             value += stage_delay_factor(u)
-            if not approx_le(value, self.budget):
+            if not approx_le(value, budget):
                 return False
         return True
 
@@ -726,8 +867,13 @@ class PipelineAdmissionController:
         for tracker, contribution in zip(self.trackers, contributions):
             tracker.add(task.task_id, contribution, expiry)
         self._admitted[task.task_id] = _Admitted(
-            contributions=contributions, expiry=expiry, importance=task.importance
+            contributions=contributions,
+            expiry=expiry,
+            importance=task.importance,
+            deadline=task.deadline,
+            resources=task.resources,
         )
+        self._locking_track(task.task_id, task.deadline, task.resources)
         heapq.heappush(self._expiry_heap, (expiry, task.task_id))
 
     def _evict(self, task_id: Hashable) -> Tuple[float, ...]:
@@ -740,6 +886,7 @@ class PipelineAdmissionController:
         """
         removed = tuple(tracker.remove(task_id) for tracker in self.trackers)
         self._admitted.pop(task_id, None)
+        self._locking_discard(task_id)
         return removed
 
     def _reinstall(
@@ -749,4 +896,5 @@ class PipelineAdmissionController:
             if contribution:
                 tracker.add(task_id, contribution, record.expiry)
         self._admitted[task_id] = record
+        self._locking_track(task_id, record.deadline, record.resources)
         heapq.heappush(self._expiry_heap, (record.expiry, task_id))

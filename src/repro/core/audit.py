@@ -23,7 +23,14 @@ pessimistic.
 - ``orphan-contribution`` — a stage holds a contribution for a task the
   controller has no admitted record of;
 - ``expired-contribution`` — a contribution outlived its task's
-  deadline even after ``expire(now)`` ran (expiry-heap corruption).
+  deadline even after ``expire(now)`` ran (expiry-heap corruption);
+- ``blocking-drift`` — on a locking controller, the cached online
+  ``beta_j`` vector (or the blocking engine's tracked set) disagrees
+  *bitwise* with a ground-truth PCP recomputation from the admitted
+  records' resource declarations;
+- ``budget-drift`` — the cached region budget is not bitwise equal to
+  ``alpha (1 - sum_j beta_j)`` over the current beta vector — the
+  transactional budget update was skipped somewhere.
 
 *Ground-truth cross-checks* (fed by the simulation or a monitoring
 layer):
@@ -43,7 +50,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, List, Optional
 
+from ..locking.bounds import compute_betas
 from .admission import PipelineAdmissionController
+from .bounds import region_budget
 from .numeric import EPS
 
 __all__ = [
@@ -59,6 +68,8 @@ AUDIT_KINDS = (
     "negative-utilization",
     "orphan-contribution",
     "expired-contribution",
+    "blocking-drift",
+    "budget-drift",
     "missed-departure",
     "missed-idle-reset",
 )
@@ -181,6 +192,7 @@ class ControllerAuditor:
                         )
                     )
         violations.extend(self._check_expired(now))
+        violations.extend(self._check_blocking())
         if frontier is not None:
             violations.extend(self._check_departures(frontier))
         if idle_stages is not None:
@@ -206,6 +218,85 @@ class ControllerAuditor:
                         f"expire({now!r})",
                     )
                 )
+        return violations
+
+    def _check_blocking(self) -> List[InvariantViolation]:
+        """Bitwise blocking/budget invariants (Eq. 15 bookkeeping).
+
+        The budget must equal ``region_budget(alpha, betas)`` on every
+        controller.  On a locking controller the cached ``beta_j``
+        vector must additionally match a ground-truth PCP recomputation
+        from the admitted records' ``(deadline, resources)`` pairs —
+        the canonical blocking state is a pure function of those, just
+        as the synthetic-utilization state is of the contributions.
+        """
+        controller = self.controller
+        violations: List[InvariantViolation] = []
+        blocking = getattr(controller, "_blocking", None)
+        if blocking is not None:
+            tracked = set(blocking._tasks)
+            admitted = set(controller._admitted)
+            if tracked != admitted:
+                extra = sorted(tracked - admitted, key=repr)
+                missing = sorted(admitted - tracked, key=repr)
+                violations.append(
+                    InvariantViolation(
+                        "blocking-drift",
+                        None,
+                        None,
+                        f"blocking engine tracks {extra!r} without admitted "
+                        f"records and misses admitted {missing!r}",
+                    )
+                )
+            ground_truth = compute_betas(
+                (
+                    (task_id, record.deadline, record.resources)
+                    for task_id, record in controller._admitted.items()
+                ),
+                controller.num_stages,
+            )
+            cached = blocking.betas()
+            if cached != blocking.recompute():
+                violations.append(
+                    InvariantViolation(
+                        "blocking-drift",
+                        None,
+                        None,
+                        f"cached beta vector {cached!r} != engine "
+                        f"recomputation {blocking.recompute()!r}",
+                    )
+                )
+            elif cached != ground_truth:
+                violations.append(
+                    InvariantViolation(
+                        "blocking-drift",
+                        None,
+                        None,
+                        f"cached beta vector {cached!r} != ground-truth "
+                        f"recomputation {ground_truth!r} from admitted records",
+                    )
+                )
+            if controller.betas != cached:
+                violations.append(
+                    InvariantViolation(
+                        "blocking-drift",
+                        None,
+                        None,
+                        f"controller.betas {controller.betas!r} != blocking "
+                        f"engine vector {cached!r}",
+                    )
+                )
+        expected_budget = region_budget(controller.alpha, controller.betas)
+        if controller.budget != expected_budget:  # repro: noqa[FLT001] — drift check is bitwise by design
+            violations.append(
+                InvariantViolation(
+                    "budget-drift",
+                    None,
+                    None,
+                    f"budget {controller.budget!r} != "
+                    f"alpha (1 - sum beta) = {expected_budget!r}",
+                )
+            )
         return violations
 
     def _check_departures(
@@ -273,7 +364,7 @@ def diff_controllers(
         Human-readable difference descriptions (empty if identical).
     """
     diffs: List[str] = []
-    for field in ("num_stages", "alpha", "betas", "budget", "reset_on_idle"):
+    for field in ("num_stages", "alpha", "betas", "budget", "reset_on_idle", "locking"):
         va, vb = getattr(a, field), getattr(b, field)
         if va != vb:
             diffs.append(f"{field}: {va!r} != {vb!r}")

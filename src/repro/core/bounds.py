@@ -138,10 +138,15 @@ def region_budget(alpha: float = 1.0, betas: Optional[Sequence[float]] = None) -
         raise ValueError(f"alpha must be in (0, 1], got {alpha}")
     total_beta = 0.0
     if betas is not None:
+        validated = []
         for j, b in enumerate(betas):
             if b < 0 or not math.isfinite(b):
                 raise ValueError(f"beta at stage {j} must be finite and >= 0, got {b}")
-            total_beta += b
+            validated.append(b)
+        # fsum, not +=: the budget RHS must be order-independent like
+        # the exact-accumulator LHS, or permuting the beta vector moves
+        # the admission boundary by an ulp.
+        total_beta = math.fsum(validated)
     if total_beta >= 1.0:
         raise ValueError(
             f"total normalized blocking {total_beta} >= 1 leaves an empty feasible region"

@@ -23,6 +23,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Iterator, Optional, Sequence, Tuple
 
+from ..locking.model import ResourceSpec, canonical_resources
+
 __all__ = [
     "PipelineTask",
     "PeriodicTaskSpec",
@@ -57,6 +59,12 @@ class PipelineTask:
             may suffer at each stage due to critical sections of
             lower-priority tasks (Section 3.2).  ``None`` means no
             blocking anywhere.
+        resources: Declared shared-resource use (Section 3.2 under the
+            priority-ceiling protocol): one
+            :class:`~repro.locking.model.ResourceSpec` per resource per
+            stage, in canonical order.  Unlike ``blocking_times`` —
+            which *states* a blocking bound — these let the admission
+            layer *derive* ``B_ij`` online from the admitted set.
         stream_id: Optional identifier of the periodic stream this
             invocation belongs to, or ``None`` for a pure aperiodic.
     """
@@ -67,6 +75,7 @@ class PipelineTask:
     computation_times: Tuple[float, ...]
     importance: int = 0
     blocking_times: Optional[Tuple[float, ...]] = None
+    resources: Tuple[ResourceSpec, ...] = ()
     stream_id: Optional[int] = None
 
     @property
@@ -113,6 +122,7 @@ def make_task(
     computation_times: Sequence[float],
     importance: int = 0,
     blocking_times: Optional[Sequence[float]] = None,
+    resources: Sequence[ResourceSpec] = (),
     stream_id: Optional[int] = None,
     task_id: Optional[int] = None,
 ) -> PipelineTask:
@@ -124,6 +134,8 @@ def make_task(
         computation_times: Per-stage computation demands.
         importance: Semantic importance (higher is more important).
         blocking_times: Optional per-stage worst-case blocking terms.
+        resources: Shared-resource declarations; canonicalized into
+            ``(stage, resource)`` order.
         stream_id: Optional periodic stream identifier.
         task_id: Explicit id; auto-assigned when omitted.
 
@@ -143,6 +155,7 @@ def make_task(
         blocking_times=(
             None if blocking_times is None else tuple(float(b) for b in blocking_times)
         ),
+        resources=canonical_resources(resources),
         stream_id=stream_id,
     )
     validate_task(task)
@@ -178,6 +191,12 @@ def validate_task(task: PipelineTask) -> None:
                     f"task {task.task_id}: blocking time at stage {j} must be finite "
                     f"and >= 0, got {b}"
                 )
+    for spec in task.resources:
+        if spec.stage >= task.num_stages:
+            raise ValueError(
+                f"task {task.task_id}: resource {spec.resource!r} declared at "
+                f"stage {spec.stage}, task visits {task.num_stages} stages"
+            )
     if not math.isfinite(task.arrival_time):
         raise ValueError(f"task {task.task_id}: arrival time must be finite")
 

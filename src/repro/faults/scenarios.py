@@ -20,6 +20,7 @@ Scenario catalog (``python -m repro.faults --list``):
 ``backoff``         Overload, plain admission vs. bounded backoff retry.
 ``brownout``        Web-server overload, brownout shedding on/off.
 ``serve_crash``     Gateway kill/recover cycles; exactly-once admission.
+``serve_locking``   Contention bursts against online PCP blocking bounds.
 ==================  ===================================================
 """
 
@@ -464,6 +465,84 @@ def serve_crash(seed: int) -> _Result:
     return {
         "description": "gateway kill/recover cycles; journal + dedup must "
         "preserve every admission exactly once",
+        "points": points,
+    }
+
+
+@_scenario("serve_locking")
+def serve_locking(seed: int) -> _Result:
+    """Deterministic contention bursts against a locking gateway pipeline.
+
+    Sweeps the burst size: each wave offers ``burst`` tasks that all
+    declare a critical section on one shared resource, mixing one
+    tight-deadline victim with longer-deadline holders, so the online
+    ``beta_j`` derivation (PCP bounds over the admitted set) visibly
+    shrinks the region budget while the contention is live.  Between
+    waves every deadline lapses; the budget must return *bitwise* to
+    its idle value — departures restore the exact prior blocking state.
+    """
+    # Imported lazily: repro.serve imports from repro.faults, so a
+    # module-level import here would be a cycle.
+    from ..core.task import make_task
+    from ..locking import ResourceSpec
+    from ..serve.client import GatewayClient, InProcessTransport
+    from ..serve.gateway import AdmissionGateway
+
+    del seed  # the burst schedule is fully deterministic
+    waves = 6
+    points: List[_Result] = []
+    for burst in (4, 8, 16):
+        client = GatewayClient(InProcessTransport(AdmissionGateway()))
+        client.register(
+            "locked", {"num_stages": 2, "alpha": 0.9, "locking": True}
+        )
+
+        def budget() -> float:
+            return client.stats("locked")["stats"]["locked"]["region_budget"]
+
+        idle_budget = budget()
+        admitted = rejected = 0
+        min_budget = idle_budget
+        task_id = 0
+        for wave in range(waves):
+            now = round(wave * 4.0, 6)
+            for i in range(burst):
+                task_id += 1
+                deadline = 0.5 if i == 0 else round(1.5 + 0.25 * (i % 4), 6)
+                task = make_task(
+                    arrival_time=round(now + i * 1e-3, 6),
+                    deadline=deadline,
+                    computation_times=(0.05, 0.05),
+                    resources=(
+                        ResourceSpec(0, "hot", round(0.02 + 0.015 * (i % 3), 6)),
+                    ),
+                    task_id=task_id,
+                )
+                if client.admit("locked", task)["admitted"]:
+                    admitted += 1
+                else:
+                    rejected += 1
+            min_budget = min(min_budget, budget())
+            # Every deadline in the wave lapses before the next one.
+            client.call("expire", pipeline="locked", now=round(now + 3.9, 6))
+        restored = budget() == idle_budget
+        client.close()
+        points.append(
+            {
+                "intensity": burst,
+                "burst": burst,
+                "waves": waves,
+                "offered": burst * waves,
+                "admitted": admitted,
+                "rejected": rejected,
+                "idle_budget": round(idle_budget, 6),
+                "min_budget": round(min_budget, 6),
+                "budget_restored_bitwise": restored,
+            }
+        )
+    return {
+        "description": "shared-resource admission bursts; the online blocking "
+        "budget must shrink under contention and restore bitwise after expiry",
         "points": points,
     }
 

@@ -29,10 +29,10 @@ from __future__ import annotations
 
 import ast
 import re
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, Optional, Set
 
 from ..findings import Finding
-from ..graph import SET_TYPE, FunctionInfo, ProjectContext
+from ..graph import SET_TYPE, FunctionInfo, ModuleInfo, ProjectContext
 from ..registry import ProjectRule, register_project
 from ..taint import UNORDERED_LABEL, analyze_function
 
@@ -213,7 +213,7 @@ class DeterminismOrderTaintRule(ProjectRule):
 #: exactness contract covers.  Deliberately narrow: per-event counters
 #: (``self.retries += 1``) and per-job metrics stay out.
 _ACCUMULATOR_VOCAB_RE = re.compile(
-    r"util|usage|busy|contrib|synthetic|load_sum|sum_|_sum\b|_total\b",
+    r"util|usage|busy|contrib|synthetic|beta|load_sum|sum_|_sum\b|_total\b",
     re.IGNORECASE,
 )
 
@@ -273,3 +273,47 @@ class FloatAccumulatorRule(ProjectRule):
                             "on removal; use repro.core.numeric.ExactSum "
                             "(exact, invertible, order-independent)",
                         )
+        for func in project.iter_functions():
+            module = project.modules[func.module]
+            if not module.ctx.in_scope(self._SCOPE):
+                continue
+            yield from self._check_local_accumulators(module, func)
+
+    def _check_local_accumulators(
+        self, module: ModuleInfo, func: FunctionInfo
+    ) -> Iterator[Finding]:
+        """Flag loop-carried float ``+=``/``-=`` on accumulator-named locals.
+
+        The attribute pass above catches object state; this pass catches
+        the same defect inside a single function body — e.g. the original
+        ``region_budget`` summing ``total_beta += float(b)`` over a loop,
+        where the result depends on iteration order.  Only augmented
+        assignments lexically inside a ``for``/``while`` are loop-carried
+        sums; a one-shot adjustment outside a loop is not order-dependent.
+        """
+        seen: Set[int] = set()
+        for loop in ast.walk(func.node):
+            if not isinstance(loop, (ast.For, ast.AsyncFor, ast.While)):
+                continue
+            for node in ast.walk(loop):
+                if not isinstance(node, ast.AugAssign) or id(node) in seen:
+                    continue
+                seen.add(id(node))
+                if not isinstance(node.op, (ast.Add, ast.Sub)):
+                    continue
+                target = node.target
+                if not isinstance(target, ast.Name):
+                    continue
+                if not _ACCUMULATOR_VOCAB_RE.search(target.id):
+                    continue
+                if _is_int_literal(node.value):
+                    continue  # integer event counter
+                op = "+=" if isinstance(node.op, ast.Add) else "-="
+                yield module.ctx.finding(
+                    self.rule_id,
+                    node,
+                    f"`{target.id} {op} {ast.unparse(node.value)}` "
+                    f"accumulates floats in a loop in {func.name} — the "
+                    "running sum depends on iteration order; use math.fsum "
+                    "over the sequence or repro.core.numeric.ExactSum",
+                )

@@ -1,0 +1,146 @@
+"""Per-resource request model for tasks sharing serially-reusable resources.
+
+Section 3.2 of the paper extends the feasible region to tasks that are
+*not* independent: subtasks may enter critical sections guarded by the
+priority-ceiling protocol, and the region's right-hand side shrinks by
+the normalized worst-case blocking ``sum_j beta_j``.  The repo
+historically folded that entire half of the model into a static
+``betas`` knob; this module makes the resources themselves explicit so
+the blocking terms can be *derived* from the admitted set instead of
+declared up front.
+
+The request-model shape mirrors schedcat's ``locking/bounds.py``: each
+task declares, per resource it touches, how many times one job may
+request it and the longest critical section it holds.  A declaration is
+anchored to the pipeline stage where the critical section executes,
+because Eq. 15's ``B_ij`` is a per-stage quantity.
+
+:class:`ResourceSpec` is deliberately dependency-free (stdlib only) so
+the task model, the admission controller, and the wire protocol can all
+import it without cycles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "ResourceSpec",
+    "canonical_resources",
+    "resources_to_wire",
+    "resources_from_wire",
+]
+
+
+@dataclass(frozen=True, order=True)
+class ResourceSpec:
+    """One task's worst-case use of one shared resource at one stage.
+
+    Attributes:
+        stage: Pipeline stage index at which the critical section runs
+            (``B_ij`` charges blocking to this stage's delay term).
+        resource: Identifier of the serially-reusable resource.
+        max_length: Longest critical section one job holds on the
+            resource at this stage (same time unit as computation
+            times).  Zero-length sections are legal — they contribute
+            no blocking but still raise the resource's priority
+            ceiling.
+        max_requests: Maximum number of requests one job issues for the
+            resource at this stage.  Under PCP a job blocks at most
+            once regardless, so the bound uses only ``max_length``;
+            the count is kept for the schedcat-compatible request
+            model (and sum-based protocols a later analysis may add).
+    """
+
+    stage: int
+    resource: str
+    max_length: float
+    max_requests: int = 1
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.stage, int) or isinstance(self.stage, bool):
+            raise ValueError(f"resource stage must be an int, got {self.stage!r}")
+        if self.stage < 0:
+            raise ValueError(f"resource stage must be >= 0, got {self.stage}")
+        if not isinstance(self.resource, str) or not self.resource:
+            raise ValueError(
+                f"resource id must be a non-empty string, got {self.resource!r}"
+            )
+        if not isinstance(self.max_requests, int) or isinstance(self.max_requests, bool):
+            raise ValueError(f"max_requests must be an int, got {self.max_requests!r}")
+        if self.max_requests < 1:
+            raise ValueError(f"max_requests must be >= 1, got {self.max_requests}")
+        length = self.max_length
+        if not isinstance(length, (int, float)) or isinstance(length, bool):
+            raise ValueError(f"max_length must be a number, got {length!r}")
+        if not math.isfinite(length) or length < 0:
+            raise ValueError(f"max_length must be finite and >= 0, got {length}")
+        object.__setattr__(self, "max_length", float(length))
+
+    def to_wire(self) -> Dict[str, Any]:
+        """Canonical wire/JSON form of the spec."""
+        return {
+            "stage": self.stage,
+            "resource": self.resource,
+            "max_length": self.max_length,
+            "max_requests": self.max_requests,
+        }
+
+    @classmethod
+    def from_wire(cls, doc: Any) -> "ResourceSpec":
+        """Parse a wire document, rejecting unknown fields."""
+        if not isinstance(doc, dict):
+            raise ValueError(f"resource spec must be an object, got {doc!r}")
+        unknown = set(doc) - {"stage", "resource", "max_length", "max_requests"}
+        if unknown:
+            raise ValueError(f"unknown resource spec fields: {sorted(unknown)}")
+        if "stage" not in doc or "resource" not in doc or "max_length" not in doc:
+            raise ValueError(
+                "resource spec requires 'stage', 'resource' and 'max_length'"
+            )
+        return cls(
+            stage=doc["stage"],
+            resource=doc["resource"],
+            max_length=doc["max_length"],
+            max_requests=doc.get("max_requests", 1),
+        )
+
+
+def canonical_resources(specs: Iterable[ResourceSpec]) -> Tuple[ResourceSpec, ...]:
+    """Sort specs into the canonical ``(stage, resource)`` order.
+
+    Canonical ordering makes every derived artifact — wire encodings,
+    snapshot records, blocking-state fingerprints — independent of the
+    order the caller listed the specs in.  A task may request the same
+    resource at several *different* stages, but two declarations for
+    the same ``(stage, resource)`` pair are ambiguous (which length is
+    the worst case?) and rejected.
+
+    Raises:
+        ValueError: On duplicate ``(stage, resource)`` declarations.
+    """
+    ordered = tuple(sorted(specs))
+    seen = set()
+    for spec in ordered:
+        key = (spec.stage, spec.resource)
+        if key in seen:
+            raise ValueError(
+                f"duplicate resource declaration for {spec.resource!r} at "
+                f"stage {spec.stage}"
+            )
+        seen.add(key)
+    return ordered
+
+
+def resources_to_wire(specs: Sequence[ResourceSpec]) -> List[Dict[str, Any]]:
+    """Wire form of a spec sequence, in canonical order."""
+    return [spec.to_wire() for spec in canonical_resources(specs)]
+
+
+def resources_from_wire(docs: Any) -> Tuple[ResourceSpec, ...]:
+    """Parse and canonicalize a wire-encoded spec list."""
+    if not isinstance(docs, list):
+        raise ValueError(f"resources must be a list, got {docs!r}")
+    return canonical_resources(ResourceSpec.from_wire(doc) for doc in docs)

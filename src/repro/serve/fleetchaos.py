@@ -81,7 +81,14 @@ _FLEET_POLICIES: Dict[str, Dict[str, Any]] = {
     "img": {"num_stages": 2, "alpha": 1.0},
     "web": {"num_stages": 2, "alpha": 0.8, "max_batch": 2},
     "etl": {"num_stages": 4, "alpha": 0.95},
+    # Online PCP blocking bounds: admits on this pipeline declare
+    # shared-resource critical sections, so worker failover must
+    # rebuild the derived beta_j / budget state bitwise as well.
+    "mtx": {"num_stages": 2, "alpha": 0.9, "locking": True},
 }
+
+#: Resource ids the locking pipeline's tasks contend on.
+_FLEET_RESOURCES = ("gpu", "cache")
 
 
 def _build_schedule(
@@ -215,6 +222,7 @@ def _run_fleet_chaos(
     partial_pending: List[Dict[str, Any]] = []
     stall_retries = 0
     storm_probes = 0
+    contended_admits = 0
     response_mismatches = 0
     decision_mismatches = 0
     fingerprint_matches = 0
@@ -266,7 +274,7 @@ def _run_fleet_chaos(
         apply(again)
 
     def gen_op(name: Optional[str] = None) -> Dict[str, Any]:
-        nonlocal now, next_task_id, ops_issued
+        nonlocal now, next_task_id, ops_issued, contended_admits
         ops_issued += 1
         now += rng.uniform(0.05, 0.3)
         request_id = fresh_id()
@@ -288,6 +296,20 @@ def _run_fleet_chaos(
                 "deadline": now + rng.uniform(0.8, 2.5),
                 "costs": [rng.uniform(0.02, 0.15) for _ in range(stages)],
             }
+            if _FLEET_POLICIES[name].get("locking") and rng.random() < 0.7:
+                contended_admits += 1
+                picks = rng.sample(
+                    [(s, r) for s in range(stages) for r in _FLEET_RESOURCES],
+                    rng.randrange(1, 3),
+                )
+                doc["task"]["resources"] = [
+                    {
+                        "stage": stage,
+                        "resource": resource,
+                        "max_length": rng.uniform(0.0, 0.08),
+                    }
+                    for stage, resource in sorted(picks)
+                ]
         elif roll < 0.74:
             doc["op"] = "depart"
             doc["task_id"] = rng.randrange(1, max(2, next_task_id + 1))
@@ -578,6 +600,7 @@ def _run_fleet_chaos(
             "torn_frame_errors": torn_frame_errors,
             "stall_retries": stall_retries,
             "storm_probes": storm_probes,
+            "contended_admits": contended_admits,
         },
         "routing": {
             "map_version": fleet.shard_map.version,
@@ -687,6 +710,10 @@ def fleet_chaos_gate_failures(
         failures.append("no slow-client stall retries were injected")
     if faults["storms"] == 0:
         failures.append("no connection storms were injected")
+    if faults.get("contended_admits", 0) == 0:
+        failures.append(
+            "no resource-bearing admissions exercised the locking pipeline"
+        )
     if faults.get("storm_journal_writes"):
         failures.append("a connection storm wrote to a journal")
     routing = report["routing"]

@@ -45,18 +45,32 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..apps.webserver import TIERS, WebServerModel
+from ..core.admission import PipelineAdmissionController
 from ..core.task import PipelineTask, make_task
 from ..faults.schedule import ArrivalBurst, DropNotification
+from ..locking import ResourceSpec, compute_betas
 from ..sim.pipeline import PipelineSimulation
+from ..sim.stage import Segment
 from .client import GatewayClient, GatewayControllerProxy, InProcessTransport, TcpTransport
 from .gateway import AdmissionGateway, GatewayServer
 from .protocol import json_safe
 from .snapshot import controller_snapshot, restore_controller, verify_restored
 
-__all__ = ["SCENARIOS", "REPORT_FORMAT", "run_scenario", "render_report", "main"]
+__all__ = [
+    "SCENARIOS",
+    "REPORT_FORMAT",
+    "BLOCKING_COMPARE_FORMAT",
+    "run_scenario",
+    "compare_blocking",
+    "render_report",
+    "main",
+]
 
 #: Version tag of the loadgen report document.
 REPORT_FORMAT = "repro.serve.loadgen-report/1"
+
+#: Version tag of the online-vs-static blocking comparison report.
+BLOCKING_COMPARE_FORMAT = "repro.serve.blocking-compare-report/1"
 
 #: Batch sizes exercised by the standing batching-equivalence check.
 EQUIVALENCE_BATCH_SIZES = (1, 4, 32)
@@ -460,6 +474,245 @@ def snapshot_roundtrip(pipeline_snapshot: Dict[str, Any]) -> Dict[str, Any]:
 
 
 # ----------------------------------------------------------------------
+# Online vs. static blocking bounds (--compare-blocking)
+# ----------------------------------------------------------------------
+
+#: Contention scenario shape: a short pipeline with a tiny lock pool so
+#: critical sections actually collide, tight/loose deadline classes so
+#: the worst-case pairing (long section of a loose task blocking a
+#: tight-deadline victim) dominates the static bound.
+CONTENTION_STAGES = 2
+CONTENTION_RESOURCES = ("mutex-a", "mutex-b")
+CONTENTION_ALPHA = 0.9
+CONTENTION_RATE = 40.0
+
+
+def build_contention_trace(
+    seed: int, requests: int
+) -> Tuple[List[PipelineTask], float, float]:
+    """A seeded arrival trace where tasks contend on shared resources.
+
+    Returns ``(tasks, span, horizon)`` like :func:`build_trace`.  About
+    60% of tasks declare one critical section on a two-lock pool; the
+    section runs inside the task's own stage cost, so the simulated
+    execution (PCP segments) matches the declared worst case exactly.
+    """
+    rng = random.Random(seed)
+    tasks: List[PipelineTask] = []
+    now = 0.0
+    for task_id in range(requests):
+        now += rng.expovariate(CONTENTION_RATE)
+        costs = tuple(
+            rng.uniform(0.01, 0.06) for _ in range(CONTENTION_STAGES)
+        )
+        if rng.random() < 0.5:
+            deadline = rng.uniform(0.25, 0.5)  # tight class
+        else:
+            deadline = rng.uniform(1.5, 3.0)  # loose class
+        resources: Tuple[ResourceSpec, ...] = ()
+        if rng.random() < 0.6:
+            stage = rng.randrange(CONTENTION_STAGES)
+            resources = (
+                ResourceSpec(
+                    stage=stage,
+                    resource=CONTENTION_RESOURCES[
+                        rng.randrange(len(CONTENTION_RESOURCES))
+                    ],
+                    # The section fits inside the stage's own cost, so
+                    # the declared bound is exactly what executes.
+                    max_length=costs[stage] * rng.uniform(0.3, 0.8),
+                ),
+            )
+        tasks.append(
+            make_task(
+                arrival_time=round(now, 6),
+                deadline=round(deadline, 6),
+                computation_times=tuple(round(c, 6) for c in costs),
+                resources=tuple(
+                    ResourceSpec(r.stage, r.resource, round(r.max_length, 6))
+                    for r in resources
+                ),
+                task_id=task_id,
+            )
+        )
+    span = tasks[-1].arrival_time if tasks else 0.0
+    last_settled = max(
+        (task.arrival_time + task.deadline for task in tasks), default=0.0
+    )
+    return tasks, span, last_settled + 1.0
+
+
+def _contention_segments(
+    task: PipelineTask, stage_index: int
+) -> Optional[List[Segment]]:
+    """Turn a task's declared critical sections into execution segments."""
+    sections = [
+        spec
+        for spec in task.resources
+        if spec.stage == stage_index and spec.max_length > 0
+    ]
+    if not sections:
+        return None
+    cost = task.computation_times[stage_index]
+    open_time = cost - sum(spec.max_length for spec in sections)
+    segments: List[Segment] = []
+    if open_time > 0:
+        segments.append(Segment(open_time))
+    for spec in sections:
+        segments.append(Segment(spec.max_length, lock=spec.resource))
+    return segments
+
+
+def _run_contention(
+    trace: Sequence[PipelineTask],
+    horizon: float,
+    controller: PipelineAdmissionController,
+) -> Dict[str, Any]:
+    """Simulate the contention trace closed-loop under one controller."""
+    sim = PipelineSimulation(
+        num_stages=CONTENTION_STAGES,
+        controller=controller,
+        max_admission_wait=0.0,
+        segment_builder=_contention_segments,
+    )
+    # Observe real PCP blocking as jobs finish: evidence the simulated
+    # contention actually exercised the critical sections the admission
+    # bound accounts for.
+    blocked_jobs = 0
+    max_blocking = 0.0
+    forward = sim._job_complete
+
+    def observe(job: Any) -> None:
+        nonlocal blocked_jobs, max_blocking
+        if job.blocking_time > 0:
+            blocked_jobs += 1
+            if job.blocking_time > max_blocking:
+                max_blocking = job.blocking_time
+        forward(job)
+
+    for stage in sim.stages:
+        stage.on_job_complete = observe
+    sim.offer_stream(iter(trace))
+    report = sim.run(horizon, warmup=0.0)
+    survivors = [r for r in report.tasks if r.admitted and not r.shed]
+    return {
+        "offered": report.generated,
+        "admitted": report.admitted,
+        "rejected": report.rejected,
+        "accept_ratio": round(report.accept_ratio, 6),
+        "completed": report.completed,
+        "missed": sum(1 for r in survivors if r.missed),
+        "unfinished": sum(1 for r in survivors if r.completed_at is None),
+        "blocked_jobs": blocked_jobs,
+        "max_blocking_observed": round(max_blocking, 6),
+    }
+
+
+def compare_blocking(seed: int, requests: int = 400) -> Dict[str, Any]:
+    """Admit the same contention trace under online vs. static bounds.
+
+    The *static* controller uses the classical worst-case blocking
+    vector: ``compute_betas`` over the **whole anticipated population**
+    (every task that will ever arrive), fixed for the run.  The
+    *online* controller derives ``beta_j`` from the currently admitted
+    set, so the budget only shrinks while worst-case pairings actually
+    coexist.  Both execute the admitted tasks through the PCP pipeline
+    simulation; the report compares admit rates and deadline misses.
+    """
+    trace, span, horizon = build_contention_trace(seed, requests)
+    static_betas = compute_betas(
+        ((task.task_id, task.deadline, task.resources) for task in trace),
+        CONTENTION_STAGES,
+    )
+    static = _run_contention(
+        trace,
+        horizon,
+        PipelineAdmissionController(
+            CONTENTION_STAGES, alpha=CONTENTION_ALPHA, betas=static_betas
+        ),
+    )
+    online_controller = PipelineAdmissionController(
+        CONTENTION_STAGES, alpha=CONTENTION_ALPHA, locking=True
+    )
+    online = _run_contention(trace, horizon, online_controller)
+    return {
+        "format": BLOCKING_COMPARE_FORMAT,
+        "seed": seed,
+        "requests": requests,
+        "num_stages": CONTENTION_STAGES,
+        "alpha": CONTENTION_ALPHA,
+        "trace": {
+            "tasks": len(trace),
+            "with_resources": sum(1 for task in trace if task.resources),
+            "span": round(span, 6),
+            "horizon": round(horizon, 6),
+        },
+        "static_betas": list(static_betas),
+        "static": static,
+        "online": {
+            **online,
+            "final_betas": list(online_controller.betas),
+            "final_budget": online_controller.budget,
+        },
+        "advantage": {
+            "extra_admitted": online["admitted"] - static["admitted"],
+            "online_not_worse": online["admitted"] >= static["admitted"],
+        },
+    }
+
+
+def _compare_gate_failures(payload: Dict[str, Any]) -> List[str]:
+    """Acceptance gates of the blocking comparison report."""
+    failures: List[str] = []
+    if not payload["advantage"]["online_not_worse"]:
+        failures.append(
+            f"online bounds admitted {payload['online']['admitted']} < "
+            f"static {payload['static']['admitted']}"
+        )
+    for side in ("static", "online"):
+        if payload[side]["missed"]:
+            failures.append(f"{payload[side]['missed']} deadline misses ({side})")
+        if payload[side]["unfinished"]:
+            failures.append(f"{payload[side]['unfinished']} unfinished tasks ({side})")
+    if payload["trace"]["with_resources"] == 0:
+        failures.append("trace carried no resource-bearing tasks")
+    return failures
+
+
+def _compare_blocking_main(args: argparse.Namespace) -> int:
+    """``--compare-blocking``: online vs. static blocking-bound gate."""
+    payload = compare_blocking(seed=args.seed, requests=args.requests)
+    rendered = render_report(payload)
+    failures = _compare_gate_failures(payload)
+    if args.selftest:
+        replay = render_report(
+            compare_blocking(seed=args.seed, requests=args.requests)
+        )
+        if replay != rendered:
+            print("selftest FAILED: replay produced different bytes", file=sys.stderr)
+            return 1
+        if failures:
+            print(f"selftest FAILED: {'; '.join(failures)}", file=sys.stderr)
+            return 1
+        print(
+            f"selftest ok: compare-blocking seed={args.seed} "
+            f"static={payload['static']['admitted']} "
+            f"online={payload['online']['admitted']} "
+            f"extra={payload['advantage']['extra_admitted']} "
+            f"missed=0 bytes={len(rendered)}"
+        )
+    else:
+        sys.stdout.write(rendered)
+        if failures:
+            print(f"gate FAILED: {'; '.join(failures)}", file=sys.stderr)
+            return 1
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+    return 0
+
+
+# ----------------------------------------------------------------------
 # Rendering and CLI
 # ----------------------------------------------------------------------
 
@@ -607,6 +860,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="run the shard-fleet failover chaos harness instead of a scenario",
     )
     parser.add_argument(
+        "--compare-blocking",
+        action="store_true",
+        help="compare online PCP blocking bounds against the static "
+        "worst-case vector on a seeded contention trace",
+    )
+    parser.add_argument(
         "--cycles",
         type=int,
         default=24,
@@ -631,6 +890,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _chaos_crash_main(args)
     if args.chaos_fleet:
         return _chaos_fleet_main(args)
+    if args.compare_blocking:
+        return _compare_blocking_main(args)
     if args.scenario is None:
         parser.error("--scenario is required (or use --list)")
 

@@ -58,6 +58,7 @@ import math
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.task import PipelineTask, make_task
+from ..locking.model import resources_from_wire, resources_to_wire
 
 __all__ = [
     "OPS",
@@ -350,6 +351,8 @@ def task_to_wire(task: PipelineTask) -> Dict[str, Any]:
     }
     if task.importance:
         wire["importance"] = task.importance
+    if task.resources:
+        wire["resources"] = resources_to_wire(task.resources)
     return wire
 
 
@@ -382,12 +385,18 @@ def task_from_wire(doc: Any) -> PipelineTask:
         cost_values: Tuple[float, ...] = tuple(float(c) for c in costs)
     except (TypeError, ValueError) as exc:
         raise ProtocolError("bad-task", "costs must be numbers") from exc
+    raw_resources = doc.get("resources", [])
+    try:
+        resources = resources_from_wire(raw_resources)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError("bad-task", str(exc)) from exc
     try:
         return make_task(
             arrival_time=_require_number(doc, "arrival"),
             deadline=_require_number(doc, "deadline"),
             computation_times=cost_values,
             importance=importance,
+            resources=resources,
             task_id=task_id,
         )
     except ValueError as exc:

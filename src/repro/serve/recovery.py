@@ -279,7 +279,14 @@ _CRASH_KINDS = ("torn", "after_journal", "after_apply")
 _CHAOS_POLICIES: Dict[str, Dict[str, Any]] = {
     "batched": {"num_stages": 3, "alpha": 0.9, "max_batch": 3},
     "direct": {"num_stages": 2, "alpha": 1.0},
+    # Online PCP blocking bounds: admits carry shared-resource
+    # declarations and the controller derives beta_j from the admitted
+    # set, so crash/replay must rebuild the blocking state bitwise too.
+    "locked": {"num_stages": 2, "alpha": 0.9, "locking": True},
 }
+
+#: Resource ids the chaos op stream contends on (locking pipeline).
+_CHAOS_RESOURCES = ("lock-a", "lock-b")
 
 
 def run_crash_chaos(
@@ -356,6 +363,7 @@ def _run_crash_chaos(
     crash_counts = {kind: 0 for kind in _CRASH_KINDS}
     crashes_with_pending = 0
     stall_retries = 0
+    contended_admits = 0
     response_mismatches = 0
     decision_mismatches = 0
     fingerprint_matches = 0
@@ -406,7 +414,7 @@ def _run_crash_chaos(
         apply(again)
 
     def gen_op() -> Dict[str, Any]:
-        nonlocal now, next_task_id, ops_issued
+        nonlocal now, next_task_id, ops_issued, contended_admits
         ops_issued += 1
         now += rng.uniform(0.05, 0.3)
         request_id = fresh_id()
@@ -427,6 +435,24 @@ def _run_crash_chaos(
                 "deadline": now + rng.uniform(0.8, 2.5),
                 "costs": [rng.uniform(0.02, 0.15) for _ in range(stages)],
             }
+            if _CHAOS_POLICIES[name].get("locking") and rng.random() < 0.7:
+                # Contention workload: most admits on the locking
+                # pipeline declare critical sections on a tiny shared
+                # pool, so B_ij/beta_j churn on every admit/expire and
+                # recovery has real blocking state to rebuild.
+                contended_admits += 1
+                picks = rng.sample(
+                    [(s, r) for s in range(stages) for r in _CHAOS_RESOURCES],
+                    rng.randrange(1, 3),
+                )
+                doc["task"]["resources"] = [
+                    {
+                        "stage": stage,
+                        "resource": resource,
+                        "max_length": rng.uniform(0.0, 0.08),
+                    }
+                    for stage, resource in sorted(picks)
+                ]
         elif roll < 0.72:
             doc["op"] = "depart"
             doc["task_id"] = rng.randrange(1, max(2, next_task_id + 1))
@@ -550,6 +576,7 @@ def _run_crash_chaos(
         "crashes": {**crash_counts, "total": sum(crash_counts.values())},
         "crashes_with_pending_batch": crashes_with_pending,
         "stall_retries": stall_retries,
+        "contended_admits": contended_admits,
         "recoveries": {
             "count": len(recoveries),
             "snapshot_loads": sum(1 for r in recoveries if r.snapshot_loaded),
@@ -627,4 +654,8 @@ def crash_chaos_gate_failures(
         failures.append("no recovery ever loaded a compaction snapshot")
     if report["stall_retries"] == 0:
         failures.append("no slow-response stall retries were injected")
+    if report.get("contended_admits", 0) == 0:
+        failures.append(
+            "no resource-bearing admissions exercised the locking pipeline"
+        )
     return failures

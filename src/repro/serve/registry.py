@@ -61,6 +61,10 @@ class PipelinePolicy:
             :func:`repro.serve.snapshot.demand_model_from_wire`), or
             ``None`` for exact demand.
         reset_on_idle: Whether the Section-4 idle-reset rule is active.
+        locking: Derive the per-stage blocking terms online from the
+            admitted tasks' shared-resource declarations (PCP bounds)
+            instead of taking a static ``betas`` vector.  Mutually
+            exclusive with ``betas``.
         shedding: Decide arrivals with
             :meth:`~repro.core.admission.PipelineAdmissionController.request_with_shedding`
             (importance-ordered load shedding) instead of plain
@@ -76,11 +80,17 @@ class PipelinePolicy:
     reserved: Optional[Tuple[float, ...]] = None
     demand: Optional[Dict[str, Any]] = None
     reset_on_idle: bool = True
+    locking: bool = False
     shedding: bool = False
     batch_window: Optional[float] = None
     max_batch: Optional[int] = None
 
     def __post_init__(self) -> None:
+        if self.locking and self.betas is not None:
+            raise ValueError(
+                "locking pipelines derive betas online from resource "
+                "declarations; a static betas vector conflicts"
+            )
         if self.betas is not None:
             object.__setattr__(self, "betas", tuple(float(b) for b in self.betas))
         if self.reserved is not None:
@@ -106,6 +116,7 @@ class PipelinePolicy:
             reserved=self.reserved,
             demand_model=demand_model_from_wire(self.demand),
             reset_on_idle=self.reset_on_idle,
+            locking=self.locking,
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -117,6 +128,7 @@ class PipelinePolicy:
             "reserved": None if self.reserved is None else list(self.reserved),
             "demand": self.demand,
             "reset_on_idle": self.reset_on_idle,
+            "locking": self.locking,
             "shedding": self.shedding,
             "batch_window": self.batch_window,
             "max_batch": self.max_batch,
@@ -139,6 +151,7 @@ class PipelinePolicy:
             "reserved",
             "demand",
             "reset_on_idle",
+            "locking",
             "shedding",
             "batch_window",
             "max_batch",
@@ -158,6 +171,7 @@ class PipelinePolicy:
                 reserved=doc.get("reserved"),
                 demand=doc.get("demand"),
                 reset_on_idle=bool(doc.get("reset_on_idle", True)),
+                locking=bool(doc.get("locking", False)),
                 shedding=bool(doc.get("shedding", False)),
                 batch_window=(
                     None
@@ -457,7 +471,7 @@ def _check_controller_matches_policy(
     expected: Dict[str, Any] = {
         "num_stages": policy.num_stages,
         "alpha": policy.alpha,
-        "betas": None if policy.betas is None else list(policy.betas),
+        "locking": policy.locking,
         "reserved": (
             [0.0] * policy.num_stages
             if policy.reserved is None
@@ -469,10 +483,19 @@ def _check_controller_matches_policy(
         # controller's explicit ``{"kind": "exact"}``.
         "demand_model": demand_model_to_wire(demand_model_from_wire(policy.demand)),
     }
+    if not policy.locking:
+        # On a locking pipeline the controller document carries the
+        # *online* beta vector (derived from its admitted records), not
+        # a policy constant — restore_controller cross-checks it against
+        # the records instead.
+        expected["betas"] = None if policy.betas is None else list(policy.betas)
     for key, want in expected.items():
         got = controller_doc.get(key)
         if key == "demand_model":
             got = demand_model_to_wire(demand_model_from_wire(got))
+        elif key == "locking":
+            # Pre-v3 controller documents predate the flag.
+            got = bool(controller_doc.get("locking", False))
         if got != want:
             raise ProtocolError(
                 "bad-snapshot",

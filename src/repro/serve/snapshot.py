@@ -9,15 +9,21 @@ controller whose *future decisions* match the snapshotted one.
 
 Floats survive the JSON round trip exactly (shortest-repr encoding is
 lossless for IEEE doubles), and the snapshot carries each stage's
-*exact accumulator state* (schema v2) alongside the per-task
+*exact accumulator state* (since schema v2) alongside the per-task
 contributions, so a restored controller is *bitwise identical* to the
 snapshotted one — same future decisions, same region values, down to
 the last ulp, and independent of the order the records are replayed
-in.  Crash recovery (``repro.serve.recovery``) leans on this to prove
-a recovered gateway equivalent to one that never crashed.  Legacy v1
-documents (rounded per-stage running sums) are still accepted:
-restore adopts the recorded float totals, which the accumulator
-carries forward exactly.
+in.  Schema v3 extends the records with each task's relative deadline
+and shared-resource declarations plus the controller's ``locking``
+flag, so the online PCP blocking state (``B_ij``, ``beta_j``, and the
+transactional region budget) is rebuilt bitwise as well — and a v3
+restore refuses documents whose recorded beta vector disagrees with
+the vector re-derived from its own records.  Crash recovery
+(``repro.serve.recovery``) leans on this to prove a recovered gateway
+equivalent to one that never crashed.  Legacy v2 (no resource model)
+and v1 documents (rounded per-stage running sums) are still accepted:
+restore adopts the recorded state, which the controller carries
+forward exactly.
 
 Verification reuses the PR-2 machinery: :func:`verify_restored` runs
 the :class:`~repro.core.audit.ControllerAuditor` internal-consistency
@@ -37,10 +43,12 @@ from ..core.admission import (
     ScaledDemand,
 )
 from ..core.audit import ControllerAuditor, InvariantViolation
+from ..locking.model import resources_from_wire, resources_to_wire
 
 __all__ = [
     "SNAPSHOT_FORMAT",
     "SNAPSHOT_FORMAT_V1",
+    "SNAPSHOT_FORMAT_V2",
     "SUPPORTED_SNAPSHOT_FORMATS",
     "controller_snapshot",
     "restore_controller",
@@ -50,15 +58,22 @@ __all__ = [
 ]
 
 #: Version tag embedded in every snapshot document written today:
-#: schema v2 carries the exact per-stage accumulator state.
-SNAPSHOT_FORMAT = "repro.serve.controller-snapshot/2"
+#: schema v3 adds the locking flag plus per-record relative deadlines
+#: and shared-resource declarations, so a restored controller rebuilds
+#: the online PCP blocking state (``B_ij``, ``beta_j``, budget) bitwise.
+SNAPSHOT_FORMAT = "repro.serve.controller-snapshot/3"
+
+#: Previous schema: exact per-stage accumulator state, no resource
+#: model.  Still accepted on restore (such controllers predate locking,
+#: so the missing fields default cleanly).
+SNAPSHOT_FORMAT_V2 = "repro.serve.controller-snapshot/2"
 
 #: Legacy schema: rounded per-stage running sums only.  Still accepted
 #: on restore so existing ``--state-dir`` deployments recover cleanly.
 SNAPSHOT_FORMAT_V1 = "repro.serve.controller-snapshot/1"
 
 #: Every format :func:`restore_controller` accepts, newest first.
-SUPPORTED_SNAPSHOT_FORMATS = (SNAPSHOT_FORMAT, SNAPSHOT_FORMAT_V1)
+SUPPORTED_SNAPSHOT_FORMATS = (SNAPSHOT_FORMAT, SNAPSHOT_FORMAT_V2, SNAPSHOT_FORMAT_V1)
 
 
 def demand_model_to_wire(model: DemandModel) -> Dict[str, Any]:
@@ -112,7 +127,7 @@ def controller_snapshot(
             integer (the protocol's task-id type).
     """
     records = controller.iter_admitted()
-    for task_id, _, _, _ in records:
+    for task_id, *_ in records:
         if not isinstance(task_id, int):
             raise ValueError(
                 f"task id {task_id!r} is not an integer; snapshots require "
@@ -120,7 +135,9 @@ def controller_snapshot(
             )
     admitted: List[Dict[str, Any]] = []
     tracked = [t.tracked_ids() for t in controller.trackers]
-    for task_id, contributions, expiry, importance in sorted(records):
+    for task_id, contributions, expiry, importance, deadline, resources in sorted(
+        records
+    ):
         # None marks a stage that no longer tracks the task (released
         # by an idle reset) — distinct from a tracked 0.0 contribution
         # (a zero-cost stage), which must survive the round trip so
@@ -138,6 +155,11 @@ def controller_snapshot(
                 "contributions": list(contributions),
                 "expiry": expiry,
                 "importance": importance,
+                # Schema v3: relative deadline D_i and the canonical
+                # resource declarations — all the blocking engine needs
+                # to rebuild B_ij / beta_j bitwise on restore.
+                "deadline": deadline,
+                "resources": resources_to_wire(resources),
                 "live": live,
                 "departed": departed,
             }
@@ -147,6 +169,7 @@ def controller_snapshot(
         "num_stages": controller.num_stages,
         "alpha": controller.alpha,
         "betas": None if controller.betas is None else list(controller.betas),
+        "locking": controller.locking,
         "reserved": [t.reserved for t in controller.trackers],
         "reset_on_idle": controller.reset_on_idle,
         "capacities": list(controller.stage_capacities()),
@@ -192,13 +215,17 @@ def restore_controller(
         )
     if demand_model is None:
         demand_model = demand_model_from_wire(state.get("demand_model"))
+    # The locking flag first appears in schema v3; older documents can
+    # only describe static-beta controllers.
+    locking = bool(state.get("locking", False))
     controller = PipelineAdmissionController(
         num_stages=int(state["num_stages"]),
         alpha=float(state["alpha"]),
-        betas=state["betas"],
+        betas=None if locking else state["betas"],
         reserved=state["reserved"],
         demand_model=demand_model,
         reset_on_idle=bool(state["reset_on_idle"]),
+        locking=locking,
     )
     for stage, capacity in enumerate(state["capacities"]):
         if capacity != 1.0:
@@ -211,8 +238,23 @@ def restore_controller(
             importance=int(record["importance"]),
             live=record["live"],
             departed_stages=record["departed"],
+            deadline=float(record.get("deadline", 0.0)),
+            resources=resources_from_wire(record.get("resources", [])),
         )
-    if fmt == SNAPSHOT_FORMAT:
+    if locking:
+        # The online beta vector is derived state: replaying the
+        # records through the blocking engine must land exactly on the
+        # vector the snapshotted controller held.  A mismatch means the
+        # document was corrupted (or hand-edited) — refuse it rather
+        # than restore a controller whose budget silently moved.
+        recorded = state.get("betas")
+        rebuilt = None if controller.betas is None else list(controller.betas)
+        if recorded != rebuilt:
+            raise ValueError(
+                f"snapshot beta vector {recorded!r} does not match the "
+                f"blocking state rebuilt from its records {rebuilt!r}"
+            )
+    if fmt in (SNAPSHOT_FORMAT, SNAPSHOT_FORMAT_V2):
         accumulators = state["accumulators"]
         if len(accumulators) != controller.num_stages:
             raise ValueError(

@@ -10,15 +10,17 @@ from repro.core.audit import (
     diff_controllers,
 )
 from repro.core.task import make_task
+from repro.locking import ResourceSpec
 
 
 def controller(num_stages=2, **kwargs):
     return PipelineAdmissionController(num_stages, **kwargs)
 
 
-def admit(c, costs, deadline=10.0, now=0.0, importance=0, task_id=None):
+def admit(c, costs, deadline=10.0, now=0.0, importance=0, task_id=None,
+          resources=()):
     task = make_task(now, deadline, costs, importance=importance,
-                     task_id=task_id)
+                     resources=resources, task_id=task_id)
     decision = c.request(task, now=now)
     assert decision.admitted
     return task
@@ -233,6 +235,30 @@ def _inject_expired_contribution(c):
     return 5.0, {}, []
 
 
+def _admit_contended(c):
+    """Two tasks sharing a resource: nonzero B_ij, beta, shrunken budget."""
+    admit(c, [0.1, 0.1], deadline=1.0,
+          resources=[ResourceSpec(0, "r", 0.2)], task_id=801)
+    admit(c, [0.1, 0.1], deadline=5.0,
+          resources=[ResourceSpec(0, "r", 0.4)], task_id=802)
+
+
+def _inject_blocking_drift(c):
+    _admit_contended(c)
+    # A lost removal *inside the engine*: the admitted record and the
+    # trackers are intact, but the blocking engine dropped the blocker
+    # without recomputing — cached betas no longer match ground truth.
+    c._blocking._tasks.pop(802)
+    return 0.0, None, None
+
+
+def _inject_budget_drift(c):
+    _admit_contended(c)
+    # The transactional refresh was "skipped": betas moved, budget not.
+    c.budget = c.alpha
+    return 0.0, None, None
+
+
 def _inject_missed_departure(c):
     t = admit(c, [0.5, 0.5])
     return 1.0, {t.task_id: 1}, []  # departed stage 0, mark lost
@@ -249,13 +275,25 @@ _INJECTORS = {
     "negative-utilization": _inject_negative_utilization,
     "orphan-contribution": _inject_orphan_contribution,
     "expired-contribution": _inject_expired_contribution,
+    "blocking-drift": _inject_blocking_drift,
+    "budget-drift": _inject_budget_drift,
     "missed-departure": _inject_missed_departure,
     "missed-idle-reset": _inject_missed_idle_reset,
 }
 
+#: Kinds that only exist on a locking controller.
+_LOCKING_KINDS = ("blocking-drift", "budget-drift")
+
+
+def _controller_for(kind):
+    return controller(locking=True) if kind in _LOCKING_KINDS else controller()
+
 
 def _clean_twin(kind, c):
     """Drive the same shape of state as the injector, without the fault."""
+    if kind in _LOCKING_KINDS:
+        _admit_contended(c)
+        return 0.0, None, None
     if kind in ("sum-drift", "negative-utilization", "missed-departure"):
         t = admit(c, [0.5, 0.5])
         if kind == "missed-departure":
@@ -280,7 +318,7 @@ class TestAuditMatrix:
 
     @pytest.mark.parametrize("kind", AUDIT_KINDS)
     def test_injected_fault_reports_exactly_its_kind(self, kind):
-        c = controller()
+        c = _controller_for(kind)
         now, frontier, idle_stages = _INJECTORS[kind](c)
         violations = ControllerAuditor(c).audit(
             now, frontier=frontier, idle_stages=idle_stages
@@ -289,7 +327,7 @@ class TestAuditMatrix:
 
     @pytest.mark.parametrize("kind", AUDIT_KINDS)
     def test_clean_twin_is_silent(self, kind):
-        c = controller()
+        c = _controller_for(kind)
         now, frontier, idle_stages = _clean_twin(kind, c)
         assert (
             ControllerAuditor(c).audit(
@@ -361,6 +399,8 @@ class TestViolationRendering:
             "negative-utilization",
             "orphan-contribution",
             "expired-contribution",
+            "blocking-drift",
+            "budget-drift",
             "missed-departure",
             "missed-idle-reset",
         }

@@ -540,6 +540,80 @@ class TestEXS001:
         )
         assert analyze_paths([str(base)], select=["EXS001"]) == []
 
+    def test_flags_loop_local_beta_accumulation(self, tmp_path):
+        """The original ``region_budget`` shape, pinned as a fixture: a
+        module-level function looping ``total_beta += float(b)`` must be
+        reported — the sum depends on iteration order."""
+        base = write_pkg(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/bounds.py": (
+                    "def region_budget(alpha, betas):\n"
+                    "    total_beta = 0.0\n"
+                    "    for b in betas:\n"
+                    "        total_beta += float(b)\n"
+                    "    return alpha * (1.0 - total_beta)\n"
+                ),
+            },
+        )
+        findings = analyze_paths([str(base)], select=["EXS001"])
+        assert len(findings) == 1
+        assert findings[0].line == 4
+        assert "iteration order" in findings[0].message
+        assert "total_beta" in findings[0].message
+
+    def test_fsum_rewrite_is_clean(self, tmp_path):
+        base = write_pkg(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/bounds.py": (
+                    "import math\n\n"
+                    "def region_budget(alpha, betas):\n"
+                    "    total_beta = math.fsum(float(b) for b in betas)\n"
+                    "    return alpha * (1.0 - total_beta)\n"
+                ),
+            },
+        )
+        assert analyze_paths([str(base)], select=["EXS001"]) == []
+
+    def test_one_shot_local_adjustment_outside_loop_is_fine(self, tmp_path):
+        base = write_pkg(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/t.py": (
+                    "def shave(beta_total, margin):\n"
+                    "    beta_total -= margin\n"
+                    "    return beta_total\n"
+                ),
+            },
+        )
+        assert analyze_paths([str(base)], select=["EXS001"]) == []
+
+    def test_loop_local_integer_counter_is_fine(self, tmp_path):
+        base = write_pkg(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/t.py": (
+                    "def count(items):\n"
+                    "    usage_total = 0\n"
+                    "    for _ in items:\n"
+                    "        usage_total += 1\n"
+                    "    return usage_total\n"
+                ),
+            },
+        )
+        assert analyze_paths([str(base)], select=["EXS001"]) == []
+
+    def test_real_core_bounds_stays_clean(self):
+        findings = analyze_paths(
+            [str(REPO_SRC / "repro" / "core" / "bounds.py")], select=["EXS001"]
+        )
+        assert findings == [], "\n".join(f.render() for f in findings)
+
 
 # ----------------------------------------------------------------------
 # SUP001 — unused suppressions

@@ -21,6 +21,7 @@ from repro.core.numeric import approx_le
 from repro.serve.snapshot import (
     SNAPSHOT_FORMAT,
     SNAPSHOT_FORMAT_V1,
+    SNAPSHOT_FORMAT_V2,
     SUPPORTED_SNAPSHOT_FORMATS,
     controller_snapshot,
     demand_model_from_wire,
@@ -203,9 +204,14 @@ class TestValidation:
             demand_model_from_wire({"kind": "quadratic"})
 
     def test_format_constant_is_versioned(self):
-        assert SNAPSHOT_FORMAT.endswith("/2")
+        assert SNAPSHOT_FORMAT.endswith("/3")
+        assert SNAPSHOT_FORMAT_V2.endswith("/2")
         assert SNAPSHOT_FORMAT_V1.endswith("/1")
-        assert SUPPORTED_SNAPSHOT_FORMATS == (SNAPSHOT_FORMAT, SNAPSHOT_FORMAT_V1)
+        assert SUPPORTED_SNAPSHOT_FORMATS == (
+            SNAPSHOT_FORMAT,
+            SNAPSHOT_FORMAT_V2,
+            SNAPSHOT_FORMAT_V1,
+        )
 
 
 def _as_v1_document(doc):
