@@ -20,7 +20,10 @@ chaos:
 # then 24 crash/recover cycles with zero lost or duplicated admissions
 # and bitwise-identical recovered state, and 12 fleet chaos cycles
 # (worker SIGKILLs + network faults across 3 shards) with the same
-# zero-loss/zero-duplication guarantee against a shadow fleet.
+# zero-loss/zero-duplication guarantee against a shadow fleet.  The
+# degradation chaos gate layers capacity-drop/restore waves over the
+# crash kinds and additionally requires zero region violations after
+# every sacrifice repair.
 # Finally the blocking comparison report: online PCP-derived beta_j vs
 # the static worst-case population bound over one contention trace —
 # must be byte-stable, admit at least as much online, and finish the
@@ -29,6 +32,7 @@ serve-smoke:
 	$(PYTHON) -m repro.serve.loadgen --scenario webserver --seed 0 --requests 1000 --selftest
 	$(PYTHON) -m repro.serve.loadgen --chaos-crash --cycles 24 --seed 0 --selftest
 	$(PYTHON) -m repro.serve.loadgen --chaos-fleet --cycles 12 --workers 3 --seed 0 --selftest
+	$(PYTHON) -m repro.serve.loadgen --chaos-degradation --cycles 12 --seed 0 --selftest
 	$(PYTHON) -m repro.serve.loadgen --compare-blocking --seed 0 --selftest
 
 # Consolidated benchmark run: paper-artifact and serving benchmarks in
@@ -40,9 +44,10 @@ bench:
 		--ignore=benchmarks/bench_core_hotpath.py \
 		--ignore=benchmarks/bench_lint.py \
 		--ignore=benchmarks/bench_locking.py \
+		--ignore=benchmarks/bench_degradation.py \
 		--benchmark-json=BENCH_serve.json
 	$(PYTHON) -m pytest benchmarks/bench_core_hotpath.py benchmarks/bench_lint.py \
-		benchmarks/bench_locking.py \
+		benchmarks/bench_locking.py benchmarks/bench_degradation.py \
 		-q -o addopts="" \
 		--benchmark-only --benchmark-json=BENCH_core.json
 	@echo "wrote BENCH_serve.json and BENCH_core.json"
@@ -54,6 +59,7 @@ bench:
 bench-smoke:
 	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_core_hotpath.py \
 		benchmarks/bench_lint.py benchmarks/bench_locking.py \
+		benchmarks/bench_degradation.py \
 		-q -o addopts="" --benchmark-only \
 		--benchmark-json=BENCH_core_smoke.json
 	$(PYTHON) benchmarks/check_bench_regression.py BENCH_core_smoke.json \

@@ -1,0 +1,147 @@
+"""Degradation-path microbenchmarks: revalidation sweep + repair cost.
+
+Two costs the online degradation manager adds to the serving layer:
+
+- **capacity revalidation** — an authoritative rescale re-charges the
+  whole admitted set through the exact accumulator and re-runs the
+  Eq. 12/15 region test, swept across populations.  The per-record
+  work is constant (one re-derive + at most one tracker move per
+  stage), so the sweep pins near-linear scaling;
+- **eviction repair** — the sacrifice loop on an infeasible rescale:
+  victims fall in brownout order until the region holds, measured as
+  the full repair of a half-capacity drop over a large admitted set.
+
+Run via ``make bench`` (folded into ``BENCH_core.json``) or, at
+reduced iterations with a regression gate against the committed
+baseline, via ``make bench-smoke``.
+"""
+
+import os
+import random
+import time
+
+from repro.core.admission import PipelineAdmissionController
+from repro.core.task import make_task
+
+from conftest import run_once
+
+NUM_STAGES = 2
+
+#: ``REPRO_BENCH_SMOKE=1`` shrinks the workloads so the CI regression
+#: gate (``make bench-smoke``) finishes in seconds; the committed
+#: baseline ``benchmarks/BASELINE_core.json`` was recorded in smoke
+#: mode, so the gate compares like for like.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+#: Admitted-set sweep for the revalidation benchmark.
+SWEEP = (100, 1000, 10_000)
+
+#: Rescale+region_ok revalidations measured per sweep point.
+REVALIDATE_REPEATS = 3 if SMOKE else 10
+
+#: Admitted population for the eviction-repair benchmark.
+REPAIR_POPULATION = 2000 if SMOKE else 10_000
+
+#: Independent drop+repair rounds per eviction-repair measurement
+#: (repair is one-shot per controller, so each round needs its own).
+REPAIR_ROUNDS = 3 if SMOKE else 5
+
+
+def _build(count, seed):
+    """Admit ``count`` tasks summing to ~0.30 utilization per stage."""
+    rng = random.Random(seed)
+    controller = PipelineAdmissionController(NUM_STAGES, alpha=0.9)
+    per_task = 0.30 / count
+    for task_id in range(count):
+        deadline = rng.uniform(5.0, 15.0)
+        costs = [
+            per_task * deadline * rng.uniform(0.5, 1.5)
+            for _ in range(NUM_STAGES)
+        ]
+        decision = controller.request(
+            make_task(
+                arrival_time=0.0,
+                deadline=deadline,
+                computation_times=costs,
+                importance=rng.randrange(3),
+                task_id=task_id,
+            ),
+            now=0.0,
+        )
+        assert decision.admitted
+    return controller
+
+
+def _revalidate_seconds(controller, repeats):
+    """Best-of rescale + whole-set region test (alternating levels)."""
+    best = float("inf")
+    for i in range(repeats):
+        capacity = 0.8 if i % 2 == 0 else 1.0
+        start = time.perf_counter()
+        controller.rescale_stage_capacity(0, capacity)
+        controller.region_ok()
+        best = min(best, time.perf_counter() - start)
+    controller.rescale_stage_capacity(0, 1.0)
+    return best
+
+
+def test_capacity_revalidation_sweep(benchmark):
+    """Rescale + region re-test vs admitted-set size.
+
+    Prints revalidations/sec at each population and asserts near-linear
+    scaling: 100x the tasks must cost well under 1000x the time.
+    """
+    controllers = {count: _build(count, seed=count) for count in SWEEP}
+    results = {}
+
+    def run():
+        for count in SWEEP:
+            results[count] = _revalidate_seconds(
+                controllers[count], REVALIDATE_REPEATS
+            )
+        return results
+
+    run_once(benchmark, run)
+    print("\ncapacity rescale + region revalidation:")
+    for count, seconds in results.items():
+        print(
+            f"  admitted {count:>6}: {seconds * 1e3:>9.3f} ms   "
+            f"({1.0 / seconds:>10,.1f} revalidations/s)"
+        )
+    growth = results[10_000] / results[100]
+    assert growth < 1000.0, (
+        f"revalidation cost grew {growth:.0f}x from 100 to 10k admitted "
+        "tasks — the rescale path has regressed past linear"
+    )
+
+
+def test_eviction_repair_cost(benchmark):
+    """Full sacrifice repair of a half-capacity drop.
+
+    Halving stage 0 doubles its charged utilization past the region,
+    so the repair must shed a large fraction of the population; the
+    printed figure is the per-eviction cost of the brownout loop.
+    """
+    controllers = [
+        _build(REPAIR_POPULATION, seed=17 + n) for n in range(REPAIR_ROUNDS)
+    ]
+    for controller in controllers:
+        controller.rescale_stage_capacity(0, 0.5)
+        assert not controller.region_ok()
+    sacrificed = []
+
+    def run():
+        for controller in controllers:
+            sacrificed.extend(controller.repair_region())
+        return len(sacrificed)
+
+    run_once(benchmark, run)
+    assert all(controller.region_ok() for controller in controllers)
+    assert sacrificed, "the half-capacity drop must force evictions"
+    per_eviction = benchmark.stats.stats.min / len(sacrificed)
+    print(
+        f"\neviction repair at {REPAIR_POPULATION} admitted x "
+        f"{REPAIR_ROUNDS} rounds: {len(sacrificed)} sacrificed, "
+        f"{per_eviction * 1e6:.1f} us per eviction "
+        f"({benchmark.stats.stats.min * 1e3:.3f} ms total)"
+    )

@@ -162,13 +162,25 @@ class ResyncReport:
 
 @dataclass
 class _Admitted:
-    """Internal record of an admitted task's live contributions."""
+    """Internal record of an admitted task's live contributions.
+
+    ``demand`` keeps the raw per-stage demand charged at admission time
+    so a capacity rescale can re-derive contributions from first
+    principles; ``None`` marks a record restored from a pre-v4 snapshot
+    whose raw demand was never persisted (such records keep their
+    original charges across rescales).  ``seq`` is the monotonically
+    increasing admission sequence number — the deterministic tie-break
+    when the degradation layer sacrifices tasks within an importance
+    class.
+    """
 
     contributions: Tuple[float, ...]
     expiry: float
     importance: int
     deadline: float = 0.0
     resources: Tuple[ResourceSpec, ...] = ()
+    demand: Optional[Tuple[float, ...]] = None
+    seq: int = 0
 
 
 class PipelineAdmissionController:
@@ -255,6 +267,15 @@ class PipelineAdmissionController:
         # proportionally more synthetic utilization; 0.0 marks a full
         # outage, under which nothing new is admitted through the stage.
         self._capacities: List[float] = [1.0] * num_stages
+        # True once rescale_stage_capacity() has re-charged the admitted
+        # set: from then on every demand-bearing record's contributions
+        # are a pure function of (demand, deadline, capacities), which
+        # the auditor's capacity-drift invariant checks bitwise.
+        self._charges_follow_capacity = False
+        # Monotonic admission counter; each installed record takes the
+        # next value.  Survives snapshots (schema v4) so sacrifice
+        # tie-breaks are deterministic across crash recovery.
+        self._admission_seq = 0
         self.trackers = [StageUtilizationTracker(r) for r in reserved]
         self._admitted: Dict[Hashable, _Admitted] = {}
         # Min-heap of (expiry, task_id) so expire() is amortized
@@ -319,10 +340,12 @@ class PipelineAdmissionController:
             int,
             float,
             Tuple[ResourceSpec, ...],
+            Optional[Tuple[float, ...]],
+            int,
         ]
     ]:
-        """Full admitted records:
-        ``(task_id, contributions, expiry, importance, deadline, resources)``.
+        """Full admitted records: ``(task_id, contributions, expiry,
+        importance, deadline, resources, demand, seq)``.
 
         The contributions are the amounts charged at admission time;
         per-stage *live* amounts (after idle resets) must be read from
@@ -331,7 +354,11 @@ class PipelineAdmissionController:
         that never persisted it) and ``resources`` its canonical
         shared-resource declarations — together they are what the
         blocking engine needs to rebuild ``B_ij`` from a snapshot.
-        Used by the serving layer's snapshot/restore.
+        ``demand`` is the raw per-stage demand charged at admission
+        (``None`` for pre-v4 restores) and ``seq`` the admission
+        sequence number — what the degradation layer needs to rescale
+        charges and break sacrifice ties deterministically.  Used by
+        the serving layer's snapshot/restore.
         """
         return [
             (
@@ -341,6 +368,8 @@ class PipelineAdmissionController:
                 record.importance,
                 record.deadline,
                 record.resources,
+                record.demand,
+                record.seq,
             )
             for task_id, record in self._admitted.items()
         ]
@@ -359,6 +388,8 @@ class PipelineAdmissionController:
         departed_stages: Sequence[int] = (),
         deadline: float = 0.0,
         resources: Sequence[ResourceSpec] = (),
+        demand: Optional[Sequence[float]] = None,
+        seq: Optional[int] = None,
     ) -> None:
         """Re-install one admitted task's bookkeeping from a snapshot.
 
@@ -389,6 +420,12 @@ class PipelineAdmissionController:
                 task; re-tracked by the blocking engine on a locking
                 controller so ``beta_j`` and the budget are rebuilt
                 bitwise.
+            demand: Raw per-stage demand charged at admission time;
+                ``None`` (pre-v4 snapshots) pins the record's charges
+                across future capacity rescales.
+            seq: Admission sequence number; ``None`` assigns the next
+                counter value (legacy snapshots restore records in
+                document order, so assignment stays deterministic).
 
         Raises:
             ValueError: If the task is already admitted or a vector has
@@ -406,6 +443,13 @@ class PipelineAdmissionController:
             raise ValueError(
                 f"contribution vectors must have {self.num_stages} entries"
             )
+        raw: Optional[Tuple[float, ...]] = None
+        if demand is not None:
+            raw = tuple(float(c) for c in demand)
+            if len(raw) != self.num_stages:
+                raise ValueError(
+                    f"demand vector must have {self.num_stages} entries"
+                )
         specs = tuple(resources)
         self._locking_track(task_id, deadline, specs)
         departed = frozenset(departed_stages)
@@ -414,12 +458,21 @@ class PipelineAdmissionController:
                 tracker.add(task_id, amount, expiry)
                 if j in departed:
                     tracker.mark_departed(task_id)
+        if seq is None:
+            self._admission_seq += 1
+            seq = self._admission_seq
+        else:
+            seq = int(seq)
+            if seq > self._admission_seq:
+                self._admission_seq = seq
         self._admitted[task_id] = _Admitted(
             contributions=charged,
             expiry=expiry,
             importance=importance,
             deadline=float(deadline),
             resources=specs,
+            demand=raw,
+            seq=seq,
         )
         heapq.heappush(self._expiry_heap, (expiry, task_id))
 
@@ -451,6 +504,185 @@ class PipelineAdmissionController:
         if not math.isfinite(capacity) or not (0.0 <= capacity <= 1.0):
             raise ValueError(f"capacity must be in [0, 1], got {capacity}")
         self._capacities[stage] = capacity
+        # Prospective-only changes break the charges == f(demand,
+        # capacities) identity for the already-admitted set, so the
+        # capacity-drift invariant stands down until the next rescale.
+        self._charges_follow_capacity = False
+
+    @property
+    def charges_follow_capacity(self) -> bool:
+        """Whether admitted charges are a pure function of the capacities.
+
+        ``True`` after :meth:`rescale_stage_capacity` re-charged the
+        admitted set; ``False`` after a prospective-only
+        :meth:`set_stage_capacity`.  The auditor's ``capacity-drift``
+        invariant only applies while this holds.
+        """
+        return self._charges_follow_capacity
+
+    @property
+    def admission_seq(self) -> int:
+        """Monotonic admission counter (sacrifice tie-break order)."""
+        return self._admission_seq
+
+    def load_degradation_state(
+        self, admission_seq: int, charges_follow_capacity: bool
+    ) -> None:
+        """Adopt snapshot-carried degradation bookkeeping (schema v4).
+
+        Called by the serving layer's restore path *after* the admitted
+        records are loaded; legacy snapshots (pre-v4) pass the counter
+        value the restore loop assigned and ``False``.
+        """
+        if admission_seq < 0:
+            raise ValueError(
+                f"admission_seq must be >= 0, got {admission_seq}"
+            )
+        if admission_seq < self._admission_seq:
+            raise ValueError(
+                f"admission_seq {admission_seq} below the restored "
+                f"records' maximum {self._admission_seq}"
+            )
+        self._admission_seq = int(admission_seq)
+        self._charges_follow_capacity = bool(charges_follow_capacity)
+
+    def rescale_stage_capacity(self, stage: int, capacity: float) -> None:
+        """Authoritatively set ``stage``'s capacity and re-charge the admitted set.
+
+        The online-degradation path: unlike the prospective
+        :meth:`set_stage_capacity`, every admitted record carrying its
+        raw demand is re-charged against the *full current* capacity
+        vector using exactly the per-stage expression
+        :meth:`_contributions` applies to fresh arrivals — so a
+        controller that rescales and then admits is bitwise identical
+        to a fresh controller built at the new capacities.  Tracker
+        totals move through the exact accumulator (remove + add, both
+        exact), preserving the canonical-per-multiset property crash
+        recovery depends on.
+
+        Stages at capacity 0.0 (outage) keep each record's previous
+        charge — an infinite charge can never enter a tracker — and
+        :meth:`repair_region` evicts demand-bearing tasks at outage
+        stages instead.  Records restored from pre-v4 snapshots carry
+        no raw demand and keep their charges unchanged.
+
+        Args:
+            stage: Stage index.
+            capacity: Fraction of nominal speed in ``[0, 1]``.
+
+        Raises:
+            ValueError: If ``capacity`` is outside ``[0, 1]`` or not
+                finite.
+        """
+        if not math.isfinite(capacity) or not (0.0 <= capacity <= 1.0):
+            raise ValueError(f"capacity must be in [0, 1], got {capacity}")
+        self._capacities[stage] = capacity
+        self._charges_follow_capacity = True
+        for task_id, record in self._admitted.items():
+            if record.demand is None:
+                continue
+            charged = self._recharge(record)
+            if charged == record.contributions:
+                continue
+            for tracker, old, new in zip(
+                self.trackers, record.contributions, charged
+            ):
+                if new == old or task_id not in tracker:
+                    # Bitwise-equal charge, or a stage that already
+                    # released the task (idle reset): nothing to move.
+                    continue
+                departed = tracker.is_departed(task_id)
+                tracker.remove(task_id)
+                tracker.add(task_id, new, record.expiry)
+                if departed:
+                    tracker.mark_departed(task_id)
+            record.contributions = charged
+
+    def _recharge(self, record: _Admitted) -> Tuple[float, ...]:
+        """Re-derive a record's charges from its raw demand.
+
+        Mirrors :meth:`_contributions` stage by stage (same float
+        expressions, same order) except at outage stages, where the
+        record's existing charge is retained.
+        """
+        assert record.demand is not None
+        contributions = []
+        for j, (c, capacity) in enumerate(zip(record.demand, self._capacities)):
+            if capacity == 1.0:
+                contributions.append(c / record.deadline)
+            elif capacity == 0.0:
+                contributions.append(record.contributions[j])
+            else:
+                contributions.append(c / (capacity * record.deadline))
+        return tuple(contributions)
+
+    def region_ok(self) -> bool:
+        """Whether the live admitted set satisfies Eq. 12/15 right now.
+
+        Re-runs the region test over the *current* tracker state: every
+        stage utilization strictly inside saturation and the summed
+        delay factors within the (locking-aware) budget.  This is the
+        post-repair feasibility check — fresh admissions are tested
+        incrementally by :meth:`_fits`, but a capacity rescale moves
+        already-charged utilization, which only this whole-set test
+        catches.
+        """
+        if self.betas is not None and math.fsum(self.betas) >= 1.0:
+            return False
+        for tracker in self.trackers:
+            if approx_ge(tracker.value, 1.0):
+                return False
+        return approx_le(self.region_value(), self.budget)
+
+    def repair_region(self) -> List[Hashable]:
+        """Evict admitted tasks until the feasible region holds again.
+
+        The sacrifice loop of the degradation layer: victims are chosen
+        in :class:`~repro.faults.degradation.BrownoutController` order —
+        ascending importance class, ties broken by admission sequence
+        (oldest first) — exactly the deterministic order replay needs.
+        Two categories are evicted:
+
+        1. every demand-bearing task using a stage in outage
+           (capacity 0.0), unconditionally — the stage cannot serve
+           them, and their retained charges would otherwise pin stale
+           utilization; then
+        2. further victims, lowest importance first, until
+           :meth:`region_ok` passes.
+
+        On a locking controller each eviction drops the victim's
+        critical sections from the blocking state, so ``beta_j`` and
+        the budget are re-previewed implicitly before the next
+        :meth:`region_ok` evaluation — a repair plan is only accepted
+        once both the utilization terms and the blocking budget fit.
+
+        Returns:
+            The evicted task ids, in eviction order.
+        """
+        sacrificed: List[Hashable] = []
+        outage = [j for j, c in enumerate(self._capacities) if c == 0.0]
+        if outage:
+            doomed = [
+                (record.importance, record.seq, task_id)
+                for task_id, record in self._admitted.items()
+                if record.demand is not None
+                and any(record.demand[j] > 0.0 for j in outage)
+            ]
+            for _, _, task_id in sorted(doomed):
+                self._evict(task_id)
+                sacrificed.append(task_id)
+        if self.region_ok():
+            return sacrificed
+        victims = sorted(
+            (record.importance, record.seq, task_id)
+            for task_id, record in self._admitted.items()
+        )
+        for _, _, task_id in victims:
+            self._evict(task_id)
+            sacrificed.append(task_id)
+            if self.region_ok():
+                break
+        return sacrificed
 
     # ------------------------------------------------------------------
     # Admission
@@ -866,12 +1098,15 @@ class PipelineAdmissionController:
         expiry = task.absolute_deadline
         for tracker, contribution in zip(self.trackers, contributions):
             tracker.add(task.task_id, contribution, expiry)
+        self._admission_seq += 1
         self._admitted[task.task_id] = _Admitted(
             contributions=contributions,
             expiry=expiry,
             importance=task.importance,
             deadline=task.deadline,
             resources=task.resources,
+            demand=tuple(self.demand_model.demand(task)),
+            seq=self._admission_seq,
         )
         self._locking_track(task.task_id, task.deadline, task.resources)
         heapq.heappush(self._expiry_heap, (expiry, task.task_id))

@@ -30,7 +30,16 @@ pessimistic.
   records' resource declarations;
 - ``budget-drift`` — the cached region budget is not bitwise equal to
   ``alpha (1 - sum_j beta_j)`` over the current beta vector — the
-  transactional budget update was skipped somewhere.
+  transactional budget update was skipped somewhere;
+- ``capacity-drift`` — a stage capacity is outside ``[0, 1]``, or (on a
+  controller whose charges follow the capacities, i.e. after an
+  authoritative ``rescale_stage_capacity``) an admitted record's
+  charged contribution is not bitwise equal to the charge re-derived
+  from its raw demand and the current capacity vector — a rescale that
+  skipped records, or a capacity mutated without re-charging;
+- ``post-repair-feasibility`` — the live admitted set violates the
+  Eq. 12/15 region test (``region_ok``): a capacity drop shrank the
+  region and no repair (sacrifice) pass restored feasibility.
 
 *Ground-truth cross-checks* (fed by the simulation or a monitoring
 layer):
@@ -47,6 +56,7 @@ which rebuilds the canonical state from the same ground truth.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, List, Optional
 
@@ -70,6 +80,8 @@ AUDIT_KINDS = (
     "expired-contribution",
     "blocking-drift",
     "budget-drift",
+    "capacity-drift",
+    "post-repair-feasibility",
     "missed-departure",
     "missed-idle-reset",
 )
@@ -193,6 +205,8 @@ class ControllerAuditor:
                     )
         violations.extend(self._check_expired(now))
         violations.extend(self._check_blocking())
+        violations.extend(self._check_capacity())
+        violations.extend(self._check_region())
         if frontier is not None:
             violations.extend(self._check_departures(frontier))
         if idle_stages is not None:
@@ -299,6 +313,80 @@ class ControllerAuditor:
             )
         return violations
 
+    def _check_capacity(self) -> List[InvariantViolation]:
+        """Capacity vector sanity plus the charge/capacity identity.
+
+        Capacities must be finite and in ``[0, 1]`` always.  When the
+        controller's charges follow the capacities (after an
+        authoritative rescale), every demand-bearing admitted record's
+        charged contribution must be *bitwise* the charge re-derived
+        from its raw demand, its deadline, and the current capacity —
+        the same pure function fresh admissions are charged with.
+        Outage stages (capacity 0.0) are exempt: they retain the
+        pre-outage charge until the repair pass evicts the task.
+        """
+        controller = self.controller
+        violations: List[InvariantViolation] = []
+        capacities = controller.stage_capacities()
+        for j, capacity in enumerate(capacities):
+            if not math.isfinite(capacity) or not (0.0 <= capacity <= 1.0):
+                violations.append(
+                    InvariantViolation(
+                        "capacity-drift",
+                        j,
+                        None,
+                        f"stage capacity {capacity!r} is outside [0, 1]",
+                    )
+                )
+        if violations or not getattr(controller, "charges_follow_capacity", False):
+            return violations
+        for task_id, record in controller._admitted.items():
+            if record.demand is None:
+                continue
+            for j, (c, capacity) in enumerate(zip(record.demand, capacities)):
+                if capacity == 0.0:
+                    continue
+                expected = (
+                    c / record.deadline
+                    if capacity == 1.0
+                    else c / (capacity * record.deadline)
+                )
+                if record.contributions[j] != expected:
+                    violations.append(
+                        InvariantViolation(
+                            "capacity-drift",
+                            j,
+                            task_id,
+                            f"charged contribution {record.contributions[j]!r} "
+                            f"!= demand/capacity re-derivation {expected!r} at "
+                            f"capacity {capacity!r}",
+                        )
+                    )
+        return violations
+
+    def _check_region(self) -> List[InvariantViolation]:
+        """The live admitted set must satisfy Eq. 12/15 (post-repair check).
+
+        Fresh admissions are tested incrementally, so a violation here
+        means a capacity rescale (or state corruption) moved already
+        charged utilization outside the region and no sacrifice pass
+        repaired it.
+        """
+        controller = self.controller
+        if controller.region_ok():
+            return []
+        return [
+            InvariantViolation(
+                "post-repair-feasibility",
+                None,
+                None,
+                f"admitted set violates the region: value "
+                f"{controller.region_value()!r}, budget "
+                f"{controller.budget!r}, utilizations "
+                f"{controller.utilizations()!r}",
+            )
+        ]
+
     def _check_departures(
         self, frontier: Dict[Hashable, int]
     ) -> List[InvariantViolation]:
@@ -370,6 +458,12 @@ def diff_controllers(
             diffs.append(f"{field}: {va!r} != {vb!r}")
     if diffs:
         return diffs  # structurally incomparable below this point
+    # Degradation bookkeeping: plain state, not structure — reported
+    # alongside the record/tracker diffs rather than masking them.
+    for field in ("admission_seq", "charges_follow_capacity"):
+        va, vb = getattr(a, field), getattr(b, field)
+        if va != vb:
+            diffs.append(f"{field}: {va!r} != {vb!r}")
     if a.stage_capacities() != b.stage_capacities():
         diffs.append(
             f"capacities: {a.stage_capacities()!r} != {b.stage_capacities()!r}"

@@ -14,14 +14,21 @@ assumptions crack under faults or overload:
   overload, whole request classes are shed in increasing order of
   importance *before* the admission test, keeping the region's headroom
   for the traffic that matters; the shed level decays when load
-  subsides.
+  subsides;
+- :class:`CapacityEstimator` — hysteresis-filtered per-stage capacity
+  estimation from overrun/slowdown fault observations: the serving
+  layer's :class:`~repro.serve.degradation.DegradationManager` feeds it
+  raw samples and only acts (rescale + region repair) once a quantized
+  capacity level is confirmed by enough consecutive observations, so
+  transient blips never thrash the admitted set.
 """
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Iterable, List, Tuple
+from typing import Any, Deque, Dict, Iterable, List, Optional, Tuple
 
 from ..core.numeric import approx_le
 from ..core.task import PipelineTask
@@ -32,6 +39,8 @@ __all__ = [
     "BackoffAdmission",
     "BrownoutConfig",
     "BrownoutController",
+    "CapacityHysteresis",
+    "CapacityEstimator",
 ]
 
 
@@ -260,3 +269,197 @@ class BrownoutController:
                 self.level -= 1
                 self.level_history.append((now, self.level))
         self.pipeline.sim.after(self.config.evaluation_period, self._evaluate)
+
+
+# ----------------------------------------------------------------------
+# Hysteresis-filtered capacity estimation from fault observations
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CapacityHysteresis:
+    """Hysteresis parameters for observation-driven capacity estimation.
+
+    Capacity samples are quantized to a coarse grid so that noisy
+    observations of the same underlying slowdown land on the same
+    level, and a level only becomes *confirmed* after enough
+    consecutive samples agree — transient blips (one slow request, one
+    spurious overrun report) never move the confirmed estimate, so the
+    degradation layer never thrashes the admitted set.
+
+    Attributes:
+        confirm_drops: Consecutive agreeing samples required to confirm
+            a capacity *drop* (>= 1).
+        confirm_restores: Consecutive agreeing samples required to
+            confirm a capacity *restore* (>= 1).
+        quantum: Grid step capacities are quantized to, in (0, 1].
+        floor: Lowest capacity the estimator will ever report (> 0);
+            full outages are declared explicitly over the wire, never
+            inferred from noisy observations.
+    """
+
+    confirm_drops: int = 3
+    confirm_restores: int = 3
+    quantum: float = 0.05
+    floor: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.confirm_drops < 1 or self.confirm_restores < 1:
+            raise ValueError(
+                "confirm_drops and confirm_restores must be >= 1, got "
+                f"{self.confirm_drops} / {self.confirm_restores}"
+            )
+        if not (0.0 < self.quantum <= 1.0) or not math.isfinite(self.quantum):
+            raise ValueError(f"quantum must be in (0, 1], got {self.quantum}")
+        if not (0.0 < self.floor <= 1.0) or not math.isfinite(self.floor):
+            raise ValueError(f"floor must be in (0, 1], got {self.floor}")
+
+
+class CapacityEstimator:
+    """Per-stage capacity estimate driven by fault observations.
+
+    Pure and time-free: the estimate is a function of the observation
+    *sequence* alone (no wall clock, no randomness), so replaying the
+    same journaled ``report`` ops reproduces the same confirmations —
+    the property that lets crash recovery rebuild the degradation
+    state bitwise.
+
+    Attributes:
+        confirmed_drops / confirmed_restores: Confirmation counters.
+    """
+
+    def __init__(
+        self, num_stages: int, config: Optional[CapacityHysteresis] = None
+    ) -> None:
+        if num_stages < 1:
+            raise ValueError(f"num_stages must be >= 1, got {num_stages}")
+        self.num_stages = num_stages
+        self.config = config if config is not None else CapacityHysteresis()
+        self._confirmed = [1.0] * num_stages
+        self._candidate: List[Optional[float]] = [None] * num_stages
+        self._streak = [0] * num_stages
+        self.confirmed_drops = 0
+        self.confirmed_restores = 0
+
+    def confirmed(self, stage: int) -> float:
+        """The confirmed capacity estimate for ``stage``."""
+        return self._confirmed[stage]
+
+    def confirmed_capacities(self) -> Tuple[float, ...]:
+        """Confirmed capacity estimate per stage."""
+        return tuple(self._confirmed)
+
+    def quantize(self, sample: float) -> float:
+        """Snap a raw capacity sample to the hysteresis grid.
+
+        Raises:
+            ValueError: If the sample is negative or not finite.
+        """
+        if not math.isfinite(sample) or sample < 0.0:
+            raise ValueError(
+                f"capacity sample must be finite and >= 0, got {sample}"
+            )
+        if sample >= 1.0:
+            return 1.0
+        level = int(sample / self.config.quantum)
+        return max(self.config.floor, min(1.0, level * self.config.quantum))
+
+    def declare(self, stage: int, capacity: float) -> None:
+        """Adopt an authoritatively declared capacity, bypassing hysteresis.
+
+        An explicit ``set_capacity`` op is ground truth, not a noisy
+        observation: the confirmed level jumps straight to the declared
+        value (any value in ``[0, 1]``, including a full outage below
+        the observation floor) and pending candidate streaks are
+        cleared so stale evidence cannot confirm against the old level.
+
+        Raises:
+            IndexError: On a stage index out of range.
+            ValueError: If ``capacity`` is outside ``[0, 1]`` or not
+                finite.
+        """
+        if not 0 <= stage < self.num_stages:
+            raise IndexError(f"stage {stage} out of range")
+        if not math.isfinite(capacity) or not (0.0 <= capacity <= 1.0):
+            raise ValueError(f"capacity must be in [0, 1], got {capacity}")
+        self._confirmed[stage] = capacity
+        self._candidate[stage] = None
+        self._streak[stage] = 0
+
+    def observe(self, stage: int, sample: float) -> Optional[float]:
+        """Feed one capacity sample; returns the newly confirmed level.
+
+        A sample agreeing with the confirmed level clears any pending
+        candidate.  A run of ``confirm_drops`` (or ``confirm_restores``
+        when the candidate is above the confirmed level) consecutive
+        samples on the *same* quantized level confirms it, and the new
+        level is returned; otherwise ``None``.
+
+        Raises:
+            IndexError: On a stage index out of range.
+            ValueError: On an invalid sample.
+        """
+        target = self.quantize(sample)
+        if not 0 <= stage < self.num_stages:
+            raise IndexError(f"stage {stage} out of range")
+        if target == self._confirmed[stage]:
+            self._candidate[stage] = None
+            self._streak[stage] = 0
+            return None
+        if target == self._candidate[stage]:
+            self._streak[stage] += 1
+        else:
+            self._candidate[stage] = target
+            self._streak[stage] = 1
+        dropping = target < self._confirmed[stage]
+        need = (
+            self.config.confirm_drops if dropping else self.config.confirm_restores
+        )
+        if self._streak[stage] < need:
+            return None
+        self._confirmed[stage] = target
+        self._candidate[stage] = None
+        self._streak[stage] = 0
+        if dropping:
+            self.confirmed_drops += 1
+        else:
+            self.confirmed_restores += 1
+        return target
+
+    def state_doc(self) -> Dict[str, Any]:
+        """JSON-safe estimator state (snapshot support)."""
+        return {
+            "confirmed": list(self._confirmed),
+            "candidate": list(self._candidate),
+            "streak": list(self._streak),
+            "drops": self.confirmed_drops,
+            "restores": self.confirmed_restores,
+        }
+
+    def load_state(self, doc: Dict[str, Any]) -> None:
+        """Adopt a :meth:`state_doc` document.
+
+        Raises:
+            ValueError: On malformed or wrong-arity state vectors.
+        """
+        try:
+            confirmed = [float(c) for c in doc["confirmed"]]
+            candidate = [
+                None if c is None else float(c) for c in doc["candidate"]
+            ]
+            streak = [int(s) for s in doc["streak"]]
+            drops = int(doc["drops"])
+            restores = int(doc["restores"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"malformed estimator state: {exc}") from exc
+        if not (
+            len(confirmed) == len(candidate) == len(streak) == self.num_stages
+        ):
+            raise ValueError(
+                f"estimator state arity mismatch for {self.num_stages} stages"
+            )
+        self._confirmed = confirmed
+        self._candidate = candidate
+        self._streak = streak
+        self.confirmed_drops = drops
+        self.confirmed_restores = restores

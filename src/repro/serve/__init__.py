@@ -29,9 +29,20 @@ lost/duplicated admissions and bitwise-identical recovered registries
 under whole-worker SIGKILL plus torn-frame / partial-write /
 slow-client / connection-storm network faults.
 
+Degradation (PR 9): a per-pipeline
+:class:`~repro.serve.degradation.DegradationManager` turns stage
+capacity faults into journaled ``rescale_stage_capacity`` transactions
+— authoritative ``set_capacity`` wire ops apply immediately, noisy
+``report`` observations pass through hysteresis first — and repairs an
+infeasible region by sacrificing admitted tasks in brownout order;
+``python -m repro.serve.loadgen --chaos-degradation`` proves zero
+lost/duplicated admissions, zero post-repair region violations, and
+bitwise recovery under capacity waves crossed with crash kinds.
+
 See DESIGN.md §9 for the mapping from protocol operations to the
 paper's Section-4 bookkeeping rules, §10 for the durability contract,
-and §13 for the fleet failover invariants.
+§13 for the fleet failover invariants, and §15 for the degradation
+model.
 """
 
 from .batching import AdmissionBatcher
@@ -41,9 +52,18 @@ from .client import (
     GatewayError,
     GatewayTimeout,
     InProcessTransport,
+    RetryBudget,
     RetryingGatewayClient,
     RetryPolicy,
     TcpTransport,
+)
+from .degchaos import degradation_chaos_gate_failures, run_degradation_chaos
+from .degradation import (
+    OBSERVATION_KINDS,
+    SACRIFICE_LEDGER_LIMIT,
+    DegradationManager,
+    hysteresis_from_wire,
+    hysteresis_to_wire,
 )
 from .fleet import (
     FleetError,
@@ -86,6 +106,7 @@ from .snapshot import (
 __all__ = [
     "AdmissionBatcher",
     "AdmissionGateway",
+    "DegradationManager",
     "DurableGateway",
     "FleetError",
     "FleetSupervisor",
@@ -101,6 +122,7 @@ __all__ = [
     "InProcessWorker",
     "Journal",
     "JournalError",
+    "OBSERVATION_KINDS",
     "OPS",
     "PipelinePolicy",
     "PipelineRegistry",
@@ -109,8 +131,10 @@ __all__ = [
     "ProtocolError",
     "RecoveryError",
     "RecoveryReport",
+    "RetryBudget",
     "RetryPolicy",
     "RetryingGatewayClient",
+    "SACRIFICE_LEDGER_LIMIT",
     "SNAPSHOT_FORMAT",
     "SNAPSHOT_FORMAT_V1",
     "SUPPORTED_SNAPSHOT_FORMATS",
@@ -121,12 +145,16 @@ __all__ = [
     "TcpTransport",
     "WorkerUnavailable",
     "controller_snapshot",
+    "degradation_chaos_gate_failures",
     "fleet_chaos_gate_failures",
     "fsync_dir",
+    "hysteresis_from_wire",
+    "hysteresis_to_wire",
     "recover",
     "registry_fingerprint",
     "restore_controller",
     "run_crash_chaos",
+    "run_degradation_chaos",
     "run_fleet_chaos",
     "scan_journal",
     "verify_restored",

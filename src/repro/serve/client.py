@@ -15,7 +15,10 @@ Three layers, bottom-up:
   re-sends the *same* rid across timeouts and reconnects, so the
   gateway's dedup window turns an ambiguous failure ("did my admit
   land?") into an exactly-once decision.  Backoff is deadline-aware,
-  mirroring :class:`~repro.faults.degradation.BackoffAdmission`.
+  mirroring :class:`~repro.faults.degradation.BackoffAdmission`; an
+  optional shared :class:`RetryBudget` caps fleet-wide retry
+  amplification and :class:`RetryPolicy` can switch to full jitter to
+  decorrelate synchronized retriers.
 * :class:`GatewayControllerProxy` duck-types the
   :class:`~repro.core.admission.PipelineAdmissionController` interface
   over a client, so a :class:`~repro.sim.pipeline.PipelineSimulation`
@@ -47,6 +50,7 @@ __all__ = [
     "TcpTransport",
     "GatewayClient",
     "RetryPolicy",
+    "RetryBudget",
     "RetryingGatewayClient",
     "GatewayControllerProxy",
 ]
@@ -291,6 +295,13 @@ class RetryPolicy:
         jitter: Symmetric jitter fraction in ``[0, 1]``: the delay for
             attempt ``k`` is ``base * multiplier**k`` scaled by a
             uniform factor in ``[1 - jitter, 1 + jitter]``.
+        full_jitter: Replace the symmetric scheme with *full jitter*:
+            the delay for attempt ``k`` is uniform in
+            ``[0, base * multiplier**k]``.  Symmetric jitter keeps
+            clients loosely in phase (good for pacing one client);
+            full jitter spreads a fleet of synchronized retriers across
+            the whole window, which is what collapses a retry storm.
+            When set, ``jitter`` is ignored.
         seed: Seed for the jitter RNG (``None`` for entropy).
     """
 
@@ -299,6 +310,7 @@ class RetryPolicy:
     max_attempts: int = 6
     jitter: float = 0.1
     seed: Optional[int] = None
+    full_jitter: bool = False
 
     def __post_init__(self) -> None:
         # Delegates range validation of the shared fields.
@@ -314,9 +326,65 @@ class RetryPolicy:
     def delay(self, attempt: int, rng: random.Random) -> float:
         """Jittered delay after the ``attempt``-th failed attempt (0-based)."""
         base: float = self._backoff.delay(attempt)  # type: ignore[attr-defined]
+        if self.full_jitter:
+            return base * rng.random()
         if not self.jitter:
             return base
         return base * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
+
+
+class RetryBudget:
+    """Token bucket bounding the *fraction* of traffic that is retries.
+
+    Backoff paces an individual request; it does not stop a fleet of
+    clients from collectively multiplying offered load when the server
+    is the bottleneck (every timeout mints more requests).  The budget
+    closes that loop: each successful call deposits ``refill`` tokens
+    (capped at ``capacity``) and each retry withdraws one, so sustained
+    retries are limited to ``refill`` per success — roughly a
+    ``refill``-fraction of goodput — while the ``capacity`` burst
+    absorbs short blips without denying anything.
+
+    Shared by design: hand one instance to every
+    :class:`RetryingGatewayClient` talking to the same gateway and the
+    cap applies fleet-wide.
+
+    Attributes:
+        capacity: Maximum banked tokens (> 0); also the initial balance
+            unless ``initial`` overrides it.
+        refill: Tokens earned per successful call (>= 0).
+        tokens: Current balance.
+        denied: Withdrawals refused for lack of tokens.
+    """
+
+    def __init__(
+        self,
+        capacity: float = 10.0,
+        refill: float = 0.1,
+        initial: Optional[float] = None,
+    ) -> None:
+        if not math.isfinite(capacity) or capacity <= 0.0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if not math.isfinite(refill) or refill < 0.0:
+            raise ValueError(f"refill must be >= 0, got {refill}")
+        if initial is not None and (not math.isfinite(initial) or initial < 0.0):
+            raise ValueError(f"initial must be >= 0, got {initial}")
+        self.capacity = capacity
+        self.refill = refill
+        self.tokens = capacity if initial is None else min(initial, capacity)
+        self.denied = 0
+
+    def deposit(self) -> None:
+        """Credit one success; the balance never exceeds ``capacity``."""
+        self.tokens = min(self.capacity, self.tokens + self.refill)
+
+    def try_spend(self) -> bool:
+        """Withdraw one token for a retry; ``False`` (and count) if broke."""
+        if approx_le(1.0, self.tokens):
+            self.tokens = max(0.0, self.tokens - 1.0)
+            return True
+        self.denied += 1
+        return False
 
 
 class RetryingGatewayClient:
@@ -348,6 +416,12 @@ class RetryingGatewayClient:
             transport-level failure.
         policy: Retry schedule (default :class:`RetryPolicy` with its
             documented defaults).
+        budget: Optional :class:`RetryBudget` consulted before every
+            retry.  A denied withdrawal abandons the request
+            immediately (the last failure is re-raised) even when
+            attempts and deadline both had room — the budget is the
+            storm brake, not a pacing hint.  Share one instance across
+            clients to cap a whole fleet.
         rid_factory: Generator of unique request ids (defaults to
             ``uuid4().hex``).
         clock / sleep: Injectable time sources (monotonic seconds) so
@@ -357,6 +431,8 @@ class RetryingGatewayClient:
         retries: Re-sent requests (excludes each first attempt).
         reconnects: Times the underlying client was rebuilt.
         abandoned: Logical requests given up on (budget exhausted).
+        budget_denied: Requests abandoned specifically because the
+            retry budget refused a token (subset of ``abandoned``).
     """
 
     RETRYABLE_CODES = frozenset({"timeout", "transport", "duplicate-request"})
@@ -365,12 +441,14 @@ class RetryingGatewayClient:
         self,
         connect: Callable[[], "GatewayClient"],
         policy: Optional[RetryPolicy] = None,
+        budget: Optional[RetryBudget] = None,
         rid_factory: Optional[Callable[[], str]] = None,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         self._connect = connect
         self.policy = policy if policy is not None else RetryPolicy()
+        self.budget = budget
         self._rng = random.Random(self.policy.seed)
         self._rid_factory = (
             rid_factory if rid_factory is not None else (lambda: uuid.uuid4().hex)
@@ -381,6 +459,7 @@ class RetryingGatewayClient:
         self.retries = 0
         self.reconnects = 0
         self.abandoned = 0
+        self.budget_denied = 0
 
     def _ensure_client(self) -> "GatewayClient":
         if self._client is None:
@@ -425,7 +504,7 @@ class RetryingGatewayClient:
         attempt = 0
         while True:
             try:
-                return self._ensure_client().call(op, rid=rid, **operands)
+                response = self._ensure_client().call(op, rid=rid, **operands)
             except GatewayError as exc:
                 if exc.code not in self.RETRYABLE_CODES:
                     raise
@@ -443,8 +522,16 @@ class RetryingGatewayClient:
                 if out_of_attempts or past_deadline:
                     self.abandoned += 1
                     raise
+                if self.budget is not None and not self.budget.try_spend():
+                    self.budget_denied += 1
+                    self.abandoned += 1
+                    raise
                 self.retries += 1
                 self._sleep(delay)
+            else:
+                if self.budget is not None:
+                    self.budget.deposit()
+                return response
 
     def admit(
         self,

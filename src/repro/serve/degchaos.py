@@ -1,0 +1,600 @@
+"""Degradation chaos: capacity-drop/restore waves under crash recovery.
+
+The crash chaos harness (:mod:`repro.serve.recovery`) proves the
+durability contract for the *bookkeeping* ops; this harness proves it
+for the online degradation manager, whose ops are the most invasive in
+the protocol — a single ``set_capacity`` can re-charge the whole
+admitted set and sacrifice tasks.  A durable gateway and an in-memory
+shadow run the same seeded op stream in lockstep while the harness
+injects, every cycle:
+
+- an **explicit capacity wave**: a ``set_capacity`` drop on a random
+  stage (sometimes a full outage, capacity 0.0) followed by a
+  symmetric restore to nominal;
+- a **report wave**: bursts of identical ``report`` observations that
+  must pass the hysteresis filter before anything touches the admitted
+  set — a drop burst (slowdown/overrun) and later an ``ok`` burst that
+  restores the estimate;
+- a **crash** (``torn`` / ``after_journal`` / ``after_apply``) followed
+  by recovery, outstanding-request retries, and a fingerprint
+  comparison against the shadow — the fingerprint now covers the
+  degradation state (estimator + sacrifice ledger), so a recovery that
+  replayed a different sacrifice sequence cannot pass.
+
+After *every* applied op the harness re-runs the Eq. 12/15 region test
+over each pipeline's live admitted set: the degradation contract is
+that repair-by-sacrifice always returns the system to the feasible
+region, so the violation count must be zero across the whole run.
+
+Halfway through, the harness also exercises the snapshot lineage: it
+harvests a live pipeline snapshot, downgrades the embedded controller
+document to schema v3 (stripping the per-record demand/seq fields and
+the degradation bookkeeping), and restores it into both gateways under
+a new name — proving a pre-degradation snapshot upgrades cleanly into
+a serving v4 gateway.
+
+The report is byte-stable for a given parameter set (no wall clock, no
+filesystem paths) and :func:`degradation_chaos_gate_failures` turns it
+into an accept/reject gate for ``make serve-smoke`` and CI.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import shutil
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from .gateway import DEFAULT_DEDUP_WINDOW, AdmissionGateway
+from .protocol import encode
+from .recovery import RecoveryReport, recover, registry_fingerprint
+from .snapshot import SNAPSHOT_FORMAT_V3
+
+__all__ = [
+    "DEGRADATION_CHAOS_REPORT_FORMAT",
+    "run_degradation_chaos",
+    "degradation_chaos_gate_failures",
+]
+
+#: Version tag of the degradation-chaos report document.
+DEGRADATION_CHAOS_REPORT_FORMAT = "repro.serve.degradation-chaos-report/1"
+
+_CRASH_KINDS = ("torn", "after_journal", "after_apply")
+
+#: Aggressive hysteresis so seeded report bursts confirm within a
+#: cycle; quantum 0.1 keeps confirmed levels on a coarse grid.
+_CHAOS_HYSTERESIS = {
+    "confirm_drops": 2,
+    "confirm_restores": 2,
+    "quantum": 0.1,
+    "floor": 0.2,
+}
+
+#: ``web`` takes the report waves (observation-driven estimation);
+#: ``locked`` and ``batched`` take the explicit ``set_capacity`` waves,
+#: covering the locking beta re-preview and the batch-barrier path.
+_CHAOS_POLICIES: Dict[str, Dict[str, Any]] = {
+    "web": {"num_stages": 3, "alpha": 0.9, "degradation": _CHAOS_HYSTERESIS},
+    "locked": {
+        "num_stages": 2,
+        "alpha": 0.9,
+        "locking": True,
+        "degradation": _CHAOS_HYSTERESIS,
+    },
+    "batched": {
+        "num_stages": 2,
+        "alpha": 0.9,
+        "max_batch": 3,
+        "degradation": _CHAOS_HYSTERESIS,
+    },
+}
+
+_WAVE_TARGETS = ("locked", "batched")
+
+#: Resource ids the locking pipeline's admits contend on.
+_CHAOS_RESOURCES = ("lock-a", "lock-b")
+
+#: Capacity levels explicit drop waves choose from (0.0 = full outage).
+_DROP_LEVELS = (0.0, 0.3, 0.5, 0.7)
+
+
+def run_degradation_chaos(
+    seed: int = 0,
+    cycles: int = 24,
+    ops_per_cycle: int = 16,
+    state_dir: Optional[Union[str, Path]] = None,
+    snapshot_every: int = 40,
+    fsync: bool = False,
+    dedup_window: int = DEFAULT_DEDUP_WINDOW,
+) -> Dict[str, Any]:
+    """Run capacity-degradation waves under crash chaos; prove the gates.
+
+    Args:
+        seed: RNG seed driving the op stream, wave levels, and crash
+            choices.
+        cycles: Wave + crash/recover cycles to run.
+        ops_per_cycle: Background ops per cycle (waves ride on top).
+        state_dir: Durable state directory; a private temporary
+            directory (removed afterwards) if ``None``.
+        snapshot_every: Compaction period of the durable gateway.
+        fsync: Run the journal with per-record fsync.
+        dedup_window: Idempotency window size for both gateways.
+    """
+    if cycles < 2:
+        raise ValueError(f"cycles must be >= 2, got {cycles}")
+    if ops_per_cycle < 4:
+        raise ValueError(f"ops_per_cycle must be >= 4, got {ops_per_cycle}")
+    owns_dir = state_dir is None
+    root = Path(
+        tempfile.mkdtemp(prefix="repro-serve-degchaos-") if owns_dir else state_dir
+    )
+    try:
+        return _run_degradation_chaos(
+            rng=random.Random(seed),
+            seed=seed,
+            cycles=cycles,
+            ops_per_cycle=ops_per_cycle,
+            root=root,
+            snapshot_every=snapshot_every,
+            fsync=fsync,
+            dedup_window=dedup_window,
+        )
+    finally:
+        if owns_dir:
+            shutil.rmtree(root, ignore_errors=True)
+
+
+def _run_degradation_chaos(
+    rng: random.Random,
+    seed: int,
+    cycles: int,
+    ops_per_cycle: int,
+    root: Path,
+    snapshot_every: int,
+    fsync: bool,
+    dedup_window: int,
+) -> Dict[str, Any]:
+    durable, _ = recover(
+        root, fsync=fsync, snapshot_every=snapshot_every, dedup_window=dedup_window
+    )
+    shadow = AdmissionGateway(dedup_window=dedup_window)
+
+    next_id = 0
+    next_task_id = 0
+    now = 0.0
+    id_to_rid: Dict[int, str] = {}
+    unacked: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+    ledger: Dict[str, Any] = {}
+    crash_counts = {kind: 0 for kind in _CRASH_KINDS}
+    response_mismatches = 0
+    decision_mismatches = 0
+    fingerprint_matches = 0
+    fingerprint_mismatches = 0
+    region_violations = 0
+    ops_issued = 0
+    drops_applied = 0
+    outages_applied = 0
+    restores_applied = 0
+    report_waves = 0
+    stall_retries = 0
+    upgrade = {"attempted": False, "restored": False}
+    recoveries: List[RecoveryReport] = []
+
+    def fresh_id() -> int:
+        nonlocal next_id
+        next_id += 1
+        return next_id
+
+    def ack(response: Dict[str, Any]) -> None:
+        nonlocal decision_mismatches
+        rid = id_to_rid.get(response.get("id"))
+        if rid is None:
+            return
+        if response.get("error") == "duplicate-request":
+            return
+        unacked.pop(rid, None)
+        decision = response.get("admitted")
+        if rid in ledger:
+            if ledger[rid] != decision:
+                decision_mismatches += 1
+        else:
+            ledger[rid] = decision
+
+    def check_region() -> None:
+        """The post-repair feasibility invariant, after every op."""
+        nonlocal region_violations
+        for pipeline in shadow.registry:
+            if not pipeline.controller.region_ok():
+                region_violations += 1
+
+    def apply(doc: Dict[str, Any]) -> List[str]:
+        nonlocal response_mismatches
+        line = encode(doc)
+        got = [response for _, response in durable.handle_line(line)]
+        want = [response for _, response in shadow.handle_line(line)]
+        if got != want:
+            response_mismatches += 1
+        for response in got:
+            ack(json.loads(response))
+        check_region()
+        return got
+
+    def issue(doc: Dict[str, Any]) -> None:
+        id_to_rid[doc["id"]] = doc["rid"]
+        if doc["rid"] not in ledger:
+            unacked[doc["rid"]] = doc
+
+    def send(doc: Dict[str, Any]) -> List[str]:
+        issue(doc)
+        return apply(doc)
+
+    def retry(doc: Dict[str, Any]) -> None:
+        again = dict(doc)
+        again["id"] = fresh_id()
+        id_to_rid[again["id"]] = doc["rid"]
+        apply(again)
+
+    def envelope(name: str) -> Dict[str, Any]:
+        request_id = fresh_id()
+        return {"id": request_id, "rid": f"r{request_id}", "pipeline": name}
+
+    def gen_op() -> Dict[str, Any]:
+        nonlocal now, next_task_id, ops_issued
+        ops_issued += 1
+        now += rng.uniform(0.05, 0.3)
+        name = rng.choice(sorted(_CHAOS_POLICIES))
+        stages = _CHAOS_POLICIES[name]["num_stages"]
+        doc = envelope(name)
+        roll = rng.random()
+        if roll < 0.62:
+            next_task_id += 1
+            doc["op"] = "admit"
+            doc["task"] = {
+                "task_id": next_task_id,
+                "arrival": now,
+                "deadline": now + rng.uniform(1.5, 4.0),
+                "costs": [rng.uniform(0.02, 0.12) for _ in range(stages)],
+                "importance": rng.randrange(3),
+            }
+            if name == "locked" and rng.random() < 0.6:
+                picks = rng.sample(
+                    [(s, r) for s in range(stages) for r in _CHAOS_RESOURCES],
+                    rng.randrange(1, 3),
+                )
+                doc["task"]["resources"] = [
+                    {
+                        "stage": stage,
+                        "resource": resource,
+                        "max_length": rng.uniform(0.0, 0.06),
+                    }
+                    for stage, resource in sorted(picks)
+                ]
+        elif roll < 0.74:
+            doc["op"] = "depart"
+            doc["task_id"] = rng.randrange(1, max(2, next_task_id + 1))
+            doc["stage"] = rng.randrange(stages)
+        elif roll < 0.84:
+            doc["op"] = "expire"
+            doc["now"] = now
+        elif roll < 0.92:
+            doc["op"] = "idle"
+            doc["stage"] = rng.randrange(stages)
+        else:
+            doc["op"] = "stats"
+            del doc["pipeline"]
+        return doc
+
+    def capacity_op(name: str, stage: int, capacity: float) -> Dict[str, Any]:
+        nonlocal ops_issued
+        ops_issued += 1
+        doc = envelope(name)
+        doc["op"] = "set_capacity"
+        doc["stage"] = stage
+        doc["capacity"] = capacity
+        return doc
+
+    def report_op(
+        name: str, stage: int, kind: str, ratio: Optional[float]
+    ) -> Dict[str, Any]:
+        nonlocal ops_issued
+        ops_issued += 1
+        doc = envelope(name)
+        doc["op"] = "report"
+        doc["stage"] = stage
+        doc["kind"] = kind
+        if ratio is not None:
+            doc["ratio"] = ratio
+        return doc
+
+    def settle_outstanding() -> None:
+        for doc in list(unacked.values()):
+            retry(doc)
+        if unacked:
+            drain_id = fresh_id()
+            drain_doc = {"id": drain_id, "op": "drain", "rid": f"r{drain_id}"}
+            send(drain_doc)
+            for doc in list(unacked.values()):
+                retry(doc)
+
+    def crash(kind: str, doc: Dict[str, Any]) -> None:
+        nonlocal durable, fingerprint_matches, fingerprint_mismatches
+        nonlocal response_mismatches
+        if kind == "torn":
+            durable.journal.append_torn(doc, keep=rng.uniform(0.1, 0.9))
+        elif kind == "after_journal":
+            durable.journal.append(doc)
+            shadow.handle_line(encode(doc))
+        else:  # after_apply — response lost mid-flight
+            line = encode(doc)
+            got = [response for _, response in durable.handle_line(line)]
+            want = [response for _, response in shadow.handle_line(line)]
+            if got != want:
+                response_mismatches += 1
+        crash_counts[kind] += 1
+        durable.close()
+        durable, report = recover(
+            root,
+            fsync=fsync,
+            snapshot_every=snapshot_every,
+            dedup_window=dedup_window,
+        )
+        recoveries.append(report)
+        if registry_fingerprint(durable) == registry_fingerprint(shadow):
+            fingerprint_matches += 1
+        else:
+            fingerprint_mismatches += 1
+        settle_outstanding()
+        check_region()
+
+    def snapshot_upgrade() -> None:
+        """Harvest a live snapshot, downgrade to v3, restore it (v3→v4)."""
+        upgrade["attempted"] = True
+        doc = envelope("web")
+        doc["op"] = "snapshot"
+        snapshot_doc = None
+        for line in send(doc):
+            response = json.loads(line)
+            if response.get("op") == "snapshot" and response.get("ok"):
+                snapshot_doc = response["snapshot"]
+        if snapshot_doc is None:
+            return
+        legacy = json.loads(json.dumps(snapshot_doc))
+        legacy.pop("degradation", None)
+        controller_doc = legacy["controller"]
+        controller_doc["format"] = SNAPSHOT_FORMAT_V3
+        controller_doc.pop("admission_seq", None)
+        controller_doc.pop("charges_follow_capacity", None)
+        for record in controller_doc["admitted"]:
+            record.pop("demand", None)
+            record.pop("seq", None)
+        # The clone serves fresh traffic counts, not web's history —
+        # carrying the counters over would double-count acked
+        # admissions against the harness ledger.
+        legacy["counters"] = {}
+        restore_doc = envelope("web-v3")
+        restore_doc["op"] = "restore"
+        restore_doc["snapshot"] = legacy
+        upgrade["restored"] = any(
+            response.get("op") == "restore" and response.get("ok")
+            for response in map(json.loads, send(restore_doc))
+        )
+
+    for name in sorted(_CHAOS_POLICIES):
+        register_doc = envelope(name)
+        register_doc["op"] = "register"
+        register_doc["policy"] = dict(_CHAOS_POLICIES[name])
+        send(register_doc)
+
+    for cycle in range(cycles):
+        kind = _CRASH_KINDS[cycle % len(_CRASH_KINDS)]
+        crash_at = rng.randrange(2, ops_per_cycle)
+        # Build this cycle's wave schedule: explicit drop + restore on
+        # one wave pipeline, and (every other cycle) a report wave on
+        # "web" — a drop burst followed by a restoring ok burst.
+        target = _WAVE_TARGETS[cycle % len(_WAVE_TARGETS)]
+        wave_stage = rng.randrange(_CHAOS_POLICIES[target]["num_stages"])
+        # Every fourth cycle is a full outage so the coverage gates
+        # hold for any seed; the rest draw a partial level.
+        if cycle % 4 == 1:
+            level = 0.0
+        else:
+            level = _DROP_LEVELS[1 + rng.randrange(len(_DROP_LEVELS) - 1)]
+        scheduled: List[Dict[str, Any]] = [
+            capacity_op(target, wave_stage, level)
+        ]
+        if cycle % 2 == 0:
+            report_stage = rng.randrange(_CHAOS_POLICIES["web"]["num_stages"])
+            drop_kind = "slowdown" if cycle % 4 == 0 else "overrun"
+            ratio = 0.5 if drop_kind == "slowdown" else 2.0
+            scheduled.extend(
+                report_op("web", report_stage, drop_kind, ratio)
+                for _ in range(_CHAOS_HYSTERESIS["confirm_drops"])
+            )
+            scheduled.extend(
+                report_op("web", report_stage, "ok", None)
+                for _ in range(_CHAOS_HYSTERESIS["confirm_restores"])
+            )
+            report_waves += 1
+        scheduled.append(capacity_op(target, wave_stage, 1.0))
+        # Exact literal from _DROP_LEVELS, not a computed float.
+        if level == 0.0:  # repro: noqa[FLT001] — outage sentinel is the literal 0.0
+            outages_applied += 1
+        else:
+            drops_applied += 1
+        restores_applied += 1
+        # Interleave the wave ops into the background stream at seeded
+        # positions, keeping their relative order (drop before restore).
+        slots = sorted(rng.randrange(ops_per_cycle) for _ in scheduled)
+        by_slot: Dict[int, List[Dict[str, Any]]] = {}
+        for slot, doc in zip(slots, scheduled):
+            by_slot.setdefault(slot, []).append(doc)
+        crashed = False
+        for index in range(ops_per_cycle):
+            for doc in by_slot.get(index, []):
+                issue(doc)
+                apply(doc)
+            doc = gen_op()
+            issue(doc)
+            if index == crash_at:
+                crash(kind, doc)
+                crashed = True
+                break
+            apply(doc)
+            if rng.random() < 0.15:
+                stall_retries += 1
+                retry(doc)
+        if crashed:
+            # Deliver the wave ops the crash preempted: degradation
+            # waves must complete (restore follows drop) even across a
+            # crash, exactly like a monitoring client would retry them.
+            for slot, docs in sorted(by_slot.items()):
+                if slot > crash_at:
+                    for doc in docs:
+                        issue(doc)
+                        apply(doc)
+        if cycle == cycles // 2:
+            snapshot_upgrade()
+
+    final_drain_id = fresh_id()
+    send({"id": final_drain_id, "op": "drain", "rid": f"r{final_drain_id}"})
+    for doc in list(unacked.values()):
+        retry(doc)
+
+    final_identical = registry_fingerprint(durable) == registry_fingerprint(shadow)
+    acked_admitted = sum(1 for decision in ledger.values() if decision is True)
+    counted_admitted = sum(
+        pipeline.counters.admitted for pipeline in durable.gateway.registry
+    )
+    sacrificed_total = sum(
+        pipeline.counters.sacrificed for pipeline in shadow.registry
+    )
+    rescales_total = sum(
+        pipeline.counters.rescales for pipeline in shadow.registry
+    )
+    confirmed_drops = sum(
+        pipeline.degradation.estimator.confirmed_drops
+        for pipeline in shadow.registry
+    )
+    confirmed_restores = sum(
+        pipeline.degradation.estimator.confirmed_restores
+        for pipeline in shadow.registry
+    )
+    durable.close()
+
+    return {
+        "format": DEGRADATION_CHAOS_REPORT_FORMAT,
+        "seed": seed,
+        "cycles": cycles,
+        "ops_per_cycle": ops_per_cycle,
+        "snapshot_every": snapshot_every,
+        "fsync": fsync,
+        "ops_issued": ops_issued,
+        "crashes": {**crash_counts, "total": sum(crash_counts.values())},
+        "stall_retries": stall_retries,
+        "waves": {
+            "drops": drops_applied,
+            "outages": outages_applied,
+            "restores": restores_applied,
+            "report_waves": report_waves,
+        },
+        "degradation": {
+            "rescales": rescales_total,
+            "sacrificed": sacrificed_total,
+            "confirmed_drops": confirmed_drops,
+            "confirmed_restores": confirmed_restores,
+            "region_violations": region_violations,
+        },
+        "snapshot_upgrade": dict(upgrade),
+        "recoveries": {
+            "count": len(recoveries),
+            "snapshot_loads": sum(1 for r in recoveries if r.snapshot_loaded),
+            "replayed": sum(r.replayed for r in recoveries),
+            "truncated_bytes": sum(r.truncated_bytes for r in recoveries),
+        },
+        "admissions": {
+            "acked_admitted": acked_admitted,
+            "counted_admitted": counted_admitted,
+            "lost": max(0, acked_admitted - counted_admitted),
+            "duplicated": max(0, counted_admitted - acked_admitted),
+            "decision_mismatches": decision_mismatches,
+            "response_mismatches": response_mismatches,
+            "unresolved": len(unacked),
+        },
+        "equivalence": {
+            "fingerprint_matches": fingerprint_matches,
+            "fingerprint_mismatches": fingerprint_mismatches,
+            "final_identical": final_identical,
+        },
+        "region_values": {
+            pipeline.name: pipeline.controller.region_value()
+            for pipeline in durable.gateway.registry
+        },
+    }
+
+
+def degradation_chaos_gate_failures(
+    report: Dict[str, Any], min_recoveries: int = 12
+) -> List[str]:
+    """Check a degradation-chaos report against the acceptance gates."""
+    failures: List[str] = []
+    admissions = report["admissions"]
+    if admissions["lost"]:
+        failures.append(f"{admissions['lost']} acked admissions lost to crashes")
+    if admissions["duplicated"]:
+        failures.append(f"{admissions['duplicated']} admissions double-counted")
+    if admissions["decision_mismatches"]:
+        failures.append(
+            f"{admissions['decision_mismatches']} retries changed their decision"
+        )
+    if admissions["response_mismatches"]:
+        failures.append(
+            f"{admissions['response_mismatches']} durable/shadow response divergences"
+        )
+    if admissions["unresolved"]:
+        failures.append(f"{admissions['unresolved']} requests never acknowledged")
+    degradation = report["degradation"]
+    if degradation["region_violations"]:
+        failures.append(
+            f"{degradation['region_violations']} post-repair region violations"
+        )
+    if degradation["rescales"] == 0:
+        failures.append("no capacity rescale was ever applied")
+    if degradation["sacrificed"] == 0:
+        failures.append("no repair ever had to sacrifice a task")
+    if degradation["confirmed_drops"] == 0:
+        failures.append("no observation-driven capacity drop was confirmed")
+    if degradation["confirmed_restores"] == 0:
+        failures.append("no observation-driven capacity restore was confirmed")
+    waves = report["waves"]
+    if waves["drops"] == 0:
+        failures.append("no explicit capacity drop wave ran")
+    if waves["outages"] == 0:
+        failures.append("no full-outage (capacity 0.0) wave ran")
+    if waves["restores"] == 0:
+        failures.append("no capacity restore wave ran")
+    equivalence = report["equivalence"]
+    if equivalence["fingerprint_mismatches"]:
+        failures.append(
+            f"{equivalence['fingerprint_mismatches']} post-recovery fingerprint "
+            "mismatches"
+        )
+    if not equivalence["final_identical"]:
+        failures.append("final durable/shadow fingerprints differ")
+    if report["recoveries"]["count"] < min_recoveries:
+        failures.append(
+            f"only {report['recoveries']['count']} crash/recover cycles ran "
+            f"(need >= {min_recoveries})"
+        )
+    for kind in _CRASH_KINDS:
+        if report["crashes"][kind] == 0:
+            failures.append(f"crash kind {kind!r} was never exercised")
+    if not report["snapshot_upgrade"]["restored"]:
+        failures.append("the v3-to-v4 snapshot upgrade restore did not succeed")
+    if report["recoveries"]["snapshot_loads"] == 0:
+        failures.append("no recovery ever loaded a compaction snapshot")
+    if report["stall_retries"] == 0:
+        failures.append("no slow-response stall retries were injected")
+    return failures

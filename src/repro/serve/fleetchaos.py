@@ -131,6 +131,7 @@ def run_fleet_chaos(
     fsync: bool = False,
     dedup_window: int = DEFAULT_DEDUP_WINDOW,
     miss_threshold: int = DEFAULT_MISS_THRESHOLD,
+    degradation: bool = False,
 ) -> Dict[str, Any]:
     """Run the fleet chaos gate; return its byte-stable report.
 
@@ -145,6 +146,9 @@ def run_fleet_chaos(
         fsync: Run worker journals with per-record fsync.
         dedup_window: Idempotency window size, fleet-wide.
         miss_threshold: Heartbeat misses before restart.
+        degradation: Mix authoritative ``set_capacity``/``report``
+            degradation ops into the stream, so worker failover also
+            has to replay capacity rescales and sacrifices bitwise.
     """
     if cycles < 1:
         raise ValueError(f"cycles must be >= 1, got {cycles}")
@@ -166,6 +170,7 @@ def run_fleet_chaos(
             fsync=fsync,
             dedup_window=dedup_window,
             miss_threshold=miss_threshold,
+            degradation=degradation,
         )
     finally:
         if owns_dir:
@@ -183,6 +188,7 @@ def _run_fleet_chaos(
     fsync: bool,
     dedup_window: int,
     miss_threshold: int,
+    degradation: bool = False,
 ) -> Dict[str, Any]:
     names = sorted(_FLEET_POLICIES)
     shard_map = ShardMap.balanced(names, workers)
@@ -231,6 +237,7 @@ def _run_fleet_chaos(
     stale_route_failures = 0
     heartbeat_rounds = 0
     ops_issued = 0
+    degradation_ops = [0]
     migrations: List[Dict[str, Any]] = []
 
     def fresh_id() -> int:
@@ -320,6 +327,22 @@ def _run_fleet_chaos(
         elif roll < 0.92:
             doc["op"] = "idle"
             doc["stage"] = rng.randrange(stages)
+        elif degradation and rng.random() < 0.67:
+            # The degradation cross: authoritative rescales (and the
+            # odd fault report) ride the same failover stream, so a
+            # restarted worker must replay re-charges and sacrifices
+            # bitwise.  The `degradation` guard short-circuits before
+            # the extra rng.random() call, keeping default-mode op
+            # streams byte-identical to earlier report versions.
+            degradation_ops[0] += 1
+            doc["stage"] = rng.randrange(stages)
+            if rng.random() < 0.7:
+                doc["op"] = "set_capacity"
+                doc["capacity"] = rng.choice((0.5, 0.7, 1.0))
+            else:
+                doc["op"] = "report"
+                doc["kind"] = "slowdown"
+                doc["ratio"] = rng.choice((0.5, 1.0))
         else:
             doc["op"] = "capacity"
             doc["stage"] = rng.randrange(stages)
@@ -569,6 +592,18 @@ def _run_fleet_chaos(
         for worker in fleet.workers
         if worker.gateway is not None
     )
+    fleet_rescales = sum(
+        pipeline.counters.rescales
+        for worker in fleet.workers
+        if worker.durable is not None
+        for pipeline in worker.durable.gateway.registry
+    )
+    fleet_sacrificed = sum(
+        pipeline.counters.sacrificed
+        for worker in fleet.workers
+        if worker.durable is not None
+        for pipeline in worker.durable.gateway.registry
+    )
     recoveries = fleet.recoveries
     fleet.close()
     shadow.close()
@@ -617,6 +652,11 @@ def _run_fleet_chaos(
             "truncated_bytes": sum(r.truncated_bytes for r in recoveries),
         },
         "dedup_hits": {"fleet": fleet_dedup, "shadow": shadow_dedup},
+        "degradation": {
+            "ops": degradation_ops[0],
+            "rescales": fleet_rescales,
+            "sacrificed": fleet_sacrificed,
+        },
         "admissions": {
             "acked_admitted": acked_admitted,
             "counted_admitted": counted_admitted,

@@ -426,6 +426,49 @@ class AdmissionGateway:
             )
         )
 
+    def _op_set_capacity(self, request: Dict[str, Any], origin: Any, routed: List[Routed]) -> None:
+        value = request.get("capacity")
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ProtocolError("bad-request", "capacity must be a number")
+        stage = _stage_operand(request)
+        pipeline = self._barrier(request, routed)
+        summary = pipeline.rescale_capacity(stage, float(value))
+        routed.append(
+            (
+                origin,
+                ok_response(
+                    request,
+                    capacities=list(pipeline.controller.stage_capacities()),
+                    sacrificed=summary["sacrificed"],
+                    region_value=summary["region_value"],
+                ),
+            )
+        )
+
+    def _op_report(self, request: Dict[str, Any], origin: Any, routed: List[Routed]) -> None:
+        kind = request.get("kind")
+        if not isinstance(kind, str):
+            raise ProtocolError("bad-request", "'kind' must be a string")
+        ratio = request.get("ratio")
+        if ratio is not None and (
+            not isinstance(ratio, (int, float)) or isinstance(ratio, bool)
+        ):
+            raise ProtocolError("bad-request", "'ratio' must be a number")
+        stage = _stage_operand(request)
+        pipeline = self._barrier(request, routed)
+        result = pipeline.report_observation(stage, kind, ratio)
+        routed.append(
+            (
+                origin,
+                ok_response(
+                    request,
+                    confirmed=result["confirmed"],
+                    capacity=result["capacity"],
+                    sacrificed=result["sacrificed"],
+                ),
+            )
+        )
+
     def _op_resync(self, request: Dict[str, Any], origin: Any, routed: List[Routed]) -> None:
         now = _time_operand(request)
         frontier = frontier_from_wire(request.get("frontier", {}))

@@ -819,6 +819,51 @@ def _chaos_fleet_main(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos_degradation_main(args: argparse.Namespace) -> int:
+    """``--chaos-degradation``: capacity-rescale + sacrifice gate (degchaos.py)."""
+    from .degchaos import degradation_chaos_gate_failures, run_degradation_chaos
+
+    payload = run_degradation_chaos(seed=args.seed, cycles=args.cycles)
+    rendered = render_report(payload)
+    min_recoveries = min(12, args.cycles)
+    if args.selftest:
+        replay = render_report(
+            run_degradation_chaos(seed=args.seed, cycles=args.cycles)
+        )
+        if replay != rendered:
+            print("selftest FAILED: replay produced different bytes", file=sys.stderr)
+            return 1
+        failures = degradation_chaos_gate_failures(
+            payload, min_recoveries=min_recoveries
+        )
+        if failures:
+            print(f"selftest FAILED: {'; '.join(failures)}", file=sys.stderr)
+            return 1
+        admissions = payload["admissions"]
+        degradation = payload["degradation"]
+        print(
+            f"selftest ok: chaos-degradation seed={args.seed} "
+            f"recoveries={payload['recoveries']['count']} "
+            f"rescales={degradation['rescales']} "
+            f"sacrificed={degradation['sacrificed']} "
+            f"region_violations={degradation['region_violations']} "
+            f"lost={admissions['lost']} duplicated={admissions['duplicated']} "
+            f"bytes={len(rendered)}"
+        )
+    else:
+        failures = degradation_chaos_gate_failures(
+            payload, min_recoveries=min_recoveries
+        )
+        sys.stdout.write(rendered)
+        if failures:
+            print(f"gate FAILED: {'; '.join(failures)}", file=sys.stderr)
+            return 1
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.serve.loadgen",
@@ -860,6 +905,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="run the shard-fleet failover chaos harness instead of a scenario",
     )
     parser.add_argument(
+        "--chaos-degradation",
+        action="store_true",
+        help="run the capacity-degradation chaos harness instead of a scenario",
+    )
+    parser.add_argument(
         "--compare-blocking",
         action="store_true",
         help="compare online PCP blocking bounds against the static "
@@ -869,7 +919,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--cycles",
         type=int,
         default=24,
-        help="crash/recover cycles for --chaos-crash / --chaos-fleet",
+        help="crash/recover cycles for --chaos-crash / --chaos-fleet / "
+        "--chaos-degradation",
     )
     parser.add_argument(
         "--workers",
@@ -890,6 +941,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _chaos_crash_main(args)
     if args.chaos_fleet:
         return _chaos_fleet_main(args)
+    if args.chaos_degradation:
+        return _chaos_degradation_main(args)
     if args.compare_blocking:
         return _compare_blocking_main(args)
     if args.scenario is None:

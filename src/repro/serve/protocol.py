@@ -42,7 +42,12 @@ Section-4 bookkeeping rules):
 ``depart``      Record a subtask departure (stage bookkeeping).
 ``idle``        Apply the idle-reset rule at one stage.
 ``expire``      Lapse contributions whose deadlines passed.
-``capacity``    Declare degraded stage capacity (region rescaling).
+``capacity``    Declare degraded stage capacity (prospective only —
+                future admissions are charged at the new level).
+``set_capacity``  Authoritative capacity change: re-charge the admitted
+                set, then sacrifice tasks until the region holds.
+``report``      Fault observation (overrun/slowdown/ok); confirmed
+                changes trigger the same rescale-and-repair.
 ``resync``      Rebuild controller state from a ground-truth frontier.
 ``snapshot``    Serialize full controller state.
 ``restore``     Instantiate a pipeline from a snapshot, then audit it.
@@ -88,6 +93,8 @@ OPS = (
     "idle",
     "expire",
     "capacity",
+    "set_capacity",
+    "report",
     "resync",
     "snapshot",
     "restore",

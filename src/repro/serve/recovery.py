@@ -242,7 +242,8 @@ def registry_fingerprint(gateway: Union[AdmissionGateway, DurableGateway]) -> st
     """Canonical JSON string of everything the durability contract covers.
 
     Includes per-pipeline policy, virtual clock, serving counters,
-    controller snapshot, and the *pending* admission-batch queue, plus
+    controller snapshot, degradation-manager state (capacity estimator
+    + sacrifice ledger), and the *pending* admission-batch queue, plus
     the gateway's drain flag and idempotency window.  Deliberately
     excludes ``op_counts``/``errors``/``dedup_hits`` — those are
     diagnostics (dedup hits, for one, are served without journaling).
@@ -260,6 +261,7 @@ def registry_fingerprint(gateway: Union[AdmissionGateway, DurableGateway]) -> st
                 "clock": pipeline.clock,
                 "counters": pipeline.counters.to_dict(),
                 "controller": controller_snapshot(pipeline.controller),
+                "degradation": pipeline.degradation.fingerprint_doc(),
                 "pending": [
                     task_to_wire(task) for task in pipeline.pending_tasks()
                 ],

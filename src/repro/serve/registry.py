@@ -23,6 +23,7 @@ from typing import Any, Dict, Hashable, Iterator, List, Optional, Tuple
 from ..core.admission import AdmissionDecision, PipelineAdmissionController
 from ..core.task import PipelineTask
 from .batching import AdmissionBatcher
+from .degradation import DegradationManager, hysteresis_from_wire
 from .protocol import ProtocolError
 from .snapshot import (
     controller_snapshot,
@@ -72,6 +73,10 @@ class PipelinePolicy:
         batch_window: Virtual-time admission batching window, or
             ``None``.
         max_batch: Admission batch size cap, or ``None``.
+        degradation: Capacity-hysteresis configuration for the online
+            degradation manager (see
+            :func:`repro.serve.degradation.hysteresis_from_wire`), or
+            ``None`` for the defaults.
     """
 
     num_stages: int
@@ -84,6 +89,7 @@ class PipelinePolicy:
     shedding: bool = False
     batch_window: Optional[float] = None
     max_batch: Optional[int] = None
+    degradation: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         if self.locking and self.betas is not None:
@@ -101,6 +107,7 @@ class PipelinePolicy:
         AdmissionBatcher(self.batch_window, self.max_batch)
         if self.demand is not None:
             demand_model_from_wire(self.demand)
+        hysteresis_from_wire(self.degradation)
 
     @property
     def batched(self) -> bool:
@@ -132,6 +139,7 @@ class PipelinePolicy:
             "shedding": self.shedding,
             "batch_window": self.batch_window,
             "max_batch": self.max_batch,
+            "degradation": self.degradation,
         }
 
     @classmethod
@@ -155,6 +163,7 @@ class PipelinePolicy:
             "shedding",
             "batch_window",
             "max_batch",
+            "degradation",
         }
         unknown = set(doc) - known
         if unknown:
@@ -181,6 +190,7 @@ class PipelinePolicy:
                 max_batch=(
                     None if doc.get("max_batch") is None else int(doc["max_batch"])
                 ),
+                degradation=doc.get("degradation"),
             )
             # Surface controller-level parameter errors (alpha range,
             # infeasible reservations, vector lengths) at registration
@@ -202,6 +212,8 @@ class ServeCounters:
     batches: int = 0
     largest_batch: int = 0
     resyncs: int = 0
+    rescales: int = 0
+    sacrificed: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return {
@@ -212,6 +224,8 @@ class ServeCounters:
             "batches": self.batches,
             "largest_batch": self.largest_batch,
             "resyncs": self.resyncs,
+            "rescales": self.rescales,
+            "sacrificed": self.sacrificed,
         }
 
     @classmethod
@@ -230,6 +244,9 @@ class ServedPipeline:
 
     def __post_init__(self) -> None:
         self.controller = self.policy.build_controller()
+        self.degradation = DegradationManager(
+            self.policy.num_stages, hysteresis_from_wire(self.policy.degradation)
+        )
         self._batcher: AdmissionBatcher[Tuple[Any, PipelineTask]] = AdmissionBatcher(
             self.policy.batch_window, self.policy.max_batch
         )
@@ -355,12 +372,60 @@ class ServedPipeline:
         self.controller.expire(now)
 
     def set_capacity(self, stage: int, capacity: float) -> None:
-        """Declare (possibly degraded) capacity at ``stage``."""
+        """Declare (possibly degraded) capacity at ``stage``.
+
+        Prospective only: future admissions are charged at the new
+        capacity, already-admitted charges stay put.  The online
+        degradation path is :meth:`rescale_capacity`.
+        """
         self._check_stage(stage)
         try:
             self.controller.set_stage_capacity(stage, capacity)
         except ValueError as exc:
             raise ProtocolError("bad-capacity", str(exc)) from exc
+
+    def rescale_capacity(self, stage: int, capacity: float) -> Dict[str, Any]:
+        """Authoritative capacity change: rescale admitted set, repair region.
+
+        The ``set_capacity`` wire op: re-charges every admitted task at
+        the new capacity vector and sacrifices tasks (brownout order)
+        until the feasible region holds again.
+
+        Raises:
+            ProtocolError: On an invalid stage or capacity value.
+        """
+        self._check_stage(stage)
+        try:
+            summary = self.degradation.apply_capacity(
+                self.controller, stage, capacity
+            )
+        except ValueError as exc:
+            raise ProtocolError("bad-capacity", str(exc)) from exc
+        self.counters.rescales += 1
+        self.counters.sacrificed += len(summary["sacrificed"])
+        return summary
+
+    def report_observation(
+        self, stage: int, kind: str, ratio: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Ingest one fault report (``report`` wire op).
+
+        Feeds the hysteresis estimator; on a *confirmed* capacity
+        change, performs the same rescale-and-repair as
+        :meth:`rescale_capacity`.
+
+        Raises:
+            ProtocolError: On an invalid stage, kind, or ratio.
+        """
+        self._check_stage(stage)
+        try:
+            result = self.degradation.observe(self.controller, stage, kind, ratio)
+        except ValueError as exc:
+            raise ProtocolError("bad-report", str(exc)) from exc
+        if result["confirmed"]:
+            self.counters.rescales += 1
+            self.counters.sacrificed += len(result["sacrificed"])
+        return result
 
     def resync(self, now: float, frontier: Dict[Hashable, int]) -> Dict[str, Any]:
         """Rebuild controller state from a ground-truth frontier."""
@@ -399,6 +464,7 @@ class ServedPipeline:
             "utilizations": list(self.controller.utilizations()),
             "capacities": list(self.controller.stage_capacities()),
             "admitted_live": len(self.controller.admitted_snapshot()),
+            "degradation": self.degradation.stats_doc(),
         }
 
     def snapshot(self) -> Dict[str, Any]:
@@ -418,6 +484,7 @@ class ServedPipeline:
             "clock": self._clock,
             "counters": self.counters.to_dict(),
             "controller": controller_snapshot(self.controller),
+            "degradation": self.degradation.state_doc(),
         }
 
     @classmethod
@@ -444,6 +511,11 @@ class ServedPipeline:
             pipeline.counters = ServeCounters.from_dict(doc["counters"])
             if doc.get("clock") is not None:
                 pipeline._clock = float(doc["clock"])
+            # Pipeline snapshots predating the degradation manager carry
+            # no "degradation" key; the fresh default (all-nominal
+            # estimate, empty ledger) is exactly their state.
+            if doc.get("degradation") is not None:
+                pipeline.degradation.load_state(doc["degradation"])
             return pipeline
         except ProtocolError:
             raise

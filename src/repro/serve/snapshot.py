@@ -16,14 +16,18 @@ the last ulp, and independent of the order the records are replayed
 in.  Schema v3 extends the records with each task's relative deadline
 and shared-resource declarations plus the controller's ``locking``
 flag, so the online PCP blocking state (``B_ij``, ``beta_j``, and the
-transactional region budget) is rebuilt bitwise as well — and a v3
+transactional region budget) is rebuilt bitwise as well — and a v3+
 restore refuses documents whose recorded beta vector disagrees with
-the vector re-derived from its own records.  Crash recovery
-(``repro.serve.recovery``) leans on this to prove a recovered gateway
-equivalent to one that never crashed.  Legacy v2 (no resource model)
-and v1 documents (rounded per-stage running sums) are still accepted:
-restore adopts the recorded state, which the controller carries
-forward exactly.
+the vector re-derived from its own records.  Schema v4 adds the
+degradation state: each record's raw admission-time demand and
+admission sequence number, plus the controller's admission counter
+and charges-follow-capacity flag, so online capacity rescales and
+sacrifice tie-breaks replay bitwise across crash recovery.  Crash
+recovery (``repro.serve.recovery``) leans on this to prove a
+recovered gateway equivalent to one that never crashed.  Legacy v3
+(no degradation state), v2 (no resource model) and v1 documents
+(rounded per-stage running sums) are still accepted: restore adopts
+the recorded state, which the controller carries forward exactly.
 
 Verification reuses the PR-2 machinery: :func:`verify_restored` runs
 the :class:`~repro.core.audit.ControllerAuditor` internal-consistency
@@ -49,6 +53,7 @@ __all__ = [
     "SNAPSHOT_FORMAT",
     "SNAPSHOT_FORMAT_V1",
     "SNAPSHOT_FORMAT_V2",
+    "SNAPSHOT_FORMAT_V3",
     "SUPPORTED_SNAPSHOT_FORMATS",
     "controller_snapshot",
     "restore_controller",
@@ -58,14 +63,22 @@ __all__ = [
 ]
 
 #: Version tag embedded in every snapshot document written today:
-#: schema v3 adds the locking flag plus per-record relative deadlines
-#: and shared-resource declarations, so a restored controller rebuilds
-#: the online PCP blocking state (``B_ij``, ``beta_j``, budget) bitwise.
-SNAPSHOT_FORMAT = "repro.serve.controller-snapshot/3"
+#: schema v4 adds the degradation state — per-record raw demand and
+#: admission sequence number, plus the controller's admission counter
+#: and charges-follow-capacity flag — so capacity rescales and
+#: sacrifice tie-breaks replay bitwise across crash recovery.
+SNAPSHOT_FORMAT = "repro.serve.controller-snapshot/4"
 
-#: Previous schema: exact per-stage accumulator state, no resource
-#: model.  Still accepted on restore (such controllers predate locking,
-#: so the missing fields default cleanly).
+#: Previous schema: the locking flag plus per-record relative deadlines
+#: and shared-resource declarations (online PCP blocking state), but no
+#: raw demand or admission sequence.  Restored records keep their
+#: charges pinned across capacity rescales; sequence numbers are
+#: assigned in record order.
+SNAPSHOT_FORMAT_V3 = "repro.serve.controller-snapshot/3"
+
+#: Exact per-stage accumulator state, no resource model.  Still
+#: accepted on restore (such controllers predate locking, so the
+#: missing fields default cleanly).
 SNAPSHOT_FORMAT_V2 = "repro.serve.controller-snapshot/2"
 
 #: Legacy schema: rounded per-stage running sums only.  Still accepted
@@ -73,7 +86,12 @@ SNAPSHOT_FORMAT_V2 = "repro.serve.controller-snapshot/2"
 SNAPSHOT_FORMAT_V1 = "repro.serve.controller-snapshot/1"
 
 #: Every format :func:`restore_controller` accepts, newest first.
-SUPPORTED_SNAPSHOT_FORMATS = (SNAPSHOT_FORMAT, SNAPSHOT_FORMAT_V2, SNAPSHOT_FORMAT_V1)
+SUPPORTED_SNAPSHOT_FORMATS = (
+    SNAPSHOT_FORMAT,
+    SNAPSHOT_FORMAT_V3,
+    SNAPSHOT_FORMAT_V2,
+    SNAPSHOT_FORMAT_V1,
+)
 
 
 def demand_model_to_wire(model: DemandModel) -> Dict[str, Any]:
@@ -135,9 +153,16 @@ def controller_snapshot(
             )
     admitted: List[Dict[str, Any]] = []
     tracked = [t.tracked_ids() for t in controller.trackers]
-    for task_id, contributions, expiry, importance, deadline, resources in sorted(
-        records
-    ):
+    for (
+        task_id,
+        contributions,
+        expiry,
+        importance,
+        deadline,
+        resources,
+        demand,
+        seq,
+    ) in sorted(records, key=lambda record: record[0]):
         # None marks a stage that no longer tracks the task (released
         # by an idle reset) — distinct from a tracked 0.0 contribution
         # (a zero-cost stage), which must survive the round trip so
@@ -160,6 +185,12 @@ def controller_snapshot(
                 # to rebuild B_ij / beta_j bitwise on restore.
                 "deadline": deadline,
                 "resources": resources_to_wire(resources),
+                # Schema v4: the raw demand charged at admission (None
+                # for records whose lineage predates v4 — their charges
+                # stay pinned across rescales) and the admission
+                # sequence number (sacrifice tie-break order).
+                "demand": None if demand is None else list(demand),
+                "seq": seq,
                 "live": live,
                 "departed": departed,
             }
@@ -173,6 +204,11 @@ def controller_snapshot(
         "reserved": [t.reserved for t in controller.trackers],
         "reset_on_idle": controller.reset_on_idle,
         "capacities": list(controller.stage_capacities()),
+        # Schema v4 degradation state: the monotonic admission counter
+        # and whether charges are a pure function of the capacities
+        # (set by an authoritative rescale).
+        "admission_seq": controller.admission_seq,
+        "charges_follow_capacity": controller.charges_follow_capacity,
         "demand_model": demand_model_to_wire(controller.demand_model),
         "admitted": admitted,
         # Rounded per-stage running sums: diagnostics, and what a v1
@@ -195,8 +231,8 @@ def restore_controller(
 ) -> PipelineAdmissionController:
     """Rebuild a controller from a :func:`controller_snapshot` document.
 
-    Accepts both schema v2 (exact accumulator state) and legacy v1
-    (rounded running sums); see :data:`SUPPORTED_SNAPSHOT_FORMATS`.
+    Accepts every schema from v4 down to legacy v1 (rounded running
+    sums); see :data:`SUPPORTED_SNAPSHOT_FORMATS`.
 
     Args:
         state: The snapshot document.
@@ -231,6 +267,11 @@ def restore_controller(
         if capacity != 1.0:
             controller.set_stage_capacity(stage, float(capacity))
     for record in state["admitted"]:
+        # demand/seq are read uniformly via .get() for every format —
+        # pre-v4 documents (and v4 documents downgraded by an old
+        # writer) restore with pinned charges and record-order sequence
+        # numbers, deterministically.
+        demand = record.get("demand")
         controller.load_admitted(
             task_id=record["task_id"],
             contributions=record["contributions"],
@@ -240,7 +281,13 @@ def restore_controller(
             departed_stages=record["departed"],
             deadline=float(record.get("deadline", 0.0)),
             resources=resources_from_wire(record.get("resources", [])),
+            demand=None if demand is None else [float(c) for c in demand],
+            seq=record.get("seq"),
         )
+    controller.load_degradation_state(
+        admission_seq=int(state.get("admission_seq", controller.admission_seq)),
+        charges_follow_capacity=bool(state.get("charges_follow_capacity", False)),
+    )
     if locking:
         # The online beta vector is derived state: replaying the
         # records through the blocking engine must land exactly on the
@@ -254,7 +301,7 @@ def restore_controller(
                 f"snapshot beta vector {recorded!r} does not match the "
                 f"blocking state rebuilt from its records {rebuilt!r}"
             )
-    if fmt in (SNAPSHOT_FORMAT, SNAPSHOT_FORMAT_V2):
+    if fmt in (SNAPSHOT_FORMAT, SNAPSHOT_FORMAT_V3, SNAPSHOT_FORMAT_V2):
         accumulators = state["accumulators"]
         if len(accumulators) != controller.num_stages:
             raise ValueError(

@@ -259,6 +259,24 @@ def _inject_budget_drift(c):
     return 0.0, None, None
 
 
+def _inject_capacity_drift(c):
+    admit(c, [0.2, 0.2], deadline=2.0)
+    c.rescale_stage_capacity(0, 0.8)
+    # A capacity mutated behind the controller's back: the charged
+    # contributions no longer match the demand/capacity re-derivation.
+    c._capacities[0] = 0.5
+    return 0.0, None, None
+
+
+def _inject_post_repair_feasibility(c):
+    admit(c, [0.3, 0.3], deadline=1.0)
+    # The rescale re-charges consistently (so capacity-drift stays
+    # silent), but the sacrifice pass was "skipped": the admitted set
+    # now violates the region.
+    c.rescale_stage_capacity(0, 0.4)
+    return 0.0, None, None
+
+
 def _inject_missed_departure(c):
     t = admit(c, [0.5, 0.5])
     return 1.0, {t.task_id: 1}, []  # departed stage 0, mark lost
@@ -277,6 +295,8 @@ _INJECTORS = {
     "expired-contribution": _inject_expired_contribution,
     "blocking-drift": _inject_blocking_drift,
     "budget-drift": _inject_budget_drift,
+    "capacity-drift": _inject_capacity_drift,
+    "post-repair-feasibility": _inject_post_repair_feasibility,
     "missed-departure": _inject_missed_departure,
     "missed-idle-reset": _inject_missed_idle_reset,
 }
@@ -302,6 +322,15 @@ def _clean_twin(kind, c):
         return 1.0, {t.task_id: 0}, []
     if kind == "orphan-contribution":
         admit(c, [0.3, 0.3])
+        return 0.0, None, None
+    if kind == "capacity-drift":
+        admit(c, [0.2, 0.2], deadline=2.0)
+        c.rescale_stage_capacity(0, 0.5)  # authoritative: charges follow
+        return 0.0, None, None
+    if kind == "post-repair-feasibility":
+        admit(c, [0.3, 0.3], deadline=1.0)
+        c.rescale_stage_capacity(0, 0.4)
+        c.repair_region()  # the sacrifice pass ran
         return 0.0, None, None
     if kind == "expired-contribution":
         admit(c, [0.2, 0.2], deadline=1.0)  # heap intact: expire() works
@@ -401,6 +430,8 @@ class TestViolationRendering:
             "expired-contribution",
             "blocking-drift",
             "budget-drift",
+            "capacity-drift",
+            "post-repair-feasibility",
             "missed-departure",
             "missed-idle-reset",
         }

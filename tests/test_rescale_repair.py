@@ -1,0 +1,221 @@
+"""Authoritative capacity rescale and region repair on the controller.
+
+ISSUE-9 core layer: :meth:`rescale_stage_capacity` re-charges the
+admitted set through the exact accumulator so a controller that
+rescales and then admits is *bitwise* identical to a fresh controller
+built at the new capacity, and :meth:`repair_region` evicts tasks in
+brownout order (ascending importance, admission seq as the tie-break)
+until the Eq. 12/15 region — with the locking-aware budget — holds
+again.
+"""
+
+import pytest
+
+from repro.core.admission import PipelineAdmissionController
+from repro.core.audit import diff_controllers
+from repro.core.bounds import region_budget
+from repro.core.task import make_task
+from repro.locking import ResourceSpec
+
+
+def _task(task_id, costs, deadline=1.0, importance=0, resources=()):
+    return make_task(
+        arrival_time=0.0,
+        deadline=deadline,
+        computation_times=costs,
+        importance=importance,
+        resources=resources,
+        task_id=task_id,
+    )
+
+
+def _admit_mixed(controller):
+    """Three admissions with distinct deadlines/importances (seqs 1..3)."""
+    for task in (
+        _task(1, [0.06, 0.04], deadline=2.0, importance=1),
+        _task(2, [0.05, 0.05], deadline=1.5),
+        _task(3, [0.04, 0.08], deadline=2.5, importance=2),
+    ):
+        assert controller.request(task, now=0.0).admitted
+
+
+class TestRescaleBitwise:
+    """The S2 regression: rescale-then-admit == fresh-at-new-capacity."""
+
+    def test_rescale_then_admit_matches_fresh_controller_bitwise(self):
+        lived = PipelineAdmissionController(2, alpha=0.9)
+        _admit_mixed(lived)
+        lived.rescale_stage_capacity(0, 0.7)
+
+        fresh = PipelineAdmissionController(2, alpha=0.9)
+        fresh.rescale_stage_capacity(0, 0.7)
+        _admit_mixed(fresh)
+
+        assert diff_controllers(lived, fresh) == []
+        # The *next* decision — the one the region cache could have
+        # poisoned — is bitwise the same on both sides.
+        probe = _task(9, [0.2, 0.2], deadline=1.0)
+        decided = lived.request(probe, now=0.0)
+        expected = fresh.request(probe, now=0.0)
+        assert decided.admitted == expected.admitted
+        assert decided.region_value == expected.region_value
+        assert diff_controllers(lived, fresh) == []
+
+    def test_prospective_set_leaves_charges_rescale_moves_them(self):
+        controller = PipelineAdmissionController(2, alpha=0.9)
+        _admit_mixed(controller)
+        before = {t[0]: t[1] for t in controller.iter_admitted()}
+
+        controller.set_stage_capacity(0, 0.5)
+        assert controller.charges_follow_capacity is False
+        assert {t[0]: t[1] for t in controller.iter_admitted()} == before
+
+        controller.rescale_stage_capacity(0, 0.5)
+        assert controller.charges_follow_capacity is True
+        after = {t[0]: t[1] for t in controller.iter_admitted()}
+        for task_id, contributions in after.items():
+            assert contributions[0] == before[task_id][0] * 2.0
+            assert contributions[1] == before[task_id][1]
+
+    def test_rescale_down_then_up_is_a_bitwise_round_trip(self):
+        lived = PipelineAdmissionController(2, alpha=0.9)
+        _admit_mixed(lived)
+        lived.rescale_stage_capacity(0, 0.6)
+        lived.rescale_stage_capacity(0, 1.0)
+
+        fresh = PipelineAdmissionController(2, alpha=0.9)
+        fresh.rescale_stage_capacity(0, 1.0)  # flag parity: charges follow
+        _admit_mixed(fresh)
+
+        assert diff_controllers(lived, fresh) == []
+
+    def test_rescale_rejects_bad_capacity_without_mutation(self):
+        controller = PipelineAdmissionController(2, alpha=0.9)
+        _admit_mixed(controller)
+        before = {t[0]: t[1] for t in controller.iter_admitted()}
+        for bad in (-0.1, 1.5, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                controller.rescale_stage_capacity(0, bad)
+        assert controller.stage_capacities() == (1.0, 1.0)
+        assert {t[0]: t[1] for t in controller.iter_admitted()} == before
+
+
+class TestRepairRegion:
+    def test_repair_on_a_feasible_set_is_a_noop(self):
+        controller = PipelineAdmissionController(2, alpha=0.9)
+        _admit_mixed(controller)
+        assert controller.region_ok()
+        assert controller.repair_region() == []
+        assert controller.is_admitted(1)
+
+    def test_victims_fall_in_importance_then_seq_order(self):
+        controller = PipelineAdmissionController(1, alpha=0.9)
+        # seq order 1..4; importance deliberately out of seq order.
+        for task_id, importance in ((1, 2), (2, 0), (3, 1), (4, 0)):
+            assert controller.request(
+                _task(task_id, [0.12], deadline=1.0, importance=importance),
+                now=0.0,
+            ).admitted
+        controller.rescale_stage_capacity(0, 0.3)
+        assert not controller.region_ok()
+        sacrificed = controller.repair_region()
+        assert controller.region_ok()
+        # Brownout order: importance 0 first (seq ties oldest-first),
+        # then importance 1 — and no deeper than necessary.
+        assert sacrificed == [2, 4, 3]
+        assert controller.is_admitted(1)
+
+    def test_outage_unconditionally_evicts_demand_bearing_tasks(self):
+        controller = PipelineAdmissionController(2, alpha=0.9)
+        uses_both = _task(1, [0.05, 0.05], deadline=2.0, importance=5)
+        spares_first = _task(2, [0.0, 0.05], deadline=2.0)
+        assert controller.request(uses_both, now=0.0).admitted
+        assert controller.request(spares_first, now=0.0).admitted
+
+        controller.rescale_stage_capacity(0, 0.0)
+        sacrificed = controller.repair_region()
+        # Importance cannot save a task the dead stage must serve; the
+        # task with no demand there rides out the outage.
+        assert sacrificed == [1]
+        assert not controller.is_admitted(1)
+        assert controller.is_admitted(2)
+        assert controller.region_ok()
+
+    def test_restoring_capacity_never_sacrifices(self):
+        controller = PipelineAdmissionController(2, alpha=0.9)
+        _admit_mixed(controller)
+        controller.rescale_stage_capacity(0, 0.5)
+        controller.repair_region()
+        survivors = sorted(t[0] for t in controller.iter_admitted())
+        controller.rescale_stage_capacity(0, 1.0)
+        assert controller.repair_region() == []
+        assert sorted(t[0] for t in controller.iter_admitted()) == survivors
+
+    def test_outage_rejects_new_demand_until_restored(self):
+        controller = PipelineAdmissionController(2, alpha=0.9)
+        controller.rescale_stage_capacity(0, 0.0)
+        needs_dead_stage = _task(1, [0.05, 0.05], deadline=2.0)
+        assert not controller.request(needs_dead_stage, now=0.0).admitted
+        controller.rescale_stage_capacity(0, 1.0)
+        assert controller.request(needs_dead_stage, now=0.0).admitted
+
+
+class TestLockingRepair:
+    """S3: capacity drops under ``locking=True`` re-preview ``beta_j``."""
+
+    def _locked_trio(self):
+        """Tight anchor (keep), blocker (beta 0.5), bulk utilization.
+
+        The blocker's 0.2-long critical section against the anchor's
+        0.4 deadline yields ``beta = 0.5`` and squeezes the budget to
+        ``0.9 * (1 - 0.5)``.
+        """
+        controller = PipelineAdmissionController(1, alpha=0.9, locking=True)
+        anchor = _task(
+            1, [0.06], deadline=0.4, importance=2,
+            resources=[ResourceSpec(0, "r", 0.0)],
+        )
+        blocker = _task(
+            2, [0.02], deadline=4.0, importance=1,
+            resources=[ResourceSpec(0, "r", 0.2)],
+        )
+        bulk = _task(3, [0.07], deadline=1.0, importance=0)
+        for task in (anchor, blocker, bulk):
+            assert controller.request(task, now=0.0).admitted
+        assert controller.betas == (0.5,)
+        assert controller.budget == region_budget(0.9, (0.5,))
+        return controller
+
+    def test_sacrificing_the_blocker_restores_the_budget(self):
+        controller = self._locked_trio()
+        controller.rescale_stage_capacity(0, 0.3)
+        assert not controller.region_ok()
+        sacrificed = controller.repair_region()
+        # Evicting the bulk task alone leaves the rescaled utilization
+        # of anchor+blocker above the blocking-squeezed budget, so the
+        # plan is refused and the repair keeps going: the blocker falls
+        # too, releasing its critical section — beta_j re-previews to
+        # zero and the budget springs back before the plan is accepted.
+        assert sacrificed == [3, 2]
+        assert controller.is_admitted(1)
+        assert controller.betas == (0.0,)
+        assert controller.budget == region_budget(0.9, (0.0,))
+        assert controller.region_ok()
+
+    def test_mild_drop_keeps_the_blocker_and_its_beta(self):
+        controller = self._locked_trio()
+        controller.rescale_stage_capacity(0, 0.9)
+        # A 10% slowdown fits inside the blocking-squeezed budget:
+        # nothing is sacrificed and the beta preview stands.
+        assert controller.region_ok()
+        assert controller.repair_region() == []
+        assert controller.betas == (0.5,)
+
+    def test_repair_admits_no_cheaper_plan_than_the_blocking_budget(self):
+        controller = self._locked_trio()
+        controller.rescale_stage_capacity(0, 0.3)
+        # Hypothetical bulk-only plan: simulate it via withdraw on a
+        # twin and show the region still fails — the repair loop above
+        # was not evicting the blocker gratuitously.
+        controller.withdraw(3)
+        assert not controller.region_ok()

@@ -1,0 +1,270 @@
+"""Retry-storm hardening: the client retry budget and full jitter.
+
+ISSUE-9 satellite: backoff paces one client, but a fleet of clients
+retrying into a degraded gateway multiplies offered load exactly when
+capacity is lowest.  These tests pin the two brakes added for that:
+
+* :class:`RetryBudget` — a token bucket shared across clients that
+  caps fleet-wide retry amplification (each success earns ``refill``
+  tokens, each retry spends one), and
+* ``RetryPolicy(full_jitter=True)`` — delays drawn uniform in
+  ``[0, base * multiplier**k]`` so synchronized retriers spread out
+  over the whole window.
+
+Everything runs on the FakeTime clock: the storm is replayed dry and
+every assertion is exact arithmetic on the schedule.
+"""
+
+import random
+
+import pytest
+
+from repro.serve.client import (
+    GatewayClient,
+    GatewayTimeout,
+    InProcessTransport,
+    RetryBudget,
+    RetryPolicy,
+    RetryingGatewayClient,
+)
+from repro.serve.gateway import AdmissionGateway
+
+
+class FakeTime:
+    """A clock that only sleep() advances — the schedule, replayed dry."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.sleeps = []
+
+    def clock(self) -> float:
+        return self.now
+
+    def sleep(self, delay: float) -> None:
+        self.sleeps.append(delay)
+        self.now += delay
+
+
+class _OutageTransport(InProcessTransport):
+    """Times out every submit until ``recover()`` is called."""
+
+    def __init__(self, gateway) -> None:
+        super().__init__(gateway)
+        self.attempts = 0
+        self.down = True
+
+    def recover(self) -> None:
+        self.down = False
+
+    def submit(self, line):
+        self.attempts += 1
+        if self.down:
+            raise GatewayTimeout("injected outage")
+        return super().submit(line)
+
+
+def _flat_policy(max_attempts=4):
+    # base 1s, no growth, no jitter: the storm schedule is exact.
+    return RetryPolicy(
+        base_delay=1.0, multiplier=1.0, max_attempts=max_attempts, jitter=0.0
+    )
+
+
+def _retrying(transport, policy, fake, budget=None, prefix="rid"):
+    return RetryingGatewayClient(
+        connect=lambda: GatewayClient(transport),
+        policy=policy,
+        budget=budget,
+        rid_factory=iter(f"{prefix}-{n}" for n in range(1000)).__next__,
+        clock=fake.clock,
+        sleep=fake.sleep,
+    )
+
+
+class TestRetryBudgetBucket:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RetryBudget(capacity=0.0)
+        with pytest.raises(ValueError):
+            RetryBudget(capacity=-1.0)
+        with pytest.raises(ValueError):
+            RetryBudget(refill=-0.1)
+        with pytest.raises(ValueError):
+            RetryBudget(initial=-1.0)
+        with pytest.raises(ValueError):
+            RetryBudget(capacity=float("inf"))
+
+    def test_spend_and_deposit_arithmetic(self):
+        budget = RetryBudget(capacity=2.0, refill=0.5, initial=1.0)
+        assert budget.try_spend() is True
+        assert budget.tokens == 0.0
+        assert budget.try_spend() is False
+        assert budget.denied == 1
+        budget.deposit()
+        budget.deposit()
+        assert budget.tokens == 1.0
+        assert budget.try_spend() is True
+        # Deposits never bank past capacity.
+        for _ in range(100):
+            budget.deposit()
+        assert budget.tokens == 2.0
+
+    def test_initial_is_clamped_to_capacity(self):
+        assert RetryBudget(capacity=3.0, initial=50.0).tokens == 3.0
+
+    def test_fractional_refill_needs_whole_tokens(self):
+        # 0.1-per-success refill: nine successes are not enough credit
+        # for one retry; the tenth is.
+        budget = RetryBudget(capacity=10.0, refill=0.1, initial=0.0)
+        for _ in range(9):
+            budget.deposit()
+        assert budget.try_spend() is False
+        budget.deposit()
+        assert budget.try_spend() is True
+
+
+class TestBudgetedClient:
+    def test_denied_budget_abandons_despite_attempt_and_deadline_room(self):
+        fake = FakeTime()
+        transport = _OutageTransport(AdmissionGateway())
+        budget = RetryBudget(capacity=5.0, initial=0.0)
+        client = _retrying(
+            transport, _flat_policy(max_attempts=10), fake, budget=budget
+        )
+        with pytest.raises(GatewayTimeout):
+            client.call("health", deadline=100.0)
+        assert client.retries == 0
+        assert client.budget_denied == 1
+        assert client.abandoned == 1
+        assert fake.sleeps == []  # denied *before* sleeping
+        assert transport.attempts == 1
+
+    def test_success_deposits_refill(self):
+        fake = FakeTime()
+        transport = _OutageTransport(AdmissionGateway())
+        transport.recover()
+        budget = RetryBudget(capacity=10.0, refill=0.5, initial=0.0)
+        client = _retrying(transport, _flat_policy(), fake, budget=budget)
+        for _ in range(4):
+            assert client.call("health")["ok"] is True
+        assert budget.tokens == 2.0
+
+    def test_attempt_exhaustion_is_not_counted_as_budget_denial(self):
+        # The attempt cap fires before the budget is consulted, so a
+        # client that simply ran out of attempts leaves the bucket
+        # untouched by the final failure.
+        fake = FakeTime()
+        transport = _OutageTransport(AdmissionGateway())
+        budget = RetryBudget(capacity=10.0, initial=10.0)
+        client = _retrying(transport, _flat_policy(max_attempts=3), fake, budget=budget)
+        with pytest.raises(GatewayTimeout):
+            client.call("health")
+        assert client.retries == 2
+        assert client.budget_denied == 0
+        assert budget.tokens == 8.0
+
+
+class TestRetryStorm:
+    def _storm(self, budget):
+        """Eight clients hammer a dead gateway, then four recover calls."""
+        fake = FakeTime()
+        transport = _OutageTransport(AdmissionGateway())
+        clients = [
+            _retrying(
+                transport,
+                _flat_policy(max_attempts=4),
+                fake,
+                budget=budget,
+                prefix=f"c{n}",
+            )
+            for n in range(8)
+        ]
+        for client in clients:
+            with pytest.raises(GatewayTimeout):
+                client.call("health")
+        during_outage = transport.attempts
+        transport.recover()
+        for client in clients[:4]:
+            assert client.call("health")["ok"] is True
+        return fake, transport, clients, during_outage
+
+    def test_shared_budget_caps_fleet_amplification(self):
+        # 5 banked tokens, 8 clients, 3 retries each if unconstrained
+        # (24 fleet-wide).  The bucket admits exactly 5 retries:
+        # client 0 takes 3 (then hits its attempt cap), client 1 takes
+        # 2 and is denied the third, clients 2..7 are denied their
+        # first.  Offered load during the outage is 13 submits, not 32.
+        budget = RetryBudget(capacity=5.0, refill=0.5, initial=5.0)
+        fake, transport, clients, during_outage = self._storm(budget)
+        assert [c.retries for c in clients] == [3, 2, 0, 0, 0, 0, 0, 0]
+        assert [c.budget_denied for c in clients] == [0, 1, 1, 1, 1, 1, 1, 1]
+        assert sum(c.abandoned for c in clients) == 8
+        assert during_outage == 13
+        assert budget.denied == 7
+        # The four recovery successes re-earn 0.5 each.
+        assert budget.tokens == 2.0
+        assert fake.sleeps == [1.0] * 5
+
+    def test_unbudgeted_storm_baseline(self):
+        # Same storm with no budget: every client burns its full
+        # attempt allowance — the amplification the bucket prevents.
+        fake, transport, clients, during_outage = self._storm(None)
+        assert [c.retries for c in clients] == [3] * 8
+        assert during_outage == 32
+        assert fake.sleeps == [1.0] * 24
+
+    def test_storm_is_deterministic(self):
+        first = self._storm(RetryBudget(capacity=5.0, refill=0.5, initial=5.0))
+        second = self._storm(RetryBudget(capacity=5.0, refill=0.5, initial=5.0))
+        assert first[0].sleeps == second[0].sleeps
+        assert [c.retries for c in first[2]] == [c.retries for c in second[2]]
+
+
+class TestFullJitter:
+    def test_delays_span_the_full_window(self):
+        policy = RetryPolicy(
+            base_delay=1.0, multiplier=2.0, max_attempts=8, full_jitter=True, seed=7
+        )
+        rng = random.Random(policy.seed)
+        delays = [policy.delay(attempt, rng) for attempt in range(6)]
+        for attempt, delay in enumerate(delays):
+            assert 0.0 <= delay <= 2.0**attempt
+        # Seeded: the exact same schedule replays.
+        replay = random.Random(7)
+        assert delays == [policy.delay(attempt, replay) for attempt in range(6)]
+
+    def test_full_jitter_overrides_the_symmetric_fraction(self):
+        # jitter=0.0 would mean "no jitter" under the symmetric scheme;
+        # full_jitter ignores the fraction entirely.
+        policy = RetryPolicy(
+            base_delay=1.0, multiplier=1.0, jitter=0.0, full_jitter=True, seed=1
+        )
+        rng = random.Random(policy.seed)
+        delays = {policy.delay(0, rng) for _ in range(8)}
+        assert len(delays) > 1
+        assert all(0.0 <= delay <= 1.0 for delay in delays)
+
+    def test_synchronized_retriers_decorrelate(self):
+        # Two clients failing at the same instants sleep *different*
+        # schedules under full jitter (distinct seeds), where the
+        # no-jitter policy would march them in lockstep.
+        schedules = []
+        for seed in (11, 12):
+            fake = FakeTime()
+            transport = _OutageTransport(AdmissionGateway())
+            client = _retrying(
+                transport,
+                RetryPolicy(
+                    base_delay=1.0,
+                    multiplier=2.0,
+                    max_attempts=4,
+                    full_jitter=True,
+                    seed=seed,
+                ),
+                fake,
+            )
+            with pytest.raises(GatewayTimeout):
+                client.call("health")
+            schedules.append(fake.sleeps)
+        assert len(schedules[0]) == len(schedules[1]) == 3
+        assert schedules[0] != schedules[1]

@@ -22,6 +22,7 @@ from repro.serve.snapshot import (
     SNAPSHOT_FORMAT,
     SNAPSHOT_FORMAT_V1,
     SNAPSHOT_FORMAT_V2,
+    SNAPSHOT_FORMAT_V3,
     SUPPORTED_SNAPSHOT_FORMATS,
     controller_snapshot,
     demand_model_from_wire,
@@ -204,19 +205,37 @@ class TestValidation:
             demand_model_from_wire({"kind": "quadratic"})
 
     def test_format_constant_is_versioned(self):
-        assert SNAPSHOT_FORMAT.endswith("/3")
+        assert SNAPSHOT_FORMAT.endswith("/4")
+        assert SNAPSHOT_FORMAT_V3.endswith("/3")
         assert SNAPSHOT_FORMAT_V2.endswith("/2")
         assert SNAPSHOT_FORMAT_V1.endswith("/1")
         assert SUPPORTED_SNAPSHOT_FORMATS == (
             SNAPSHOT_FORMAT,
+            SNAPSHOT_FORMAT_V3,
             SNAPSHOT_FORMAT_V2,
             SNAPSHOT_FORMAT_V1,
         )
 
 
+def _as_v3_document(doc):
+    """Down-convert a v4 snapshot to what a v3 writer would have produced."""
+    legacy = {
+        k: v
+        for k, v in doc.items()
+        if k not in ("admission_seq", "charges_follow_capacity")
+    }
+    legacy["admitted"] = [
+        {k: v for k, v in record.items() if k not in ("demand", "seq")}
+        for record in doc["admitted"]
+    ]
+    legacy["format"] = SNAPSHOT_FORMAT_V3
+    return legacy
+
+
 def _as_v1_document(doc):
-    """Down-convert a v2 snapshot to what a v1 writer would have produced."""
-    legacy = {k: v for k, v in doc.items() if k != "accumulators"}
+    """Down-convert a v4 snapshot to what a v1 writer would have produced."""
+    legacy = _as_v3_document(doc)
+    del legacy["accumulators"]
     legacy["format"] = SNAPSHOT_FORMAT_V1
     return legacy
 
@@ -255,10 +274,11 @@ class TestV1Compat:
 
     @pytest.mark.parametrize("seed", range(3))
     def test_v1_lineage_upgrades_to_byte_stable_v2(self, seed):
-        """v1 restore → v2 snapshot → restore → v2 snapshot is a fixpoint.
+        """v1 restore → v4 snapshot → restore → v4 snapshot is a fixpoint.
 
-        The first v2 document after an upgrade adopts the legacy rounded
-        totals; every round trip from there on must be byte-identical.
+        The first upgraded document after a legacy restore adopts the
+        legacy rounded totals; every round trip from there on must be
+        byte-identical.
         """
         controller, _ = _busy_controller(seed)
         legacy = _as_v1_document(controller_snapshot(controller))
@@ -268,3 +288,74 @@ class TestV1Compat:
         assert json.dumps(upgraded, sort_keys=True) == json.dumps(
             again, sort_keys=True
         )
+
+
+class TestV3Compat:
+    """Pre-degradation snapshots (v3) restore and upgrade deterministically."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_v3_restore_audits_clean_and_decides_the_same_tail(self, seed):
+        controller, now = _busy_controller(seed)
+        legacy = _as_v3_document(controller_snapshot(controller))
+        restored = restore_controller(legacy)
+        assert verify_restored(restored, now) == []
+        original_tail = _decide_tail(controller, now)
+        restored_tail = _decide_tail(restored, now)
+        assert [(a, s) for a, s, _ in original_tail] == [
+            (a, s) for a, s, _ in restored_tail
+        ]
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_v3_restore_assigns_deterministic_seqs(self, seed):
+        """Legacy records take sequence numbers in document (task id) order."""
+        controller, _ = _busy_controller(seed)
+        legacy = _as_v3_document(controller_snapshot(controller))
+        restored = restore_controller(legacy)
+        records = sorted(restored.iter_admitted(), key=lambda r: r[0])
+        assert [r[7] for r in records] == list(range(1, len(records) + 1))
+        assert restored.admission_seq == len(records)
+        # Legacy records never persisted raw demand: charges stay
+        # pinned across future rescales.
+        assert all(r[6] is None for r in records)
+        assert restored.charges_follow_capacity is False
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_v3_lineage_upgrades_to_byte_stable_v4(self, seed):
+        """v3 restore → v4 snapshot → restore → v4 snapshot is a fixpoint."""
+        controller, _ = _busy_controller(seed)
+        legacy = _as_v3_document(controller_snapshot(controller))
+        upgraded = controller_snapshot(restore_controller(legacy))
+        assert upgraded["format"] == SNAPSHOT_FORMAT
+        again = controller_snapshot(restore_controller(upgraded))
+        assert json.dumps(upgraded, sort_keys=True) == json.dumps(
+            again, sort_keys=True
+        )
+
+
+class TestV4Degradation:
+    """v4 documents carry the degradation state bitwise."""
+
+    def test_v4_round_trips_demand_seq_and_flags(self):
+        controller, now = _busy_controller(3)
+        controller.rescale_stage_capacity(1, 0.5)
+        controller.repair_region()
+        doc = controller_snapshot(controller)
+        assert doc["charges_follow_capacity"] is True
+        assert doc["admission_seq"] == controller.admission_seq
+        restored = restore_controller(doc)
+        assert verify_restored(restored, now) == []
+        assert restored.charges_follow_capacity is True
+        assert restored.admission_seq == controller.admission_seq
+        assert sorted(restored.iter_admitted()) == sorted(
+            controller.iter_admitted()
+        )
+        assert json.dumps(doc, sort_keys=True) == json.dumps(
+            controller_snapshot(restored), sort_keys=True
+        )
+
+    def test_admission_seq_below_record_maximum_is_refused(self):
+        controller, _ = _busy_controller(1)
+        doc = controller_snapshot(controller)
+        doc["admission_seq"] = 0
+        with pytest.raises(ValueError, match="admission_seq"):
+            restore_controller(doc)
