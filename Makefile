@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-sarif typecheck check chaos serve-smoke bench bench-smoke
+.PHONY: test lint lint-sarif typecheck check chaos serve-smoke bench bench-smoke bench-protocol
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -45,12 +45,20 @@ bench:
 		--ignore=benchmarks/bench_lint.py \
 		--ignore=benchmarks/bench_locking.py \
 		--ignore=benchmarks/bench_degradation.py \
+		--ignore=benchmarks/bench_protocol.py \
 		--benchmark-json=BENCH_serve.json
 	$(PYTHON) -m pytest benchmarks/bench_core_hotpath.py benchmarks/bench_lint.py \
 		benchmarks/bench_locking.py benchmarks/bench_degradation.py \
+		benchmarks/bench_protocol.py \
 		-q -o addopts="" \
 		--benchmark-only --benchmark-json=BENCH_core.json
 	@echo "wrote BENCH_serve.json and BENCH_core.json"
+
+# Protocol-layer microbenchmarks alone (framing, decode, task decode,
+# batch encode), with their comparison printouts.
+bench-protocol:
+	$(PYTHON) -m pytest benchmarks/bench_protocol.py -q -o addopts="" \
+		--benchmark-only -s
 
 # CI regression gate: the hot-path + analyzer suites at reduced
 # iterations (REPRO_BENCH_SMOKE=1), failing when any benchmark runs
@@ -59,7 +67,7 @@ bench:
 bench-smoke:
 	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/bench_core_hotpath.py \
 		benchmarks/bench_lint.py benchmarks/bench_locking.py \
-		benchmarks/bench_degradation.py \
+		benchmarks/bench_degradation.py benchmarks/bench_protocol.py \
 		-q -o addopts="" --benchmark-only \
 		--benchmark-json=BENCH_core_smoke.json
 	$(PYTHON) benchmarks/check_bench_regression.py BENCH_core_smoke.json \

@@ -1,0 +1,178 @@
+"""Protocol-layer microbenchmarks: framing, decode, task decode, encode.
+
+The four per-line costs between the socket and the admission engine,
+each measured against the reference implementation it is pinned to:
+
+- ``NdjsonFramer.feed`` over socket-sized chunks vs a whole-payload
+  ``splitlines`` (the framer must pay for incremental delivery and
+  limit enforcement without losing to the batch primitive);
+- ``parse_request`` (screened orjson fast path) vs
+  ``_parse_request_strict`` (the stdlib reference both paths must
+  agree with byte-for-byte);
+- ``task_from_wire`` (all-float fast loop + ``__new__``) on admit-op
+  task payloads;
+- ``admit_response_batch`` vs per-item ``admit_response``, the flush
+  encoder amortization.
+
+Run via ``make bench`` (folded into ``BENCH_serve.json``) or
+standalone; every workload shrinks ~5x under ``REPRO_BENCH_SMOKE=1``
+so the file stays cheap enough for ad-hoc runs on shared machines.
+"""
+
+import json
+import os
+import random
+import time
+
+from repro.core.task import make_task
+from repro.serve.protocol import (
+    NdjsonFramer,
+    _parse_request_strict,
+    admit_response,
+    admit_response_batch,
+    parse_request,
+    task_from_wire,
+    task_to_wire,
+)
+
+from conftest import run_once
+
+NUM_STAGES = 3
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+#: Lines per decode/frame workload.
+LINE_COUNT = 2000 if SMOKE else 10_000
+
+#: Items per encode workload.
+ENCODE_COUNT = 2000 if SMOKE else 10_000
+
+#: Socket read size mirrored from ``GatewayServer.READ_CHUNK``.
+CHUNK_SIZE = 64 * 1024
+
+#: Framer line limit mirrored from ``GatewayServer.READER_LIMIT``.
+LINE_LIMIT = 4 << 20
+
+
+def _admit_lines(count=LINE_COUNT, num_stages=NUM_STAGES):
+    rng = random.Random(7)
+    t = 0.0
+    lines = []
+    for task_id in range(count):
+        t += rng.expovariate(300.0)
+        task = make_task(
+            arrival_time=t,
+            deadline=rng.uniform(0.3, 1.0),
+            computation_times=[
+                rng.expovariate(1.0 / 0.01) for _ in range(num_stages)
+            ],
+            importance=rng.randrange(3),
+            task_id=task_id,
+        )
+        lines.append(
+            json.dumps({
+                "id": task_id,
+                "rid": f"r{task_id}",
+                "op": "admit",
+                "pipeline": "bench",
+                "task": task_to_wire(task),
+            })
+        )
+    return lines
+
+
+def test_framer_feed(benchmark):
+    """Incremental framing over 64 KiB chunks vs whole-payload splitlines."""
+    payload = ("\n".join(_admit_lines()) + "\n").encode()
+    chunks = [
+        payload[i:i + CHUNK_SIZE] for i in range(0, len(payload), CHUNK_SIZE)
+    ]
+
+    def frame_incremental():
+        framer = NdjsonFramer(LINE_LIMIT)
+        frames = 0
+        for chunk in chunks:
+            frames += len(framer.feed(chunk))
+        return frames
+
+    start = time.perf_counter()
+    reference = len(payload.splitlines())
+    split_seconds = time.perf_counter() - start
+    frames = run_once(benchmark, frame_incremental)
+    assert frames == reference == LINE_COUNT
+    incremental = benchmark.stats.stats.min
+    print(
+        f"\nframer feed: {frames / incremental:,.0f} lines/s incremental vs "
+        f"{frames / split_seconds:,.0f} lines/s splitlines "
+        f"({incremental / split_seconds:.1f}x the batch primitive's cost)"
+    )
+
+
+def test_parse_request_fast_vs_strict(benchmark):
+    """Screened orjson decode vs the stdlib strict reference parser."""
+    lines = _admit_lines()
+
+    def parse_fast():
+        for line in lines:
+            parse_request(line)
+
+    def parse_strict():
+        for line in lines:
+            _parse_request_strict(line)
+
+    start = time.perf_counter()
+    parse_strict()
+    strict = time.perf_counter() - start
+    run_once(benchmark, parse_fast)
+    fast = benchmark.stats.stats.min
+    print(
+        f"\nparse_request: {len(lines) / fast:,.0f} lines/s fast path vs "
+        f"{len(lines) / strict:,.0f} lines/s strict ({strict / fast:.1f}x)"
+    )
+
+
+def test_task_from_wire(benchmark):
+    """Admit-payload task decode (the all-float fast loop)."""
+    docs = [json.loads(line)["task"] for line in _admit_lines()]
+
+    def decode():
+        for doc in docs:
+            task_from_wire(doc)
+
+    run_once(benchmark, decode)
+    rate = len(docs) / benchmark.stats.stats.min
+    print(f"\ntask_from_wire: {rate:,.0f} tasks/s")
+
+
+def test_admit_response_batch_vs_per_item(benchmark):
+    """The one-pass flush encoder vs a per-decision encode loop."""
+    rng = random.Random(11)
+    items = [
+        (
+            {"id": k, "op": "admit", "rid": f"r{k}"},
+            bool(k % 3),
+            rng.random(),
+            (),
+        )
+        for k in range(ENCODE_COUNT)
+    ]
+
+    def encode_per_item():
+        return [
+            admit_response(
+                request, admitted=admitted, region_value=value, shed=shed
+            )
+            for request, admitted, value, shed in items
+        ]
+
+    start = time.perf_counter()
+    reference = encode_per_item()
+    per_item = time.perf_counter() - start
+    batch = run_once(benchmark, admit_response_batch, items)
+    assert batch == reference
+    batched = benchmark.stats.stats.min
+    print(
+        f"\nadmit_response_batch: {len(items) / batched:,.0f} items/s vs "
+        f"per-item {len(items) / per_item:,.0f} items/s "
+        f"({per_item / batched:.1f}x)"
+    )

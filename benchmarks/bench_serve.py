@@ -15,13 +15,15 @@ Five costs the gateway adds around the core admission test:
 
 import json
 import random
+import time
 
 from repro.core.admission import PipelineAdmissionController
 from repro.core.task import make_task
 from repro.serve.client import GatewayClient, InProcessTransport
-from repro.serve.gateway import AdmissionGateway
+from repro.serve.gateway import AdmissionGateway, GatewayServer
 from repro.serve.journal import DurableGateway, Journal
 from repro.serve.loadgen import run_scenario
+from repro.serve.protocol import NdjsonFramer, task_to_wire
 from repro.serve.snapshot import controller_snapshot, restore_controller
 
 from conftest import run_once
@@ -122,6 +124,75 @@ def test_loadgen_webserver_scenario(benchmark):
     report = run_once(benchmark, run_scenario, "webserver", 0, 500)
     assert report["traffic"]["missed"] == 0
     assert report["traffic"]["admitted"] == 500
+
+
+# ----------------------------------------------------------------------
+# Batch-size sweep: the framed ingest path at max_batch 1/8/32/128.
+# ----------------------------------------------------------------------
+
+BATCH_SWEEP = (1, 8, 32, 128)
+
+
+def test_gateway_batch_size_sweep(benchmark):
+    """Framed ingest throughput as the admission batch size grows.
+
+    The same NDJSON payload — register plus ``TRACE_LEN`` admits —
+    fed through ``NdjsonFramer`` in 64 KiB chunks and
+    ``handle_frames``, once per ``max_batch`` in ``BATCH_SWEEP``.
+    Batch 1 decides every admit scalar (the pre-vectorization
+    behavior expressed through the current code); larger batches
+    amortize the region evaluation through ``admit_many`` and the
+    batched response encoder.  Prints the ops/s curve so regressions
+    in *scaling* (not just the batch-32 point the smoke gate pins)
+    stay visible in ``BENCH_serve.json`` runs.
+    """
+    tasks = _trace(seed=3)
+    admit_lines = [
+        json.dumps({
+            "id": task.task_id,
+            "op": "admit",
+            "pipeline": "bench",
+            "task": task_to_wire(task),
+        })
+        for task in tasks
+    ]
+    chunk_size = GatewayServer.READ_CHUNK
+    results = {}
+
+    def sweep():
+        for max_batch in BATCH_SWEEP:
+            register = json.dumps({
+                "id": -1, "op": "register", "pipeline": "bench",
+                "policy": {"num_stages": NUM_STAGES, "max_batch": max_batch},
+            })
+            payload = ("\n".join([register] + admit_lines) + "\n").encode()
+            chunks = [
+                payload[i:i + chunk_size]
+                for i in range(0, len(payload), chunk_size)
+            ]
+            gateway = AdmissionGateway()
+            framer = NdjsonFramer(GatewayServer.READER_LIMIT)
+            start = time.perf_counter()
+            responses = 0
+            for chunk in chunks:
+                frames = framer.feed(chunk)
+                if frames:
+                    responses += len(gateway.handle_frames(frames))
+            responses += len(gateway.drain())
+            results[max_batch] = {
+                "seconds": time.perf_counter() - start,
+                "responses": responses,
+            }
+        return results
+
+    run_once(benchmark, sweep)
+    print("\ngateway framed ingest, batch-size sweep:")
+    for max_batch, row in results.items():
+        assert row["responses"] == TRACE_LEN + 1
+        print(
+            f"  max_batch {max_batch:>4}: "
+            f"{TRACE_LEN / row['seconds']:>10,.0f} ops/s"
+        )
 
 
 # ----------------------------------------------------------------------

@@ -15,3 +15,15 @@ import pytest
 def run_once(benchmark, fn, *args, **kwargs):
     """Execute ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def run_best(benchmark, fn, *args, rounds=5, **kwargs):
+    """Execute ``fn`` ``rounds`` times; ``stats.min`` is the measurement.
+
+    For the hot-path regression gates: a single round on a shared CI
+    machine measures the scheduler as much as the code, while the
+    minimum over a few rounds converges on the code's actual cost.
+    Gates that compare against a committed baseline should read
+    ``benchmark.stats.stats.min``.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=rounds, iterations=1)

@@ -36,7 +36,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 from ..locking.bounds import PCPBlockingState
 from ..locking.model import ResourceSpec
 from .bounds import region_budget, stage_delay_factor
-from .numeric import approx_ge, approx_le
+from .numeric import EPS, approx_eq, approx_ge, approx_le
 from .synthetic import StageUtilizationTracker
 from .task import PipelineTask
 
@@ -277,6 +277,16 @@ class PipelineAdmissionController:
         # tie-breaks are deterministic across crash recovery.
         self._admission_seq = 0
         self.trackers = [StageUtilizationTracker(r) for r in reserved]
+        # Monotonic epoch covering everything _contributions /
+        # _candidate_budget read besides the task itself: the blocking
+        # state and the capacity vector.  would_admit caches its derived
+        # (contributions, previewed budget) pair against this epoch so a
+        # probe immediately followed by request() for the same task
+        # object pays the derivation once, not twice.
+        self._derivation_epoch = 0
+        self._probe: Optional[
+            Tuple[PipelineTask, int, Tuple[float, ...], Optional[float]]
+        ] = None
         self._admitted: Dict[Hashable, _Admitted] = {}
         # Min-heap of (expiry, task_id) so expire() is amortized
         # O(log n) per admitted task instead of a full scan — the
@@ -504,6 +514,7 @@ class PipelineAdmissionController:
         if not math.isfinite(capacity) or not (0.0 <= capacity <= 1.0):
             raise ValueError(f"capacity must be in [0, 1], got {capacity}")
         self._capacities[stage] = capacity
+        self._derivation_epoch += 1
         # Prospective-only changes break the charges == f(demand,
         # capacities) identity for the already-admitted set, so the
         # capacity-drift invariant stands down until the next rescale.
@@ -577,6 +588,7 @@ class PipelineAdmissionController:
         if not math.isfinite(capacity) or not (0.0 <= capacity <= 1.0):
             raise ValueError(f"capacity must be in [0, 1], got {capacity}")
         self._capacities[stage] = capacity
+        self._derivation_epoch += 1
         self._charges_follow_capacity = True
         for task_id, record in self._admitted.items():
             if record.demand is None:
@@ -689,10 +701,17 @@ class PipelineAdmissionController:
     # ------------------------------------------------------------------
 
     def would_admit(self, task: PipelineTask, now: float) -> bool:
-        """Evaluate the O(N) test without committing the task."""
+        """Evaluate the O(N) test without committing the task.
+
+        The derived (contributions, previewed-budget) pair is cached on
+        the controller keyed by the task object and the derivation
+        epoch, so a probe immediately followed by :meth:`request` for
+        the same task pays the (locking-path) blocking preview and
+        budget derivation once, not twice.
+        """
         self.expire(now)
-        budget = self._candidate_budget(task)
-        return budget is not None and self._fits(self._contributions(task), budget)
+        contributions, budget = self._derive(task)
+        return budget is not None and self._fits(contributions, budget)
 
     def request(self, task: PipelineTask, now: float) -> AdmissionDecision:
         """Run the admission test and commit the task when it passes.
@@ -714,8 +733,7 @@ class PipelineAdmissionController:
             ``task.absolute_deadline``.
         """
         self.expire(now)
-        contributions = self._contributions(task)
-        budget = self._candidate_budget(task)
+        contributions, budget = self._derive(task)
         if budget is None or not self._fits(contributions, budget):
             return AdmissionDecision(admitted=False, region_value=self.region_value())
         self._install(task, contributions)
@@ -725,6 +743,7 @@ class PipelineAdmissionController:
         self,
         tasks: Sequence[PipelineTask],
         times: Optional[Sequence[float]] = None,
+        presorted: bool = False,
     ) -> List[AdmissionDecision]:
         """Batched admission: decide a time-ordered arrival sequence in one pass.
 
@@ -757,6 +776,13 @@ class PipelineAdmissionController:
             times: Decision timestamp per task; defaults to each task's
                 ``arrival_time``.  Must be non-decreasing, and each must
                 precede its task's ``absolute_deadline``.
+            presorted: The caller vouches that both preconditions
+                already hold, so the validation sweep is skipped.  The
+                serving layer qualifies: its pipeline clock rejects any
+                timestamp regression before queueing, and its wire
+                validation only accepts ``deadline > 0`` (so every
+                ``arrival_time``-timestamped decision strictly precedes
+                the task's expiry).
 
         Returns:
             One :class:`AdmissionDecision` per task, in input order.
@@ -764,7 +790,8 @@ class PipelineAdmissionController:
         Raises:
             ValueError: If ``times`` has the wrong length, the
                 timestamps are not non-decreasing, or a task would be
-                decided at or after its absolute deadline.
+                decided at or after its absolute deadline (the latter
+                two only checked when ``presorted`` is false).
         """
         task_list = list(tasks)
         if times is None:
@@ -775,23 +802,43 @@ class PipelineAdmissionController:
                 raise ValueError(
                     f"{len(time_list)} timestamps for {len(task_list)} tasks"
                 )
-        for earlier, later in zip(time_list, time_list[1:]):
-            if later < earlier:
-                raise ValueError(
-                    f"batch timestamps must be non-decreasing, got {earlier} "
-                    f"then {later}"
-                )
-        for task, now in zip(task_list, time_list):
-            # Raw comparison on purpose: expiry uses raw `expiry <= now`
-            # (StageUtilizationTracker.expire_until), so the divergence
-            # this precondition excludes begins exactly at equality.
-            if now >= task.absolute_deadline:  # repro: noqa[FLT002] — must mirror the raw `expiry <= now` expiry comparison exactly
-                raise ValueError(
-                    f"task {task.task_id!r} decided at {now}, at or after its "
-                    f"absolute deadline {task.absolute_deadline}; sequential "
-                    "equivalence requires every decision to precede the "
-                    "task's expiry"
-                )
+        if not presorted:
+            prev = -math.inf
+            for task, now in zip(task_list, time_list):
+                if now < prev:
+                    raise ValueError(
+                        f"batch timestamps must be non-decreasing, got {prev} "
+                        f"then {now}"
+                    )
+                prev = now
+                # Raw comparison on purpose: expiry uses raw `expiry <= now`
+                # (StageUtilizationTracker.expire_until), so the divergence
+                # this precondition excludes begins exactly at equality.
+                if now >= task.absolute_deadline:  # repro: noqa[FLT002] — must mirror the raw `expiry <= now` expiry comparison exactly
+                    raise ValueError(
+                        f"task {task.task_id!r} decided at {now}, at or after "
+                        f"its absolute deadline {task.absolute_deadline}; "
+                        "sequential equivalence requires every decision to "
+                        "precede the task's expiry"
+                    )
+        # A locking controller's budget moves with every install and
+        # expiry, so each candidate must be tested against its own
+        # previewed budget — the per-task reference loop.  Without
+        # locking the vectorized loop hoists every batch-invariant read
+        # (budget, tracker values, region cache) out of the iteration.
+        if self._blocking is not None:
+            return self._admit_many_scalar(task_list, time_list)
+        return self._admit_many_fast(task_list, time_list)
+
+    def _admit_many_scalar(
+        self, task_list: List[PipelineTask], time_list: List[float]
+    ) -> List[AdmissionDecision]:
+        """Reference per-task decision loop (also the locking path).
+
+        This is the loop the vectorized fast path must match bitwise;
+        ``tests/test_vectorized_admission.py`` holds the two to
+        decision-for-decision and fingerprint equality.
+        """
         trackers = self.trackers
         # With locking off the budget is a constant and is hoisted out
         # of the loop; a locking controller's budget moves with every
@@ -832,6 +879,243 @@ class PipelineAdmissionController:
             )
         return decisions
 
+    def _admit_many_fast(
+        self, task_list: List[PipelineTask], time_list: List[float]
+    ) -> List[AdmissionDecision]:
+        """Vectorized batch admission loop (non-locking controllers).
+
+        Same decisions, same final state, same floats as
+        :meth:`_admit_many_scalar` — DESIGN.md §16 maps each hoist to
+        the same-ulp argument.  Per-task work is reduced to the
+        irreducible float expressions:
+
+        - the budget is a loop constant (no locking preview),
+        - ``values`` mirrors each ``tracker.value`` float and is
+          refreshed only when a tracker actually changes (install or
+          expiry), so the region test reads a list instead of
+          properties,
+        - the contribution column is built into a preallocated row
+          reused across tasks, with the all-nominal capacity vector
+          pre-resolved to the plain ``c / D_i`` form,
+        - expiry sweeps are skipped entirely while the controller
+          expiry heap's head (a lower bound on every live tracker
+          expiry, since tracker entries are pushed alongside a
+          controller entry with the same expiry) lies in the future,
+        - the cached region sum is reused across consecutive
+          rejections, which also share one frozen decision object.
+
+        The inequality chain inlines ``approx_ge(u, 1.0)``,
+        ``stage_delay_factor(u)`` and ``approx_le(value, budget)`` with
+        identical float expressions in identical order; the inlined
+        ``approx_*`` reductions are exact because ``u >= 0`` always
+        holds here and a NaN utilization raises exactly where
+        ``stage_delay_factor`` would.
+        """
+        trackers = self.trackers
+        num_stages = self.num_stages
+        budget = self.budget
+        demand_model = self.demand_model
+        exact_demand = type(demand_model) is ExactDemand
+        capacities = self._capacities
+        nominal = True
+        for capacity in capacities:
+            if capacity != 1.0:
+                nominal = False
+                break
+        heap = self._expiry_heap
+        eps = EPS
+        _sdf = stage_delay_factor
+        values = [t.value for t in trackers]
+        # f(min(U_j, 1)) per stage; kept exactly equal to the terms
+        # region_value() would compute, so sum(cache) == region_value().
+        cache = [_sdf(min(v, 1.0)) for v in values]
+        region_total = sum(cache)
+        row = [0.0] * num_stages
+        # |budget|, hoisted for the inlined approx_eq tolerance term
+        # max(1.0, |value|, |budget|): value >= 0 always (a sum of
+        # non-negative region terms), so only the budget needs abs().
+        abs_budget = budget if budget >= 0.0 else -budget  # repro: noqa[FLT002] — sign probe for the hoisted |budget|, not a boundary decision
+        decision_cls = AdmissionDecision
+        new_decision = decision_cls.__new__
+        set_dict = object.__setattr__
+        # _install, unrolled for the non-locking fast path: prebound
+        # per-stage tracker adds, a locally carried admission sequence,
+        # and direct record construction (this path never runs with a
+        # blocking engine, so the _locking_track no-op call drops out).
+        admitted_map = self._admitted
+        tracker_adds = [t.add for t in trackers]
+        record_cls = _Admitted
+        new_record = record_cls.__new__
+        push_expiry = heapq.heappush
+        next_expiry = heap[0][0] if heap else math.inf
+        reject: Optional[AdmissionDecision] = None
+        decisions: List[AdmissionDecision] = []
+        append = decisions.append
+        last_now: Optional[float] = None
+        for task, now in zip(task_list, time_list):
+            if last_now is None or now > last_now:
+                if next_expiry <= now:
+                    if self._expire_batch(now, cache, values):
+                        region_total = sum(cache)
+                        reject = None
+                    next_expiry = heap[0][0] if heap else math.inf
+                last_now = now
+            demand = (
+                task.computation_times if exact_demand else demand_model.demand(task)
+            )
+            if len(demand) != num_stages:
+                raise ValueError(
+                    f"task {task.task_id} has {len(demand)} stages, controller has "
+                    f"{num_stages}"
+                )
+            deadline = task.deadline
+            # Inline of _fits at the hoisted budget: same expressions,
+            # same order (equivalence depends on it).  The nominal
+            # branch folds _contributions into the test loop — each
+            # stage's ``c / deadline`` is computed where it is consumed,
+            # so a task rejected at stage j never pays the remaining
+            # divisions and no row is materialized; the install path
+            # recomputes the same divisions (float division is
+            # deterministic, so the installed tuple holds the exact
+            # bits the row would have carried).
+            value = 0.0
+            fits = True
+            if nominal:
+                for v, c in zip(values, demand):
+                    u = v + c / deadline
+                    gap = 1.0 - u
+                    # approx_ge(u, 1.0) specialized to u in [0, inf]: the
+                    # tolerance term max(1.0, |u|, 1.0) is exactly 1.0 for
+                    # u < 1.0, and |u - 1.0| is bitwise 1.0 - u there.
+                    if u >= 1.0 or gap <= eps:
+                        fits = False
+                        break
+                    if u != u:  # repro: noqa[FLT001] — NaN probe: request()'s isnan check without the call
+                        raise ValueError(f"utilization must be finite, got {u}")
+                    value += u * (1.0 - u / 2.0) / gap
+                    # approx_le(value, budget): value <= budget
+                    # short-circuits; past it, the inlined approx_eq
+                    # complement (value and budget finite and unequal
+                    # here, so the a == b / isinf / isnan prefixes all
+                    # fall through to the tolerance test).
+                    if value > budget:  # repro: noqa[FLT002] — inlined approx_le short-circuit, resolved by the tolerance test below
+                        m = value if value > abs_budget else abs_budget  # repro: noqa[FLT002] — magnitude pick for the tolerance term, not an admission compare
+                        if value - budget > eps * (m if m > 1.0 else 1.0):  # repro: noqa[FLT002] — inlined approx_eq complement, same tolerance expression
+                            fits = False
+                            break
+                if fits:
+                    contributions = tuple(c / deadline for c in demand)
+            else:
+                # Degraded capacities: _contributions stage by stage
+                # into the preallocated row, then the identical test.
+                for j, c in enumerate(demand):
+                    capacity = capacities[j]
+                    if capacity == 1.0:
+                        row[j] = c / deadline
+                    elif capacity == 0.0:
+                        row[j] = math.inf
+                    else:
+                        row[j] = c / (capacity * deadline)
+                for v, extra in zip(values, row):
+                    u = v + extra
+                    gap = 1.0 - u
+                    if u >= 1.0 or gap <= eps:
+                        fits = False
+                        break
+                    if u != u:  # repro: noqa[FLT001] — NaN probe: request()'s isnan check without the call
+                        raise ValueError(f"utilization must be finite, got {u}")
+                    value += u * (1.0 - u / 2.0) / gap
+                    if value > budget:  # repro: noqa[FLT002] — inlined approx_le short-circuit, resolved by the tolerance test below
+                        m = value if value > abs_budget else abs_budget  # repro: noqa[FLT002] — magnitude pick for the tolerance term, not an admission compare
+                        if value - budget > eps * (m if m > 1.0 else 1.0):  # repro: noqa[FLT002] — inlined approx_eq complement, same tolerance expression
+                            fits = False
+                            break
+                if fits:
+                    contributions = tuple(row)
+            if fits:
+                # Install: per-stage tracker adds (the duplicate-id
+                # guard lives in tracker.add), then the admitted record
+                # built directly — same state _install produces, with
+                # the sequence number written back immediately so an
+                # add() raise mid-batch leaves it exact.
+                expiry = task.arrival_time + deadline
+                task_id = task.task_id
+                for add, contribution in zip(tracker_adds, contributions):
+                    add(task_id, contribution, expiry)
+                self._admission_seq = seq = self._admission_seq + 1
+                record = new_record(record_cls)
+                record.__dict__ = {
+                    "contributions": contributions,
+                    "expiry": expiry,
+                    "importance": task.importance,
+                    "deadline": deadline,
+                    "resources": task.resources,
+                    "demand": tuple(demand),
+                    "seq": seq,
+                }
+                admitted_map[task_id] = record
+                push_expiry(heap, (expiry, task_id))
+                if expiry < next_expiry:
+                    next_expiry = expiry
+                for j, tracker in enumerate(trackers):
+                    v = tracker.value
+                    values[j] = v
+                    cache[j] = _sdf(min(v, 1.0))
+                region_total = sum(cache)
+                reject = None
+                # Frozen-dataclass fast construction: __init__ +
+                # frozen __setattr__ cost twice what the admit lane
+                # can afford, and the field set is fixed.
+                admitted = new_decision(decision_cls)
+                set_dict(
+                    admitted,
+                    "__dict__",
+                    {"admitted": True, "region_value": region_total, "shed": ()},
+                )
+                append(admitted)
+            else:
+                if reject is None:
+                    # Frozen dataclass: consecutive rejections at an
+                    # unchanged region share one decision object.
+                    reject = AdmissionDecision(
+                        admitted=False, region_value=region_total
+                    )
+                append(reject)
+        return decisions
+
+    def _expire_batch(
+        self, now: float, cache: List[float], values: List[float]
+    ) -> bool:
+        """:meth:`_expire_cached`, also refreshing the hoisted value row.
+
+        Returns ``True`` when any cached region term changed, so the
+        batch loop re-derives its cached region sum.
+        """
+        changed = False
+        for j, tracker in enumerate(self.trackers):
+            # Same released-amount guard as _expire_cached: a release
+            # of 0.0 cannot have moved the exact accumulator, so both
+            # the cached term and the mirrored value stay valid.
+            if tracker.expire_until(now):
+                v = tracker.value
+                values[j] = v
+                cache[j] = stage_delay_factor(min(v, 1.0))
+                changed = True
+        heap = self._expiry_heap
+        admitted = self._admitted
+        pop = heapq.heappop
+        # The batch path never runs with a blocking engine, so the
+        # per-expiry _locking_discard no-op call is skipped wholesale.
+        locking = self._blocking is not None
+        while heap and heap[0][0] <= now:
+            _, task_id = pop(heap)
+            record = admitted.get(task_id)
+            if record is not None and record.expiry <= now:
+                del admitted[task_id]
+                if locking:
+                    self._locking_discard(task_id)
+        return changed
+
     def _expire_cached(self, now: float, cache: List[float]) -> None:
         """:meth:`expire`, refreshing region-cache entries of touched stages."""
         for j, tracker in enumerate(self.trackers):
@@ -867,8 +1151,7 @@ class PipelineAdmissionController:
             must abort those tasks in the execution substrate).
         """
         self.expire(now)
-        contributions = self._contributions(task)
-        budget = self._candidate_budget(task)
+        contributions, budget = self._derive(task)
         if budget is not None and self._fits(contributions, budget):
             self._install(task, contributions)
             return AdmissionDecision(admitted=True, region_value=self.region_value())
@@ -1056,6 +1339,28 @@ class PipelineAdmissionController:
             return None
         return region_budget(self.alpha, betas)
 
+    def _derive(self, task: PipelineTask) -> Tuple[Tuple[float, ...], Optional[float]]:
+        """Derive (contributions, candidate budget), cached per probe.
+
+        The cache is keyed by the task *object* and the derivation
+        epoch (bumped by every blocking-state or capacity mutation), so
+        a ``would_admit`` probe followed by ``request`` for the same
+        task reuses the derivation instead of re-running the blocking
+        preview.  Shipped demand models are pure functions of the task,
+        which the reuse relies on.
+        """
+        probe = self._probe
+        if (
+            probe is not None
+            and probe[0] is task
+            and probe[1] == self._derivation_epoch
+        ):
+            return probe[2], probe[3]
+        contributions = self._contributions(task)
+        budget = self._candidate_budget(task)
+        self._probe = (task, self._derivation_epoch, contributions, budget)
+        return contributions, budget
+
     def _locking_track(
         self,
         task_id: Hashable,
@@ -1067,6 +1372,7 @@ class PipelineAdmissionController:
             return
         self.betas = self._blocking.add(task_id, deadline, resources)
         self.budget = region_budget(self.alpha, self.betas)
+        self._derivation_epoch += 1
 
     def _locking_discard(self, task_id: Hashable) -> None:
         """Drop a task from the blocking engine; betas/budget follow.
@@ -1078,6 +1384,7 @@ class PipelineAdmissionController:
             return
         self.betas = self._blocking.remove(task_id)
         self.budget = region_budget(self.alpha, self.betas)
+        self._derivation_epoch += 1
 
     def _fits(
         self, contributions: Tuple[float, ...], budget: Optional[float] = None
@@ -1094,7 +1401,12 @@ class PipelineAdmissionController:
                 return False
         return True
 
-    def _install(self, task: PipelineTask, contributions: Tuple[float, ...]) -> None:
+    def _install(
+        self,
+        task: PipelineTask,
+        contributions: Tuple[float, ...],
+        demand: Optional[Sequence[float]] = None,
+    ) -> None:
         expiry = task.absolute_deadline
         for tracker, contribution in zip(self.trackers, contributions):
             tracker.add(task.task_id, contribution, expiry)
@@ -1105,7 +1417,10 @@ class PipelineAdmissionController:
             importance=task.importance,
             deadline=task.deadline,
             resources=task.resources,
-            demand=tuple(self.demand_model.demand(task)),
+            # Callers that already derived the demand pass it through;
+            # shipped demand models are pure, so the value is identical
+            # to re-deriving it here.
+            demand=tuple(self.demand_model.demand(task) if demand is None else demand),
             seq=self._admission_seq,
         )
         self._locking_track(task.task_id, task.deadline, task.resources)

@@ -105,9 +105,12 @@ def _fixed_to_float(fixed: int) -> float:
     else:
         shift = nbits - 54
         top = magnitude >> shift  # 54 bits: 53 result bits + round bit
-        rest = magnitude & ((1 << shift) - 1)  # sticky bits below
-        q, round_bit = divmod(top, 2)
-        if round_bit and (rest or (q & 1)):
+        q = top >> 1
+        # Sticky test without materializing a mask over the discarded
+        # bits: they are nonzero iff shifting `top` back up loses
+        # information.  Evaluated lazily — only on the halfway case,
+        # and only when the tie-to-even test doesn't already decide.
+        if (top & 1) and ((q & 1) or (top << shift) != magnitude):
             q += 1  # round up: above halfway, or tie with odd quotient
         result = math.ldexp(float(q), shift + 1 - _FIXED_SCALE)
     return -result if fixed < 0 else result

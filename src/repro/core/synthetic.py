@@ -31,7 +31,7 @@ import itertools
 import math
 from typing import Any, Dict, FrozenSet, Hashable, List, Tuple
 
-from .numeric import ExactSum
+from .numeric import _FIXED_SCALE, _fixed_to_float, ExactSum
 
 __all__ = ["StageUtilizationTracker"]
 
@@ -193,8 +193,14 @@ class StageUtilizationTracker:
             raise ValueError(f"contribution must be finite and >= 0, got {contribution}")
         token = next(self._tokens)
         self._contribs[task_id] = (contribution, token)
-        self._acc.add(contribution)
-        self._sum = self._acc.value()
+        # ExactSum.add + .value(), inlined: admission installs call
+        # this once per stage per admitted task, and the two method
+        # dispatches cost as much as the bigint update they wrap.
+        acc = self._acc
+        n, d = contribution.as_integer_ratio()  # raises for inf/nan
+        if n:
+            acc._fixed += n << (_FIXED_SCALE - (d.bit_length() - 1))
+        self._sum = _fixed_to_float(acc._fixed)
         heapq.heappush(self._expiry_heap, (expiry, token, task_id))
 
     def remove(self, task_id: Hashable) -> float:
@@ -207,9 +213,14 @@ class StageUtilizationTracker:
         self._departed.pop(task_id, None)
         if entry is None:
             return 0.0
-        self._acc.subtract(entry[0])
-        self._sum = self._acc.value()
-        return entry[0]
+        # ExactSum.subtract + .value(), inlined (see add()).
+        acc = self._acc
+        contribution = entry[0]
+        n, d = contribution.as_integer_ratio()
+        if n:
+            acc._fixed -= n << (_FIXED_SCALE - (d.bit_length() - 1))
+        self._sum = _fixed_to_float(acc._fixed)
+        return contribution
 
     def expire_until(self, now: float) -> float:
         """Drop all contributions whose deadline expired at or before ``now``.
@@ -217,19 +228,33 @@ class StageUtilizationTracker:
         Returns:
             Total utilization released.
         """
+        heap = self._expiry_heap
+        if not heap or heap[0][0] > now:
+            return 0.0
+        contribs = self._contribs
+        departed = self._departed
+        acc = self._acc
+        pop = heapq.heappop
         removed: List[float] = []
-        while self._expiry_heap and self._expiry_heap[0][0] <= now:
-            _, token, task_id = heapq.heappop(self._expiry_heap)
-            entry = self._contribs.get(task_id)
+        append = removed.append
+        while heap and heap[0][0] <= now:
+            _, token, task_id = pop(heap)
+            entry = contribs.get(task_id)
             if entry is None or entry[1] != token:
                 continue  # stale entry: task removed (and possibly re-added)
-            del self._contribs[task_id]
-            self._departed.pop(task_id, None)
-            self._acc.subtract(entry[0])
-            removed.append(entry[0])
+            del contribs[task_id]
+            departed.pop(task_id, None)
+            # ExactSum.subtract, inlined (see add()).
+            contribution = entry[0]
+            n, d = contribution.as_integer_ratio()
+            if n:
+                acc._fixed -= n << (_FIXED_SCALE - (d.bit_length() - 1))
+            append(contribution)
         if not removed:
             return 0.0
-        self._sum = self._acc.value()
+        self._sum = _fixed_to_float(acc._fixed)
+        if len(removed) == 1:
+            return removed[0]
         # fsum for the released amount: independent of the
         # (tie-dependent) heap pop order, like the accumulator itself.
         return math.fsum(removed)

@@ -31,6 +31,11 @@ __all__ = ["AdmissionBatcher"]
 
 T = TypeVar("T")
 
+#: Shared "nothing flushed" result.  ``push`` returns it on the common
+#: queued-without-flushing path so the per-call list allocation
+#: disappears; callers must only iterate it (all do).
+_NO_BATCHES: List[Any] = []
+
 
 class AdmissionBatcher(Generic[T]):
     """Orders queued admission entries into flush-ready batches.
@@ -83,19 +88,28 @@ class AdmissionBatcher(Generic[T]):
             entry: Opaque queue entry.
             arrival: The entry's virtual timestamp.
         """
-        ready: List[List[T]] = []
-        if (
-            self._pending
-            and self.window is not None
-            and arrival >= self._opened_at + self.window
-        ):
-            ready.append(self._drain())
-        if not self._pending:
+        pending = self._pending
+        ready: Optional[List[List[T]]] = None
+        if pending:
+            window = self.window
+            if window is not None and arrival >= self._opened_at + window:
+                ready = [pending]
+                pending = []
+                self._pending = pending
+                self._opened_at = arrival
+        else:
             self._opened_at = arrival
-        self._pending.append(entry)
-        if self.max_batch is not None and len(self._pending) >= self.max_batch:
-            ready.append(self._drain())
-        return ready
+        pending.append(entry)
+        max_batch = self.max_batch
+        if max_batch is not None and len(pending) >= max_batch:
+            self._pending = []
+            if ready is None:
+                return [pending]
+            ready.append(pending)
+            return ready
+        # The shared empty list keeps the dominant queued-not-flushed
+        # push allocation-free; callers only iterate the result.
+        return ready if ready is not None else _NO_BATCHES
 
     def flush(self) -> List[T]:
         """Drain the pending batch (barrier operations and shutdown)."""

@@ -51,7 +51,7 @@ import tempfile
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from .gateway import AdmissionGateway, Routed
 from .protocol import OPS, ProtocolError, parse_request
@@ -450,6 +450,35 @@ class DurableGateway:
         routed = self.gateway.handle_line(line, origin)
         self._ops_since_snapshot += 1
         self._maybe_compact()
+        return routed
+
+    def handle_frames(
+        self, frames: Sequence[bytes], origin: Any = None
+    ) -> List[Routed]:
+        """Per-line dispatch of a framed chunk.
+
+        Durability is per request — every mutating line must reach the
+        journal before its effects exist — so the durable core cannot
+        take the fused chunk lane; it decodes and journals line by
+        line, exactly as the per-line transport did.
+        """
+        routed: List[Routed] = []
+        for raw in frames:
+            line = raw.decode("utf-8", errors="replace").strip()
+            if line:
+                routed.extend(self.handle_line(line, origin))
+        return routed
+
+    async def handle_frames_async(
+        self, frames: Sequence[bytes], origin: Any = None
+    ) -> List[Routed]:
+        """Event-loop-safe :meth:`handle_frames` (journals line by
+        line via :meth:`handle_line_async`)."""
+        routed: List[Routed] = []
+        for raw in frames:
+            line = raw.decode("utf-8", errors="replace").strip()
+            if line:
+                routed.extend(await self.handle_line_async(line, origin))
         return routed
 
     def drain(self) -> List[Routed]:

@@ -60,21 +60,28 @@ from __future__ import annotations
 
 import json
 import math
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.task import PipelineTask, make_task
 from ..locking.model import resources_from_wire, resources_to_wire
+
+try:  # Optional accelerator: decode-only, gated below.
+    import orjson
+except ImportError:  # pragma: no cover - environment without orjson
+    orjson = None  # type: ignore[assignment]
 
 __all__ = [
     "OPS",
     "PIPELINE_OPS",
     "MAX_REQUEST_CHARS",
     "MAX_REQUEST_DEPTH",
+    "NdjsonFramer",
     "ProtocolError",
     "parse_request",
     "encode",
     "ok_response",
     "admit_response",
+    "admit_response_batch",
     "error_response",
     "task_to_wire",
     "task_from_wire",
@@ -177,8 +184,127 @@ def _validate_payload(request: Dict[str, Any]) -> None:
                     )
 
 
+#: Integer tokens beyond the accelerator's exact range would be
+#: silently rounded to floats where the stdlib keeps the
+#: arbitrary-precision int, so any line that *may* carry one takes the
+#: strict stdlib path.  The accelerator decodes unsigned integers
+#: exactly through the full 64-bit range (20 digits up to
+#: 18446744073709551615) and signed ones through ``-2**63``, so the
+#: dangerous shapes are a run of 20+ digits, or ``-`` followed by 19+
+#: digits.  The screen folds every digit to one byte and runs two
+#: C-speed substring searches — a regex scan here costs microseconds
+#: per line, ``memmem`` costs nanoseconds.  Conservative by design: a
+#: long digit run inside a string or a float's integer part also
+#: routes to the strict path, which is merely slower, never different.
+#: One refinement keeps the dominant float traffic on the fast path: a
+#: 20+ digit run immediately after ``.`` is a float's *fraction* (or
+#: sits inside a string, or the line is malformed JSON that fails the
+#: accelerator anyway), never an integer token — and both parsers
+#: round arbitrary-length fractions to the identical nearest double
+#: (differentially verified), so those runs are skipped.  Without the
+#: refinement every float in ``[1e-4, 1e-3)`` carrying 17 significant
+#: digits (20 fraction digits after the leading zeros) would fall back.
+_DIGIT_FOLD = bytes.maketrans(b"0123456789", b"\x00" * 10)
+_HUGE_POSITIVE_RUN = b"\x00" * 20
+_HUGE_NEGATIVE_RUN = b"-" + b"\x00" * 19
+_DOT = 0x2E
+
+#: The ASCII subset of ``str.strip``'s whitespace (frames carry no
+#: ``\n`` — the framer consumed it).  A frame that still begins with
+#: ``{`` after stripping these bytes decodes to a line whose
+#: ``str.strip`` result is that same stripped text: any *unicode*
+#: whitespace would have to sit inside the braces, where ``strip``
+#: cannot reach it.  The gateway's fused frame lane relies on this to
+#: skip the ``bytes -> str -> strip`` round trip per line.
+_FRAME_WS = b" \t\r\x0b\x0c"
+
+
+def _folded_holds_huge_int(folded: bytes) -> bool:
+    """Whether digit-folded ``folded`` has a possibly-huge integer run.
+
+    ``find`` returns the *first* window of each digit run, so a window
+    whose predecessor is itself a digit is the interior of a run whose
+    start was already classified — the scan just hops on.  Hopping by
+    one and letting C-level ``find`` re-anchor beats walking the run's
+    bytes in Python (17-significant-digit floats make 20-digit
+    fraction runs the common case on the admission wire).
+    """
+    pos = folded.find(_HUGE_POSITIVE_RUN)
+    while pos >= 0:
+        if pos == 0:
+            return True
+        prev = folded[pos - 1]
+        # Run start (prev is neither digit nor dot): a real integer
+        # token of 20+ digits.  Dot-preceded or interior: keep going.
+        if prev and prev != _DOT:
+            return True
+        pos = folded.find(_HUGE_POSITIVE_RUN, pos + 1)
+    return folded.find(_HUGE_NEGATIVE_RUN) >= 0
+
+
+def _may_hold_huge_int(line: str) -> bool:
+    """Whether ``line`` may contain an integer token the accelerator
+    would round (see :data:`_DIGIT_FOLD`); unencodable lines screen
+    positive so the strict path owns their error bytes."""
+    try:
+        folded = line.encode("utf-8").translate(_DIGIT_FOLD)
+    except UnicodeEncodeError:
+        return True
+    return _folded_holds_huge_int(folded)
+
+#: Canonical (interned) instance per op name.  parse_request swaps the
+#: freshly parsed op string for the canonical one so every downstream
+#: dispatch-dict lookup and ``op != "admit"`` comparison hits the
+#: CPython identity fast path.
+_OP_CANON = {op: op for op in OPS}
+
+
+def _validate_envelope(request: Dict[str, Any]) -> Dict[str, Any]:
+    """Shared envelope validation (op / id / rid / pipeline operand)."""
+    try:
+        # One hashed lookup replaces isinstance + membership: the keys
+        # are exactly the op strings, no non-string can equal one, and
+        # an unhashable op (list/dict) raises into the error path.
+        canon = _OP_CANON.get(request.get("op"))
+    except TypeError:
+        canon = None
+    if canon is None:
+        op = request.get("op")
+        raise ProtocolError(
+            "unknown-op", f"op must be one of {', '.join(OPS)}; got {op!r}"
+        )
+    request["op"] = canon
+    request_id = request.get("id")
+    if request_id is not None and not isinstance(request_id, (int, str)):
+        raise ProtocolError("bad-request", "id must be an integer or string")
+    rid = request.get("rid")
+    if rid is not None and (
+        not isinstance(rid, str) or not rid or len(rid) > 200
+    ):
+        raise ProtocolError(
+            "bad-request", "rid must be a non-empty string of at most 200 chars"
+        )
+    if canon in PIPELINE_OPS and not isinstance(request.get("pipeline"), str):
+        raise ProtocolError(
+            "bad-request", f"op {canon!r} requires a string 'pipeline' operand"
+        )
+    return request
+
+
 def parse_request(line: str) -> Dict[str, Any]:
     """Parse and validate one request line.
+
+    Decoding prefers the ``orjson`` accelerator when three screens
+    prove it cannot diverge from the strict stdlib path: the line is
+    within the size limit, its total ``{``/``[`` count bounds nesting
+    at :data:`MAX_REQUEST_DEPTH` (each nesting level spends at least
+    one opening bracket), and it carries no integer token the
+    accelerator would round (see :func:`_may_hold_huge_int`).  The
+    accelerator rejects
+    ``Infinity``/``NaN`` literals *and* overflowing numbers like
+    ``1e999`` outright, so a successful accelerated parse needs no
+    payload walk.  Any accelerator failure re-parses on the strict
+    path, keeping error bytes identical to the stdlib-only protocol.
 
     Returns:
         The decoded request object with a validated envelope.
@@ -196,6 +322,71 @@ def parse_request(line: str) -> Dict[str, Any]:
             f"request line of {len(line)} chars exceeds the "
             f"{MAX_REQUEST_CHARS}-char limit",
         )
+    if orjson is not None:
+        # The digit fold doubles as the depth screen's input: ``{`` and
+        # ``[`` are single ASCII bytes no UTF-8 continuation byte can
+        # alias, so counting them on the folded bytes equals counting
+        # them on the string — one encode serves both screens, and the
+        # raw encoding also feeds the accelerator (orjson parses bytes
+        # directly, skipping its internal re-encode of str input).
+        try:
+            raw = line.encode("utf-8")
+        except UnicodeEncodeError:
+            # Unencodable (lone surrogates): strict path owns the bytes.
+            return _parse_request_strict(line)
+        folded = raw.translate(_DIGIT_FOLD)
+        if (
+            folded.count(b"{") + folded.count(b"[") <= MAX_REQUEST_DEPTH
+            and not _folded_holds_huge_int(folded)
+        ):
+            try:
+                request = orjson.loads(raw)
+            except Exception:
+                return _parse_request_strict(line)
+            if type(request) is not dict:
+                raise ProtocolError(
+                    "bad-request", "request must be a JSON object"
+                )
+            # _validate_envelope, inlined (the call and its re-gets
+            # are measurable at admission line rate); the strict path
+            # below still routes through the shared function.
+            try:
+                canon = _OP_CANON.get(request.get("op"))
+            except TypeError:
+                canon = None
+            if canon is None:
+                op = request.get("op")
+                raise ProtocolError(
+                    "unknown-op",
+                    f"op must be one of {', '.join(OPS)}; got {op!r}",
+                )
+            request["op"] = canon
+            request_id = request.get("id")
+            if request_id is not None and not isinstance(request_id, (int, str)):
+                raise ProtocolError(
+                    "bad-request", "id must be an integer or string"
+                )
+            rid = request.get("rid")
+            if rid is not None and (
+                not isinstance(rid, str) or not rid or len(rid) > 200
+            ):
+                raise ProtocolError(
+                    "bad-request",
+                    "rid must be a non-empty string of at most 200 chars",
+                )
+            if canon in PIPELINE_OPS and not isinstance(
+                request.get("pipeline"), str
+            ):
+                raise ProtocolError(
+                    "bad-request",
+                    f"op {canon!r} requires a string 'pipeline' operand",
+                )
+            return request
+    return _parse_request_strict(line)
+
+
+def _parse_request_strict(line: str) -> Dict[str, Any]:
+    """Stdlib reference parser — the source of truth for error bytes."""
     try:
         request = json.loads(line, parse_constant=_reject_nonfinite)
     except RecursionError:
@@ -209,26 +400,79 @@ def parse_request(line: str) -> Dict[str, Any]:
     if not isinstance(request, dict):
         raise ProtocolError("bad-request", "request must be a JSON object")
     _validate_payload(request)
-    op = request.get("op")
-    if not isinstance(op, str) or op not in OPS:
-        raise ProtocolError(
-            "unknown-op", f"op must be one of {', '.join(OPS)}; got {op!r}"
-        )
-    request_id = request.get("id")
-    if request_id is not None and not isinstance(request_id, (int, str)):
-        raise ProtocolError("bad-request", "id must be an integer or string")
-    rid = request.get("rid")
-    if rid is not None and (
-        not isinstance(rid, str) or not rid or len(rid) > 200
-    ):
-        raise ProtocolError(
-            "bad-request", "rid must be a non-empty string of at most 200 chars"
-        )
-    if op in PIPELINE_OPS and not isinstance(request.get("pipeline"), str):
-        raise ProtocolError(
-            "bad-request", f"op {op!r} requires a string 'pipeline' operand"
-        )
-    return request
+    return _validate_envelope(request)
+
+
+class NdjsonFramer:
+    """Incremental newline framer with asyncio-``readline`` limit semantics.
+
+    Replaces the per-line ``StreamReader.readline()`` loop with chunked
+    reads split by a single buffer scan — no ``splitlines`` copies, one
+    buffer compaction per feed.  The oversized-line conditions mirror
+    ``StreamReader.readuntil`` exactly: a completed frame whose content
+    exceeds ``limit`` bytes, or an unterminated tail growing past
+    ``limit`` bytes, marks the framer overflowed.  Frames completed
+    *before* the oversized segment are still delivered — exactly the
+    responses a ``readline()`` loop would have produced before raising.
+
+    Once overflowed the framer is dead: the buffer is dropped and
+    further feeds return nothing (the server closes the connection,
+    matching the previous ``LimitOverrunError`` handling).
+    """
+
+    __slots__ = ("_buf", "_limit", "_overflowed")
+
+    def __init__(self, limit: int) -> None:
+        self._buf = bytearray()
+        self._limit = limit
+        self._overflowed = False
+
+    @property
+    def overflowed(self) -> bool:
+        """Whether a frame exceeded the limit (connection must close)."""
+        return self._overflowed
+
+    @property
+    def pending(self) -> int:
+        """Bytes buffered awaiting a newline."""
+        return len(self._buf)
+
+    def feed(self, data: bytes) -> List[bytes]:
+        """Absorb a chunk; return the frames it completed (sans ``\\n``)."""
+        if self._overflowed:
+            return []
+        buf = self._buf
+        buf += data
+        frames: List[bytes] = []
+        start = 0
+        while True:
+            newline = buf.find(b"\n", start)
+            if newline < 0:
+                break
+            if newline - start > self._limit:
+                self._overflowed = True
+                break
+            frames.append(bytes(buf[start:newline]))
+            start = newline + 1
+        if start:
+            del buf[:start]
+        if len(buf) > self._limit:
+            self._overflowed = True
+        if self._overflowed:
+            buf.clear()
+        return frames
+
+    def finish(self) -> Optional[bytes]:
+        """The trailing unterminated frame at EOF, if any.
+
+        ``readline()`` returns a partial final line when the peer
+        closes without a trailing newline; this is that frame.
+        """
+        if self._overflowed or not self._buf:
+            return None
+        frame = bytes(self._buf)
+        self._buf.clear()
+        return frame
 
 
 def json_safe(value: Any) -> Any:
@@ -285,19 +529,24 @@ def admit_response(
     request_id = request.get("id")
     if request_id is None:
         id_token = "null"
-    elif isinstance(request_id, bool):
+    elif request_id is True:
         # bool is an int subclass and passes request validation, but
-        # encodes as a JSON literal, not via repr().
-        id_token = "true" if request_id else "false"
-    elif isinstance(request_id, int):
+        # encodes as a JSON literal, not via repr().  JSON booleans are
+        # always the singletons, so identity is exhaustive.
+        id_token = "true"
+    elif request_id is False:
+        id_token = "false"
+    elif type(request_id) is int:
         id_token = repr(request_id)
-    elif isinstance(request_id, str):
+    elif type(request_id) is str:
         id_token = json.dumps(request_id)
     else:
+        # Includes int/str *subclasses*, whose repr the fragment path
+        # cannot prove canonical — the generic encoder owns them.
         return ok_response(
             request, admitted=admitted, region_value=region_value, shed=list(shed)
         )
-    if request.get("op") != "admit" or not isinstance(region_value, float):
+    if request.get("op") != "admit" or type(region_value) is not float:
         return ok_response(
             request, admitted=admitted, region_value=region_value, shed=list(shed)
         )
@@ -313,6 +562,95 @@ def admit_response(
     return (
         prefix + id_token + _ADMIT_MID + region_token + _ADMIT_SHED + shed_token + "}"
     )
+
+
+def admit_response_batch(
+    items: Sequence[Tuple[Dict[str, Any], bool, float, Any]],
+) -> List[str]:
+    """Render a flushed batch of admission decisions in one pass.
+
+    Byte-identical to calling :func:`admit_response` per
+    ``(request, admitted, region_value, shed)`` item — the golden test
+    pins it — with the fragment and builtin lookups hoisted out of the
+    loop, so a size-``B`` flush costs one function call instead of
+    ``B``.  Consecutive rejections at an unchanged region share the
+    *same* float object (``admit_many`` reuses the frozen decision),
+    so the rendered ``region_value`` + empty-shed tail is cached by
+    object identity and the dominant overload traffic skips the float
+    ``repr`` and two concatenations per response.
+    """
+    out: List[str] = []
+    append = out.append
+    isfinite = math.isfinite
+    dumps = json.dumps
+    admit_canon = _OP_CANON["admit"]
+    prev_region: Any = None
+    prev_tail = ""
+    for request, admitted, region_value, shed in items:
+        request_id = request.get("id")
+        if request_id is None:
+            id_token = "null"
+        elif request_id is True:
+            id_token = "true"
+        elif request_id is False:
+            id_token = "false"
+        else:
+            tid = type(request_id)
+            if tid is int:
+                id_token = repr(request_id)
+            elif tid is str:
+                id_token = dumps(request_id)
+            else:
+                append(
+                    ok_response(
+                        request,
+                        admitted=admitted,
+                        region_value=region_value,
+                        shed=list(shed),
+                    )
+                )
+                continue
+        op = request.get("op")
+        if (
+            op is not admit_canon and op != "admit"
+        ) or type(region_value) is not float:
+            append(
+                ok_response(
+                    request,
+                    admitted=admitted,
+                    region_value=region_value,
+                    shed=list(shed),
+                )
+            )
+            continue
+        prefix = _ADMIT_TRUE if admitted else _ADMIT_FALSE
+        if not shed:
+            if region_value is prev_region:
+                append(prefix + id_token + prev_tail)
+            else:
+                region_token = (
+                    repr(region_value) if isfinite(region_value) else "null"
+                )
+                prev_tail = _ADMIT_MID + region_token + _ADMIT_SHED_EMPTY
+                prev_region = region_value
+                append(prefix + id_token + prev_tail)
+        else:
+            region_token = (
+                repr(region_value) if isfinite(region_value) else "null"
+            )
+            shed_token = dumps(
+                json_safe(list(shed)), sort_keys=True, separators=(",", ":")
+            )
+            append(
+                prefix
+                + id_token
+                + _ADMIT_MID
+                + region_token
+                + _ADMIT_SHED
+                + shed_token
+                + "}"
+            )
+    return out
 
 
 def rewrite_response_id(line: str, request: Dict[str, Any]) -> str:
@@ -363,6 +701,12 @@ def task_to_wire(task: PipelineTask) -> Dict[str, Any]:
     return wire
 
 
+#: ``object.__setattr__``, hoisted: the frozen dataclass's own
+#: ``__setattr__`` raises, so the fast constructor installs the whole
+#: instance dict in one call instead of eight guarded field sets.
+_set_dict = object.__setattr__
+
+
 def _require_number(doc: Dict[str, Any], key: str) -> float:
     value = doc.get(key)
     if not isinstance(value, (int, float)) or isinstance(value, bool):
@@ -373,10 +717,93 @@ def _require_number(doc: Dict[str, Any], key: str) -> float:
 def task_from_wire(doc: Any) -> PipelineTask:
     """Decode and validate a wire task document.
 
+    The dominant wire shape — int ``task_id``, numeric
+    ``arrival``/``deadline``, numeric ``costs``, no ``resources`` — is
+    validated inline (the same invariants ``make_task`` +
+    ``validate_task`` enforce, fused into one pass) and constructed
+    directly.  Anything else, including every invalid document, re-runs
+    the strict path so error messages never change.
+
     Raises:
         ProtocolError: On missing/ill-typed fields or model-invariant
             violations (non-positive deadline, negative costs, ...).
     """
+    if type(doc) is dict and "resources" not in doc:
+        get = doc.get
+        task_id = get("task_id")
+        arrival = get("arrival")
+        deadline = get("deadline")
+        costs = get("costs")
+        importance = get("importance", 0)
+        # type() is exact on purpose: it excludes bool (an int subclass
+        # the strict path rejects) without a second isinstance check.
+        if (
+            type(task_id) is int
+            and type(importance) is int
+            and type(costs) is list
+            and costs
+            and type(arrival) in (int, float)
+            and type(deadline) in (int, float)
+        ):
+            arrival = float(arrival)
+            deadline = float(deadline)
+            # ``x - x == 0.0`` is isfinite without the call: nan and
+            # inf both yield nan, which compares false.
+            if deadline > 0.0 and arrival - arrival == 0.0:  # repro: noqa[FLT001,FLT002] — exact complement of validate_task's `deadline <= 0` gate; boundary docs fall to the strict path
+                # All-float costs (the wire-dominant shape: JSON reals
+                # decode as float) validate without building a second
+                # list — the source list becomes the tuple directly.
+                valid = True
+                for c in costs:
+                    if (
+                        type(c) is not float
+                        or c < 0.0
+                        or c - c != 0.0  # nan-only probe: finite non-negative gate
+                    ):
+                        valid = False
+                        break
+                if valid:
+                    values = costs
+                else:
+                    values = []
+                    append = values.append
+                    valid = True
+                    for c in costs:
+                        tc = type(c)
+                        if tc is float:
+                            if c >= 0.0 and c - c == 0.0:  # nan-only probe
+                                append(c)
+                                continue
+                        elif tc is int and c >= 0:
+                            append(float(c))
+                            continue
+                        valid = False
+                        break
+                if valid:
+                    # Frozen dataclass: routing around __init__'s
+                    # per-field object.__setattr__ halves construction
+                    # cost; the instance dict is indistinguishable.
+                    task = PipelineTask.__new__(PipelineTask)
+                    _set_dict(
+                        task,
+                        "__dict__",
+                        {
+                            "task_id": task_id,
+                            "arrival_time": arrival,
+                            "deadline": deadline,
+                            "computation_times": tuple(values),
+                            "importance": importance,
+                            "blocking_times": None,
+                            "resources": (),
+                            "stream_id": None,
+                        },
+                    )
+                    return task
+    return _task_from_wire_strict(doc)
+
+
+def _task_from_wire_strict(doc: Any) -> PipelineTask:
+    """Reference decoder — the source of truth for ``bad-task`` bytes."""
     if not isinstance(doc, dict):
         raise ProtocolError("bad-task", "task must be a JSON object")
     task_id = doc.get("task_id")

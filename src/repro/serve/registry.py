@@ -47,6 +47,10 @@ PIPELINE_SNAPSHOT_FORMAT = "repro.serve.pipeline-snapshot/1"
 #: One decided admission: ``(correlation token, task, decision)``.
 Decided = Tuple[Any, PipelineTask, AdmissionDecision]
 
+#: Shared "no decisions ready" result for the dominant queued-not-
+#: flushed admit path; callers only iterate it.
+_NO_DECIDED: List[Decided] = []
+
 
 @dataclass(frozen=True)
 class PipelinePolicy:
@@ -295,13 +299,30 @@ class ServedPipeline:
                 triple (the gateway passes the pending request).
             task: The arriving task.
         """
-        self.observe_time(task.arrival_time)
-        self.counters.offered += 1
+        # observe_time inlined — this is the per-arrival hot path and
+        # the property/raise plumbing costs as much as the real work.
+        now = task.arrival_time
+        clock = self._clock
+        if clock is not None and now < clock:
+            raise ProtocolError(
+                "time-regression",
+                f"timestamp {now} precedes pipeline clock {clock}",
+            )
+        self._clock = now
         entry = (token, task)
         if not self._batcher.enabled:
             return self._decide_batch([entry])
+        batches = self._batcher.push(entry, now)
+        if not batches:
+            # Offered counting happens batchwise in _decide_batch; the
+            # queued-not-flushed path stays allocation-free (callers
+            # only read the result, and every counter observer is a
+            # batch barrier, so the deferral is unobservable).
+            return _NO_DECIDED
+        if len(batches) == 1:
+            return self._decide_batch(batches[0])
         decided: List[Decided] = []
-        for batch in self._batcher.push(entry, task.arrival_time):
+        for batch in batches:
             decided.extend(self._decide_batch(batch))
         return decided
 
@@ -337,18 +358,29 @@ class ServedPipeline:
                 for task in tasks
             ]
         else:
-            decisions = self.controller.admit_many(tasks)
-        self.counters.batches += 1
-        if len(batch) > self.counters.largest_batch:
-            self.counters.largest_batch = len(batch)
+            # presorted: the pipeline clock already enforced
+            # non-decreasing arrivals, and validated tasks have
+            # ``deadline > 0`` so every decision precedes its expiry —
+            # both admit_many preconditions hold by construction.
+            decisions = self.controller.admit_many(tasks, presorted=True)
+        counters = self.counters
+        counters.batches += 1
+        size = len(batch)
+        counters.offered += size
+        if size > counters.largest_batch:
+            counters.largest_batch = size
         decided: List[Decided] = []
+        append = decided.append
+        admitted = 0
+        shed = 0
         for (token, task), decision in zip(batch, decisions):
             if decision.admitted:
-                self.counters.admitted += 1
-            else:
-                self.counters.rejected += 1
-            self.counters.shed += len(decision.shed)
-            decided.append((token, task, decision))
+                admitted += 1
+            shed += len(decision.shed)
+            append((token, task, decision))
+        counters.admitted += admitted
+        counters.rejected += size - admitted
+        counters.shed += shed
         return decided
 
     # ------------------------------------------------------------------

@@ -271,6 +271,22 @@ class ShardGateway:
             return [(origin, bounce)]
         return self.inner.handle_line(line, origin)
 
+    def handle_frames(
+        self, frames: Sequence[bytes], origin: Any = None
+    ) -> List[Routed]:
+        """Per-line dispatch of a framed chunk.
+
+        Every line needs its own ownership check (one chunk can mix
+        pipelines), so the shard filter stays line-at-a-time; only the
+        unsharded inner core fuses chunks.
+        """
+        routed: List[Routed] = []
+        for raw in frames:
+            line = raw.decode("utf-8", errors="replace").strip()
+            if line:
+                routed.extend(self.handle_line(line, origin))
+        return routed
+
     def drain(self) -> List[Routed]:
         return self.inner.drain()
 
@@ -279,6 +295,17 @@ class ShardGateway:
         if bounce is not None:
             return [(origin, bounce)]
         return await self.inner.handle_line_async(line, origin)
+
+    async def handle_frames_async(
+        self, frames: Sequence[bytes], origin: Any = None
+    ) -> List[Routed]:
+        """Event-loop-safe :meth:`handle_frames` (per-line, see there)."""
+        routed: List[Routed] = []
+        for raw in frames:
+            line = raw.decode("utf-8", errors="replace").strip()
+            if line:
+                routed.extend(await self.handle_line_async(line, origin))
+        return routed
 
     async def drain_async(self) -> List[Routed]:
         return await self.inner.drain_async()

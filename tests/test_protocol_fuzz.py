@@ -19,6 +19,7 @@ from repro.serve.loadgen import _TcpGatewayThread
 from repro.serve.protocol import (
     MAX_REQUEST_CHARS,
     MAX_REQUEST_DEPTH,
+    NdjsonFramer,
     ProtocolError,
     parse_request,
 )
@@ -233,6 +234,22 @@ class TestOversizedLineOverTcp:
             finally:
                 probe.close()
 
+    def test_torn_frames_over_tcp_reassemble(self):
+        # One request dribbled in 1-byte sends must still produce one
+        # well-formed response: the framer reassembles across reads.
+        with _TcpGatewayThread() as server:
+            host, port = server.address
+            sock = socket.create_connection((host, port), timeout=30)
+            try:
+                for byte in b'{"id":1,"op":"health"}\n':
+                    sock.sendall(bytes([byte]))
+                buf = b""
+                while b"\n" not in buf:
+                    buf += sock.recv(65536)
+                assert json.loads(buf.split(b"\n")[0])["ok"] is True
+            finally:
+                sock.close()
+
     def test_large_but_legal_request_passes_the_reader(self):
         # READER_LIMIT is 4x the protocol cap so legal near-cap lines
         # (snapshot restores) flow through the stream reader untouched.
@@ -249,3 +266,168 @@ class TestOversizedLineOverTcp:
                 assert json.loads(buf.split(b"\n")[0])["ok"] is True
             finally:
                 sock.close()
+
+
+class TestNdjsonFramer:
+    """ISSUE-10 satellite: the batched decoder's incremental framing."""
+
+    PAYLOAD = b'{"op":"health"}\n\n{"op":"stats"}\ngarbage\n{"op":"health","id":2}\n'
+    FRAMES = [b'{"op":"health"}', b"", b'{"op":"stats"}', b"garbage", b'{"op":"health","id":2}']
+
+    def test_single_feed_matches_line_split(self):
+        framer = NdjsonFramer(1024)
+        assert framer.feed(self.PAYLOAD) == self.FRAMES
+        assert not framer.overflowed
+        assert framer.finish() is None
+
+    def test_every_two_way_split_reassembles(self):
+        for cut in range(len(self.PAYLOAD) + 1):
+            framer = NdjsonFramer(1024)
+            frames = framer.feed(self.PAYLOAD[:cut])
+            frames += framer.feed(self.PAYLOAD[cut:])
+            assert frames == self.FRAMES, f"diverged at split {cut}"
+            assert framer.finish() is None
+
+    def test_seeded_random_chunkings_reassemble(self):
+        rng = random.Random(3)
+        for _ in range(200):
+            framer = NdjsonFramer(1024)
+            frames = []
+            pos = 0
+            while pos < len(self.PAYLOAD):
+                step = rng.randrange(1, 9)
+                frames += framer.feed(self.PAYLOAD[pos : pos + step])
+                pos += step
+            assert frames == self.FRAMES
+            assert framer.finish() is None
+
+    def test_unterminated_tail_is_returned_by_finish(self):
+        framer = NdjsonFramer(1024)
+        assert framer.feed(b'{"op":"health"}\n{"op":"st') == [b'{"op":"health"}']
+        assert framer.pending == len(b'{"op":"st')
+        assert framer.finish() == b'{"op":"st'
+
+    def test_oversized_line_overflows_but_earlier_frames_survive(self):
+        framer = NdjsonFramer(16)
+        frames = framer.feed(b"ok\n" + b"x" * 64 + b"\nnever\n")
+        assert frames == [b"ok"]
+        assert framer.overflowed
+        assert framer.pending == 0
+        assert framer.finish() is None
+        # An overflowed framer stays dead: further feeds yield nothing.
+        assert framer.feed(b"more\n") == []
+
+    def test_oversized_tail_without_newline_overflows(self):
+        framer = NdjsonFramer(16)
+        assert framer.feed(b"y" * 17) == []
+        assert framer.overflowed
+
+    def test_tail_at_exactly_the_limit_is_not_an_overflow(self):
+        framer = NdjsonFramer(16)
+        assert framer.feed(b"z" * 16) == []
+        assert not framer.overflowed
+        assert framer.feed(b"\n") == [b"z" * 16]
+
+    def test_interleaved_garbage_is_structured_errors_only(self, tmp_path):
+        # Garbage frames between valid ones: every frame gets exactly
+        # one structured response and none of the garbage is journaled.
+        journal = Journal(tmp_path / "j.ndjson")
+        durable = DurableGateway(AdmissionGateway(), journal, tmp_path / "s.json")
+        try:
+            stream = (
+                VALID_LINES[0].encode("utf-8")
+                + b"\n\x00\xff{{{\n"
+                + VALID_LINES[4].encode("utf-8")
+                + b"\n]]]]\n"
+            )
+            rng = random.Random(5)
+            framer = NdjsonFramer(GatewayServer.READER_LIMIT)
+            frames = []
+            pos = 0
+            while pos < len(stream):
+                step = rng.randrange(1, 7)
+                frames += framer.feed(stream[pos : pos + step])
+                pos += step
+            journaled_before = journal.last_seq
+            statuses = []
+            for frame in frames:
+                line = frame.decode("utf-8", errors="replace").strip()
+                if not line:
+                    continue
+                routed = durable.handle_line(line)
+                assert len(routed) == 1
+                statuses.append(json.loads(routed[0][1])["ok"])
+            assert statuses == [True, False, True, False]
+            # Only the register was journaled; garbage never was.
+            assert journal.last_seq == journaled_before + 1
+        finally:
+            durable.close()
+
+
+class TestFastParserByteEquivalence:
+    """The orjson fast path must be byte-identical to the strict parser."""
+
+    @staticmethod
+    def _corpus():
+        lines = list(VALID_LINES)
+        # Truncations of every valid line: torn mid-token, mid-string.
+        for line in VALID_LINES:
+            lines.extend(line[:cut] for cut in range(1, len(line), 7))
+        # Numeric edges: overflow literals, huge ints (64-bit cliff),
+        # negative zero, subnormals, long mantissas.
+        lines += [
+            '{"op":"expire","pipeline":"web","now":1e999}',
+            '{"op":"expire","pipeline":"web","now":-1e999}',
+            '{"op":"expire","pipeline":"web","now":NaN}',
+            '{"op":"expire","pipeline":"web","now":9223372036854775807}',
+            '{"op":"expire","pipeline":"web","now":9223372036854775808}',
+            '{"op":"expire","pipeline":"web","now":-0.0}',
+            '{"op":"expire","pipeline":"web","now":5e-324}',
+            '{"op":"expire","pipeline":"web","now":0.1000000000000000055511151231257827}',
+            '{"op":"admit","pipeline":"web","task":{"task_id":1,"arrival":0.30000000000000004,"deadline":2.220446049250313e-16,"costs":[1e-308,0.1]}}',
+            '{"op":"health","unicode":"\\u00e9\\ud83d\\ude00"}',
+            '{"op":"health","x":' + "[" * MAX_REQUEST_DEPTH + "]" * MAX_REQUEST_DEPTH + "}",
+            '{"op": "health"}',
+            ' {"op":"health"} ',
+            "[]",
+            "{}",
+            "null",
+            '"health"',
+        ]
+        # Seeded garbage and float-heavy admits.
+        rng = random.Random(13)
+        alphabet = '{}[]",:0123456789.eE+-abcdefgh \t'
+        for _ in range(300):
+            lines.append(
+                "".join(rng.choice(alphabet) for _ in range(rng.randrange(1, 90)))
+            )
+        for k in range(200):
+            doc = {
+                "id": k,
+                "op": "admit",
+                "pipeline": "web",
+                "task": {
+                    "task_id": k,
+                    "arrival": rng.random() * 10 ** rng.randrange(-9, 9),
+                    "deadline": rng.random() * 10 ** rng.randrange(-3, 3),
+                    "costs": [
+                        rng.random() * 10 ** rng.randrange(-6, 0)
+                        for _ in range(2)
+                    ],
+                },
+            }
+            lines.append(json.dumps(doc, separators=(",", ":")))
+        return lines
+
+    def test_responses_bitwise_equal_with_orjson_disabled(self, monkeypatch):
+        corpus = self._corpus()
+        fast = AdmissionGateway()
+        fast_responses = [
+            resp for line in corpus for _o, resp in fast.handle_line(line)
+        ]
+        monkeypatch.setattr("repro.serve.protocol.orjson", None)
+        strict = AdmissionGateway()
+        strict_responses = [
+            resp for line in corpus for _o, resp in strict.handle_line(line)
+        ]
+        assert fast_responses == strict_responses

@@ -19,7 +19,14 @@ import pytest
 from repro.core.task import make_task
 from repro.serve.gateway import AdmissionGateway, GatewayServer, _UNKNOWN_ID
 from repro.serve.loadgen import _TcpGatewayThread
-from repro.serve.protocol import admit_response, ok_response, task_to_wire
+from repro.serve.protocol import (
+    MAX_REQUEST_CHARS,
+    MAX_REQUEST_DEPTH,
+    admit_response,
+    admit_response_batch,
+    ok_response,
+    task_to_wire,
+)
 
 NUM_STAGES = 2
 BATCHED = {"num_stages": NUM_STAGES, "max_batch": 3}
@@ -95,6 +102,41 @@ class TestAdmitResponseEncoder:
             request_, admitted=True, region_value=region_value, shed=[]
         )
         assert fast == slow
+
+
+class TestAdmitResponseBatchEncoder:
+    """The one-pass batch encoder is pinned to per-item admit_response."""
+
+    def test_byte_identical_to_per_item_encoder(self):
+        items = []
+        for request_id in IDS:
+            for admitted in (True, False):
+                for region_value in (0.0, -0.0, 0.7321, 1e-300, math.inf):
+                    for shed in ((), [3], [1, 2, 9]):
+                        items.append(
+                            (
+                                {"id": request_id, "op": "admit", "rid": "r"},
+                                admitted,
+                                region_value,
+                                shed,
+                            )
+                        )
+        # Fallback shapes ride along in the same batch.
+        items += [
+            ({"id": 1, "op": "expire"}, True, 0.5, []),
+            ({"id": 1, "op": "admit"}, True, 1, []),
+            ({"id": 1.5, "op": "admit"}, True, 0.5, []),
+        ]
+        batch = admit_response_batch(items)
+        assert batch == [
+            admit_response(
+                request, admitted=admitted, region_value=region_value, shed=shed
+            )
+            for request, admitted, region_value, shed in items
+        ]
+
+    def test_empty_batch(self):
+        assert admit_response_batch([]) == []
 
 
 class TestDedupReplay:
@@ -255,3 +297,152 @@ class TestCoalescedDelivery:
                 responses = [json.loads(stream.readline()) for _ in range(3)]
                 assert [r["id"] for r in responses] == [1, 2, 3]
                 assert all(r["admitted"] for r in responses)
+
+
+class TestHandleFramesDifferential:
+    """``handle_frames`` is pinned byte-for-byte to the per-line loop.
+
+    The reference model is exactly the transport loop the fused lane
+    replaced: decode each frame (``utf-8``, ``errors="replace"``),
+    strip, skip blanks, ``handle_line``.  Every response line, its
+    order, and every observable counter (op counts, errors, dedup
+    hits, the dedup window itself, pipeline stats) must match over a
+    trace that exercises each lane boundary: fast-lane admits, rid
+    replays and pending duplicates, validation failures (with and
+    without rids), huge-int and deep-nesting screen fallbacks, invalid
+    UTF-8, non-dict JSON, unicode whitespace, oversized lines, batch
+    barriers mid-chunk, registry churn, and draining mode.
+    """
+
+    def _mirror(self, gateway, frames, origin=None):
+        routed = []
+        for raw in frames:
+            line = raw.decode("utf-8", errors="replace").strip()
+            if line:
+                routed.extend(gateway.handle_line(line, origin=origin))
+        return routed
+
+    def _fingerprint(self, gateway):
+        return {
+            "op_counts": dict(gateway.op_counts),
+            "errors": gateway.errors,
+            "dedup_hits": gateway.dedup_hits,
+            "dedup": gateway.dedup_state(),
+        }
+
+    def _admit(self, pipeline, task_id, rid=None, arrival=0.0, task=...):
+        doc = {
+            "id": task_id,
+            "op": "admit",
+            "pipeline": pipeline,
+            "task": task_to_wire(
+                make_task(arrival, 1.0, [0.01] * NUM_STAGES, task_id=task_id)
+            ) if task is ... else task,
+        }
+        if rid is not None:
+            doc["rid"] = rid
+        return json.dumps(doc).encode()
+
+    def _trace(self):
+        """Chunks of frames covering every lane and fallback."""
+        deep = ('{"a": ' * (MAX_REQUEST_DEPTH + 2)
+                + "null" + "}" * (MAX_REQUEST_DEPTH + 2)).encode()
+        oversized = (b'{"op": "health", "pad": "'
+                     + b"x" * MAX_REQUEST_CHARS + b'"}')
+        register = lambda name, policy, rid: json.dumps({
+            "id": 0, "rid": rid, "op": "register",
+            "pipeline": name, "policy": policy,
+        }).encode()
+        chunk1 = [
+            register("web", BATCHED, "reg-web"),
+            register("other", {"num_stages": NUM_STAGES, "max_batch": 1},
+                     "reg-other"),
+            self._admit("web", 1, rid="r1", arrival=0.01),
+            self._admit("web", 2, rid="r2", arrival=0.02),
+            self._admit("web", 3, rid="r3", arrival=0.03),  # flushes batch
+            self._admit("web", 101, rid="r1", arrival=0.04),  # decided replay
+            self._admit("web", 4, rid="r4", arrival=0.05),  # queued
+            self._admit("web", 104, rid="r4", arrival=0.06),  # pending dup
+            b"   \t  ",  # whitespace-only frame: skipped
+            b'\t{"op": "health"}  ',  # fast lane strips ASCII ws
+            " ".encode() + b'{"op": "health"}',  # unicode ws: slow lane
+            b"\xff\xfe not utf-8 \xff",
+            b"not json at all",
+            b"[1, 2, 3]",
+            b'{"op": "bogus", "id": 3}',  # unknown op: no id echo
+            b'{"op": "admit", "pipeline": "web", "rid": "rv", "id": []}',
+            self._admit("web", 5, rid="rv", arrival=0.07),  # rv NOT decided
+        ]
+        chunk2 = [
+            # Dirty chunk: the huge int poisons the chunk-level screen,
+            # so every other frame here also takes the per-frame screen.
+            b'{"id": 99999999999999999999999999, "op": "health"}',
+            deep,
+            oversized,
+            self._admit("web", 6, rid="r6", arrival=0.08),
+            json.dumps({"id": 50, "op": "stats",
+                        "pipeline": "web"}).encode(),  # barrier mid-chunk
+            self._admit("nope", 9, rid="rn", arrival=0.09),  # unknown pipeline
+            self._admit("nope", 109, rid="rn", arrival=0.10),  # error replay
+            self._admit("other", 10, rid="r10", arrival=0.11),
+            self._admit("web", 11, rid="r11", arrival=0.12),
+            self._admit("other", 12, rid="r12", arrival=0.13),  # cache churn
+            json.dumps({"id": 51, "op": "unregister",
+                        "pipeline": "other"}).encode(),
+            self._admit("other", 13, rid="r13", arrival=0.14),  # unregistered
+            b'{"op": "health", "rid": "rh"}',  # health rid never settles
+            b'{"op": "admit", "pipeline": "web", "rid": ""}',  # bad rid
+            b'{"op": "admit", "pipeline": 7}',  # bad pipeline operand
+            self._admit("web", 77, rid="rt", arrival=0.15, task="nope"),
+            self._admit("web", 177, rid="rt", arrival=0.16),  # error replay
+        ]
+        return [chunk1, chunk2]
+
+    def _run(self, ingest):
+        gateway = AdmissionGateway()
+        routed = []
+        for chunk in self._trace():
+            routed.extend(ingest(gateway, chunk))
+        # Draining mode: decided rids replay, fresh admits bounce.
+        gateway.draining = True
+        drain_chunk = [
+            self._admit("web", 201, rid="r1", arrival=0.20),
+            self._admit("web", 202, rid="r20", arrival=0.21),
+        ]
+        routed.extend(ingest(gateway, drain_chunk))
+        gateway.draining = False
+        routed.extend(("drain", line) for _, line in gateway.drain())
+        routed.extend(
+            ingest(gateway, [json.dumps({
+                "id": 99, "op": "stats", "pipeline": "web",
+            }).encode()])
+        )
+        return routed, self._fingerprint(gateway)
+
+    def test_matches_per_line_loop(self):
+        fused, fused_state = self._run(
+            lambda g, frames: g.handle_frames(frames, origin="conn")
+        )
+        mirrored, mirrored_state = self._run(
+            lambda g, frames: self._mirror(g, frames, origin="conn")
+        )
+        assert fused == mirrored
+        assert fused_state == mirrored_state
+        # The trace actually exercised both lanes and both replays.
+        assert fused_state["errors"] > 0
+        assert fused_state["dedup_hits"] >= 3
+
+    def test_empty_and_blank_chunks(self):
+        gateway = AdmissionGateway()
+        assert gateway.handle_frames([]) == []
+        assert gateway.handle_frames([b"", b"  ", b"\t"]) == []
+        assert gateway.op_counts == {}
+        assert gateway.errors == 0
+
+    def test_async_facade_matches(self):
+        frames = [self._trace()[0][0], b'{"op": "health"}']
+        sync_gateway = AdmissionGateway()
+        async_gateway = AdmissionGateway()
+        sync_routed = sync_gateway.handle_frames(frames)
+        async_routed = asyncio.run(async_gateway.handle_frames_async(frames))
+        assert sync_routed == async_routed

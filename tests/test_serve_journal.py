@@ -388,3 +388,46 @@ class TestRenameDurability:
             "fsync-file",
             "fsync-dir",
         ]
+
+
+class TestDurableHandleFrames:
+    """The durable wrapper's chunk ingest is the per-line loop, exactly.
+
+    Durability is per request — each mutating line must reach the
+    journal before its effects exist — so ``DurableGateway`` must not
+    take the fused chunk lane.  Two identical journals fed the same
+    frames, one through ``handle_frames`` and one through the decode/
+    strip/``handle_line`` loop, must produce identical responses AND
+    byte-identical journals.
+    """
+
+    FRAMES = [
+        json.dumps({"id": 0, "op": "register", "pipeline": "web",
+                    "policy": {"num_stages": 2}}).encode(),
+        json.dumps({"id": 1, "rid": "r1", "op": "admit", "pipeline": "web",
+                    "task": {"arrival_time": 0.1, "deadline": 1.0,
+                             "computation_times": [0.01, 0.01],
+                             "task_id": 1}}).encode(),
+        b"   ",
+        b"not json",
+        json.dumps({"id": 2, "op": "stats", "pipeline": "web"}).encode(),
+    ]
+
+    def test_matches_per_line_loop(self, tmp_path):
+        (tmp_path / "a").mkdir()
+        (tmp_path / "b").mkdir()
+        fused = _durable(tmp_path / "a")
+        fused_routed = fused.handle_frames(self.FRAMES, origin="c")
+        mirrored = _durable(tmp_path / "b")
+        mirrored_routed = []
+        for raw in self.FRAMES:
+            line = raw.decode("utf-8", errors="replace").strip()
+            if line:
+                mirrored_routed.extend(mirrored.handle_line(line, "c"))
+        assert fused_routed == mirrored_routed
+        fused.journal.close()
+        mirrored.journal.close()
+        assert (
+            (tmp_path / "a" / "journal.ndjson").read_bytes()
+            == (tmp_path / "b" / "journal.ndjson").read_bytes()
+        )

@@ -220,3 +220,35 @@ class TestWrongShardResponse:
         assert doc["error"] == "wrong-shard"
         assert doc["shard"] == 1
         assert doc["map"]["format"] == SHARD_MAP_FORMAT
+
+
+class TestShardHandleFrames:
+    """The shard wrapper's chunk ingest is the per-line loop, exactly.
+
+    One chunk can mix owned and foreign pipelines, so every line needs
+    its own ownership check — only the unsharded inner core fuses
+    chunks.  Responses (including bounces) must match the decode/
+    strip/``handle_line`` loop line for line.
+    """
+
+    def test_matches_per_line_loop(self):
+        shard_map = ShardMap(
+            shards=2, assignments=(("owned", 0), ("foreign", 1))
+        )
+        frames = [
+            _register_line("owned", 1).encode(),
+            _register_line("foreign", 2).encode(),  # bounce
+            b"  ",
+            b"garbage",
+            encode({"id": 3, "op": "stats", "pipeline": "owned"}).encode(),
+        ]
+        fused = ShardGateway(AdmissionGateway(), 0, shard_map)
+        fused_routed = fused.handle_frames(frames, origin="c")
+        mirrored = ShardGateway(AdmissionGateway(), 0, shard_map)
+        mirrored_routed = []
+        for raw in frames:
+            line = raw.decode("utf-8", errors="replace").strip()
+            if line:
+                mirrored_routed.extend(mirrored.handle_line(line, "c"))
+        assert fused_routed == mirrored_routed
+        assert fused.bounced == mirrored.bounced == 1
